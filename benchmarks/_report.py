@@ -1,0 +1,27 @@
+"""Shared reporting helper for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures (or an
+ablation) as a text table.  ``report`` writes the table under
+``results/`` and also prints it to the live terminal (bypassing pytest's
+capture) so that ``pytest benchmarks/ --benchmark-only`` shows the
+reproduced rows inline.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def report(name: str, text: str, capsys=None) -> None:
+    """Persist and display one experiment's reproduced table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n"
+    if capsys is not None:
+        with capsys.disabled():
+            print(banner)
+    else:
+        print(banner)

@@ -1,0 +1,89 @@
+"""Experiment E9 -- dynamic grid vs dynamic (linear) voting.
+
+Availability: the paper argues its epoch mechanism gives structured
+coteries dynamic-voting-like availability.  The chains show the remaining
+ordering (voting > grid by one failure level, linear tie-break on top),
+while the message-traffic run shows what the grid buys in exchange:
+quorum-sized reads and writes versus poll-everyone.
+"""
+
+import pytest
+
+from repro.analysis.traffic import message_traffic
+from repro.availability.chains.dynamic_grid import dynamic_grid_unavailability
+from repro.availability.chains.dynamic_voting import (
+    dynamic_linear_voting_unavailability,
+    dynamic_voting_unavailability,
+)
+from repro.baselines.dynamic_voting import DynamicVotingStore
+from repro.core.store import ReplicatedStore
+from repro.workloads.generators import ClientWorkload, run_workload
+
+from _report import report
+
+
+def render_availability() -> str:
+    lines = [
+        "Unavailability under the site model, p = 0.95 (mu/lam = 19)",
+        f"{'N':>3}  {'dynamic grid':>14}  {'dynamic voting':>14}  "
+        f"{'dyn-linear':>12}",
+    ]
+    for n in (4, 6, 9, 12, 15):
+        grid = float(dynamic_grid_unavailability(n, 1, 19))
+        voting = float(dynamic_voting_unavailability(n, 1, 19))
+        linear = float(dynamic_linear_voting_unavailability(n, 1, 19))
+        lines.append(f"{n:>3}  {grid:>14.4e}  {voting:>14.4e}  "
+                     f"{linear:>12.4e}")
+    return "\n".join(lines)
+
+
+def render_traffic() -> str:
+    workload = dict(n_clients=3, read_fraction=0.5, think_time=1.0,
+                    duration=50.0)
+    grid_store = ReplicatedStore.create(16, seed=4, trace_enabled=True)
+    run_workload(grid_store, ClientWorkload(n_keys=4, **workload), seed=4)
+    grid_traffic = message_traffic(grid_store.trace, grid_store.history)
+
+    dv_store = DynamicVotingStore.create(16, seed=4, trace_enabled=True)
+    run_workload(dv_store, ClientWorkload(n_keys=4, total_writes=True,
+                                          **workload), seed=4)
+    dv_traffic = message_traffic(dv_store.trace, dv_store.history)
+
+    lines = [
+        "",
+        "Message traffic for the same workload, N = 16, failure-free",
+        f"{'protocol':<16}  {'msgs/op':>8}",
+        f"{'dynamic grid':<16}  "
+        f"{grid_traffic.messages_per_operation:>8.1f}",
+        f"{'dynamic voting':<16}  "
+        f"{dv_traffic.messages_per_operation:>8.1f}",
+        "",
+        "shape check: voting is (slightly) more available but pays ~N "
+        "messages per operation; the grid pays ~2*sqrt(N)",
+    ]
+    return "\n".join(lines), grid_traffic, dv_traffic
+
+
+def test_dynamic_voting_comparison(benchmark, capsys):
+    availability_text = benchmark.pedantic(render_availability,
+                                           rounds=1, iterations=1)
+    traffic_text, grid_traffic, dv_traffic = render_traffic()
+    report("dynamic_voting_comparison",
+           availability_text + "\n" + traffic_text, capsys)
+    for n in (6, 9, 12):
+        grid = float(dynamic_grid_unavailability(n, 1, 19))
+        voting = float(dynamic_voting_unavailability(n, 1, 19))
+        linear = float(dynamic_linear_voting_unavailability(n, 1, 19))
+        assert linear < voting < grid
+    assert grid_traffic.messages_per_operation < \
+        dv_traffic.messages_per_operation
+
+
+def test_grid_chain_speed(benchmark):
+    value = benchmark(dynamic_grid_unavailability, 15, 1, 19)
+    assert value == pytest.approx(1.564e-14, rel=0.01)
+
+
+def test_dlv_chain_speed(benchmark):
+    value = benchmark(dynamic_linear_voting_unavailability, 15, 1, 19)
+    assert float(value) < 1e-15

@@ -1,0 +1,61 @@
+"""Experiment E3 -- Figure 3: the state diagram for the dynamic grid
+protocol, solved by global balance.
+
+Regenerates the structure of the chain (states, transition rates) and its
+steady-state solution for a representative N, then benchmarks chain
+construction and both solvers.
+"""
+
+from repro.availability.chains.dynamic_grid import (
+    build_epoch_chain,
+    grid_min_epoch,
+)
+
+from _report import report
+
+
+def render_chain(n_nodes: int = 6, lam: int = 1, mu: int = 19) -> str:
+    chain = build_epoch_chain(n_nodes, lam, mu, grid_min_epoch(n_nodes))
+    pi = chain.steady_state(exact=True)
+    lines = [
+        f"Figure 3 state diagram, N = {n_nodes}, lam = {lam}, mu = {mu}",
+        f"states: {chain.n_states} "
+        f"(available band + 3 x stuck rows, as in the figure)",
+        "",
+        "transitions (rate):",
+    ]
+    for (src, dst), rate in sorted(chain.transitions().items(),
+                                   key=lambda kv: (str(kv[0][0]),
+                                                   str(kv[0][1]))):
+        lines.append(f"  {str(src):<12} -> {str(dst):<12} {rate}")
+    lines.append("")
+    lines.append("steady state (top row = available states):")
+    for state in chain.states:
+        tag = "AVAILABLE" if state[0] == "A" else "stuck"
+        lines.append(f"  pi{str(state):<12} = {float(pi[state]):.6e}  {tag}")
+    unavail = sum(p for s, p in pi.items() if s[0] == "U")
+    lines.append("")
+    lines.append(f"unavailability = {float(unavail):.6e}")
+    return "\n".join(lines)
+
+
+def test_figure3_chain_structure(benchmark, capsys):
+    chain = benchmark(build_epoch_chain, 9, 1, 19, 3)
+    # the paper's (x, y, z) geometry: min_epoch stuck rows, z columns
+    available = [s for s in chain.states if s[0] == "A"]
+    stuck = [s for s in chain.states if s[0] == "U"]
+    assert len(available) == 9 - 3 + 1
+    assert len(stuck) == 3 * (9 - 3 + 1)
+    report("figure3_chain", render_chain(), capsys)
+
+
+def test_figure3_exact_solver(benchmark):
+    chain = build_epoch_chain(12, 1, 19, 3)
+    pi = benchmark(chain.steady_state, True)
+    assert sum(pi.values()) == 1
+
+
+def test_figure3_float_solver(benchmark):
+    chain = build_epoch_chain(12, 1, 19, 3)
+    pi = benchmark(chain.steady_state, False)
+    assert abs(sum(pi.values()) - 1.0) < 1e-9

@@ -1,0 +1,82 @@
+"""Experiment E15 -- the k parameter of Section 5.
+
+    "This ratio [m/n] determines relative performance and availability of
+    read and write operations.  Increasing k, one makes reads more
+    efficient and writes less available."
+
+Sweeps every exact factorisation m x n of N and reports read quorum size
+(read cost), write quorum size, and read/write availability -- verifying
+the claimed monotone trade-off and showing why DefineGrid keeps m/n near 1.
+"""
+
+from repro.availability.formulas import (
+    grid_read_availability,
+    grid_write_availability,
+)
+
+from _report import report
+
+N = 36
+P = 0.95
+
+
+def factorisations(n):
+    return [(m, n // m) for m in range(1, n + 1) if n % m == 0]
+
+
+def build_rows():
+    rows = []
+    for m, cols in factorisations(N):
+        rows.append((
+            m, cols, m / cols,
+            cols,               # read quorum size
+            m + cols - 1,       # write quorum size
+            grid_read_availability(m, cols, P),
+            grid_write_availability(m, cols, P),
+        ))
+    return rows
+
+
+def render(rows) -> str:
+    lines = [
+        f"Grid shape trade-off, N = {N}, p = {P}",
+        f"{'m x n':>7}  {'k=m/n':>6}  {'read q':>6}  {'write q':>7}  "
+        f"{'read avail':>10}  {'write avail':>11}",
+    ]
+    for m, cols, k, rq, wq, ra, wa in rows:
+        lines.append(f"{f'{m}x{cols}':>7}  {k:>6.2f}  {rq:>6}  {wq:>7}  "
+                     f"{ra:>10.6f}  {wa:>11.6f}")
+    lines.append("")
+    lines.append("shape check: larger k (taller grids) -> smaller read "
+                 "quorums (cheaper reads) but lower write availability; "
+                 "near-square shapes minimise the write quorum size "
+                 "m+n-1, which is why DefineGrid pins |m-n| <= 1")
+    return "\n".join(lines)
+
+
+def test_grid_shape_tradeoff(benchmark, capsys):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    report("grid_shape_tradeoff", render(rows), capsys)
+    # the paper's claim, checked pairwise over increasing k
+    ordered = sorted(rows, key=lambda r: r[2])
+    for small_k, large_k in zip(ordered, ordered[1:]):
+        assert large_k[3] <= small_k[3]       # reads get cheaper...
+    # ...and beyond square (k >= 1, the regime the paper's sentence is
+    # about) write availability decreases monotonically.  Below square it
+    # *increases* with k -- wide flat grids have fragile reads dragging
+    # writes down too -- which is the other half of why DefineGrid aims
+    # for |m - n| <= 1.
+    taller = [r for r in ordered if r[2] >= 1]
+    for small_k, large_k in zip(taller, taller[1:]):
+        assert large_k[6] <= small_k[6] + 1e-12
+    read_avail = [r[5] for r in ordered]
+    assert read_avail == sorted(read_avail)  # reads only get sturdier
+
+    # near-square minimises the write quorum size
+    best = min(rows, key=lambda r: r[4])
+    assert abs(best[0] - best[1]) == min(abs(r[0] - r[1]) for r in rows)
+
+
+def test_availability_formula_speed(benchmark):
+    value = benchmark(grid_write_availability, 6, 6, 0.95)
+    assert 0 < value < 1

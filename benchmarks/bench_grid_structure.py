@@ -1,0 +1,108 @@
+"""Experiments E1 and E2 -- Figures 1 and 2: the grid structures built by
+``DefineGrid`` for N = 14 and N = 3, with the paper's quorum examples.
+
+Also benchmarks the two hot structural operations every protocol step
+performs: building the grid rule and evaluating ``IsWriteQuorum``.
+"""
+
+from repro.coteries.grid import GridCoterie, define_grid
+
+from _report import report
+
+
+def render_figure1() -> str:
+    grid = GridCoterie([f"{k:2d}" for k in range(1, 15)])
+    shape = grid.shape
+    example = {" 1", " 6", " 3", " 7", "11", " 4"}
+    read_part = {" 1", " 6", " 3", " 4"}
+    column = {" 3", " 7", "11"}
+    lines = [
+        "Figure 1: the grid for N = 14",
+        f"DefineGrid(14) = {shape.m} x {shape.n}, b = {shape.b} "
+        "(unoccupied bottom-right)",
+        "",
+        grid.layout(),
+        "",
+        f"paper example {{1,6,3,7,11,4}} is a write quorum : "
+        f"{grid.is_write_quorum(example)}",
+        f"  ... its read part {{1,6,3,4}} covers all columns: "
+        f"{grid.is_read_quorum(read_part)}",
+        f"  ... and {{3,7,11}} is a complete column        : "
+        f"{column <= example}",
+    ]
+    return "\n".join(lines)
+
+
+def render_figure2() -> str:
+    full = GridCoterie(["1", "2", "3"], column_cover="full")
+    physical = GridCoterie(["1", "2", "3"], column_cover="physical")
+    lines = [
+        "Figure 2: the grid for N = 3",
+        f"DefineGrid(3) = {full.shape.m} x {full.shape.n}, "
+        f"b = {full.shape.b}",
+        "",
+        full.layout(),
+        "",
+        "pre-optimisation rule (the figure's claim: all three needed):",
+    ]
+    import itertools
+    for size in (2, 3):
+        for subset in itertools.combinations(["1", "2", "3"], size):
+            label = "{" + ",".join(subset) + "}"
+            lines.append(f"  IsWriteQuorum({label}) = "
+                         f"{full.is_write_quorum(subset)}")
+    lines.append("")
+    lines.append("with C. Neuman's physical-column optimisation "
+                 "(the paper's pseudo-code):")
+    for subset in itertools.combinations(["1", "2", "3"], 2):
+        label = "{" + ",".join(subset) + "}"
+        lines.append(f"  IsWriteQuorum({label}) = "
+                     f"{physical.is_write_quorum(subset)}")
+    return "\n".join(lines)
+
+
+def render_shapes() -> str:
+    lines = ["DefineGrid shapes for N = 1..30",
+             f"{'N':>3}  {'m x n':>6}  {'b':>2}  {'read q':>6}  "
+             f"{'write q':>7}"]
+    for n in range(1, 31):
+        shape = define_grid(n)
+        grid = GridCoterie([f"n{i}" for i in range(n)])
+        lines.append(f"{n:>3}  {f'{shape.m}x{shape.n}':>6}  {shape.b:>2}  "
+                     f"{grid.min_read_quorum_size():>6}  "
+                     f"{grid.min_write_quorum_size():>7}")
+    return "\n".join(lines)
+
+
+def test_figure1_grid_for_14(benchmark, capsys):
+    benchmark(define_grid, 14)
+    text = render_figure1()
+    report("figure1_grid_n14", text, capsys)
+    assert "4 x 4, b = 2" in text
+
+
+def test_figure2_grid_for_3(benchmark, capsys):
+    nodes = ["1", "2", "3"]
+    grid = GridCoterie(nodes, column_cover="full")
+    benchmark(grid.is_write_quorum, nodes)
+    text = render_figure2()
+    report("figure2_grid_n3", text, capsys)
+    # the paper's claim under the pre-optimisation rule: only the full
+    # trio is a write quorum
+    assert "IsWriteQuorum({1,2,3}) = True" in text
+    assert "IsWriteQuorum({1,2}) = False" in text
+
+
+def test_define_grid_shape_sweep(benchmark, capsys):
+    def sweep():
+        return [define_grid(n) for n in range(1, 512)]
+
+    shapes = benchmark(sweep)
+    assert all(s.capacity >= n + 1 - 1 for n, s in enumerate(shapes, 1))
+    report("grid_shapes", render_shapes(), capsys)
+
+
+def test_is_write_quorum_large_grid(benchmark):
+    grid = GridCoterie([f"n{i:03d}" for i in range(400)])  # 20x20
+    quorum = set(grid.write_quorum("client"))
+    assert benchmark(grid.is_write_quorum, quorum)

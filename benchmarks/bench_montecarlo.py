@@ -1,0 +1,82 @@
+"""Experiment E6 -- the Figure 3 idealisation quantified by Monte Carlo.
+
+The chain assumes (a) any grid of >= 4 nodes tolerates a single failure
+and (b) a stuck 3-epoch recovers when its three members are up.  The
+exact rule -- epoch checks succeed iff the up-set holds a real write
+quorum over the current epoch's grid -- is strictly less available
+(singleton-column epochs at N = 5, quorum-based stuck recovery).  The
+Monte Carlo estimator measures both.
+"""
+
+import pytest
+
+from repro.availability.chains.dynamic_grid import dynamic_grid_unavailability
+from repro.availability.montecarlo import (
+    simulate_dynamic_availability,
+    simulate_static_availability,
+)
+from repro.availability.formulas import grid_write_availability
+from repro.coteries.grid import define_grid
+
+from _report import report
+
+LAM, MU = 1.0, 4.0       # p = 0.8: everything resolves quickly
+HORIZON = 60000.0
+
+
+def render() -> str:
+    from repro.availability.exact_dynamic import exact_dynamic_unavailability
+
+    lines = [
+        f"Idealised chain vs exact epoch dynamics (p = 0.8, "
+        f"MC horizon = {HORIZON:g})",
+        f"{'N':>3}  {'chain':>10}  {'MC ideal':>10}  {'MC exact':>10}  "
+        f"{'exact CTMC':>10}  {'static':>10}",
+    ]
+    for n in (4, 5, 6, 7, 9, 12):
+        chain = float(dynamic_grid_unavailability(n, LAM, MU))
+        ideal = simulate_dynamic_availability(n, LAM, MU, HORIZON, seed=5,
+                                              idealized=True)
+        exact = simulate_dynamic_availability(n, LAM, MU, HORIZON, seed=5)
+        exact_ctmc = (f"{exact_dynamic_unavailability(n, LAM, MU):>10.5f}"
+                      if n <= 7 else f"{'(too big)':>10}")
+        shape = define_grid(n)
+        static = 1 - grid_write_availability(shape.m, shape.n,
+                                             MU / (LAM + MU), b=shape.b)
+        lines.append(f"{n:>3}  {chain:>10.5f}  "
+                     f"{ideal.unavailability:>10.5f}  "
+                     f"{exact.unavailability:>10.5f}  "
+                     f"{exact_ctmc}  {static:>10.5f}")
+    lines.append("")
+    lines.append("shape check: MC ideal ~ chain; the exact dynamics "
+                 "(MC + noise-free CTMC, agreeing with each other) beat "
+                 "the chain at N <= 5 (physical-rule epochs shrink below "
+                 "3) and trail it from N = 6 (singleton columns, "
+                 "quorum-based recovery) -- always far below static")
+    return "\n".join(lines)
+
+
+def test_idealisation_gap(benchmark, capsys):
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    report("montecarlo_idealisation_gap", text, capsys)
+    chain = float(dynamic_grid_unavailability(9, LAM, MU))
+    ideal = simulate_dynamic_availability(9, LAM, MU, HORIZON, seed=5,
+                                          idealized=True)
+    exact = simulate_dynamic_availability(9, LAM, MU, HORIZON, seed=5)
+    shape = define_grid(9)
+    static = 1 - grid_write_availability(shape.m, shape.n, MU / (LAM + MU))
+    assert ideal.unavailability == pytest.approx(chain, rel=0.25)
+    assert exact.unavailability > ideal.unavailability
+    assert exact.unavailability < static / 3
+
+
+def test_dynamic_simulation_speed(benchmark):
+    estimate = benchmark(simulate_dynamic_availability, 9, LAM, MU,
+                         2000.0, 7)
+    assert 0 <= estimate.unavailability <= 1
+
+
+def test_static_simulation_speed(benchmark):
+    estimate = benchmark(simulate_static_availability, 9, LAM, MU,
+                         2000.0, 7)
+    assert 0 <= estimate.unavailability <= 1

@@ -1,0 +1,105 @@
+"""End-to-end protocol benchmarks on the simulator.
+
+Not a paper artifact, but the regression anchor for the whole stack:
+simulated latency and wall-clock cost of reads, writes, epoch checks, and
+a failure-recovery cycle at several cluster sizes.
+"""
+
+import pytest
+
+from repro.core.store import ReplicatedStore
+from repro.coteries.majority import MajorityCoterie
+
+from _report import report
+
+
+def simulated_latencies(n, seed=8, ops=30, rule=None):
+    kwargs = {"coterie_rule": rule} if rule else {}
+    store = ReplicatedStore.create(n, seed=seed, **kwargs)
+    write_latency = []
+    read_latency = []
+    for i in range(ops):
+        start = store.env.now
+        assert store.write({"k": i}, via=f"n{i % n:02d}").ok
+        write_latency.append(store.env.now - start)
+        start = store.env.now
+        assert store.read(via=f"n{(i + 1) % n:02d}").ok
+        read_latency.append(store.env.now - start)
+    return (sum(write_latency) / ops, sum(read_latency) / ops)
+
+
+def render() -> str:
+    lines = [
+        "Simulated operation latency (time units; RPC latency 1-10 ms)",
+        f"{'N':>3}  {'grid write':>10}  {'grid read':>9}  "
+        f"{'majority write':>14}  {'majority read':>13}",
+    ]
+    for n in (4, 9, 16, 25):
+        grid_write, grid_read = simulated_latencies(n)
+        majority_write, majority_read = simulated_latencies(
+            n, rule=MajorityCoterie)
+        lines.append(f"{n:>3}  {grid_write:>10.4f}  {grid_read:>9.4f}  "
+                     f"{majority_write:>14.4f}  {majority_read:>13.4f}")
+    lines.append("")
+    lines.append("shape check: latency is dominated by the slowest quorum "
+                 "member, so both protocols sit at ~2 RPC rounds for "
+                 "writes and ~1 for reads")
+    return "\n".join(lines)
+
+
+def test_latency_table(benchmark, capsys):
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    report("protocol_latency", text, capsys)
+    grid_write, grid_read = simulated_latencies(16)
+    assert grid_read < grid_write    # reads skip the 2PC round
+
+
+def test_write_wallclock(benchmark):
+    store = ReplicatedStore.create(16, seed=9)
+
+    def one_write():
+        counter = getattr(one_write, "counter", 0) + 1
+        one_write.counter = counter
+        return store.write({"k": counter})
+
+    result = benchmark.pedantic(one_write, rounds=30, iterations=1)
+    assert result.ok
+
+
+def test_read_wallclock(benchmark):
+    store = ReplicatedStore.create(16, seed=10)
+    store.write({"k": 1})
+    result = benchmark.pedantic(store.read, rounds=30, iterations=1)
+    assert result.ok
+
+
+def test_epoch_check_wallclock(benchmark):
+    store = ReplicatedStore.create(16, seed=11)
+
+    def check():
+        return store.check_epoch()
+
+    result = benchmark.pedantic(check, rounds=10, iterations=1)
+    assert result.ok
+
+
+def test_failure_recovery_cycle_wallclock(benchmark):
+    def cycle():
+        store = ReplicatedStore.create(9, seed=12)
+        store.write({"x": 1})
+        store.crash("n08")
+        store.check_epoch()
+        store.write({"x": 2})
+        store.recover("n08")
+        store.check_epoch()
+        store.settle()
+        return store
+
+    store = benchmark.pedantic(cycle, rounds=5, iterations=1)
+    store.verify()
+
+
+@pytest.mark.parametrize("n", [9, 25])
+def test_store_construction(benchmark, n):
+    store = benchmark(ReplicatedStore.create, n)
+    assert len(store.nodes) == n

@@ -1,0 +1,85 @@
+"""Experiment E5 -- the quorum-size claims of Section 1.
+
+"For square grids, the size of read quorums is sqrt(N) and the size of
+write quorums is 2*sqrt(N) - 1 ... in contrast to the voting protocol,
+where the quorum size in the simplest case is floor((N+1)/2)."
+
+Sweeps N for grid / majority / tree / hierarchical coteries and checks the
+claims; benchmarks quorum-function evaluation per coterie.
+"""
+
+import math
+
+from repro.coteries.grid import GridCoterie
+from repro.coteries.hierarchical import HierarchicalCoterie, default_arities
+from repro.coteries.majority import MajorityCoterie
+from repro.coteries.tree import TreeCoterie
+from repro.coteries.wall import WallCoterie
+
+from _report import report
+
+
+def names(n):
+    return [f"n{i:03d}" for i in range(n)]
+
+
+def render() -> str:
+    lines = ["Quorum sizes by coterie (write quorum / read quorum)",
+             f"{'N':>4}  {'grid w':>6}  {'grid r':>6}  {'2*sqrt(N)-1':>11}  "
+             f"{'majority':>8}  {'tree w':>6}  {'HQC w':>6}  "
+             f"{'wall w':>6}"]
+    for n in (4, 9, 16, 25, 36, 49, 64, 81, 100):
+        grid = GridCoterie(names(n))
+        majority = MajorityCoterie(names(n))
+        tree = TreeCoterie(names(n))
+        arities = default_arities(n)
+        hqc = HierarchicalCoterie(names(n), arities=arities)
+        wall = WallCoterie(names(n))
+        lines.append(
+            f"{n:>4}  {grid.min_write_quorum_size():>6}  "
+            f"{grid.min_read_quorum_size():>6}  "
+            f"{2 * math.isqrt(n) - 1:>11}  {majority.write_votes:>8}  "
+            f"{len(tree.write_quorum('c')):>6}  "
+            f"{hqc.min_write_quorum_size():>6}  "
+            f"{wall.min_write_quorum_size():>6}")
+    return "\n".join(lines)
+
+
+def test_quorum_size_claims(benchmark, capsys):
+    def check():
+        for n in (4, 9, 16, 25, 64, 100):
+            root = math.isqrt(n)
+            grid = GridCoterie(names(n))
+            assert grid.min_read_quorum_size() == root
+            assert grid.min_write_quorum_size() == 2 * root - 1
+            assert MajorityCoterie(names(n)).write_votes == n // 2 + 1
+        return render()
+
+    text = benchmark.pedantic(check, rounds=1, iterations=1)
+    report("quorum_sizes", text, capsys)
+
+
+def test_grid_quorum_function(benchmark):
+    grid = GridCoterie(names(100))
+    quorum = benchmark(grid.write_quorum, "client7", 3)
+    assert grid.is_write_quorum(quorum)
+
+
+def test_majority_quorum_function(benchmark):
+    majority = MajorityCoterie(names(100))
+    quorum = benchmark(majority.write_quorum, "client7", 3)
+    assert majority.is_write_quorum(quorum)
+
+
+def test_tree_quorum_function(benchmark):
+    tree = TreeCoterie(names(127))
+    quorum = benchmark(tree.write_quorum, "client7", 3)
+    assert tree.is_write_quorum(quorum)
+    assert len(quorum) == 7  # a root-to-leaf path in a 7-level tree
+
+
+def test_hierarchical_quorum_function(benchmark):
+    hqc = HierarchicalCoterie(names(81), arities=(3, 3, 3, 3))
+    quorum = benchmark(hqc.write_quorum, "client7", 3)
+    assert hqc.is_write_quorum(quorum)
+    assert len(quorum) == 16  # 2^4

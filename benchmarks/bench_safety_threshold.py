@@ -1,0 +1,79 @@
+"""Experiment E10 -- the Section 4.1 safety-threshold extension.
+
+"If the number of good replicas contacted is less than a predefined
+safety threshold, the coordinator includes additional good replicas in
+the set of nodes on which it performs the write ... no additional rounds
+of message exchange."
+
+We measure the trade the extension makes: extra copies written per
+operation (durability of the newest version) versus extra commit
+messages -- and confirm there is no extra polling round.
+"""
+
+from repro.core.config import ProtocolConfig
+from repro.core.store import ReplicatedStore
+from repro.workloads.generators import ClientWorkload, run_workload
+
+from _report import report
+
+
+def run_with_threshold(threshold: int, seed: int = 6):
+    config = ProtocolConfig(safety_threshold=threshold)
+    store = ReplicatedStore.create(9, seed=seed, config=config,
+                                   trace_enabled=True)
+    run_workload(store, ClientWorkload(n_clients=3, read_fraction=0.3,
+                                       think_time=1.0, n_keys=4,
+                                       duration=40.0), seed=seed)
+    writes = store.history.committed_writes()
+    if not writes:
+        return store, 0.0, 0.0
+    # copies of the newest version right after each write: count replicas
+    # at the final version now (post-run, pre-settle is gone; use the
+    # recorded good sets via replica states at max version)
+    max_version = writes[-1].version
+    copies = sum(1 for n in store.node_names
+                 if store.replica_state(n).version == max_version)
+    msgs = store.trace.count("send") / max(1, len(store.history.operations))
+    return store, copies, msgs
+
+
+def render(results) -> str:
+    lines = [
+        "Safety-threshold ablation, 9 replicas, mixed workload",
+        f"{'threshold':>9}  {'copies@newest':>13}  {'msgs/op':>8}  "
+        f"{'writes ok':>9}",
+    ]
+    for threshold, (store, copies, msgs) in results.items():
+        ok = len(store.history.committed_writes())
+        lines.append(f"{threshold:>9}  {copies:>13}  {msgs:>8.1f}  "
+                     f"{ok:>9}")
+    lines.append("")
+    lines.append("shape check: higher thresholds keep more copies of the "
+                 "newest version (closing the single-good-replica window) "
+                 "for a modest message overhead")
+    return "\n".join(lines)
+
+
+def test_safety_threshold_ablation(benchmark, capsys):
+    results = benchmark.pedantic(
+        lambda: {t: run_with_threshold(t) for t in (0, 3, 5, 7)},
+        rounds=1, iterations=1)
+    report("safety_threshold", render(results), capsys)
+    for store, _copies, _msgs in results.values():
+        store.verify()
+    copies = {t: c for t, (_s, c, _m) in results.items()}
+    assert copies[7] >= copies[0]
+    assert copies[7] >= 5  # a high threshold keeps many current copies
+
+
+def test_write_latency_with_threshold(benchmark):
+    config = ProtocolConfig(safety_threshold=5)
+    store = ReplicatedStore.create(9, seed=7, config=config)
+
+    def one_write():
+        counter = getattr(one_write, "counter", 0) + 1
+        one_write.counter = counter
+        return store.write({"k": counter})
+
+    result = benchmark.pedantic(one_write, rounds=20, iterations=1)
+    assert result.ok

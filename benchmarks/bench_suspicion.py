@@ -1,0 +1,76 @@
+"""Experiment E18 -- failure-to-adaptation latency: periodic checks vs
+the suspicion-triggered extension.
+
+The paper wants "a steady (albeit infrequent) pulse of epoch checking";
+with long pulses, the window between a failure and the epoch change is
+~period/2, during which writes whose quorums hit the dead node take the
+heavy path.  The suspicion extension closes that window to roughly one
+round trip + debounce: any coordinator that sees CALL_FAILED nudges the
+initiator.
+"""
+
+from repro.core.config import ProtocolConfig
+from repro.core.store import ReplicatedStore
+
+from _report import report
+
+PERIOD = 40.0
+
+
+def adaptation_latency(suspicion: bool, seed: int) -> float:
+    """Time from a crash to the epoch change, under a light write load."""
+    config = ProtocolConfig(
+        suspicion_triggers_check=suspicion,
+        suspicion_debounce=1.0,
+        epoch_check_interval=PERIOD,
+        epoch_check_staleness=2.5 * PERIOD,
+        election_timeout=0.5)
+    store = ReplicatedStore.create(9, seed=seed, config=config,
+                                   auto_epoch_check=True)
+    store.advance(6)        # elect the initiator
+    store.write({"x": 0})
+    # desynchronise the crash from the checker's phase
+    store.advance(7.0 + seed)
+    crash_time = store.env.now
+    store.crash("n04")
+    deadline = crash_time + 4 * PERIOD
+    wrote = 0
+    while store.current_epoch()[1] == 0 and store.env.now < deadline:
+        wrote += 1
+        store.write({"k": wrote}, via=f"n{wrote % 4:02d}")
+        store.advance(2.0)
+    return store.env.now - crash_time
+
+
+def build_rows():
+    rows = []
+    for label, suspicion in (("periodic only", False),
+                             ("with suspicion", True)):
+        latencies = [adaptation_latency(suspicion, seed)
+                     for seed in (1, 2, 3)]
+        rows.append((label, sum(latencies) / len(latencies),
+                     max(latencies)))
+    return rows
+
+
+def render(rows) -> str:
+    lines = [
+        f"Failure-to-epoch-change latency, 9 nodes, check period "
+        f"{PERIOD:g}, light write load",
+        f"{'mode':<16}  {'mean latency':>12}  {'max latency':>11}",
+    ]
+    for label, mean, worst in rows:
+        lines.append(f"{label:<16}  {mean:>12.2f}  {worst:>11.2f}")
+    lines.append("")
+    lines.append("shape check: suspicion cuts the adaptation window from "
+                 "~period/2 to a few round trips")
+    return "\n".join(lines)
+
+
+def test_suspicion_latency(benchmark, capsys):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    report("suspicion_latency", render(rows), capsys)
+    periodic = rows[0][1]
+    triggered = rows[1][1]
+    assert triggered < periodic / 2
+    assert triggered < 12.0

@@ -1,0 +1,57 @@
+"""Experiment E16 -- the texture behind Table 1: MTTF and outage length.
+
+Steady-state unavailability compresses two very different quantities into
+one number.  The hitting-time analysis separates them: the dynamic grid's
+mean time to first outage explodes with N (every added replica is another
+failure the epoch can shed), while the outage itself is short and
+*independent of N* (recovery involves only the terminal three-member
+epoch).  The renewal-reward identity reproduces Table 1 exactly from the
+two parts.
+"""
+
+from repro.availability.chains.dynamic_grid import dynamic_grid_unavailability
+from repro.availability.transient import (
+    cycle_unavailability,
+    dynamic_grid_mttf,
+    dynamic_grid_outage_duration,
+)
+
+from _report import report
+
+
+def render() -> str:
+    lines = [
+        "MTTF and outage duration, dynamic grid, p = 0.95 "
+        "(time unit = 1/lam)",
+        f"{'N':>3}  {'MTTF':>12}  {'outage':>8}  "
+        f"{'outage/MTTF':>11}  {'Table 1 unavail':>15}",
+    ]
+    for n in (4, 6, 9, 12, 15):
+        mttf = float(dynamic_grid_mttf(n))
+        outage = float(dynamic_grid_outage_duration(n))
+        unavail = float(dynamic_grid_unavailability(n))
+        lines.append(f"{n:>3}  {mttf:>12.4g}  {outage:>8.4f}  "
+                     f"{outage / mttf:>11.3e}  {unavail:>15.4e}")
+    lines.append("")
+    lines.append("shape check: MTTF grows by orders of magnitude per "
+                 "replica tier; the outage stays ~1/mu regardless of N; "
+                 "their ratio tracks Table 1")
+    return "\n".join(lines)
+
+
+def test_transient_table(benchmark, capsys):
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    report("transient_mttf_outage", text, capsys)
+    # renewal-reward reproduces the steady state exactly
+    for n in (4, 6, 9):
+        assert cycle_unavailability(n) == dynamic_grid_unavailability(n)
+
+
+def test_mttf_solve_speed(benchmark):
+    value = benchmark(dynamic_grid_mttf, 9, 1, 19)
+    assert float(value) > 1e5
+
+
+def test_outage_solve_speed(benchmark):
+    value = benchmark(dynamic_grid_outage_duration, 9, 1, 19)
+    assert 0 < float(value) < 1

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""A replicated key-value store riding out continuous failures.
+
+This is the scenario the paper's introduction motivates: a service that
+must stay writable while nodes fail and recover *continuously*.  We run a
+closed-loop client population against a 9-replica store with Poisson
+failure injection and fully automatic epoch management (elected initiator,
+periodic CheckEpoch), then verify that every value any client ever read
+was one-copy serializable -- and compare against the static grid protocol
+under the *identical* fault sequence.
+
+Run:  python examples/replicated_kvstore.py
+"""
+
+from repro import ProtocolConfig, ReplicatedStore, StaticQuorumStore
+from repro.analysis.timeline import render_timeline
+from repro.workloads.generators import ClientWorkload, run_workload
+
+
+FAULT_RATE = 1 / 40.0     # each node fails about every 40 time units
+REPAIR_RATE = 1 / 8.0     # and repairs in about 8
+DURATION = 400.0
+
+
+def build_dynamic():
+    config = ProtocolConfig(epoch_check_interval=5.0,
+                            epoch_check_staleness=15.0)
+    store = ReplicatedStore.create(9, seed=7, config=config,
+                                   auto_epoch_check=True,
+                                   trace_enabled=True)
+    store.inject_failures(FAULT_RATE, REPAIR_RATE, seed=99)
+    return store
+
+
+def build_static():
+    store = StaticQuorumStore.create(9, seed=7)
+    store.inject_failures(FAULT_RATE, REPAIR_RATE, seed=99)  # same faults
+    return store
+
+
+def main() -> None:
+    workload = ClientWorkload(n_clients=4, read_fraction=0.6,
+                              think_time=1.5, n_keys=8, duration=DURATION)
+
+    print("=== dynamic grid protocol (epochs, partial writes) ===")
+    dynamic = build_dynamic()
+    dynamic.advance(20)  # elect the epoch-check initiator
+    stats = run_workload(dynamic, workload, seed=1)
+    print(stats.summary())
+    epoch, number = dynamic.current_epoch()
+    print(f"final epoch #{number} with {len(epoch)} members; "
+          f"{len(dynamic.history.epoch_checks)} epoch checks ran")
+
+    # bring everyone back and verify global consistency
+    dynamic.recover(*[n for n in dynamic.node_names
+                      if not dynamic.nodes[n].up])
+    dynamic.advance(40)
+    dynamic.settle()
+    print("verified:", dynamic.verify())
+
+    print("\n=== static grid protocol (same faults, same workload) ===")
+    static = build_static()
+    static_stats = run_workload(
+        static,
+        ClientWorkload(n_clients=4, read_fraction=0.6, think_time=1.5,
+                       n_keys=8, duration=DURATION, total_writes=True),
+        seed=1)
+    print(static_stats.summary())
+
+    print("\n=== what happened, as a timeline ===")
+    print(render_timeline(dynamic, max_events=12))
+
+    print("\n=== comparison ===")
+    print(f"dynamic success rate : {stats.success_rate:.1%}")
+    print(f"static  success rate : {static_stats.success_rate:.1%}")
+    if stats.success_rate > static_stats.success_rate:
+        print("-> the epoch mechanism absorbed failures the static "
+              "protocol could not (the paper's Table 1, operationally)")
+
+
+if __name__ == "__main__":
+    main()

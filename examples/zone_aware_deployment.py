@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Deploying the grid across failure zones: placement matters.
+
+The paper's grid is a logical structure; this example shows what happens
+when it meets physical reality (racks / availability zones that fail as a
+unit).  We deploy 16 replicas two ways -- grid columns aligned with zones
+versus grid rows aligned with zones -- take a zone outage, and watch
+reads, writes, and the epoch mechanism under each, finishing with the
+exact two-level availability analysis.
+
+Run:  python examples/zone_aware_deployment.py
+"""
+
+from repro import ReplicatedStore
+from repro.analysis.placement import (
+    column_zones,
+    placement_comparison,
+    row_zones,
+)
+from repro.analysis.timeline import render_timeline
+from repro.coteries.grid import GridCoterie
+
+
+def outage_demo(label, zone_map_fn):
+    print(f"--- {label} ---")
+    store = ReplicatedStore.create(16, seed=13, trace_enabled=True)
+    grid = GridCoterie(list(store.node_names))
+    zones = zone_map_fn(grid)
+    first = sorted(zones)[0]
+    print(f"zones: { {z: members for z, members in sorted(zones.items())} }")
+    store.write({"config": "v1"})
+    print(f"zone {first} fails: {zones[first]}")
+    store.crash(*zones[first])
+    read = store.read()
+    write = store.write({"config": "v2"})
+    print(f"  read  ok={read.ok}")
+    print(f"  write ok={write.ok}")
+    check = store.check_epoch()
+    print(f"  epoch change possible: {check.ok}")
+    # one zone member comes back: a write quorum of the old epoch exists
+    store.recover(zones[first][0])
+    check = store.check_epoch()
+    print(f"  after one member returns -> epoch #{check.epoch_number} "
+          f"with {len(check.epoch_list)} members; "
+          f"write ok={store.write({'config': 'v2'}).ok}")
+    store.verify()
+    return store
+
+
+def main() -> None:
+    print("=== one-zone outage, two placements ===\n")
+    outage_demo("columns aligned with zones (DANGEROUS)", column_zones)
+    print()
+    store = outage_demo("rows aligned with zones (read-protective)",
+                        row_zones)
+
+    print("\n=== exact two-level availability, N = 16 ===")
+    comparison = placement_comparison(16, p_zone=0.95, p_node=0.98)
+    print(f"{'placement':<16} {'read avail':>11} {'write avail':>12}")
+    for label, values in comparison.items():
+        print(f"{label:<16} {values['read']:>11.6f} "
+              f"{values['write']:>12.6f}")
+    print("\nreads: row alignment keeps every grid column represented "
+          "through any single-zone outage")
+    print("writes: a zone outage is a write quorum's worth of "
+          "simultaneous failures -- placement cannot save them, only "
+          "recovery (and the epoch mechanism) can")
+
+    print("\n=== timeline of the second run ===")
+    print(render_timeline(store, max_events=10))
+
+
+if __name__ == "__main__":
+    main()

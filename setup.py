@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail; this shim lets ``pip install -e .`` use the classic
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Dynamic structured coterie protocols for replicated objects "
+        "(Rabinovich & Lazowska, SIGMOD 1992)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

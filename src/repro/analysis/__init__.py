@@ -1,0 +1,37 @@
+"""Load-sharing and message-traffic analysis."""
+
+from repro.analysis.load import (
+    LoadReport,
+    jain_fairness,
+    quorum_load,
+)
+from repro.analysis.optimal_load import (
+    empirical_vs_optimal,
+    optimal_load,
+    strategy_load,
+)
+from repro.analysis.placement import (
+    availability_with_zones,
+    column_zones,
+    placement_comparison,
+    row_zones,
+)
+from repro.analysis.timeline import render_timeline, uptime_strips
+from repro.analysis.traffic import TrafficReport, message_traffic
+
+__all__ = [
+    "LoadReport",
+    "TrafficReport",
+    "availability_with_zones",
+    "column_zones",
+    "empirical_vs_optimal",
+    "optimal_load",
+    "placement_comparison",
+    "row_zones",
+    "strategy_load",
+    "jain_fairness",
+    "message_traffic",
+    "quorum_load",
+    "render_timeline",
+    "uptime_strips",
+]

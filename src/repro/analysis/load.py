@@ -1,0 +1,80 @@
+"""Load-sharing analysis of quorum functions.
+
+The paper argues the grid's small, coordinator-dependent quorums give
+"good load sharing and message traffic".  :func:`quorum_load` quantifies
+that: simulate many coordinators picking quorums with a coterie's quorum
+function and report how evenly the per-node request load spreads.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.coteries.base import Coterie
+
+
+def jain_fairness(loads: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly even, 1/n = one hot node."""
+    if not loads:
+        raise ValueError("empty load vector")
+    total = sum(loads)
+    if total == 0:
+        return 1.0
+    squares = sum(load * load for load in loads)
+    return total * total / (len(loads) * squares)
+
+
+@dataclass
+class LoadReport:
+    """Per-node load distribution for one coterie/quorum-function pair."""
+
+    counts: dict[str, int]
+    n_picks: int
+    quorum_size_mean: float
+
+    @property
+    def fairness(self) -> float:
+        """Jain fairness index of the per-node load counts."""
+        return jain_fairness(list(self.counts.values()))
+
+    @property
+    def max_over_mean(self) -> float:
+        """Ratio of the busiest node's load to the mean load."""
+        values = list(self.counts.values())
+        mean = sum(values) / len(values)
+        return max(values) / mean if mean else 0.0
+
+    @property
+    def per_node_load(self) -> dict[str, float]:
+        """Fraction of all operations that touch each node."""
+        return {name: count / self.n_picks
+                for name, count in self.counts.items()}
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (f"fairness={self.fairness:.3f} "
+                f"max/mean={self.max_over_mean:.2f} "
+                f"quorum~{self.quorum_size_mean:.1f}")
+
+
+def quorum_load(coterie: Coterie, n_picks: int = 1000,
+                kind: str = "write") -> LoadReport:
+    """Distribution of node appearances across many quorum picks.
+
+    Coordinators are synthesized as ``client0 .. client{n_picks-1}`` so the
+    quorum function's salt-based spreading is what gets measured.
+    """
+    if kind not in ("read", "write"):
+        raise ValueError(f"kind must be read or write, got {kind!r}")
+    pick = coterie.write_quorum if kind == "write" else coterie.read_quorum
+    counts: Counter = Counter({name: 0 for name in coterie.nodes})
+    total_size = 0
+    for index in range(n_picks):
+        quorum = pick(salt=f"client{index}", attempt=index % 7)
+        total_size += len(quorum)
+        for name in quorum:
+            counts[name] += 1
+    return LoadReport(counts=dict(counts), n_picks=n_picks,
+                      quorum_size_mean=total_size / n_picks)

@@ -1,0 +1,119 @@
+"""Human-readable timelines from simulation traces.
+
+Debugging a distributed protocol from raw trace records is miserable;
+:func:`render_timeline` turns a store's trace and history into
+
+* a chronological listing of the protocol-level events (crashes,
+  recoveries, epoch installs, suspicion checks, aborted transactions,
+  propagation give-ups), and
+* a per-node up/down strip chart over the run.
+
+Requires the store to have been built with ``trace_enabled=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+EVENT_KINDS = (
+    "node-crash",
+    "node-recover",
+    "epoch-installed",
+    "epoch-check-failed",
+    "suspicion-check",
+    "initiator-elected",
+    "txn-aborted",
+    "propagation-gave-up",
+    "lock-lease-expired",
+    "propagation-lease-expired",
+)
+
+
+def protocol_events(trace, kinds: Iterable[str] = EVENT_KINDS) -> list:
+    """Trace records of the protocol-level event kinds."""
+    wanted = set(kinds)
+    return [rec for rec in trace if rec.kind in wanted]
+
+
+def _describe(rec) -> str:
+    if rec.kind == "node-crash":
+        return f"{rec.node} CRASHED"
+    if rec.kind == "node-recover":
+        return f"{rec.node} recovered"
+    if rec.kind == "epoch-installed":
+        members = rec.detail.get("epoch", ())
+        return (f"epoch #{rec.detail.get('number')} installed by "
+                f"{rec.node} ({len(members)} members, "
+                f"stale={list(rec.detail.get('stale', ()))})")
+    if rec.kind == "epoch-check-failed":
+        return f"epoch check by {rec.node} failed (no quorum)"
+    if rec.kind == "suspicion-check":
+        return (f"{rec.node} runs suspicion check "
+                f"(suspects {list(rec.detail.get('suspected', ()))})")
+    if rec.kind == "initiator-elected":
+        return f"{rec.node} elected epoch-check initiator"
+    if rec.kind == "txn-aborted":
+        return f"txn {rec.detail.get('txn_id')} aborted at {rec.node}"
+    if rec.kind == "propagation-gave-up":
+        return f"{rec.node} gave up propagating to {rec.detail.get('target')}"
+    return f"{rec.kind} @ {rec.node} {rec.detail}"
+
+
+def uptime_strips(trace, node_names, horizon: float,
+                  width: int = 60) -> dict[str, str]:
+    """Per-node up ('#') / down ('.') strip over [0, horizon]."""
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    flips: dict[str, list[tuple[float, bool]]] = {n: [] for n in node_names}
+    for rec in trace:
+        if rec.kind == "node-crash" and rec.node in flips:
+            flips[rec.node].append((rec.time, False))
+        elif rec.kind == "node-recover" and rec.node in flips:
+            flips[rec.node].append((rec.time, True))
+    strips = {}
+    for name in node_names:
+        cells = []
+        for column in range(width):
+            t = (column + 0.5) * horizon / width
+            up = True
+            for flip_time, flip_up in flips[name]:
+                if flip_time <= t:
+                    up = flip_up
+                else:
+                    break
+            cells.append("#" if up else ".")
+        strips[name] = "".join(cells)
+    return strips
+
+
+def render_timeline(store, max_events: int = 40,
+                    width: int = 60,
+                    horizon: Optional[float] = None) -> str:
+    """The full report for one store run."""
+    trace = store.trace
+    if not trace.enabled:
+        raise ValueError("store was built without trace_enabled=True")
+    horizon = horizon if horizon is not None else max(store.env.now, 1e-9)
+    lines = [f"timeline over t = 0 .. {horizon:g}"]
+
+    ops = getattr(store, "history", None)
+    if ops is not None and len(ops.operations):
+        committed = sum(1 for op in ops.operations if op.ok)
+        failed = sum(1 for op in ops.operations
+                     if op.completed and not op.ok)
+        lines.append(f"operations: {len(ops.operations)} issued, "
+                     f"{committed} ok, {failed} failed")
+
+    events = protocol_events(trace)
+    lines.append("")
+    lines.append(f"protocol events ({min(len(events), max_events)} of "
+                 f"{len(events)}):")
+    for rec in events[:max_events]:
+        lines.append(f"  [{rec.time:10.3f}] {_describe(rec)}")
+
+    lines.append("")
+    lines.append(f"node uptime ('#' up, '.' down), {width} buckets:")
+    for name, strip in uptime_strips(trace, store.node_names,
+                                     horizon, width).items():
+        lines.append(f"  {name:<6} {strip}")
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Availability analysis (paper Section 6).
+
+* :mod:`repro.availability.markov` -- a continuous-time Markov chain with a
+  global-balance steady-state solver (float via numpy, or exact rational
+  arithmetic for the very small probabilities in Table 1).
+* :mod:`repro.availability.chains` -- the paper's Figure 3 chain for the
+  dynamic grid protocol, plus analogous chains for dynamic (linear) voting.
+* :mod:`repro.availability.formulas` -- closed-form static availability for
+  grid / voting / ROWA / tree / hierarchical coteries, and an exact
+  enumeration cross-check for any coterie.
+* :mod:`repro.availability.montecarlo` -- availability measured from
+  simulated failure/repair trajectories, including the *exact* epoch
+  dynamics that the paper's chain idealises away.
+"""
+
+from repro.availability.markov import MarkovChain, birth_death_steady_state
+from repro.availability.formulas import (
+    availability_by_enumeration,
+    grid_read_availability,
+    grid_write_availability,
+    majority_availability,
+    rowa_read_availability,
+    rowa_write_availability,
+)
+from repro.availability.chains.dynamic_grid import (
+    build_epoch_chain,
+    dynamic_grid_unavailability,
+)
+from repro.availability.chains.dynamic_voting import (
+    dynamic_linear_voting_unavailability,
+    dynamic_voting_unavailability,
+)
+from repro.availability.exact_dynamic import (
+    ExactDynamicChain,
+    exact_dynamic_unavailability,
+)
+from repro.availability.montecarlo import (
+    simulate_dynamic_availability,
+    simulate_static_availability,
+)
+from repro.availability.transient import (
+    cycle_unavailability,
+    dynamic_grid_mttf,
+    dynamic_grid_outage_duration,
+    hitting_time,
+)
+
+__all__ = [
+    "ExactDynamicChain",
+    "MarkovChain",
+    "cycle_unavailability",
+    "dynamic_grid_mttf",
+    "dynamic_grid_outage_duration",
+    "exact_dynamic_unavailability",
+    "hitting_time",
+    "availability_by_enumeration",
+    "birth_death_steady_state",
+    "build_epoch_chain",
+    "dynamic_grid_unavailability",
+    "dynamic_linear_voting_unavailability",
+    "dynamic_voting_unavailability",
+    "grid_read_availability",
+    "grid_write_availability",
+    "majority_availability",
+    "rowa_read_availability",
+    "rowa_write_availability",
+    "simulate_dynamic_availability",
+    "simulate_static_availability",
+]

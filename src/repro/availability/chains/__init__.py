@@ -1,0 +1,29 @@
+"""Markov chains for dynamic replica-control protocols under the site model."""
+
+from repro.availability.chains.dynamic_grid import (
+    build_epoch_chain,
+    dynamic_grid_epoch_sizes,
+    dynamic_grid_read_unavailability,
+    dynamic_grid_unavailability,
+    grid_min_epoch,
+)
+from repro.availability.chains.finite_checks import (
+    build_finite_check_chain,
+    finite_check_unavailability,
+)
+from repro.availability.chains.dynamic_voting import (
+    dynamic_linear_voting_unavailability,
+    dynamic_voting_unavailability,
+)
+
+__all__ = [
+    "build_epoch_chain",
+    "build_finite_check_chain",
+    "dynamic_grid_epoch_sizes",
+    "dynamic_grid_read_unavailability",
+    "finite_check_unavailability",
+    "dynamic_grid_unavailability",
+    "dynamic_linear_voting_unavailability",
+    "dynamic_voting_unavailability",
+    "grid_min_epoch",
+]

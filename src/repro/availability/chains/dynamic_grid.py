@@ -1,0 +1,168 @@
+"""The paper's Figure 3 availability chain for the dynamic grid protocol.
+
+Site-model assumptions (Section 6): independent Poisson failures (rate
+``lam``) and repairs (rate ``mu``) per node, instantaneous operations, and
+epoch checking running between any two consecutive failure/repair events.
+Under these assumptions the current epoch always equals the set of up nodes
+while the system is available, because epoch checking instantly absorbs
+every repair and sheds every tolerated failure.
+
+The paper observes that any grid built by ``DefineGrid`` with at least four
+nodes tolerates a single failure (the survivors still contain a write
+quorum over the old grid, so a new epoch forms), while the three-node grid
+needs *all three* nodes for a write quorum (Figure 2).  Hence the epoch
+shrinks gracefully down to three members; when one of those three fails the
+system is stuck until **all three** are simultaneously up again, at which
+point the new epoch absorbs every node that is up.
+
+States (the paper's ``(x, y, z)``: x of the y epoch members up, z of the
+N-y outsiders up):
+
+* available ``("A", y)`` for ``min_epoch <= y <= N`` -- epoch = the y up
+  nodes, everyone else down (x = y, z = 0 after instant epoch checking);
+* unavailable ``("U", x, z)`` -- the epoch is pinned at the final
+  ``min_epoch`` members, x of them up, z outsiders up.
+
+The chain is solved exactly (rational arithmetic) by default, because the
+unavailabilities in Table 1 reach 1e-14.
+
+Caveat reproduced faithfully: the "tolerates any single failure when
+y >= 4" idealisation is slightly optimistic for epochs whose grid has a
+singleton column (y = 5 under ``DefineGrid``); the Monte Carlo module
+measures the exact behaviour (experiment E6 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+from repro.availability.markov import MarkovChain
+
+Number = Union[int, float, Fraction]
+
+
+def grid_min_epoch(n_nodes: int) -> int:
+    """Smallest epoch the dynamic grid protocol can shrink to.
+
+    Three for N >= 3 (the paper's analysis); degenerate cases below that.
+    """
+    if n_nodes < 1:
+        raise ValueError("need at least one replica")
+    return min(n_nodes, 3)
+
+
+def build_epoch_chain(n_nodes: int, lam: Number, mu: Number,
+                      min_epoch: int) -> MarkovChain:
+    """The Figure 3 chain, generalised over the terminal epoch size.
+
+    ``min_epoch = 3`` gives the paper's dynamic grid chain;
+    ``min_epoch = 2`` gives the analogous chain for plain dynamic voting
+    (see :mod:`repro.availability.chains.dynamic_voting`).
+    """
+    if not 1 <= min_epoch <= n_nodes:
+        raise ValueError(f"min_epoch {min_epoch} outside 1..{n_nodes}")
+    lam = Fraction(lam).limit_denominator(10 ** 12) \
+        if isinstance(lam, float) else Fraction(lam)
+    mu = Fraction(mu).limit_denominator(10 ** 12) \
+        if isinstance(mu, float) else Fraction(mu)
+    chain = MarkovChain()
+    outsiders = n_nodes - min_epoch
+
+    # Available band: epoch tracks the up-set.
+    for y in range(min_epoch, n_nodes + 1):
+        if y < n_nodes:
+            # a repair outside the epoch; epoch checking absorbs it
+            chain.add(("A", y), ("A", y + 1), (n_nodes - y) * mu)
+        if y > min_epoch:
+            # a tolerated failure; epoch checking sheds it
+            chain.add(("A", y), ("A", y - 1), y * lam)
+    # The fatal failure out of the smallest epoch.
+    chain.add(("A", min_epoch), ("U", min_epoch - 1, 0), min_epoch * lam)
+
+    # Unavailable band: epoch pinned at the last min_epoch members.
+    for x in range(min_epoch):
+        for z in range(outsiders + 1):
+            state = ("U", x, z)
+            if x > 0:
+                chain.add(state, ("U", x - 1, z), x * lam)
+            if x < min_epoch - 1:
+                chain.add(state, ("U", x + 1, z), (min_epoch - x) * mu)
+            else:
+                # the last missing epoch member repairs: the next epoch
+                # check succeeds and absorbs the z outsiders that are up
+                chain.add(state, ("A", min_epoch + z), mu)
+            if z > 0:
+                chain.add(state, ("U", x, z - 1), z * lam)
+            if z < outsiders:
+                chain.add(state, ("U", x, z + 1), (outsiders - z) * mu)
+    return chain
+
+
+def dynamic_grid_unavailability(n_nodes: int, lam: Number = 1,
+                                mu: Number = 19,
+                                exact: bool = True) -> Union[float, Fraction]:
+    """Steady-state write unavailability of the dynamic grid protocol.
+
+    Defaults reproduce Table 1: ``mu/lam = 19`` gives per-node availability
+    ``p = 0.95``.  Returns a Fraction when ``exact`` (the default), since
+    the interesting values are as small as 1e-14.
+    """
+    chain = build_epoch_chain(n_nodes, lam, mu,
+                              min_epoch=grid_min_epoch(n_nodes))
+    return chain.probability(lambda s: s[0] == "U", exact=exact)
+
+
+def dynamic_grid_epoch_sizes(n_nodes: int, lam: Number = 1,
+                             mu: Number = 19) -> dict[int, Fraction]:
+    """P(|epoch| = y | system available) from the Figure 3 chain.
+
+    Shows how far the protocol typically shrinks: at p = 0.95 the mass
+    sits overwhelmingly at y = N, dropping ~19x per size below it --
+    which is exactly why each extra replica buys orders of magnitude of
+    Table 1 availability.
+    """
+    chain = build_epoch_chain(n_nodes, lam, mu,
+                              min_epoch=grid_min_epoch(n_nodes))
+    pi = chain.steady_state(exact=True)
+    available = {state: p for state, p in pi.items() if state[0] == "A"}
+    total = sum(available.values())
+    sizes: dict[int, Fraction] = {}
+    for (_tag, y), probability in available.items():
+        sizes[y] = sizes.get(y, Fraction(0)) + probability / total
+    return dict(sorted(sizes.items()))
+
+
+def dynamic_grid_read_unavailability(
+        n_nodes: int, lam: Number = 1, mu: Number = 19,
+        exact: bool = True) -> Union[float, Fraction]:
+    """Steady-state *read* unavailability -- the analysis the paper omits
+    as "completely analogous" (Section 6).
+
+    Epoch dynamics are governed by write quorums regardless of the
+    operation mix, so the chain is the same; reads merely stay available
+    longer inside the stuck block: a stuck epoch with x of its members up
+    still serves reads whenever those x contain a *read* quorum over the
+    terminal grid.  Entries into the stuck block and all within-block
+    moves are exchangeable over member identity, so given x the up-subset
+    is uniform, and the read-availability of state ``(x, z)`` is the
+    fraction of x-subsets of the terminal grid that contain a read quorum.
+    """
+    from itertools import combinations
+
+    from repro.coteries.grid import GridCoterie
+
+    min_epoch = grid_min_epoch(n_nodes)
+    terminal = GridCoterie([f"t{i}" for i in range(min_epoch)])
+    read_ok: dict[int, Fraction] = {}
+    for x in range(min_epoch + 1):
+        subsets = list(combinations(terminal.nodes, x))
+        hits = sum(1 for s in subsets if terminal.is_read_quorum(set(s)))
+        read_ok[x] = Fraction(hits, len(subsets))
+
+    chain = build_epoch_chain(n_nodes, lam, mu, min_epoch=min_epoch)
+    pi = chain.steady_state(exact=True)
+    unavailable = sum((p * (1 - read_ok[state[1]])
+                       for state, p in pi.items() if state[0] == "U"),
+                      Fraction(0))
+    return unavailable if exact else float(unavailable)

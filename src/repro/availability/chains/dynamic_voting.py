@@ -1,0 +1,106 @@
+"""Availability chains for dynamic voting (Jajodia & Mutchler 1990).
+
+These are extension experiments (E9 in DESIGN.md): the paper argues its
+epoch mechanism brings structured coteries up to dynamic voting's
+availability, so we build the matching chains under the same site-model
+idealisation to compare.
+
+* **Plain dynamic voting**: an update needs a majority of the current
+  *distinguished partition* (the epoch analogue).  A partition of size y
+  survives a single failure iff ``y - 1 >= floor(y/2) + 1``, i.e. ``y >= 3``;
+  a two-member partition with one member down is stuck until both members
+  are up.  That is exactly the generalised epoch chain with
+  ``min_epoch = 2``.
+
+* **Dynamic-linear voting**: ties are broken by a static linear ordering,
+  so a two-member partition survives the failure of its lower-priority
+  member (the survivor alone forms the tie-break quorum), and the
+  distinguished partition can shrink to a single node.  The stuck states
+  track whether the *priority* member is down.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+from repro.availability.markov import MarkovChain
+from repro.availability.chains.dynamic_grid import build_epoch_chain
+
+Number = Union[int, float, Fraction]
+
+
+def dynamic_voting_unavailability(n_nodes: int, lam: Number = 1,
+                                  mu: Number = 19,
+                                  exact: bool = True) -> Union[float, Fraction]:
+    """Steady-state unavailability of plain dynamic (majority) voting."""
+    chain = build_epoch_chain(n_nodes, lam, mu,
+                              min_epoch=min(n_nodes, 2))
+    return chain.probability(lambda s: s[0] == "U", exact=exact)
+
+
+def build_dynamic_linear_voting_chain(n_nodes: int, lam: Number,
+                                      mu: Number) -> MarkovChain:
+    """The dynamic-linear voting chain (ties broken by node priority).
+
+    States:
+
+    * ``("A", y)`` -- available, distinguished partition = the y up nodes,
+      ``1 <= y <= N``.
+    * ``("P", o, z)`` -- stuck after the *priority* member of a two-member
+      partition failed; ``o`` is 1 if the other member is up, z counts up
+      outsiders (of N - 2).  Recovery: the priority member repairs.
+    * ``("Q", z)`` -- stuck after the sole member of a one-member partition
+      failed; z counts up outsiders (of N - 1).  Recovery: that member
+      repairs.
+    """
+    if n_nodes < 1:
+        raise ValueError("need at least one replica")
+    lam, mu = Fraction(lam), Fraction(mu)
+    chain = MarkovChain()
+    if n_nodes == 1:
+        chain.add(("A", 1), ("Q", 0), lam)
+        chain.add(("Q", 0), ("A", 1), mu)
+        return chain
+
+    for y in range(1, n_nodes + 1):
+        if y < n_nodes:
+            chain.add(("A", y), ("A", y + 1), (n_nodes - y) * mu)
+        if y >= 3:
+            chain.add(("A", y), ("A", y - 1), y * lam)
+    # y = 2: the lower-priority member failing is tolerated (tie-break),
+    # the priority member failing wedges the partition.
+    chain.add(("A", 2), ("A", 1), lam)
+    chain.add(("A", 2), ("P", 1, 0), lam)
+    # y = 1: the sole member failing wedges everything.
+    chain.add(("A", 1), ("Q", 0), lam)
+
+    for o in (0, 1):
+        for z in range(n_nodes - 1):  # z in 0..N-2
+            state = ("P", o, z)
+            chain.add(state, ("A", 1 + o + z), mu)  # priority member repairs
+            if o == 1:
+                chain.add(state, ("P", 0, z), lam)
+            else:
+                chain.add(state, ("P", 1, z), mu)
+            if z > 0:
+                chain.add(state, ("P", o, z - 1), z * lam)
+            if z < n_nodes - 2:
+                chain.add(state, ("P", o, z + 1), (n_nodes - 2 - z) * mu)
+
+    for z in range(n_nodes):  # z in 0..N-1
+        state = ("Q", z)
+        chain.add(state, ("A", 1 + z), mu)  # the sole member repairs
+        if z > 0:
+            chain.add(state, ("Q", z - 1), z * lam)
+        if z < n_nodes - 1:
+            chain.add(state, ("Q", z + 1), (n_nodes - 1 - z) * mu)
+    return chain
+
+
+def dynamic_linear_voting_unavailability(
+        n_nodes: int, lam: Number = 1, mu: Number = 19,
+        exact: bool = True) -> Union[float, Fraction]:
+    """Steady-state unavailability of dynamic-linear voting."""
+    chain = build_dynamic_linear_voting_chain(n_nodes, lam, mu)
+    return chain.probability(lambda s: s[0] != "A", exact=exact)

@@ -1,0 +1,100 @@
+"""An analytic chain for *finite* epoch-checking rates.
+
+Section 6's assumption (4) makes epoch checking instantaneous; experiment
+E13 measures what finite check periods cost by Monte Carlo.  This module
+gives the analytic counterpart for the *majority* (dynamic voting) rule,
+whose check-success condition is a clean threshold:
+
+State ``(y, x, z)``: the current epoch has y members, x of them up, and z
+of the N-y outsiders are up.  Failures and repairs move x and z as usual;
+independently, epoch checks arrive as a Poisson process with rate ``nu``.
+A check succeeds iff the up epoch members form a majority (``2x > y`` --
+they then constitute a write quorum over the epoch, which is exactly what
+installing the new epoch requires), and on success the epoch becomes the
+up-set: ``(y, x, z) -> (x+z, x+z, 0)``.
+
+The system is write-available in ``(y, x, z)`` iff ``2x > y``.
+
+Limits recover the known models:
+
+* ``nu -> infinity``: the generalised epoch chain with ``min_epoch = 2``
+  (plain dynamic voting under assumption (4));
+* ``nu -> 0``: the epoch never changes, so unavailability tends to the
+  static majority binomial tail over all N replicas.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+from repro.availability.markov import MarkovChain
+
+Number = Union[int, float, Fraction]
+
+
+def build_finite_check_chain(n_nodes: int, lam: Number, mu: Number,
+                             nu: Number) -> MarkovChain:
+    """The (y, x, z) chain with Poisson epoch checks at rate ``nu``."""
+    if n_nodes < 1:
+        raise ValueError("need at least one replica")
+
+    def as_fraction(value: Number) -> Fraction:
+        return Fraction(value).limit_denominator(10 ** 12) \
+            if isinstance(value, float) else Fraction(value)
+
+    lam, mu, nu = map(as_fraction, (lam, mu, nu))
+    if lam <= 0 or mu <= 0 or nu < 0:
+        raise ValueError("lam and mu must be positive, nu non-negative")
+    chain = MarkovChain()
+    for y in range(1, n_nodes + 1):
+        for x in range(y + 1):
+            for z in range(n_nodes - y + 1):
+                state = (y, x, z)
+                if x > 0:
+                    chain.add(state, (y, x - 1, z), x * lam)
+                if x < y:
+                    chain.add(state, (y, x + 1, z), (y - x) * mu)
+                if z > 0:
+                    chain.add(state, (y, x, z - 1), z * lam)
+                if z < n_nodes - y:
+                    chain.add(state, (y, x, z + 1),
+                              (n_nodes - y - z) * mu)
+                if nu > 0 and 2 * x > y and (x + z, x + z, 0) != state:
+                    chain.add(state, (x + z, x + z, 0), nu)
+    return chain
+
+
+def finite_check_unavailability(n_nodes: int, lam: Number, mu: Number,
+                                nu: Number,
+                                exact: bool = False) -> Union[float, Fraction]:
+    """Steady-state write unavailability at epoch-check rate ``nu``.
+
+    The reachable component from the all-up full epoch is solved; states
+    the protocol can never reach (e.g. tiny epochs at nu = 0) are pruned
+    first, since the full three-parameter grid is not irreducible.
+    """
+    chain = build_finite_check_chain(n_nodes, lam, mu, nu)
+    reachable = _reachable_subchain(chain, (n_nodes, n_nodes, 0))
+    unavailable = reachable.probability(
+        lambda state: 2 * state[1] <= state[0], exact=exact)
+    return unavailable
+
+
+def _reachable_subchain(chain: MarkovChain, start) -> MarkovChain:
+    adjacency: dict = {}
+    for (src, dst), rate in chain.transitions().items():
+        adjacency.setdefault(src, []).append((dst, rate))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        state = frontier.pop()
+        for dst, _rate in adjacency.get(state, ()):
+            if dst not in seen:
+                seen.add(dst)
+                frontier.append(dst)
+    sub = MarkovChain()
+    for (src, dst), rate in chain.transitions().items():
+        if src in seen and dst in seen:
+            sub.add(src, dst, rate)
+    return sub

@@ -1,0 +1,155 @@
+"""Exact availability of the exact dynamic protocol (small N).
+
+The Figure 3 chain idealises the epoch dynamics (any grid >= 4 tolerates
+one failure; stuck epochs recover by roll-call).  The Monte Carlo module
+measures the exact behaviour with sampling noise.  This module removes
+the noise: it builds the *full* continuous-time Markov chain over states
+
+    (current epoch, set of up nodes)
+
+by reachability exploration from the all-up state -- node failures and
+repairs toggle the up-set, and each toggle is followed by an
+instantaneous epoch check that re-forms the epoch whenever the up nodes
+contain a write quorum over the current one (site-model assumption 4,
+with the *real* coterie rule deciding).  Solving the chain gives the
+exact steady-state read/write unavailability of the protocol the code
+actually runs.
+
+The state space is the reachable subset of (epochs x up-sets); it grows
+quickly with N (hundreds of states at N = 6, tens of thousands by
+N = 10), so this is a small-N instrument -- exactly where the
+idealisation gap lives.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.coteries.base import Coterie, CoterieRule
+from repro.coteries.grid import GridCoterie
+
+State = tuple[frozenset, frozenset]  # (epoch, up)
+
+
+class ExactDynamicChain:
+    """The reachable (epoch, up-set) CTMC of the dynamic protocol."""
+
+    def __init__(self, n_nodes: int, lam: float, mu: float,
+                 rule: CoterieRule = GridCoterie,
+                 max_states: int = 8000):
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        if lam <= 0 or mu <= 0:
+            raise ValueError("rates must be positive")
+        self.nodes = tuple(f"n{i:03d}" for i in range(n_nodes))
+        self.lam = lam
+        self.mu = mu
+        self.rule = rule
+        self._coteries: dict[frozenset, Coterie] = {}
+        self.states: list[State] = []
+        self.transitions: dict[State, list[tuple[State, float]]] = {}
+        self._explore(max_states)
+
+    # -- structure ------------------------------------------------------------
+    def _coterie(self, epoch: frozenset) -> Coterie:
+        coterie = self._coteries.get(epoch)
+        if coterie is None:
+            coterie = self.rule(tuple(sorted(epoch)))
+            self._coteries[epoch] = coterie
+        return coterie
+
+    def _after_check(self, epoch: frozenset, up: frozenset) -> frozenset:
+        """The epoch after an instantaneous check (assumption 4)."""
+        if self._coterie(epoch).is_write_quorum(up):
+            return up
+        return epoch
+
+    def _explore(self, max_states: int) -> None:
+        everyone = frozenset(self.nodes)
+        initial = (everyone, everyone)
+        frontier = [initial]
+        seen = {initial}
+        while frontier:
+            state = frontier.pop()
+            self.states.append(state)
+            if len(self.states) > max_states:
+                raise ValueError(
+                    f"state space exceeds {max_states}; use Monte Carlo "
+                    f"for this N")
+            epoch, up = state
+            outgoing = []
+            for node in self.nodes:
+                if node in up:
+                    next_up = up - {node}
+                    rate = self.lam
+                else:
+                    next_up = up | {node}
+                    rate = self.mu
+                next_state = (self._after_check(epoch, next_up), next_up)
+                outgoing.append((next_state, rate))
+                if next_state not in seen:
+                    seen.add(next_state)
+                    frontier.append(next_state)
+            self.transitions[state] = outgoing
+
+    @property
+    def n_states(self) -> int:
+        """Number of states in the chain."""
+        return len(self.states)
+
+    # -- solution ----------------------------------------------------------------
+    def steady_state(self) -> dict[State, float]:
+        """Steady-state distribution from global balance."""
+        index = {state: i for i, state in enumerate(self.states)}
+        n = len(self.states)
+        q = np.zeros((n, n))
+        for state, outgoing in self.transitions.items():
+            i = index[state]
+            for next_state, rate in outgoing:
+                j = index[next_state]
+                q[i, j] += rate
+                q[i, i] -= rate
+        a = q.T.copy()
+        a[-1, :] = 1.0
+        b = np.zeros(n)
+        b[-1] = 1.0
+        pi = np.linalg.solve(a, b)
+        return {state: float(p) for state, p in zip(self.states, pi)}
+
+    def unavailability(self, kind: str = "write",
+                       pi: Optional[dict] = None) -> float:
+        """Steady-state probability that no read/write quorum over the
+        current epoch is up."""
+        if kind not in ("read", "write"):
+            raise ValueError(f"kind must be read or write, got {kind!r}")
+        if pi is None:
+            pi = self.steady_state()
+        total = 0.0
+        for (epoch, up), probability in pi.items():
+            coterie = self._coterie(epoch)
+            available = (coterie.is_write_quorum(up) if kind == "write"
+                         else coterie.is_read_quorum(up))
+            if not available:
+                total += probability
+        return total
+
+    def epoch_size_distribution(self, pi: Optional[dict] = None
+                                ) -> dict[int, float]:
+        """P(|current epoch| = y) -- how far the protocol typically
+        shrinks."""
+        if pi is None:
+            pi = self.steady_state()
+        sizes: dict[int, float] = {}
+        for (epoch, _up), probability in pi.items():
+            sizes[len(epoch)] = sizes.get(len(epoch), 0.0) + probability
+        return dict(sorted(sizes.items()))
+
+
+def exact_dynamic_unavailability(n_nodes: int, lam: float, mu: float,
+                                 rule: CoterieRule = GridCoterie,
+                                 kind: str = "write") -> float:
+    """Convenience wrapper: build, solve, and evaluate in one call."""
+    chain = ExactDynamicChain(n_nodes, lam, mu, rule=rule)
+    return chain.unavailability(kind=kind)

@@ -1,0 +1,157 @@
+"""Continuous-time Markov chains and steady-state solvers.
+
+The paper solves its Figure 3 state diagram with "the classical global
+balance technique".  :class:`MarkovChain` collects transition rates and
+solves the global balance equations
+
+    pi Q = 0,   sum(pi) = 1
+
+either in floating point (numpy) or in *exact rational arithmetic*.  The
+exact mode matters here: Table 1's dynamic-grid unavailabilities go down to
+1.5e-14, where a naive double-precision solve can lose most significant
+digits of the small components.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Hashable, Iterable, Mapping, Union
+
+import numpy as np
+
+Rate = Union[int, float, Fraction]
+State = Hashable
+
+
+class MarkovChain:
+    """A CTMC assembled from explicit transition rates."""
+
+    def __init__(self):
+        self._rates: dict[tuple[State, State], Fraction] = {}
+        self._states: dict[State, None] = {}  # insertion-ordered set
+
+    def add(self, src: State, dst: State, rate: Rate) -> None:
+        """Add (accumulate) a transition ``src -> dst`` at the given rate."""
+        if src == dst:
+            raise ValueError(f"self-loop at {src!r}")
+        rate = Fraction(rate).limit_denominator(10 ** 12) \
+            if isinstance(rate, float) else Fraction(rate)
+        if rate < 0:
+            raise ValueError(f"negative rate {rate} on {src!r}->{dst!r}")
+        if rate == 0:
+            return
+        self._states.setdefault(src, None)
+        self._states.setdefault(dst, None)
+        key = (src, dst)
+        self._rates[key] = self._rates.get(key, Fraction(0)) + rate
+
+    @property
+    def states(self) -> list[State]:
+        """The chain's states, in insertion order."""
+        return list(self._states)
+
+    @property
+    def n_states(self) -> int:
+        """Number of states in the chain."""
+        return len(self._states)
+
+    def rate(self, src: State, dst: State) -> Fraction:
+        """Transition rate from src to dst (0 when absent)."""
+        return self._rates.get((src, dst), Fraction(0))
+
+    def transitions(self) -> Mapping[tuple[State, State], Fraction]:
+        """All transitions as a {(src, dst): rate} mapping."""
+        return dict(self._rates)
+
+    # -- solving ------------------------------------------------------------
+    def steady_state(self, exact: bool = False) -> dict[State, float]:
+        """Steady-state distribution from global balance.
+
+        With ``exact=True`` the linear system is solved over the rationals
+        (Gaussian elimination with Fractions); the returned dict still maps
+        to Fraction values so callers can keep full precision.
+        """
+        if not self._states:
+            raise ValueError("empty chain")
+        if exact:
+            return self._solve_exact()
+        return self._solve_float()
+
+    def _generator_rows(self):
+        """Yield (i, j, rate) entries of the generator matrix Q."""
+        index = {state: i for i, state in enumerate(self._states)}
+        for (src, dst), rate in self._rates.items():
+            yield index[src], index[dst], rate
+
+    def _solve_float(self) -> dict[State, float]:
+        n = self.n_states
+        q = np.zeros((n, n))
+        for i, j, rate in self._generator_rows():
+            q[i, j] += float(rate)
+            q[i, i] -= float(rate)
+        # pi Q = 0  =>  Q^T pi^T = 0; replace the last balance equation by
+        # the normalisation sum(pi) = 1.
+        a = q.T.copy()
+        a[-1, :] = 1.0
+        b = np.zeros(n)
+        b[-1] = 1.0
+        pi = np.linalg.solve(a, b)
+        return {state: float(p) for state, p in zip(self._states, pi)}
+
+    def _solve_exact(self) -> dict[State, Fraction]:
+        n = self.n_states
+        # Build the augmented matrix for Q^T pi = 0 with normalisation.
+        a = [[Fraction(0)] * (n + 1) for _ in range(n)]
+        for i, j, rate in self._generator_rows():
+            a[j][i] += rate      # transpose
+            a[i][i] -= rate
+        for j in range(n):
+            a[n - 1][j] = Fraction(1)
+        a[n - 1][n] = Fraction(1)
+        _gauss_solve_inplace(a)
+        return {state: a[i][n] for i, state in enumerate(self._states)}
+
+    # -- convenience ---------------------------------------------------------
+    def probability(self, predicate: Callable[[State], bool],
+                    exact: bool = False) -> Union[float, Fraction]:
+        """Total steady-state probability of states matching *predicate*."""
+        pi = self.steady_state(exact=exact)
+        zero = Fraction(0) if exact else 0.0
+        return sum((p for state, p in pi.items() if predicate(state)), zero)
+
+
+def _gauss_solve_inplace(a: list[list[Fraction]]) -> None:
+    """Solve the augmented rational system in place; result in column n."""
+    n = len(a)
+    for col in range(n):
+        pivot_row = next((r for r in range(col, n) if a[r][col] != 0), None)
+        if pivot_row is None:
+            raise ValueError("singular balance system (chain not irreducible?)")
+        a[col], a[pivot_row] = a[pivot_row], a[col]
+        pivot = a[col][col]
+        a[col] = [x / pivot for x in a[col]]
+        for r in range(n):
+            if r != col and a[r][col] != 0:
+                factor = a[r][col]
+                a[r] = [x - factor * y for x, y in zip(a[r], a[col])]
+
+
+def birth_death_steady_state(birth_rates: Iterable[Rate],
+                             death_rates: Iterable[Rate]) -> list[Fraction]:
+    """Closed-form steady state of a birth-death chain (validation aid).
+
+    ``birth_rates[k]`` is the rate from state k to k+1 and
+    ``death_rates[k]`` the rate from k+1 to k.  Returns exact
+    probabilities ``pi_0 .. pi_K``.
+    """
+    births = [Fraction(b) for b in birth_rates]
+    deaths = [Fraction(d) for d in death_rates]
+    if len(births) != len(deaths):
+        raise ValueError("need matching birth and death rate lists")
+    if any(d == 0 for d in deaths):
+        raise ValueError("death rates must be positive")
+    weights = [Fraction(1)]
+    for b, d in zip(births, deaths):
+        weights.append(weights[-1] * b / d)
+    total = sum(weights)
+    return [w / total for w in weights]

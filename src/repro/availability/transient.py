@@ -1,0 +1,172 @@
+"""Transient (hitting-time) analysis of the availability chains.
+
+Steady-state unavailability (Table 1) hides the *texture* of failures:
+how long does a freshly healthy system run before its first outage
+(MTTF), and how long does an outage last once it starts?  Both are
+first-passage times of the Figure 3 chain:
+
+* ``hitting_time`` solves ``Q_UU h = -1`` over the non-target states --
+  the standard CTMC expected-hitting-time system -- exactly (rational
+  arithmetic) or in floats;
+* :func:`dynamic_grid_mttf` is the hitting time of the stuck block from
+  the all-up state;
+* :func:`dynamic_grid_outage_duration` is the hitting time of the
+  available band from the stuck-entry state ``("U", min_epoch-1, 0)``
+  (the only way in, so no entry-distribution averaging is needed).
+
+A consistency identity ties the two back to Table 1 (renewal-reward over
+up/down cycles)::
+
+    unavailability = E[outage] / (E[up-time per cycle] + E[outage])
+
+where the up-time per cycle starts from the post-recovery re-entry
+distribution; the tests verify this exactly by computing that
+distribution from the chain.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable, Iterable, Union
+
+from repro.availability.chains.dynamic_grid import (
+    build_epoch_chain,
+    grid_min_epoch,
+)
+from repro.availability.markov import MarkovChain, _gauss_solve_inplace
+
+Number = Union[int, float, Fraction]
+State = Hashable
+
+
+def hitting_time(chain: MarkovChain, targets: Iterable[State],
+                 exact: bool = True) -> dict[State, Union[Fraction, float]]:
+    """Expected time to reach any target state, from every state.
+
+    Solves ``sum_d Q(s, d) * h(d) = -1`` for non-target s with h = 0 on
+    targets.  Requires the target set to be reachable from every state
+    (true for irreducible chains).
+    """
+    target_set = set(targets)
+    if not target_set:
+        raise ValueError("empty target set")
+    unknown = [s for s in chain.states if s not in target_set]
+    missing = target_set - set(chain.states)
+    if missing:
+        raise ValueError(f"targets not in chain: {missing}")
+    if not unknown:
+        return {s: Fraction(0) if exact else 0.0 for s in target_set}
+
+    index = {s: i for i, s in enumerate(unknown)}
+    n = len(unknown)
+    # augmented rational system: rows = equations for unknown states
+    a = [[Fraction(0)] * (n + 1) for _ in range(n)]
+    for i in range(n):
+        a[i][n] = Fraction(-1)
+    for (src, dst), rate in chain.transitions().items():
+        if src in target_set:
+            continue
+        i = index[src]
+        a[i][i] -= rate
+        if dst not in target_set:
+            a[i][index[dst]] += rate
+    _gauss_solve_inplace(a)
+    result: dict[State, Union[Fraction, float]] = {}
+    for s in target_set:
+        result[s] = Fraction(0) if exact else 0.0
+    for s, i in index.items():
+        result[s] = a[i][n] if exact else float(a[i][n])
+    return result
+
+
+def _stuck(state) -> bool:
+    return state[0] == "U"
+
+
+def dynamic_grid_mttf(n_nodes: int, lam: Number = 1, mu: Number = 19,
+                      exact: bool = True) -> Union[Fraction, float]:
+    """Expected time from all-up to the first stuck (unavailable) state."""
+    chain = build_epoch_chain(n_nodes, lam, mu, grid_min_epoch(n_nodes))
+    stuck = [s for s in chain.states if _stuck(s)]
+    times = hitting_time(chain, stuck, exact=exact)
+    return times[("A", n_nodes)]
+
+
+def dynamic_grid_outage_duration(n_nodes: int, lam: Number = 1,
+                                 mu: Number = 19,
+                                 exact: bool = True
+                                 ) -> Union[Fraction, float]:
+    """Expected duration of one outage (stuck period).
+
+    Outages always begin in ``("U", min_epoch-1, 0)``: in the available
+    state ``("A", min_epoch)`` every node outside the epoch is down (the
+    instantaneous epoch check absorbs any up node), so the fatal failure
+    leaves z = 0 up outsiders.  The entry state being unique, no
+    entry-distribution averaging is needed.
+    """
+    min_epoch = grid_min_epoch(n_nodes)
+    chain = build_epoch_chain(n_nodes, lam, mu, min_epoch)
+    available = [s for s in chain.states if not _stuck(s)]
+    times = hitting_time(chain, available, exact=exact)
+    return times[("U", min_epoch - 1, 0)]
+
+
+def cycle_unavailability(n_nodes: int, lam: Number = 1, mu: Number = 19
+                         ) -> Fraction:
+    """Unavailability via renewal-reward over up/down cycles (exact).
+
+    Must equal the steady-state answer; used as an independent check of
+    both the solver and the transient machinery.  The up-phase of a cycle
+    starts from the distribution over available states at outage exit,
+    which requires one pass of exit-probability bookkeeping.
+    """
+    min_epoch = grid_min_epoch(n_nodes)
+    chain = build_epoch_chain(n_nodes, lam, mu, min_epoch)
+    stuck = [s for s in chain.states if _stuck(s)]
+    entry = ("U", min_epoch - 1, 0)
+
+    down = hitting_time(chain, [s for s in chain.states if not _stuck(s)])
+    expected_down = down[entry]
+
+    exit_distribution = _exit_distribution(chain, entry)
+    up = hitting_time(chain, stuck)
+    expected_up = sum(probability * up[state]
+                      for state, probability in exit_distribution.items())
+    return expected_down / (expected_up + expected_down)
+
+
+def _exit_distribution(chain: MarkovChain, entry: State
+                       ) -> dict[State, Fraction]:
+    """P(first available state reached is a | start at *entry*).
+
+    Standard absorption probabilities of the embedded jump chain with the
+    available states made absorbing.
+    """
+    stuck = [s for s in chain.states if _stuck(s)]
+    index = {s: i for i, s in enumerate(stuck)}
+    n = len(stuck)
+    out_rates = {s: Fraction(0) for s in stuck}
+    for (src, _dst), rate in chain.transitions().items():
+        if src in index:
+            out_rates[src] += rate
+    available = [s for s in chain.states if not _stuck(s)]
+    result: dict[State, Fraction] = {}
+    for target in available:
+        # b(s) = P(absorbed at `target` | start s); solve linear system
+        a = [[Fraction(0)] * (n + 1) for _ in range(n)]
+        for i, s in enumerate(stuck):
+            a[i][i] = Fraction(-1)
+        for (src, dst), rate in chain.transitions().items():
+            if src not in index:
+                continue
+            i = index[src]
+            jump = rate / out_rates[src]
+            if dst in index:
+                a[i][index[dst]] += jump
+            elif dst == target:
+                a[i][n] -= jump
+        _gauss_solve_inplace(a)
+        probability = a[index[entry]][n]
+        if probability:
+            result[target] = probability
+    return result

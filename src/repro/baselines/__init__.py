@@ -1,0 +1,25 @@
+"""Baseline replica-control protocols.
+
+* :mod:`repro.baselines.static_protocol` -- the *static* quorum protocol
+  the paper improves on: a fixed coterie over all N replicas, total writes
+  (read a quorum, write the new value to a write quorum), no epochs.  With
+  a :class:`~repro.coteries.grid.GridCoterie` this is the grid protocol of
+  Cheung, Ammar & Ahamad (1990); with
+  :class:`~repro.coteries.majority.MajorityCoterie` it is Gifford voting;
+  with :class:`~repro.coteries.rowa.ReadOneWriteAllCoterie` it is
+  read-one/write-all.
+
+* :mod:`repro.baselines.dynamic_voting` -- dynamic-linear voting (Jajodia
+  & Mutchler 1990), the protocol whose availability the paper's epoch
+  mechanism matches for structured coteries.
+
+Both run on the same simulator substrate and reuse the core package's
+locking and presumed-abort 2PC, so comparisons (availability, message
+traffic, load) are apples to apples.
+"""
+
+from repro.baselines.static_protocol import StaticQuorumStore
+from repro.baselines.dynamic_voting import DynamicVotingStore
+from repro.baselines.witnesses import WitnessVotingStore
+
+__all__ = ["DynamicVotingStore", "StaticQuorumStore", "WitnessVotingStore"]

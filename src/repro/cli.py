@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``
+    Regenerate the paper's Table 1 (static vs dynamic grid
+    unavailability at a chosen p).
+``grid N``
+    Show ``DefineGrid(N)``: the layout, quorum sizes, and an example
+    read/write quorum.
+``availability``
+    Compare the analytic unavailability of every implemented protocol at
+    one (N, p) point.
+``simulate``
+    Monte Carlo availability of the exact dynamic epoch protocol under
+    the site model (optionally with a finite epoch-check period).
+``demo``
+    A short end-to-end scenario on the simulated cluster: writes, a
+    failure, an epoch change, healing, and a consistency check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from fractions import Fraction
+
+    from repro.availability.chains.dynamic_grid import (
+        dynamic_grid_unavailability,
+    )
+    from repro.availability.formulas import best_static_grid
+
+    p = args.p
+    ratio = Fraction(p).limit_denominator(10 ** 6)
+    mu_over_lam = ratio / (1 - ratio)
+    print(f"Write unavailability, p = {p} (mu/lam = {mu_over_lam})")
+    print(f"{'N':>3}  {'best dims':>9}  {'static':>12}  {'dynamic':>12}")
+    for n in args.sizes:
+        m, cols, avail = best_static_grid(n, p)
+        dynamic = dynamic_grid_unavailability(n, 1, mu_over_lam,
+                                              exact=not args.fast)
+        print(f"{n:>3}  {f'{m}x{cols}':>9}  {1 - avail:>12.6e}  "
+              f"{float(dynamic):>12.4e}")
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from repro.coteries.grid import GridCoterie, define_grid
+
+    shape = define_grid(args.n)
+    grid = GridCoterie([f"{k:3d}" for k in range(1, args.n + 1)],
+                       column_cover=args.cover)
+    print(f"DefineGrid({args.n}) = {shape.m} x {shape.n}, b = {shape.b}")
+    print(grid.layout())
+    print(f"read quorum size : {grid.min_read_quorum_size()}")
+    print(f"write quorum size: {grid.min_write_quorum_size()}")
+    print(f"example read quorum : "
+          f"{[name.strip() for name in grid.read_quorum('cli')]}")
+    print(f"example write quorum: "
+          f"{[name.strip() for name in grid.write_quorum('cli')]}")
+    return 0
+
+
+def _cmd_availability(args: argparse.Namespace) -> int:
+    from fractions import Fraction
+
+    from repro.availability.chains.dynamic_grid import (
+        dynamic_grid_read_unavailability,
+        dynamic_grid_unavailability,
+    )
+    from repro.availability.chains.dynamic_voting import (
+        dynamic_linear_voting_unavailability,
+        dynamic_voting_unavailability,
+    )
+    from repro.availability.formulas import (
+        best_static_grid,
+        majority_availability,
+        rowa_write_availability,
+    )
+
+    n, p = args.n, args.p
+    ratio = Fraction(p).limit_denominator(10 ** 6)
+    mu = ratio / (1 - ratio)
+    m, cols, grid_avail = best_static_grid(n, p)
+    rows = [
+        (f"static grid ({m}x{cols})", 1 - grid_avail),
+        ("static majority", 1 - majority_availability(n, p)),
+        ("static ROWA (writes)", 1 - rowa_write_availability(n, p)),
+        ("dynamic grid (writes)",
+         float(dynamic_grid_unavailability(n, 1, mu))),
+        ("dynamic grid (reads)",
+         float(dynamic_grid_read_unavailability(n, 1, mu))),
+        ("dynamic voting",
+         float(dynamic_voting_unavailability(n, 1, mu))),
+        ("dynamic-linear voting",
+         float(dynamic_linear_voting_unavailability(n, 1, mu))),
+    ]
+    print(f"Unavailability, N = {n}, p = {p}")
+    for label, value in rows:
+        print(f"  {label:<24} {value:.6e}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.availability.montecarlo import simulate_dynamic_availability
+
+    estimate = simulate_dynamic_availability(
+        args.n, args.lam, args.mu, args.horizon, seed=args.seed,
+        check_interval=args.check_interval, kind=args.kind)
+    print(f"N = {args.n}, lam = {args.lam}, mu = {args.mu} "
+          f"(p = {args.mu / (args.lam + args.mu):.3f}), "
+          f"horizon = {args.horizon:g}, kind = {args.kind}")
+    checks = ("instantaneous" if args.check_interval is None
+              else f"every {args.check_interval:g}")
+    print(f"epoch checks: {checks}")
+    print(estimate)
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core.store import ReplicatedStore
+
+    store = ReplicatedStore.create(args.n, seed=args.seed)
+    print(f"cluster of {args.n} replicas (seed {args.seed})")
+    result = store.write({"greeting": "hello"})
+    print(f"write v{result.version} via quorum {result.good}")
+    victim = store.node_names[-1]
+    store.crash(victim)
+    check = store.check_epoch()
+    print(f"crashed {victim}; epoch -> #{check.epoch_number} with "
+          f"{len(check.epoch_list)} members")
+    result = store.write({"greeting": "still here"})
+    print(f"write v{result.version} with {victim} down: ok={result.ok}")
+    store.recover(victim)
+    store.check_epoch()
+    store.settle()
+    read = store.read(via=victim)
+    print(f"read via recovered {victim}: {read.value}")
+    print(f"history verified: {store.verify()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic structured coterie protocols "
+                    "(Rabinovich & Lazowska, SIGMOD 1992)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1")
+    table1.add_argument("--p", type=float, default=0.95,
+                        help="per-node availability (default 0.95)")
+    table1.add_argument("--sizes", type=int, nargs="+",
+                        default=[9, 12, 15, 16, 20, 24, 30])
+    table1.add_argument("--fast", action="store_true",
+                        help="float solver instead of exact rationals")
+    table1.set_defaults(handler=_cmd_table1)
+
+    grid = sub.add_parser("grid", help="show DefineGrid(N)")
+    grid.add_argument("n", type=int)
+    grid.add_argument("--cover", choices=["physical", "full"],
+                      default="physical")
+    grid.set_defaults(handler=_cmd_grid)
+
+    availability = sub.add_parser(
+        "availability", help="compare protocols at one (N, p) point")
+    availability.add_argument("--n", type=int, default=9)
+    availability.add_argument("--p", type=float, default=0.95)
+    availability.set_defaults(handler=_cmd_availability)
+
+    simulate = sub.add_parser(
+        "simulate", help="Monte Carlo of the exact dynamic protocol")
+    simulate.add_argument("--n", type=int, default=9)
+    simulate.add_argument("--lam", type=float, default=1.0)
+    simulate.add_argument("--mu", type=float, default=4.0)
+    simulate.add_argument("--horizon", type=float, default=20000.0)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--check-interval", type=float, default=None)
+    simulate.add_argument("--kind", choices=["read", "write"],
+                          default="write")
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    demo = sub.add_parser("demo", help="end-to-end protocol scenario")
+    demo.add_argument("--n", type=int, default=9)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(handler=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early: not an error
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

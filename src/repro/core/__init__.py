@@ -1,0 +1,51 @@
+"""The paper's contribution: the general dynamic structured-coterie
+protocol with partial writes (Section 4) and its dynamic grid instance
+(Section 5).
+
+Modules
+-------
+``config``
+    Tunable timeouts and knobs (:class:`ProtocolConfig`).
+``messages``
+    Typed protocol messages: the state tuple replicas answer with, 2PC
+    commands, propagation payloads.
+``state``
+    The per-replica stable state: value, version number, desired version
+    number, stale flag, epoch list/number, update log.
+``replica``
+    The replica server: RPC handlers for write/read/epoch-check requests,
+    two-phase-commit participation, propagation source and target.
+``twophase``
+    Presumed-abort two-phase commit (coordinator side + termination).
+``coordinator``
+    The write and read coordinators (the appendix's ``Write`` /
+    ``HeavyProcedure`` and the analogous read).
+``propagation``
+    Asynchronous update propagation (the appendix's ``Propagate`` /
+    ``PropagateResponse``).
+``epoch``
+    Epoch checking (the appendix's ``CheckEpoch``) plus the bully election
+    of the checking initiator.
+``history``
+    Operation history recording and the one-copy serializability checker
+    used by the tests (Lemmas 1-3 as executable assertions).
+``store``
+    The public facade: build a replicated object on a simulated cluster
+    and run clients, faults, and epoch checking against it.
+"""
+
+from repro.core.config import ProtocolConfig
+from repro.core.history import History, check_one_copy_serializability
+from repro.core.messages import ReadResult, WriteResult
+from repro.core.multistore import MultiItemStore
+from repro.core.store import ReplicatedStore
+
+__all__ = [
+    "History",
+    "MultiItemStore",
+    "ProtocolConfig",
+    "ReadResult",
+    "ReplicatedStore",
+    "WriteResult",
+    "check_one_copy_serializability",
+]

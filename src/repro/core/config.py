@@ -1,0 +1,110 @@
+"""Protocol configuration.
+
+All timeouts are in simulated time units.  The defaults assume message
+latencies in the 0.001-0.01 range (the network default), so an RPC round
+trip is ~0.02 and the timeouts leave generous slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ProtocolConfig:
+    """Knobs for the dynamic coterie protocol."""
+
+    # RPC deadline; a missing answer becomes CALL_FAILED (paper Section 3).
+    rpc_timeout: float = 0.5
+
+    # How long a replica waits to acquire its local lock on behalf of a
+    # request before answering BUSY (deadlock resolution: the coordinator
+    # treats BUSY like a failure and may retry).
+    lock_wait: float = 1.5
+
+    # How long a replica keeps a lock granted to a write/epoch operation
+    # that has not yet progressed to 2PC prepare.  Protects against
+    # coordinators that crashed between polling and prepare.  Must exceed
+    # the coordinator's worst-case decision path: two full polls (fast +
+    # heavy, each lock_wait + rpc_timeout) plus the prepare round.
+    lock_lease: float = 8.0
+
+    # How long a prepared 2PC participant waits for the decision before
+    # starting the cooperative termination protocol.
+    prepared_wait: float = 2.0
+
+    # Backoff between termination-protocol rounds.
+    termination_retry: float = 1.0
+
+    # Pause before re-offering propagation to a target that answered
+    # "already-recovering" (the appendix's ``pause(some-time)``).
+    propagation_retry: float = 1.0
+
+    # Lease on a propagation permit: if the data transfer does not arrive
+    # in time, the target unlocks and clears its recovering bit.
+    propagation_lease: float = 4.0
+
+    # Period of the elected initiator's epoch checks.
+    epoch_check_interval: float = 30.0
+
+    # A node that has not seen an epoch check for this long starts an
+    # election (plus per-node jitter).
+    epoch_check_staleness: float = 75.0
+
+    # Bully election: how long to wait for higher-priority nodes.
+    election_timeout: float = 1.0
+
+    # Optional extension: coordinators that observe CALL_FAILED during an
+    # operation broadcast a suspicion, and the elected initiator runs an
+    # immediate (debounced) epoch check instead of waiting for the next
+    # periodic pulse.  Off by default (the paper's checker is periodic).
+    suspicion_triggers_check: bool = False
+
+    # Debounce window for suspicion-triggered checks.
+    suspicion_debounce: float = 2.0
+
+    # Coordinator-level retries after a no-quorum abort (lock contention
+    # shows up as BUSY answers, which look like missing quorum).  Retries
+    # use exponential backoff with deterministic per-operation jitter;
+    # this is the liveness half of the timeout-based deadlock resolution.
+    op_retries: int = 4
+    retry_backoff: float = 0.5
+
+    # Update-log capacity per replica; older entries are truncated and
+    # propagation falls back to full-value snapshots.
+    update_log_capacity: int = 64
+
+    # Optional safety threshold (Section 4.1's extension): when a write
+    # finds fewer than this many good replicas, it adds extra epoch
+    # members to the write set so a single failure cannot lose the only
+    # up-to-date copy.  0 disables the feature (the base protocol).
+    safety_threshold: int = 0
+
+    def validate(self) -> "ProtocolConfig":
+        """Check parameter sanity; returns self for chaining."""
+        positive = [
+            ("rpc_timeout", self.rpc_timeout),
+            ("lock_wait", self.lock_wait),
+            ("lock_lease", self.lock_lease),
+            ("prepared_wait", self.prepared_wait),
+            ("termination_retry", self.termination_retry),
+            ("propagation_retry", self.propagation_retry),
+            ("propagation_lease", self.propagation_lease),
+            ("epoch_check_interval", self.epoch_check_interval),
+            ("epoch_check_staleness", self.epoch_check_staleness),
+            ("election_timeout", self.election_timeout),
+        ]
+        for name, value in positive:
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.update_log_capacity < 0:
+            raise ValueError("update_log_capacity must be >= 0")
+        if self.op_retries < 0:
+            raise ValueError("op_retries must be >= 0")
+        if self.suspicion_debounce <= 0:
+            raise ValueError("suspicion_debounce must be positive")
+        if self.retry_backoff <= 0:
+            raise ValueError("retry_backoff must be positive")
+        if self.safety_threshold < 0:
+            raise ValueError("safety_threshold must be >= 0")
+        return self

@@ -1,0 +1,302 @@
+"""Write and read coordinators (the appendix's ``Write`` and
+``HeavyProcedure``, plus the analogous read).
+
+The coordinator is a replica node.  A **write**:
+
+1. picks a write quorum over *its* epoch list with the quorum function and
+   polls it (``write-request``; each replica locks and answers its state);
+2. takes the answered state with the maximum epoch number ``m``; if the
+   responders include a write quorum over ``elist_m`` and the responses
+   contain an up-to-date replica (``max_version >= max_dversion``), it
+   commits atomically: apply the partial update on the GOOD replicas
+   (non-stale, version = max_version) and mark the rest stale with desired
+   version ``max_version + 1``;
+3. otherwise falls back to ``HeavyProcedure``: poll *all* replicas and
+   retry the same decision once; abort if it still fails.
+
+A **read** is the same shape without updates: it needs a read quorum and a
+non-stale response at least as new as every desired version seen, and
+returns that replica's value.
+
+The Section 4.1 **safety-threshold extension** is implemented behind
+``config.safety_threshold``: when fewer than that many GOOD replicas were
+found, the coordinator adds additional known-good replicas (from the
+``last_good`` list recorded at the previous write) to the write set --
+without polling them first, exactly as the paper describes; their prepares
+validate that they are still current.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping, Optional
+
+from repro.core.messages import (
+    ApplyWrite,
+    MarkStale,
+    ReadResult,
+    StateResponse,
+    WriteResult,
+)
+from repro.core.replica import ReplicaServer
+from repro.core.twophase import gather, run_transaction
+from repro.coteries.base import _stable_hash
+from repro.sim.rpc import CALL_FAILED
+
+
+class Coordinator:
+    """Issues write and read operations from one replica node."""
+
+    def __init__(self, server: ReplicaServer,
+                 history: Optional["History"] = None):
+        self.server = server
+        self.history = history
+        self._op_ids = itertools.count(1)
+
+    @property
+    def name(self) -> str:
+        """The owning node's name."""
+        return self.server.name
+
+    def _new_op_id(self, kind: str) -> tuple[str, int]:
+        seq = next(self._op_ids)
+        return f"{self.name}:{kind}{seq}", seq
+
+    # -- write ----------------------------------------------------------------
+    def write(self, updates: dict):
+        """Generator (node process): perform one partial write.
+
+        A ``no-quorum`` outcome (which includes lock-contention BUSYs) is
+        retried with exponential backoff up to ``config.op_retries`` times;
+        each attempt re-picks its quorum, so retries also route around
+        freshly failed nodes.
+        """
+        record = self._start_record("write", f"{self.name}:w?",
+                                    updates=dict(updates))
+        result = yield from self._with_retries(
+            lambda: self._write_once(updates))
+        self._finish_record(record, result)
+        return result
+
+    def _write_once(self, updates: dict):
+        server = self.server
+        op_id, seq = self._new_op_id("w")
+
+        elist = server.state.epoch_list
+        coterie = server.coterie_for(elist)
+        quorum = coterie.write_quorum(salt=self.name, attempt=seq)
+        # polls may wait up to lock_wait at the replica before answering
+        # BUSY, so their RPC deadline must cover that plus network slack
+        poll_timeout = server.config.lock_wait + server.config.rpc_timeout
+        responses = yield gather(
+            server.rpc, {dst: ("write-request", op_id) for dst in quorum},
+            timeout=poll_timeout)
+        polled = set(quorum)
+
+        self._raise_suspicion(responses)
+        result = yield from self._try_write(responses, updates, op_id,
+                                            case="fast")
+        if result is None:
+            # HeavyProcedure: poll everyone (re-polls are answered from the
+            # locks already held by this op).
+            responses = yield gather(
+                server.rpc,
+                {dst: ("write-request", op_id)
+                 for dst in server.all_nodes},
+                timeout=poll_timeout)
+            polled |= set(server.all_nodes)
+            result = yield from self._try_write(responses, updates, op_id,
+                                                case="heavy")
+        if result is None:
+            yield from self._release(polled, op_id)
+            result = WriteResult(False, case="no-quorum", op_id=op_id)
+        return result
+
+    def _try_write(self, responses, updates: dict, op_id: str, case: str):
+        """Generator: one decision + commit attempt; None means fall through
+        to the heavy procedure (or to the final abort)."""
+        server = self.server
+        states = _state_responses(responses)
+        decision = _decide(server.coterie_for, states, kind="write")
+        if decision is None:
+            return None
+        max_version, good, stale = decision
+
+        good_nodes = tuple(sorted(good))
+        stale_nodes = tuple(sorted(stale))
+        extras = self._safety_extras(states, max_version,
+                                     good_nodes, stale_nodes)
+        commands: dict = {}
+        expected: dict = {}
+        for node in good_nodes:
+            commands[node] = ApplyWrite(dict(updates), max_version + 1,
+                                        stale_nodes,
+                                        good_nodes + tuple(extras))
+        for node in stale_nodes:
+            commands[node] = MarkStale(max_version + 1,
+                                       good_nodes + tuple(extras))
+        for node in extras:
+            commands[node] = ApplyWrite(dict(updates), max_version + 1,
+                                        stale_nodes,
+                                        good_nodes + tuple(extras))
+            expected[node] = {"version": max_version, "stale": False}
+
+        committed = yield from run_transaction(server, commands, op_id,
+                                               expected=expected)
+        if not committed:
+            if extras:
+                # retry once without the unpolled extras before going heavy
+                commands = {n: c for n, c in commands.items()
+                            if n not in extras}
+                committed = yield from run_transaction(server, commands,
+                                                       op_id)
+            if not committed:
+                return None
+        return WriteResult(True, version=max_version + 1, good=good_nodes,
+                           stale=stale_nodes, case=case, op_id=op_id)
+
+    def _safety_extras(self, states: Mapping[str, StateResponse],
+                       max_version: int, good_nodes: tuple,
+                       stale_nodes: tuple) -> list[str]:
+        threshold = self.server.config.safety_threshold
+        if not threshold or len(good_nodes) >= threshold:
+            return []
+        recorded = None
+        for name in good_nodes:
+            last_good = states[name].last_good
+            if last_good and last_good[0] == max_version:
+                recorded = last_good[1]
+                break
+        if not recorded:
+            return []
+        candidates = [name for name in recorded
+                      if name not in good_nodes and name not in stale_nodes]
+        return candidates[:threshold - len(good_nodes)]
+
+    # -- read ------------------------------------------------------------------
+    def read(self):
+        """Generator (node process): perform one read (with retries, like
+        :meth:`write`)."""
+        record = self._start_record("read", f"{self.name}:r?")
+        result = yield from self._with_retries(lambda: self._read_once())
+        self._finish_record(record, result)
+        return result
+
+    def _read_once(self):
+        server = self.server
+        op_id, seq = self._new_op_id("r")
+
+        elist = server.state.epoch_list
+        coterie = server.coterie_for(elist)
+        quorum = coterie.read_quorum(salt=self.name, attempt=seq)
+        poll_timeout = server.config.lock_wait + server.config.rpc_timeout
+        responses = yield gather(
+            server.rpc, {dst: ("read-request", op_id) for dst in quorum},
+            timeout=poll_timeout)
+        self._raise_suspicion(responses)
+        result = self._try_read(responses, op_id, case="fast")
+        if result is None:
+            responses = yield gather(
+                server.rpc,
+                {dst: ("read-request", op_id) for dst in server.all_nodes},
+                timeout=poll_timeout)
+            result = self._try_read(responses, op_id, case="heavy")
+        if result is None:
+            result = ReadResult(False, case="no-quorum", op_id=op_id)
+        return result
+
+    def _try_read(self, responses, op_id: str, case: str):
+        states = _state_responses(responses)
+        decision = _decide(self.server.coterie_for, states, kind="read")
+        if decision is None:
+            return None
+        max_version, good, _stale = decision
+        winner = states[sorted(good)[0]]
+        return ReadResult(True, value=winner.value, version=max_version,
+                          case=case, op_id=op_id)
+
+    # -- helpers ------------------------------------------------------------------
+    def _raise_suspicion(self, responses) -> None:
+        """Fire-and-forget suspicion broadcast (optional extension).
+
+        When enabled, any CALL_FAILED seen while polling makes the
+        elected initiator run an immediate, debounced epoch check instead
+        of waiting for the periodic pulse.
+        """
+        server = self.server
+        if not server.config.suspicion_triggers_check:
+            return
+        failed = tuple(sorted(dst for dst, response in responses.items()
+                              if response is CALL_FAILED))
+        if not failed:
+            return
+        for dst in server.all_nodes:
+            if dst not in failed:
+                server.rpc.call(dst, "suspect", failed,
+                                timeout=server.config.rpc_timeout)
+
+    def _with_retries(self, attempt_factory):
+        """Generator: run an operation attempt, retrying no-quorum aborts
+        with exponential backoff and deterministic jitter."""
+        config = self.server.config
+        result = yield from attempt_factory()
+        for attempt in range(config.op_retries):
+            if result.ok or result.case != "no-quorum":
+                break
+            jitter = 0.5 + (_stable_hash(f"{result.op_id}|{attempt}")
+                            % 1000) / 1000.0
+            yield self.server.env.timeout(
+                config.retry_backoff * (2 ** attempt) * jitter)
+            result = yield from attempt_factory()
+        return result
+
+    def _release(self, polled: Iterable[str], op_id: str):
+        yield gather(self.server.rpc,
+                     {dst: ("op-release", op_id) for dst in polled},
+                     timeout=self.server.config.rpc_timeout)
+
+    def _start_record(self, kind: str, op_id: str, **extra):
+        if self.history is None:
+            return None
+        return self.history.start(kind, op_id, self.name,
+                                  self.server.env.now, **extra)
+
+    def _finish_record(self, record, result) -> None:
+        if record is not None:
+            record.op_id = result.op_id or record.op_id
+            self.history.finish(record, self.server.env.now, result)
+
+
+def _state_responses(responses) -> dict[str, StateResponse]:
+    """Filter a gather() result down to real state answers."""
+    return {name: resp for name, resp in responses.items()
+            if isinstance(resp, StateResponse)}
+
+
+def _decide(coterie_rule, states: Mapping[str, StateResponse], kind: str):
+    """The core decision shared by writes, reads, and epoch checking.
+
+    Returns ``(max_version, good, stale)`` over the responders, or None if
+    no quorum over the maximum epoch seen, or no sufficiently recent
+    non-stale replica answered.
+    """
+    if not states:
+        return None
+    newest = max(states.values(), key=lambda r: r.enumber)
+    coterie = coterie_rule(newest.elist)
+    responders = set(states)
+    has_quorum = (coterie.is_write_quorum(responders) if kind == "write"
+                  else coterie.is_read_quorum(responders))
+    if not has_quorum:
+        return None
+    non_stale = [r for r in states.values() if not r.stale]
+    stale = [r for r in states.values() if r.stale]
+    if not non_stale:
+        return None
+    max_version = max(r.version for r in non_stale)
+    max_dversion = max((r.dversion for r in stale), default=-1)
+    if max_dversion > max_version:
+        return None  # no current replica among the responders
+    good = {r.node for r in non_stale if r.version == max_version}
+    stale_set = responders - good
+    return max_version, good, stale_set

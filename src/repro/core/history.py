@@ -1,0 +1,224 @@
+"""Operation histories and the one-copy serializability checker.
+
+The paper's correctness criterion (Section 3): the concurrent execution of
+operations on replicated data must be equivalent to a serial execution on
+non-replicated data, which for partial writes means (a) no two writes (or
+a read and a write) execute concurrently, and (b) writes apply to, and
+reads return, the most recent version.
+
+The checker turns that into executable assertions over a recorded history:
+
+1. **Unique versions** -- committed writes carry distinct version numbers
+   (Lemma 2: writes serialize, each bumps the version by one).
+2. **Real-time order** -- if write A finished before write B started, A's
+   version is smaller (the serialization respects real time).
+3. **Read values** -- every successful read returns exactly the state
+   produced by replaying committed writes in version order up to the
+   read's version, and that version is bounded below by every write that
+   completed before the read started, and above by the writes that started
+   before the read finished (linearizability at operation granularity).
+4. **Epoch uniqueness** (Lemma 1) -- checked separately from replica
+   states: two replicas with the same epoch number must have identical
+   epoch lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+
+class ConsistencyError(AssertionError):
+    """Raised when a history violates one-copy serializability."""
+
+
+@dataclass
+class OpRecord:
+    """One client-visible operation."""
+
+    kind: str                 # "read" | "write"
+    op_id: str
+    coordinator: str
+    start: float
+    end: Optional[float] = None
+    ok: Optional[bool] = None
+    version: Optional[int] = None
+    updates: Optional[dict] = None   # writes
+    value: Any = None                # reads
+    case: str = ""
+
+    @property
+    def completed(self) -> bool:
+        """True once the operation has finished (ok or not)."""
+        return self.end is not None
+
+
+class History:
+    """Append-only record of operations and epoch checks."""
+
+    def __init__(self):
+        self.operations: list[OpRecord] = []
+        self.epoch_checks: list[tuple[float, str, Any]] = []
+
+    def start(self, kind: str, op_id: str, coordinator: str,
+              time: float, updates: Optional[dict] = None) -> OpRecord:
+        """Begin recording an operation; returns its record."""
+        record = OpRecord(kind=kind, op_id=op_id, coordinator=coordinator,
+                          start=time, updates=updates)
+        self.operations.append(record)
+        return record
+
+    def finish(self, record: OpRecord, time: float, result) -> None:
+        """Complete an operation record with its outcome."""
+        record.end = time
+        record.ok = bool(result.ok)
+        record.case = result.case
+        record.version = result.version
+        if record.kind == "read":
+            record.value = result.value
+
+    def record_epoch_check(self, time: float, initiator: str,
+                           result) -> None:
+        """Record the outcome of one epoch-checking operation."""
+        self.epoch_checks.append((time, initiator, result))
+
+    # -- views ----------------------------------------------------------------
+    def committed_writes(self) -> list[OpRecord]:
+        """Committed writes, sorted by version."""
+        return sorted((op for op in self.operations
+                       if op.kind == "write" and op.ok),
+                      key=lambda op: op.version)
+
+    def successful_reads(self) -> list[OpRecord]:
+        """Reads that completed successfully."""
+        return [op for op in self.operations if op.kind == "read" and op.ok]
+
+    def failed_operations(self) -> list[OpRecord]:
+        """Operations that completed unsuccessfully."""
+        return [op for op in self.operations
+                if op.completed and not op.ok]
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+
+def replay(writes: Iterable[OpRecord], up_to_version: int,
+           initial_value: Optional[dict] = None) -> dict:
+    """The one-copy state after the writes with version <= up_to_version."""
+    state = dict(initial_value or {})
+    for write in writes:
+        if write.version <= up_to_version:
+            state.update(write.updates)
+    return state
+
+
+def check_one_copy_serializability(history: History,
+                                   initial_value: Optional[dict] = None,
+                                   ) -> dict:
+    """Assert the history is one-copy serializable; returns statistics.
+
+    Raises :class:`ConsistencyError` with a concrete witness otherwise.
+    """
+    writes = history.committed_writes()
+
+    # 1. unique, positive versions
+    versions = [w.version for w in writes]
+    if len(set(versions)) != len(versions):
+        dupes = sorted(v for v in set(versions) if versions.count(v) > 1)
+        raise ConsistencyError(f"duplicate write versions: {dupes}")
+    if any(v is None or v < 1 for v in versions):
+        raise ConsistencyError(f"bad write versions: {versions}")
+
+    # 2. the version order must extend the real-time order
+    by_version = writes  # already sorted by version
+    for earlier, later in zip(by_version, by_version[1:]):
+        if later.end is not None and earlier.start is not None:
+            if later.end < earlier.start:
+                raise ConsistencyError(
+                    f"write {later.op_id} (v{later.version}) finished at "
+                    f"{later.end} before write {earlier.op_id} "
+                    f"(v{earlier.version}) started at {earlier.start}")
+
+    # 3. every read returns a legal, fresh-enough prefix state
+    for read in history.successful_reads():
+        version = read.version
+        if version is None or version < 0:
+            raise ConsistencyError(f"read {read.op_id} has no version")
+        expected = replay(writes, version, initial_value)
+        if read.value != expected:
+            raise ConsistencyError(
+                f"read {read.op_id} at v{version} returned {read.value!r}, "
+                f"replay gives {expected!r}")
+        must_include = max((w.version for w in writes
+                            if w.end is not None and w.end <= read.start),
+                           default=0)
+        if version < must_include:
+            raise ConsistencyError(
+                f"stale read {read.op_id}: returned v{version} but "
+                f"v{must_include} committed before it started")
+        may_include = max((w.version for w in writes
+                           if w.start <= (read.end or float("inf"))),
+                          default=0)
+        if version > may_include:
+            raise ConsistencyError(
+                f"read {read.op_id} returned v{version} from the future "
+                f"(latest overlapping write is v{may_include})")
+
+    return {
+        "writes": len(writes),
+        "reads": len(history.successful_reads()),
+        "failed": len(history.failed_operations()),
+        "max_version": versions[-1] if versions else 0,
+    }
+
+
+def check_epoch_lineage(servers, coterie_rule, initial_epoch) -> None:
+    """Lemma 1's inductive step, audited from durable epoch history.
+
+    Every installed epoch must (a) be unique per number across all
+    replicas and (b) contain a write quorum of its predecessor epoch --
+    the condition the epoch-checking operation enforces online.  Raises
+    :class:`ConsistencyError` with a witness otherwise.
+    """
+    lineage: dict[int, tuple] = {0: tuple(initial_epoch)}
+    for server in servers:
+        for number, members in server.node.stable.get("epoch_history",
+                                                      {}).items():
+            members = tuple(members)
+            if number in lineage and lineage[number] != members:
+                raise ConsistencyError(
+                    f"epoch {number} installed with two member lists: "
+                    f"{lineage[number]} vs {members}")
+            lineage[number] = members
+    for number in sorted(lineage):
+        if number == 0:
+            continue
+        if number - 1 not in lineage:
+            continue  # predecessor never observed (node-local gaps are
+            # possible when a replica missed intermediate epochs)
+        previous = lineage[number - 1]
+        coterie = coterie_rule(tuple(sorted(previous)))
+        if not coterie.is_write_quorum(set(lineage[number])):
+            raise ConsistencyError(
+                f"epoch {number} = {lineage[number]} does not contain a "
+                f"write quorum of epoch {number - 1} = {previous}")
+
+
+def check_epoch_uniqueness(servers) -> None:
+    """Lemma 1's invariant over live replica states: equal epoch numbers
+    imply equal epoch lists (and membership)."""
+    seen: dict[int, tuple] = {}
+    for server in servers:
+        state = server.state
+        elist = tuple(state.epoch_list)
+        if state.epoch_number in seen:
+            if seen[state.epoch_number] != elist:
+                raise ConsistencyError(
+                    f"epoch {state.epoch_number} has two lists: "
+                    f"{seen[state.epoch_number]} vs {elist}")
+        else:
+            seen[state.epoch_number] = elist
+        if server.name not in elist:
+            raise ConsistencyError(
+                f"{server.name} stores epoch {state.epoch_number} "
+                f"but is not a member of {elist}")

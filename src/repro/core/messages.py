@@ -1,0 +1,195 @@
+"""Typed protocol messages and operation results.
+
+The central message is :class:`StateResponse` -- the tuple
+``(node, version, dversion, stale, elist, enumber)`` every replica answers
+polls with (paper appendix).  Reads additionally carry the replica's value.
+
+``BUSY`` is this implementation's deadlock-resolution addition: a replica
+that cannot acquire its local lock within ``ProtocolConfig.lock_wait``
+answers BUSY instead of blocking forever; coordinators treat it like a
+failed call.  (The paper defers deadlock handling to Bernstein et al.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class _Busy:
+    """Singleton reply from a replica whose lock could not be acquired."""
+
+    _instance: Optional["_Busy"] = None
+
+    def __new__(cls) -> "_Busy":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "BUSY"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+BUSY = _Busy()
+
+
+@dataclass(frozen=True)
+class StateResponse:
+    """A replica's answer to write/read/epoch-checking polls."""
+
+    node: str
+    version: int
+    dversion: int
+    stale: bool
+    elist: tuple[str, ...]
+    enumber: int
+    value: Any = None          # populated for read polls only
+    # (version, good list) recorded by the last write this replica took
+    # part in; used by the safety-threshold extension (Section 4.1).
+    last_good: Any = None
+    # protocol-specific metadata, e.g. dynamic voting's (SC, DS) pair
+    meta: Any = None
+
+    def snapshot(self) -> tuple:
+        """The comparable part, used to validate 2PC prepares against the
+        state the coordinator based its decision on."""
+        return (self.version, self.dversion, self.stale, self.enumber)
+
+
+# -- two-phase-commit commands ------------------------------------------------
+
+@dataclass(frozen=True)
+class ApplyWrite:
+    """Commit action for a GOOD replica: apply the partial update, bump the
+    version to ``new_version``, and start propagating to ``stale_nodes``.
+
+    ``good_nodes`` is the list of up-to-date replicas after this write; it
+    is recorded durably on every participant so that a later coordinator
+    can apply the Section 4.1 safety-threshold extension.
+    """
+
+    updates: dict
+    new_version: int
+    stale_nodes: tuple[str, ...]
+    good_nodes: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class MarkStale:
+    """Commit action for a replica being marked stale."""
+
+    dversion: int
+    good_nodes: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ReplaceValue:
+    """Commit action for *total* writes (baseline protocols): replace the
+    whole value at ``new_version`` regardless of the replica's currency.
+
+    ``meta`` optionally carries protocol metadata to store alongside, e.g.
+    dynamic voting's (update-sites cardinality, distinguished site).
+    """
+
+    value: dict
+    new_version: int
+    meta: Any = None
+
+
+@dataclass(frozen=True)
+class InstallEpoch:
+    """Commit action installing a new epoch (the ``new-epoch`` message)."""
+
+    epoch_list: tuple[str, ...]
+    epoch_number: int
+    good: tuple[str, ...]
+    stale: tuple[str, ...]
+    max_version: int
+
+
+Command = Any  # ApplyWrite | MarkStale | InstallEpoch
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Phase-1 message of the presumed-abort 2PC."""
+
+    txn_id: str
+    coordinator: str
+    participants: tuple[str, ...]
+    op_id: str
+    command: Command
+    expected_snapshot: Optional[tuple] = None
+
+
+# -- propagation ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PropagationOffer:
+    """``propagation-offer`` carrying the source's version number."""
+
+    source: str
+    version: int
+
+
+@dataclass(frozen=True)
+class PropagationData:
+    """The actual catch-up payload.
+
+    Either a contiguous slice of the source's update log covering
+    ``(target_version, source_version]``, or a full snapshot when the log
+    has been truncated too far.
+    """
+
+    source_version: int
+    log: Optional[tuple[tuple[int, dict], ...]] = None
+    snapshot: Optional[dict] = None
+
+
+# -- operation results ----------------------------------------------------------
+
+@dataclass
+class WriteResult:
+    """Outcome of a write operation."""
+
+    ok: bool
+    version: Optional[int] = None
+    good: tuple[str, ...] = ()
+    stale: tuple[str, ...] = ()
+    case: str = ""            # "fast" | "heavy" | failure reason
+    op_id: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+@dataclass
+class ReadResult:
+    """Outcome of a read operation."""
+
+    ok: bool
+    value: Any = None
+    version: Optional[int] = None
+    case: str = ""
+    op_id: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+@dataclass
+class EpochCheckResult:
+    """Outcome of one epoch-checking operation."""
+
+    ok: bool
+    changed: bool = False
+    epoch_list: tuple[str, ...] = ()
+    epoch_number: Optional[int] = None
+    reason: str = ""
+    stale: tuple[str, ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:
+        return self.ok

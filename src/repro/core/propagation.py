@@ -1,0 +1,88 @@
+"""Asynchronous update propagation (the appendix's ``Propagate``).
+
+A node that learns of stale replicas (via a ``do-update`` it executed, or
+via an epoch installation in which it is GOOD) runs :func:`propagate`:
+offer its version to each stale node, and on ``propagation-permitted``
+ship the missing updates.  Propagation transfers either a contiguous slice
+of the source's update log -- the partial-write payoff: only the deltas
+move -- or a full snapshot when the log has been truncated.
+
+The target-side logic (``PropagateResponse``) lives in
+:mod:`repro.core.replica`.
+"""
+
+from __future__ import annotations
+
+from repro.core.messages import PropagationData, PropagationOffer
+from repro.sim.rpc import CALL_FAILED
+
+# Give up on a target after this many consecutive failed contact attempts;
+# the epoch-checking machinery will re-mark it stale if it matters later.
+MAX_FAILED_ROUNDS = 5
+
+
+def propagate(server, stale_nodes):
+    """Generator (node process): bring ``stale_nodes`` up to date."""
+    env = server.env
+    rpc = server.rpc
+    config = server.config
+    pending = {name: 0 for name in stale_nodes if name != server.name}
+
+    while pending:
+        if server.state.stale or not server.node.up:
+            return  # no longer a valid source
+        for target in sorted(pending):
+            my_version = server.state.version
+            offer = PropagationOffer(source=server.name, version=my_version)
+            response = yield rpc.call(target, "propagation-offer", offer,
+                                      timeout=config.rpc_timeout)
+            if response is CALL_FAILED:
+                pending[target] += 1
+                if pending[target] >= MAX_FAILED_ROUNDS:
+                    server._trace("propagation-gave-up", target=target)
+                    del pending[target]
+                continue
+            if response == "i-am-current":
+                del pending[target]
+                continue
+            if response == "already-recovering":
+                pending[target] = 0
+                continue  # the appendix's pause-and-reoffer
+            if (isinstance(response, tuple)
+                    and response[0] == "propagation-permitted"):
+                target_version = response[1]
+                done = yield from _ship(server, target, target_version)
+                if done:
+                    del pending[target]
+                else:
+                    pending[target] = 0
+        if pending:
+            yield env.timeout(config.propagation_retry)
+
+
+def _ship(server, target: str, target_version: int):
+    """Generator: send the catch-up payload.
+
+    The appendix locks the source replica here and notes that "various
+    logging techniques can be employed to avoid using the same lock for
+    propagation and write operations".  We use exactly such a technique:
+    replica states are immutable snapshots, so the payload is built from a
+    consistent version without touching the lock -- propagation never
+    blocks writes at the source, and (crucially) never holds the target's
+    permit while queueing behind a writer.
+    """
+    state = server.state
+    if state.stale:
+        return False  # lost currency since the offer
+    log = state.log_slice(target_version)
+    if log is not None:
+        data = PropagationData(source_version=state.version, log=log)
+    else:
+        data = PropagationData(source_version=state.version,
+                               snapshot=dict(state.value))
+    result = yield server.rpc.call(target, "propagation-data", data,
+                                   timeout=server.config.rpc_timeout)
+    server._trace("propagation-shipped", target=target,
+                  result=repr(result),
+                  payload="log" if log is not None else "snapshot")
+    return result == "done"

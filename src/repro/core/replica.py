@@ -1,0 +1,442 @@
+"""The replica server: every RPC handler a replica node runs.
+
+One :class:`ReplicaServer` is attached to each :class:`~repro.sim.node.Node`
+that stores a copy of the data item.  It owns:
+
+* the durable :class:`~repro.core.state.ReplicaState` (in stable storage);
+* the replica lock (shared for reads and propagation sources, exclusive
+  for writes, stale-marking, epoch installation, and propagation targets);
+* the participant side of the presumed-abort two-phase commit, including
+  crash recovery of prepared transactions and cooperative termination;
+* the propagation target role (``PropagateResponse`` in the appendix).
+
+Deadlock handling (the paper defers to Bernstein et al.): a replica that
+cannot acquire its lock within ``config.lock_wait`` answers ``BUSY``; the
+coordinator treats BUSY like a failed call, so conflicting coordinators
+time out and retry rather than deadlock.  A lock granted to a poll that
+never progresses to 2PC (coordinator crashed) is reclaimed after
+``config.lock_lease``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Optional
+
+from repro.coteries.base import CoterieRule
+from repro.core.config import ProtocolConfig
+from repro.core.messages import (
+    BUSY,
+    ApplyWrite,
+    InstallEpoch,
+    MarkStale,
+    Prepare,
+    PropagationData,
+    PropagationOffer,
+    ReplaceValue,
+    StateResponse,
+)
+from repro.core.state import ReplicaState, initial_state
+from repro.sim.node import Node
+from repro.sim.rpc import CALL_FAILED, RpcLayer
+
+
+class ReplicaServer:
+    """Protocol endpoint for one replica of the data item."""
+
+    def __init__(self, node: Node, rpc: RpcLayer,
+                 coterie_rule: CoterieRule,
+                 all_nodes: tuple[str, ...],
+                 config: Optional[ProtocolConfig] = None,
+                 initial_value: Optional[dict] = None):
+        self.node = node
+        self.rpc = rpc
+        self.env = node.env
+        self.coterie_rule = coterie_rule
+        self.all_nodes = tuple(sorted(all_nodes))
+        self.config = (config or ProtocolConfig()).validate()
+        self.lock = node.make_lock("replica")
+        node.stable["replica"] = initial_state(self.all_nodes, initial_value)
+        node.stable.setdefault("prepared", {})       # txn_id -> Prepare
+        node.stable.setdefault("txn_outcomes", {})   # txn_id -> outcome
+        node.stable.setdefault("coord_committed", set())
+        node.stable.setdefault("last_good", None)    # (version, good tuple)
+        self._txn_ids = itertools.count(1)
+        self._coterie_cache: dict[tuple, Any] = {}
+        node.add_recover_hook(self._on_recover)
+
+        serve = rpc.serve
+        serve("write-request", self._on_write_request)
+        serve("read-request", self._on_read_request)
+        serve("epoch-check-request", self._on_epoch_check_request)
+        serve("op-release", self._on_op_release)
+        serve("txn-prepare", self._on_prepare)
+        serve("txn-commit", self._on_commit)
+        serve("txn-abort", self._on_abort)
+        serve("txn-status", self._on_txn_status)
+        serve("txn-status-peer", self._on_txn_status_peer)
+        serve("propagation-offer", self._on_propagation_offer)
+        serve("propagation-data", self._on_propagation_data)
+
+    # -- state access ----------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The owning node's name."""
+        return self.node.name
+
+    @property
+    def state(self) -> ReplicaState:
+        """The durable replica state (stable storage)."""
+        return self.node.stable["replica"]
+
+    @state.setter
+    def state(self, new_state: ReplicaState) -> None:
+        # Replacing the whole object models an atomic stable-storage write.
+        """The durable replica state (stable storage)."""
+        self.node.stable["replica"] = new_state
+
+
+    def _response(self, include_value: bool = False) -> StateResponse:
+        response = self.state.response(self.name, include_value=include_value)
+        return dataclasses.replace(
+            response,
+            last_good=self.node.stable["last_good"],
+            meta=self.node.stable.get("proto_meta"))
+
+    def new_txn_id(self) -> str:
+        """A fresh transaction identifier for this coordinator."""
+        return f"{self.name}:txn{next(self._txn_ids)}"
+
+    def coterie_for(self, epoch_list) -> Any:
+        """The coterie over one epoch list, memoized.
+
+        Coterie rules are deterministic functions of the ordered list, so
+        caching is safe; it saves rebuilding the grid on every operation.
+        """
+        key = tuple(epoch_list)
+        coterie = self._coterie_cache.get(key)
+        if coterie is None:
+            coterie = self.coterie_rule(key)
+            if len(self._coterie_cache) > 64:
+                self._coterie_cache.clear()
+            self._coterie_cache[key] = coterie
+        return coterie
+
+    def _trace(self, kind: str, **detail: Any) -> None:
+        self.node.trace.record(self.env.now, kind, self.name, **detail)
+
+    # -- volatile bookkeeping ----------------------------------------------------
+    @property
+    def _op_locks(self) -> dict:
+        return self.node.volatile.setdefault("op_locks", {})
+
+    @property
+    def _prepared_ops(self) -> set:
+        return self.node.volatile.setdefault("prepared_ops", set())
+
+    # -- lock helpers --------------------------------------------------------------
+    def _acquire(self, owner: str, shared: bool = False,
+                 wait: Optional[float] = None):
+        """Generator: try to acquire the replica lock; returns bool."""
+        grant = self.lock.acquire(owner, shared=shared)
+        timer = self.env.timeout(wait if wait is not None
+                                 else self.config.lock_wait)
+        yield self.env.any_of([grant, timer])
+        if grant.triggered:
+            return True
+        self.lock.cancel(owner)
+        return False
+
+    def _release_op(self, op_id: str) -> None:
+        self.lock.release(op_id)
+        self._op_locks.pop(op_id, None)
+        self._prepared_ops.discard(op_id)
+
+    def _lease_watchdog(self, op_id: str):
+        """Reclaim a poll-granted lock whose coordinator went silent."""
+        yield self.env.timeout(self.config.lock_lease)
+        if op_id in self._op_locks and op_id not in self._prepared_ops:
+            self._trace("lock-lease-expired", op_id=op_id)
+            self._release_op(op_id)
+
+    # -- poll handlers ------------------------------------------------------------
+    def _on_write_request(self, src: str, args):
+        op_id = args
+        def handle():
+            if op_id in self._op_locks:
+                # Heavy-procedure re-poll from the same operation.
+                return self._response()
+            acquiring = self.node.volatile.setdefault("op_acquiring", set())
+            if op_id in acquiring:
+                # a duplicate poll while the first is still queued for the
+                # lock (possible when lock_wait exceeds the poll window in
+                # custom configs): answer BUSY instead of double-queueing
+                return BUSY
+            acquiring.add(op_id)
+            try:
+                ok = yield from self._acquire(op_id)
+            finally:
+                self.node.volatile.setdefault("op_acquiring",
+                                              set()).discard(op_id)
+            if not ok:
+                return BUSY
+            self._op_locks[op_id] = True
+            self.node.spawn(self._lease_watchdog(op_id),
+                            name=f"lease-{op_id}")
+            return self._response()
+        return handle()
+
+    def _on_read_request(self, src: str, args):
+        op_id = args
+        def handle():
+            ok = yield from self._acquire(op_id, shared=True)
+            if not ok:
+                return BUSY
+            response = self._response(include_value=True)
+            self.lock.release(op_id)
+            return response
+        return handle()
+
+    def _on_epoch_check_request(self, src: str, args) -> StateResponse:
+        # No lock: epoch checking must not interfere with reads and writes
+        # in the absence of failures (paper Section 4.3).  The subsequent
+        # install transaction locks and re-validates this snapshot.
+        self.node.volatile["last_epoch_check_seen"] = self.env.now
+        return self._response()
+
+    def _on_op_release(self, src: str, op_id: str) -> str:
+        if op_id in self._op_locks and op_id not in self._prepared_ops:
+            self._release_op(op_id)
+        return "ok"
+
+    # -- two-phase commit: participant side ------------------------------------
+    def _snapshot_matches(self, expected: Optional[dict]) -> bool:
+        if expected is None:
+            return True
+        state = self.state
+        actual = {"version": state.version, "dversion": state.dversion,
+                  "stale": state.stale, "enumber": state.epoch_number}
+        return all(actual.get(key) == value for key, value in expected.items())
+
+    def _on_prepare(self, src: str, prepare: Prepare):
+        def handle():
+            if prepare.op_id in self._op_locks:
+                if not self._snapshot_matches(prepare.expected_snapshot):
+                    return "no"
+            else:
+                # Not pre-locked (epoch install, or a safety-threshold
+                # extra): acquire now and validate the expected snapshot.
+                if prepare.expected_snapshot is None:
+                    return "no"   # poll lock lease expired
+                ok = yield from self._acquire(prepare.op_id)
+                if not ok:
+                    return "no"
+                self._op_locks[prepare.op_id] = True
+                if not self._snapshot_matches(prepare.expected_snapshot):
+                    self._release_op(prepare.op_id)
+                    return "no"
+            self.node.stable["prepared"][prepare.txn_id] = prepare
+            self._prepared_ops.add(prepare.op_id)
+            self.node.spawn(self._await_decision(prepare.txn_id),
+                            name=f"await-{prepare.txn_id}")
+            return "yes"
+        return handle()
+
+    def _on_commit(self, src: str, txn_id: str) -> str:
+        self._commit_txn(txn_id)
+        return "ack"
+
+    def _on_abort(self, src: str, txn_id: str) -> str:
+        self._abort_txn(txn_id)
+        return "ack"
+
+    def _commit_txn(self, txn_id: str) -> None:
+        prepare = self.node.stable["prepared"].pop(txn_id, None)
+        if prepare is None:
+            return  # duplicate decision; idempotent
+        self._apply_command(prepare.command)
+        self.node.stable["txn_outcomes"][txn_id] = "committed"
+        self._release_op(prepare.op_id)
+        self._trace("txn-commit", txn_id=txn_id,
+                    command=type(prepare.command).__name__)
+        self._post_commit(prepare.command)
+
+    def _abort_txn(self, txn_id: str) -> None:
+        prepare = self.node.stable["prepared"].pop(txn_id, None)
+        if prepare is None:
+            return
+        self.node.stable["txn_outcomes"][txn_id] = "aborted"
+        self._release_op(prepare.op_id)
+        self._trace("txn-abort", txn_id=txn_id)
+
+    def _apply_command(self, command) -> None:
+        if isinstance(command, ApplyWrite):
+            self.state = self.state.applied(command.updates,
+                                            command.new_version,
+                                            self.config.update_log_capacity)
+            if command.good_nodes:
+                self.node.stable["last_good"] = (command.new_version,
+                                                 command.good_nodes)
+        elif isinstance(command, MarkStale):
+            self.state = self.state.marked_stale(command.dversion)
+            if command.good_nodes:
+                self.node.stable["last_good"] = (command.dversion,
+                                                 command.good_nodes)
+        elif isinstance(command, ReplaceValue):
+            self.state = self.state.replaced(command.value,
+                                             command.new_version)
+            if command.meta is not None:
+                self.node.stable["proto_meta"] = command.meta
+        elif isinstance(command, InstallEpoch):
+            state = self.state.with_epoch(command.epoch_list,
+                                          command.epoch_number)
+            if self.name in command.stale:
+                state = state.marked_stale(command.max_version)
+            self.state = state
+            # durable epoch lineage: lets verification re-check Lemma 1's
+            # precondition (each epoch contains a write quorum of its
+            # predecessor) after the fact
+            history = dict(self.node.stable.get("epoch_history", {}))
+            history[command.epoch_number] = tuple(command.epoch_list)
+            self.node.stable["epoch_history"] = history
+        else:
+            raise TypeError(f"unknown command {command!r}")
+
+    def _post_commit(self, command) -> None:
+        from repro.core.propagation import propagate  # avoid import cycle
+        stale_nodes: tuple = ()
+        if isinstance(command, ApplyWrite):
+            stale_nodes = command.stale_nodes
+        elif isinstance(command, InstallEpoch) and self.name in command.good:
+            stale_nodes = command.stale
+        if stale_nodes and not self.state.stale:
+            self.node.spawn(propagate(self, stale_nodes), name="propagate")
+
+    # -- two-phase commit: termination and recovery ----------------------------
+    def _await_decision(self, txn_id: str):
+        yield self.env.timeout(self.config.prepared_wait)
+        yield from self._terminate(txn_id)
+
+    def _terminate(self, txn_id: str):
+        """Cooperative termination for an undecided prepared transaction."""
+        while txn_id in self.node.stable["prepared"]:
+            prepare: Prepare = self.node.stable["prepared"][txn_id]
+            status = yield self.rpc.call(prepare.coordinator, "txn-status",
+                                         txn_id,
+                                         timeout=self.config.rpc_timeout)
+            if status == "committed":
+                self._commit_txn(txn_id)
+                return
+            if status == "aborted":
+                self._abort_txn(txn_id)
+                return
+            if status is CALL_FAILED:
+                # coordinator unreachable: ask the other participants
+                for peer in prepare.participants:
+                    if peer == self.name:
+                        continue
+                    peer_view = yield self.rpc.call(
+                        peer, "txn-status-peer", txn_id,
+                        timeout=self.config.rpc_timeout)
+                    if peer_view == "committed":
+                        self._commit_txn(txn_id)
+                        return
+                    if peer_view == "aborted":
+                        self._abort_txn(txn_id)
+                        return
+            # "pending" or no information: classic 2PC blocking; retry.
+            yield self.env.timeout(self.config.termination_retry)
+
+    def _on_txn_status(self, src: str, txn_id: str) -> str:
+        """Coordinator-side status (presumed abort)."""
+        if txn_id in self.node.volatile.get("coord_active", set()):
+            return "pending"
+        if txn_id in self.node.stable["coord_committed"]:
+            return "committed"
+        return "aborted"
+
+    def _on_txn_status_peer(self, src: str, txn_id: str) -> str:
+        outcome = self.node.stable["txn_outcomes"].get(txn_id)
+        if outcome:
+            return outcome
+        if txn_id in self.node.stable["prepared"]:
+            return "prepared"
+        return "unknown"
+
+    def _on_recover(self) -> None:
+        # Re-acquire locks for prepared transactions *before* any new
+        # request can sneak in, then resolve them via termination.
+        for txn_id, prepare in self.node.stable["prepared"].items():
+            self.lock.acquire(prepare.op_id)  # empty lock: granted now
+            self._op_locks[prepare.op_id] = True
+            self._prepared_ops.add(prepare.op_id)
+            self.node.spawn(self._terminate(txn_id),
+                            name=f"recover-{txn_id}")
+
+    # -- propagation: target side (PropagateResponse) ---------------------------
+    def _on_propagation_offer(self, src: str, offer: PropagationOffer):
+        def handle():
+            if self.node.volatile.get("recovering"):
+                return "already-recovering"
+            state = self.state
+            if not (state.stale and state.dversion <= offer.version):
+                return "i-am-current"
+            # the owner must be unique per offer: two sources whose offers
+            # land in the same tick both pass the recovering check above,
+            # and a shared owner name would make the second acquire a
+            # duplicate (an error).  With unique owners the second simply
+            # queues and re-checks staleness once it gets the lock.
+            owner = f"recover:{offer.source}@{self.env.now:.9f}"
+            ok = yield from self._acquire(owner)
+            if not ok:
+                return "already-recovering"
+            state = self.state  # re-check under the lock
+            if not (state.stale and state.dversion <= offer.version):
+                self.lock.release(owner)
+                return "i-am-current"
+            self.node.volatile["recovering"] = owner
+            self.node.spawn(self._propagation_lease(owner),
+                            name="prop-lease")
+            return ("propagation-permitted", state.version)
+        return handle()
+
+    def _propagation_lease(self, owner: str):
+        yield self.env.timeout(self.config.propagation_lease)
+        if self.node.volatile.get("recovering") == owner:
+            self.node.volatile.pop("recovering", None)
+            self.lock.release(owner)
+            self._trace("propagation-lease-expired")
+
+    def _on_propagation_data(self, src: str, data: PropagationData) -> str:
+        owner = self.node.volatile.get("recovering")
+        if not owner:
+            return "no-permit"
+        state = self.state
+        try:
+            if data.log is not None:
+                value = dict(state.value)
+                version = state.version
+                for entry_version, updates in data.log:
+                    if entry_version != version + 1:
+                        return "gap"
+                    value.update(updates)
+                    version = entry_version
+                log = state.update_log + tuple(
+                    (v, dict(u)) for v, u in data.log)
+                capacity = self.config.update_log_capacity
+                if capacity and len(log) > capacity:
+                    log = log[len(log) - capacity:]
+                self.state = state.caught_up(value, version, log)
+            elif data.snapshot is not None:
+                self.state = state.caught_up(dict(data.snapshot),
+                                             data.source_version, ())
+            else:
+                return "empty"
+        except ValueError:
+            return "rejected"
+        finally:
+            self.node.volatile.pop("recovering", None)
+            self.lock.release(owner)
+        self._trace("caught-up", version=self.state.version, source=src)
+        return "done"

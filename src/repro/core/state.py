@@ -1,0 +1,127 @@
+"""Per-replica stable state.
+
+Each replica maintains (paper Section 4): a version number, an epoch
+number, a stale-data flag, a desired version number (meaningful while
+stale), and the epoch list.  We add the replicated *value* itself (a dict,
+updated partially by writes) and a bounded *update log* that lets
+propagation ship only missing updates instead of the whole value.
+
+Everything here lives in the node's stable storage and survives crashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.messages import StateResponse
+
+
+@dataclass
+class ReplicaState:
+    """The durable protocol state of one replica."""
+
+    epoch_list: tuple[str, ...]
+    value: dict = field(default_factory=dict)
+    version: int = 0
+    dversion: int = 0
+    stale: bool = False
+    epoch_number: int = 0
+    update_log: tuple[tuple[int, dict], ...] = ()
+
+    def response(self, node: str, include_value: bool = False) -> StateResponse:
+        """The state tuple this replica answers polls with."""
+        return StateResponse(
+            node=node,
+            version=self.version,
+            dversion=self.dversion,
+            stale=self.stale,
+            elist=self.epoch_list,
+            enumber=self.epoch_number,
+            value=dict(self.value) if include_value else None,
+        )
+
+    # -- mutations (all return a new state: stable storage is replaced
+    #    atomically, which is how a crash between field updates is avoided) --
+
+    def applied(self, updates: dict, new_version: int,
+                log_capacity: int) -> "ReplicaState":
+        """State after applying a partial write at ``new_version``."""
+        if new_version != self.version + 1:
+            raise ValueError(
+                f"non-contiguous write: at v{self.version}, got v{new_version}")
+        value = dict(self.value)
+        value.update(updates)
+        log = self.update_log + ((new_version, dict(updates)),)
+        if log_capacity and len(log) > log_capacity:
+            log = log[len(log) - log_capacity:]
+        return ReplicaState(
+            epoch_list=self.epoch_list, value=value, version=new_version,
+            dversion=self.dversion, stale=False,
+            epoch_number=self.epoch_number, update_log=log)
+
+    def marked_stale(self, dversion: int) -> "ReplicaState":
+        """State after a ``mark-stale`` with the given desired version."""
+        return ReplicaState(
+            epoch_list=self.epoch_list, value=self.value,
+            version=self.version, dversion=max(dversion, self.dversion),
+            stale=True, epoch_number=self.epoch_number,
+            update_log=self.update_log)
+
+    def with_epoch(self, epoch_list: tuple[str, ...],
+                   epoch_number: int) -> "ReplicaState":
+        """State after installing a new epoch."""
+        if epoch_number <= self.epoch_number:
+            raise ValueError(
+                f"epoch numbers must grow: {self.epoch_number} -> {epoch_number}")
+        return ReplicaState(
+            epoch_list=tuple(epoch_list), value=self.value,
+            version=self.version, dversion=self.dversion, stale=self.stale,
+            epoch_number=epoch_number, update_log=self.update_log)
+
+    def replaced(self, value: dict, version: int) -> "ReplicaState":
+        """State after a *total* write (baseline protocols): the value is
+        replaced wholesale, so the version may jump and the update log is
+        reset (there is nothing partial to propagate)."""
+        if version <= self.version:
+            raise ValueError(
+                f"total write must advance the version: "
+                f"{self.version} -> {version}")
+        return ReplicaState(
+            epoch_list=self.epoch_list, value=dict(value), version=version,
+            dversion=self.dversion, stale=False,
+            epoch_number=self.epoch_number, update_log=())
+
+    def caught_up(self, value: dict, version: int,
+                  update_log: tuple[tuple[int, dict], ...]) -> "ReplicaState":
+        """State after propagation brought this replica up to date."""
+        if version < self.dversion:
+            raise ValueError(
+                f"catch-up to v{version} below desired v{self.dversion}")
+        return ReplicaState(
+            epoch_list=self.epoch_list, value=dict(value), version=version,
+            dversion=self.dversion, stale=False,
+            epoch_number=self.epoch_number, update_log=update_log)
+
+    def log_slice(self, after_version: int) -> Optional[tuple]:
+        """Log entries covering ``(after_version, self.version]``.
+
+        Returns None when the log has been truncated past ``after_version``
+        (the caller must fall back to a snapshot).
+        """
+        needed = [entry for entry in self.update_log
+                  if entry[0] > after_version]
+        expected = self.version - after_version
+        if len(needed) != expected:
+            return None
+        versions = [v for v, _u in needed]
+        if versions != list(range(after_version + 1, self.version + 1)):
+            return None
+        return tuple(needed)
+
+
+def initial_state(all_nodes: tuple[str, ...],
+                  initial_value: Optional[dict] = None) -> ReplicaState:
+    """The state every replica starts with: epoch 0 containing everyone."""
+    return ReplicaState(epoch_list=tuple(all_nodes),
+                        value=dict(initial_value or {}))

@@ -1,0 +1,97 @@
+"""Presumed-abort two-phase commit: coordinator side.
+
+The paper invokes "the two-phase commit protocol [2]" for its
+``try-atomically`` blocks.  We implement presumed abort:
+
+* the coordinator records the COMMIT decision in stable storage *before*
+  sending any commit message; the absence of a record means abort;
+* participants write the prepare to stable storage before voting yes and
+  resolve in-doubt transactions through the coordinator (or, if it is
+  unreachable, through the other participants -- cooperative termination);
+* a participant that crashed while prepared re-acquires its lock on
+  recovery and resolves the transaction before serving new work.
+
+``gather`` is the messaging helper used by every coordinator: fire a batch
+of RPCs in parallel (possibly with per-destination payloads) and resume
+once all have answered or timed out.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.core.messages import Prepare
+from repro.sim.rpc import RpcLayer
+
+
+def gather(rpc: RpcLayer, requests: Mapping[str, tuple[str, Any]],
+           timeout: Optional[float] = None):
+    """Event yielding ``{dst: response_or_CALL_FAILED}`` for a batch of
+    per-destination calls."""
+    calls = {dst: rpc.call(dst, method, args, timeout=timeout)
+             for dst, (method, args) in requests.items()}
+    done = rpc.env.event()
+
+    def finish(_event) -> None:
+        if not done.triggered:
+            done.succeed({dst: call.value for dst, call in calls.items()})
+
+    rpc.env.all_of(calls.values())._add_callback(finish)
+    return done
+
+
+def run_transaction(server, commands: Mapping[str, Any], op_id: str,
+                    expected: Optional[Mapping[str, dict]] = None):
+    """Generator: run one atomic multi-node action; returns True on commit.
+
+    ``server`` is the coordinator's :class:`~repro.core.replica.ReplicaServer`
+    (coordinators are replica nodes, so they have stable storage for the
+    decision record).  ``commands`` maps participant name -> command;
+    ``expected`` optionally maps participant name -> partial state snapshot
+    validated at prepare time.
+    """
+    node = server.node
+    rpc = server.rpc
+    config = server.config
+    txn_id = server.new_txn_id()
+    participants = tuple(sorted(commands))
+    expected = expected or {}
+
+    active = node.volatile.setdefault("coord_active", set())
+    active.add(txn_id)
+    node.trace.record(node.env.now, "txn-begin", node.name,
+                      txn_id=txn_id, participants=participants)
+
+    prepares = {
+        dst: ("txn-prepare",
+              Prepare(txn_id=txn_id, coordinator=node.name,
+                      participants=participants, op_id=op_id,
+                      command=commands[dst],
+                      expected_snapshot=expected.get(dst)))
+        for dst in participants
+    }
+    # a prepare may acquire a lock at the participant (epoch installs,
+    # safety-threshold extras), so give it lock_wait on top of the
+    # network deadline
+    votes = yield gather(rpc, prepares,
+                         timeout=config.lock_wait + config.rpc_timeout)
+
+    if all(votes[dst] == "yes" for dst in participants):
+        # decision record first, then commit messages (presumed abort)
+        node.stable["coord_committed"].add(txn_id)
+        active.discard(txn_id)
+        yield gather(rpc, {dst: ("txn-commit", txn_id)
+                           for dst in participants},
+                     timeout=config.rpc_timeout)
+        # participants that missed the commit will learn it via the
+        # termination protocol; no retry needed here
+        return True
+
+    active.discard(txn_id)
+    aborts = {dst: ("txn-abort", txn_id) for dst in participants
+              if votes[dst] == "yes"}
+    if aborts:
+        yield gather(rpc, aborts, timeout=config.rpc_timeout)
+    node.trace.record(node.env.now, "txn-aborted", node.name, txn_id=txn_id,
+                      votes={d: repr(v) for d, v in votes.items()})
+    return False

@@ -1,0 +1,121 @@
+"""The coterie abstraction and the paper's *coterie rule*.
+
+Section 4 of the paper assumes:
+
+* a **coterie rule** -- ``coterie-rule(V, S)`` is true iff S includes a
+  write (read) quorum over the ordered node set V; here that is
+  ``rule(V).is_write_quorum(S)`` for a :class:`CoterieRule` instance;
+* a **quorum function** -- given V and a node name, yields a concrete
+  quorum over V, ideally different for different callers so load spreads;
+  here that is :meth:`Coterie.write_quorum` / :meth:`Coterie.read_quorum`.
+
+A :class:`Coterie` instance is bound to one ordered node list V (an epoch
+list, in protocol terms).  All quorum predicates accept any iterable of
+node names and ignore names outside V, matching the pseudo-code's
+assumption ``S ⊆ V`` without forcing callers to pre-filter.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, Optional, Sequence
+
+
+class CoterieError(Exception):
+    """Raised for invalid coterie constructions or queries."""
+
+
+def _stable_hash(text: str) -> int:
+    """A deterministic string hash (``hash()`` is salted per process)."""
+    return zlib.crc32(text.encode("utf-8"))
+
+
+class Coterie(ABC):
+    """Read/write quorums over one ordered node list.
+
+    Subclasses implement the two membership predicates and the two quorum
+    pickers.  ``nodes`` is the ordered universe V; node *names* are opaque
+    hashable identifiers, usually strings.
+    """
+
+    def __init__(self, nodes: Sequence[str]):
+        nodes = tuple(nodes)
+        if not nodes:
+            raise CoterieError("a coterie needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise CoterieError("duplicate node names in coterie universe")
+        self.nodes = nodes
+        self._index = {name: k for k, name in enumerate(nodes)}
+
+    # -- geometry -----------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the universe V."""
+        return len(self.nodes)
+
+    def ordered_number(self, node: str) -> int:
+        """1-based position of *node* in V (the paper's ``ordered-number``)."""
+        try:
+            return self._index[node] + 1
+        except KeyError:
+            raise CoterieError(f"{node!r} is not in this coterie") from None
+
+    def restrict(self, subset: Iterable[str]) -> frozenset:
+        """The part of *subset* that lies inside V."""
+        return frozenset(name for name in subset if name in self._index)
+
+    # -- membership predicates (the coterie rule) -----------------------------
+    @abstractmethod
+    def is_read_quorum(self, subset: Iterable[str]) -> bool:
+        """True iff *subset* includes a read quorum over V."""
+
+    @abstractmethod
+    def is_write_quorum(self, subset: Iterable[str]) -> bool:
+        """True iff *subset* includes a write quorum over V."""
+
+    # -- quorum function ---------------------------------------------------------
+    @abstractmethod
+    def read_quorum(self, salt: str = "", attempt: int = 0) -> list[str]:
+        """A concrete read quorum, varied by *salt* (e.g. coordinator name).
+
+        Deterministic: the same (V, salt, attempt) gives the same quorum, so
+        all runs are reproducible.  Different salts spread load.
+        """
+
+    @abstractmethod
+    def write_quorum(self, salt: str = "", attempt: int = 0) -> list[str]:
+        """A concrete write quorum, varied by *salt* and *attempt*."""
+
+    # -- availability-aware selection (used by baselines and analyses) -------
+    def find_read_quorum(self, available: Iterable[str]) -> Optional[frozenset]:
+        """Some read quorum fully inside *available*, or None.
+
+        The default implementation just tests ``available`` itself, which is
+        correct (monotonicity) but not minimal; subclasses override with a
+        constructive minimal search.
+        """
+        live = self.restrict(available)
+        return live if self.is_read_quorum(live) else None
+
+    def find_write_quorum(self, available: Iterable[str]) -> Optional[frozenset]:
+        """Some write quorum fully inside *available*, or None."""
+        live = self.restrict(available)
+        return live if self.is_write_quorum(live) else None
+
+    # -- misc ----------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} over {self.n_nodes} nodes>"
+
+    @staticmethod
+    def _pick(options: Sequence, salt: str, attempt: int, extra: str = "") -> int:
+        """Deterministic index into *options* derived from salt and attempt."""
+        if not options:
+            raise CoterieError("cannot pick from an empty option list")
+        return (_stable_hash(f"{salt}|{extra}") + attempt) % len(options)
+
+
+# A coterie rule is any callable turning an ordered node list into a coterie.
+# The general protocol (repro.core) is parameterised by one of these, e.g.
+# ``GridCoterie`` itself, ``MajorityCoterie``, or a lambda adding options.
+CoterieRule = Callable[[Sequence[str]], Coterie]

@@ -1,0 +1,172 @@
+"""Composite coteries: structures of structures.
+
+The paper closes by noting its epoch technique applies to "more efficient
+structured coterie protocols" generally, not just the grid.  Composition
+is the classic way to build new structured coteries (cf. Neilsen & Mizuno;
+Kumar's HQC is majority-of-majorities): take an *outer* coterie whose
+elements are groups and an *inner* coterie within each group.
+
+* S contains a **write quorum** of the composite iff the groups in which
+  S contains an inner write quorum form an outer write quorum;
+* S contains a **read quorum** iff the groups in which S contains an
+  inner read quorum form an outer read quorum.
+
+Intersection is inherited: two outer write quorums share a group, and
+inside that group the two inner write quorums intersect (likewise
+read/write).  So any composition of valid coteries is a valid coterie --
+``verify_coterie`` confirms this in the tests for e.g. grid-of-majorities
+and majority-of-grids.
+
+Because a :class:`CompositeCoterie` is constructed deterministically from
+an ordered node list, it is a *coterie rule* in the paper's sense and
+plugs straight into the dynamic epoch protocol: the composite structure
+is re-derived over each new epoch list, exactly like the grid.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.coteries.base import Coterie, CoterieError, CoterieRule
+
+
+def partition_groups(nodes: Sequence[str],
+                     n_groups: int) -> list[tuple[str, ...]]:
+    """Split an ordered node list into n contiguous, near-equal groups.
+
+    The first ``len(nodes) % n_groups`` groups get the extra node, so the
+    split is deterministic -- all epoch members derive the same structure.
+    """
+    if n_groups < 1:
+        raise CoterieError(f"need at least one group, got {n_groups}")
+    if n_groups > len(nodes):
+        raise CoterieError(
+            f"cannot split {len(nodes)} nodes into {n_groups} groups")
+    base, extra = divmod(len(nodes), n_groups)
+    groups = []
+    start = 0
+    for g in range(n_groups):
+        size = base + (1 if g < extra else 0)
+        groups.append(tuple(nodes[start:start + size]))
+        start += size
+    return groups
+
+
+def default_group_count(n_nodes: int) -> int:
+    """A reasonable default: about sqrt(N) groups of about sqrt(N)."""
+    import math
+    return max(1, math.isqrt(n_nodes))
+
+
+class CompositeCoterie(Coterie):
+    """An outer coterie over groups, an inner coterie within each group.
+
+    Parameters
+    ----------
+    nodes:
+        Ordered universe V.
+    outer_rule / inner_rule:
+        Coterie rules (e.g. ``MajorityCoterie``, ``GridCoterie``) applied
+        to the group labels and to each group's members respectively.
+    n_groups:
+        Number of groups; default ``round(sqrt(N))``.
+    """
+
+    def __init__(self, nodes: Sequence[str], outer_rule: CoterieRule,
+                 inner_rule: CoterieRule,
+                 n_groups: Optional[int] = None):
+        super().__init__(nodes)
+        if n_groups is None:
+            n_groups = default_group_count(len(self.nodes))
+        self.groups = partition_groups(self.nodes, n_groups)
+        self.group_labels = [f"g{index}" for index in range(len(self.groups))]
+        self.outer = outer_rule(self.group_labels)
+        self.inners = {label: inner_rule(group)
+                       for label, group in zip(self.group_labels,
+                                               self.groups)}
+
+    # -- membership -----------------------------------------------------------
+    def _satisfied_groups(self, subset: Iterable[str],
+                          kind: str) -> set[str]:
+        live = self.restrict(subset)
+        satisfied = set()
+        for label, inner in self.inners.items():
+            members = live & set(inner.nodes)
+            predicate = (inner.is_write_quorum if kind == "write"
+                         else inner.is_read_quorum)
+            if members and predicate(members):
+                satisfied.add(label)
+        return satisfied
+
+    def is_read_quorum(self, subset: Iterable[str]) -> bool:
+        """True iff *subset* includes a read quorum over V."""
+        return self.outer.is_read_quorum(
+            self._satisfied_groups(subset, "read"))
+
+    def is_write_quorum(self, subset: Iterable[str]) -> bool:
+        """True iff *subset* includes a write quorum over V."""
+        return self.outer.is_write_quorum(
+            self._satisfied_groups(subset, "write"))
+
+    # -- quorum function ---------------------------------------------------------
+    def read_quorum(self, salt: str = "", attempt: int = 0) -> list[str]:
+        """A concrete read quorum, spread deterministically by *salt*."""
+        picks: list[str] = []
+        for label in self.outer.read_quorum(salt, attempt):
+            picks.extend(self.inners[label].read_quorum(salt, attempt))
+        return picks
+
+    def write_quorum(self, salt: str = "", attempt: int = 0) -> list[str]:
+        """A concrete write quorum, spread deterministically by *salt*."""
+        picks: list[str] = []
+        for label in self.outer.write_quorum(salt, attempt):
+            picks.extend(self.inners[label].write_quorum(salt, attempt))
+        return picks
+
+    # -- availability-aware selection ---------------------------------------------
+    def _find(self, available: Iterable[str], kind: str
+              ) -> Optional[frozenset]:
+        live = self.restrict(available)
+        inner_quorums: dict[str, frozenset] = {}
+        for label, inner in self.inners.items():
+            find = (inner.find_write_quorum if kind == "write"
+                    else inner.find_read_quorum)
+            found = find(live)
+            if found is not None:
+                inner_quorums[label] = found
+        outer_find = (self.outer.find_write_quorum if kind == "write"
+                      else self.outer.find_read_quorum)
+        outer_quorum = outer_find(set(inner_quorums))
+        if outer_quorum is None:
+            return None
+        return frozenset().union(*(inner_quorums[label]
+                                   for label in outer_quorum))
+
+    def find_read_quorum(self, available: Iterable[str]) -> Optional[frozenset]:
+        """Some read quorum fully inside *available*, or None."""
+        return self._find(available, "read")
+
+    def find_write_quorum(self, available: Iterable[str]) -> Optional[frozenset]:
+        """Some write quorum fully inside *available*, or None."""
+        return self._find(available, "write")
+
+    def __repr__(self) -> str:
+        sizes = [len(g) for g in self.groups]
+        return (f"<CompositeCoterie {type(self.outer).__name__} over "
+                f"{len(self.groups)} x {type(next(iter(self.inners.values()))).__name__} "
+                f"groups {sizes}>")
+
+
+def composite_rule(outer_rule: CoterieRule, inner_rule: CoterieRule,
+                   n_groups: Optional[int] = None) -> CoterieRule:
+    """A coterie rule building the composite over any ordered node list --
+    directly usable as ``ReplicatedStore(coterie_rule=...)``."""
+
+    def rule(nodes: Sequence[str]) -> CompositeCoterie:
+        count = n_groups
+        if count is not None and count > len(nodes):
+            count = len(nodes)  # epochs can shrink below the group count
+        return CompositeCoterie(nodes, outer_rule, inner_rule,
+                                n_groups=count)
+
+    return rule

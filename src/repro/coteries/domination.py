@@ -1,0 +1,124 @@
+"""Coterie domination (Garcia-Molina & Barbara 1985).
+
+A coterie C over universe U is **dominated** by a coterie D (over the same
+U) when D != C and every quorum of C contains a quorum of D.  A dominated
+coterie is strictly worse: any up-set that lets C operate lets D operate
+too, and some up-sets work only for D.  Non-dominated (ND) coteries are
+therefore the availability-optimal ones.
+
+The classic characterisation makes testing mechanical: C is dominated iff
+there is a set S ⊆ U that
+
+1. intersects every quorum of C (S is a *transversal*), and
+2. contains no quorum of C.
+
+Such an S can be added to C (dropping its supersets) to produce a
+dominating coterie.  Both directions are implemented below by enumeration
+(exponential -- meant for the analysis of small structures, like the
+paper's grids).
+
+Fun facts the tests verify: majorities over an odd universe are ND;
+majorities over an even universe are dominated (the tie-breaking
+dynamic-linear voting exploits exactly this); and grid write coteries are
+dominated for every m, n >= 2 -- the price the grid pays for its small
+quorums, and part of why Table 1's static column looks so bad.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Optional, Sequence
+
+from repro.coteries.base import Coterie, CoterieError
+from repro.coteries.properties import minimal_quorums
+
+
+def transversals(family: Sequence[frozenset], universe: Sequence[str],
+                 max_nodes: int = 18) -> list[frozenset]:
+    """All minimal sets hitting every set in *family*.
+
+    (The minimal transversals of a quorum family form its *dual*; a
+    coterie equals its dual exactly when it is non-dominated and
+    self-dual, e.g. odd majorities.)
+    """
+    if len(universe) > max_nodes:
+        raise CoterieError(
+            f"refusing to enumerate over {len(universe)} > {max_nodes}")
+    if not family:
+        raise CoterieError("empty family has no transversals")
+    found: list[frozenset] = []
+    nodes = list(universe)
+    for size in range(1, len(nodes) + 1):
+        for combo in combinations(nodes, size):
+            candidate = frozenset(combo)
+            if any(t <= candidate for t in found):
+                continue
+            if all(candidate & quorum for quorum in family):
+                found.append(candidate)
+    return found
+
+
+def dominating_witness(coterie: Coterie, kind: str = "write",
+                       max_nodes: int = 16) -> Optional[frozenset]:
+    """A minimal transversal containing no quorum, or None if ND."""
+    predicate = (coterie.is_write_quorum if kind == "write"
+                 else coterie.is_read_quorum)
+    family = minimal_quorums(predicate, coterie.nodes, max_nodes=max_nodes)
+    for candidate in transversals(family, coterie.nodes,
+                                  max_nodes=max_nodes):
+        if not predicate(candidate):
+            return candidate
+    return None
+
+
+def is_dominated(coterie: Coterie, kind: str = "write",
+                 max_nodes: int = 16) -> bool:
+    """True iff a strictly better coterie over the same universe exists."""
+    return dominating_witness(coterie, kind, max_nodes) is not None
+
+
+def dominate(coterie: Coterie, kind: str = "write",
+             max_nodes: int = 16) -> list[frozenset]:
+    """A (one-step) dominating quorum family.
+
+    Adds one witness transversal and drops its supersets; repeats until no
+    witness remains, returning a non-dominated family that dominates the
+    input.  The result is a plain family of frozensets (it need not match
+    any structured rule).
+    """
+    predicate = (coterie.is_write_quorum if kind == "write"
+                 else coterie.is_read_quorum)
+    family = minimal_quorums(predicate, coterie.nodes, max_nodes=max_nodes)
+    while True:
+        witness = _family_witness(family, coterie.nodes, max_nodes)
+        if witness is None:
+            return family
+        family = [q for q in family if not witness <= q]
+        family.append(witness)
+
+
+def _family_witness(family: Sequence[frozenset], universe: Sequence[str],
+                    max_nodes: int) -> Optional[frozenset]:
+    for candidate in transversals(family, universe, max_nodes=max_nodes):
+        if not any(q <= candidate for q in family):
+            return candidate
+    return None
+
+
+def family_availability(family: Iterable[frozenset],
+                        universe: Sequence[str], p: float) -> float:
+    """P(the up-set contains some member of *family*), by enumeration."""
+    if not 0.0 <= p <= 1.0:
+        raise CoterieError(f"probability out of range: {p}")
+    family = list(family)
+    nodes = list(universe)
+    if len(nodes) > 20:
+        raise CoterieError("enumeration refused beyond 20 nodes")
+    q = 1.0 - p
+    total = 0.0
+    for size in range(len(nodes) + 1):
+        for up in combinations(nodes, size):
+            up_set = frozenset(up)
+            if any(quorum <= up_set for quorum in family):
+                total += p ** size * q ** (len(nodes) - size)
+    return total

@@ -1,0 +1,251 @@
+"""The grid coterie (Cheung, Ammar & Ahamad 1990) and the paper's dynamic
+grid construction rule (Section 5).
+
+Given an ordered node list V of size N, ``DefineGrid`` chooses grid
+dimensions m x n (rows x columns) with b unoccupied positions::
+
+    m := floor(sqrt(N));  n := ceil(sqrt(N))
+    if m*n < N: m := m + 1
+    b := m*n - N
+
+so m and n differ by at most one, ``m*n >= N``, and ``b < n``.  The
+unoccupied positions sit in the bottom row, right-justified; nodes fill the
+grid row-major in V's order (the paper's Figure 1: for N=14 this yields a
+4x4 grid with positions 15 and 16 empty).
+
+Quorums:
+
+* a **read quorum** is any node set containing a representative of every
+  column;
+* a **write quorum** additionally covers one column entirely.
+
+Two interpretations of "covers one column entirely" are supported:
+
+* ``column_cover="physical"`` -- the paper's pseudo-code, incorporating
+  C. Neuman's optimisation acknowledged at the end of the paper: a short
+  column (one of the last b, with m-1 physical positions) counts as covered
+  when all its *physical* members are in S.
+* ``column_cover="full"`` -- the pre-optimisation rule: only a complete
+  column of m physical nodes qualifies.  This matches the paper's Figure 2
+  discussion ("all three nodes are needed to collect a quorum" for N=3) and
+  the idealisation behind the Figure 3 availability chain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.coteries.base import Coterie, CoterieError
+
+
+@dataclass(frozen=True)
+class GridShape:
+    """Grid dimensions: m rows, n columns, b unoccupied positions."""
+
+    m: int
+    n: int
+    b: int
+
+    @property
+    def capacity(self) -> int:
+        """Total grid positions (m * n), occupied or not."""
+        return self.m * self.n
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the universe V."""
+        return self.m * self.n - self.b
+
+    def column_height(self, j: int) -> int:
+        """Number of physical nodes in 1-based column *j*.
+
+        The b unoccupied positions are the rightmost b cells of the bottom
+        row, so columns ``j > n - b`` are one node short.
+        """
+        if not 1 <= j <= self.n:
+            raise CoterieError(f"column {j} outside 1..{self.n}")
+        return self.m - 1 if j > self.n - self.b else self.m
+
+    def position(self, k: int) -> tuple[int, int]:
+        """1-based (row, column) of the node at 1-based ordinal *k*.
+
+        Matches the paper's ``IsWriteQuorum``:
+        ``i = (k-1) div n + 1``, ``j = (k-1) mod n + 1`` (row-major fill).
+        """
+        if not 1 <= k <= self.n_nodes:
+            raise CoterieError(f"ordinal {k} outside 1..{self.n_nodes}")
+        return (k - 1) // self.n + 1, (k - 1) % self.n + 1
+
+    def ordinal(self, i: int, j: int) -> int:
+        """Inverse of :meth:`position`; raises for unoccupied cells."""
+        if not (1 <= i <= self.m and 1 <= j <= self.n):
+            raise CoterieError(f"cell ({i},{j}) outside the grid")
+        k = (i - 1) * self.n + j
+        if k > self.n_nodes:
+            raise CoterieError(f"cell ({i},{j}) is unoccupied")
+        return k
+
+
+def define_grid(n_nodes: int) -> GridShape:
+    """The paper's ``DefineGrid``: near-square grid with ``m*n >= N``.
+
+    >>> define_grid(14)
+    GridShape(m=4, n=4, b=2)
+    >>> define_grid(12)
+    GridShape(m=3, n=4, b=0)
+    >>> define_grid(3)
+    GridShape(m=2, n=2, b=1)
+    """
+    if n_nodes < 1:
+        raise CoterieError(f"need at least one node, got {n_nodes}")
+    m = math.isqrt(n_nodes)
+    n = m if m * m == n_nodes else m + 1
+    if m * n < n_nodes:
+        m += 1
+    return GridShape(m=m, n=n, b=m * n - n_nodes)
+
+
+class GridCoterie(Coterie):
+    """Read/write quorums over a grid-arranged node list.
+
+    Parameters
+    ----------
+    nodes:
+        The ordered universe V.  The grid shape is derived from ``len(V)``
+        by :func:`define_grid`; nodes fill the grid row-major.
+    column_cover:
+        ``"physical"`` (default; the paper's pseudo-code with Neuman's
+        optimisation) or ``"full"`` (pre-optimisation; see module docs).
+    """
+
+    def __init__(self, nodes: Sequence[str], column_cover: str = "physical"):
+        super().__init__(nodes)
+        if column_cover not in ("physical", "full"):
+            raise CoterieError(f"unknown column_cover {column_cover!r}")
+        self.column_cover = column_cover
+        self.shape = define_grid(len(self.nodes))
+        # columns[j-1] is the list of node names in column j, top to bottom.
+        self.columns: list[list[str]] = [[] for _ in range(self.shape.n)]
+        for k, name in enumerate(self.nodes, start=1):
+            _i, j = self.shape.position(k)
+            self.columns[j - 1].append(name)
+
+    # -- membership -----------------------------------------------------------
+    def _column_flags(self, subset: Iterable[str]) -> tuple[bool, bool]:
+        """(all columns represented, some column fully covered)."""
+        live = self.restrict(subset)
+        covered_all = True
+        full_some = False
+        for j, column in enumerate(self.columns, start=1):
+            hits = sum(1 for name in column if name in live)
+            if hits == 0:
+                covered_all = False
+            if hits == len(column) and self._column_may_count_as_full(j):
+                full_some = True
+        return covered_all, full_some
+
+    def _column_may_count_as_full(self, j: int) -> bool:
+        if self.column_cover == "physical":
+            return True
+        return self.shape.column_height(j) == self.shape.m
+
+    def is_read_quorum(self, subset: Iterable[str]) -> bool:
+        """True iff *subset* includes a read quorum over V."""
+        covered_all, _full_some = self._column_flags(subset)
+        return covered_all
+
+    def is_write_quorum(self, subset: Iterable[str]) -> bool:
+        """True iff *subset* includes a write quorum over V."""
+        covered_all, full_some = self._column_flags(subset)
+        return covered_all and full_some
+
+    # -- quorum function ------------------------------------------------------
+    def read_quorum(self, salt: str = "", attempt: int = 0) -> list[str]:
+        """One representative per column, spread by *salt*."""
+        picks = []
+        for j, column in enumerate(self.columns, start=1):
+            idx = self._pick(column, salt, attempt, extra=f"col{j}")
+            picks.append(column[idx])
+        return picks
+
+    def write_quorum(self, salt: str = "", attempt: int = 0) -> list[str]:
+        """A full column plus one representative from every other column."""
+        eligible = [j for j in range(1, self.shape.n + 1)
+                    if self._column_may_count_as_full(j)]
+        j_full = eligible[self._pick(eligible, salt, attempt, extra="full")]
+        quorum = list(self.columns[j_full - 1])
+        for j, column in enumerate(self.columns, start=1):
+            if j == j_full:
+                continue
+            idx = self._pick(column, salt, attempt, extra=f"col{j}")
+            quorum.append(column[idx])
+        return quorum
+
+    # -- availability-aware selection ------------------------------------------
+    def find_read_quorum(self, available: Iterable[str]) -> Optional[frozenset]:
+        """Some read quorum fully inside *available*, or None."""
+        live = self.restrict(available)
+        picks = []
+        for column in self.columns:
+            hit = next((name for name in column if name in live), None)
+            if hit is None:
+                return None
+            picks.append(hit)
+        return frozenset(picks)
+
+    def find_write_quorum(self, available: Iterable[str]) -> Optional[frozenset]:
+        """Some write quorum fully inside *available*, or None."""
+        live = self.restrict(available)
+        full_column: Optional[list[str]] = None
+        for j, column in enumerate(self.columns, start=1):
+            if not self._column_may_count_as_full(j):
+                continue
+            if all(name in live for name in column):
+                full_column = column
+                break
+        if full_column is None:
+            return None
+        reads = self.find_read_quorum(live)
+        if reads is None:
+            return None
+        return frozenset(full_column) | reads
+
+    # -- introspection ------------------------------------------------------------
+    def layout(self) -> str:
+        """ASCII rendering of the grid (used by examples and benchmarks)."""
+        width = max(len(str(name)) for name in self.nodes)
+        rows = []
+        for i in range(1, self.shape.m + 1):
+            cells = []
+            for j in range(1, self.shape.n + 1):
+                k = (i - 1) * self.shape.n + j
+                if k <= self.n_nodes:
+                    cells.append(str(self.nodes[k - 1]).rjust(width))
+                else:
+                    cells.append("." * width)
+            rows.append("  ".join(cells))
+        return "\n".join(rows)
+
+    def min_read_quorum_size(self) -> int:
+        """Size of the smallest read quorum."""
+        return self.shape.n
+
+    def min_write_quorum_size(self) -> int:
+        """Size of the smallest write quorum under the active cover rule."""
+        best = None
+        for j in range(1, self.shape.n + 1):
+            if not self._column_may_count_as_full(j):
+                continue
+            size = self.shape.column_height(j) + (self.shape.n - 1)
+            if best is None or size < best:
+                best = size
+        if best is None:  # unreachable: b < n guarantees a complete column
+            raise CoterieError("no coverable column")
+        return best
+
+    def __repr__(self) -> str:
+        s = self.shape
+        return (f"<GridCoterie {s.m}x{s.n} b={s.b} over {self.n_nodes} nodes "
+                f"cover={self.column_cover}>")

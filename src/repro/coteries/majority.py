@@ -1,0 +1,149 @@
+"""Voting coteries (Gifford 1979): majority and weighted voting.
+
+The paper's Section 1 compares structured coteries against the voting
+protocol, "where the quorum size in the simplest case is floor((N+1)/2)".
+These classes provide that baseline, both unweighted (one vote per node)
+and weighted.
+
+Quorum thresholds r (read) and w (write) must satisfy
+
+* ``r + w > total_votes``  (read/write intersection), and
+* ``2 * w > total_votes``  (write/write intersection).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.coteries.base import Coterie, CoterieError
+
+
+class WeightedVotingCoterie(Coterie):
+    """Gifford-style weighted voting.
+
+    Parameters
+    ----------
+    nodes:
+        Ordered universe V.
+    weights:
+        Mapping node name -> non-negative integer vote count.  Defaults to
+        one vote each.
+    read_votes / write_votes:
+        Quorum thresholds.  Default: ``write_votes = floor(total/2) + 1``
+        (simple majority) and ``read_votes = total + 1 - write_votes``.
+    """
+
+    def __init__(self, nodes: Sequence[str],
+                 weights: Optional[Mapping[str, int]] = None,
+                 read_votes: Optional[int] = None,
+                 write_votes: Optional[int] = None):
+        super().__init__(nodes)
+        if weights is None:
+            weights = {name: 1 for name in self.nodes}
+        missing = [name for name in self.nodes if name not in weights]
+        if missing:
+            raise CoterieError(f"nodes without weights: {missing}")
+        if any(weights[name] < 0 for name in self.nodes):
+            raise CoterieError("vote weights must be non-negative")
+        self.weights = {name: int(weights[name]) for name in self.nodes}
+        total = sum(self.weights.values())
+        if total <= 0:
+            raise CoterieError("total votes must be positive")
+        self.total_votes = total
+        if write_votes is None:
+            write_votes = total // 2 + 1
+        if read_votes is None:
+            read_votes = total + 1 - write_votes
+        if read_votes + write_votes <= total:
+            raise CoterieError(
+                f"r + w must exceed total votes: {read_votes}+{write_votes}"
+                f" <= {total}")
+        if 2 * write_votes <= total:
+            raise CoterieError(
+                f"2w must exceed total votes: 2*{write_votes} <= {total}")
+        if not (0 < read_votes <= total and 0 < write_votes <= total):
+            raise CoterieError("thresholds must lie in 1..total")
+        self.read_votes = read_votes
+        self.write_votes = write_votes
+
+    # -- membership --------------------------------------------------------
+    def _votes(self, subset: Iterable[str]) -> int:
+        return sum(self.weights[name] for name in self.restrict(subset))
+
+    def is_read_quorum(self, subset: Iterable[str]) -> bool:
+        """True iff *subset* includes a read quorum over V."""
+        return self._votes(subset) >= self.read_votes
+
+    def is_write_quorum(self, subset: Iterable[str]) -> bool:
+        """True iff *subset* includes a write quorum over V."""
+        return self._votes(subset) >= self.write_votes
+
+    # -- quorum function -----------------------------------------------------
+    def _collect(self, threshold: int, salt: str, attempt: int) -> list[str]:
+        # Rotate the node list deterministically and take votes until the
+        # threshold is met, skipping zero-weight nodes (witness-less picks).
+        start = self._pick(self.nodes, salt, attempt)
+        rotated = self.nodes[start:] + self.nodes[:start]
+        picked, votes = [], 0
+        for name in rotated:
+            if self.weights[name] == 0:
+                continue
+            picked.append(name)
+            votes += self.weights[name]
+            if votes >= threshold:
+                return picked
+        raise CoterieError("insufficient total votes for threshold")
+
+    def read_quorum(self, salt: str = "", attempt: int = 0) -> list[str]:
+        """A concrete read quorum, spread deterministically by *salt*."""
+        return self._collect(self.read_votes, salt, attempt)
+
+    def write_quorum(self, salt: str = "", attempt: int = 0) -> list[str]:
+        """A concrete write quorum, spread deterministically by *salt*."""
+        return self._collect(self.write_votes, salt, attempt)
+
+    # -- availability-aware selection -----------------------------------------
+    def _find(self, available: Iterable[str], threshold: int
+              ) -> Optional[frozenset]:
+        live = sorted(self.restrict(available),
+                      key=lambda name: -self.weights[name])
+        picked, votes = [], 0
+        for name in live:
+            if votes >= threshold:
+                break
+            if self.weights[name] == 0:
+                continue
+            picked.append(name)
+            votes += self.weights[name]
+        return frozenset(picked) if votes >= threshold else None
+
+    def find_read_quorum(self, available: Iterable[str]) -> Optional[frozenset]:
+        """Some read quorum fully inside *available*, or None."""
+        return self._find(available, self.read_votes)
+
+    def find_write_quorum(self, available: Iterable[str]) -> Optional[frozenset]:
+        """Some write quorum fully inside *available*, or None."""
+        return self._find(available, self.write_votes)
+
+    def __repr__(self) -> str:
+        return (f"<WeightedVotingCoterie {self.n_nodes} nodes "
+                f"r={self.read_votes} w={self.write_votes} "
+                f"total={self.total_votes}>")
+
+
+class MajorityCoterie(WeightedVotingCoterie):
+    """Unweighted voting: every node has one vote.
+
+    With defaults, both read and write quorums are simple majorities of
+    size ``floor(N/2) + 1`` -- the paper's ``floor((N+1)/2)`` for odd N.
+    """
+
+    def __init__(self, nodes: Sequence[str],
+                 read_size: Optional[int] = None,
+                 write_size: Optional[int] = None):
+        super().__init__(nodes, weights=None,
+                         read_votes=read_size, write_votes=write_size)
+
+    def __repr__(self) -> str:
+        return (f"<MajorityCoterie {self.n_nodes} nodes "
+                f"r={self.read_votes} w={self.write_votes}>")

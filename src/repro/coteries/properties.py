@@ -1,0 +1,135 @@
+"""Enumeration-based verification of the coterie axioms.
+
+The paper (Section 3) defines a coterie over V as families W (write) and R
+(read) of subsets of V with
+
+1. ``w_i ∩ w_j != ∅``          -- write/write intersection,
+2. ``r_s ∩ w_j != ∅``          -- read/write intersection,
+3. ``w_i ⊄ w_j`` and ``r_s ⊄ r_t`` -- minimality (antichain).
+
+Our :class:`~repro.coteries.base.Coterie` classes expose *monotone
+predicates* ("S includes a quorum"), so the families to check are the
+*minimal* satisfying sets.  :func:`minimal_quorums` enumerates them by
+increasing size (exponential -- intended for N up to ~16 in tests), and
+:func:`verify_coterie` asserts all three axioms plus predicate
+monotonicity.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+from typing import Callable, Iterable, Sequence
+
+from repro.coteries.base import Coterie, CoterieError
+
+
+def minimal_quorums(is_quorum: Callable[[frozenset], bool],
+                    nodes: Sequence[str],
+                    max_nodes: int = 18) -> list[frozenset]:
+    """All minimal sets S ⊆ nodes with ``is_quorum(S)``.
+
+    Enumerates subsets in increasing size and skips supersets of already
+    found quorums, so the result is exactly the antichain of minimal
+    quorums for a monotone predicate.
+    """
+    if len(nodes) > max_nodes:
+        raise CoterieError(
+            f"refusing to enumerate over {len(nodes)} > {max_nodes} nodes")
+    found: list[frozenset] = []
+    universe = list(nodes)
+    for size in range(1, len(universe) + 1):
+        for combo in combinations(universe, size):
+            candidate = frozenset(combo)
+            if any(q <= candidate for q in found):
+                continue
+            if is_quorum(candidate):
+                found.append(candidate)
+    return found
+
+
+def verify_monotonicity(coterie: Coterie, samples: int = 200,
+                        seed: int = 0) -> None:
+    """Check the quorum predicates are monotone by randomized sampling.
+
+    For random S ⊆ T, a quorum in S must imply a quorum in T.  Raises
+    :class:`CoterieError` with a witness on violation.
+    """
+    rng = random.Random(seed)
+    nodes = list(coterie.nodes)
+    for _ in range(samples):
+        t = frozenset(name for name in nodes if rng.random() < 0.6)
+        s = frozenset(name for name in t if rng.random() < 0.7)
+        for label, predicate in (("read", coterie.is_read_quorum),
+                                 ("write", coterie.is_write_quorum)):
+            if predicate(s) and not predicate(t):
+                raise CoterieError(
+                    f"{label} predicate not monotone: S={sorted(s)} "
+                    f"is a quorum but T={sorted(t)} is not")
+
+
+def verify_coterie(coterie: Coterie, max_nodes: int = 16) -> dict:
+    """Assert the three coterie axioms by full enumeration.
+
+    Returns a summary dict with the minimal quorum families (useful for
+    inspecting structures in tests).  Raises :class:`CoterieError` with a
+    concrete witness if any axiom fails.
+    """
+    write_family = minimal_quorums(coterie.is_write_quorum, coterie.nodes,
+                                   max_nodes=max_nodes)
+    read_family = minimal_quorums(coterie.is_read_quorum, coterie.nodes,
+                                  max_nodes=max_nodes)
+    if not write_family:
+        raise CoterieError("empty write quorum family")
+    if not read_family:
+        raise CoterieError("empty read quorum family")
+    for w1, w2 in combinations(write_family, 2):
+        if not (w1 & w2):
+            raise CoterieError(
+                f"disjoint write quorums: {sorted(w1)} and {sorted(w2)}")
+    for r in read_family:
+        for w in write_family:
+            if not (r & w):
+                raise CoterieError(
+                    f"read quorum {sorted(r)} misses write quorum {sorted(w)}")
+    # minimality is by construction of minimal_quorums; double-check anyway
+    _assert_antichain(write_family, "write")
+    _assert_antichain(read_family, "read")
+    return {
+        "write_quorums": write_family,
+        "read_quorums": read_family,
+        "min_write_size": min(len(q) for q in write_family),
+        "min_read_size": min(len(q) for q in read_family),
+    }
+
+
+def _assert_antichain(family: Iterable[frozenset], label: str) -> None:
+    family = list(family)
+    for q1, q2 in combinations(family, 2):
+        if q1 < q2 or q2 < q1:
+            raise CoterieError(
+                f"{label} family is not an antichain: "
+                f"{sorted(q1)} vs {sorted(q2)}")
+
+
+def quorums_intersect_everywhere(coterie: Coterie,
+                                 picks: int = 50) -> bool:
+    """Spot-check that quorums produced by the quorum function intersect.
+
+    Exercises the *quorum function* (not just the predicate): every pair of
+    generated write quorums, and every generated read/write pair, must
+    share a node.  Used by tests for large N where enumeration is
+    infeasible.
+    """
+    write_quorums = [frozenset(coterie.write_quorum(salt=f"s{i}", attempt=i))
+                     for i in range(picks)]
+    read_quorums = [frozenset(coterie.read_quorum(salt=f"s{i}", attempt=i))
+                    for i in range(picks)]
+    for w1, w2 in combinations(write_quorums, 2):
+        if not (w1 & w2):
+            return False
+    for r in read_quorums:
+        for w in write_quorums:
+            if not (r & w):
+                return False
+    return True

@@ -1,0 +1,44 @@
+"""Read-one / write-all.
+
+The degenerate coterie the paper's Section 2 contrasts against: reads are
+served by any single replica, writes must reach every replica.  A single
+node failure blocks all writes -- which is exactly why the paper notes its
+epoch mechanism is "not suitable for using this discipline": the new epoch
+would need a write quorum (all nodes) of the old one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.coteries.base import Coterie
+
+
+class ReadOneWriteAllCoterie(Coterie):
+    """R = {{v} : v in V}, W = {V}."""
+
+    def is_read_quorum(self, subset: Iterable[str]) -> bool:
+        """True iff *subset* includes a read quorum over V."""
+        return bool(self.restrict(subset))
+
+    def is_write_quorum(self, subset: Iterable[str]) -> bool:
+        """True iff *subset* includes a write quorum over V."""
+        return len(self.restrict(subset)) == self.n_nodes
+
+    def read_quorum(self, salt: str = "", attempt: int = 0) -> list[str]:
+        """A concrete read quorum, spread deterministically by *salt*."""
+        return [self.nodes[self._pick(self.nodes, salt, attempt)]]
+
+    def write_quorum(self, salt: str = "", attempt: int = 0) -> list[str]:
+        """A concrete write quorum, spread deterministically by *salt*."""
+        return list(self.nodes)
+
+    def find_read_quorum(self, available: Iterable[str]) -> Optional[frozenset]:
+        """Some read quorum fully inside *available*, or None."""
+        live = self.restrict(available)
+        return frozenset([min(live)]) if live else None
+
+    def find_write_quorum(self, available: Iterable[str]) -> Optional[frozenset]:
+        """Some write quorum fully inside *available*, or None."""
+        live = self.restrict(available)
+        return live if len(live) == self.n_nodes else None

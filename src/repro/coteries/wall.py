@@ -1,0 +1,166 @@
+"""Crumbling-wall coteries (Peleg & Wool).
+
+Another "structured coterie" family -- evidence for the paper's closing
+claim that its epoch technique generalises beyond the grid.  Nodes are
+arranged in rows (a *wall*) of possibly different widths.  A **write
+quorum** is one complete row plus one representative from every row below
+it; a **read quorum** is one representative from every row.
+
+Intersection is immediate: two write quorums with full rows i <= j meet in
+row j (the lower full row is either shared or hit by the higher quorum's
+representative), and every read quorum crosses every row, so it hits any
+write quorum's full row.  Rows of width 1 near the top give very small
+write quorums; Peleg & Wool showed well-chosen walls achieve
+asymptotically optimal load.
+
+Like the grid, a wall is derived deterministically from an ordered node
+list, so :class:`WallCoterie` (with a fixed widths *pattern*) is a valid
+coterie rule for the dynamic epoch protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.coteries.base import Coterie, CoterieError
+
+
+def triangle_widths(n_nodes: int) -> list[int]:
+    """The triangular wall: rows of width 1, 2, 3, ... (last row ragged).
+
+    >>> triangle_widths(10)
+    [1, 2, 3, 4]
+    >>> triangle_widths(8)
+    [1, 2, 3, 2]
+    """
+    widths = []
+    row = 1
+    remaining = n_nodes
+    while remaining > 0:
+        take = min(row, remaining)
+        widths.append(take)
+        remaining -= take
+        row += 1
+    return widths
+
+
+class WallCoterie(Coterie):
+    """Read/write quorums over a crumbling wall.
+
+    Parameters
+    ----------
+    nodes:
+        Ordered universe V, filled into rows top to bottom.
+    widths:
+        Row widths (must sum to ``len(nodes)``); defaults to the
+        triangular wall.
+    """
+
+    def __init__(self, nodes: Sequence[str],
+                 widths: Optional[Sequence[int]] = None):
+        super().__init__(nodes)
+        if widths is None:
+            widths = triangle_widths(len(self.nodes))
+        widths = [int(w) for w in widths]
+        if any(w < 1 for w in widths):
+            raise CoterieError(f"row widths must be positive: {widths}")
+        if sum(widths) != len(self.nodes):
+            raise CoterieError(
+                f"widths sum to {sum(widths)}, need {len(self.nodes)}")
+        self.rows: list[tuple[str, ...]] = []
+        cursor = 0
+        for width in widths:
+            self.rows.append(tuple(self.nodes[cursor:cursor + width]))
+            cursor += width
+
+    # -- membership -----------------------------------------------------------
+    def _row_hits(self, subset: Iterable[str]) -> list[int]:
+        live = self.restrict(subset)
+        return [sum(1 for name in row if name in live) for row in self.rows]
+
+    def is_read_quorum(self, subset: Iterable[str]) -> bool:
+        """True iff *subset* includes a read quorum over V."""
+        return all(hits > 0 for hits in self._row_hits(subset))
+
+    def is_write_quorum(self, subset: Iterable[str]) -> bool:
+        """True iff *subset* includes a write quorum over V."""
+        hits = self._row_hits(subset)
+        for i, row in enumerate(self.rows):
+            if hits[i] == len(row) and all(h > 0 for h in hits[i + 1:]):
+                return True
+        return False
+
+    # -- quorum function ----------------------------------------------------------
+    def read_quorum(self, salt: str = "", attempt: int = 0) -> list[str]:
+        """A concrete read quorum, spread deterministically by *salt*."""
+        picks = []
+        for i, row in enumerate(self.rows):
+            picks.append(row[self._pick(row, salt, attempt,
+                                        extra=f"row{i}")])
+        return picks
+
+    def write_quorum(self, salt: str = "", attempt: int = 0) -> list[str]:
+        # favour small quorums: choose the full row by weighted position,
+        # spreading across rows by salt
+        """A concrete write quorum, spread deterministically by *salt*."""
+        i = self._pick(self.rows, salt, attempt, extra="full-row")
+        quorum = list(self.rows[i])
+        for j in range(i + 1, len(self.rows)):
+            row = self.rows[j]
+            quorum.append(row[self._pick(row, salt, attempt,
+                                         extra=f"row{j}")])
+        return quorum
+
+    # -- availability-aware selection -----------------------------------------------
+    def find_read_quorum(self, available: Iterable[str]) -> Optional[frozenset]:
+        """Some read quorum fully inside *available*, or None."""
+        live = self.restrict(available)
+        picks = []
+        for row in self.rows:
+            hit = next((name for name in row if name in live), None)
+            if hit is None:
+                return None
+            picks.append(hit)
+        return frozenset(picks)
+
+    def find_write_quorum(self, available: Iterable[str]) -> Optional[frozenset]:
+        """Some write quorum fully inside *available*, or None."""
+        live = self.restrict(available)
+        for i, row in enumerate(self.rows):
+            if not all(name in live for name in row):
+                continue
+            picks = set(row)
+            feasible = True
+            for lower in self.rows[i + 1:]:
+                hit = next((name for name in lower if name in live), None)
+                if hit is None:
+                    feasible = False
+                    break
+                picks.add(hit)
+            if feasible:
+                return frozenset(picks)
+        return None
+
+    def min_write_quorum_size(self) -> int:
+        """Size of the smallest write quorum."""
+        return min(len(row) + (len(self.rows) - i - 1)
+                   for i, row in enumerate(self.rows))
+
+    def layout(self) -> str:
+        """ASCII rendering of the structure."""
+        width = max(len(str(name)) for name in self.nodes)
+        return "\n".join("  ".join(str(name).rjust(width) for name in row)
+                         for row in self.rows)
+
+    def __repr__(self) -> str:
+        return (f"<WallCoterie rows={[len(r) for r in self.rows]} "
+                f"over {self.n_nodes} nodes>")
+
+
+def wall_rule(widths_fn: Callable[[int], Sequence[int]] = triangle_widths):
+    """A coterie rule building walls from any ordered node list."""
+
+    def rule(nodes: Sequence[str]) -> WallCoterie:
+        return WallCoterie(tuple(nodes), widths=widths_fn(len(nodes)))
+
+    return rule

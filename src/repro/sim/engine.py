@@ -1,0 +1,455 @@
+"""A deterministic, generator-based discrete-event simulation kernel.
+
+The kernel is deliberately small and dependency-free.  It follows the
+familiar process-interaction style (as popularised by SimPy): a *process* is
+a Python generator that yields :class:`Event` objects and is resumed when the
+event fires.  Determinism is guaranteed by a strict (time, sequence-number)
+ordering of scheduled events; two runs with the same seed and the same
+program produce identical traces.
+
+Example
+-------
+>>> env = Environment()
+>>> log = []
+>>> def worker(env, name, delay):
+...     yield env.timeout(delay)
+...     log.append((env.now, name))
+>>> _ = env.process(worker(env, "a", 2.0))
+>>> _ = env.process(worker(env, "b", 1.0))
+>>> env.run()
+2.0
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted.
+
+    The :attr:`cause` attribute carries the value passed to
+    :meth:`Process.interrupt`.  The paper's fail-stop model is implemented by
+    interrupting every process hosted on a crashing node.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    An event starts *pending*, and is later either *succeeded* with a value
+    or *failed* with an exception.  Processes waiting on the event are
+    resumed with the value (or have the exception thrown into them).
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._ok: Optional[bool] = None
+
+    # -- state inspection ---------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been succeeded or failed."""
+        return self._ok is not None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if read before it triggered."""
+        if not self.triggered:
+            raise SimulationError("event value read before it triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering *value* to waiters."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be raised in waiters."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Event.fail() requires an exception")
+        self._ok = False
+        self._exception = exception
+        self.env._schedule_event(self)
+        return self
+
+    # -- plumbing -----------------------------------------------------------
+    def _add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already fired and dispatched: run at the next tick so that the
+            # caller still observes asynchronous semantics.
+            self.env._schedule_call(lambda: callback(self))
+        else:
+            self.callbacks.append(callback)
+
+    def _dispatch(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self._timeout_value = value
+        env._schedule_call(self._fire, delay=delay)
+
+    def _fire(self) -> None:
+        if not self.triggered:
+            self._ok = True
+            self._value = self._timeout_value
+            self._dispatch()
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composition of events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        for event in self._events:
+            if not isinstance(event, Event):
+                raise SimulationError(f"not an Event: {event!r}")
+        self._remaining = sum(1 for e in self._events if not e.triggered)
+        already_failed = next(
+            (e for e in self._events if e.triggered and not e.ok), None)
+        if already_failed is not None:
+            self.fail(already_failed._exception)
+            return
+        for event in self._events:
+            if not event.triggered:
+                event._add_callback(self._observe)
+        self._check(initial=True)
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._exception)  # propagate the first failure
+            return
+        self._remaining -= 1
+        self._check(initial=False)
+
+    def _check(self, initial: bool) -> None:
+        raise NotImplementedError
+
+    def _results(self) -> dict[Event, Any]:
+        return {e: e._value for e in self._events if e.triggered and e.ok}
+
+
+class AllOf(_Condition):
+    """Fires once *all* component events have succeeded.
+
+    The value is a dict mapping each event to its value.
+    """
+
+    def _check(self, initial: bool) -> None:
+        if not self.triggered and self._remaining <= 0:
+            self.succeed(self._results())
+
+
+class AnyOf(_Condition):
+    """Fires as soon as *any* component event has succeeded.
+
+    The value is a dict of the events that had succeeded by dispatch time.
+    """
+
+    def _check(self, initial: bool) -> None:
+        if self.triggered:
+            return
+        done = len(self._events) - self._remaining
+        if done > 0 or not self._events:
+            self.succeed(self._results())
+
+
+class Process(Event):
+    """A running process.  Also an event that fires when the process ends.
+
+    The wrapped generator yields :class:`Event` instances.  When a yielded
+    event succeeds, the generator resumes with the event's value; when it
+    fails, the exception is thrown into the generator.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"process body must be a generator: {generator!r}")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        self._interrupts: list[Interrupt] = []
+        env._schedule_call(self._resume_with)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the process has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the next tick.
+
+        Interrupting a finished process is a silent no-op (the paper's crash
+        handling interrupts every handler on a node; some may have finished).
+        """
+        if self.triggered:
+            return
+        self._interrupts.append(Interrupt(cause))
+        self.env._schedule_call(self._deliver_interrupt)
+
+    # -- stepping -----------------------------------------------------------
+    def _deliver_interrupt(self) -> None:
+        if self.triggered or not self._interrupts:
+            return
+        interrupt = self._interrupts.pop(0)
+        # Detach from the event we were waiting on: when it fires we must
+        # not be resumed a second time.
+        target, self._target = self._target, None
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume_with)
+            except ValueError:
+                pass
+        self._step(lambda: self._generator.throw(interrupt))
+
+    def _resume_with(self, event: Optional[Event] = None) -> None:
+        if self.triggered:
+            return
+        if event is None:
+            self._step(lambda: self._generator.send(None))
+        elif event.ok:
+            self._step(lambda: self._generator.send(event._value))
+        else:
+            exception = event._exception
+            self._step(lambda: self._generator.throw(exception))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An unhandled interrupt terminates the process quietly; this is
+            # the normal fate of handlers on a crashing node.
+            self.succeed(None)
+            return
+        except BaseException as exc:  # propagate real bugs to env.run()
+            self.fail(exc)
+            self.env._record_crash(self, exc)
+            return
+        if not isinstance(target, Event):
+            error = SimulationError(f"process {self.name!r} yielded {target!r}")
+            self.fail(error)
+            self.env._record_crash(self, error)
+            return
+        if target is self:
+            error = SimulationError(f"process {self.name!r} waits on itself")
+            self.fail(error)
+            self.env._record_crash(self, error)
+            return
+        self._target = target
+        target._add_callback(self._resume_with)
+
+
+class Lock:
+    """A FIFO mutual-exclusion lock with optional shared (read) mode.
+
+    Replica locks in the paper protect a replica during reads, writes, and
+    propagation.  We support shared acquisition so that read operations do
+    not serialize against each other, which matches the paper's consistency
+    argument (only read/write and write/write conflicts matter).
+
+    Usage from a process::
+
+        yield lock.acquire(owner)          # exclusive
+        ...
+        lock.release(owner)
+
+    ``acquire`` returns an event that succeeds when the lock is granted.
+    """
+
+    def __init__(self, env: "Environment", name: str = "lock"):
+        self.env = env
+        self.name = name
+        self._holders: dict[Any, str] = {}  # owner -> "shared" | "exclusive"
+        self._waiters: list[tuple[Any, str, Event]] = []
+
+    @property
+    def locked(self) -> bool:
+        """True while any owner holds the lock."""
+        return bool(self._holders)
+
+    @property
+    def holders(self) -> tuple:
+        """Current lock owners."""
+        return tuple(self._holders)
+
+    def held_by(self, owner: Any) -> bool:
+        """True iff *owner* currently holds the lock."""
+        return owner in self._holders
+
+    def acquire(self, owner: Any, shared: bool = False) -> Event:
+        """Request the lock; the returned event fires when granted."""
+        if owner in self._holders:
+            raise SimulationError(f"{owner!r} already holds {self.name}")
+        mode = "shared" if shared else "exclusive"
+        event = Event(self.env)
+        self._waiters.append((owner, mode, event))
+        self._grant()
+        return event
+
+    def release(self, owner: Any) -> None:
+        """Release the lock.  Releasing a lock not held is a no-op.
+
+        Crash handling clears locks wholesale via :meth:`reset`, so a handler
+        that resumed after its node recovered may release an already-cleared
+        lock; tolerating that keeps crash code simple.
+        """
+        self._holders.pop(owner, None)
+        self._grant()
+
+    def cancel(self, owner: Any) -> None:
+        """Withdraw a pending (ungranted) acquire request of *owner*."""
+        self._waiters = [w for w in self._waiters if w[0] != owner]
+        self._grant()
+
+    def reset(self) -> None:
+        """Forget all holders and waiters (used when a node crashes)."""
+        self._holders.clear()
+        waiters, self._waiters = self._waiters, []
+        for _owner, _mode, event in waiters:
+            if not event.triggered:
+                event.fail(Interrupt("lock reset"))
+
+    def _grant(self) -> None:
+        # FIFO: grant the head while compatible.  A batch of shared
+        # requests at the head is granted together.
+        while self._waiters:
+            owner, mode, event = self._waiters[0]
+            exclusive_held = "exclusive" in self._holders.values()
+            if mode == "exclusive":
+                if self._holders:
+                    break
+            else:  # shared
+                if exclusive_held:
+                    break
+            self._waiters.pop(0)
+            self._holders[owner] = mode
+            if not event.triggered:
+                event.succeed(self)
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+        self._queue: list[tuple[float, int, Any]] = []
+        self._sequence = 0
+        self._crashed: list[tuple[Process, BaseException]] = []
+
+    # -- public factory helpers ---------------------------------------------
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing after the given simulated delay."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Run a generator as a process; returns it (also an event)."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event firing once every component event has succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event firing when the first component event succeeds."""
+        return AnyOf(self, events)
+
+    def lock(self, name: str = "lock") -> Lock:
+        """A fresh FIFO lock (shared/exclusive)."""
+        return Lock(self, name)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
+
+    def _schedule_call(self, callback: Callable[[], None], delay: float = 0.0) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (self.now + delay, self._sequence, callback))
+
+    def _record_crash(self, process: Process, exc: BaseException) -> None:
+        self._crashed.append((process, exc))
+
+    # -- execution ----------------------------------------------------------
+    def step(self) -> None:
+        """Process a single queue entry."""
+        time, _seq, item = heapq.heappop(self._queue)
+        if time < self.now:
+            raise SimulationError("time went backwards")
+        self.now = time
+        if isinstance(item, Event):
+            item._dispatch()
+        else:
+            item()
+        if self._crashed:
+            process, exc = self._crashed[0]
+            raise SimulationError(
+                f"process {process.name!r} died: {exc!r}"
+            ) from exc
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or the clock passes *until*.
+
+        Returns the simulation time at which execution stopped.
+        """
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                return self.now
+            self.step()
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    @property
+    def queue_size(self) -> int:
+        """Number of scheduled-but-unprocessed queue entries."""
+        return len(self._queue)

@@ -1,0 +1,208 @@
+"""Message-passing network with crash-stop nodes and partitions.
+
+The model matches the paper's assumptions (Section 3):
+
+* nodes and links are *fail-stop*: they fail by crashing, never maliciously;
+* communication is RPC-style; an undeliverable message surfaces to the
+  sender as ``RPC.CallFailed`` (implemented in :mod:`repro.sim.rpc` as a
+  timeout -- the network silently drops messages to dead or unreachable
+  destinations, exactly like a real datagram network);
+* multicast capability is not required: :meth:`Network.send` is point to
+  point, and the RPC layer's ``multicast`` is a loop of unicasts.
+
+Partitions are modelled by a :class:`PartitionManager` that groups node
+names into connected components; messages crossing component boundaries are
+dropped (in both directions, at delivery time).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+from repro.sim.engine import Environment
+from repro.sim.sizing import message_size
+from repro.sim.trace import TraceLog
+
+NodeName = str
+
+
+@dataclass(frozen=True)
+class Message:
+    """A network message.
+
+    ``kind`` distinguishes requests from responses at the RPC layer;
+    ``payload`` is the protocol-level content.
+    """
+
+    src: NodeName
+    dst: NodeName
+    kind: str
+    payload: Any
+    msg_id: int = 0
+
+
+class LatencyModel:
+    """Message delay distribution.
+
+    The default draws uniformly from ``[min_delay, max_delay]``; a constant
+    latency is obtained with ``min_delay == max_delay``.  Randomised latency
+    matters for the protocol tests: it interleaves concurrent coordinators
+    in adversarial orders.
+    """
+
+    def __init__(self, min_delay: float = 0.001, max_delay: float = 0.01,
+                 rng: Optional[random.Random] = None):
+        if min_delay < 0 or max_delay < min_delay:
+            raise ValueError(f"bad latency bounds: [{min_delay}, {max_delay}]")
+        self.min_delay = min_delay
+        self.max_delay = max_delay
+        self.rng = rng or random.Random(0)
+
+    def sample(self, src: NodeName, dst: NodeName) -> float:
+        """One message delay draw for the given endpoints."""
+        if self.min_delay == self.max_delay:
+            return self.min_delay
+        return self.rng.uniform(self.min_delay, self.max_delay)
+
+
+class PartitionManager:
+    """Tracks the network's connected components.
+
+    Initially the network is fully connected.  :meth:`partition` installs a
+    list of disjoint groups; nodes not mentioned in any group form an
+    implicit final group together.  :meth:`heal` restores full connectivity.
+    """
+
+    def __init__(self, all_nodes: Iterable[NodeName] = ()):
+        self._all_nodes: set[NodeName] = set(all_nodes)
+        self._component: dict[NodeName, int] = {}
+
+    def register(self, name: NodeName) -> None:
+        """Add a node name to the connectivity universe."""
+        self._all_nodes.add(name)
+
+    def partition(self, *groups: Iterable[NodeName]) -> None:
+        """Split the network into the given groups (plus one for the rest)."""
+        seen: set[NodeName] = set()
+        component: dict[NodeName, int] = {}
+        for idx, group in enumerate(groups):
+            for name in group:
+                if name in seen:
+                    raise ValueError(f"node {name!r} appears in two groups")
+                seen.add(name)
+                component[name] = idx
+        rest = self._all_nodes - seen
+        for name in rest:
+            component[name] = len(groups)
+        self._component = component
+
+    def heal(self) -> None:
+        """Restore full network connectivity."""
+        self._component = {}
+
+    @property
+    def is_partitioned(self) -> bool:
+        """True while more than one connected component exists."""
+        return bool(self._component) and len(set(self._component.values())) > 1
+
+    def reachable(self, a: NodeName, b: NodeName) -> bool:
+        """True iff the two names share a connected component."""
+        if not self._component:
+            return True
+        return self._component.get(a, -1) == self._component.get(b, -1)
+
+    def groups(self) -> list[set[NodeName]]:
+        """Current connected components (a single group when healed)."""
+        if not self._component:
+            return [set(self._all_nodes)]
+        by_idx: dict[int, set[NodeName]] = {}
+        for name, idx in self._component.items():
+            by_idx.setdefault(idx, set()).add(name)
+        return [by_idx[i] for i in sorted(by_idx)]
+
+
+class Network:
+    """Delivers messages between registered endpoints.
+
+    An endpoint is registered with a delivery callback and liveness
+    predicate; :mod:`repro.sim.node` wires those up for protocol nodes.
+
+    Delivery rules (checked at *delivery* time, after the latency delay):
+
+    * the destination must be registered, up, and reachable from the source;
+    * the source must still be up -- a message from a node that crashed
+      in-flight is dropped, modelling the fail-stop loss of its send buffers.
+      (This is conservative; disable with ``drop_from_crashed=False``.)
+    """
+
+    def __init__(self, env: Environment,
+                 latency: Optional[LatencyModel] = None,
+                 trace: Optional[TraceLog] = None,
+                 drop_from_crashed: bool = True):
+        self.env = env
+        self.latency = latency or LatencyModel()
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self.partitions = PartitionManager()
+        self.drop_from_crashed = drop_from_crashed
+        self._endpoints: dict[NodeName, Callable[[Message], None]] = {}
+        self._is_up: dict[NodeName, Callable[[], bool]] = {}
+        self._msg_ids = itertools.count(1)
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    # -- registration --------------------------------------------------------
+    def register(self, name: NodeName,
+                 deliver: Callable[[Message], None],
+                 is_up: Callable[[], bool]) -> None:
+        """Register an endpoint (name, delivery callback, liveness)."""
+        if name in self._endpoints:
+            raise ValueError(f"endpoint {name!r} already registered")
+        self._endpoints[name] = deliver
+        self._is_up[name] = is_up
+        self.partitions.register(name)
+
+    @property
+    def node_names(self) -> list[NodeName]:
+        """All node names, sorted."""
+        return sorted(self._endpoints)
+
+    def node_is_up(self, name: NodeName) -> bool:
+        """True iff the named endpoint is registered and up."""
+        predicate = self._is_up.get(name)
+        return bool(predicate and predicate())
+
+    # -- transmission ----------------------------------------------------------
+    def send(self, src: NodeName, dst: NodeName, kind: str, payload: Any) -> int:
+        """Send one message; returns its id.  Never blocks; never fails
+        synchronously -- loss is only observable through missing replies."""
+        msg = Message(src, dst, kind, payload, msg_id=next(self._msg_ids))
+        size = message_size(payload)
+        self.bytes_sent += size
+        self.messages_sent += 1
+        self.trace.record(self.env.now, "send", src, dst=dst, msg_kind=kind,
+                          msg_id=msg.msg_id, bytes=size)
+        delay = self.latency.sample(src, dst)
+        self.env._schedule_call(lambda: self._deliver(msg), delay=delay)
+        return msg.msg_id
+
+    def _deliver(self, msg: Message) -> None:
+        deliver = self._endpoints.get(msg.dst)
+        if deliver is None or not self.node_is_up(msg.dst):
+            self._drop(msg, "dst-down")
+            return
+        if self.drop_from_crashed and not self.node_is_up(msg.src):
+            self._drop(msg, "src-down")
+            return
+        if not self.partitions.reachable(msg.src, msg.dst):
+            self._drop(msg, "partitioned")
+            return
+        self.trace.record(self.env.now, "deliver", msg.dst, src=msg.src,
+                          msg_kind=msg.kind, msg_id=msg.msg_id)
+        deliver(msg)
+
+    def _drop(self, msg: Message, reason: str) -> None:
+        self.trace.record(self.env.now, "drop", msg.dst, src=msg.src,
+                          msg_kind=msg.kind, msg_id=msg.msg_id, reason=reason)

@@ -1,0 +1,125 @@
+"""The node abstraction: crash-stop hosts with stable storage.
+
+A :class:`Node` owns:
+
+* a *stable storage* dict that survives crashes (replica protocol state --
+  value, version numbers, stale flag, epoch list/number -- lives here, as
+  the paper's recovery story requires);
+* *volatile* state that is wiped by a crash (locks, in-flight handlers);
+* a registry of RPC handlers and a set of live processes that are
+  interrupted when the node crashes.
+
+Crash/recover are synchronous state flips; the surrounding machinery
+(network drops, handler interrupts, lock resets) makes the fail-stop
+semantics observable to the rest of the system.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.engine import Environment, Lock, Process
+from repro.sim.network import Message, Network
+from repro.sim.trace import TraceLog
+
+
+class Node:
+    """A crash-stop host participating in the simulated system."""
+
+    def __init__(self, env: Environment, network: Network, name: str,
+                 trace: Optional[TraceLog] = None):
+        self.env = env
+        self.network = network
+        self.name = name
+        self.trace = trace if trace is not None else network.trace
+        self.up = True
+        self.stable: dict[str, Any] = {}
+        self.volatile: dict[str, Any] = {}
+        self._locks: list[Lock] = []
+        self._processes: list[Process] = []
+        self._handlers: dict[str, Callable[[Message], Any]] = {}
+        self._crash_hooks: list[Callable[[], None]] = []
+        self._recover_hooks: list[Callable[[], None]] = []
+        network.register(name, self._on_message, lambda: self.up)
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "DOWN"
+        return f"<Node {self.name} {state}>"
+
+    # -- state management ------------------------------------------------------
+    def make_lock(self, name: str) -> Lock:
+        """Create a lock that is reset (holders evicted) on crash."""
+        lock = self.env.lock(f"{self.name}.{name}")
+        self._locks.append(lock)
+        return lock
+
+    def add_crash_hook(self, hook: Callable[[], None]) -> None:
+        """Run *hook* whenever this node crashes."""
+        self._crash_hooks.append(hook)
+
+    def add_recover_hook(self, hook: Callable[[], None]) -> None:
+        """Run *hook* whenever this node recovers."""
+        self._recover_hooks.append(hook)
+
+    def crash(self) -> None:
+        """Fail-stop: drop volatile state, kill handlers, go silent."""
+        if not self.up:
+            return
+        self.up = False
+        self.trace.record(self.env.now, "node-crash", self.name)
+        self.volatile.clear()
+        for lock in self._locks:
+            lock.reset()
+        processes, self._processes = self._processes, []
+        for process in processes:
+            process.interrupt("node crash")
+        for hook in self._crash_hooks:
+            hook()
+
+    def recover(self) -> None:
+        """Come back up with stable storage intact and volatile state fresh."""
+        if self.up:
+            return
+        self.up = True
+        self.trace.record(self.env.now, "node-recover", self.name)
+        for hook in self._recover_hooks:
+            hook()
+
+    # -- processes --------------------------------------------------------------
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Run a process on this node; it dies if the node crashes."""
+        process = self.env.process(generator, name=f"{self.name}:{name}")
+        self._processes.append(process)
+        self._prune_processes()
+        return process
+
+    def _prune_processes(self) -> None:
+        if len(self._processes) > 64:
+            self._processes = [p for p in self._processes if p.is_alive]
+
+    # -- messaging ----------------------------------------------------------------
+    def register_handler(self, kind: str,
+                         handler: Callable[[Message], Any]) -> None:
+        """Register the handler for messages of the given kind.
+
+        A handler may be a plain function (runs synchronously at delivery)
+        or return a generator, which is spawned as a node process so it can
+        wait on locks or perform further communication.
+        """
+        if kind in self._handlers:
+            raise ValueError(f"{self.name}: handler for {kind!r} already set")
+        self._handlers[kind] = handler
+
+    def send(self, dst: str, kind: str, payload: Any) -> int:
+        """Send one message from this node."""
+        return self.network.send(self.name, dst, kind, payload)
+
+    def _on_message(self, msg: Message) -> None:
+        handler = self._handlers.get(msg.kind)
+        if handler is None:
+            self.trace.record(self.env.now, "unhandled", self.name,
+                              msg_kind=msg.kind, src=msg.src)
+            return
+        result = handler(msg)
+        if result is not None and hasattr(result, "send"):
+            self.spawn(result, name=f"handle-{msg.kind}")

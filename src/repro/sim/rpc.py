@@ -1,0 +1,176 @@
+"""RPC layer with the paper's ``RPC.CallFailed`` semantics.
+
+The paper assumes "RPC-style communication in which the notification
+RPC.CallFailed is returned to the sender if the message cannot be delivered"
+(Section 3).  We realise that with a timeout: a call that receives no
+response within its deadline completes with the :data:`CALL_FAILED`
+sentinel.  This covers every loss mode uniformly -- dead callee, dead
+caller-side link, network partition, or callee crash mid-handler.
+
+Coordinators therefore gather *mixed* response sets, exactly like the
+pseudo-code in the paper's appendix: some entries are state tuples, some are
+``CALL_FAILED``, and the quorum logic only counts the former.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+from repro.sim.engine import AllOf, Environment, Event
+from repro.sim.node import Node
+
+
+class CallFailed:
+    """Singleton sentinel for failed RPCs (the paper's ``RPC.CallFailed``)."""
+
+    _instance: Optional["CallFailed"] = None
+
+    def __new__(cls) -> "CallFailed":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "CALL_FAILED"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+CALL_FAILED = CallFailed()
+
+
+@dataclass(frozen=True)
+class _Request:
+    req_id: int
+    method: str
+    args: Any
+    reply_to: str
+
+
+@dataclass(frozen=True)
+class _Response:
+    req_id: int
+    value: Any
+
+
+class RpcLayer:
+    """Per-node RPC endpoint.
+
+    Client side::
+
+        response = yield rpc.call("n3", "write-request", args)
+        if response is CALL_FAILED: ...
+
+    Server side::
+
+        rpc.serve("write-request", handler)
+
+    where ``handler(src, args)`` either returns a value directly or returns
+    a generator (a node process) whose return value becomes the response.
+    If the handler's node crashes before it finishes, no response is sent
+    and the caller times out.
+    """
+
+    REQUEST_KIND = "rpc-req"
+    RESPONSE_KIND = "rpc-rsp"
+
+    def __init__(self, node: Node, default_timeout: float = 0.5):
+        self.node = node
+        self.env: Environment = node.env
+        self.default_timeout = default_timeout
+        self._req_ids = itertools.count(1)
+        self._pending: dict[int, Event] = {}
+        self._methods: dict[str, Callable[[str, Any], Any]] = {}
+        node.register_handler(self.REQUEST_KIND, self._on_request)
+        node.register_handler(self.RESPONSE_KIND, self._on_response)
+        node.add_crash_hook(self._on_crash)
+
+    # -- client side -------------------------------------------------------
+    def call(self, dst: str, method: str, args: Any = None,
+             timeout: Optional[float] = None) -> Event:
+        """Start a call; the returned event yields the response value or
+        :data:`CALL_FAILED`.  It never fails with an exception."""
+        deadline = self.default_timeout if timeout is None else timeout
+        req_id = next(self._req_ids)
+        result = self.env.event()
+        self._pending[req_id] = result
+        self.node.trace.record(self.env.now, "rpc-call", self.node.name,
+                               method=method, dst=dst, req_id=req_id)
+        self.node.send(dst, self.REQUEST_KIND,
+                       _Request(req_id, method, args, self.node.name))
+        self.env._schedule_call(lambda: self._expire(req_id), delay=deadline)
+        return result
+
+    def multicast(self, dsts: Iterable[str], method: str, args: Any = None,
+                  timeout: Optional[float] = None) -> Event:
+        """Call every destination in parallel.
+
+        The returned event succeeds with ``{dst: value_or_CALL_FAILED}``
+        once every call has completed or timed out.  The paper does not
+        assume hardware multicast; this is a loop of unicasts.
+        """
+        dsts = list(dsts)
+        calls = {dst: self.call(dst, method, args, timeout) for dst in dsts}
+        gathered = self.env.event()
+
+        def finish(event: AllOf) -> None:
+            if not gathered.triggered:
+                gathered.succeed({dst: calls[dst].value for dst in dsts})
+
+        AllOf(self.env, calls.values())._add_callback(finish)
+        return gathered
+
+    def _expire(self, req_id: int) -> None:
+        event = self._pending.pop(req_id, None)
+        if event is not None and not event.triggered:
+            self.node.trace.record(self.env.now, "rpc-timeout", self.node.name,
+                                   req_id=req_id)
+            event.succeed(CALL_FAILED)
+
+    def _on_crash(self) -> None:
+        # The caller crashed: its pending calls are moot.  Complete them so
+        # the event queue drains; any interested process was interrupted.
+        pending, self._pending = self._pending, {}
+        for event in pending.values():
+            if not event.triggered:
+                event.succeed(CALL_FAILED)
+
+    # -- server side -------------------------------------------------------
+    def serve(self, method: str, handler: Callable[[str, Any], Any]) -> None:
+        """Register the handler for an RPC method."""
+        if method in self._methods:
+            raise ValueError(f"{self.node.name}: method {method!r} already served")
+        self._methods[method] = handler
+
+    def _on_request(self, msg) -> None:
+        request: _Request = msg.payload
+        handler = self._methods.get(request.method)
+        if handler is None:
+            self.node.trace.record(self.env.now, "rpc-no-method",
+                                   self.node.name, method=request.method)
+            return
+        result = handler(msg.src, request.args)
+        if result is not None and hasattr(result, "send"):
+            self.node.spawn(self._respond_later(request, result),
+                            name=f"rpc-{request.method}")
+        else:
+            self._reply(request, result)
+
+    def _respond_later(self, request: _Request, generator):
+        value = yield from generator
+        self._reply(request, value)
+
+    def _reply(self, request: _Request, value: Any) -> None:
+        if not self.node.up:
+            return
+        self.node.send(request.reply_to, self.RESPONSE_KIND,
+                       _Response(request.req_id, value))
+
+    def _on_response(self, msg) -> None:
+        response: _Response = msg.payload
+        event = self._pending.pop(response.req_id, None)
+        if event is not None and not event.triggered:
+            event.succeed(response.value)

@@ -1,0 +1,15 @@
+"""Workload generation for protocol experiments."""
+
+from repro.workloads.generators import (
+    ClientWorkload,
+    WorkloadStats,
+    ZipfKeyChooser,
+    run_workload,
+)
+
+__all__ = [
+    "ClientWorkload",
+    "WorkloadStats",
+    "ZipfKeyChooser",
+    "run_workload",
+]

@@ -1,0 +1,170 @@
+"""Closed-loop client workloads over a replicated store.
+
+A :class:`ClientWorkload` describes a population of clients, each attached
+to a home replica, issuing a read/write mix with exponential think times
+and Zipf-skewed key choice (the classic OLTP-ish access pattern).
+:func:`run_workload` executes it against any store with the
+``start_read`` / ``start_write`` interface (the dynamic store and both
+baselines) and returns latency/outcome statistics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+class ZipfKeyChooser:
+    """Zipf(s)-distributed choice over ``key0 .. key{n-1}``."""
+
+    def __init__(self, n_keys: int, skew: float = 1.0):
+        if n_keys < 1:
+            raise ValueError("need at least one key")
+        if skew < 0:
+            raise ValueError("skew must be non-negative")
+        self.n_keys = n_keys
+        self.skew = skew
+        weights = [1.0 / (rank ** skew) for rank in range(1, n_keys + 1)]
+        total = sum(weights)
+        self._weights = [w / total for w in weights]
+
+    def pick(self, rng: random.Random) -> str:
+        """One Zipf-distributed key choice."""
+        point = rng.random()
+        cumulative = 0.0
+        for index, weight in enumerate(self._weights):
+            cumulative += weight
+            if point <= cumulative:
+                return f"key{index}"
+        return f"key{self.n_keys - 1}"
+
+
+@dataclass
+class ClientWorkload:
+    """Parameters of a closed-loop client population."""
+
+    n_clients: int = 4
+    read_fraction: float = 0.7
+    think_time: float = 1.0          # mean of the exponential think time
+    n_keys: int = 16
+    key_skew: float = 1.0
+    duration: float = 100.0
+    total_writes: bool = False       # baselines replace the whole value
+    # when a client's home replica crashes, reattach to a live one after
+    # a reconnect delay instead of going silent (realistic failover)
+    rehome: bool = False
+    reconnect_delay: float = 2.0
+
+    def validate(self) -> "ClientWorkload":
+        """Check parameter sanity; returns self for chaining."""
+        if self.n_clients < 1:
+            raise ValueError("need at least one client")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if self.think_time <= 0 or self.duration <= 0:
+            raise ValueError("think_time and duration must be positive")
+        return self
+
+
+@dataclass
+class WorkloadStats:
+    """Outcome of a workload run."""
+
+    reads_ok: int = 0
+    reads_failed: int = 0
+    writes_ok: int = 0
+    writes_failed: int = 0
+    read_latencies: list = field(default_factory=list)
+    write_latencies: list = field(default_factory=list)
+    duration: float = 0.0
+    rehomes: int = 0
+
+    @property
+    def operations(self) -> int:
+        """Total number of operations."""
+        return (self.reads_ok + self.reads_failed
+                + self.writes_ok + self.writes_failed)
+
+    @property
+    def throughput(self) -> float:
+        """Operations per unit of simulated time."""
+        return self.operations / self.duration if self.duration else 0.0
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of operations that completed successfully."""
+        done = self.reads_ok + self.writes_ok
+        return done / self.operations if self.operations else 0.0
+
+    def mean_latency(self, kind: str = "write") -> float:
+        """Mean latency of the given operation kind."""
+        data = (self.write_latencies if kind == "write"
+                else self.read_latencies)
+        return sum(data) / len(data) if data else 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (f"{self.operations} ops in {self.duration:g} "
+                f"({self.throughput:.2f}/s), "
+                f"success {self.success_rate:.1%}, "
+                f"read lat {self.mean_latency('read'):.4f}, "
+                f"write lat {self.mean_latency('write'):.4f}")
+
+
+def run_workload(store, workload: ClientWorkload,
+                 seed: int = 0) -> WorkloadStats:
+    """Run the client population against *store* and gather statistics."""
+    workload.validate()
+    stats = WorkloadStats()
+    keys = ZipfKeyChooser(workload.n_keys, workload.key_skew)
+    counter = [0]
+
+    def client_body(client_id: int, home: str, rng: random.Random):
+        env = store.env
+        end_time = env.now + workload.duration
+        while env.now < end_time:
+            if not store.nodes[home].up:
+                if not workload.rehome:
+                    return
+                yield env.timeout(workload.reconnect_delay)
+                live = [n for n in store.node_names if store.nodes[n].up]
+                if not live:
+                    continue
+                home = rng.choice(live)
+                stats.rehomes += 1
+                continue
+            yield env.timeout(rng.expovariate(1.0 / workload.think_time))
+            if not store.nodes[home].up or env.now >= end_time:
+                continue
+            started = env.now
+            if rng.random() < workload.read_fraction:
+                result = yield store.start_read(via=home)
+                if result is not None and result.ok:
+                    stats.reads_ok += 1
+                    stats.read_latencies.append(env.now - started)
+                else:
+                    stats.reads_failed += 1
+            else:
+                counter[0] += 1
+                if workload.total_writes:
+                    payload = {f"key{k}": counter[0]
+                               for k in range(workload.n_keys)}
+                else:
+                    payload = {keys.pick(rng): counter[0]}
+                result = yield store.start_write(payload, via=home)
+                if result is not None and result.ok:
+                    stats.writes_ok += 1
+                    stats.write_latencies.append(env.now - started)
+                else:
+                    stats.writes_failed += 1
+
+    names = list(store.node_names)
+    processes = []
+    for client_id in range(workload.n_clients):
+        home = names[client_id % len(names)]
+        rng = random.Random((seed << 16) + client_id)
+        processes.append(store.env.process(
+            client_body(client_id, home, rng), name=f"client{client_id}"))
+    start = store.env.now
+    store.env.run(until=start + workload.duration + 30.0)
+    stats.duration = store.env.now - start
+    return stats

@@ -1,0 +1,82 @@
+"""Timeline rendering from traces."""
+
+import pytest
+
+from repro.analysis.timeline import (
+    protocol_events,
+    render_timeline,
+    uptime_strips,
+)
+from repro.core.store import ReplicatedStore
+
+
+def make_run():
+    store = ReplicatedStore.create(5, seed=2, trace_enabled=True)
+    store.write({"x": 1})
+    store.crash("n04")
+    store.check_epoch()
+    store.write({"y": 2})
+    store.recover("n04")
+    store.check_epoch()
+    store.settle()
+    return store
+
+
+class TestProtocolEvents:
+    def test_collects_lifecycle_events(self):
+        store = make_run()
+        kinds = {rec.kind for rec in protocol_events(store.trace)}
+        assert "node-crash" in kinds
+        assert "node-recover" in kinds
+        assert "epoch-installed" in kinds
+
+    def test_custom_kind_filter(self):
+        store = make_run()
+        only_crashes = protocol_events(store.trace, kinds=["node-crash"])
+        assert all(rec.kind == "node-crash" for rec in only_crashes)
+        assert len(only_crashes) == 1
+
+
+class TestUptimeStrips:
+    def test_strip_shows_down_window(self):
+        store = make_run()
+        strips = uptime_strips(store.trace, store.node_names,
+                               store.env.now, width=40)
+        assert set(strips) == set(store.node_names)
+        assert "." in strips["n04"]       # was down for a while
+        assert "." not in strips["n00"]   # never crashed
+        assert all(len(s) == 40 for s in strips.values())
+
+    def test_recovery_visible(self):
+        store = make_run()
+        strip = uptime_strips(store.trace, ["n04"],
+                              store.env.now, width=60)["n04"]
+        # down in the middle, up again at the end
+        assert strip.strip(".").endswith("#")
+        assert strip.rstrip("#").endswith(".")
+
+    def test_bad_horizon_rejected(self):
+        store = make_run()
+        with pytest.raises(ValueError):
+            uptime_strips(store.trace, store.node_names, 0.0)
+
+
+class TestRenderTimeline:
+    def test_full_report(self):
+        store = make_run()
+        text = render_timeline(store)
+        assert "protocol events" in text
+        assert "n04 CRASHED" in text
+        assert "epoch #1 installed" in text
+        assert "node uptime" in text
+        assert "operations:" in text
+
+    def test_requires_tracing(self):
+        store = ReplicatedStore.create(3, seed=1)  # tracing off
+        with pytest.raises(ValueError):
+            render_timeline(store)
+
+    def test_event_cap(self):
+        store = make_run()
+        text = render_timeline(store, max_events=1)
+        assert "1 of" in text

@@ -1,0 +1,115 @@
+"""Property-based tests of the availability chains."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.availability.chains.dynamic_grid import (
+    build_epoch_chain,
+    dynamic_grid_unavailability,
+)
+from repro.availability.chains.dynamic_voting import (
+    build_dynamic_linear_voting_chain,
+)
+from repro.availability.formulas import (
+    grid_read_availability,
+    grid_write_availability,
+    majority_availability,
+)
+
+
+class TestChainProperties:
+    @given(st.integers(min_value=3, max_value=14),
+           st.integers(min_value=1, max_value=5),
+           st.integers(min_value=2, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_probabilities_sum_to_one(self, n, lam, mu):
+        chain = build_epoch_chain(n, lam, mu, min(n, 3))
+        pi = chain.steady_state(exact=True)
+        assert sum(pi.values()) == 1
+        assert all(0 <= p <= 1 for p in pi.values())
+
+    @given(st.integers(min_value=3, max_value=12),
+           st.integers(min_value=2, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_unavailability_in_unit_interval(self, n, mu):
+        value = dynamic_grid_unavailability(n, 1, mu)
+        assert 0 < value < 1
+
+    @given(st.integers(min_value=4, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_in_repair_rate(self, n):
+        slow = dynamic_grid_unavailability(n, 1, 5)
+        fast = dynamic_grid_unavailability(n, 1, 10)
+        assert fast < slow
+
+    @given(st.integers(min_value=2, max_value=10),
+           st.integers(min_value=2, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_dlv_chain_sums_to_one(self, n, mu):
+        chain = build_dynamic_linear_voting_chain(n, 1, mu)
+        pi = chain.steady_state(exact=True)
+        assert sum(pi.values()) == 1
+
+    @given(st.integers(min_value=5, max_value=12),
+           st.integers(min_value=4, max_value=40))
+    @settings(max_examples=30, deadline=None)
+    def test_dynamic_beats_static_grid_from_n5(self, n, mu):
+        from repro.coteries.grid import define_grid
+        p = mu / (1 + mu)
+        shape = define_grid(n)
+        static = 1 - grid_write_availability(shape.m, shape.n, p,
+                                             b=shape.b)
+        dynamic = float(dynamic_grid_unavailability(n, 1, mu))
+        assert dynamic <= static + 1e-12
+
+    def test_n4_anomaly_dynamic_loses_to_static(self):
+        # A reproduction finding the paper's N >= 9 table never hits: at
+        # N = 4 the dynamic protocol is WORSE than the static 2x2 grid.
+        # The epoch's only possible shrink (4 -> 3) pins a *specific*
+        # trio; once one of them fails, recovery needs exactly those three
+        # up, whereas the static grid serves whenever ANY three nodes are
+        # up.  At N = 3 the two coincide exactly (all three needed either
+        # way); from N = 5 the epoch mechanism wins everywhere.
+        for mu in (4, 19):
+            p = mu / (1 + mu)
+            static = 1 - grid_write_availability(2, 2, p)
+            dynamic = float(dynamic_grid_unavailability(4, 1, mu))
+            assert dynamic > static
+        assert float(dynamic_grid_unavailability(3, 1, 19)) == \
+            pytest.approx(1 - 0.95 ** 3)
+
+
+class TestFormulaProperties:
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_write_implies_read_availability(self, m, n, p):
+        assert grid_write_availability(m, n, p) <= \
+            grid_read_availability(m, n, p) + 1e-12
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8),
+           st.floats(min_value=0.0, max_value=0.98))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_p(self, m, n, p):
+        lower = grid_write_availability(m, n, p)
+        higher = grid_write_availability(m, n, min(1.0, p + 0.02))
+        assert lower <= higher + 1e-12
+
+    @given(st.integers(min_value=1, max_value=15),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_majority_bounds(self, n, p):
+        value = majority_availability(n, p)
+        assert -1e-12 <= value <= 1 + 1e-12
+
+    @given(st.integers(min_value=1, max_value=6),
+           st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=40, deadline=None)
+    def test_more_rows_help_reads(self, n, p):
+        # adding a row to every column can only make reads sturdier
+        shorter = grid_read_availability(2, n, p)
+        taller = grid_read_availability(3, n, p)
+        assert shorter <= taller + 1e-12

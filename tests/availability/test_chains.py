@@ -1,0 +1,158 @@
+"""Tests for the Figure 3 chain (Table 1 dynamic column) and the dynamic
+voting chains."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.availability.chains.dynamic_grid import (
+    build_epoch_chain,
+    dynamic_grid_unavailability,
+    grid_min_epoch,
+)
+from repro.availability.chains.dynamic_voting import (
+    build_dynamic_linear_voting_chain,
+    dynamic_linear_voting_unavailability,
+    dynamic_voting_unavailability,
+)
+from repro.availability.formulas import grid_write_availability
+
+
+class TestTable1DynamicColumn:
+    """Paper Table 1, dynamic grid column at p = 0.95 (mu/lam = 19)."""
+
+    def test_n9_matches_paper(self):
+        # paper: 0.18e-6
+        u = float(dynamic_grid_unavailability(9))
+        assert u == pytest.approx(0.18e-6, rel=0.02)
+
+    def test_n12_matches_paper(self):
+        # paper: 0.6e-10
+        u = float(dynamic_grid_unavailability(12))
+        assert u == pytest.approx(0.6e-10, rel=0.01)
+
+    def test_n15_matches_paper(self):
+        # paper: 1.564e-14
+        u = float(dynamic_grid_unavailability(15))
+        assert u == pytest.approx(1.564e-14, rel=0.001)
+
+    def test_n16_negligible(self):
+        # paper: "negligible"
+        assert float(dynamic_grid_unavailability(16)) < 1e-15
+
+    @pytest.mark.parametrize("n", [9, 12, 15, 16, 20, 24, 30])
+    def test_improvement_over_static_is_orders_of_magnitude(self, n):
+        from repro.availability.formulas import best_static_grid
+        _m, _c, avail = best_static_grid(n, 0.95)
+        static_unavail = 1.0 - avail
+        dynamic_unavail = float(dynamic_grid_unavailability(n))
+        assert dynamic_unavail < static_unavail * 1e-3
+
+
+class TestEpochChainStructure:
+    def test_grid_min_epoch(self):
+        assert grid_min_epoch(1) == 1
+        assert grid_min_epoch(2) == 2
+        assert grid_min_epoch(3) == 3
+        assert grid_min_epoch(30) == 3
+
+    def test_state_count(self):
+        # available: N - min + 1; unavailable: min * (N - min + 1)
+        n, min_epoch = 9, 3
+        chain = build_epoch_chain(n, 1, 19, min_epoch)
+        expected = (n - min_epoch + 1) + min_epoch * (n - min_epoch + 1)
+        assert chain.n_states == expected
+
+    def test_probabilities_sum_to_one_exactly(self):
+        chain = build_epoch_chain(9, 1, 19, 3)
+        pi = chain.steady_state(exact=True)
+        assert sum(pi.values()) == 1
+
+    def test_available_band_rates(self):
+        chain = build_epoch_chain(6, 2, 10, 3)
+        assert chain.rate(("A", 6), ("A", 5)) == 12   # 6 * lam
+        assert chain.rate(("A", 5), ("A", 6)) == 10   # (6-5) * mu
+        assert chain.rate(("A", 3), ("U", 2, 0)) == 6  # 3 * lam
+        assert chain.rate(("A", 3), ("A", 2)) == 0     # epoch can't shrink
+
+    def test_stuck_recovery_goes_to_right_epoch_size(self):
+        chain = build_epoch_chain(6, 1, 19, 3)
+        # last epoch member repairs with z=2 outsiders up -> epoch of 5
+        assert chain.rate(("U", 2, 2), ("A", 5)) == 19
+        assert chain.rate(("U", 2, 0), ("A", 3)) == 19
+
+    def test_single_node_chain_is_two_state(self):
+        u = dynamic_grid_unavailability(1, 1, 19)
+        assert u == Fraction(1, 20)
+
+    def test_two_node_chain(self):
+        # Both nodes needed (1x2 grid): available iff both up.
+        # p^2 = 0.9025, so unavailability = 0.0975.
+        u = dynamic_grid_unavailability(2, 1, 19)
+        assert float(u) == pytest.approx(1 - 0.95 ** 2)
+
+    def test_three_node_chain_equals_all_up_probability(self):
+        # N=3: epoch is always the full trio; available iff all three up.
+        u = dynamic_grid_unavailability(3, 1, 19)
+        assert float(u) == pytest.approx(1 - 0.95 ** 3)
+
+    def test_bad_min_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            build_epoch_chain(5, 1, 19, 0)
+        with pytest.raises(ValueError):
+            build_epoch_chain(5, 1, 19, 6)
+
+    def test_float_rates_accepted(self):
+        u_float = dynamic_grid_unavailability(9, 0.5, 9.5)
+        u_int = dynamic_grid_unavailability(9, 1, 19)
+        assert float(u_float) == pytest.approx(float(u_int))
+
+    def test_unavailability_decreases_with_n(self):
+        values = [float(dynamic_grid_unavailability(n)) for n in (4, 6, 9, 12)]
+        assert values == sorted(values, reverse=True)
+
+    def test_unavailability_increases_with_failure_rate(self):
+        low = float(dynamic_grid_unavailability(9, 1, 19))
+        high = float(dynamic_grid_unavailability(9, 2, 19))
+        assert high > low
+
+
+class TestDynamicVotingChains:
+    def test_plain_dv_beats_dynamic_grid(self):
+        # Plain dynamic voting survives down to 2-member partitions, so its
+        # unavailability is below the dynamic grid's (one less failure level).
+        for n in (6, 9, 12):
+            dv = float(dynamic_voting_unavailability(n))
+            grid = float(dynamic_grid_unavailability(n))
+            assert dv < grid
+
+    def test_linear_tie_break_beats_plain_dv(self):
+        for n in (5, 9):
+            dlv = float(dynamic_linear_voting_unavailability(n))
+            dv = float(dynamic_voting_unavailability(n))
+            assert dlv < dv
+
+    def test_dlv_single_node(self):
+        u = dynamic_linear_voting_unavailability(1, 1, 19)
+        assert u == Fraction(1, 20)
+
+    def test_dlv_chain_probabilities_sum_to_one(self):
+        chain = build_dynamic_linear_voting_chain(6, 1, 19)
+        pi = chain.steady_state(exact=True)
+        assert sum(pi.values()) == 1
+
+    def test_dlv_stuck_states_structure(self):
+        chain = build_dynamic_linear_voting_chain(4, 1, 19)
+        # from a 2-member partition, one of the two failure directions
+        # (the priority member dying) wedges the system
+        assert chain.rate(("A", 2), ("A", 1)) == 1
+        assert chain.rate(("A", 2), ("P", 1, 0)) == 1
+        # priority repair resurrects with everyone up absorbed
+        assert chain.rate(("P", 1, 2), ("A", 4)) == 19
+
+    def test_all_dynamic_protocols_far_better_than_static(self):
+        static_unavail = 1 - grid_write_availability(3, 3, 0.95)
+        for fn in (dynamic_voting_unavailability,
+                   dynamic_linear_voting_unavailability,
+                   dynamic_grid_unavailability):
+            assert float(fn(9)) < static_unavail / 1000

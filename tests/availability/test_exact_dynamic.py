@@ -1,0 +1,114 @@
+"""The exact (epoch, up-set) chain: noise-free ground truth for E6."""
+
+import pytest
+
+from repro.availability.chains.dynamic_grid import dynamic_grid_unavailability
+from repro.availability.exact_dynamic import (
+    ExactDynamicChain,
+    exact_dynamic_unavailability,
+)
+from repro.availability.formulas import grid_write_availability
+from repro.availability.montecarlo import simulate_dynamic_availability
+from repro.coteries.grid import GridCoterie, define_grid
+from repro.coteries.majority import MajorityCoterie
+
+LAM, MU = 1.0, 4.0  # p = 0.8
+
+
+class TestConstruction:
+    def test_single_node(self):
+        chain = ExactDynamicChain(1, 1, 19)
+        # (up, up) and (up-epoch, down): exactly two states
+        assert chain.n_states == 2
+        assert chain.unavailability() == pytest.approx(0.05)
+
+    def test_probabilities_sum_to_one(self):
+        chain = ExactDynamicChain(5, LAM, MU)
+        pi = chain.steady_state()
+        assert sum(pi.values()) == pytest.approx(1.0)
+
+    def test_state_cap_enforced(self):
+        with pytest.raises(ValueError):
+            ExactDynamicChain(9, LAM, MU, max_states=100)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ExactDynamicChain(0, 1, 1)
+        with pytest.raises(ValueError):
+            ExactDynamicChain(3, 0, 1)
+        with pytest.raises(ValueError):
+            ExactDynamicChain(3, 1, 1).unavailability(kind="scan")
+
+
+class TestAgainstMonteCarlo:
+    def test_matches_exact_simulation_n6(self):
+        exact = exact_dynamic_unavailability(6, LAM, MU)
+        mc = simulate_dynamic_availability(6, LAM, MU, 120000, seed=5)
+        assert mc.unavailability == pytest.approx(exact, rel=0.05)
+
+    def test_matches_exact_simulation_majority_rule(self):
+        exact = exact_dynamic_unavailability(5, LAM, MU,
+                                             rule=MajorityCoterie)
+        mc = simulate_dynamic_availability(5, LAM, MU, 120000, seed=6,
+                                           rule=MajorityCoterie)
+        assert mc.unavailability == pytest.approx(exact, rel=0.1,
+                                                  abs=5e-4)
+
+    def test_read_kind_matches_simulation(self):
+        exact = exact_dynamic_unavailability(6, LAM, MU, kind="read")
+        mc = simulate_dynamic_availability(6, LAM, MU, 120000, seed=7,
+                                           kind="read")
+        assert mc.unavailability == pytest.approx(exact, rel=0.06)
+
+
+class TestIdealisationGapExactly:
+    def test_small_n_exact_beats_idealised_chain(self):
+        # With the physical-column rule, epochs shrink below three (the
+        # 3-node grid has 2-member write quorums), so at N = 4..5 the real
+        # protocol is MORE available than the Figure 3 chain predicts.
+        for n in (4, 5):
+            exact = exact_dynamic_unavailability(n, LAM, MU)
+            ideal = float(dynamic_grid_unavailability(n, LAM, MU))
+            assert exact < ideal, n
+
+    def test_moderate_n_exact_worse_than_idealised_chain(self):
+        # From N = 6 the singleton-column fragility and quorum-based
+        # stuck recovery dominate: the chain is optimistic.
+        for n in (6, 7):
+            exact = exact_dynamic_unavailability(n, LAM, MU)
+            ideal = float(dynamic_grid_unavailability(n, LAM, MU))
+            assert exact > ideal, n
+
+    def test_exact_still_beats_static(self):
+        for n in (5, 6, 7):
+            shape = define_grid(n)
+            static = 1 - grid_write_availability(
+                shape.m, shape.n, MU / (LAM + MU), b=shape.b)
+            exact = exact_dynamic_unavailability(n, LAM, MU)
+            assert exact < static, n
+
+    def test_full_cover_rule_closer_to_chain_at_small_n(self):
+        # the chain's terminal-trio assumption comes from the full rule
+        full_rule = lambda nodes: GridCoterie(nodes, column_cover="full")
+        exact_full = exact_dynamic_unavailability(4, LAM, MU,
+                                                  rule=full_rule)
+        ideal = float(dynamic_grid_unavailability(4, LAM, MU))
+        assert exact_full == pytest.approx(ideal, rel=0.01)
+
+
+class TestEpochSizeDistribution:
+    def test_distribution_sums_to_one(self):
+        chain = ExactDynamicChain(6, LAM, MU)
+        sizes = chain.epoch_size_distribution()
+        assert sum(sizes.values()) == pytest.approx(1.0)
+
+    def test_mass_concentrates_at_full_epoch_for_high_p(self):
+        chain = ExactDynamicChain(6, 1.0, 19.0)
+        sizes = chain.epoch_size_distribution()
+        assert sizes[6] > 0.7
+
+    def test_low_p_pushes_mass_to_small_epochs(self):
+        high_p = ExactDynamicChain(6, 1.0, 19.0).epoch_size_distribution()
+        low_p = ExactDynamicChain(6, 1.0, 2.0).epoch_size_distribution()
+        small = lambda dist: sum(v for k, v in dist.items() if k <= 3)
+        assert small(low_p) > small(high_p)

@@ -1,0 +1,70 @@
+"""Cross-validation: the exact (epoch, up-set) chain against the analytic
+epoch chains, for rules where both exist."""
+
+import pytest
+
+from repro.availability.chains.dynamic_grid import build_epoch_chain
+from repro.availability.chains.dynamic_voting import (
+    dynamic_voting_unavailability,
+)
+from repro.availability.exact_dynamic import (
+    ExactDynamicChain,
+    exact_dynamic_unavailability,
+)
+from repro.coteries.majority import MajorityCoterie
+from repro.coteries.wall import WallCoterie, wall_rule
+
+LAM, MU = 1.0, 4.0
+
+
+class TestMajorityRule:
+    def test_idealised_chain_is_exact_for_majorities(self):
+        # For the majority rule the Figure-3-style idealisation is not an
+        # idealisation at all: "one failure tolerated iff y >= 3" and
+        # "a stuck pair recovers when both members are up" are *exactly*
+        # the majority quorum conditions.  The full (epoch, up-set) chain
+        # agrees with the min_epoch = 2 epoch chain to machine precision.
+        exact = exact_dynamic_unavailability(5, LAM, MU,
+                                             rule=MajorityCoterie)
+        idealised = float(dynamic_voting_unavailability(5, LAM, MU))
+        assert exact == pytest.approx(idealised, rel=1e-9)
+
+    def test_majority_epochs_never_reach_one(self):
+        # the 2 -> 1 shrink needs a majority of 2 (= both) among one
+        # survivor, and a stuck pair re-forms only with both members up:
+        # size-1 epochs are unreachable for plain majorities
+        chain = ExactDynamicChain(5, LAM, MU, rule=MajorityCoterie)
+        sizes = chain.epoch_size_distribution()
+        assert 1 not in sizes
+        assert min(sizes) == 2
+
+    def test_grid_is_where_the_idealisation_actually_bites(self):
+        # contrast: for the grid the same comparison shows a real gap
+        # (structured quorums are what the chain idealises away)
+        exact = exact_dynamic_unavailability(6, LAM, MU)
+        idealised = build_epoch_chain(6, LAM, MU, 3).probability(
+            lambda s: s[0] == "U", exact=False)
+        assert exact != pytest.approx(idealised, rel=0.05)
+
+
+class TestWallRule:
+    def test_exact_wall_chain_solves(self):
+        chain = ExactDynamicChain(6, LAM, MU, rule=wall_rule())
+        value = chain.unavailability()
+        assert 0 < value < 1
+
+    def test_wall_reads_more_available_than_writes(self):
+        chain = ExactDynamicChain(6, LAM, MU, rule=wall_rule())
+        pi = chain.steady_state()
+        writes = chain.unavailability(kind="write", pi=pi)
+        reads = chain.unavailability(kind="read", pi=pi)
+        assert reads <= writes + 1e-12
+
+    def test_wall_matches_monte_carlo(self):
+        from repro.availability.montecarlo import (
+            simulate_dynamic_availability,
+        )
+        exact = exact_dynamic_unavailability(6, LAM, MU, rule=wall_rule())
+        mc = simulate_dynamic_availability(6, LAM, MU, 60000, seed=8,
+                                           rule=wall_rule())
+        assert mc.unavailability == pytest.approx(exact, rel=0.1)

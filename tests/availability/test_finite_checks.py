@@ -1,0 +1,105 @@
+"""The finite-check-rate chain (analytic counterpart of E13)."""
+
+import pytest
+
+from repro.availability.chains.dynamic_voting import (
+    dynamic_voting_unavailability,
+)
+from repro.availability.chains.finite_checks import (
+    build_finite_check_chain,
+    finite_check_unavailability,
+)
+from repro.availability.formulas import majority_availability
+
+LAM, MU = 1.0, 4.0
+N = 9
+
+
+class TestLimits:
+    def test_zero_rate_equals_static_majority(self):
+        static = 1 - majority_availability(N, MU / (LAM + MU))
+        value = finite_check_unavailability(N, LAM, MU, 0)
+        assert value == pytest.approx(static, rel=1e-9)
+
+    def test_infinite_rate_approaches_instant_check_chain(self):
+        instant = float(dynamic_voting_unavailability(N, LAM, MU))
+        fast = finite_check_unavailability(N, LAM, MU, 10 ** 5)
+        assert fast == pytest.approx(instant, rel=0.05)
+
+    def test_single_node(self):
+        # one replica: checks are irrelevant; unavailability = 1 - p
+        value = finite_check_unavailability(1, 1, 19, 5)
+        assert value == pytest.approx(0.05)
+
+
+class TestShape:
+    def test_slow_checking_is_worse_than_none(self):
+        # The reproduction insight: a slow checker shrinks the epoch after
+        # failures (committing to a small member set) but re-admits
+        # repaired nodes only at the next slow check -- so checking at a
+        # rate comparable to lam/mu is WORSE than never checking, where a
+        # repaired node counts immediately toward the static majority.
+        never = finite_check_unavailability(N, LAM, MU, 0)
+        slow = finite_check_unavailability(N, LAM, MU, 0.5)
+        assert slow > never
+
+    def test_fast_checking_far_better_than_none(self):
+        never = finite_check_unavailability(N, LAM, MU, 0)
+        fast = finite_check_unavailability(N, LAM, MU, 200)
+        assert fast < never / 10
+
+    def test_monotone_improvement_beyond_the_harmful_regime(self):
+        values = [finite_check_unavailability(N, LAM, MU, nu)
+                  for nu in (2, 10, 50, 250)]
+        assert values == sorted(values, reverse=True)
+
+    def test_break_even_rate_is_order_of_the_event_rate(self):
+        # checking helps once nu clearly exceeds the per-cluster event
+        # rate (N*lam + repairs); below it, it hurts
+        event_rate = N * LAM
+        never = finite_check_unavailability(N, LAM, MU, 0)
+        assert finite_check_unavailability(N, LAM, MU,
+                                           event_rate / 4) > never
+        assert finite_check_unavailability(N, LAM, MU,
+                                           event_rate * 4) < never
+
+
+class TestChainStructure:
+    def test_reachable_solve_matches_full_grid_probabilities(self):
+        # probabilities over the reachable component sum to one
+        value = finite_check_unavailability(4, 1, 3, 2.0)
+        assert 0 < value < 1
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            build_finite_check_chain(0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            build_finite_check_chain(3, 0, 1, 1)
+        with pytest.raises(ValueError):
+            build_finite_check_chain(3, 1, 1, -1)
+
+    def test_check_transitions_only_from_majority_states(self):
+        chain = build_finite_check_chain(4, 1, 2, 7)
+        for (src, dst), rate in chain.transitions().items():
+            y, x, z = src
+            if dst == (x + z, x + z, 0) and dst != src and rate >= 7:
+                assert 2 * x > y
+
+
+class TestAgainstMonteCarlo:
+    def test_periodic_mc_roughly_matches_poisson_chain(self):
+        # periodic checks (MC) vs Poisson checks (chain) at matched rates:
+        # same ballpark, same ordering across rates
+        from repro.availability.montecarlo import (
+            simulate_dynamic_availability,
+        )
+        from repro.coteries.majority import MajorityCoterie
+
+        for interval in (0.2, 5.0):
+            chain_value = finite_check_unavailability(
+                6, LAM, MU, 1.0 / interval)
+            mc = simulate_dynamic_availability(
+                6, LAM, MU, 20000, seed=4, rule=MajorityCoterie,
+                check_interval=interval)
+            assert mc.unavailability == pytest.approx(chain_value,
+                                                      rel=0.5, abs=0.01)

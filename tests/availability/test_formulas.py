@@ -1,0 +1,188 @@
+"""Closed-form availability vs Table 1's static column and vs exact
+enumeration over the real quorum predicates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.availability.formulas import (
+    availability_by_enumeration,
+    best_static_grid,
+    grid_read_availability,
+    grid_write_availability,
+    hierarchical_availability,
+    majority_availability,
+    rowa_read_availability,
+    rowa_write_availability,
+    tree_availability,
+)
+from repro.coteries.grid import GridCoterie, define_grid
+from repro.coteries.hierarchical import HierarchicalCoterie
+from repro.coteries.majority import MajorityCoterie
+from repro.coteries.rowa import ReadOneWriteAllCoterie
+from repro.coteries.tree import TreeCoterie
+
+
+def names(n):
+    return [f"n{i:02d}" for i in range(n)]
+
+# Table 1, static grid column: N -> (best dims, unavailability * 1e6).
+TABLE1_STATIC = {
+    9: ((3, 3), 3268.59),
+    12: ((3, 4), 912.25),
+    15: ((3, 5), 683.60),
+    16: ((4, 4), 1208.75),
+    20: ((4, 5), 250.82),
+    24: ((4, 6), 78.23),
+    30: ((5, 6), 135.90),
+}
+
+
+class TestTable1StaticColumn:
+    @pytest.mark.parametrize("n_nodes", sorted(TABLE1_STATIC))
+    def test_reproduces_cited_unavailability(self, n_nodes):
+        (m, n), expected_ppm = TABLE1_STATIC[n_nodes]
+        unavail = 1.0 - grid_write_availability(m, n, 0.95)
+        assert unavail * 1e6 == pytest.approx(expected_ppm, abs=0.005)
+
+    @pytest.mark.parametrize("n_nodes", sorted(TABLE1_STATIC))
+    def test_table_dimensions_are_the_best_exact_grids(self, n_nodes):
+        (m, n), _ = TABLE1_STATIC[n_nodes]
+        best_m, best_n, _a = best_static_grid(n_nodes, 0.95)
+        assert (best_m, best_n) == (m, n)
+
+
+class TestGridFormulas:
+    def test_read_availability_3x3(self):
+        # each column of 3 is covered w.p. 1 - 0.05^3
+        expected = (1 - 0.05 ** 3) ** 3
+        assert grid_read_availability(3, 3, 0.95) == pytest.approx(expected)
+
+    def test_write_le_read(self):
+        for (m, n) in [(2, 2), (3, 3), (3, 4), (4, 4), (5, 6)]:
+            assert (grid_write_availability(m, n, 0.9)
+                    <= grid_read_availability(m, n, 0.9) + 1e-12)
+
+    def test_degenerate_p(self):
+        assert grid_write_availability(3, 3, 1.0) == pytest.approx(1.0)
+        assert grid_write_availability(3, 3, 0.0) == pytest.approx(0.0)
+
+    def test_bad_b_rejected(self):
+        with pytest.raises(ValueError):
+            grid_write_availability(3, 3, 0.9, b=3)
+
+    def test_bad_p_rejected(self):
+        with pytest.raises(ValueError):
+            grid_write_availability(3, 3, 1.5)
+
+    def test_unknown_cover_rejected(self):
+        with pytest.raises(ValueError):
+            grid_write_availability(3, 3, 0.9, column_cover="nope")
+
+    @pytest.mark.parametrize("n_nodes", [2, 3, 4, 5, 6, 7, 9, 12, 14])
+    @pytest.mark.parametrize("p", [0.5, 0.8, 0.95])
+    def test_matches_enumeration_physical(self, n_nodes, p):
+        shape = define_grid(n_nodes)
+        coterie = GridCoterie(names(n_nodes), column_cover="physical")
+        formula = grid_write_availability(shape.m, shape.n, p, b=shape.b,
+                                          column_cover="physical")
+        exact = availability_by_enumeration(coterie, p, "write")
+        assert formula == pytest.approx(exact)
+
+    @pytest.mark.parametrize("n_nodes", [3, 5, 7, 8, 14])
+    def test_matches_enumeration_full_cover(self, n_nodes):
+        shape = define_grid(n_nodes)
+        coterie = GridCoterie(names(n_nodes), column_cover="full")
+        formula = grid_write_availability(shape.m, shape.n, 0.9, b=shape.b,
+                                          column_cover="full")
+        exact = availability_by_enumeration(coterie, 0.9, "write")
+        assert formula == pytest.approx(exact)
+
+    @pytest.mark.parametrize("n_nodes", [2, 5, 9, 14])
+    def test_read_matches_enumeration(self, n_nodes):
+        shape = define_grid(n_nodes)
+        coterie = GridCoterie(names(n_nodes))
+        formula = grid_read_availability(shape.m, shape.n, 0.85, b=shape.b)
+        exact = availability_by_enumeration(coterie, 0.85, "read")
+        assert formula == pytest.approx(exact)
+
+
+class TestMajorityFormulas:
+    @pytest.mark.parametrize("n", [1, 3, 5, 7, 9])
+    @pytest.mark.parametrize("p", [0.5, 0.9, 0.95])
+    def test_matches_enumeration(self, n, p):
+        formula = majority_availability(n, p)
+        exact = availability_by_enumeration(MajorityCoterie(names(n)), p)
+        assert formula == pytest.approx(exact)
+
+    def test_custom_quorum_size(self):
+        assert majority_availability(5, 0.9, quorum_size=5) == \
+            pytest.approx(0.9 ** 5)
+
+    def test_bad_quorum_size_rejected(self):
+        with pytest.raises(ValueError):
+            majority_availability(5, 0.9, quorum_size=6)
+
+    def test_grid_beats_nothing_but_loses_to_majority_on_availability(self):
+        # Static 3x3 grid writes are *less* available than majority-of-9 --
+        # the price paid for the smaller quorums (paper Section 1).
+        grid = grid_write_availability(3, 3, 0.95)
+        majority = majority_availability(9, 0.95)
+        assert grid < majority
+
+
+class TestRowaFormulas:
+    @pytest.mark.parametrize("n", [1, 2, 5, 8])
+    def test_matches_enumeration(self, n):
+        coterie = ReadOneWriteAllCoterie(names(n))
+        assert rowa_read_availability(n, 0.9) == pytest.approx(
+            availability_by_enumeration(coterie, 0.9, "read"))
+        assert rowa_write_availability(n, 0.9) == pytest.approx(
+            availability_by_enumeration(coterie, 0.9, "write"))
+
+    def test_write_all_degrades_with_n(self):
+        assert rowa_write_availability(10, 0.95) < \
+            rowa_write_availability(3, 0.95)
+
+
+class TestTreeFormulas:
+    @pytest.mark.parametrize("n,d", [(1, 2), (3, 2), (7, 2), (15, 2),
+                                     (13, 3), (6, 2)])
+    @pytest.mark.parametrize("p", [0.6, 0.9])
+    def test_matches_enumeration(self, n, d, p):
+        formula = tree_availability(n, p, branching=d)
+        exact = availability_by_enumeration(TreeCoterie(names(n), d), p)
+        assert formula == pytest.approx(exact)
+
+
+class TestHierarchicalFormulas:
+    @pytest.mark.parametrize("arities,thresholds", [
+        ((3, 3), (2, 2)), ((2, 2), (2, 2)), ((3, 4), (2, 3)),
+    ])
+    @pytest.mark.parametrize("p", [0.7, 0.95])
+    def test_matches_enumeration(self, arities, thresholds, p):
+        import math
+        n = math.prod(arities)
+        coterie = HierarchicalCoterie(names(n), arities=arities,
+                                      write_thresholds=thresholds)
+        formula = hierarchical_availability(arities, thresholds, p)
+        exact = availability_by_enumeration(coterie, p, "write")
+        assert formula == pytest.approx(exact)
+
+    def test_mismatched_levels_rejected(self):
+        with pytest.raises(ValueError):
+            hierarchical_availability((3, 3), (2,), 0.9)
+
+
+class TestEnumeration:
+    def test_refuses_large_universe(self):
+        with pytest.raises(ValueError):
+            availability_by_enumeration(MajorityCoterie(names(21)), 0.9)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_in_p(self, p):
+        lower = availability_by_enumeration(MajorityCoterie(names(5)),
+                                            p * 0.9)
+        upper = availability_by_enumeration(MajorityCoterie(names(5)), p)
+        assert lower <= upper + 1e-12

@@ -1,0 +1,129 @@
+"""Tests for the CTMC solver."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.availability.markov import MarkovChain, birth_death_steady_state
+
+
+class TestMarkovChain:
+    def test_two_state_machine(self):
+        # classic up/down machine: pi_up = mu/(lam+mu)
+        chain = MarkovChain()
+        chain.add("up", "down", 1)
+        chain.add("down", "up", 19)
+        pi = chain.steady_state()
+        assert pi["up"] == pytest.approx(0.95)
+        assert pi["down"] == pytest.approx(0.05)
+
+    def test_exact_two_state(self):
+        chain = MarkovChain()
+        chain.add("up", "down", 1)
+        chain.add("down", "up", 19)
+        pi = chain.steady_state(exact=True)
+        assert pi["up"] == Fraction(19, 20)
+        assert pi["down"] == Fraction(1, 20)
+
+    def test_probabilities_sum_to_one(self):
+        chain = MarkovChain()
+        for i in range(5):
+            chain.add(i, (i + 1) % 5, i + 1)
+        pi = chain.steady_state()
+        assert sum(pi.values()) == pytest.approx(1.0)
+        pi_exact = chain.steady_state(exact=True)
+        assert sum(pi_exact.values()) == 1
+
+    def test_matches_birth_death_closed_form(self):
+        # M/M/1/K-style chain, K=4
+        births = [3, 3, 3, 3]
+        deaths = [5, 5, 5, 5]
+        closed = birth_death_steady_state(births, deaths)
+        chain = MarkovChain()
+        for k in range(4):
+            chain.add(k, k + 1, births[k])
+            chain.add(k + 1, k, deaths[k])
+        pi = chain.steady_state(exact=True)
+        for k in range(5):
+            assert pi[k] == closed[k]
+
+    def test_accumulating_parallel_edges(self):
+        chain = MarkovChain()
+        chain.add("a", "b", 1)
+        chain.add("a", "b", 2)
+        assert chain.rate("a", "b") == 3
+
+    def test_zero_rate_ignored(self):
+        chain = MarkovChain()
+        chain.add("a", "b", 1)
+        chain.add("b", "a", 1)
+        chain.add("a", "b", 0)
+        assert chain.rate("a", "b") == 1
+
+    def test_self_loop_rejected(self):
+        chain = MarkovChain()
+        with pytest.raises(ValueError):
+            chain.add("a", "a", 1)
+
+    def test_negative_rate_rejected(self):
+        chain = MarkovChain()
+        with pytest.raises(ValueError):
+            chain.add("a", "b", -1)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovChain().steady_state()
+
+    def test_reducible_chain_rejected_in_exact_mode(self):
+        chain = MarkovChain()
+        chain.add("a", "b", 1)
+        chain.add("b", "a", 1)
+        chain.add("c", "d", 1)
+        chain.add("d", "c", 1)
+        with pytest.raises(ValueError):
+            chain.steady_state(exact=True)
+
+    def test_probability_predicate(self):
+        chain = MarkovChain()
+        chain.add("up", "down", 1)
+        chain.add("down", "up", 19)
+        unavail = chain.probability(lambda s: s == "down", exact=True)
+        assert unavail == Fraction(1, 20)
+
+    def test_float_rate_accepted(self):
+        chain = MarkovChain()
+        chain.add("a", "b", 0.5)
+        chain.add("b", "a", 1.5)
+        pi = chain.steady_state()
+        assert pi["a"] == pytest.approx(0.75)
+
+    def test_exact_matches_float_on_moderate_chain(self):
+        chain = MarkovChain()
+        for i in range(8):
+            chain.add(i, (i + 1) % 8, 2)
+            chain.add((i + 1) % 8, i, 3)
+        exact = chain.steady_state(exact=True)
+        approx = chain.steady_state(exact=False)
+        for state in chain.states:
+            assert approx[state] == pytest.approx(float(exact[state]))
+
+
+class TestBirthDeath:
+    def test_uniform_rates(self):
+        pi = birth_death_steady_state([1, 1], [1, 1])
+        assert pi == [Fraction(1, 3)] * 3
+
+    def test_detailed_balance_holds(self):
+        births = [2, 5, 1]
+        deaths = [3, 4, 7]
+        pi = birth_death_steady_state(births, deaths)
+        for k in range(3):
+            assert pi[k] * births[k] == pi[k + 1] * deaths[k]
+
+    def test_mismatched_lists_rejected(self):
+        with pytest.raises(ValueError):
+            birth_death_steady_state([1, 2], [1])
+
+    def test_zero_death_rate_rejected(self):
+        with pytest.raises(ValueError):
+            birth_death_steady_state([1], [0])

@@ -1,0 +1,116 @@
+"""Read availability (E11) and epoch-check-rate sensitivity (E13)."""
+
+import pytest
+
+from repro.availability.chains.dynamic_grid import (
+    dynamic_grid_read_unavailability,
+    dynamic_grid_unavailability,
+)
+from repro.availability.montecarlo import simulate_dynamic_availability
+from repro.coteries.grid import GridCoterie
+
+
+class TestReadChain:
+    def test_reads_more_available_than_writes(self):
+        for n in (6, 9, 12):
+            write = float(dynamic_grid_unavailability(n))
+            read = float(dynamic_grid_read_unavailability(n))
+            assert 0 < read < write
+
+    def test_terminal_grid_read_fraction(self):
+        # the stuck 3-epoch (2x2, b=1): of the three 2-subsets, {1,2} and
+        # {2,3} contain read quorums, {1,3} does not -> reads survive 2/3
+        # of the x=2 stuck states, and none of the x<=1 ones.
+        n = 9
+        write = dynamic_grid_unavailability(n)   # exact Fractions
+        read = dynamic_grid_read_unavailability(n)
+        assert read < write
+        # the x=2 states dominate the stuck mass at high p, so the ratio
+        # sits near 1 - 2/3 = 1/3
+        assert 0.3 < float(read / write) < 0.45
+
+    def test_exact_fraction_arithmetic(self):
+        from fractions import Fraction
+        value = dynamic_grid_read_unavailability(6, 1, 19)
+        assert isinstance(value, Fraction)
+
+    def test_float_mode(self):
+        value = dynamic_grid_read_unavailability(6, 1, 19, exact=False)
+        assert isinstance(value, float)
+
+
+class TestReadMonteCarlo:
+    def test_exact_dynamics_show_no_read_write_gap(self):
+        # A genuinely interesting reproduction finding: under the
+        # pseudo-code's physical-column rule, the single failures that
+        # wedge writes (singleton columns; the {1,3} terminal subset) also
+        # wedge reads, so exact-mode read and write unavailability
+        # coincide.  The chain's read advantage is an artefact of the
+        # full-cover idealisation.
+        lam, mu = 1.0, 4.0
+        write = simulate_dynamic_availability(9, lam, mu, 15000, seed=3,
+                                              kind="write")
+        read = simulate_dynamic_availability(9, lam, mu, 15000, seed=3,
+                                             kind="read")
+        assert read.unavailability == pytest.approx(write.unavailability,
+                                                    rel=1e-9)
+
+    def test_full_cover_rule_restores_the_gap(self):
+        lam, mu = 1.0, 3.0
+        rule = lambda nodes: GridCoterie(nodes, column_cover="full")
+        write = simulate_dynamic_availability(9, lam, mu, 15000, seed=4,
+                                              rule=rule, kind="write")
+        read = simulate_dynamic_availability(9, lam, mu, 15000, seed=4,
+                                             rule=rule, kind="read")
+        assert read.unavailability < write.unavailability
+
+
+class TestCheckRate:
+    def test_instant_checks_match_legacy_behaviour(self):
+        lam, mu = 1.0, 4.0
+        instant = simulate_dynamic_availability(6, lam, mu, 20000, seed=5)
+        assert instant.n_epoch_changes > 0
+
+    def test_frequent_checks_approach_instantaneous(self):
+        # A period of half the cluster failure inter-arrival (1/(N*lam))
+        # already lands within a small factor of the instantaneous-check
+        # idealisation, and far below the static protocol (~0.134 here).
+        lam, mu = 1.0, 4.0
+        instant = simulate_dynamic_availability(9, lam, mu, 15000, seed=6)
+        fast = simulate_dynamic_availability(9, lam, mu, 15000, seed=6,
+                                             check_interval=0.05)
+        assert instant.unavailability < fast.unavailability
+        assert fast.unavailability < 3 * instant.unavailability
+
+    def test_rare_checks_degrade_toward_static(self):
+        lam, mu = 1.0, 4.0
+        from repro.availability.formulas import grid_write_availability
+        from repro.coteries.grid import define_grid
+        shape = define_grid(9)
+        static = 1 - grid_write_availability(shape.m, shape.n,
+                                             mu / (lam + mu), b=shape.b)
+        fast = simulate_dynamic_availability(9, lam, mu, 20000, seed=7,
+                                             check_interval=0.05)
+        slow = simulate_dynamic_availability(9, lam, mu, 20000, seed=7,
+                                             check_interval=20.0)
+        assert fast.unavailability < slow.unavailability
+        # with checks far rarer than failures the protocol is effectively
+        # static (epoch frozen most of the time)
+        assert slow.unavailability == pytest.approx(static, rel=0.25)
+
+    def test_monotone_in_check_interval(self):
+        lam, mu = 1.0, 4.0
+        values = [simulate_dynamic_availability(
+            9, lam, mu, 15000, seed=8,
+            check_interval=interval).unavailability
+            for interval in (0.05, 1.0, 20.0)]
+        assert values[0] < values[2]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            simulate_dynamic_availability(4, 1, 1, 10, check_interval=0)
+        with pytest.raises(ValueError):
+            simulate_dynamic_availability(4, 1, 1, 10, idealized=True,
+                                          check_interval=1.0)
+        with pytest.raises(ValueError):
+            simulate_dynamic_availability(4, 1, 1, 10, kind="scan")

@@ -1,0 +1,74 @@
+"""Cross-validation of the Markov solvers against scipy and each other."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.availability.chains.dynamic_grid import build_epoch_chain
+from repro.availability.markov import MarkovChain
+
+
+def scipy_steady_state(chain: MarkovChain) -> dict:
+    """Independent solve: null space of Q^T via scipy."""
+    states = chain.states
+    index = {s: i for i, s in enumerate(states)}
+    n = len(states)
+    q = np.zeros((n, n))
+    for (src, dst), rate in chain.transitions().items():
+        q[index[src], index[dst]] += float(rate)
+        q[index[src], index[src]] -= float(rate)
+    null = scipy.linalg.null_space(q.T)
+    assert null.shape[1] == 1, "chain must be irreducible"
+    pi = null[:, 0]
+    pi = pi / pi.sum()
+    return {state: float(p) for state, p in zip(states, pi)}
+
+
+class TestCrossChecks:
+    @pytest.mark.parametrize("n,min_epoch", [(6, 3), (9, 3), (9, 2)])
+    def test_float_solver_matches_scipy_null_space(self, n, min_epoch):
+        chain = build_epoch_chain(n, 1, 19, min_epoch)
+        ours = chain.steady_state(exact=False)
+        scipys = scipy_steady_state(chain)
+        for state in chain.states:
+            assert ours[state] == pytest.approx(scipys[state],
+                                                rel=1e-6, abs=1e-12)
+
+    @pytest.mark.parametrize("n", [4, 6, 9])
+    def test_exact_solver_matches_float_on_large_components(self, n):
+        chain = build_epoch_chain(n, 1, 19, 3)
+        exact = chain.steady_state(exact=True)
+        approx = chain.steady_state(exact=False)
+        for state, probability in exact.items():
+            if probability > 1e-10:
+                assert approx[state] == pytest.approx(float(probability),
+                                                      rel=1e-6)
+
+    def test_exact_solver_resolves_tiny_components(self):
+        # The point of rational arithmetic: components near 1e-14 keep
+        # full relative precision (floats solve them too here, but with
+        # no a-priori guarantee).
+        chain = build_epoch_chain(15, 1, 19, 3)
+        exact = chain.steady_state(exact=True)
+        tiny = sum(p for s, p in exact.items() if s[0] == "U")
+        assert isinstance(tiny, Fraction)
+        assert Fraction(1, 10 ** 15) < tiny < Fraction(1, 10 ** 13)
+
+    def test_random_chain_against_scipy(self):
+        import random
+        rng = random.Random(7)
+        chain = MarkovChain()
+        n = 12
+        # a random strongly-connected chain: a cycle plus random chords
+        for i in range(n):
+            chain.add(i, (i + 1) % n, rng.randint(1, 9))
+        for _ in range(20):
+            a, b = rng.randrange(n), rng.randrange(n)
+            if a != b:
+                chain.add(a, b, rng.randint(1, 9))
+        ours = chain.steady_state()
+        scipys = scipy_steady_state(chain)
+        for state in chain.states:
+            assert ours[state] == pytest.approx(scipys[state], rel=1e-8)

@@ -1,0 +1,105 @@
+"""Dynamic-linear voting baseline: majority-of-last-update semantics."""
+
+import pytest
+
+from repro.baselines.dynamic_voting import DynamicVotingStore, _may_proceed
+from repro.core.store import StoreError
+
+
+class TestMajorityCondition:
+    def test_strict_majority(self):
+        assert _may_proceed({"a", "b"}, 3, "c")
+        assert not _may_proceed({"a"}, 3, "c")
+
+    def test_tie_break_by_distinguished_site(self):
+        assert _may_proceed({"b"}, 2, "b")
+        assert not _may_proceed({"a"}, 2, "b")
+
+    def test_no_distinguished_site_no_tie_break(self):
+        assert not _may_proceed({"a"}, 2, None)
+
+
+class TestProtocol:
+    def test_write_and_read(self):
+        store = DynamicVotingStore.create(5, seed=1)
+        result = store.write({"x": 1})
+        assert result.ok and result.version == 1
+        assert store.read().value == {"x": 1}
+        store.verify()
+
+    def test_metadata_tracks_participants(self):
+        store = DynamicVotingStore.create(5, seed=2)
+        store.write({"x": 1})
+        meta = store.partition_metadata()
+        # everyone participated: SC = 5, DS = highest-ordered node
+        assert all(m == (5, "n04") for m in meta.values())
+        store.crash("n04")
+        store.write({"x": 2})
+        meta = store.partition_metadata()
+        live = {n: m for n, m in meta.items() if n != "n04"}
+        assert all(m == (4, "n03") for m in live.values())
+
+    def test_survives_sequential_failures_to_one_node(self):
+        # dynamic-linear voting's hallmark: with the tie-break, the
+        # partition can shrink all the way to a single (priority) node
+        store = DynamicVotingStore.create(5, seed=3)
+        store.write({"x": 0})
+        for i, victim in enumerate(["n00", "n01", "n02", "n03"]):
+            store.crash(victim)
+            result = store.write({"x": i + 1})
+            assert result.ok, f"write failed after crashing {victim}"
+        assert store.replica_state("n04").value == {"x": 4}
+        store.verify()
+
+    def test_wrong_half_of_pair_cannot_proceed(self):
+        store = DynamicVotingStore.create(5, seed=4)
+        store.write({"x": 0})
+        for victim in ("n00", "n01", "n02"):
+            store.crash(victim)
+            assert store.write({"x": 1}).ok
+        # partition is now {n03, n04} with DS = n04; kill n04
+        store.crash("n04")
+        assert not store.write({"x": 9}, via="n03").ok
+        # the distinguished site returns: writes resume
+        store.recover("n04")
+        assert store.write({"x": 2}).ok
+        store.verify()
+
+    def test_minority_partition_cannot_write(self):
+        store = DynamicVotingStore.create(5, seed=5)
+        store.write({"x": 1})
+        store.partition(["n00", "n01"], ["n02", "n03", "n04"])
+        assert not store.write({"bad": 1}, via="n00").ok
+        assert store.write({"x": 2}, via="n02").ok
+        store.heal()
+        # healed nodes are absorbed by the next write's total overwrite
+        result = store.write({"x": 3})
+        assert result.ok and set(result.good) == set(store.node_names)
+        store.verify()
+
+    def test_stale_partition_rejoins_consistently(self):
+        store = DynamicVotingStore.create(5, seed=6)
+        store.write({"x": 1})
+        store.partition(["n03", "n04"], ["n00", "n01", "n02"])
+        assert store.write({"x": 2}, via="n00").ok   # majority side
+        store.heal()
+        read = store.read(via="n03")
+        assert read.ok and read.value == {"x": 2}
+        store.verify()
+
+    def test_no_epoch_checking(self):
+        store = DynamicVotingStore.create(3, seed=7)
+        with pytest.raises(StoreError):
+            store.start_epoch_check()
+
+    def test_reads_respect_majority_condition(self):
+        store = DynamicVotingStore.create(5, seed=8)
+        store.write({"x": 1})
+        store.crash("n00", "n01")
+        assert store.write({"x": 2}).ok       # SC drops to 3
+        store.crash("n02", "n03")             # 1 of 3 left, DS=n04...
+        meta = store.partition_metadata()["n04"]
+        assert meta == (3, "n04")
+        # n04 alone: |I|=1 of SC=3 -> no majority, no tie eligibility
+        assert not store.read(via="n04").ok
+        store.verify()

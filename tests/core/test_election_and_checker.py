@@ -1,0 +1,107 @@
+"""The periodic epoch checker and its bully election."""
+
+from repro.core.config import ProtocolConfig
+from repro.core.store import ReplicatedStore
+
+
+def fast_config(**overrides):
+    defaults = dict(epoch_check_interval=5.0, epoch_check_staleness=12.0,
+                    election_timeout=1.0)
+    defaults.update(overrides)
+    return ProtocolConfig(**defaults)
+
+
+class TestElection:
+    def test_an_initiator_emerges(self):
+        store = ReplicatedStore.create(5, seed=1, config=fast_config(),
+                                       auto_epoch_check=True,
+                                       trace_enabled=True)
+        store.advance(60)
+        initiators = [name for name, checker in store.checkers.items()
+                      if checker.is_initiator]
+        assert len(initiators) == 1
+        # bully: the highest-named live node wins
+        assert initiators == ["n04"]
+
+    def test_initiator_failover(self):
+        store = ReplicatedStore.create(5, seed=2, config=fast_config(),
+                                       auto_epoch_check=True)
+        store.advance(60)
+        assert store.checkers["n04"].is_initiator
+        store.crash("n04")
+        store.advance(80)
+        survivors = [name for name, checker in store.checkers.items()
+                     if checker.is_initiator and store.nodes[name].up]
+        assert survivors == ["n03"]
+
+    def test_recovered_higher_node_takes_back_initiation(self):
+        store = ReplicatedStore.create(5, seed=3, config=fast_config(),
+                                       auto_epoch_check=True)
+        store.advance(60)
+        store.crash("n04")
+        store.advance(80)
+        store.recover("n04")
+        store.advance(120)
+        initiators = [name for name, checker in store.checkers.items()
+                      if checker.is_initiator and store.nodes[name].up]
+        assert initiators == ["n04"]
+
+    def test_only_one_initiator_among_up_nodes(self):
+        store = ReplicatedStore.create(7, seed=4, config=fast_config(),
+                                       auto_epoch_check=True)
+        store.advance(50)
+        for _round in range(3):
+            store.crash("n06")
+            store.advance(60)
+            store.recover("n06")
+            store.advance(60)
+        live_initiators = [name for name, checker in store.checkers.items()
+                           if checker.is_initiator and store.nodes[name].up]
+        assert len(live_initiators) == 1
+
+
+class TestAutomaticEpochManagement:
+    def test_failures_absorbed_without_manual_checks(self):
+        store = ReplicatedStore.create(9, seed=5, config=fast_config(),
+                                       auto_epoch_check=True)
+        store.advance(40)  # elect an initiator
+        store.write({"x": 1})
+        store.crash("n03")
+        store.advance(30)  # checker runs at least twice
+        epoch, number = store.current_epoch()
+        assert "n03" not in epoch and number >= 1
+        assert store.write({"y": 2}).ok
+        store.verify()
+
+    def test_recovery_absorbed_automatically(self):
+        store = ReplicatedStore.create(9, seed=6, config=fast_config(),
+                                       auto_epoch_check=True)
+        store.advance(40)
+        store.crash("n03")
+        store.advance(30)
+        store.write({"x": 1})
+        store.recover("n03")
+        store.advance(30)
+        epoch, _ = store.current_epoch()
+        assert "n03" in epoch
+        store.settle()
+        assert store.replica_state("n03").value == {"x": 1}
+        store.verify()
+
+    def test_epoch_checks_keep_running(self):
+        store = ReplicatedStore.create(5, seed=7, config=fast_config(),
+                                       auto_epoch_check=True)
+        store.advance(100)
+        assert len(store.history.epoch_checks) >= 5
+
+    def test_no_interference_without_failures(self):
+        # With no failures, automatic epoch checking must never change the
+        # epoch or abort writes.
+        store = ReplicatedStore.create(9, seed=8, config=fast_config(),
+                                       auto_epoch_check=True)
+        store.advance(50)
+        for i in range(10):
+            assert store.write({"k": i}, via=f"n{i % 9:02d}").ok
+            store.advance(3.0)
+        assert store.current_epoch()[1] == 0
+        store.verify()

@@ -1,0 +1,237 @@
+"""Protocol behaviour under crashes, partitions, and epoch changes."""
+
+import pytest
+
+from repro.core.history import ConsistencyError
+from repro.core.store import ReplicatedStore
+
+
+class TestHeavyProcedure:
+    def test_write_survives_quorum_member_crash(self):
+        store = ReplicatedStore.create(9, seed=1)
+        store.write({"x": 1})
+        # crash two nodes; some quorums break, HeavyProcedure kicks in
+        store.crash("n00", "n04")
+        result = store.write({"y": 2})
+        assert result.ok
+        assert store.read().value == {"x": 1, "y": 2}
+        store.verify()
+
+    def test_heavy_case_reported(self):
+        store = ReplicatedStore.create(9, seed=2)
+        # n05's default quorum includes nodes we kill; find a seed-stable
+        # situation by killing a whole column's worth of first choices
+        store.crash("n00", "n04")
+        result = store.write({"y": 2}, via="n05")
+        assert result.ok
+        assert result.case in ("fast", "heavy")
+
+    def test_write_fails_without_any_write_quorum(self):
+        store = ReplicatedStore.create(9, seed=3)
+        # kill an entire grid column: no write (or read) quorum exists
+        store.crash("n02", "n05", "n08")
+        result = store.write({"x": 1})
+        assert not result.ok and result.case == "no-quorum"
+        read = store.read()
+        assert not read.ok
+        store.verify()  # failed ops don't corrupt anything
+
+    def test_locks_released_after_failed_write(self):
+        store = ReplicatedStore.create(9, seed=4)
+        store.crash("n02", "n05", "n08")
+        store.write({"x": 1})
+        store.advance(10)  # releases + leases drain
+        store.recover("n02", "n05", "n08")
+        assert store.write({"x": 2}).ok  # nothing left locked
+
+    def test_read_uses_heavy_path_when_quorum_member_down(self):
+        store = ReplicatedStore.create(9, seed=5)
+        store.write({"x": 1})
+        store.crash("n01")
+        read = store.read(via="n00")
+        assert read.ok and read.value == {"x": 1}
+        store.verify()
+
+
+class TestEpochChanges:
+    def test_epoch_shrinks_after_failures(self):
+        store = ReplicatedStore.create(9, seed=6)
+        store.write({"x": 1})
+        store.crash("n03", "n07")
+        result = store.check_epoch()
+        assert result.ok and result.changed
+        epoch, number = store.current_epoch()
+        assert number == 1
+        assert set(epoch) == set(store.node_names) - {"n03", "n07"}
+
+    def test_epoch_regrows_after_recovery(self):
+        store = ReplicatedStore.create(9, seed=7)
+        store.crash("n03")
+        assert store.check_epoch().changed
+        store.recover("n03")
+        result = store.check_epoch()
+        assert result.ok and result.changed
+        epoch, number = store.current_epoch()
+        assert number == 2 and "n03" in epoch
+
+    def test_rejoining_node_is_marked_stale_and_healed(self):
+        store = ReplicatedStore.create(9, seed=8)
+        store.write({"x": 1})
+        store.crash("n05")
+        store.check_epoch()
+        store.write({"y": 2})          # n05 misses this write
+        store.recover("n05")
+        result = store.check_epoch()
+        assert result.changed
+        assert "n05" in result.stale   # flagged out-of-date on rejoin
+        store.settle()
+        assert store.replica_state("n05").value == {"x": 1, "y": 2}
+        assert not store.replica_state("n05").stale
+
+    def test_writes_work_in_shrunk_epoch(self):
+        # Lose an entire grid column -- but gradually, with epoch checks in
+        # between.  A static grid dies the moment its column is gone; the
+        # dynamic protocol rebuilds a smaller grid each time and sails on.
+        store = ReplicatedStore.create(9, seed=9)
+        store.write({"x": 1})
+        for victim in ("n02", "n05", "n08"):
+            store.crash(victim)
+            assert store.check_epoch().ok
+        epoch, _ = store.current_epoch()
+        assert len(epoch) == 6
+        result = store.write({"y": 2})
+        assert result.ok
+        assert store.read().value == {"x": 1, "y": 2}
+        store.verify()
+
+    def test_losing_a_whole_column_at_once_wedges_the_epoch(self):
+        # The flip side (paper Section 6's stuck states): simultaneous
+        # failures that erase every write quorum of the current epoch make
+        # even the epoch change impossible until enough nodes return.
+        store = ReplicatedStore.create(9, seed=9)
+        store.write({"x": 1})
+        store.crash("n02", "n05", "n08")   # full column, all at once
+        assert not store.write({"y": 2}).ok
+        assert not store.check_epoch().ok
+        store.recover("n05")
+        assert store.check_epoch().ok      # quorum restored -> adapts
+        assert store.write({"y": 2}).ok
+        store.verify()
+
+    def test_gradual_failures_down_to_three_nodes(self):
+        # The dynamic protocol's whole point: sequential failures are
+        # absorbed one epoch at a time, far past any static quorum.
+        store = ReplicatedStore.create(9, seed=10)
+        store.write({"x": 0})
+        for i, victim in enumerate(
+                ["n08", "n07", "n06", "n05", "n04", "n03"]):
+            store.crash(victim)
+            assert store.check_epoch().ok
+            result = store.write({"x": i + 1})
+            assert result.ok, f"write failed after killing {victim}"
+        epoch, _ = store.current_epoch()
+        assert set(epoch) == {"n00", "n01", "n02"}
+        assert store.read().value == {"x": 6}
+        store.verify()
+
+    def test_epoch_cannot_change_without_write_quorum_of_old(self):
+        store = ReplicatedStore.create(9, seed=11)
+        store.crash("n02", "n05", "n08")  # full column gone
+        result = store.check_epoch()
+        assert not result.ok and result.reason == "no-quorum"
+        assert store.current_epoch()[1] == 0
+
+    def test_epoch_numbers_strictly_increase(self):
+        store = ReplicatedStore.create(9, seed=12)
+        numbers = [store.current_epoch()[1]]
+        for victim in ("n08", "n07"):
+            store.crash(victim)
+            store.check_epoch()
+            numbers.append(store.current_epoch()[1])
+        store.recover("n07", "n08")
+        store.check_epoch()
+        numbers.append(store.current_epoch()[1])
+        assert numbers == [0, 1, 2, 3]
+
+
+class TestPartitions:
+    def test_only_one_side_can_write(self):
+        store = ReplicatedStore.create(9, seed=13)
+        store.write({"x": 1})
+        # split: minority takes part of each column except a full one
+        store.partition(["n00", "n01"],
+                        ["n02", "n03", "n04", "n05", "n06", "n07", "n08"])
+        minority = store.write({"z": 9}, via="n00")
+        majority = store.write({"z": 3}, via="n03")
+        assert not minority.ok
+        assert majority.ok
+        store.heal()
+        store.settle()
+        assert store.read().value == {"x": 1, "z": 3}
+        store.verify()
+
+    def test_epoch_unique_across_partition(self):
+        # Lemma 1: at most one partition can form a new epoch.
+        store = ReplicatedStore.create(9, seed=14)
+        store.partition(["n00", "n01"],
+                        ["n02", "n03", "n04", "n05", "n06", "n07", "n08"])
+        small = store.check_epoch(via="n00")
+        big = store.check_epoch(via="n02")
+        assert not small.ok
+        assert big.ok and big.changed
+        store.heal()
+        store.verify()  # includes epoch uniqueness over replica states
+
+    def test_minority_catches_up_after_heal(self):
+        store = ReplicatedStore.create(9, seed=15)
+        store.write({"x": 1})
+        store.partition(["n00", "n01"],
+                        ["n02", "n03", "n04", "n05", "n06", "n07", "n08"])
+        store.check_epoch(via="n02")
+        store.write({"y": 2}, via="n02")
+        store.heal()
+        result = store.check_epoch(via="n02")
+        assert result.changed
+        epoch, _ = store.current_epoch()
+        assert set(epoch) == set(store.node_names)
+        store.settle()
+        read = store.read(via="n00")
+        assert read.ok and read.value == {"x": 1, "y": 2}
+        store.verify()
+
+    def test_total_partition_blocks_everyone_but_preserves_data(self):
+        store = ReplicatedStore.create(9, seed=16)
+        store.write({"x": 1})
+        store.partition(["n00", "n03", "n06"], ["n01", "n04", "n07"],
+                        ["n02", "n05", "n08"])
+        for via in ("n00", "n01", "n02"):
+            assert not store.write({"bad": 1}, via=via).ok
+        store.heal()
+        store.settle()
+        assert store.read().value == {"x": 1}
+        store.verify()
+
+
+class TestStaleReads:
+    def test_read_never_returns_stale_value(self):
+        store = ReplicatedStore.create(9, seed=17)
+        store.write({"x": 1}, via="n00")
+        second = store.write({"x": 2}, via="n05")
+        # read via every replica immediately; stale replicas must not win
+        for via in store.node_names:
+            read = store.read(via=via)
+            if read.ok:
+                assert read.value == {"x": 2}, (via, read)
+        store.verify()
+
+    def test_reads_fail_rather_than_return_doubtful_data(self):
+        # Force a situation where only stale replicas answer: kill all the
+        # good ones right after a write that marked others stale.
+        store = ReplicatedStore.create(4, seed=18)
+        result = store.write({"x": 1})
+        assert result.ok
+        store.crash(*result.good)
+        read = store.read()
+        if read.ok:   # only acceptable if some good replica survived
+            assert read.value == {"x": 1}
+        store.verify()

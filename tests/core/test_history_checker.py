@@ -1,0 +1,149 @@
+"""The consistency checker itself: it must accept legal histories and
+reject each class of violation with a useful message."""
+
+import pytest
+
+from repro.core.history import (
+    ConsistencyError,
+    History,
+    OpRecord,
+    check_epoch_uniqueness,
+    check_one_copy_serializability,
+    replay,
+)
+from repro.core.messages import ReadResult, WriteResult
+
+
+def add_write(history, op_id, start, end, version, updates):
+    record = history.start("write", op_id, "c", start, updates=updates)
+    history.finish(record, end, WriteResult(True, version=version))
+    return record
+
+
+def add_read(history, op_id, start, end, version, value):
+    record = history.start("read", op_id, "c", start)
+    history.finish(record, end,
+                   ReadResult(True, value=value, version=version))
+    return record
+
+
+class TestReplay:
+    def test_replay_applies_partial_updates_in_order(self):
+        history = History()
+        add_write(history, "w1", 0, 1, 1, {"a": 1})
+        add_write(history, "w2", 2, 3, 2, {"b": 2})
+        add_write(history, "w3", 4, 5, 3, {"a": 9})
+        writes = history.committed_writes()
+        assert replay(writes, 0) == {}
+        assert replay(writes, 1) == {"a": 1}
+        assert replay(writes, 2) == {"a": 1, "b": 2}
+        assert replay(writes, 3) == {"a": 9, "b": 2}
+
+    def test_replay_with_initial_value(self):
+        history = History()
+        add_write(history, "w1", 0, 1, 1, {"a": 1})
+        assert replay(history.committed_writes(), 1, {"z": 0}) == \
+            {"a": 1, "z": 0}
+
+
+class TestAccepts:
+    def test_empty_history(self):
+        assert check_one_copy_serializability(History())["writes"] == 0
+
+    def test_serial_history(self):
+        history = History()
+        add_write(history, "w1", 0, 1, 1, {"a": 1})
+        add_read(history, "r1", 2, 3, 1, {"a": 1})
+        add_write(history, "w2", 4, 5, 2, {"a": 2})
+        add_read(history, "r2", 6, 7, 2, {"a": 2})
+        stats = check_one_copy_serializability(history)
+        assert stats == {"writes": 2, "reads": 2, "failed": 0,
+                         "max_version": 2}
+
+    def test_concurrent_read_may_see_either_side(self):
+        history = History()
+        add_write(history, "w1", 0, 1, 1, {"a": 1})
+        add_write(history, "w2", 2, 6, 2, {"a": 2})
+        # read overlaps w2: both v1 and v2 are legal outcomes
+        add_read(history, "r1", 3, 5, 1, {"a": 1})
+        add_read(history, "r2", 3, 5, 2, {"a": 2})
+        check_one_copy_serializability(history)
+
+    def test_failed_operations_ignored(self):
+        history = History()
+        record = history.start("write", "w1", "c", 0, updates={"a": 1})
+        history.finish(record, 1, WriteResult(False, case="no-quorum"))
+        stats = check_one_copy_serializability(history)
+        assert stats["failed"] == 1 and stats["writes"] == 0
+
+
+class TestRejects:
+    def test_duplicate_versions(self):
+        history = History()
+        add_write(history, "w1", 0, 1, 1, {"a": 1})
+        add_write(history, "w2", 2, 3, 1, {"a": 2})
+        with pytest.raises(ConsistencyError, match="duplicate"):
+            check_one_copy_serializability(history)
+
+    def test_version_order_contradicts_real_time(self):
+        history = History()
+        add_write(history, "w1", 0, 1, 2, {"a": 1})   # v2 finished first...
+        add_write(history, "w2", 5, 6, 1, {"a": 2})   # ...but v1 started later
+        with pytest.raises(ConsistencyError, match="finished at"):
+            check_one_copy_serializability(history)
+
+    def test_read_with_wrong_value(self):
+        history = History()
+        add_write(history, "w1", 0, 1, 1, {"a": 1})
+        add_read(history, "r1", 2, 3, 1, {"a": 999})
+        with pytest.raises(ConsistencyError, match="replay gives"):
+            check_one_copy_serializability(history)
+
+    def test_stale_read(self):
+        history = History()
+        add_write(history, "w1", 0, 1, 1, {"a": 1})
+        add_write(history, "w2", 2, 3, 2, {"a": 2})
+        add_read(history, "r1", 5, 6, 1, {"a": 1})  # w2 ended before r1
+        with pytest.raises(ConsistencyError, match="stale read"):
+            check_one_copy_serializability(history)
+
+    def test_read_from_the_future(self):
+        history = History()
+        add_write(history, "w1", 0, 1, 1, {"a": 1})
+        add_read(history, "r1", 2, 3, 2, {"a": 2})   # v2 doesn't exist yet
+        add_write(history, "w2", 5, 6, 2, {"a": 2})
+        with pytest.raises(ConsistencyError, match="future"):
+            check_one_copy_serializability(history)
+
+    def test_read_without_version(self):
+        history = History()
+        record = history.start("read", "r1", "c", 0)
+        history.finish(record, 1, ReadResult(True, value={}, version=None))
+        with pytest.raises(ConsistencyError, match="no version"):
+            check_one_copy_serializability(history)
+
+
+class _FakeServer:
+    def __init__(self, name, epoch_list, epoch_number):
+        self.name = name
+        from repro.core.state import ReplicaState
+        self.state = ReplicaState(epoch_list=tuple(epoch_list),
+                                  epoch_number=epoch_number)
+
+
+class TestEpochUniqueness:
+    def test_accepts_consistent_epochs(self):
+        servers = [_FakeServer("a", ("a", "b"), 1),
+                   _FakeServer("b", ("a", "b"), 1)]
+        check_epoch_uniqueness(servers)
+
+    def test_rejects_diverging_lists_for_same_number(self):
+        servers = [_FakeServer("a", ("a", "b"), 1),
+                   _FakeServer("c", ("a", "c"), 1)]
+        with pytest.raises(ConsistencyError, match="two lists"):
+            check_epoch_uniqueness(servers)
+
+    def test_rejects_non_member_storing_epoch(self):
+        servers = [_FakeServer("z", ("a", "b"), 1)]
+        with pytest.raises(ConsistencyError, match="not a member"):
+            check_epoch_uniqueness(servers)

@@ -1,0 +1,193 @@
+"""Asynchronous update propagation: log shipping, snapshots, races."""
+
+from repro.core.config import ProtocolConfig
+from repro.core.messages import PropagationData, PropagationOffer
+from repro.core.store import ReplicatedStore
+
+
+class TestHealing:
+    def test_stale_replica_healed_by_log_shipping(self):
+        store = ReplicatedStore.create(9, seed=1, trace_enabled=True)
+        store.write({"x": 1}, via="n00")
+        second = store.write({"y": 2}, via="n05")
+        assert second.stale
+        store.settle()
+        shipped = store.trace.select(kind="propagation-shipped")
+        assert shipped
+        assert any(rec.detail["payload"] == "log" for rec in shipped)
+        for name in second.stale:
+            assert store.replica_state(name).version == second.version
+
+    def test_snapshot_fallback_when_log_truncated(self):
+        config = ProtocolConfig(update_log_capacity=2)
+        store = ReplicatedStore.create(9, seed=2, config=config,
+                                       trace_enabled=True)
+        store.write({"k0": 0}, via="n00")
+        # make n08 fall far behind: crash it, shrink the epoch, write a
+        # lot, then let it rejoin -- it comes back >2 versions behind the
+        # truncated log
+        store.crash("n08")
+        assert store.check_epoch().changed
+        for i in range(1, 6):
+            store.write({f"k{i}": i}, via="n00")
+        store.recover("n08")
+        result = store.check_epoch()
+        assert result.changed and "n08" in result.stale
+        store.settle()
+        state = store.replica_state("n08")
+        assert not state.stale
+        assert state.value == {f"k{i}": i for i in range(6)}
+        shipped = store.trace.select(kind="propagation-shipped",
+                                     predicate=lambda r: r.detail["target"] == "n08")
+        assert any(rec.detail["payload"] == "snapshot" for rec in shipped)
+
+    def test_propagation_does_not_regress_newer_target(self):
+        # A stale target must reject propagation from a source older than
+        # its desired version (dversion check in PropagateResponse).
+        store = ReplicatedStore.create(9, seed=3)
+        server = store.servers["n00"]
+        # hand-craft: n00 stale wanting v5; offer from a v3 source
+        server.state = server.state.marked_stale(5)
+        offers = []
+
+        def client():
+            response = yield store.servers["n01"].rpc.call(
+                "n00", "propagation-offer",
+                PropagationOffer(source="n01", version=3))
+            offers.append(response)
+
+        store.join(store.nodes["n01"].spawn(client()))
+        assert offers == ["i-am-current"]  # refuses the stale source
+
+    def test_offer_to_current_replica_answered_i_am_current(self):
+        store = ReplicatedStore.create(4, seed=4)
+        store.write({"x": 1})
+        responses = []
+
+        def client():
+            response = yield store.servers["n01"].rpc.call(
+                "n00", "propagation-offer",
+                PropagationOffer(source="n01", version=1))
+            responses.append(response)
+
+        store.join(store.nodes["n01"].spawn(client()))
+        assert responses == ["i-am-current"]
+
+    def test_concurrent_offers_one_wins(self):
+        # Two sources offer simultaneously; the second must see
+        # already-recovering (the locked-for-propagation bit).
+        store = ReplicatedStore.create(9, seed=5)
+        target = store.servers["n02"]
+        target.state = target.state.marked_stale(1)
+        # make sources current at v1
+        for source in ("n00", "n01"):
+            server = store.servers[source]
+            server.state = server.state.applied({"x": 1}, 1, 8)
+        answers = {}
+
+        def offer_from(source):
+            response = yield store.servers[source].rpc.call(
+                "n02", "propagation-offer",
+                PropagationOffer(source=source, version=1))
+            answers[source] = response
+
+        p1 = store.nodes["n00"].spawn(offer_from("n00"))
+        p2 = store.nodes["n01"].spawn(offer_from("n01"))
+        store.join(p1, p2)
+        granted = [s for s, a in answers.items()
+                   if isinstance(a, tuple) and a[0] == "propagation-permitted"]
+        deferred = [s for s, a in answers.items()
+                    if a == "already-recovering"]
+        assert len(granted) == 1 and len(deferred) == 1
+
+    def test_same_tick_offers_do_not_crash(self):
+        # regression: two offers delivered in the SAME tick both pass the
+        # recovering check; with a shared lock-owner name the second
+        # acquire was a duplicate-owner error that killed the simulation.
+        store = ReplicatedStore.create(9, seed=5, latency=(0.01, 0.01))
+        target = store.servers["n02"]
+        target.state = target.state.marked_stale(1)
+        for source in ("n00", "n01"):
+            server = store.servers[source]
+            server.state = server.state.applied({"x": 1}, 1, 8)
+        answers = {}
+
+        def offer_from(source):
+            response = yield store.servers[source].rpc.call(
+                "n02", "propagation-offer",
+                PropagationOffer(source=source, version=1))
+            answers[source] = response
+
+        p1 = store.nodes["n00"].spawn(offer_from("n00"))
+        p2 = store.nodes["n01"].spawn(offer_from("n01"))
+        store.join(p1, p2)
+        granted = [a for a in answers.values()
+                   if isinstance(a, tuple) and a[0] == "propagation-permitted"]
+        # constant latency: both arrive together; exactly one may hold the
+        # permit, the other either defers or learns the truth under lock
+        assert len(granted) <= 1
+        assert len(answers) == 2
+
+    def test_permit_lease_expires_without_data(self):
+        store = ReplicatedStore.create(4, seed=6)
+        target = store.servers["n01"]
+        target.state = target.state.marked_stale(1)
+        source = store.servers["n00"]
+        source.state = source.state.applied({"x": 1}, 1, 8)
+        answers = []
+
+        def offer_only():
+            response = yield source.rpc.call(
+                "n01", "propagation-offer",
+                PropagationOffer(source="n00", version=1))
+            answers.append(response)
+
+        store.join(store.nodes["n00"].spawn(offer_only()))
+        assert answers[0][0] == "propagation-permitted"
+        assert target.lock.locked
+        store.advance(store.config.propagation_lease + 1)
+        assert not target.lock.locked   # lease reclaimed the lock
+        assert target.node.volatile.get("recovering") is None
+
+    def test_data_without_permit_rejected(self):
+        store = ReplicatedStore.create(4, seed=7)
+        results = []
+
+        def send_data():
+            response = yield store.servers["n00"].rpc.call(
+                "n01", "propagation-data",
+                PropagationData(source_version=3, snapshot={"x": 3}))
+            results.append(response)
+
+        store.join(store.nodes["n00"].spawn(send_data()))
+        assert results == ["no-permit"]
+        assert store.replica_state("n01").version == 0
+
+    def test_propagation_gives_up_on_dead_target(self):
+        store = ReplicatedStore.create(9, seed=8, trace_enabled=True)
+        store.write({"x": 1}, via="n00")
+        second = store.write({"y": 2}, via="n05")
+        victims = list(second.stale)
+        store.crash(*victims)
+        store.advance(60)
+        gave_up = store.trace.select(kind="propagation-gave-up")
+        assert {rec.detail["target"] for rec in gave_up} == set(victims)
+
+
+class TestPartialWritePayoff:
+    def test_log_shipping_moves_only_deltas(self):
+        # The partial-write design goal: catch-up transfers carry the
+        # missing updates, not whole objects.
+        store = ReplicatedStore.create(9, seed=9, trace_enabled=True)
+        big_value = {f"field{i}": "x" * 50 for i in range(40)}
+        store.write(big_value, via="n00")
+        store.settle()
+        store.trace.clear()
+        small = store.write({"field0": "tiny"}, via="n05")
+        store.settle()
+        shipped = store.trace.select(kind="propagation-shipped")
+        assert shipped and all(rec.detail["payload"] == "log"
+                               for rec in shipped)
+        for name in small.stale:
+            assert store.replica_state(name).value["field0"] == "tiny"
+            assert store.replica_state(name).value["field39"] == "x" * 50

@@ -1,0 +1,171 @@
+"""End-to-end tests of the failure-free protocol paths."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.store import ReplicatedStore, StoreError
+from repro.coteries.majority import MajorityCoterie
+from repro.coteries.tree import TreeCoterie
+
+
+class TestHappyPath:
+    def test_single_write_and_read(self):
+        store = ReplicatedStore.create(9, seed=1)
+        result = store.write({"x": 1})
+        assert result.ok and result.version == 1 and result.case == "fast"
+        read = store.read()
+        assert read.ok and read.value == {"x": 1} and read.version == 1
+        assert store.verify()["writes"] == 1
+
+    def test_partial_writes_accumulate(self):
+        store = ReplicatedStore.create(9, seed=2)
+        store.write({"a": 1})
+        store.write({"b": 2})
+        store.write({"a": 3})
+        read = store.read()
+        assert read.value == {"a": 3, "b": 2}
+        assert read.version == 3
+        store.verify()
+
+    def test_initial_value_visible(self):
+        store = ReplicatedStore.create(4, seed=3,
+                                       initial_value={"seed": True})
+        read = store.read()
+        assert read.ok and read.value == {"seed": True} and read.version == 0
+
+    def test_versions_advance_on_quorum_replicas_only(self):
+        store = ReplicatedStore.create(9, seed=4)
+        result = store.write({"x": 1})
+        versions = store.versions()
+        for name in result.good:
+            assert versions[name] == 1
+        untouched = set(store.node_names) - set(result.good) - set(result.stale)
+        for name in untouched:
+            assert versions[name] == 0
+
+    def test_different_coordinators_use_different_quorums(self):
+        store = ReplicatedStore.create(16, seed=5)
+        results = [store.write({"k": i}, via=f"n{i:02d}") for i in range(6)]
+        quorums = {tuple(sorted(set(r.good) | set(r.stale))) for r in results}
+        assert len(quorums) > 1  # load sharing across coordinators
+
+    def test_write_marks_unreached_responders_stale(self):
+        store = ReplicatedStore.create(9, seed=6)
+        store.write({"x": 1}, via="n00")
+        second = store.write({"y": 2}, via="n05")
+        # whoever answered the second write without the latest version got
+        # marked stale with desired version 2
+        for name in second.stale:
+            state = store.replica_state(name)
+            assert state.stale or state.version == 2  # healed already?
+
+    def test_propagation_heals_stale_replicas(self):
+        store = ReplicatedStore.create(9, seed=7)
+        store.write({"x": 1}, via="n00")
+        second = store.write({"y": 2}, via="n05")
+        assert second.stale  # someone was marked stale
+        store.settle()
+        assert store.stale_replicas() == []
+        for name in second.stale:
+            assert store.replica_state(name).version == 2
+            assert store.replica_state(name).value == {"x": 1, "y": 2}
+
+    def test_read_after_heal_from_any_node(self):
+        store = ReplicatedStore.create(9, seed=8)
+        store.write({"x": 1})
+        store.write({"x": 2}, via="n04")
+        store.settle()
+        for via in store.node_names:
+            read = store.read(via=via)
+            assert read.ok and read.value == {"x": 2}
+        store.verify()
+
+    def test_epoch_check_without_failures_changes_nothing(self):
+        store = ReplicatedStore.create(9, seed=9)
+        store.write({"x": 1})
+        result = store.check_epoch()
+        assert result.ok and not result.changed
+        assert store.current_epoch()[1] == 0
+
+    def test_works_with_majority_coterie(self):
+        store = ReplicatedStore.create(5, seed=10,
+                                       coterie_rule=MajorityCoterie)
+        assert store.write({"x": 1}).ok
+        assert store.read().value == {"x": 1}
+        store.verify()
+
+    def test_works_with_tree_coterie(self):
+        store = ReplicatedStore.create(7, seed=11, coterie_rule=TreeCoterie)
+        assert store.write({"x": 1}).ok
+        assert store.read().value == {"x": 1}
+        store.verify()
+
+    def test_single_replica_store(self):
+        store = ReplicatedStore.create(1, seed=12)
+        assert store.write({"x": 1}).ok
+        assert store.read().value == {"x": 1}
+        store.verify()
+
+
+class TestFacade:
+    def test_unknown_via_rejected(self):
+        store = ReplicatedStore.create(3, seed=0)
+        with pytest.raises(StoreError):
+            store.write({"x": 1}, via="n99")
+
+    def test_no_up_node_rejected(self):
+        store = ReplicatedStore.create(3, seed=0)
+        store.crash("n00", "n01", "n02")
+        with pytest.raises(StoreError):
+            store.write({"x": 1})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(StoreError):
+            ReplicatedStore(["a", "a"])
+
+    def test_join_timeout(self):
+        store = ReplicatedStore.create(3, seed=0)
+        stuck = store.env.event()  # never triggered
+
+        def waiter():
+            yield stuck
+
+        process = store.env.process(waiter())
+        with pytest.raises(StoreError):
+            store.join(process, timeout=1.0)
+
+    def test_default_via_is_lowest_up_node(self):
+        store = ReplicatedStore.create(4, seed=0)
+        store.crash("n00")
+        result = store.write({"x": 1})
+        assert result.op_id.startswith("n01:")
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicatedStore.create(3, config=ProtocolConfig(rpc_timeout=-1))
+
+    def test_advance_moves_clock(self):
+        store = ReplicatedStore.create(3, seed=0)
+        store.advance(5.0)
+        assert store.env.now == 5.0
+
+
+class TestMessageEconomy:
+    def test_fast_write_contacts_only_the_quorum(self):
+        store = ReplicatedStore.create(16, seed=13, trace_enabled=True)
+        store.write({"x": 1})
+        polled = {rec.detail["dst"]
+                  for rec in store.trace.select(kind="send")
+                  if rec.detail.get("msg_kind") == "rpc-req"}
+        # 4x4 grid: a write quorum is 7 nodes; only they hear anything
+        assert len(polled) == 7
+
+    def test_read_contacts_read_quorum_only(self):
+        store = ReplicatedStore.create(16, seed=14, trace_enabled=True)
+        store.write({"x": 1})
+        store.trace.clear()
+        store.read()
+        polled = {rec.detail["dst"]
+                  for rec in store.trace.select(kind="send")
+                  if rec.detail.get("msg_kind") == "rpc-req"}
+        assert len(polled) == 4  # sqrt(16)

@@ -1,0 +1,99 @@
+"""The Section 4.1 safety-threshold extension.
+
+Without it, a write that found a single good replica leaves the system one
+failure away from losing currency: if that replica dies before propagating,
+the data item becomes unavailable for writes.  With a threshold of k, the
+coordinator adds known-good replicas (from the recorded good list) to the
+write set so at least k copies of the new version exist at commit.
+"""
+
+from repro.core.config import ProtocolConfig
+from repro.core.store import ReplicatedStore
+
+
+class TestVulnerabilityWindow:
+    def test_single_good_replica_crash_wedges_writes(self):
+        # Demonstrate the window the extension closes.  Arrange a write
+        # whose GOOD set is a single node, then kill that node before
+        # propagation runs.
+        store = ReplicatedStore.create(9, seed=1)
+        first = store.write({"x": 1}, via="n00")
+        # kill all good replicas except one, immediately
+        survivors = list(first.good)
+        keep = survivors[0]
+        store.crash(*survivors[1:])
+        second = store.write({"x": 2}, via=keep)
+        if second.ok and len(second.good) == 1:
+            # the vulnerability: the only good replica dies right away
+            store.crash(second.good[0])
+            third = store.write({"x": 3})
+            assert not third.ok   # no current replica reachable
+        store.verify()
+
+
+class TestExtension:
+    def make_store(self, threshold, seed=2):
+        config = ProtocolConfig(safety_threshold=threshold)
+        return ReplicatedStore.create(9, seed=seed, config=config)
+
+    def test_good_list_recorded_on_participants(self):
+        store = self.make_store(0)
+        result = store.write({"x": 1})
+        for name in result.good:
+            recorded = store.servers[name].node.stable["last_good"]
+            assert recorded is not None
+            assert recorded[0] == result.version
+            assert set(result.good) <= set(recorded[1])
+
+    def test_threshold_widens_good_set(self):
+        # Steady state: all replicas current.  A normal write updates just
+        # its quorum's good members; with a threshold larger than the
+        # typical good set, extras get the write too.
+        plain = self.make_store(0, seed=3)
+        plain.write({"x": 1}, via="n00")
+        second_plain = plain.write({"x": 2}, via="n05")
+
+        guarded = self.make_store(6, seed=3)
+        guarded.write({"x": 1}, via="n00")
+        second_guarded = guarded.write({"x": 2}, via="n05")
+
+        assert second_plain.ok and second_guarded.ok
+        plain_copies = sum(1 for n in plain.node_names
+                           if plain.replica_state(n).version == 2)
+        guarded_copies = sum(1 for n in guarded.node_names
+                             if guarded.replica_state(n).version == 2)
+        assert guarded_copies >= plain_copies
+        assert guarded_copies >= min(6, plain_copies + 1)
+        guarded.verify()
+
+    def test_threshold_preserves_consistency(self):
+        store = self.make_store(4, seed=4)
+        for i in range(6):
+            assert store.write({"k": i}, via=f"n{i % 9:02d}").ok
+        store.settle()
+        assert store.read().value == {"k": 5}
+        store.verify()
+
+    def test_extras_validated_not_blindly_written(self):
+        # An extra that is no longer current must reject the prepare; the
+        # write still commits on the polled set after the retry.
+        store = self.make_store(5, seed=5)
+        store.write({"x": 1}, via="n00")
+        # manually diverge one potential extra: mark it stale
+        epoch, _ = store.current_epoch()
+        victim = "n08"
+        store.servers[victim].state = \
+            store.servers[victim].state.marked_stale(1)
+        result = store.write({"x": 2}, via="n00")
+        assert result.ok
+        assert store.replica_state(victim).version != 2 or \
+            not store.replica_state(victim).stale
+        store.settle()
+        store.verify()
+
+    def test_zero_threshold_means_base_protocol(self):
+        store = self.make_store(0, seed=6)
+        result = store.write({"x": 1})
+        untouched = (set(store.node_names) - set(result.good)
+                     - set(result.stale))
+        assert untouched  # base protocol leaves non-quorum nodes alone

@@ -1,0 +1,85 @@
+"""Suspicion-triggered epoch checking (optional extension)."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.store import ReplicatedStore
+
+
+def make_store(suspicion=True, seed=1):
+    config = ProtocolConfig(
+        suspicion_triggers_check=suspicion,
+        suspicion_debounce=1.0,
+        epoch_check_interval=60.0,       # periodic pulse far away
+        epoch_check_staleness=120.0,
+        election_timeout=0.5)
+    store = ReplicatedStore.create(9, seed=seed, config=config,
+                                   auto_epoch_check=True,
+                                   trace_enabled=True)
+    store.advance(5)  # boot election completes (highest node wins)
+    return store
+
+
+class TestSuspicionTrigger:
+    def test_failed_poll_triggers_prompt_epoch_change(self):
+        store = make_store(suspicion=True)
+        store.write({"x": 1})
+        store.crash("n03")
+        before = store.env.now
+        # issue writes until one's quorum includes the dead node and the
+        # resulting CALL_FAILED raises the suspicion
+        for i in range(8):
+            assert store.write({"y": i}, via=f"n{i % 3:02d}").ok
+            if store.trace.select(kind="suspicion-check"):
+                break
+        store.advance(5)                 # far below the 60-unit pulse
+        epoch, number = store.current_epoch()
+        assert number >= 1 and "n03" not in epoch
+        assert store.env.now - before < 30
+        checks = store.trace.select(kind="suspicion-check")
+        assert checks, "the initiator should have run a suspicion check"
+
+    def test_without_suspicion_epoch_waits_for_the_pulse(self):
+        store = make_store(suspicion=False)
+        store.write({"x": 1})
+        store.crash("n03")
+        store.write({"y": 2})
+        store.advance(5)
+        assert store.current_epoch()[1] == 0  # nothing happened yet
+        store.advance(80)                     # the periodic pulse fires
+        epoch, number = store.current_epoch()
+        assert number >= 1 and "n03" not in epoch
+
+    def test_debounce_limits_check_rate(self):
+        store = make_store(suspicion=True)
+        store.write({"x": 1})
+        store.crash("n03")
+        for i in range(4):                # burst of failing observations
+            store.write({"k": i})
+        store.advance(2)
+        checks = store.trace.select(kind="suspicion-check")
+        # debounce 1.0: the burst lands in at most a few windows
+        assert 1 <= len(checks) <= 3
+
+    def test_non_initiator_ignores_suspicion(self):
+        store = make_store(suspicion=True)
+        server = store.servers["n00"]     # n08 is the initiator
+        checker = store.checkers["n00"]
+        assert not checker.is_initiator
+        assert checker._on_suspect("n01", ("n03",)) == "not-initiator"
+
+    def test_consistency_preserved_with_suspicion_checks(self):
+        store = make_store(suspicion=True, seed=7)
+        store.write({"x": 1})
+        for victim in ("n08", "n07"):     # note: n08 is the initiator!
+            store.crash(victim)
+            store.write({"x": 2})
+            store.advance(10)
+        store.recover("n07", "n08")
+        store.advance(150)                # re-election + rejoin pulses
+        store.settle()
+        store.verify()
+
+    def test_bad_debounce_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(suspicion_debounce=0).validate()

@@ -1,0 +1,146 @@
+"""Two-phase commit under faults: atomicity, recovery, termination."""
+
+from repro.core.store import ReplicatedStore
+
+
+def committed_versions(store):
+    return {name: store.replica_state(name).version
+            for name in store.node_names}
+
+
+class TestAtomicity:
+    def test_all_or_nothing_across_good_set(self):
+        store = ReplicatedStore.create(9, seed=1)
+        result = store.write({"x": 1})
+        versions = committed_versions(store)
+        applied = {n for n, v in versions.items() if v == 1}
+        assert applied == set(result.good)
+
+    def test_participant_crash_during_write_window(self):
+        # Crash a node shortly after the write starts; whatever happens,
+        # the surviving replicas agree and the history stays 1SR.
+        store = ReplicatedStore.create(9, seed=2)
+        store.write({"x": 0})
+        write = store.start_write({"x": 1}, via="n00")
+        schedule = store.schedule()
+        schedule.crash_at(store.env.now + 0.015, "n01")
+        schedule.start()
+        store.join(write, timeout=300)
+        store.recover("n01")
+        store.advance(15)   # recovery termination protocol resolves
+        store.settle()
+        read = store.read()
+        assert read.ok
+        store.verify()
+
+    def test_recovered_participant_learns_commit(self):
+        # A prepared participant that crashes before receiving the commit
+        # must apply it after recovery (stable prepare + termination).
+        store = ReplicatedStore.create(4, seed=3)
+        store.write({"x": 1})
+
+        # find a write where all four nodes participate (2x2 grid quorum=3,
+        # heavy path touches all); crash one right at the commit point
+        crash_times = [0.02, 0.03, 0.04]
+        for i, t in enumerate(crash_times):
+            victim = "n03"
+            write = store.start_write({"x": 2 + i}, via="n00")
+            schedule = store.schedule()
+            schedule.crash_at(store.env.now + t, victim)
+            schedule.start()
+            store.join(write, timeout=300)
+            store.recover(victim)
+            store.advance(20)
+            store.settle()
+        # all up replicas that are epoch members and not stale converge
+        store.settle()
+        read = store.read()
+        assert read.ok
+        store.verify()
+
+    def test_coordinator_crash_mid_transaction_resolves_on_recovery(self):
+        # The coordinator dies while participants are prepared.  Classic
+        # 2PC: they must BLOCK (the coordinator may have recorded a commit
+        # decision), so writes needing them stall -- and resolve as soon as
+        # the coordinator returns and termination learns the outcome.
+        store = ReplicatedStore.create(9, seed=4)
+        store.write({"x": 1})
+        write = store.start_write({"x": 2}, via="n00")
+        schedule = store.schedule()
+        schedule.crash_at(store.env.now + 0.025, "n00")
+        schedule.start()
+        store.env.run(until=store.env.now + 30)
+        blocked = [name for name in store.node_names
+                   if store.servers[name].node.stable["prepared"]]
+        store.recover("n00")
+        store.advance(20)  # termination protocol resolves the in-doubt txn
+        for name in blocked:
+            assert not store.servers[name].node.stable["prepared"], name
+        result = store.write({"x": 3}, via="n05")
+        assert result.ok
+        store.settle()
+        store.verify()
+
+    def test_coordinator_crash_sweep(self):
+        # Sweep the crash instant across the whole write window: no timing
+        # may violate serializability or wedge the system.
+        for offset in (0.005, 0.02, 0.035, 0.05, 0.1, 0.5):
+            store = ReplicatedStore.create(9, seed=5)
+            store.write({"x": 1})
+            write = store.start_write({"x": 2}, via="n00")
+            schedule = store.schedule()
+            schedule.crash_at(store.env.now + offset, "n00")
+            schedule.start()
+            store.env.run(until=store.env.now + 40)
+            result = store.write({"x": 3}, via="n05")
+            assert result.ok, f"offset {offset}: follow-up write failed"
+            store.settle()
+            store.verify()
+
+
+class TestDecisionRecords:
+    def test_presumed_abort_status(self):
+        store = ReplicatedStore.create(3, seed=6)
+        server = store.servers["n00"]
+        assert server._on_txn_status("x", "unknown-txn") == "aborted"
+        server.node.stable["coord_committed"].add("t1")
+        assert server._on_txn_status("x", "t1") == "committed"
+        server.node.volatile.setdefault("coord_active", set()).add("t2")
+        assert server._on_txn_status("x", "t2") == "pending"
+
+    def test_peer_status_views(self):
+        store = ReplicatedStore.create(3, seed=7)
+        server = store.servers["n01"]
+        assert server._on_txn_status_peer("x", "t?") == "unknown"
+        server.node.stable["txn_outcomes"]["t1"] = "committed"
+        assert server._on_txn_status_peer("x", "t1") == "committed"
+
+    def test_duplicate_commit_is_idempotent(self):
+        store = ReplicatedStore.create(4, seed=8)
+        store.write({"x": 1})
+        server = store.servers["n00"]
+        before = server.state.version
+        server._commit_txn("no-such-txn")   # duplicate/unknown: no-op
+        assert server.state.version == before
+
+
+class TestLockHygiene:
+    def test_no_locks_held_after_quiet_period(self):
+        store = ReplicatedStore.create(9, seed=9)
+        for i in range(5):
+            store.write({"k": i}, via=f"n{i:02d}")
+        store.advance(20)
+        for name in store.node_names:
+            assert not store.servers[name].lock.locked, name
+
+    def test_lease_reclaims_lock_from_dead_coordinator(self):
+        store = ReplicatedStore.create(9, seed=10)
+        write = store.start_write({"x": 1}, via="n00")
+        schedule = store.schedule()
+        schedule.crash_at(store.env.now + 0.012, "n00")  # right after polls
+        schedule.start()
+        store.env.run(until=store.env.now + 30)
+        for name in store.node_names:
+            if name != "n00":
+                assert not store.servers[name].lock.locked, name
+        assert store.write({"x": 2}, via="n01").ok

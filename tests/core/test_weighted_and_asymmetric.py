@@ -1,0 +1,123 @@
+"""The dynamic protocol with weighted voting and asymmetric quorums.
+
+Section 4's protocol takes *any* coterie rule; these tests exercise two
+less-obvious instantiations: weighted votes (a beefy primary site) and
+read-cheap/write-expensive majorities.
+"""
+
+import pytest
+
+from repro.core.store import ReplicatedStore
+from repro.coteries.majority import MajorityCoterie, WeightedVotingCoterie
+
+
+def weighted_rule(weights_by_suffix):
+    """A coterie rule giving nodes weights by their name, robust to
+    epochs shrinking (weights defined for any subset)."""
+
+    def rule(nodes):
+        weights = {name: weights_by_suffix.get(name, 1) for name in nodes}
+        return WeightedVotingCoterie(tuple(nodes), weights=weights)
+
+    return rule
+
+
+class TestWeightedDynamicStore:
+    def test_heavy_node_dominates_quorums(self):
+        # n00 has 5 votes; others 1 each (total 9, majority 5): n00 plus
+        # nothing else is a write quorum, and every quorum includes n00.
+        rule = weighted_rule({"n00": 5})
+        store = ReplicatedStore.create(5, seed=1, coterie_rule=rule)
+        result = store.write({"x": 1})
+        assert result.ok
+        assert "n00" in set(result.good) | set(result.stale)
+        store.verify()
+
+    def test_losing_the_heavy_node_blocks_everything(self):
+        rule = weighted_rule({"n00": 5})
+        store = ReplicatedStore.create(5, seed=2, coterie_rule=rule)
+        store.write({"x": 1})
+        store.crash("n00")
+        assert not store.write({"x": 2}).ok
+        assert not store.check_epoch().ok  # no quorum without n00
+        store.recover("n00")
+        assert store.write({"x": 2}).ok
+        store.verify()
+
+    def test_light_nodes_can_fail_freely(self):
+        rule = weighted_rule({"n00": 5})
+        store = ReplicatedStore.create(5, seed=3, coterie_rule=rule)
+        store.write({"x": 1})
+        store.crash("n01", "n02", "n03", "n04")
+        # n00 alone: 5 of 9 votes -- still a write quorum
+        result = store.write({"x": 2})
+        assert result.ok
+        assert store.read().value == {"x": 2}
+        store.verify()
+
+    def test_epoch_change_with_weighted_rule(self):
+        rule = weighted_rule({"n00": 3})
+        store = ReplicatedStore.create(5, seed=4, coterie_rule=rule)
+        store.write({"x": 1})
+        store.crash("n04")
+        check = store.check_epoch()
+        assert check.ok and check.changed
+        assert store.write({"x": 2}).ok
+        store.settle()
+        store.verify()
+
+
+class TestAsymmetricQuorums:
+    def asymmetric_rule(self, nodes):
+        # read-one-ish, write-most: r + w > N with small r
+        n = len(nodes)
+        write_size = max(n - 1, n // 2 + 1, 1)
+        read_size = max(n + 1 - write_size, 1)
+        if read_size + write_size <= n:
+            read_size = n + 1 - write_size
+        return MajorityCoterie(tuple(nodes), read_size=read_size,
+                               write_size=write_size)
+
+    def test_cheap_reads_expensive_writes(self):
+        store = ReplicatedStore.create(6, seed=5,
+                                       coterie_rule=self.asymmetric_rule,
+                                       trace_enabled=True)
+        store.write({"x": 1})
+        store.trace.clear()
+        read = store.read()
+        assert read.ok and read.value == {"x": 1}
+        polled = {rec.detail["dst"]
+                  for rec in store.trace.select(kind="rpc-call")
+                  if rec.detail["method"] == "read-request"}
+        assert len(polled) == 2  # read quorum of 2 over 6 nodes
+
+    def test_two_failures_block_writes_but_not_reads(self):
+        store = ReplicatedStore.create(6, seed=6,
+                                       coterie_rule=self.asymmetric_rule)
+        store.write({"x": 1})
+        store.crash("n05")
+        assert store.write({"x": 2}).ok   # 5 survivors = the 5-of-6 quorum
+        store.crash("n04")
+        assert store.read().ok            # reads need only 2
+        assert not store.write({"x": 3}).ok  # 4 < 5
+        # 4 survivors cannot hold a 5-member write quorum of the old
+        # epoch either, so the epoch is wedged until someone returns
+        assert not store.check_epoch().ok
+        store.recover("n04")
+        assert store.check_epoch().ok
+        assert store.write({"x": 3}).ok
+        store.verify()
+
+    def test_read_one_write_all_epochs_cannot_adapt(self):
+        # The paper's own caveat (Section 2): with the read-one/write-all
+        # discipline "a single failure would make the epoch change
+        # impossible and the data object unavailable for update."
+        from repro.coteries.rowa import ReadOneWriteAllCoterie
+        store = ReplicatedStore.create(5, seed=7,
+                                       coterie_rule=ReadOneWriteAllCoterie)
+        store.write({"x": 1})
+        store.crash("n04")
+        assert store.read().ok                  # read-one still fine
+        assert not store.write({"x": 2}).ok     # write-all cannot
+        assert not store.check_epoch().ok       # and neither can the epoch
+        store.verify()

@@ -1,0 +1,86 @@
+"""The dynamic protocol under correlated zone failures (live protocol)."""
+
+import pytest
+
+from repro.analysis.placement import column_zones, row_zones
+from repro.core.store import ReplicatedStore
+from repro.coteries.grid import GridCoterie
+from repro.sim.failures import ZoneFailureInjector
+
+
+def make_store_with_zones(zone_map_fn, n=9, seed=3):
+    store = ReplicatedStore.create(n, seed=seed)
+    grid = GridCoterie(list(store.node_names))
+    zone_names = zone_map_fn(grid)
+    zones = {z: [store.nodes[name] for name in members]
+             for z, members in zone_names.items()}
+    return store, zones, zone_names
+
+
+class TestSingleZoneOutage:
+    def test_row_aligned_reads_survive(self):
+        store, zones, zone_names = make_store_with_zones(row_zones)
+        store.write({"x": 1})
+        first = sorted(zone_names)[0]
+        store.crash(*zone_names[first])
+        read = store.read()
+        assert read.ok and read.value == {"x": 1}
+        store.verify()
+
+    def test_column_aligned_reads_die(self):
+        store, zones, zone_names = make_store_with_zones(column_zones)
+        store.write({"x": 1})
+        store.crash(*zone_names["zone0"])
+        assert not store.read().ok
+        store.verify()
+
+    def test_epoch_adapts_after_row_zone_outage(self):
+        # losing a full row leaves no full column -> writes and the epoch
+        # change itself are blocked (the outage IS a write quorum's worth
+        # of failures)...
+        store, zones, zone_names = make_store_with_zones(row_zones)
+        store.write({"x": 1})
+        first = sorted(zone_names)[0]
+        store.crash(*zone_names[first])
+        assert not store.write({"y": 2}).ok
+        assert not store.check_epoch().ok
+        # ...but one returning zone member restores a write quorum and the
+        # epoch sheds the remaining dead nodes
+        store.recover(zone_names[first][0])
+        assert store.check_epoch().ok
+        assert store.write({"y": 2}).ok
+        store.verify()
+
+
+class TestZoneInjectorOnProtocol:
+    def test_store_survives_zone_churn(self):
+        store, zones, zone_names = make_store_with_zones(row_zones)
+        injector = ZoneFailureInjector(
+            store.env, zones, zone_lam=1 / 30.0, zone_mu=1 / 3.0,
+            node_lam=1 / 60.0, node_mu=1 / 5.0)
+        injector.start()
+        committed = 0
+        for i in range(20):
+            up = store.up_nodes()
+            if up:
+                via = sorted(up)[0]
+                # a write may return None if its coordinator's node
+                # crashes mid-operation (the process dies with the node)
+                result = store.write({"k": i}, via=via)
+                if result is not None and result.ok:
+                    committed += 1
+                up = store.up_nodes()
+                if up:
+                    store.check_epoch(via=sorted(up)[0])
+            store.advance(3.0)
+        assert committed > 5
+        # converge and verify
+        for zone in injector.zone_up:
+            injector.zone_up[zone] = True
+        for name in store.node_names:
+            injector._node_ok[name] = True
+            store.recover(name)
+        store.advance(20)
+        store.check_epoch()
+        store.settle()
+        store.verify()

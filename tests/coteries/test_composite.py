@@ -1,0 +1,154 @@
+"""Composite coteries: structures of structures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coteries.base import CoterieError
+from repro.coteries.composite import (
+    CompositeCoterie,
+    composite_rule,
+    default_group_count,
+    partition_groups,
+)
+from repro.coteries.grid import GridCoterie
+from repro.coteries.majority import MajorityCoterie
+from repro.coteries.properties import verify_coterie, verify_monotonicity
+from repro.coteries.rowa import ReadOneWriteAllCoterie
+
+
+def names(n):
+    return [f"n{i:02d}" for i in range(n)]
+
+
+class TestPartition:
+    def test_even_split(self):
+        groups = partition_groups(names(9), 3)
+        assert [len(g) for g in groups] == [3, 3, 3]
+
+    def test_uneven_split_front_loads_extras(self):
+        groups = partition_groups(names(10), 3)
+        assert [len(g) for g in groups] == [4, 3, 3]
+
+    def test_deterministic_and_order_preserving(self):
+        groups = partition_groups(names(7), 2)
+        assert groups[0] + groups[1] == tuple(names(7))
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(CoterieError):
+            partition_groups(names(3), 0)
+        with pytest.raises(CoterieError):
+            partition_groups(names(3), 4)
+
+    def test_default_group_count(self):
+        assert default_group_count(9) == 3
+        assert default_group_count(1) == 1
+        assert default_group_count(30) == 5
+
+
+class TestMajorityOfMajorities:
+    """The HQC-like composition: outer majority of group majorities."""
+
+    def make(self, n=9, groups=3):
+        return CompositeCoterie(names(n), MajorityCoterie,
+                                MajorityCoterie, n_groups=groups)
+
+    def test_write_quorum_smaller_than_flat_majority(self):
+        composite = self.make(9, 3)
+        quorum = composite.write_quorum("c")
+        assert len(quorum) == 4  # 2 groups x 2 members < 5
+        assert composite.is_write_quorum(quorum)
+
+    def test_membership_semantics(self):
+        composite = self.make(9, 3)
+        g0, g1, _g2 = composite.groups
+        # majorities of two groups: a write quorum
+        assert composite.is_write_quorum(set(g0[:2]) | set(g1[:2]))
+        # a majority of just one group: not enough groups
+        assert not composite.is_write_quorum(set(g0))
+        # one member from each group: no group is satisfied
+        assert not composite.is_write_quorum({g0[0], g1[0], _g2[0]})
+
+    @pytest.mark.parametrize("n,groups", [(4, 2), (9, 3), (8, 3), (12, 4)])
+    def test_axioms(self, n, groups):
+        verify_coterie(self.make(n, groups))
+
+    def test_monotone(self):
+        verify_monotonicity(self.make(12, 3))
+
+
+class TestMixedCompositions:
+    def test_grid_of_majorities(self):
+        composite = CompositeCoterie(names(12), GridCoterie,
+                                     MajorityCoterie, n_groups=4)
+        verify_coterie(composite)
+        quorum = composite.write_quorum("client")
+        assert composite.is_write_quorum(quorum)
+
+    def test_majority_of_grids(self):
+        composite = CompositeCoterie(names(12), MajorityCoterie,
+                                     GridCoterie, n_groups=3)
+        verify_coterie(composite)
+
+    def test_rowa_of_majorities_reads_one_group_majority(self):
+        composite = CompositeCoterie(names(9), ReadOneWriteAllCoterie,
+                                     MajorityCoterie, n_groups=3)
+        read = composite.read_quorum("c")
+        assert len(read) == 2  # one group's majority
+        assert composite.is_read_quorum(read)
+        # writes need a write quorum in EVERY group
+        assert len(composite.write_quorum("c")) == 6
+        verify_coterie(composite)
+
+    def test_find_write_quorum_routes_around_dead_group(self):
+        composite = CompositeCoterie(names(9), MajorityCoterie,
+                                     MajorityCoterie, n_groups=3)
+        dead_group = set(composite.groups[0])
+        available = set(names(9)) - dead_group
+        found = composite.find_write_quorum(available)
+        assert found is not None
+        assert not (found & dead_group)
+        assert composite.is_write_quorum(found)
+
+    def test_find_none_when_too_many_groups_dead(self):
+        composite = CompositeCoterie(names(9), MajorityCoterie,
+                                     MajorityCoterie, n_groups=3)
+        # kill majorities of two groups: outer majority unreachable
+        dead = set(composite.groups[0][:2]) | set(composite.groups[1][:2])
+        assert composite.find_write_quorum(set(names(9)) - dead) is None
+
+    @given(st.integers(min_value=4, max_value=12),
+           st.integers(min_value=2, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_axioms_random_shapes(self, n, groups):
+        if groups > n:
+            groups = n
+        verify_coterie(CompositeCoterie(names(n), MajorityCoterie,
+                                        MajorityCoterie, n_groups=groups))
+
+
+class TestDynamicProtocolWithCompositeRule:
+    def test_store_runs_on_composite_coterie(self):
+        from repro.core.store import ReplicatedStore
+        rule = composite_rule(MajorityCoterie, MajorityCoterie, n_groups=3)
+        store = ReplicatedStore.create(9, seed=3, coterie_rule=rule)
+        assert store.write({"x": 1}).ok
+        assert store.read().value == {"x": 1}
+        store.verify()
+
+    def test_epoch_shrink_rebuilds_composite(self):
+        from repro.core.store import ReplicatedStore
+        rule = composite_rule(MajorityCoterie, MajorityCoterie, n_groups=3)
+        store = ReplicatedStore.create(9, seed=4, coterie_rule=rule)
+        store.write({"x": 1})
+        for victim in ("n08", "n07"):
+            store.crash(victim)
+            assert store.check_epoch().ok
+            assert store.write({"x": 2}).ok
+        store.verify()
+
+    def test_rule_clamps_groups_for_tiny_epochs(self):
+        rule = composite_rule(MajorityCoterie, MajorityCoterie, n_groups=5)
+        small = rule(names(3))  # fewer nodes than requested groups
+        assert len(small.groups) == 3
+        verify_coterie(small)

@@ -1,0 +1,145 @@
+"""The Coterie contract, enforced uniformly across every implementation.
+
+Any class implementing :class:`repro.coteries.base.Coterie` must satisfy
+the same obligations; this module checks them all in one parametrized
+matrix so a new coterie family cannot ship half a contract.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coteries.composite import CompositeCoterie
+from repro.coteries.grid import GridCoterie
+from repro.coteries.hierarchical import HierarchicalCoterie, default_arities
+from repro.coteries.majority import MajorityCoterie, WeightedVotingCoterie
+from repro.coteries.rowa import ReadOneWriteAllCoterie
+from repro.coteries.tree import TreeCoterie
+from repro.coteries.wall import WallCoterie
+
+
+def names(n):
+    return [f"n{i:02d}" for i in range(n)]
+
+
+def build(kind, n):
+    nodes = names(n)
+    if kind == "grid":
+        return GridCoterie(nodes)
+    if kind == "grid-full":
+        return GridCoterie(nodes, column_cover="full")
+    if kind == "majority":
+        return MajorityCoterie(nodes)
+    if kind == "weighted":
+        weights = {name: 1 + (i % 3) for i, name in enumerate(nodes)}
+        return WeightedVotingCoterie(nodes, weights=weights)
+    if kind == "tree":
+        return TreeCoterie(nodes)
+    if kind == "hierarchical":
+        return HierarchicalCoterie(nodes, arities=default_arities(n))
+    if kind == "rowa":
+        return ReadOneWriteAllCoterie(nodes)
+    if kind == "wall":
+        return WallCoterie(nodes)
+    if kind == "composite":
+        groups = max(1, min(3, n))
+        return CompositeCoterie(nodes, MajorityCoterie, MajorityCoterie,
+                                n_groups=groups)
+    raise ValueError(kind)
+
+
+KINDS = ["grid", "grid-full", "majority", "weighted", "tree",
+         "hierarchical", "rowa", "wall", "composite"]
+SIZES = [1, 2, 5, 9]
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("n", SIZES)
+class TestContract:
+    def test_quorum_function_satisfies_predicates(self, kind, n):
+        coterie = build(kind, n)
+        for salt in ("a", "b", "client-7"):
+            for attempt in (0, 1, 5):
+                read = coterie.read_quorum(salt, attempt)
+                write = coterie.write_quorum(salt, attempt)
+                assert coterie.is_read_quorum(read), (salt, attempt)
+                assert coterie.is_write_quorum(write), (salt, attempt)
+                assert set(read) <= set(coterie.nodes)
+                assert set(write) <= set(coterie.nodes)
+
+    def test_quorum_function_deterministic(self, kind, n):
+        first = build(kind, n)
+        second = build(kind, n)
+        assert first.write_quorum("x", 2) == second.write_quorum("x", 2)
+        assert first.read_quorum("y", 1) == second.read_quorum("y", 1)
+
+    def test_full_universe_is_always_a_quorum(self, kind, n):
+        coterie = build(kind, n)
+        assert coterie.is_read_quorum(coterie.nodes)
+        assert coterie.is_write_quorum(coterie.nodes)
+
+    def test_empty_set_is_never_a_quorum(self, kind, n):
+        coterie = build(kind, n)
+        assert not coterie.is_read_quorum(())
+        assert not coterie.is_write_quorum(())
+
+    def test_find_on_full_universe_succeeds(self, kind, n):
+        coterie = build(kind, n)
+        read = coterie.find_read_quorum(coterie.nodes)
+        write = coterie.find_write_quorum(coterie.nodes)
+        assert read is not None and coterie.is_read_quorum(read)
+        assert write is not None and coterie.is_write_quorum(write)
+
+    def test_find_on_empty_set_fails(self, kind, n):
+        coterie = build(kind, n)
+        assert coterie.find_read_quorum(()) is None
+        assert coterie.find_write_quorum(()) is None
+
+    def test_write_read_relationship(self, kind, n):
+        # The coterie axioms only require read/write *intersection*; most
+        # families happen to build write quorums that contain read quorums
+        # (the paper's grid does so by construction), but the crumbling
+        # wall is an honest counterexample: a full low row plus reps below
+        # it covers no rows above.  Verify the property where promised and
+        # the counterexample where not.
+        coterie = build(kind, n)
+        write = coterie.write_quorum("probe")
+        if kind == "wall":
+            read = coterie.read_quorum("probe")
+            assert set(read) & set(write), "axiom: read meets write"
+        else:
+            assert coterie.is_read_quorum(write)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+class TestContractRandomised:
+    @given(n=st.integers(min_value=1, max_value=10), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_find_is_sound_and_complete(self, kind, n, data):
+        coterie = build(kind, n)
+        available = frozenset(
+            name for name in coterie.nodes
+            if data.draw(st.booleans(), label=name))
+        for predicate, find in (
+                (coterie.is_read_quorum, coterie.find_read_quorum),
+                (coterie.is_write_quorum, coterie.find_write_quorum)):
+            found = find(available)
+            if found is None:
+                assert not predicate(available)
+            else:
+                assert found <= available
+                assert predicate(found)
+
+    @given(n=st.integers(min_value=1, max_value=10), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_predicates_monotone(self, kind, n, data):
+        coterie = build(kind, n)
+        smaller = frozenset(
+            name for name in coterie.nodes
+            if data.draw(st.booleans(), label=f"s-{name}"))
+        larger = smaller | frozenset(
+            name for name in coterie.nodes
+            if data.draw(st.booleans(), label=f"l-{name}"))
+        for predicate in (coterie.is_read_quorum, coterie.is_write_quorum):
+            if predicate(smaller):
+                assert predicate(larger)

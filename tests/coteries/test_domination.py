@@ -1,0 +1,120 @@
+"""Coterie domination theory (Garcia-Molina & Barbara)."""
+
+import pytest
+
+from repro.coteries.base import CoterieError
+from repro.coteries.domination import (
+    dominate,
+    dominating_witness,
+    family_availability,
+    is_dominated,
+    transversals,
+)
+from repro.coteries.grid import GridCoterie
+from repro.coteries.majority import MajorityCoterie
+from repro.coteries.properties import minimal_quorums
+from repro.coteries.rowa import ReadOneWriteAllCoterie
+from repro.coteries.tree import TreeCoterie
+
+
+def names(n):
+    return [f"n{i:02d}" for i in range(n)]
+
+
+class TestTransversals:
+    def test_majority3_is_self_dual(self):
+        coterie = MajorityCoterie(names(3))
+        family = minimal_quorums(coterie.is_write_quorum, coterie.nodes)
+        duals = transversals(family, coterie.nodes)
+        assert set(duals) == set(family)  # pairs are their own transversals
+
+    def test_simple_family(self):
+        family = [frozenset("ab"), frozenset("ac")]
+        duals = transversals(family, list("abc"))
+        assert set(duals) == {frozenset("a"), frozenset("bc")}
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(CoterieError):
+            transversals([], list("ab"))
+
+    def test_large_universe_refused(self):
+        with pytest.raises(CoterieError):
+            transversals([frozenset("a")], names(19))
+
+
+class TestDomination:
+    @pytest.mark.parametrize("n", [1, 3, 5, 7])
+    def test_odd_majorities_are_non_dominated(self, n):
+        assert not is_dominated(MajorityCoterie(names(n)))
+
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_even_majorities_are_dominated(self, n):
+        # the tie-breaking half (what dynamic-linear voting exploits) is a
+        # transversal containing no majority
+        witness = dominating_witness(MajorityCoterie(names(n)))
+        assert witness is not None
+        assert len(witness) == n // 2
+
+    def test_write_all_is_dominated_for_n_ge_2(self):
+        assert is_dominated(ReadOneWriteAllCoterie(names(3)), kind="write")
+        assert not is_dominated(ReadOneWriteAllCoterie(["solo"]))
+
+    @pytest.mark.parametrize("n", [4, 6, 9])
+    def test_grid_write_coteries_are_dominated(self, n):
+        # the price of sqrt(N) quorums: e.g. for the 3x3 grid, a set with
+        # one full row and parts of others hits every write quorum without
+        # containing one
+        assert is_dominated(GridCoterie(names(n)))
+
+    def test_tree_coterie_non_dominated_for_perfect_binary(self):
+        # Agrawal & El Abbadi prove their tree protocol's coterie is ND.
+        assert not is_dominated(TreeCoterie(names(3)))
+        assert not is_dominated(TreeCoterie(names(7)))
+
+    def test_single_node_not_dominated(self):
+        assert not is_dominated(MajorityCoterie(["only"]))
+
+
+class TestDominate:
+    def test_result_contains_no_witness(self):
+        coterie = MajorityCoterie(names(4))
+        family = dominate(coterie)
+        from repro.coteries.domination import _family_witness
+        assert _family_witness(family, coterie.nodes, 16) is None
+
+    def test_dominating_family_strictly_more_available(self):
+        coterie = GridCoterie(names(4))
+        original = minimal_quorums(coterie.is_write_quorum, coterie.nodes)
+        improved = dominate(coterie)
+        p = 0.8
+        original_availability = family_availability(original,
+                                                    coterie.nodes, p)
+        improved_availability = family_availability(improved,
+                                                    coterie.nodes, p)
+        assert improved_availability > original_availability
+
+    def test_dominating_family_still_intersecting(self):
+        coterie = MajorityCoterie(names(6))
+        family = dominate(coterie)
+        for q1 in family:
+            for q2 in family:
+                assert q1 & q2, (q1, q2)
+
+    def test_nd_input_returned_unchanged(self):
+        coterie = MajorityCoterie(names(5))
+        family = dominate(coterie)
+        original = minimal_quorums(coterie.is_write_quorum, coterie.nodes)
+        assert set(family) == set(original)
+
+
+class TestFamilyAvailability:
+    def test_matches_formula_for_majority(self):
+        from repro.availability.formulas import majority_availability
+        coterie = MajorityCoterie(names(5))
+        family = minimal_quorums(coterie.is_write_quorum, coterie.nodes)
+        assert family_availability(family, coterie.nodes, 0.9) == \
+            pytest.approx(majority_availability(5, 0.9))
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(CoterieError):
+            family_availability([frozenset("a")], ["a"], 1.5)

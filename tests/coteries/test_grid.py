@@ -1,0 +1,302 @@
+"""Tests for DefineGrid and the grid coterie (paper Section 5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coteries.base import CoterieError
+from repro.coteries.grid import GridCoterie, GridShape, define_grid
+from repro.coteries.properties import (
+    minimal_quorums,
+    quorums_intersect_everywhere,
+    verify_coterie,
+    verify_monotonicity,
+)
+
+
+def names(n):
+    return [f"n{i:02d}" for i in range(n)]
+
+
+class TestDefineGrid:
+    def test_figure_1_grid_for_14_nodes(self):
+        # Paper Figure 1: N=14 is a 4x4 grid with two unoccupied positions.
+        assert define_grid(14) == GridShape(m=4, n=4, b=2)
+
+    def test_figure_2_grid_for_3_nodes(self):
+        assert define_grid(3) == GridShape(m=2, n=2, b=1)
+
+    @pytest.mark.parametrize("n,shape", [
+        (1, (1, 1, 0)),
+        (2, (1, 2, 0)),
+        (4, (2, 2, 0)),
+        (5, (2, 3, 1)),
+        (6, (2, 3, 0)),
+        (7, (3, 3, 2)),
+        (9, (3, 3, 0)),
+        (12, (3, 4, 0)),
+        (15, (3, 5, 0)),   # note: DefineGrid gives 4x4 b=1 for N=15
+        (16, (4, 4, 0)),
+        (20, (4, 5, 0)),
+        # Note: Table 1's static "best dimensions" for N=24 is 4x6, but that
+        # is Cheung et al.'s free choice; DefineGrid prefers near-square.
+        (24, (5, 5, 1)),
+        (30, (5, 6, 0)),
+    ])
+    def test_shapes(self, n, shape):
+        if n == 15:
+            # DefineGrid prefers near-square: floor(sqrt 15)=3, ceil=4,
+            # 3*4=12 < 15 so m becomes 4 -> 4x4 with one empty cell.
+            assert define_grid(15) == GridShape(m=4, n=4, b=1)
+        else:
+            m, cols, b = shape
+            assert define_grid(n) == GridShape(m=m, n=cols, b=b)
+
+    @given(st.integers(min_value=1, max_value=4000))
+    def test_invariants(self, n):
+        shape = define_grid(n)
+        # capacity covers all nodes, with fewer than one spare row
+        assert shape.capacity >= n
+        assert shape.b == shape.capacity - n
+        assert shape.b < shape.n          # paper: "b is always less than n"
+        assert abs(shape.m - shape.n) <= 1  # near-square rule
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(CoterieError):
+            define_grid(0)
+
+
+class TestGridShapeGeometry:
+    def test_row_major_positions(self):
+        shape = define_grid(14)  # 4x4, b=2
+        assert shape.position(1) == (1, 1)
+        assert shape.position(4) == (1, 4)
+        assert shape.position(5) == (2, 1)
+        assert shape.position(14) == (4, 2)
+
+    def test_ordinal_roundtrip(self):
+        shape = define_grid(14)
+        for k in range(1, 15):
+            i, j = shape.position(k)
+            assert shape.ordinal(i, j) == k
+
+    def test_unoccupied_cells_rejected(self):
+        shape = define_grid(14)  # cells (4,3) and (4,4) are empty
+        with pytest.raises(CoterieError):
+            shape.ordinal(4, 3)
+        with pytest.raises(CoterieError):
+            shape.ordinal(4, 4)
+
+    def test_column_heights(self):
+        shape = define_grid(14)  # 4x4 b=2: columns 3,4 are short
+        assert [shape.column_height(j) for j in (1, 2, 3, 4)] == [4, 4, 3, 3]
+
+    def test_out_of_range(self):
+        shape = define_grid(9)
+        with pytest.raises(CoterieError):
+            shape.position(10)
+        with pytest.raises(CoterieError):
+            shape.column_height(4)
+
+
+class TestPaperExamples:
+    def test_figure_1_write_quorum_example(self):
+        # Paper: in the N=14 grid, {1, 6, 3, 7, 11, 4} is a write quorum
+        # because it includes reads {1, 6, 3, 4} covering all columns plus
+        # the full column {3, 7, 11}.
+        grid = GridCoterie(names(14))
+        by_ordinal = {k: grid.nodes[k - 1] for k in range(1, 15)}
+        quorum = {by_ordinal[k] for k in (1, 6, 3, 7, 11, 4)}
+        assert grid.is_write_quorum(quorum)
+        assert grid.is_read_quorum({by_ordinal[k] for k in (1, 6, 3, 4)})
+
+    def test_figure_2_all_three_needed_without_optimization(self):
+        # Paper Figure 2 text: for N=3 "all three nodes are needed to
+        # collect a quorum" -- true under the pre-optimisation rule where
+        # only complete columns of m physical nodes count.
+        grid = GridCoterie(names(3), column_cover="full")
+        all_nodes = set(names(3))
+        assert grid.is_write_quorum(all_nodes)
+        for node in all_nodes:
+            assert not grid.is_write_quorum(all_nodes - {node})
+
+    def test_neuman_optimization_shrinks_n3_quorum(self):
+        # With the pseudo-code's physical-column rule, the singleton short
+        # column {n2} counts as full, so {n0,n2} and {n1,n2} are quorums.
+        grid = GridCoterie(names(3), column_cover="physical")
+        n0, n1, n2 = names(3)
+        assert grid.is_write_quorum({n0, n1})   # full short column 2 = {n1}
+        assert grid.is_write_quorum({n1, n2})
+        assert not grid.is_write_quorum({n0, n2})  # no column 2 representative
+
+    def test_square_grid_quorum_sizes_match_intro(self):
+        # Paper Section 1: read quorums sqrt(N), write quorums 2*sqrt(N)-1.
+        for n in (4, 9, 16, 25):
+            grid = GridCoterie(names(n))
+            root = int(n ** 0.5)
+            assert grid.min_read_quorum_size() == root
+            assert grid.min_write_quorum_size() == 2 * root - 1
+            assert len(grid.read_quorum("x")) == root
+            assert len(grid.write_quorum("x")) == 2 * root - 1
+
+
+class TestQuorumPredicates:
+    def test_read_quorum_needs_every_column(self):
+        grid = GridCoterie(names(9))  # 3x3
+        columns = grid.columns
+        # one per column -> read quorum
+        assert grid.is_read_quorum({columns[0][0], columns[1][1], columns[2][2]})
+        # missing a column -> not a read quorum
+        assert not grid.is_read_quorum({columns[0][0], columns[1][1]})
+        # a full column alone is not a read quorum (for n > 1)
+        assert not grid.is_read_quorum(set(columns[0]))
+
+    def test_write_quorum_needs_cover_and_column(self):
+        grid = GridCoterie(names(9))
+        columns = grid.columns
+        full_col = set(columns[1])
+        reads = {columns[0][2], columns[2][0]}
+        assert grid.is_write_quorum(full_col | reads)
+        assert not grid.is_write_quorum(full_col)          # no cover
+        assert not grid.is_write_quorum(reads | {columns[1][0]})  # no column
+
+    def test_names_outside_universe_ignored(self):
+        grid = GridCoterie(names(4))
+        assert not grid.is_read_quorum({"alien1", "alien2"})
+        quorum = set(grid.write_quorum("s"))
+        assert grid.is_write_quorum(quorum | {"alien"})
+
+    def test_single_node_grid(self):
+        grid = GridCoterie(["only"])
+        assert grid.is_read_quorum({"only"})
+        assert grid.is_write_quorum({"only"})
+        assert grid.read_quorum() == ["only"]
+        assert grid.write_quorum() == ["only"]
+
+    def test_two_node_grid_needs_both_for_everything(self):
+        grid = GridCoterie(names(2))  # 1x2: two columns of height 1
+        assert not grid.is_read_quorum({grid.nodes[0]})
+        assert grid.is_read_quorum(set(grid.nodes))
+        assert grid.is_write_quorum(set(grid.nodes))
+
+    def test_unknown_cover_mode_rejected(self):
+        with pytest.raises(CoterieError):
+            GridCoterie(names(4), column_cover="diagonal")
+
+
+class TestQuorumFunction:
+    def test_generated_quorums_satisfy_predicates(self):
+        for n in (3, 5, 9, 14, 20):
+            grid = GridCoterie(names(n))
+            for salt in ("a", "b", "c"):
+                assert grid.is_read_quorum(grid.read_quorum(salt))
+                assert grid.is_write_quorum(grid.write_quorum(salt))
+
+    def test_deterministic_per_salt(self):
+        grid = GridCoterie(names(16))
+        assert grid.write_quorum("alice") == grid.write_quorum("alice")
+        assert grid.read_quorum("bob", 3) == grid.read_quorum("bob", 3)
+
+    def test_different_salts_spread_load(self):
+        grid = GridCoterie(names(25))
+        quorums = {tuple(grid.write_quorum(f"client{i}")) for i in range(20)}
+        assert len(quorums) > 1  # load sharing: not everyone picks the same
+
+    def test_full_cover_mode_avoids_short_columns(self):
+        grid = GridCoterie(names(14), column_cover="full")
+        for i in range(10):
+            quorum = grid.write_quorum(f"s{i}")
+            # the fully covered column must be a complete one (height m)
+            covered = [j for j in range(1, 5)
+                       if all(name in quorum for name in grid.columns[j - 1])]
+            assert any(grid.shape.column_height(j) == grid.shape.m
+                       for j in covered)
+
+    def test_generated_quorums_always_intersect(self):
+        for n in (9, 14, 30, 50):
+            assert quorums_intersect_everywhere(GridCoterie(names(n)))
+
+
+class TestFindQuorum:
+    def test_finds_quorum_when_available(self):
+        grid = GridCoterie(names(9))
+        available = set(names(9)) - {grid.columns[0][0]}
+        quorum = grid.find_write_quorum(available)
+        assert quorum is not None
+        assert quorum <= available
+        assert grid.is_write_quorum(quorum)
+
+    def test_none_when_column_unreachable(self):
+        grid = GridCoterie(names(9))
+        # kill an entire column -> no read (hence no write) quorum
+        dead_column = set(grid.columns[1])
+        available = set(names(9)) - dead_column
+        assert grid.find_read_quorum(available) is None
+        assert grid.find_write_quorum(available) is None
+
+    def test_none_when_no_full_column(self):
+        grid = GridCoterie(names(9))
+        # one failure per column: reads fine, writes impossible
+        available = set(names(9)) - {col[i] for i, col in enumerate(grid.columns)}
+        assert grid.find_read_quorum(available) is not None
+        assert grid.find_write_quorum(available) is None
+
+    def test_singleton_column_failure_blocks_writes_for_n5(self):
+        # The 2x3,b=1 grid has a singleton column; losing it makes even the
+        # dynamic protocol's epoch change impossible (see DESIGN.md E6).
+        grid = GridCoterie(names(5))
+        singleton = grid.columns[2]
+        assert len(singleton) == 1
+        available = set(names(5)) - set(singleton)
+        assert grid.find_write_quorum(available) is None
+
+    def test_any_single_failure_tolerated_for_n_ge_4_except_5(self):
+        for n in (4, 6, 7, 8, 9, 10, 12, 14, 16):
+            grid = GridCoterie(names(n))
+            for dead in grid.nodes:
+                available = set(grid.nodes) - {dead}
+                assert grid.find_write_quorum(available) is not None, (n, dead)
+
+    @given(st.integers(min_value=1, max_value=20), st.data())
+    @settings(max_examples=60)
+    def test_find_write_quorum_is_sound_and_complete(self, n, data):
+        grid = GridCoterie(names(n))
+        available = frozenset(
+            name for name in grid.nodes
+            if data.draw(st.booleans(), label=name))
+        found = grid.find_write_quorum(available)
+        if found is None:
+            assert not grid.is_write_quorum(available)
+        else:
+            assert found <= available
+            assert grid.is_write_quorum(found)
+
+
+class TestAxioms:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12])
+    @pytest.mark.parametrize("cover", ["physical", "full"])
+    def test_coterie_axioms_by_enumeration(self, n, cover):
+        summary = verify_coterie(GridCoterie(names(n), column_cover=cover))
+        assert summary["min_read_size"] == define_grid(n).n
+
+    @pytest.mark.parametrize("n", [14, 20, 30])
+    def test_monotonicity_large(self, n):
+        verify_monotonicity(GridCoterie(names(n)))
+
+    def test_minimal_write_quorums_for_9_nodes(self):
+        grid = GridCoterie(names(9))
+        family = minimal_quorums(grid.is_write_quorum, grid.nodes)
+        # 3 choices of full column x 3 reps in each of the 2 other columns
+        assert len(family) == 3 * 3 * 3
+        assert all(len(q) == 5 for q in family)
+
+
+class TestLayout:
+    def test_layout_shows_empty_cells(self):
+        grid = GridCoterie(names(14))
+        text = grid.layout()
+        assert text.count("\n") == 3  # 4 rows
+        assert "..." in text          # unoccupied positions rendered as dots
+
+    def test_repr_mentions_shape(self):
+        assert "4x4" in repr(GridCoterie(names(14)))

@@ -1,0 +1,117 @@
+"""Differential testing: the paper's pseudo-code, transcribed literally,
+against our GridCoterie implementation.
+
+``define_grid_paper`` and ``is_write_quorum_paper`` below follow the
+appendix/Section 5 pseudo-code line by line (DefineGrid, ordered-number,
+the (i, j) coordinate formulas, COLUMN-COVER and COLUMNS bookkeeping, and
+the ``{1..m} if j <= n-b else {1..m-1}`` full-column test).  Hypothesis
+then drives both versions over random universes and subsets -- any
+divergence is a transcription bug in one of them.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coteries.grid import GridCoterie, define_grid
+
+
+def define_grid_paper(n_nodes: int):
+    """The paper's DefineGrid, verbatim."""
+    m = math.floor(math.sqrt(n_nodes))
+    n = math.ceil(math.sqrt(n_nodes))
+    if m * n < n_nodes:
+        m = m + 1
+    b = m * n - n_nodes
+    return m, n, b
+
+
+def is_write_quorum_paper(v: list, s: set) -> bool:
+    """The paper's IsWriteQuorum, verbatim (with Neuman's optimisation)."""
+    m, n, b = define_grid_paper(len(v))
+    column_cover = set()
+    columns = {j: set() for j in range(1, n + 1)}
+    for node in s:
+        if node not in v:
+            continue  # "We assume that S ⊆ V"
+        k = v.index(node) + 1          # ordered-number(V, s)
+        i = (k - 1) // n + 1
+        j = (k - 1) % n + 1
+        column_cover.add(j)
+        columns[j].add(i)
+    if column_cover != set(range(1, n + 1)):
+        return False
+    for j in range(1, n + 1):
+        wanted = set(range(1, m + 1)) if j <= n - b \
+            else set(range(1, m))
+        if columns[j] == wanted:
+            return True
+    return False
+
+
+def is_read_quorum_paper(v: list, s: set) -> bool:
+    """IsReadQuorum: 'disregard the part that involves COLUMNS'."""
+    m, n, b = define_grid_paper(len(v))
+    column_cover = set()
+    for node in s:
+        if node not in v:
+            continue
+        k = v.index(node) + 1
+        j = (k - 1) % n + 1
+        column_cover.add(j)
+    return column_cover == set(range(1, n + 1))
+
+
+def names(n):
+    return [f"n{i:02d}" for i in range(n)]
+
+
+class TestDefineGridDifferential:
+    @given(st.integers(min_value=1, max_value=2000))
+    def test_shapes_agree(self, n):
+        shape = define_grid(n)
+        assert (shape.m, shape.n, shape.b) == define_grid_paper(n)
+
+
+class TestQuorumDifferential:
+    @given(st.integers(min_value=1, max_value=24), st.data())
+    @settings(max_examples=300, deadline=None)
+    def test_write_quorum_agrees(self, n, data):
+        universe = names(n)
+        subset = {name for name in universe
+                  if data.draw(st.booleans(), label=name)}
+        grid = GridCoterie(universe, column_cover="physical")
+        assert grid.is_write_quorum(subset) == \
+            is_write_quorum_paper(universe, subset)
+
+    @given(st.integers(min_value=1, max_value=24), st.data())
+    @settings(max_examples=300, deadline=None)
+    def test_read_quorum_agrees(self, n, data):
+        universe = names(n)
+        subset = {name for name in universe
+                  if data.draw(st.booleans(), label=name)}
+        grid = GridCoterie(universe, column_cover="physical")
+        assert grid.is_read_quorum(subset) == \
+            is_read_quorum_paper(universe, subset)
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(0, 1000))
+    @settings(max_examples=100, deadline=None)
+    def test_generated_quorums_validate_under_paper_rule(self, n, salt):
+        universe = names(n)
+        grid = GridCoterie(universe)
+        assert is_write_quorum_paper(
+            universe, set(grid.write_quorum(f"s{salt}")))
+        assert is_read_quorum_paper(
+            universe, set(grid.read_quorum(f"s{salt}")))
+
+    @given(st.integers(min_value=1, max_value=16), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_outside_names_ignored_in_both(self, n, data):
+        universe = names(n)
+        subset = {name for name in universe
+                  if data.draw(st.booleans(), label=name)}
+        noisy = subset | {"alien1", "alien2"}
+        grid = GridCoterie(universe)
+        assert grid.is_write_quorum(noisy) == \
+            is_write_quorum_paper(universe, noisy)

@@ -1,0 +1,309 @@
+"""Tests for majority/weighted voting, tree, hierarchical, and ROWA
+coteries, plus the axiom verifiers themselves."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coteries.base import CoterieError
+from repro.coteries.hierarchical import HierarchicalCoterie, default_arities
+from repro.coteries.majority import MajorityCoterie, WeightedVotingCoterie
+from repro.coteries.properties import (
+    minimal_quorums,
+    quorums_intersect_everywhere,
+    verify_coterie,
+    verify_monotonicity,
+)
+from repro.coteries.rowa import ReadOneWriteAllCoterie
+from repro.coteries.tree import TreeCoterie
+
+
+def names(n):
+    return [f"n{i:02d}" for i in range(n)]
+
+
+class TestMajority:
+    def test_default_sizes_match_paper(self):
+        # Paper Section 1: voting quorum size floor((N+1)/2) in the
+        # simplest case.
+        for n in (3, 5, 7, 9, 15):
+            coterie = MajorityCoterie(names(n))
+            assert coterie.write_votes == (n + 1) // 2
+            assert coterie.read_votes == (n + 1) // 2
+
+    def test_even_n_write_majority(self):
+        coterie = MajorityCoterie(names(4))
+        assert coterie.write_votes == 3
+        assert coterie.read_votes == 2
+
+    def test_membership(self):
+        coterie = MajorityCoterie(names(5))
+        assert coterie.is_write_quorum(names(5)[:3])
+        assert not coterie.is_write_quorum(names(5)[:2])
+        assert coterie.is_read_quorum(names(5)[:3])
+
+    def test_custom_asymmetric_quorums(self):
+        coterie = MajorityCoterie(names(5), read_size=2, write_size=4)
+        assert coterie.is_read_quorum(names(5)[:2])
+        assert not coterie.is_write_quorum(names(5)[:3])
+        assert coterie.is_write_quorum(names(5)[:4])
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(CoterieError):
+            MajorityCoterie(names(5), read_size=2, write_size=3)  # r+w <= N
+        with pytest.raises(CoterieError):
+            MajorityCoterie(names(5), read_size=4, write_size=2)  # 2w <= N
+
+    def test_quorum_function_sizes(self):
+        coterie = MajorityCoterie(names(9))
+        assert len(coterie.write_quorum("x")) == 5
+        assert len(coterie.read_quorum("y")) == 5
+
+    def test_find_write_quorum(self):
+        coterie = MajorityCoterie(names(5))
+        assert coterie.find_write_quorum(names(5)[:3]) == frozenset(names(5)[:3])
+        assert coterie.find_write_quorum(names(5)[:2]) is None
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 7, 8, 9])
+    def test_axioms(self, n):
+        summary = verify_coterie(MajorityCoterie(names(n)))
+        assert summary["min_write_size"] == n // 2 + 1
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CoterieError):
+            MajorityCoterie(["a", "a", "b"])
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(CoterieError):
+            MajorityCoterie([])
+
+
+class TestWeightedVoting:
+    def test_weights_shift_power(self):
+        coterie = WeightedVotingCoterie(
+            ["big", "s1", "s2"], weights={"big": 3, "s1": 1, "s2": 1})
+        # total 5, w = 3: "big" alone is a write quorum
+        assert coterie.is_write_quorum({"big"})
+        assert not coterie.is_write_quorum({"s1", "s2"})
+
+    def test_zero_weight_witness(self):
+        coterie = WeightedVotingCoterie(
+            ["a", "b", "w"], weights={"a": 1, "b": 1, "w": 0},
+            read_votes=1, write_votes=2)
+        assert not coterie.is_write_quorum({"w", "a"})
+        assert coterie.is_write_quorum({"a", "b"})
+        # quorum function never picks the zero-weight witness
+        for i in range(5):
+            assert "w" not in coterie.write_quorum(f"s{i}")
+
+    def test_missing_weight_rejected(self):
+        with pytest.raises(CoterieError):
+            WeightedVotingCoterie(["a", "b"], weights={"a": 1})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(CoterieError):
+            WeightedVotingCoterie(["a", "b"], weights={"a": 1, "b": -1})
+
+    def test_find_prefers_heavy_nodes(self):
+        coterie = WeightedVotingCoterie(
+            ["big", "s1", "s2", "s3"],
+            weights={"big": 3, "s1": 1, "s2": 1, "s3": 1})
+        found = coterie.find_write_quorum(["s1", "big", "s2", "s3"])
+        assert "big" in found and len(found) <= 2
+
+    def test_axioms_with_weights(self):
+        coterie = WeightedVotingCoterie(
+            names(5), weights={n: w for n, w in zip(names(5), [3, 2, 1, 1, 1])})
+        verify_coterie(coterie)
+
+
+class TestTree:
+    def test_failure_free_quorum_is_root_leaf_path(self):
+        tree = TreeCoterie(names(7), branching=2)  # perfect binary, depth 3
+        quorum = tree.write_quorum("client")
+        assert len(quorum) == tree.depth() == 3
+        assert quorum[0] == tree.nodes[0]  # root first
+
+    def test_root_failure_replaced_by_both_children_paths(self):
+        tree = TreeCoterie(names(7), branching=2)
+        root = tree.nodes[0]
+        found = tree.find_write_quorum(set(names(7)) - {root})
+        assert found is not None
+        assert root not in found
+        assert tree.is_write_quorum(found)
+        assert len(found) == 4  # two paths of two below the root
+
+    def test_leaf_level_majority_needed(self):
+        tree = TreeCoterie(names(7), branching=2)
+        leaves = set(names(7)[3:])
+        # all leaves alone form a quorum (every internal node substituted)
+        assert tree.is_write_quorum(leaves)
+        # with the root down, quorums of *both* subtrees are required, so
+        # additionally losing one whole subtree is fatal
+        root = tree.nodes[0]
+        internal = tree.nodes[1]
+        kids = {tree.nodes[c] for c in tree.children(1)}
+        dead = {root, internal} | kids
+        assert tree.find_write_quorum(set(names(7)) - dead) is None
+        # but the same subtree loss is survivable while the root is up
+        assert tree.find_write_quorum(set(names(7)) - kids - {internal}) is not None
+
+    @pytest.mark.parametrize("n,d", [(1, 2), (3, 2), (7, 2), (13, 3),
+                                     (6, 2), (10, 3)])
+    def test_axioms(self, n, d):
+        verify_coterie(TreeCoterie(names(n), branching=d))
+
+    def test_monotone(self):
+        verify_monotonicity(TreeCoterie(names(15), branching=2))
+
+    def test_generated_quorums_intersect(self):
+        assert quorums_intersect_everywhere(TreeCoterie(names(31)))
+
+    def test_bad_branching_rejected(self):
+        with pytest.raises(CoterieError):
+            TreeCoterie(names(3), branching=1)
+
+    def test_find_is_sound(self):
+        tree = TreeCoterie(names(15))
+        for dead in (set(), {"n00"}, {"n00", "n01"}, set(names(15)[:7])):
+            found = tree.find_write_quorum(set(names(15)) - dead)
+            if found is not None:
+                assert tree.is_write_quorum(found)
+                assert not (found & dead)
+
+
+class TestHierarchical:
+    def test_kumar_motivating_example(self):
+        # Three levels of 3 with w=2 everywhere: write quorum of 8 over 27.
+        coterie = HierarchicalCoterie(names(27), arities=(3, 3, 3),
+                                      write_thresholds=(2, 2, 2))
+        assert coterie.min_write_quorum_size() == 8
+        quorum = coterie.write_quorum("client")
+        assert len(quorum) == 8
+        assert coterie.is_write_quorum(quorum)
+        # majority would need 14
+        assert MajorityCoterie(names(27)).write_votes == 14
+
+    def test_default_arities(self):
+        assert default_arities(27) == (3, 3, 3)
+        assert default_arities(9) == (3, 3)
+        assert default_arities(7) == (7,)   # prime: flat majority
+        assert default_arities(1) == (1,)
+
+    def test_single_level_equals_majority(self):
+        hqc = HierarchicalCoterie(names(5), arities=(5,))
+        maj = MajorityCoterie(names(5))
+        for subset in ([], names(5)[:2], names(5)[:3], names(5)):
+            assert hqc.is_write_quorum(subset) == maj.is_write_quorum(subset)
+
+    def test_arity_product_mismatch_rejected(self):
+        with pytest.raises(CoterieError):
+            HierarchicalCoterie(names(8), arities=(3, 3))
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(CoterieError):
+            HierarchicalCoterie(names(9), arities=(3, 3),
+                                write_thresholds=(1, 2))  # 2w <= d
+
+    @pytest.mark.parametrize("n,arities", [(4, (2, 2)), (9, (3, 3)),
+                                           (6, (2, 3)), (12, (3, 4))])
+    def test_axioms(self, n, arities):
+        verify_coterie(HierarchicalCoterie(names(n), arities=arities))
+
+    def test_find_write_quorum_sound(self):
+        coterie = HierarchicalCoterie(names(9), arities=(3, 3))
+        available = set(names(9)) - {"n00", "n03"}
+        found = coterie.find_write_quorum(available)
+        assert found is not None and coterie.is_write_quorum(found)
+        # losing 2 of 3 nodes in 2 of 3 groups kills the write quorum
+        assert coterie.find_write_quorum(
+            set(names(9)) - {"n00", "n01", "n03", "n04"}) is None
+
+
+class TestRowa:
+    def test_read_one(self):
+        coterie = ReadOneWriteAllCoterie(names(5))
+        assert coterie.is_read_quorum({"n03"})
+        assert len(coterie.read_quorum("x")) == 1
+
+    def test_write_all(self):
+        coterie = ReadOneWriteAllCoterie(names(5))
+        assert coterie.is_write_quorum(names(5))
+        assert not coterie.is_write_quorum(names(5)[:4])
+        assert coterie.write_quorum("x") == names(5)
+
+    def test_single_failure_blocks_writes(self):
+        coterie = ReadOneWriteAllCoterie(names(5))
+        assert coterie.find_write_quorum(names(5)[1:]) is None
+        assert coterie.find_read_quorum(names(5)[1:]) is not None
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_axioms(self, n):
+        summary = verify_coterie(ReadOneWriteAllCoterie(names(n)))
+        assert summary["min_read_size"] == 1
+        assert summary["min_write_size"] == n
+
+
+class TestVerifiers:
+    def test_minimal_quorums_rejects_huge_universe(self):
+        with pytest.raises(CoterieError):
+            minimal_quorums(lambda s: True, names(25))
+
+    def test_minimal_quorums_finds_antichain(self):
+        family = minimal_quorums(
+            lambda s: len(s) >= 2, ["a", "b", "c"])
+        assert sorted(sorted(q) for q in family) == [
+            ["a", "b"], ["a", "c"], ["b", "c"]]
+
+    def test_verify_coterie_catches_broken_intersection(self):
+        with pytest.raises(CoterieError):
+            verify_coterie(_broken())
+
+    def test_verify_monotonicity_catches_non_monotone(self):
+        class NonMonotone(MajorityCoterie):
+            def is_read_quorum(self, subset):
+                return len(self.restrict(subset)) == 2  # not monotone
+
+        with pytest.raises(CoterieError):
+            verify_monotonicity(NonMonotone(names(6)), samples=500)
+
+
+def _broken():
+    """A coterie whose write quorums do not intersect."""
+    class Broken(MajorityCoterie):
+        def is_write_quorum(self, subset):
+            return bool(self.restrict(subset))
+
+    return Broken(names(4))
+
+
+class TestCrossFamilyProperties:
+    """Hypothesis: every rule yields valid coteries at random sizes."""
+
+    @given(st.integers(min_value=1, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_grid_axioms_random_n(self, n):
+        from repro.coteries.grid import GridCoterie
+        verify_coterie(GridCoterie(names(n)))
+
+    @given(st.integers(min_value=1, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_majority_axioms_random_n(self, n):
+        verify_coterie(MajorityCoterie(names(n)))
+
+    @given(st.integers(min_value=1, max_value=10),
+           st.integers(min_value=2, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_tree_axioms_random_n(self, n, d):
+        verify_coterie(TreeCoterie(names(n), branching=d))
+
+    @given(st.integers(min_value=2, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_grid_write_implies_read(self, n):
+        from repro.coteries.grid import GridCoterie
+        import itertools
+        grid = GridCoterie(names(n))
+        for size in range(n + 1):
+            for combo in itertools.combinations(names(n), size):
+                if grid.is_write_quorum(combo):
+                    assert grid.is_read_quorum(combo)

@@ -1,0 +1,143 @@
+"""Crumbling-wall coteries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coteries.base import CoterieError
+from repro.coteries.properties import (
+    minimal_quorums,
+    verify_coterie,
+    verify_monotonicity,
+)
+from repro.coteries.wall import WallCoterie, triangle_widths, wall_rule
+
+
+def names(n):
+    return [f"n{i:02d}" for i in range(n)]
+
+
+class TestTriangleWidths:
+    def test_perfect_triangles(self):
+        assert triangle_widths(10) == [1, 2, 3, 4]
+        assert triangle_widths(6) == [1, 2, 3]
+        assert triangle_widths(1) == [1]
+
+    def test_ragged_last_row(self):
+        assert triangle_widths(8) == [1, 2, 3, 2]
+
+    @given(st.integers(min_value=1, max_value=300))
+    def test_widths_sum_to_n(self, n):
+        assert sum(triangle_widths(n)) == n
+
+
+class TestWallStructure:
+    def test_rows_fill_in_order(self):
+        wall = WallCoterie(names(6))
+        assert wall.rows == (("n00",), ("n01", "n02"),
+                             ("n03", "n04", "n05")) or \
+            [list(r) for r in wall.rows] == [["n00"], ["n01", "n02"],
+                                             ["n03", "n04", "n05"]]
+
+    def test_custom_widths(self):
+        wall = WallCoterie(names(5), widths=[2, 3])
+        assert [len(r) for r in wall.rows] == [2, 3]
+
+    def test_bad_widths_rejected(self):
+        with pytest.raises(CoterieError):
+            WallCoterie(names(5), widths=[2, 2])
+        with pytest.raises(CoterieError):
+            WallCoterie(names(5), widths=[0, 5])
+
+    def test_layout(self):
+        text = WallCoterie(names(6)).layout()
+        assert text.count("\n") == 2
+
+
+class TestQuorums:
+    def test_top_singleton_row_gives_tiny_write_quorums(self):
+        # triangle wall of 10: full row {n00} + one per row below = 4
+        wall = WallCoterie(names(10))
+        assert wall.min_write_quorum_size() == 4
+        quorum = wall.write_quorum("c")
+        assert wall.is_write_quorum(quorum)
+
+    def test_write_needs_rows_below_covered(self):
+        wall = WallCoterie(names(6))  # rows [1, 2, 3]
+        # full top row but nothing below: not a quorum
+        assert not wall.is_write_quorum({"n00"})
+        # top row + one from each lower row: quorum
+        assert wall.is_write_quorum({"n00", "n01", "n03"})
+        # full bottom row alone (nothing below to cover): quorum
+        assert wall.is_write_quorum({"n03", "n04", "n05"})
+
+    def test_read_needs_every_row(self):
+        wall = WallCoterie(names(6))
+        assert wall.is_read_quorum({"n00", "n02", "n05"})
+        assert not wall.is_read_quorum({"n01", "n02", "n03"})  # row 0 missed
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 6, 8, 10])
+    def test_axioms(self, n):
+        verify_coterie(WallCoterie(names(n)))
+
+    def test_monotone(self):
+        verify_monotonicity(WallCoterie(names(15)))
+
+    @given(st.integers(min_value=1, max_value=14), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_find_write_quorum_sound_and_complete(self, n, data):
+        wall = WallCoterie(names(n))
+        available = frozenset(name for name in wall.nodes
+                              if data.draw(st.booleans(), label=name))
+        found = wall.find_write_quorum(available)
+        if found is None:
+            assert not wall.is_write_quorum(available)
+        else:
+            assert found <= available
+            assert wall.is_write_quorum(found)
+
+    def test_quorum_function_spreads_full_rows(self):
+        wall = WallCoterie(names(10))
+        chosen = {tuple(wall.write_quorum(f"c{i}")) for i in range(12)}
+        assert len(chosen) > 1
+
+
+class TestWallLoad:
+    def test_triangle_wall_write_load_beats_majority(self):
+        from repro.analysis.optimal_load import optimal_load
+        from repro.coteries.majority import MajorityCoterie
+        wall_load, _ = optimal_load(WallCoterie(names(10)))
+        majority_load, _ = optimal_load(MajorityCoterie(names(10)))
+        assert wall_load < majority_load
+
+    def test_minimal_quorums_include_every_full_row_variant(self):
+        wall = WallCoterie(names(6))
+        family = minimal_quorums(wall.is_write_quorum, wall.nodes)
+        sizes = sorted({len(q) for q in family})
+        assert sizes == [3]  # 1+1+1, 2+1, and 3 all have size 3 here
+
+
+class TestDynamicWallStore:
+    def test_protocol_runs_on_wall_rule(self):
+        from repro.core.store import ReplicatedStore
+        store = ReplicatedStore.create(10, seed=5,
+                                       coterie_rule=wall_rule())
+        assert store.write({"x": 1}).ok
+        assert store.read().value == {"x": 1}
+        store.verify()
+
+    def test_epoch_adapts_on_wall(self):
+        from repro.core.store import ReplicatedStore
+        store = ReplicatedStore.create(10, seed=6,
+                                       coterie_rule=wall_rule())
+        store.write({"x": 1})
+        # the singleton top row is a single point of READ failure (every
+        # read must cover every row) -- until the epoch re-forms a new,
+        # smaller wall without it
+        store.crash("n00")
+        assert not store.read().ok
+        assert store.check_epoch().ok
+        assert store.read().ok
+        assert store.write({"x": 2}).ok
+        store.settle()
+        store.verify()

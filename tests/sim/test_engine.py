@@ -1,0 +1,567 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestClockAndTimeouts:
+    def test_clock_starts_at_zero(self):
+        env = Environment()
+        assert env.now == 0.0
+
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        fired = []
+
+        def proc(env):
+            yield env.timeout(3.5)
+            fired.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert fired == [3.5]
+
+    def test_timeouts_fire_in_time_order(self):
+        env = Environment()
+        order = []
+
+        def proc(env, name, delay):
+            yield env.timeout(delay)
+            order.append(name)
+
+        env.process(proc(env, "late", 5.0))
+        env.process(proc(env, "early", 1.0))
+        env.process(proc(env, "mid", 3.0))
+        env.run()
+        assert order == ["early", "mid", "late"]
+
+    def test_equal_times_fire_in_schedule_order(self):
+        env = Environment()
+        order = []
+
+        def proc(env, name):
+            yield env.timeout(1.0)
+            order.append(name)
+
+        for name in "abcd":
+            env.process(proc(env, name))
+        env.run()
+        assert order == list("abcd")
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Timeout(env, -1.0)
+
+    def test_run_until_stops_early(self):
+        env = Environment()
+        fired = []
+
+        def proc(env):
+            yield env.timeout(10.0)
+            fired.append(True)
+
+        env.process(proc(env))
+        stopped_at = env.run(until=4.0)
+        assert stopped_at == 4.0
+        assert env.now == 4.0
+        assert not fired
+        env.run()
+        assert fired == [True]
+
+    def test_run_until_beyond_queue_advances_clock(self):
+        env = Environment()
+        assert env.run(until=7.0) == 7.0
+        assert env.now == 7.0
+
+    def test_timeout_carries_value(self):
+        env = Environment()
+        got = []
+
+        def proc(env):
+            value = yield env.timeout(1.0, value="payload")
+            got.append(value)
+
+        env.process(proc(env))
+        env.run()
+        assert got == ["payload"]
+
+    def test_zero_delay_timeout_runs_same_time(self):
+        env = Environment()
+        times = []
+
+        def proc(env):
+            yield env.timeout(0.0)
+            times.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert times == [0.0]
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self):
+        env = Environment()
+        event = env.event()
+        got = []
+
+        def waiter(env, event):
+            got.append((yield event))
+
+        env.process(waiter(env, event))
+
+        def trigger(env, event):
+            yield env.timeout(1.0)
+            event.succeed(42)
+
+        env.process(trigger(env, event))
+        env.run()
+        assert got == [42]
+
+    def test_fail_raises_in_waiter(self):
+        env = Environment()
+        event = env.event()
+        caught = []
+
+        def waiter(env, event):
+            try:
+                yield event
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        env.process(waiter(env, event))
+
+        def trigger(env, event):
+            yield env.timeout(1.0)
+            event.fail(ValueError("boom"))
+
+        env.process(trigger(env, event))
+        env.run()
+        assert caught == ["boom"]
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+        with pytest.raises(SimulationError):
+            event.fail(ValueError())
+
+    def test_value_before_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+    def test_waiting_on_already_fired_event(self):
+        env = Environment()
+        event = env.event()
+        event.succeed("early")
+        got = []
+
+        def waiter(env, event):
+            got.append((yield event))
+
+        env.process(waiter(env, event))
+        env.run()
+        assert got == ["early"]
+
+    def test_multiple_waiters_all_resumed(self):
+        env = Environment()
+        event = env.event()
+        got = []
+
+        def waiter(env, event, name):
+            value = yield event
+            got.append((name, value))
+
+        for name in ("a", "b", "c"):
+            env.process(waiter(env, event, name))
+
+        def trigger(env, event):
+            yield env.timeout(2.0)
+            event.succeed("x")
+
+        env.process(trigger(env, event))
+        env.run()
+        assert sorted(got) == [("a", "x"), ("b", "x"), ("c", "x")]
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self):
+        env = Environment()
+        done = []
+
+        def proc(env):
+            t1 = env.timeout(1.0, value="one")
+            t2 = env.timeout(3.0, value="three")
+            results = yield env.all_of([t1, t2])
+            done.append((env.now, sorted(results.values())))
+
+        env.process(proc(env))
+        env.run()
+        assert done == [(3.0, ["one", "three"])]
+
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+        done = []
+
+        def proc(env):
+            t1 = env.timeout(1.0, value="fast")
+            t2 = env.timeout(9.0, value="slow")
+            results = yield env.any_of([t1, t2])
+            done.append((env.now, list(results.values())))
+
+        env.process(proc(env))
+        env.run()
+        assert done == [(1.0, ["fast"])]
+
+    def test_all_of_empty_fires_immediately(self):
+        env = Environment()
+        done = []
+
+        def proc(env):
+            results = yield env.all_of([])
+            done.append(results)
+
+        env.process(proc(env))
+        env.run()
+        assert done == [{}]
+
+    def test_all_of_with_pretriggered_events(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(7)
+        done = []
+
+        def proc(env, event):
+            results = yield env.all_of([event, env.timeout(1.0, value=8)])
+            done.append(sorted(results.values()))
+
+        env.process(proc(env, event))
+        env.run()
+        assert done == [[7, 8]]
+
+    def test_all_of_propagates_failure(self):
+        env = Environment()
+        event = env.event()
+        caught = []
+
+        def proc(env, event):
+            try:
+                yield env.all_of([event, env.timeout(5.0)])
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        env.process(proc(env, event))
+
+        def trigger(env, event):
+            yield env.timeout(1.0)
+            event.fail(RuntimeError("part failed"))
+
+        env.process(trigger(env, event))
+        env.run()
+        assert caught == ["part failed"]
+
+
+class TestProcesses:
+    def test_process_return_value(self):
+        env = Environment()
+
+        def child(env):
+            yield env.timeout(1.0)
+            return "result"
+
+        def parent(env):
+            value = yield env.process(child(env))
+            return value
+
+        parent_proc = env.process(parent(env))
+        env.run()
+        assert parent_proc.value == "result"
+
+    def test_process_exception_propagates_to_run(self):
+        env = Environment()
+
+        def broken(env):
+            yield env.timeout(1.0)
+            raise KeyError("bug")
+
+        env.process(broken(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_interrupt_raises_in_process(self):
+        env = Environment()
+        caught = []
+
+        def victim(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as interrupt:
+                caught.append((env.now, interrupt.cause))
+
+        process = env.process(victim(env))
+
+        def killer(env, process):
+            yield env.timeout(2.0)
+            process.interrupt("die")
+
+        env.process(killer(env, process))
+        env.run()
+        assert caught == [(2.0, "die")]
+
+    def test_interrupt_finished_process_is_noop(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1.0)
+
+        process = env.process(quick(env))
+        env.run()
+        process.interrupt("too late")
+        env.run()
+        assert process.triggered
+
+    def test_unhandled_interrupt_terminates_quietly(self):
+        env = Environment()
+
+        def victim(env):
+            yield env.timeout(100.0)
+
+        process = env.process(victim(env))
+
+        def killer(env, process):
+            yield env.timeout(1.0)
+            process.interrupt()
+
+        env.process(killer(env, process))
+        env.run()
+        assert process.triggered and process.ok
+
+    def test_interrupted_process_does_not_resume_on_old_event(self):
+        env = Environment()
+        resumed = []
+
+        def victim(env):
+            try:
+                yield env.timeout(5.0)
+                resumed.append("timeout")
+            except Interrupt:
+                yield env.timeout(100.0)
+                resumed.append("after-interrupt")
+
+        process = env.process(victim(env))
+
+        def killer(env, process):
+            yield env.timeout(1.0)
+            process.interrupt()
+
+        env.process(killer(env, process))
+        env.run()
+        assert resumed == ["after-interrupt"]
+        assert env.now == 101.0
+
+    def test_non_generator_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+    def test_yielding_non_event_fails_process(self):
+        env = Environment()
+
+        def bad(env):
+            yield 42
+
+        env.process(bad(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+
+class TestLock:
+    def test_exclusive_mutual_exclusion(self):
+        env = Environment()
+        lock = env.lock()
+        order = []
+
+        def worker(env, lock, name, hold):
+            yield lock.acquire(name)
+            order.append(("acq", name, env.now))
+            yield env.timeout(hold)
+            lock.release(name)
+            order.append(("rel", name, env.now))
+
+        env.process(worker(env, lock, "a", 2.0))
+        env.process(worker(env, lock, "b", 1.0))
+        env.run()
+        assert order == [
+            ("acq", "a", 0.0), ("rel", "a", 2.0),
+            ("acq", "b", 2.0), ("rel", "b", 3.0),
+        ]
+
+    def test_shared_holders_coexist(self):
+        env = Environment()
+        lock = env.lock()
+        concurrent = []
+
+        def reader(env, lock, name):
+            yield lock.acquire(name, shared=True)
+            concurrent.append(len(lock.holders))
+            yield env.timeout(1.0)
+            lock.release(name)
+
+        env.process(reader(env, lock, "r1"))
+        env.process(reader(env, lock, "r2"))
+        env.run()
+        assert max(concurrent) == 2
+
+    def test_exclusive_waits_for_shared(self):
+        env = Environment()
+        lock = env.lock()
+        times = {}
+
+        def reader(env, lock):
+            yield lock.acquire("reader", shared=True)
+            yield env.timeout(2.0)
+            lock.release("reader")
+
+        def writer(env, lock):
+            yield env.timeout(0.5)
+            yield lock.acquire("writer")
+            times["writer"] = env.now
+            lock.release("writer")
+
+        env.process(reader(env, lock))
+        env.process(writer(env, lock))
+        env.run()
+        assert times["writer"] == 2.0
+
+    def test_fifo_no_starvation_for_writer(self):
+        env = Environment()
+        lock = env.lock()
+        times = {}
+
+        def reader(env, lock, name, start):
+            yield env.timeout(start)
+            yield lock.acquire(name, shared=True)
+            yield env.timeout(2.0)
+            lock.release(name)
+
+        def writer(env, lock):
+            yield env.timeout(0.5)
+            yield lock.acquire("writer")
+            times["writer"] = env.now
+            lock.release("writer")
+
+        env.process(reader(env, lock, "r1", 0.0))
+        env.process(reader(env, lock, "r2", 1.0))  # arrives after the writer
+        env.process(writer(env, lock))
+        env.run()
+        # r2 queued behind the writer, so the writer runs at r1's release.
+        assert times["writer"] == 2.0
+
+    def test_release_unheld_is_noop(self):
+        env = Environment()
+        lock = env.lock()
+        lock.release("ghost")
+        assert not lock.locked
+
+    def test_reacquire_while_holding_rejected(self):
+        env = Environment()
+        lock = env.lock()
+
+        def proc(env, lock):
+            yield lock.acquire("me")
+            with pytest.raises(SimulationError):
+                lock.acquire("me")
+            lock.release("me")
+
+        env.process(proc(env, lock))
+        env.run()
+
+    def test_reset_evicts_and_fails_waiters(self):
+        env = Environment()
+        lock = env.lock()
+        outcomes = []
+
+        def holder(env, lock):
+            yield lock.acquire("holder")
+            yield env.timeout(10.0)
+
+        def waiter(env, lock):
+            try:
+                yield lock.acquire("waiter")
+                outcomes.append("granted")
+            except Interrupt:
+                outcomes.append("interrupted")
+
+        def resetter(env, lock):
+            yield env.timeout(1.0)
+            lock.reset()
+
+        env.process(holder(env, lock))
+        env.process(waiter(env, lock))
+        env.process(resetter(env, lock))
+        env.run()
+        assert outcomes == ["interrupted"]
+        assert not lock.locked
+
+    def test_cancel_withdraws_waiter(self):
+        env = Environment()
+        lock = env.lock()
+        got = []
+
+        def holder(env, lock):
+            yield lock.acquire("holder")
+            yield env.timeout(2.0)
+            lock.release("holder")
+
+        def impatient(env, lock):
+            request = lock.acquire("impatient")
+            yield env.timeout(1.0)
+            if not request.triggered:
+                lock.cancel("impatient")
+                got.append("gave-up")
+
+        def other(env, lock):
+            yield env.timeout(0.5)
+            yield lock.acquire("other")
+            got.append(("other", env.now))
+            lock.release("other")
+
+        env.process(holder(env, lock))
+        env.process(impatient(env, lock))
+        env.process(other(env, lock))
+        env.run()
+        assert "gave-up" in got
+        assert ("other", 2.0) in got
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def run_once():
+            import random
+            env = Environment()
+            rng = random.Random(1234)
+            log = []
+
+            def proc(env, rng, name):
+                for _ in range(20):
+                    yield env.timeout(rng.expovariate(1.0))
+                    log.append((round(env.now, 9), name))
+
+            for name in ("a", "b", "c"):
+                env.process(proc(env, rng, name))
+            env.run()
+            return log
+
+        assert run_once() == run_once()

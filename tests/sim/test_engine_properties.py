@@ -1,0 +1,131 @@
+"""Property-based tests of the simulation kernel."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Environment
+
+
+class TestTimeoutOrdering:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=1, max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        env = Environment()
+        fired = []
+
+        def waiter(env, delay):
+            yield env.timeout(delay)
+            fired.append(env.now)
+
+        for delay in delays:
+            env.process(waiter(env, delay))
+        env.run()
+        assert fired == sorted(fired)
+        assert sorted(fired) == sorted(delays)
+
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=50),
+                              st.integers(0, 10 ** 6)),
+                    min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_ties_break_by_schedule_order(self, items):
+        env = Environment()
+        fired = []
+
+        def waiter(env, delay, tag):
+            yield env.timeout(delay)
+            fired.append((env.now, tag))
+
+        for order, (delay, tag) in enumerate(items):
+            env.process(waiter(env, delay, (delay, order)))
+        env.run()
+        # among equal times, the earlier-scheduled process fires first
+        for (t1, tag1), (t2, tag2) in zip(fired, fired[1:]):
+            if t1 == t2:
+                assert tag1[1] < tag2[1]
+
+
+class TestNestedProcesses:
+    @given(st.integers(min_value=1, max_value=8),
+           st.floats(min_value=0.1, max_value=3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_process_chain_accumulates_delays(self, depth, delay):
+        env = Environment()
+
+        def worker(env, remaining):
+            yield env.timeout(delay)
+            if remaining:
+                yield env.process(worker(env, remaining - 1))
+            return remaining
+
+        import pytest
+
+        root = env.process(worker(env, depth))
+        env.run()
+        assert env.now == pytest.approx((depth + 1) * delay)
+        assert root.value == depth
+
+    @given(st.integers(min_value=2, max_value=12))
+    @settings(max_examples=30, deadline=None)
+    def test_all_of_fires_at_maximum(self, count):
+        env = Environment()
+        rng = random.Random(count)
+        delays = [rng.uniform(0.1, 9.9) for _ in range(count)]
+        done = []
+
+        def proc(env):
+            yield env.all_of([env.timeout(d) for d in delays])
+            done.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert done == [max(delays)]
+
+    @given(st.integers(min_value=2, max_value=12))
+    @settings(max_examples=30, deadline=None)
+    def test_any_of_fires_at_minimum(self, count):
+        env = Environment()
+        rng = random.Random(count * 7)
+        delays = [rng.uniform(0.1, 9.9) for _ in range(count)]
+        done = []
+
+        def proc(env):
+            yield env.any_of([env.timeout(d) for d in delays])
+            done.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert done == [min(delays)]
+
+
+class TestLockProperties:
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=5),
+                              st.floats(min_value=0.01, max_value=2),
+                              st.booleans()),
+                    min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_no_write_write_or_read_write_overlap(self, arrivals):
+        env = Environment()
+        lock = env.lock()
+        active: list[tuple[str, str]] = []
+        overlaps = []
+
+        def client(env, lock, name, start, hold, shared):
+            yield env.timeout(start)
+            yield lock.acquire(name, shared=shared)
+            mode = "shared" if shared else "exclusive"
+            for _other, other_mode in active:
+                if mode == "exclusive" or other_mode == "exclusive":
+                    overlaps.append((name, mode))
+            active.append((name, mode))
+            yield env.timeout(hold)
+            active.remove((name, mode))
+            lock.release(name)
+
+        for index, (start, hold, shared) in enumerate(arrivals):
+            env.process(client(env, lock, f"c{index}", start, hold, shared))
+        env.run()
+        assert overlaps == []
+        assert not lock.locked

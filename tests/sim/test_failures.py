@@ -1,0 +1,176 @@
+"""Tests for Poisson failure injection and scripted fault schedules."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.failures import FailureInjector, FailureSchedule
+from repro.sim.network import LatencyModel, Network
+from repro.sim.node import Node
+from repro.sim.trace import TraceLog
+
+
+def make_nodes(n, env=None):
+    env = env or Environment()
+    net = Network(env, LatencyModel(0.01, 0.01), trace=TraceLog())
+    return env, net, [Node(env, net, f"n{i}") for i in range(n)]
+
+
+class TestFailureInjector:
+    def test_availability_formula(self):
+        env, net, nodes = make_nodes(1)
+        injector = FailureInjector(env, nodes, lam=1.0, mu=19.0)
+        assert injector.availability == pytest.approx(0.95)
+
+    def test_bad_rates_rejected(self):
+        env, net, nodes = make_nodes(1)
+        with pytest.raises(ValueError):
+            FailureInjector(env, nodes, lam=-1.0, mu=1.0)
+        with pytest.raises(ValueError):
+            FailureInjector(env, nodes, lam=1.0, mu=0.0)
+
+    def test_double_start_rejected(self):
+        env, net, nodes = make_nodes(1)
+        injector = FailureInjector(env, nodes, lam=1.0, mu=1.0)
+        injector.start()
+        with pytest.raises(RuntimeError):
+            injector.start()
+
+    def test_empirical_availability_matches_theory(self):
+        env, net, nodes = make_nodes(1)
+        node = nodes[0]
+        injector = FailureInjector(env, nodes, lam=1.0, mu=19.0,
+                                   rng=random.Random(42))
+        injector.start()
+        up_time = 0.0
+        last = [0.0, True]  # time, was_up
+
+        def on_event(kind, node):
+            nonlocal up_time
+            now = env.now
+            if last[1]:
+                up_time += now - last[0]
+            last[0], last[1] = now, node.up
+
+        injector.on_event = on_event
+        horizon = 20000.0
+        env.run(until=horizon)
+        if last[1]:
+            up_time += horizon - last[0]
+        assert up_time / horizon == pytest.approx(0.95, abs=0.01)
+
+    def test_events_alternate_crash_recover(self):
+        env, net, nodes = make_nodes(1)
+        sequence = []
+        injector = FailureInjector(env, nodes, lam=2.0, mu=2.0,
+                                   rng=random.Random(7),
+                                   on_event=lambda kind, n: sequence.append(kind))
+        injector.start()
+        env.run(until=50.0)
+        assert len(sequence) > 10
+        for a, b in zip(sequence, sequence[1:]):
+            assert a != b  # strict alternation per node
+
+    def test_zero_failure_rate_never_crashes(self):
+        env, net, nodes = make_nodes(2)
+        injector = FailureInjector(env, nodes, lam=0.0, mu=1.0)
+        injector.start()
+        env.run(until=100.0)
+        assert all(node.up for node in nodes)
+
+
+class TestFailureSchedule:
+    def test_scripted_crash_and_recover(self):
+        env, net, nodes = make_nodes(2)
+        schedule = FailureSchedule(env, net, nodes)
+        schedule.crash_at(1.0, "n0").recover_at(2.0, "n0")
+        schedule.start()
+        states = []
+
+        def observer(env):
+            for _ in range(3):
+                states.append((env.now, nodes[0].up))
+                yield env.timeout(0.75)
+
+        env.process(observer(env))
+        env.run()
+        assert states == [(0.0, True), (0.75, True), (1.5, False)]
+        assert nodes[0].up  # recovered by the end
+
+    def test_partition_and_heal(self):
+        env, net, nodes = make_nodes(3)
+        schedule = FailureSchedule(env, net, nodes)
+        schedule.partition_at(1.0, ["n0"], ["n1", "n2"]).heal_at(2.0)
+        schedule.start()
+        checks = []
+
+        def observer(env):
+            yield env.timeout(1.5)
+            checks.append(net.partitions.reachable("n0", "n1"))
+            yield env.timeout(1.0)
+            checks.append(net.partitions.reachable("n0", "n1"))
+
+        env.process(observer(env))
+        env.run()
+        assert checks == [False, True]
+
+    def test_custom_action(self):
+        env, net, nodes = make_nodes(1)
+        fired = []
+        schedule = FailureSchedule(env, net, nodes)
+        schedule.at(3.0, lambda: fired.append(env.now))
+        schedule.start()
+        env.run()
+        assert fired == [3.0]
+
+    def test_past_action_rejected(self):
+        env, net, nodes = make_nodes(1)
+        env.run(until=5.0)
+        schedule = FailureSchedule(env, net, nodes)
+        schedule.crash_at(1.0, "n0")
+        with pytest.raises(ValueError):
+            schedule.start()
+
+    def test_unknown_node_rejected(self):
+        env, net, nodes = make_nodes(1)
+        schedule = FailureSchedule(env, net, nodes)
+        with pytest.raises(KeyError):
+            schedule.crash_at(1.0, "n99")
+
+
+class TestScheduleFromTrace:
+    def test_replays_recorded_fault_timeline(self):
+        import random as _random
+        from repro.sim.failures import FailureInjector, schedule_from_trace
+        from repro.sim.trace import TraceLog
+
+        # run 1: random faults, recorded in the trace
+        env1, net1, nodes1 = make_nodes(4)
+        injector = FailureInjector(env1, nodes1, lam=0.5, mu=1.0,
+                                   rng=_random.Random(13))
+        injector.start()
+        env1.run(until=30.0)
+        events1 = [(r.time, r.kind, r.node) for r in net1.trace
+                   if r.kind in ("node-crash", "node-recover")]
+        assert events1, "the injector should have produced faults"
+
+        # run 2: replay the extracted schedule on a fresh cluster
+        env2, net2, nodes2 = make_nodes(4)
+        schedule = schedule_from_trace(net1.trace, env2, net2, nodes2)
+        schedule.start()
+        env2.run(until=30.0)
+        events2 = [(r.time, r.kind, r.node) for r in net2.trace
+                   if r.kind in ("node-crash", "node-recover")]
+        assert events2 == events1
+
+    def test_ignores_non_fault_records(self):
+        from repro.sim.failures import schedule_from_trace
+        from repro.sim.trace import TraceLog
+
+        trace = TraceLog()
+        trace.record(1.0, "send", "n0", dst="n1")
+        trace.record(2.0, "node-crash", "n0")
+        env, net, nodes = make_nodes(1)
+        schedule = schedule_from_trace(trace, env, net, nodes)
+        assert len(schedule._actions) == 1

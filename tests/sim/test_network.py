@@ -1,0 +1,261 @@
+"""Tests for the network, node, and partition substrate."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.network import LatencyModel, Network, PartitionManager
+from repro.sim.node import Node
+from repro.sim.trace import TraceLog
+
+
+def make_net(n=3, seed=0, min_delay=0.01, max_delay=0.01):
+    env = Environment()
+    trace = TraceLog()
+    latency = LatencyModel(min_delay, max_delay, rng=random.Random(seed))
+    net = Network(env, latency=latency, trace=trace)
+    nodes = [Node(env, net, f"n{i}") for i in range(n)]
+    return env, net, nodes, trace
+
+
+class TestLatencyModel:
+    def test_constant_latency(self):
+        model = LatencyModel(0.5, 0.5)
+        assert model.sample("a", "b") == 0.5
+
+    def test_uniform_latency_within_bounds(self):
+        model = LatencyModel(0.1, 0.2, rng=random.Random(1))
+        samples = [model.sample("a", "b") for _ in range(100)]
+        assert all(0.1 <= s <= 0.2 for s in samples)
+        assert len(set(samples)) > 1
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            LatencyModel(2.0, 1.0)
+
+
+class TestPartitionManager:
+    def test_initially_connected(self):
+        pm = PartitionManager(["a", "b", "c"])
+        assert pm.reachable("a", "b")
+        assert not pm.is_partitioned
+
+    def test_partition_splits(self):
+        pm = PartitionManager(["a", "b", "c", "d"])
+        pm.partition(["a", "b"], ["c"])
+        assert pm.reachable("a", "b")
+        assert not pm.reachable("a", "c")
+        assert not pm.reachable("c", "d")
+        assert pm.is_partitioned
+
+    def test_unlisted_nodes_form_residual_group(self):
+        pm = PartitionManager(["a", "b", "c", "d"])
+        pm.partition(["a"])
+        assert pm.reachable("b", "c")
+        assert not pm.reachable("a", "b")
+
+    def test_heal_restores(self):
+        pm = PartitionManager(["a", "b"])
+        pm.partition(["a"], ["b"])
+        pm.heal()
+        assert pm.reachable("a", "b")
+        assert not pm.is_partitioned
+
+    def test_duplicate_membership_rejected(self):
+        pm = PartitionManager(["a", "b"])
+        with pytest.raises(ValueError):
+            pm.partition(["a"], ["a", "b"])
+
+    def test_groups_listing(self):
+        pm = PartitionManager(["a", "b", "c"])
+        assert pm.groups() == [{"a", "b", "c"}]
+        pm.partition(["a"], ["b"])
+        groups = pm.groups()
+        assert {"a"} in groups and {"b"} in groups and {"c"} in groups
+
+
+class TestDelivery:
+    def test_message_delivered_with_latency(self):
+        env, net, nodes, trace = make_net()
+        got = []
+        nodes[1].register_handler("ping", lambda m: got.append((env.now, m.payload)))
+        nodes[0].send("n1", "ping", "hello")
+        env.run()
+        assert got == [(0.01, "hello")]
+
+    def test_message_to_down_node_dropped(self):
+        env, net, nodes, trace = make_net()
+        got = []
+        nodes[1].register_handler("ping", lambda m: got.append(m))
+        nodes[1].crash()
+        nodes[0].send("n1", "ping", "x")
+        env.run()
+        assert got == []
+        assert trace.count("drop") == 1
+
+    def test_message_from_node_that_crashed_in_flight_dropped(self):
+        env, net, nodes, trace = make_net()
+        got = []
+        nodes[1].register_handler("ping", lambda m: got.append(m))
+        nodes[0].send("n1", "ping", "x")
+        nodes[0].crash()  # crashes before delivery
+        env.run()
+        assert got == []
+
+    def test_cross_partition_message_dropped(self):
+        env, net, nodes, trace = make_net()
+        got = []
+        nodes[1].register_handler("ping", lambda m: got.append(m))
+        net.partitions.partition(["n0"], ["n1", "n2"])
+        nodes[0].send("n1", "ping", "x")
+        env.run()
+        assert got == []
+        drops = trace.select(kind="drop")
+        assert drops[0].detail["reason"] == "partitioned"
+
+    def test_same_partition_message_delivered(self):
+        env, net, nodes, trace = make_net()
+        got = []
+        nodes[2].register_handler("ping", lambda m: got.append(m.payload))
+        net.partitions.partition(["n0"], ["n1", "n2"])
+        nodes[1].send("n2", "ping", "y")
+        env.run()
+        assert got == ["y"]
+
+    def test_unknown_destination_dropped(self):
+        env, net, nodes, trace = make_net()
+        nodes[0].send("n99", "ping", "x")
+        env.run()
+        assert trace.count("drop") == 1
+
+    def test_duplicate_registration_rejected(self):
+        env, net, nodes, trace = make_net()
+        with pytest.raises(ValueError):
+            Node(env, net, "n0")
+
+    def test_unhandled_kind_traced(self):
+        env, net, nodes, trace = make_net()
+        nodes[0].send("n1", "mystery", None)
+        env.run()
+        assert trace.count("unhandled") == 1
+
+
+class TestNodeLifecycle:
+    def test_crash_wipes_volatile_keeps_stable(self):
+        env, net, nodes, trace = make_net()
+        node = nodes[0]
+        node.stable["epoch"] = 3
+        node.volatile["cache"] = "hot"
+        node.crash()
+        assert node.stable["epoch"] == 3
+        assert node.volatile == {}
+
+    def test_crash_resets_locks(self):
+        env, net, nodes, trace = make_net()
+        node = nodes[0]
+        lock = node.make_lock("replica")
+
+        def holder(env, lock):
+            yield lock.acquire("op1")
+            yield env.timeout(100.0)
+
+        node.spawn(holder(env, lock))
+
+        def crasher(env, node):
+            yield env.timeout(1.0)
+            node.crash()
+
+        env.process(crasher(env, node))
+        env.run()
+        assert not lock.locked
+
+    def test_crash_interrupts_spawned_processes(self):
+        env, net, nodes, trace = make_net()
+        node = nodes[0]
+        survived = []
+
+        def task(env):
+            yield env.timeout(100.0)
+            survived.append(True)
+
+        node.spawn(task(env))
+
+        def crasher(env, node):
+            yield env.timeout(1.0)
+            node.crash()
+
+        env.process(crasher(env, node))
+        env.run()
+        # The task never completed its body (the orphaned timeout still
+        # drains through the queue, but nobody is resumed by it).
+        assert not survived
+
+    def test_double_crash_and_double_recover_are_noops(self):
+        env, net, nodes, trace = make_net()
+        node = nodes[0]
+        node.crash()
+        node.crash()
+        assert trace.count("node-crash") == 1
+        node.recover()
+        node.recover()
+        assert trace.count("node-recover") == 1
+
+    def test_hooks_fire(self):
+        env, net, nodes, trace = make_net()
+        node = nodes[0]
+        events = []
+        node.add_crash_hook(lambda: events.append("crash"))
+        node.add_recover_hook(lambda: events.append("recover"))
+        node.crash()
+        node.recover()
+        assert events == ["crash", "recover"]
+
+    def test_generator_handler_spawned_as_process(self):
+        env, net, nodes, trace = make_net()
+        got = []
+
+        def handler(msg):
+            def work():
+                yield env.timeout(0.5)
+                got.append((env.now, msg.payload))
+            return work()
+
+        nodes[1].register_handler("slow", handler)
+        nodes[0].send("n1", "slow", "job")
+        env.run()
+        assert got == [(0.51, "job")]
+
+
+class TestTraceLog:
+    def test_counts_survive_disabled_tracing(self):
+        trace = TraceLog(enabled=False)
+        trace.record(0.0, "send", "n0")
+        trace.record(1.0, "send", "n1")
+        assert trace.count("send") == 2
+        assert len(trace) == 0
+
+    def test_select_filters(self):
+        trace = TraceLog()
+        trace.record(0.0, "send", "n0", dst="n1")
+        trace.record(1.0, "send", "n1", dst="n0")
+        trace.record(2.0, "drop", "n1")
+        assert len(trace.select(kind="send")) == 2
+        assert len(trace.select(node="n1")) == 2
+        assert len(trace.select(kind="send", node="n1")) == 1
+        only_late = trace.select(predicate=lambda r: r.time > 0.5)
+        assert len(only_late) == 2
+
+    def test_format_is_readable(self):
+        trace = TraceLog()
+        trace.record(1.5, "send", "n0", dst="n1")
+        text = trace.format()
+        assert "send" in text and "n0" in text and "dst='n1'" in text
+
+    def test_clear(self):
+        trace = TraceLog()
+        trace.record(0.0, "x", None)
+        trace.clear()
+        assert len(trace) == 0 and trace.count("x") == 0

@@ -1,0 +1,246 @@
+"""Tests for the RPC layer and its CALL_FAILED semantics."""
+
+import random
+
+from repro.sim.engine import Environment
+from repro.sim.network import LatencyModel, Network
+from repro.sim.node import Node
+from repro.sim.rpc import CALL_FAILED, CallFailed, RpcLayer
+from repro.sim.trace import TraceLog
+
+
+def make_cluster(n=3, timeout=0.5, min_delay=0.01, max_delay=0.01, seed=0):
+    env = Environment()
+    trace = TraceLog()
+    net = Network(env, LatencyModel(min_delay, max_delay,
+                                    rng=random.Random(seed)), trace=trace)
+    nodes = [Node(env, net, f"n{i}") for i in range(n)]
+    rpcs = [RpcLayer(node, default_timeout=timeout) for node in nodes]
+    return env, net, nodes, rpcs, trace
+
+
+class TestCallFailedSentinel:
+    def test_singleton(self):
+        assert CallFailed() is CALL_FAILED
+
+    def test_falsy_and_repr(self):
+        assert not CALL_FAILED
+        assert repr(CALL_FAILED) == "CALL_FAILED"
+
+
+class TestBasicCalls:
+    def test_roundtrip(self):
+        env, net, nodes, rpcs, trace = make_cluster()
+        rpcs[1].serve("echo", lambda src, args: ("from", src, args))
+        results = []
+
+        def client(env):
+            response = yield rpcs[0].call("n1", "echo", {"k": 1})
+            results.append((env.now, response))
+
+        env.process(client(env))
+        env.run()
+        assert results == [(0.02, ("from", "n0", {"k": 1}))]
+
+    def test_call_to_down_node_fails_at_timeout(self):
+        env, net, nodes, rpcs, trace = make_cluster(timeout=0.5)
+        rpcs[1].serve("echo", lambda src, args: args)
+        nodes[1].crash()
+        results = []
+
+        def client(env):
+            response = yield rpcs[0].call("n1", "echo", 1)
+            results.append((env.now, response))
+
+        env.process(client(env))
+        env.run()
+        assert results == [(0.5, CALL_FAILED)]
+
+    def test_call_across_partition_fails(self):
+        env, net, nodes, rpcs, trace = make_cluster()
+        rpcs[1].serve("echo", lambda src, args: args)
+        net.partitions.partition(["n0"], ["n1", "n2"])
+        results = []
+
+        def client(env):
+            results.append((yield rpcs[0].call("n1", "echo", 1)))
+
+        env.process(client(env))
+        env.run()
+        assert results == [CALL_FAILED]
+
+    def test_unknown_method_fails_at_timeout(self):
+        env, net, nodes, rpcs, trace = make_cluster()
+        results = []
+
+        def client(env):
+            results.append((yield rpcs[0].call("n1", "nope", 1)))
+
+        env.process(client(env))
+        env.run()
+        assert results == [CALL_FAILED]
+
+    def test_per_call_timeout_override(self):
+        env, net, nodes, rpcs, trace = make_cluster(timeout=10.0)
+        nodes[1].crash()
+        results = []
+
+        def client(env):
+            response = yield rpcs[0].call("n1", "echo", 1, timeout=0.1)
+            results.append((env.now, response))
+
+        env.process(client(env))
+        env.run()
+        assert results == [(0.1, CALL_FAILED)]
+
+    def test_generator_handler_can_wait(self):
+        env, net, nodes, rpcs, trace = make_cluster(timeout=5.0)
+
+        def handler(src, args):
+            yield env.timeout(1.0)
+            return args * 2
+
+        rpcs[1].serve("double", handler)
+        results = []
+
+        def client(env):
+            response = yield rpcs[0].call("n1", "double", 21)
+            results.append((env.now, response))
+
+        env.process(client(env))
+        env.run()
+        assert results == [(1.02, 42)]
+
+    def test_late_response_after_timeout_ignored(self):
+        env, net, nodes, rpcs, trace = make_cluster(timeout=0.5)
+
+        def handler(src, args):
+            yield env.timeout(1.0)  # slower than the caller's timeout
+            return "late"
+
+        rpcs[1].serve("slow", handler)
+        results = []
+
+        def client(env):
+            results.append((yield rpcs[0].call("n1", "slow", None)))
+            yield env.timeout(5.0)  # let the late response arrive
+
+        env.process(client(env))
+        env.run()
+        assert results == [CALL_FAILED]
+
+    def test_callee_crash_mid_handler_means_call_failed(self):
+        env, net, nodes, rpcs, trace = make_cluster(timeout=2.0)
+
+        def handler(src, args):
+            yield env.timeout(1.0)
+            return "done"
+
+        rpcs[1].serve("work", handler)
+        results = []
+
+        def client(env):
+            results.append((yield rpcs[0].call("n1", "work", None)))
+
+        def crasher(env):
+            yield env.timeout(0.5)
+            nodes[1].crash()
+
+        env.process(client(env))
+        env.process(crasher(env))
+        env.run()
+        assert results == [CALL_FAILED]
+
+    def test_concurrent_calls_keep_ids_apart(self):
+        env, net, nodes, rpcs, trace = make_cluster(timeout=5.0)
+        rpcs[1].serve("id", lambda src, args: args)
+        rpcs[2].serve("id", lambda src, args: args)
+        results = {}
+
+        def client(env, dst, tag):
+            results[tag] = yield rpcs[0].call(dst, "id", tag)
+
+        env.process(client(env, "n1", "a"))
+        env.process(client(env, "n2", "b"))
+        env.run()
+        assert results == {"a": "a", "b": "b"}
+
+
+class TestMulticast:
+    def test_gathers_all(self):
+        env, net, nodes, rpcs, trace = make_cluster(n=4, timeout=1.0)
+        for i in (1, 2, 3):
+            rpcs[i].serve("state", lambda src, args, i=i: f"state{i}")
+        results = []
+
+        def client(env):
+            responses = yield rpcs[0].multicast(["n1", "n2", "n3"], "state")
+            results.append(responses)
+
+        env.process(client(env))
+        env.run()
+        assert results == [{"n1": "state1", "n2": "state2", "n3": "state3"}]
+
+    def test_mixed_responses_and_failures(self):
+        env, net, nodes, rpcs, trace = make_cluster(n=4, timeout=0.3)
+        for i in (1, 2, 3):
+            rpcs[i].serve("state", lambda src, args, i=i: i)
+        nodes[2].crash()
+        results = []
+
+        def client(env):
+            responses = yield rpcs[0].multicast(["n1", "n2", "n3"], "state")
+            results.append(responses)
+
+        env.process(client(env))
+        env.run()
+        assert results == [{"n1": 1, "n2": CALL_FAILED, "n3": 3}]
+
+    def test_empty_multicast_completes(self):
+        env, net, nodes, rpcs, trace = make_cluster()
+        results = []
+
+        def client(env):
+            results.append((yield rpcs[0].multicast([], "state")))
+
+        env.process(client(env))
+        env.run()
+        assert results == [{}]
+
+    def test_self_call_in_multicast(self):
+        env, net, nodes, rpcs, trace = make_cluster(timeout=1.0)
+        rpcs[0].serve("state", lambda src, args: "me")
+        results = []
+
+        def client(env):
+            results.append((yield rpcs[0].multicast(["n0"], "state")))
+
+        env.process(client(env))
+        env.run()
+        assert results == [{"n0": "me"}]
+
+
+class TestCallerCrash:
+    def test_pending_calls_resolve_when_caller_crashes(self):
+        env, net, nodes, rpcs, trace = make_cluster(timeout=10.0)
+
+        def handler(src, args):
+            yield env.timeout(5.0)
+            return "slow"
+
+        rpcs[1].serve("slow", handler)
+        observed = []
+
+        def client(env):
+            observed.append((yield rpcs[0].call("n1", "slow", None)))
+
+        def crasher(env):
+            yield env.timeout(1.0)
+            nodes[0].crash()
+
+        nodes[0].spawn(client(env))  # the client runs on (and dies with) n0
+        env.process(crasher(env))
+        env.run()
+        # The client process died with its node; nothing observed, and the
+        # simulation drains without deadlock.
+        assert observed == []

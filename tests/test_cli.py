@@ -1,0 +1,88 @@
+"""CLI smoke tests (every command, captured output)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestTable1Command:
+    def test_default_table(self, capsys):
+        assert main(["table1", "--sizes", "9", "12", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "3x3" in out and "3x4" in out
+        assert "p = 0.95" in out
+
+    def test_custom_p(self, capsys):
+        assert main(["table1", "--sizes", "9", "--p", "0.9", "--fast"]) == 0
+        assert "p = 0.9" in capsys.readouterr().out
+
+    def test_exact_mode(self, capsys):
+        assert main(["table1", "--sizes", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "1.8291e-07" in out
+
+
+class TestGridCommand:
+    def test_figure1(self, capsys):
+        assert main(["grid", "14"]) == 0
+        out = capsys.readouterr().out
+        assert "4 x 4, b = 2" in out
+        assert "read quorum size : 4" in out
+        assert "write quorum size: 6" in out
+
+    def test_full_cover(self, capsys):
+        assert main(["grid", "3", "--cover", "full"]) == 0
+        out = capsys.readouterr().out
+        assert "write quorum size: 3" in out
+
+    def test_physical_cover_n3(self, capsys):
+        assert main(["grid", "3"]) == 0
+        assert "write quorum size: 2" in capsys.readouterr().out
+
+
+class TestAvailabilityCommand:
+    def test_lists_all_protocols(self, capsys):
+        assert main(["availability", "--n", "6", "--p", "0.9"]) == 0
+        out = capsys.readouterr().out
+        for label in ("static grid", "static majority", "ROWA",
+                      "dynamic grid (writes)", "dynamic grid (reads)",
+                      "dynamic voting", "dynamic-linear"):
+            assert label in out
+
+
+class TestSimulateCommand:
+    def test_basic_run(self, capsys):
+        assert main(["simulate", "--n", "6", "--horizon", "500",
+                     "--mu", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "availability=" in out
+        assert "instantaneous" in out
+
+    def test_finite_check_interval(self, capsys):
+        assert main(["simulate", "--n", "6", "--horizon", "500",
+                     "--check-interval", "1.0"]) == 0
+        assert "every 1" in capsys.readouterr().out
+
+    def test_read_kind(self, capsys):
+        assert main(["simulate", "--n", "6", "--horizon", "300",
+                     "--kind", "read"]) == 0
+        assert "kind = read" in capsys.readouterr().out
+
+
+class TestDemoCommand:
+    def test_full_scenario(self, capsys):
+        assert main(["demo", "--n", "9", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "epoch -> #1" in out
+        assert "ok=True" in out
+        assert "history verified" in out
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

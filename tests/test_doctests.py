@@ -1,0 +1,28 @@
+"""Run the doctests embedded in module documentation.
+
+Keeps the examples in docstrings honest: if an API drifts, the doc
+example fails here instead of rotting silently.
+"""
+
+import doctest
+
+import pytest
+
+import repro.availability.formulas
+import repro.coteries.grid
+import repro.sim.engine
+
+MODULES = [
+    repro.sim.engine,
+    repro.coteries.grid,
+    repro.availability.formulas,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False,
+                              optionflags=doctest.NORMALIZE_WHITESPACE)
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"
+    assert results.failed == 0

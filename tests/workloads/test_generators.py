@@ -1,0 +1,123 @@
+"""Workload generator tests."""
+
+import random
+
+import pytest
+
+from repro.baselines.static_protocol import StaticQuorumStore
+from repro.core.store import ReplicatedStore
+from repro.workloads.generators import (
+    ClientWorkload,
+    ZipfKeyChooser,
+    run_workload,
+)
+
+
+class TestZipf:
+    def test_skew_concentrates_on_first_keys(self):
+        chooser = ZipfKeyChooser(10, skew=1.5)
+        rng = random.Random(0)
+        picks = [chooser.pick(rng) for _ in range(2000)]
+        assert picks.count("key0") > picks.count("key5") > 0
+
+    def test_zero_skew_is_uniform(self):
+        chooser = ZipfKeyChooser(4, skew=0.0)
+        rng = random.Random(1)
+        picks = [chooser.pick(rng) for _ in range(4000)]
+        counts = [picks.count(f"key{i}") for i in range(4)]
+        assert max(counts) - min(counts) < 300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfKeyChooser(0)
+        with pytest.raises(ValueError):
+            ZipfKeyChooser(3, skew=-1)
+
+
+class TestWorkloadValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ClientWorkload(n_clients=0).validate()
+        with pytest.raises(ValueError):
+            ClientWorkload(read_fraction=1.5).validate()
+        with pytest.raises(ValueError):
+            ClientWorkload(think_time=0).validate()
+
+
+class TestRunWorkload:
+    def test_runs_against_dynamic_store(self):
+        store = ReplicatedStore.create(9, seed=1)
+        stats = run_workload(store, ClientWorkload(n_clients=3,
+                                                   duration=30.0), seed=1)
+        assert stats.operations > 10
+        assert stats.success_rate > 0.9
+        assert stats.mean_latency("read") > 0
+        store.verify()
+
+    def test_runs_against_static_store(self):
+        store = StaticQuorumStore.create(9, seed=2)
+        stats = run_workload(store, ClientWorkload(n_clients=3,
+                                                   duration=30.0,
+                                                   total_writes=True,
+                                                   n_keys=3), seed=2)
+        assert stats.writes_ok > 0 and stats.reads_ok > 0
+        store.verify()
+
+    def test_workload_with_failures_still_consistent(self):
+        store = ReplicatedStore.create(9, seed=3)
+        schedule = store.schedule()
+        schedule.crash_at(5.0, "n02").recover_at(15.0, "n02")
+        schedule.crash_at(10.0, "n07")
+        schedule.start()
+        stats = run_workload(store, ClientWorkload(n_clients=4,
+                                                   duration=40.0), seed=3)
+        assert stats.writes_ok > 0
+        store.recover("n07")
+        store.advance(20)
+        store.settle()
+        store.verify()
+
+    def test_stats_summary_readable(self):
+        store = ReplicatedStore.create(4, seed=4)
+        stats = run_workload(store, ClientWorkload(n_clients=2,
+                                                   duration=10.0), seed=4)
+        text = stats.summary()
+        assert "ops" in text and "success" in text
+
+    def test_rehoming_clients_survive_home_crash(self):
+        store = ReplicatedStore.create(9, seed=6)
+        schedule = store.schedule()
+        schedule.crash_at(5.0, "n00")  # client 0's home
+        schedule.start()
+        workload = ClientWorkload(n_clients=2, duration=40.0,
+                                  think_time=1.0, rehome=True)
+        stats = run_workload(store, workload, seed=6)
+        assert stats.rehomes >= 1
+        # the rehomed client kept issuing operations after the crash
+        late_ops = [op for op in store.history.operations if op.start > 10]
+        assert late_ops
+        store.recover("n00")
+        store.advance(10)
+        store.settle()
+        store.verify()
+
+    def test_without_rehoming_client_goes_silent(self):
+        store = ReplicatedStore.create(9, seed=7)
+        schedule = store.schedule()
+        schedule.crash_at(5.0, "n00")
+        schedule.start()
+        workload = ClientWorkload(n_clients=1, duration=40.0,
+                                  think_time=1.0, rehome=False)
+        stats = run_workload(store, workload, seed=7)
+        assert stats.rehomes == 0
+        assert all(op.start < 8 for op in store.history.operations)
+
+    def test_deterministic_given_seed(self):
+        def once():
+            store = ReplicatedStore.create(5, seed=5)
+            stats = run_workload(store, ClientWorkload(n_clients=2,
+                                                       duration=15.0),
+                                 seed=9)
+            return (stats.reads_ok, stats.writes_ok, stats.operations)
+
+        assert once() == once()

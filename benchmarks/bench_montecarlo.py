@@ -15,6 +15,7 @@ from repro.availability.montecarlo import (
     simulate_dynamic_availability,
     simulate_static_availability,
 )
+from repro.availability.parallel import simulate_availability_parallel
 from repro.availability.formulas import grid_write_availability
 from repro.coteries.grid import define_grid
 
@@ -22,6 +23,7 @@ from _report import report
 
 LAM, MU = 1.0, 4.0       # p = 0.8: everything resolves quickly
 HORIZON = 60000.0
+WORKERS = 4              # fan the long-horizon sweeps out over processes
 
 
 def render() -> str:
@@ -29,15 +31,17 @@ def render() -> str:
 
     lines = [
         f"Idealised chain vs exact epoch dynamics (p = 0.8, "
-        f"MC horizon = {HORIZON:g})",
+        f"MC horizon = {HORIZON:g}, {WORKERS} workers)",
         f"{'N':>3}  {'chain':>10}  {'MC ideal':>10}  {'MC exact':>10}  "
         f"{'exact CTMC':>10}  {'static':>10}",
     ]
     for n in (4, 5, 6, 7, 9, 12):
         chain = float(dynamic_grid_unavailability(n, LAM, MU))
-        ideal = simulate_dynamic_availability(n, LAM, MU, HORIZON, seed=5,
-                                              idealized=True)
-        exact = simulate_dynamic_availability(n, LAM, MU, HORIZON, seed=5)
+        ideal = simulate_availability_parallel(n, LAM, MU, HORIZON, seed=5,
+                                               workers=WORKERS,
+                                               idealized=True)
+        exact = simulate_availability_parallel(n, LAM, MU, HORIZON, seed=5,
+                                               workers=WORKERS)
         exact_ctmc = (f"{exact_dynamic_unavailability(n, LAM, MU):>10.5f}"
                       if n <= 7 else f"{'(too big)':>10}")
         shape = define_grid(n)
@@ -80,3 +84,20 @@ def test_static_simulation_speed(benchmark):
     estimate = benchmark(simulate_static_availability, 9, LAM, MU,
                          2000.0, 7)
     assert 0 <= estimate.unavailability <= 1
+
+
+def test_dynamic_set_engine_speed(benchmark):
+    """The reference set-based engine, for comparison with the default."""
+    estimate = benchmark(
+        lambda: simulate_dynamic_availability(9, LAM, MU, 2000.0, 7,
+                                              engine="set"))
+    assert 0 <= estimate.unavailability <= 1
+
+
+def test_engines_agree_pathwise():
+    """Same seed, same trajectory: the engines differ only in speed."""
+    a = simulate_dynamic_availability(12, LAM, MU, 3000.0, seed=2,
+                                      engine="bitmask")
+    b = simulate_dynamic_availability(12, LAM, MU, 3000.0, seed=2,
+                                      engine="set")
+    assert a == b

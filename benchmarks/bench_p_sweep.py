@@ -10,6 +10,8 @@ several nines of system availability).
 
 from fractions import Fraction
 
+import pytest
+
 from repro.availability.chains.dynamic_grid import dynamic_grid_unavailability
 from repro.availability.chains.dynamic_voting import (
     dynamic_linear_voting_unavailability,
@@ -75,3 +77,17 @@ def test_p_sweep(benchmark, capsys):
 def test_single_sweep_row_speed(benchmark):
     row = benchmark(sweep_row, 0.9)
     assert len(row) == 7
+
+
+def test_mc_parallel_cross_check(benchmark):
+    """The parallel Monte Carlo fan-out lands on the chain's value
+    (under the chain's own idealised epoch assumptions)."""
+    from repro.availability.parallel import simulate_availability_parallel
+
+    estimate = benchmark.pedantic(
+        lambda: simulate_availability_parallel(N, 1.0, 4.0, 40000.0,
+                                               seed=12, workers=4,
+                                               idealized=True),
+        rounds=1, iterations=1)
+    chain = float(dynamic_grid_unavailability(N, 1, 4))
+    assert estimate.unavailability == pytest.approx(chain, rel=0.3)

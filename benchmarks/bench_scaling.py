@@ -85,3 +85,17 @@ def test_write_at_100_nodes(benchmark):
 
     result = benchmark.pedantic(one_write, rounds=10, iterations=1)
     assert result.ok
+
+
+def test_availability_mc_at_100_nodes(benchmark):
+    """Large-N Monte Carlo availability is tractable with the bitmask
+    engine plus the parallel fan-out (it was minutes with the set
+    predicates on one core)."""
+    from repro.availability.parallel import simulate_availability_parallel
+
+    estimate = benchmark.pedantic(
+        lambda: simulate_availability_parallel(100, 1.0, 4.0, 4000.0,
+                                               seed=8, workers=4),
+        rounds=1, iterations=1)
+    assert 0 <= estimate.unavailability <= 1
+    assert estimate.n_events > 100_000

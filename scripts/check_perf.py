@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quorum-engine performance smoke gate.
+
+Replays a small budget of the E22 engine benchmark (grid rule only, a
+few thousand events) and fails if the compiled bitmask engine is ever
+slower than the set-based reference predicates -- the one regression
+the incremental engine must never have.  Intended for CI and local
+sanity runs; the full sweep with committed JSON lives in
+``benchmarks/bench_quorum_engine.py``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_perf.py
+
+Exit status 0 on pass, 1 on a perf regression.  The matching opt-in
+pytest wrapper is ``tests/test_perf_smoke.py`` (set
+``REPRO_PERF_SMOKE=1``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+# the smoke budget: small enough for CI, large enough to dominate noise
+SIZES = (9, 25, 49)
+N_EVENTS = 4000
+
+
+def main() -> int:
+    from bench_quorum_engine import RULES, run_engine_benchmark
+
+    grid_rules = tuple(r for r in RULES if r[0] == "grid")
+    results = run_engine_benchmark(sizes=SIZES, rules=grid_rules,
+                                   n_events=N_EVENTS, seed=0)
+    failed = False
+    print(f"quorum engine smoke ({N_EVENTS} events/point):")
+    for row in results["rules"]["grid"]:
+        status = "ok" if row["speedup"] > 1.0 else "REGRESSION"
+        print(f"  grid N={row['n']:>3}: bitmask "
+              f"{row['bitmask_events_per_sec']:>12,.0f} ev/s vs set "
+              f"{row['set_events_per_sec']:>11,.0f} ev/s "
+              f"({row['speedup']:.1f}x) {status}")
+        if row["speedup"] <= 1.0:
+            failed = True
+    if failed:
+        print("FAIL: the bitmask engine must never be slower than the "
+              "set predicates")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,9 @@
 * :mod:`repro.availability.montecarlo` -- availability measured from
   simulated failure/repair trajectories, including the *exact* epoch
   dynamics that the paper's chain idealises away.
+* :mod:`repro.availability.parallel` -- multiprocessing fan-out over the
+  Monte Carlo estimators: the horizon is sharded across worker
+  processes and the shard estimates merged by horizon weighting.
 """
 
 from repro.availability.markov import MarkovChain, birth_death_steady_state
@@ -38,6 +41,10 @@ from repro.availability.montecarlo import (
     simulate_dynamic_availability,
     simulate_static_availability,
 )
+from repro.availability.parallel import (
+    merge_estimates,
+    simulate_availability_parallel,
+)
 from repro.availability.transient import (
     cycle_unavailability,
     dynamic_grid_mttf,
@@ -64,6 +71,8 @@ __all__ = [
     "majority_availability",
     "rowa_read_availability",
     "rowa_write_availability",
+    "merge_estimates",
+    "simulate_availability_parallel",
     "simulate_dynamic_availability",
     "simulate_static_availability",
 ]

@@ -106,17 +106,20 @@ def _cmd_availability(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.availability.montecarlo import simulate_dynamic_availability
+    from repro.availability.parallel import simulate_availability_parallel
 
-    estimate = simulate_dynamic_availability(
+    estimate = simulate_availability_parallel(
         args.n, args.lam, args.mu, args.horizon, seed=args.seed,
-        check_interval=args.check_interval, kind=args.kind)
+        workers=args.workers, protocol="dynamic",
+        check_interval=args.check_interval, kind=args.kind,
+        engine=args.engine, sampler=args.sampler)
     print(f"N = {args.n}, lam = {args.lam}, mu = {args.mu} "
           f"(p = {args.mu / (args.lam + args.mu):.3f}), "
           f"horizon = {args.horizon:g}, kind = {args.kind}")
     checks = ("instantaneous" if args.check_interval is None
               else f"every {args.check_interval:g}")
-    print(f"epoch checks: {checks}")
+    print(f"epoch checks: {checks}; engine = {args.engine}, "
+          f"sampler = {args.sampler}, workers = {args.workers}")
     print(estimate)
     return 0
 
@@ -183,6 +186,16 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--check-interval", type=float, default=None)
     simulate.add_argument("--kind", choices=["read", "write"],
                           default="write")
+    simulate.add_argument("--workers", type=int, default=1,
+                          help="shard the horizon over this many "
+                               "processes (default 1 = serial)")
+    simulate.add_argument("--engine", choices=["bitmask", "set"],
+                          default="bitmask",
+                          help="quorum evaluation engine")
+    simulate.add_argument("--sampler", choices=["compat", "swap"],
+                          default="compat",
+                          help="event-node sampler (compat reproduces "
+                               "historical seeds bit for bit)")
     simulate.set_defaults(handler=_cmd_simulate)
 
     demo = sub.add_parser("demo", help="end-to-end protocol scenario")

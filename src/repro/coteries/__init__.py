@@ -25,7 +25,13 @@ Section 4 -- a deterministic function from an ordered node list to a coterie
   coterie axioms, used heavily by the property-based tests.
 """
 
-from repro.coteries.base import Coterie, CoterieError, CoterieRule
+from repro.coteries.base import (
+    Coterie,
+    CoterieError,
+    CoterieRule,
+    QuorumEvaluator,
+    SetRecomputeEvaluator,
+)
 from repro.coteries.composite import (
     CompositeCoterie,
     composite_rule,
@@ -54,6 +60,8 @@ __all__ = [
     "Coterie",
     "CoterieError",
     "CoterieRule",
+    "QuorumEvaluator",
+    "SetRecomputeEvaluator",
     "composite_rule",
     "partition_groups",
     "GridCoterie",

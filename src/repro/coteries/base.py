@@ -13,6 +13,25 @@ A :class:`Coterie` instance is bound to one ordered node list V (an epoch
 list, in protocol terms).  All quorum predicates accept any iterable of
 node names and ignore names outside V, matching the pseudo-code's
 assumption ``S ⊆ V`` without forcing callers to pre-filter.
+
+Compiled predicates
+-------------------
+
+The set-based predicates above are the *reference* semantics, but they
+rescan the whole structure on every call -- too slow for the Monte Carlo
+estimators, which evaluate quorum membership after every failure/repair
+event.  :meth:`Coterie.compile` returns a :class:`QuorumEvaluator`: node
+names are mapped to bit positions in a fixed *universe* once, the up-set
+becomes an integer bitmask, and the structure's tallies (per-column hit
+counters for the grid, vote sums for voting, subtree satisfaction for
+trees, ...) are maintained *incrementally* under single-node
+:meth:`~QuorumEvaluator.node_up` / :meth:`~QuorumEvaluator.node_down`
+transitions, so the membership predicates become O(1) (or O(structure
+depth)) per event instead of O(N * structure).
+
+Every evaluator must agree bit-for-bit with its coterie's set-based
+predicates on every subset -- the property tests enforce this across all
+rule families.
 """
 
 from __future__ import annotations
@@ -103,6 +122,26 @@ class Coterie(ABC):
         live = self.restrict(available)
         return live if self.is_write_quorum(live) else None
 
+    # -- compiled predicates -------------------------------------------------
+    def compile(self, universe: Optional[Sequence[str]] = None
+                ) -> "QuorumEvaluator":
+        """A :class:`QuorumEvaluator` for this coterie over *universe*.
+
+        *universe* is the ordered node list defining bit positions; it
+        defaults to V and may be a superset of V (the dynamic protocol
+        compiles epoch coteries over the full replica set so bit
+        positions stay stable across epoch changes).  Bits for nodes
+        outside V never affect the answers, mirroring how the set-based
+        predicates ignore names outside V.
+
+        Subclasses override this to return incremental structure-aware
+        evaluators; the default falls back to
+        :class:`SetRecomputeEvaluator`, which tracks the live name set
+        and re-runs the set predicates on every query -- correct for any
+        coterie, but with no per-event speedup.
+        """
+        return SetRecomputeEvaluator(self, universe)
+
     # -- misc ----------------------------------------------------------------
     def __repr__(self) -> str:
         return f"<{type(self).__name__} over {self.n_nodes} nodes>"
@@ -119,3 +158,164 @@ class Coterie(ABC):
 # The general protocol (repro.core) is parameterised by one of these, e.g.
 # ``GridCoterie`` itself, ``MajorityCoterie``, or a lambda adding options.
 CoterieRule = Callable[[Sequence[str]], Coterie]
+
+
+class QuorumEvaluator(ABC):
+    """Incremental bitmask evaluation of one coterie's quorum predicates.
+
+    An evaluator is bound to a coterie and an ordered *universe* of node
+    names; bit i of every mask refers to ``universe[i]``.  It keeps the
+    current up-set as :attr:`mask` plus whatever per-structure tallies
+    its subclass needs, under three state transitions:
+
+    * :meth:`reset` -- load a full bitmask, O(N);
+    * :meth:`node_up` / :meth:`node_down` -- flip one node, O(1) for
+      counter-based structures (grid, voting, ROWA, wall rows) and
+      O(depth) for recursive ones (tree, hierarchical, composite).
+
+    ``node_up(i)`` requires bit i to be clear and ``node_down(i)``
+    requires it set -- callers replay failure/repair *events*, which are
+    always strict flips; no defensive re-check is done in the hot path.
+
+    The membership queries take an optional mask: ``is_read_quorum()``
+    answers for the tracked state in O(1)-ish time, while
+    ``is_read_quorum(mask)`` first resets the tracked state to *mask*.
+    Answers must equal ``coterie.is_read_quorum({universe[i]: bit i
+    set})`` exactly, for every mask.
+    """
+
+    def __init__(self, coterie: Coterie,
+                 universe: Optional[Sequence[str]] = None):
+        if universe is None:
+            universe = coterie.nodes
+        universe = tuple(universe)
+        if len(set(universe)) != len(universe):
+            raise CoterieError("duplicate node names in evaluator universe")
+        bit = {name: i for i, name in enumerate(universe)}
+        missing = [name for name in coterie.nodes if name not in bit]
+        if missing:
+            raise CoterieError(
+                f"coterie members outside the universe: {missing}")
+        self.coterie = coterie
+        self.universe = universe
+        self.bit = bit
+        self.n_bits = len(universe)
+        v_mask = 0
+        for name in coterie.nodes:
+            v_mask |= 1 << bit[name]
+        self.v_mask = v_mask  # the bits of the coterie's members V
+        self.mask = 0
+
+    # -- mask helpers --------------------------------------------------------
+    def mask_of(self, names: Iterable[str]) -> int:
+        """The bitmask with the bits of *names* set (unknown names error)."""
+        mask = 0
+        bit = self.bit
+        for name in names:
+            mask |= 1 << bit[name]
+        return mask
+
+    def names_of(self, mask: int) -> frozenset:
+        """The set of universe names whose bits are set in *mask*."""
+        return frozenset(name for i, name in enumerate(self.universe)
+                         if mask >> i & 1)
+
+    # -- state transitions ---------------------------------------------------
+    @abstractmethod
+    def reset(self, mask: int) -> None:
+        """Replace the tracked up-set with *mask*, rebuilding all tallies."""
+
+    def reset_full(self) -> None:
+        """Set the tracked up-set to exactly V (all members up).
+
+        Equivalent to ``reset(self.v_mask)`` but overridable in O(1) or
+        O(structure summary): with every member up, all tallies are at
+        their maxima and need no scan.  This is the hot path of the
+        dynamic protocol, whose successful epoch checks make the new
+        epoch exactly the up-set.
+        """
+        self.reset(self.v_mask)
+
+    #: True for evaluator classes that implement :meth:`rebind_epoch`.
+    supports_rebind = False
+
+    def rebind_epoch(self, epoch_mask: int) -> None:
+        """Re-derive the structure for a new epoch, in place.
+
+        The new member set V' is the subsequence of the universe
+        selected by *epoch_mask*; the tracked up-set becomes exactly V'
+        (the dynamic protocol installs an epoch only when it equals the
+        up-set).  Only meaningful for structures whose derivation from
+        an ordered node list is *uniform* -- the same construction
+        options at every epoch size, which is precisely the paper's
+        coterie-rule assumption -- so the evaluator can rebuild its
+        tables from the mask alone, without constructing a new
+        :class:`Coterie` (after a rebind, :attr:`coterie` is cleared to
+        ``None``).  Subclasses that support this set
+        ``supports_rebind = True``; the default raises.
+        """
+        raise CoterieError(
+            f"{type(self).__name__} does not support epoch rebinding")
+
+    @abstractmethod
+    def node_up(self, i: int) -> None:
+        """Mark ``universe[i]`` up (bit i must currently be clear)."""
+
+    @abstractmethod
+    def node_down(self, i: int) -> None:
+        """Mark ``universe[i]`` down (bit i must currently be set)."""
+
+    # -- membership ----------------------------------------------------------
+    @abstractmethod
+    def is_read_quorum(self, mask: Optional[int] = None) -> bool:
+        """True iff the tracked (or given) up-set includes a read quorum."""
+
+    @abstractmethod
+    def is_write_quorum(self, mask: Optional[int] = None) -> bool:
+        """True iff the tracked (or given) up-set includes a write quorum."""
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} for {self.coterie!r} "
+                f"over {self.n_bits} bits>")
+
+
+class SetRecomputeEvaluator(QuorumEvaluator):
+    """The universal fallback evaluator: set predicates, incremental set.
+
+    Tracks the live *name* set under up/down transitions (O(1) per
+    event) but re-runs the coterie's set-based predicates on every
+    query.  Any coterie gets this for free via :meth:`Coterie.compile`;
+    structure-aware subclasses replace it with incremental tallies.
+    """
+
+    def __init__(self, coterie: Coterie,
+                 universe: Optional[Sequence[str]] = None):
+        super().__init__(coterie, universe)
+        self._live: set = set()
+
+    def reset(self, mask: int) -> None:
+        self.mask = mask
+        self._live = {name for i, name in enumerate(self.universe)
+                      if mask >> i & 1}
+
+    def reset_full(self) -> None:
+        self.mask = self.v_mask
+        self._live = set(self.coterie.nodes)
+
+    def node_up(self, i: int) -> None:
+        self.mask |= 1 << i
+        self._live.add(self.universe[i])
+
+    def node_down(self, i: int) -> None:
+        self.mask &= ~(1 << i)
+        self._live.discard(self.universe[i])
+
+    def is_read_quorum(self, mask: Optional[int] = None) -> bool:
+        if mask is not None:
+            self.reset(mask)
+        return self.coterie.is_read_quorum(self._live)
+
+    def is_write_quorum(self, mask: Optional[int] = None) -> bool:
+        if mask is not None:
+            self.reset(mask)
+        return self.coterie.is_write_quorum(self._live)

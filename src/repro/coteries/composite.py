@@ -85,6 +85,12 @@ class CompositeCoterie(Coterie):
                        for label, group in zip(self.group_labels,
                                                self.groups)}
 
+    # -- compiled predicates --------------------------------------------------
+    def compile(self, universe: Optional[Sequence[str]] = None):
+        """An inner-evaluators-feeding-outer-evaluators compilation."""
+        from repro.coteries.engine import CompositeEvaluator
+        return CompositeEvaluator(self, universe)
+
     # -- membership -----------------------------------------------------------
     def _satisfied_groups(self, subset: Iterable[str],
                           kind: str) -> set[str]:

@@ -161,6 +161,12 @@ class GridCoterie(Coterie):
         covered_all, full_some = self._column_flags(subset)
         return covered_all and full_some
 
+    # -- compiled predicates --------------------------------------------------
+    def compile(self, universe: Optional[Sequence[str]] = None):
+        """An incremental per-column-counter evaluator (see engine docs)."""
+        from repro.coteries.engine import GridEvaluator
+        return GridEvaluator(self, universe)
+
     # -- quorum function ------------------------------------------------------
     def read_quorum(self, salt: str = "", attempt: int = 0) -> list[str]:
         """One representative per column, spread by *salt*."""

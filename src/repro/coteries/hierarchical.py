@@ -102,6 +102,12 @@ class HierarchicalCoterie(Coterie):
         """Number of physical nodes in one group at the given level."""
         return math.prod(self.arities[level:]) if level < len(self.arities) else 1
 
+    # -- compiled predicates -----------------------------------------------------
+    def compile(self, universe: Optional[Sequence[str]] = None):
+        """An incremental per-group-counter evaluator (see engine docs)."""
+        from repro.coteries.engine import HierarchicalEvaluator
+        return HierarchicalEvaluator(self, universe)
+
     # -- membership --------------------------------------------------------------
     def _satisfied(self, live: frozenset, level: int, offset: int,
                    thresholds: Sequence[int]) -> bool:

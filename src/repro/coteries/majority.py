@@ -78,6 +78,12 @@ class WeightedVotingCoterie(Coterie):
         """True iff *subset* includes a write quorum over V."""
         return self._votes(subset) >= self.write_votes
 
+    # -- compiled predicates -------------------------------------------------
+    def compile(self, universe: Optional[Sequence[str]] = None):
+        """An incremental vote-sum evaluator (see engine docs)."""
+        from repro.coteries.engine import VotingEvaluator
+        return VotingEvaluator(self, universe)
+
     # -- quorum function -----------------------------------------------------
     def _collect(self, threshold: int, salt: str, attempt: int) -> list[str]:
         # Rotate the node list deterministically and take votes until the

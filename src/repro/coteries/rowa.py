@@ -9,13 +9,18 @@ would need a write quorum (all nodes) of the old one.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from repro.coteries.base import Coterie
 
 
 class ReadOneWriteAllCoterie(Coterie):
     """R = {{v} : v in V}, W = {V}."""
+
+    def compile(self, universe: Optional[Sequence[str]] = None):
+        """An incremental live-member-count evaluator (see engine docs)."""
+        from repro.coteries.engine import RowaEvaluator
+        return RowaEvaluator(self, universe)
 
     def is_read_quorum(self, subset: Iterable[str]) -> bool:
         """True iff *subset* includes a read quorum over V."""

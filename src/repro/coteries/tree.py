@@ -54,6 +54,12 @@ class TreeCoterie(Coterie):
             levels += 1
         return levels
 
+    # -- compiled predicates ---------------------------------------------------
+    def compile(self, universe: Optional[Sequence[str]] = None):
+        """An incremental subtree-satisfaction evaluator (see engine docs)."""
+        from repro.coteries.engine import TreeEvaluator
+        return TreeEvaluator(self, universe)
+
     # -- membership ------------------------------------------------------------
     def _contains_quorum(self, live: frozenset, index: int) -> bool:
         name = self.nodes[index]

@@ -73,6 +73,12 @@ class WallCoterie(Coterie):
             self.rows.append(tuple(self.nodes[cursor:cursor + width]))
             cursor += width
 
+    # -- compiled predicates --------------------------------------------------
+    def compile(self, universe: Optional[Sequence[str]] = None):
+        """An incremental per-row-counter evaluator (see engine docs)."""
+        from repro.coteries.engine import WallEvaluator
+        return WallEvaluator(self, universe)
+
     # -- membership -----------------------------------------------------------
     def _row_hits(self, subset: Iterable[str]) -> list[int]:
         live = self.restrict(subset)

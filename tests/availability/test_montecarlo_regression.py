@@ -1,0 +1,211 @@
+"""Same-seed regression pins for the Monte Carlo estimators.
+
+The bitmask engine and the Fenwick-tree ``compat`` sampler are pure
+performance work: with the default ``engine="bitmask"``,
+``sampler="compat"`` every estimate must be *bit-identical* to the
+original O(N)-per-event implementation.  This module enforces that
+three ways:
+
+* golden values -- exact ``float.hex()`` availabilities and event
+  counters captured from the pre-optimisation implementation, pinned
+  for both engines;
+* a verbatim copy of the original linear-scan event generator, checked
+  event-for-event against the Fenwick ``compat`` sampler;
+* cross-engine and cross-sampler invariants (set == bitmask pathwise;
+  ``swap`` preserves the event-time/type process).
+"""
+
+import random
+
+import pytest
+
+from repro.availability.montecarlo import (
+    _site_model_events,
+    simulate_dynamic_availability,
+    simulate_static_availability,
+)
+from repro.coteries import (
+    GridCoterie,
+    MajorityCoterie,
+    TreeCoterie,
+    WallCoterie,
+)
+
+RULES = {"grid": GridCoterie, "majority": MajorityCoterie,
+         "tree": TreeCoterie, "wall": WallCoterie}
+
+# (n, lam, mu, horizon, seed, rule, kind) -> (availability.hex(), n_events)
+GOLDEN_STATIC = [
+    (9, 1.0, 4.0, 2000.0, 7, "grid", "write",
+     '0x1.b9b4b0a6dd609p-1', 28966),
+    (9, 1.0, 4.0, 2000.0, 7, "grid", "read",
+     '0x1.f1d04afa33bdcp-1', 28966),
+    (14, 1.0, 2.0, 1500.0, 3, "grid", "write",
+     '0x1.424f37f259b05p-1', 28114),
+    (5, 1.0, 3.0, 1000.0, 42, "majority", "write",
+     '0x1.cb8d02f41f718p-1', 7543),
+    (13, 1.0, 2.5, 1000.0, 11, "tree", "write",
+     '0x1.d38840f4374fep-1', 18571),
+    (10, 1.0, 2.0, 1000.0, 23, "wall", "read",
+     '0x1.11c9be9a52ab0p-1', 13295),
+]
+
+# (n, lam, mu, horizon, seed, kind, check_interval, idealized)
+#   -> (availability.hex(), n_events, n_epoch_changes, n_stuck_periods)
+GOLDEN_DYNAMIC = [
+    (9, 1.0, 4.0, 2000.0, 7, "write", None, False,
+     '0x1.f6dfe6defb88ep-1', 28966, 28245, 123),
+    (9, 1.0, 4.0, 2000.0, 7, "read", None, False,
+     '0x1.f6dfe6defb88ep-1', 28966, 28245, 123),
+    (6, 1.0, 4.0, 2000.0, 5, "write", None, True,
+     '0x1.e19cad5dc70e8p-1', 19150, 17368, 378),
+    (12, 1.0, 3.0, 1500.0, 9, "write", 0.5, False,
+     '0x1.c03a02e880a5ep-1', 27253, 2498, 1271),
+    (14, 1.0, 2.0, 1000.0, 3, "write", None, False,
+     '0x1.fe24e94380d71p-1', 18730, 18652, 8),
+]
+
+ENGINES = ["bitmask", "set"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize(
+    "n,lam,mu,horizon,seed,rule,kind,hex_avail,n_events", GOLDEN_STATIC)
+def test_static_golden_values(engine, n, lam, mu, horizon, seed, rule,
+                              kind, hex_avail, n_events):
+    estimate = simulate_static_availability(
+        n, lam, mu, horizon, seed=seed, rule=RULES[rule], kind=kind,
+        engine=engine)
+    assert estimate.availability.hex() == hex_avail
+    assert estimate.n_events == n_events
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize(
+    "n,lam,mu,horizon,seed,kind,check_interval,idealized,"
+    "hex_avail,n_events,n_epoch_changes,n_stuck", GOLDEN_DYNAMIC)
+def test_dynamic_golden_values(engine, n, lam, mu, horizon, seed, kind,
+                               check_interval, idealized, hex_avail,
+                               n_events, n_epoch_changes, n_stuck):
+    estimate = simulate_dynamic_availability(
+        n, lam, mu, horizon, seed=seed, kind=kind,
+        check_interval=check_interval, idealized=idealized, engine=engine)
+    assert estimate.availability.hex() == hex_avail
+    assert estimate.n_events == n_events
+    assert estimate.n_epoch_changes == n_epoch_changes
+    assert estimate.n_stuck_periods == n_stuck
+
+
+def _original_site_model_events(n_nodes, lam, mu, horizon, rng):
+    """The pre-optimisation event generator, copied verbatim: O(N) linear
+    rank scan per event.  The ``compat`` sampler must reproduce it."""
+    up = [True] * n_nodes
+    n_up = n_nodes
+    now = 0.0
+    while True:
+        total_rate = n_up * lam + (n_nodes - n_up) * mu
+        if total_rate <= 0:
+            return
+        now += rng.expovariate(total_rate)
+        if now >= horizon:
+            return
+        if rng.random() * total_rate < n_up * lam:
+            target_rank = rng.randrange(n_up)
+            wanted_state = True
+            n_up -= 1
+        else:
+            target_rank = rng.randrange(n_nodes - n_up)
+            wanted_state = False
+            n_up += 1
+        seen = 0
+        for index in range(n_nodes):
+            if up[index] == wanted_state:
+                if seen == target_rank:
+                    up[index] = not wanted_state
+                    yield now, index, up[index]
+                    break
+                seen += 1
+
+
+@pytest.mark.parametrize("n,seed", [(1, 0), (3, 1), (9, 7), (25, 3),
+                                    (60, 11)])
+def test_compat_sampler_reproduces_original_generator(n, seed):
+    original = list(_original_site_model_events(
+        n, 1.0, 3.0, 200.0, random.Random(seed)))
+    compat = list(_site_model_events(
+        n, 1.0, 3.0, 200.0, random.Random(seed), sampler="compat"))
+    assert compat == original
+    assert len(original) > 0
+
+
+@pytest.mark.parametrize("n,seed", [(3, 1), (9, 7), (25, 3)])
+def test_swap_sampler_preserves_event_process(n, seed):
+    """``swap`` consumes the RNG stream identically: same event times,
+    same failure/repair types, same up-count trajectory -- only the
+    identity of the flipped node may differ."""
+    compat = list(_site_model_events(
+        n, 1.0, 3.0, 200.0, random.Random(seed), sampler="compat"))
+    swap = list(_site_model_events(
+        n, 1.0, 3.0, 200.0, random.Random(seed), sampler="swap"))
+    assert len(compat) == len(swap)
+    n_up_c = n_up_s = n
+    for (t_c, _i_c, up_c), (t_s, _i_s, up_s) in zip(compat, swap):
+        assert t_c == t_s
+        assert up_c == up_s
+        n_up_c += 1 if up_c else -1
+        n_up_s += 1 if up_s else -1
+        assert n_up_c == n_up_s
+
+
+def test_swap_sampler_is_a_valid_trajectory():
+    """Every swap event is a strict state flip of a real node."""
+    n = 12
+    up = [True] * n
+    for _now, index, now_up in _site_model_events(
+            n, 1.0, 2.0, 300.0, random.Random(5), sampler="swap"):
+        assert 0 <= index < n
+        assert up[index] != now_up
+        up[index] = now_up
+
+
+@pytest.mark.parametrize("sampler", ["compat", "swap"])
+def test_engines_agree_pathwise_for_any_sampler(sampler):
+    """set vs bitmask is a pure evaluation-strategy change: identical
+    results for the same seed and sampler, on every estimator."""
+    for rule in (GridCoterie, MajorityCoterie, TreeCoterie):
+        a = simulate_static_availability(11, 1.0, 3.0, 400.0, seed=2,
+                                         rule=rule, engine="bitmask",
+                                         sampler=sampler)
+        b = simulate_static_availability(11, 1.0, 3.0, 400.0, seed=2,
+                                         rule=rule, engine="set",
+                                         sampler=sampler)
+        assert a == b
+    for kwargs in ({}, {"check_interval": 0.7}, {"idealized": True},
+                   {"kind": "read"}):
+        a = simulate_dynamic_availability(10, 1.0, 3.0, 400.0, seed=6,
+                                          engine="bitmask",
+                                          sampler=sampler, **kwargs)
+        b = simulate_dynamic_availability(10, 1.0, 3.0, 400.0, seed=6,
+                                          engine="set", sampler=sampler,
+                                          **kwargs)
+        assert a == b
+
+
+def test_dynamic_engines_agree_for_non_rebindable_rule():
+    """Rules without in-place rebinding take the LRU-cache path; it must
+    be just as invisible."""
+    for rule in (TreeCoterie, WallCoterie):
+        a = simulate_dynamic_availability(13, 1.0, 2.5, 400.0, seed=11,
+                                          rule=rule, engine="bitmask")
+        b = simulate_dynamic_availability(13, 1.0, 2.5, 400.0, seed=11,
+                                          rule=rule, engine="set")
+        assert a == b
+
+
+def test_bad_engine_and_sampler_rejected():
+    with pytest.raises(ValueError):
+        simulate_static_availability(5, 1.0, 2.0, 10.0, engine="simd")
+    with pytest.raises(ValueError):
+        simulate_static_availability(5, 1.0, 2.0, 10.0, sampler="magic")
+    with pytest.raises(ValueError):
+        simulate_dynamic_availability(5, 1.0, 2.0, 10.0, engine="simd")

@@ -68,6 +68,27 @@ class TestSimulateCommand:
                      "--kind", "read"]) == 0
         assert "kind = read" in capsys.readouterr().out
 
+    def test_parallel_workers(self, capsys):
+        assert main(["simulate", "--n", "6", "--horizon", "600",
+                     "--workers", "2"]) == 0
+        assert "workers = 2" in capsys.readouterr().out
+
+    def test_engine_and_sampler_flags(self, capsys):
+        assert main(["simulate", "--n", "6", "--horizon", "300",
+                     "--engine", "set", "--sampler", "swap"]) == 0
+        out = capsys.readouterr().out
+        assert "engine = set" in out and "sampler = swap" in out
+
+    def test_serial_default_matches_engine_choice(self, capsys):
+        """Same seed, either engine: the CLI prints identical numbers."""
+        assert main(["simulate", "--n", "6", "--horizon", "400",
+                     "--seed", "9"]) == 0
+        default = capsys.readouterr().out.splitlines()[-1]
+        assert main(["simulate", "--n", "6", "--horizon", "400",
+                     "--seed", "9", "--engine", "set"]) == 0
+        set_engine = capsys.readouterr().out.splitlines()[-1]
+        assert default == set_engine
+
 
 class TestDemoCommand:
     def test_full_scenario(self, capsys):

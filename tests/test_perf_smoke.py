@@ -1,0 +1,31 @@
+"""Opt-in wrapper around the quorum-engine perf smoke gate.
+
+Timing assertions are flaky on loaded CI machines, so this test only
+runs when explicitly requested::
+
+    REPRO_PERF_SMOKE=1 PYTHONPATH=src python -m pytest tests/test_perf_smoke.py
+
+It delegates to ``scripts/check_perf.py``, which replays a small grid
+event budget through both engines and fails if the compiled bitmask
+engine is ever slower than the set-based reference predicates.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.skipif(os.environ.get("REPRO_PERF_SMOKE") != "1",
+                    reason="perf smoke gate is opt-in: set "
+                           "REPRO_PERF_SMOKE=1")
+def test_bitmask_engine_never_slower():
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "check_perf.py")],
+        capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "PASS" in proc.stdout

@@ -1,12 +1,17 @@
 #!/usr/bin/env python
-"""Quorum-engine performance smoke gate.
+"""Performance smoke gates.
 
-Replays a small budget of the E22 engine benchmark (grid rule only, a
-few thousand events) and fails if the compiled bitmask engine is ever
-slower than the set-based reference predicates -- the one regression
-the incremental engine must never have.  Intended for CI and local
-sanity runs; the full sweep with committed JSON lives in
-``benchmarks/bench_quorum_engine.py``.
+Two quick regression checks, both small enough for CI:
+
+* **Quorum engine** -- replays a small budget of the E22 engine
+  benchmark (grid rule only, a few thousand events) and fails if the
+  compiled bitmask engine is ever slower than the set-based reference
+  predicates.  Full sweep: ``benchmarks/bench_quorum_engine.py``.
+* **Protocol ops** -- replays one failed-cluster cell of the E23
+  protocol benchmark (N=25, 20% nodes down) and fails if the
+  liveness-aware quorum planner does not beat the blind picker on both
+  poll rounds per committed write and wall-clock ops/sec.  Full sweep
+  with committed JSON: ``benchmarks/bench_protocol_throughput.py``.
 
 Usage::
 
@@ -26,18 +31,21 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
-# the smoke budget: small enough for CI, large enough to dominate noise
+# the smoke budgets: small enough for CI, large enough to dominate noise
 SIZES = (9, 25, 49)
 N_EVENTS = 4000
+PROTOCOL_N = 25
+PROTOCOL_OPS = 60
+PROTOCOL_REPEATS = 5
 
 
-def main() -> int:
+def check_engine() -> bool:
     from bench_quorum_engine import RULES, run_engine_benchmark
 
     grid_rules = tuple(r for r in RULES if r[0] == "grid")
     results = run_engine_benchmark(sizes=SIZES, rules=grid_rules,
                                    n_events=N_EVENTS, seed=0)
-    failed = False
+    ok = True
     print(f"quorum engine smoke ({N_EVENTS} events/point):")
     for row in results["rules"]["grid"]:
         status = "ok" if row["speedup"] > 1.0 else "REGRESSION"
@@ -46,10 +54,57 @@ def main() -> int:
               f"{row['set_events_per_sec']:>11,.0f} ev/s "
               f"({row['speedup']:.1f}x) {status}")
         if row["speedup"] <= 1.0:
-            failed = True
-    if failed:
+            ok = False
+    return ok
+
+
+def check_protocol() -> bool:
+    from bench_protocol_throughput import run_scenario
+    from repro.coteries import GridCoterie
+
+    # one warm-up run so interpreter start-up is not charged to a cell
+    run_scenario("grid", GridCoterie, 9, failed=True, planner=True,
+                 n_ops=20, repeats=1)
+    cells = {
+        picker: run_scenario("grid", GridCoterie, PROTOCOL_N, failed=True,
+                             planner=picker == "planner",
+                             n_ops=PROTOCOL_OPS, repeats=PROTOCOL_REPEATS)
+        for picker in ("planner", "blind")
+    }
+    planner, blind = cells["planner"], cells["blind"]
+    speedup = planner["ops_per_sec_wall"] / blind["ops_per_sec_wall"]
+    ok = True
+    print(f"protocol ops smoke (grid N={PROTOCOL_N}, 20% failed, "
+          f"{PROTOCOL_OPS} ops):")
+    print(f"  planner {planner['ops_per_sec_wall']:>9,.0f} ops/s, "
+          f"{planner['mean_write_polls']:.2f} polls/write vs blind "
+          f"{blind['ops_per_sec_wall']:>9,.0f} ops/s, "
+          f"{blind['mean_write_polls']:.2f} polls/write "
+          f"({speedup:.1f}x wall)")
+    if planner["mean_write_polls"] >= blind["mean_write_polls"]:
+        print("  REGRESSION: planner does not poll less than the "
+              "blind picker")
+        ok = False
+    if speedup <= 1.0:
+        print("  REGRESSION: planner is not faster than the blind "
+              "picker under failures")
+        ok = False
+    if planner["ok_ops"] < blind["ok_ops"]:
+        print("  REGRESSION: planner commits fewer operations")
+        ok = False
+    return ok
+
+
+def main() -> int:
+    engine_ok = check_engine()
+    protocol_ok = check_protocol()
+    if not engine_ok:
         print("FAIL: the bitmask engine must never be slower than the "
               "set predicates")
+    if not protocol_ok:
+        print("FAIL: the quorum planner must beat the blind picker "
+              "under failures")
+    if not (engine_ok and protocol_ok):
         return 1
     print("PASS")
     return 0

@@ -22,6 +22,7 @@ from repro.core.messages import ReadResult, ReplaceValue, WriteResult
 from repro.core.store import ReplicatedStore, StoreError
 from repro.core.twophase import gather, run_transaction
 from repro.coteries.base import _stable_hash
+from repro.coteries.planner import plan_quorum
 
 
 class StaticCoordinator:
@@ -33,6 +34,19 @@ class StaticCoordinator:
         self._op_ids = itertools.count(1)
         # the static structure: the coterie over ALL replicas, forever
         self.coterie = server.coterie_rule(server.all_nodes)
+
+    def _plan(self, kind: str, seq: int) -> list:
+        """Liveness-aware quorum pick (the blind draw when the planner is
+        disabled or nothing is suspected; see repro.coteries.planner)."""
+        server = self.server
+        if not server.config.quorum_planner:
+            return (self.coterie.write_quorum(salt=self.name, attempt=seq)
+                    if kind == "write"
+                    else self.coterie.read_quorum(salt=self.name,
+                                                  attempt=seq))
+        return plan_quorum(self.coterie, kind,
+                           avoid=server.liveness.suspects(),
+                           salt=self.name, attempt=seq)
 
     @property
     def name(self) -> str:
@@ -60,7 +74,7 @@ class StaticCoordinator:
         server = self.server
         seq = next(self._op_ids)
         op_id = f"{self.name}:sw{seq}"
-        quorum = self.coterie.write_quorum(salt=self.name, attempt=seq)
+        quorum = self._plan("write", seq)
         poll_timeout = server.config.lock_wait + server.config.rpc_timeout
         responses = yield gather(
             server.rpc, {dst: ("write-request", op_id) for dst in quorum},
@@ -101,7 +115,7 @@ class StaticCoordinator:
         server = self.server
         seq = next(self._op_ids)
         op_id = f"{self.name}:sr{seq}"
-        quorum = self.coterie.read_quorum(salt=self.name, attempt=seq)
+        quorum = self._plan("read", seq)
         poll_timeout = server.config.lock_wait + server.config.rpc_timeout
         responses = yield gather(
             server.rpc, {dst: ("read-request", op_id) for dst in quorum},

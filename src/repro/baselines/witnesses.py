@@ -25,6 +25,7 @@ from repro.core.store import ReplicatedStore, StoreError
 from repro.core.twophase import gather, run_transaction
 from repro.coteries.base import _stable_hash
 from repro.coteries.majority import MajorityCoterie
+from repro.coteries.planner import plan_quorum
 
 
 class WitnessVotingCoordinator:
@@ -36,6 +37,19 @@ class WitnessVotingCoordinator:
         self.history = history
         self._op_ids = itertools.count(1)
         self.coterie = server.coterie_rule(server.all_nodes)
+
+    def _plan(self, kind: str, seq: int) -> list:
+        """Liveness-aware quorum pick (the blind draw when the planner is
+        disabled or nothing is suspected; see repro.coteries.planner)."""
+        server = self.server
+        if not server.config.quorum_planner:
+            return (self.coterie.write_quorum(salt=self.name, attempt=seq)
+                    if kind == "write"
+                    else self.coterie.read_quorum(salt=self.name,
+                                                  attempt=seq))
+        return plan_quorum(self.coterie, kind,
+                           avoid=server.liveness.suspects(),
+                           salt=self.name, attempt=seq)
 
     @property
     def name(self) -> str:
@@ -54,7 +68,7 @@ class WitnessVotingCoordinator:
         server = self.server
         seq = next(self._op_ids)
         op_id = f"{self.name}:ww{seq}"
-        quorum = self.coterie.write_quorum(salt=self.name, attempt=seq)
+        quorum = self._plan("write", seq)
         poll_timeout = server.config.lock_wait + server.config.rpc_timeout
         responses = yield gather(
             server.rpc, {dst: ("write-request", op_id) for dst in quorum},
@@ -94,7 +108,7 @@ class WitnessVotingCoordinator:
         server = self.server
         seq = next(self._op_ids)
         op_id = f"{self.name}:wr{seq}"
-        quorum = self.coterie.read_quorum(salt=self.name, attempt=seq)
+        quorum = self._plan("read", seq)
         poll_timeout = server.config.lock_wait + server.config.rpc_timeout
         responses = yield gather(
             server.rpc, {dst: ("read-request", op_id) for dst in quorum},

@@ -70,6 +70,24 @@ class ProtocolConfig:
     op_retries: int = 4
     retry_backoff: float = 0.5
 
+    # Liveness-aware quorum planning: coordinators pick quorums that
+    # route around suspected-down nodes (repro.coteries.planner).  The
+    # planner never changes which sets are quorums -- only which quorum
+    # gets polled -- and with no suspicions it returns exactly the blind
+    # salted draw, so healthy runs are unchanged.  Off = always draw
+    # blindly (the pre-planner behaviour, kept for A/B benchmarking).
+    quorum_planner: bool = True
+
+    # How long one observed CALL_FAILED keeps a node suspected; any later
+    # successful RPC from it clears the suspicion immediately.  Sized to
+    # the failure-detection timescale of the protocol itself: a truly
+    # failed node is evicted from the epoch by the periodic epoch check
+    # (epoch_check_interval), so suspicion must outlive that period or
+    # coordinators re-probe known-dead nodes between checks.  A wrongly
+    # suspected node waits out the TTL only if nothing talks to it at
+    # all -- any heavy poll or propagation touching it clears it at once.
+    suspect_ttl: float = 60.0
+
     # Update-log capacity per replica; older entries are truncated and
     # propagation falls back to full-value snapshots.
     update_log_capacity: int = 64
@@ -105,6 +123,8 @@ class ProtocolConfig:
             raise ValueError("suspicion_debounce must be positive")
         if self.retry_backoff <= 0:
             raise ValueError("retry_backoff must be positive")
+        if self.suspect_ttl <= 0:
+            raise ValueError("suspect_ttl must be positive")
         if self.safety_threshold < 0:
             raise ValueError("safety_threshold must be >= 0")
         return self

@@ -41,6 +41,7 @@ from repro.core.messages import (
 from repro.core.replica import ReplicaServer
 from repro.core.twophase import gather, run_transaction
 from repro.coteries.base import _stable_hash
+from repro.coteries.planner import plan_quorum
 from repro.sim.rpc import CALL_FAILED
 
 
@@ -84,7 +85,7 @@ class Coordinator:
 
         elist = server.state.epoch_list
         coterie = server.coterie_for(elist)
-        quorum = coterie.write_quorum(salt=self.name, attempt=seq)
+        quorum = self._plan_quorum(coterie, "write", seq)
         # polls may wait up to lock_wait at the replica before answering
         # BUSY, so their RPC deadline must cover that plus network slack
         poll_timeout = server.config.lock_wait + server.config.rpc_timeout
@@ -97,19 +98,23 @@ class Coordinator:
         result = yield from self._try_write(responses, updates, op_id,
                                             case="fast")
         if result is None:
-            # HeavyProcedure: poll everyone (re-polls are answered from the
-            # locks already held by this op).
+            # HeavyProcedure: poll everyone -- minus suspects, when the
+            # rest still contains a quorum -- (re-polls are answered from
+            # the locks already held by this op).
+            targets = self._heavy_targets(coterie, "write")
             responses = yield gather(
                 server.rpc,
-                {dst: ("write-request", op_id)
-                 for dst in server.all_nodes},
+                {dst: ("write-request", op_id) for dst in targets},
                 timeout=poll_timeout)
-            polled |= set(server.all_nodes)
+            polled |= set(targets)
             result = yield from self._try_write(responses, updates, op_id,
                                                 case="heavy")
+            if result is not None:
+                result.polls = 2
         if result is None:
             yield from self._release(polled, op_id)
-            result = WriteResult(False, case="no-quorum", op_id=op_id)
+            result = WriteResult(False, case="no-quorum", op_id=op_id,
+                                 polls=2)
         return result
 
     def _try_write(self, responses, updates: dict, op_id: str, case: str):
@@ -188,7 +193,7 @@ class Coordinator:
 
         elist = server.state.epoch_list
         coterie = server.coterie_for(elist)
-        quorum = coterie.read_quorum(salt=self.name, attempt=seq)
+        quorum = self._plan_quorum(coterie, "read", seq)
         poll_timeout = server.config.lock_wait + server.config.rpc_timeout
         responses = yield gather(
             server.rpc, {dst: ("read-request", op_id) for dst in quorum},
@@ -196,13 +201,17 @@ class Coordinator:
         self._raise_suspicion(responses)
         result = self._try_read(responses, op_id, case="fast")
         if result is None:
+            targets = self._heavy_targets(coterie, "read")
             responses = yield gather(
                 server.rpc,
-                {dst: ("read-request", op_id) for dst in server.all_nodes},
+                {dst: ("read-request", op_id) for dst in targets},
                 timeout=poll_timeout)
             result = self._try_read(responses, op_id, case="heavy")
+            if result is not None:
+                result.polls = 2
         if result is None:
-            result = ReadResult(False, case="no-quorum", op_id=op_id)
+            result = ReadResult(False, case="no-quorum", op_id=op_id,
+                                polls=2)
         return result
 
     def _try_read(self, responses, op_id: str, case: str):
@@ -216,6 +225,37 @@ class Coordinator:
                           case=case, op_id=op_id)
 
     # -- helpers ------------------------------------------------------------------
+    def _plan_quorum(self, coterie, kind: str, seq: int) -> list:
+        """The quorum to poll: the liveness-aware plan, or the blind
+        salted draw with the planner disabled.  With nothing suspected
+        the plan *is* the blind draw, so healthy runs are unchanged."""
+        server = self.server
+        if not server.config.quorum_planner:
+            return (coterie.write_quorum(salt=self.name, attempt=seq)
+                    if kind == "write"
+                    else coterie.read_quorum(salt=self.name, attempt=seq))
+        return plan_quorum(coterie, kind, avoid=server.liveness.suspects(),
+                           salt=self.name, attempt=seq)
+
+    def _heavy_targets(self, coterie, kind: str) -> tuple:
+        """The HeavyProcedure poll set: all nodes, minus current suspects
+        whenever the remainder still contains a quorum of the current
+        coterie.  Suspicion can be wrong, so exclusion is never allowed
+        to cost availability: if the unsuspected nodes cannot form a
+        quorum, everyone is polled (and a wrongly excluded node is
+        re-polled after the suspicion decays, at the latest)."""
+        server = self.server
+        nodes = server.all_nodes
+        if not server.config.quorum_planner:
+            return nodes
+        avoid = server.liveness.suspects()
+        if not avoid:
+            return nodes
+        live = tuple(name for name in nodes if name not in avoid)
+        has_quorum = (coterie.is_write_quorum(live) if kind == "write"
+                      else coterie.is_read_quorum(live))
+        return live if has_quorum else nodes
+
     def _raise_suspicion(self, responses) -> None:
         """Fire-and-forget suspicion broadcast (optional extension).
 
@@ -237,9 +277,15 @@ class Coordinator:
 
     def _with_retries(self, attempt_factory):
         """Generator: run an operation attempt, retrying no-quorum aborts
-        with exponential backoff and deterministic jitter."""
+        with exponential backoff and deterministic jitter.  The returned
+        result carries the total attempt count and poll-wave count
+        (``result.attempts`` / ``result.polls``) summed over all
+        attempts -- the planner's effect shows up here as fewer retry
+        rounds and fewer heavy polls under faults."""
         config = self.server.config
         result = yield from attempt_factory()
+        attempts = 1
+        polls = result.polls
         for attempt in range(config.op_retries):
             if result.ok or result.case != "no-quorum":
                 break
@@ -248,6 +294,10 @@ class Coordinator:
             yield self.server.env.timeout(
                 config.retry_backoff * (2 ** attempt) * jitter)
             result = yield from attempt_factory()
+            attempts += 1
+            polls += result.polls
+        result.attempts = attempts
+        result.polls = polls
         return result
 
     def _release(self, polled: Iterable[str], op_id: str):

@@ -1,0 +1,69 @@
+"""Per-node liveness tracking from observed RPC outcomes.
+
+Every RPC a server sends already carries a liveness signal: a timeout
+(``CALL_FAILED``) means the destination is probably down or partitioned
+away, a response means it is definitely reachable.  :class:`LivenessView`
+turns that stream into a *suspicion* set the quorum planner can route
+around -- with decay, because suspicion is a heuristic, never ground
+truth:
+
+* ``CALL_FAILED`` => the destination is suspected for ``ttl`` simulated
+  time units (refreshing any earlier suspicion);
+* a successful response => the suspicion is cleared immediately;
+* no traffic => the suspicion silently expires after ``ttl``, so a
+  wrongly suspected node (e.g. one that was only briefly partitioned and
+  is never polled again precisely *because* it is suspected) re-enters
+  the candidate pool by itself.
+
+Wrong suspicion is therefore always safe: it can cost at most one planner
+detour until decay, and the planner falls back to the blind draw whenever
+the unsuspected nodes cannot form a quorum -- polling remains the ground
+truth (see ``repro.coteries.planner``).
+"""
+
+from __future__ import annotations
+
+
+class LivenessView:
+    """Suspected-down nodes, maintained from RPC outcomes with decay."""
+
+    def __init__(self, env, ttl: float):
+        if ttl <= 0:
+            raise ValueError(f"suspicion ttl must be positive, got {ttl}")
+        self.env = env
+        self.ttl = ttl
+        self._suspect_until: dict[str, float] = {}
+
+    def observe(self, peer: str, ok: bool) -> None:
+        """Record one RPC outcome for *peer* (the signature RpcLayer's
+        ``liveness_observer`` hook expects)."""
+        if ok:
+            self._suspect_until.pop(peer, None)
+        else:
+            self._suspect_until[peer] = self.env.now + self.ttl
+
+    def is_suspect(self, peer: str) -> bool:
+        """True iff *peer* is currently suspected down."""
+        until = self._suspect_until.get(peer)
+        if until is None:
+            return False
+        if until <= self.env.now:
+            del self._suspect_until[peer]
+            return False
+        return True
+
+    def suspects(self) -> frozenset:
+        """The currently suspected nodes (expired suspicions pruned)."""
+        now = self.env.now
+        table = self._suspect_until
+        expired = [peer for peer, until in table.items() if until <= now]
+        for peer in expired:
+            del table[peer]
+        return frozenset(table)
+
+    def clear(self) -> None:
+        """Forget everything (suspicion is volatile state: wiped on crash)."""
+        self._suspect_until.clear()
+
+    def __repr__(self) -> str:
+        return f"<LivenessView ttl={self.ttl} suspects={sorted(self.suspects())}>"

@@ -36,7 +36,7 @@ class _Busy:
 BUSY = _Busy()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StateResponse:
     """A replica's answer to write/read/epoch-checking polls."""
 
@@ -61,7 +61,7 @@ class StateResponse:
 
 # -- two-phase-commit commands ------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ApplyWrite:
     """Commit action for a GOOD replica: apply the partial update, bump the
     version to ``new_version``, and start propagating to ``stale_nodes``.
@@ -77,7 +77,7 @@ class ApplyWrite:
     good_nodes: tuple[str, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MarkStale:
     """Commit action for a replica being marked stale."""
 
@@ -85,7 +85,7 @@ class MarkStale:
     good_nodes: tuple[str, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplaceValue:
     """Commit action for *total* writes (baseline protocols): replace the
     whole value at ``new_version`` regardless of the replica's currency.
@@ -99,7 +99,7 @@ class ReplaceValue:
     meta: Any = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InstallEpoch:
     """Commit action installing a new epoch (the ``new-epoch`` message)."""
 
@@ -113,7 +113,7 @@ class InstallEpoch:
 Command = Any  # ApplyWrite | MarkStale | InstallEpoch
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Prepare:
     """Phase-1 message of the presumed-abort 2PC."""
 
@@ -127,7 +127,7 @@ class Prepare:
 
 # -- propagation ---------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PropagationOffer:
     """``propagation-offer`` carrying the source's version number."""
 
@@ -135,7 +135,7 @@ class PropagationOffer:
     version: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PropagationData:
     """The actual catch-up payload.
 
@@ -151,7 +151,7 @@ class PropagationData:
 
 # -- operation results ----------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class WriteResult:
     """Outcome of a write operation."""
 
@@ -161,12 +161,17 @@ class WriteResult:
     stale: tuple[str, ...] = ()
     case: str = ""            # "fast" | "heavy" | failure reason
     op_id: str = ""
+    # accounting: operation attempts consumed (>= 1 after retries) and
+    # poll waves issued (fast poll = 1, heavy fallback adds 1), summed
+    # over all attempts by the coordinator's retry loop
+    attempts: int = 1
+    polls: int = 1
 
     def __bool__(self) -> bool:
         return self.ok
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadResult:
     """Outcome of a read operation."""
 
@@ -175,6 +180,8 @@ class ReadResult:
     version: Optional[int] = None
     case: str = ""
     op_id: str = ""
+    attempts: int = 1
+    polls: int = 1
 
     def __bool__(self) -> bool:
         return self.ok

@@ -40,8 +40,10 @@ from repro.core.messages import (
     WriteResult,
 )
 from repro.core.twophase import gather, run_transaction
+from repro.core.liveness import LivenessView
 from repro.coteries.base import CoterieRule, _stable_hash
 from repro.coteries.grid import GridCoterie
+from repro.coteries.planner import CompiledCoterieCache, plan_quorum
 from repro.sim.engine import Environment, Process
 from repro.sim.failures import FailureSchedule
 from repro.sim.network import LatencyModel, Network
@@ -150,7 +152,11 @@ class MultiReplicaServer:
         node.stable.setdefault("txn_outcomes", {})
         node.stable.setdefault("coord_committed", set())
         self._txn_ids = itertools.count(1)
-        self._coterie_cache: dict[tuple, Any] = {}
+        self._coteries = CompiledCoterieCache(coterie_rule)
+        # Suspicion is volatile state: wiped with the rest on crash.
+        self.liveness = LivenessView(node.env, self.config.suspect_ttl)
+        rpc.liveness_observer = self.liveness.observe
+        node.add_crash_hook(self.liveness.clear)
         self.locks = {item: node.make_lock(f"item-{item}")
                       for item in self.items}
         node.add_recover_hook(self._on_recover)
@@ -195,15 +201,13 @@ class MultiReplicaServer:
         return f"{self.name}:mtxn{next(self._txn_ids)}"
 
     def coterie_for(self, epoch_list):
-        """The coterie over one epoch list, memoized."""
-        key = tuple(epoch_list)
-        coterie = self._coterie_cache.get(key)
-        if coterie is None:
-            coterie = self.coterie_rule(key)
-            if len(self._coterie_cache) > 64:
-                self._coterie_cache.clear()
-            self._coterie_cache[key] = coterie
-        return coterie
+        """The coterie over one epoch list, memoized with LRU eviction
+        (the compiled evaluator is cached alongside; see planner docs)."""
+        return self._coteries.coterie(epoch_list)
+
+    def evaluator_for(self, epoch_list):
+        """The compiled ``QuorumEvaluator`` for one epoch list."""
+        return self._coteries.evaluator(epoch_list)
 
     def _trace(self, kind: str, **detail: Any) -> None:
         self.node.trace.record(self.env.now, kind, self.name, **detail)
@@ -615,14 +619,26 @@ class MultiItemCoordinator:
             history.finish(record, server.env.now, result)
         return result
 
+    def _plan_quorum(self, coterie, kind: str, item: str, seq: int) -> list:
+        """Liveness-aware quorum pick, salted per (coordinator, item) so
+        different items spread load over different quorums (the blind
+        draw when the planner is disabled or nothing is suspected)."""
+        server = self.server
+        salt = f"{server.name}:{item}"
+        if not server.config.quorum_planner:
+            return (coterie.write_quorum(salt=salt, attempt=seq)
+                    if kind == "write"
+                    else coterie.read_quorum(salt=salt, attempt=seq))
+        return plan_quorum(coterie, kind, avoid=server.liveness.suspects(),
+                           salt=salt, attempt=seq)
+
     def _write_once(self, item: str, updates: dict):
         server = self.server
         seq = next(self._op_ids)
         op_id = f"{server.name}:{item}:w{seq}"
         elist, _enumber = server.epoch
         coterie = server.coterie_for(elist)
-        quorum = coterie.write_quorum(salt=f"{server.name}:{item}",
-                                      attempt=seq)
+        quorum = self._plan_quorum(coterie, "write", item, seq)
         poll_timeout = server.config.lock_wait + server.config.rpc_timeout
         responses = yield gather(
             server.rpc,
@@ -673,8 +689,7 @@ class MultiItemCoordinator:
         op_id = f"{server.name}:{item}:r{seq}"
         elist, _enumber = server.epoch
         coterie = server.coterie_for(elist)
-        quorum = coterie.read_quorum(salt=f"{server.name}:{item}",
-                                     attempt=seq)
+        quorum = self._plan_quorum(coterie, "read", item, seq)
         poll_timeout = server.config.lock_wait + server.config.rpc_timeout
         responses = yield gather(
             server.rpc,

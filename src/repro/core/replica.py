@@ -25,7 +25,9 @@ import itertools
 from typing import Any, Optional
 
 from repro.coteries.base import CoterieRule
+from repro.coteries.planner import CompiledCoterieCache
 from repro.core.config import ProtocolConfig
+from repro.core.liveness import LivenessView
 from repro.core.messages import (
     BUSY,
     ApplyWrite,
@@ -63,7 +65,11 @@ class ReplicaServer:
         node.stable.setdefault("coord_committed", set())
         node.stable.setdefault("last_good", None)    # (version, good tuple)
         self._txn_ids = itertools.count(1)
-        self._coterie_cache: dict[tuple, Any] = {}
+        self._coteries = CompiledCoterieCache(coterie_rule)
+        # Suspicion is volatile state: wiped with the rest on crash.
+        self.liveness = LivenessView(node.env, self.config.suspect_ttl)
+        rpc.liveness_observer = self.liveness.observe
+        node.add_crash_hook(self.liveness.clear)
         node.add_recover_hook(self._on_recover)
 
         serve = rpc.serve
@@ -109,19 +115,20 @@ class ReplicaServer:
         return f"{self.name}:txn{next(self._txn_ids)}"
 
     def coterie_for(self, epoch_list) -> Any:
-        """The coterie over one epoch list, memoized.
+        """The coterie over one epoch list, memoized with LRU eviction.
 
         Coterie rules are deterministic functions of the ordered list, so
         caching is safe; it saves rebuilding the grid on every operation.
+        The cache keeps each coterie's compiled evaluator alongside it
+        (``evaluator_for``), so the quorum planner never recompiles
+        per op either.
         """
-        key = tuple(epoch_list)
-        coterie = self._coterie_cache.get(key)
-        if coterie is None:
-            coterie = self.coterie_rule(key)
-            if len(self._coterie_cache) > 64:
-                self._coterie_cache.clear()
-            self._coterie_cache[key] = coterie
-        return coterie
+        return self._coteries.coterie(epoch_list)
+
+    def evaluator_for(self, epoch_list) -> Any:
+        """The compiled ``QuorumEvaluator`` for one epoch list (cached
+        next to the coterie; its tracked state is scratch space)."""
+        return self._coteries.evaluator(epoch_list)
 
     def _trace(self, kind: str, **detail: Any) -> None:
         self.node.trace.record(self.env.now, kind, self.name, **detail)

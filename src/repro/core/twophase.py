@@ -27,17 +27,9 @@ from repro.sim.rpc import RpcLayer
 def gather(rpc: RpcLayer, requests: Mapping[str, tuple[str, Any]],
            timeout: Optional[float] = None):
     """Event yielding ``{dst: response_or_CALL_FAILED}`` for a batch of
-    per-destination calls."""
-    calls = {dst: rpc.call(dst, method, args, timeout=timeout)
-             for dst, (method, args) in requests.items()}
-    done = rpc.env.event()
-
-    def finish(_event) -> None:
-        if not done.triggered:
-            done.succeed({dst: call.value for dst, call in calls.items()})
-
-    rpc.env.all_of(calls.values())._add_callback(finish)
-    return done
+    per-destination calls, batched as one RPC wave (a single expiry
+    timer and completion event per poll round instead of per call)."""
+    return rpc.call_wave(dict(requests), timeout=timeout)
 
 
 def run_transaction(server, commands: Mapping[str, Any], op_id: str,

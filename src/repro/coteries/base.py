@@ -108,19 +108,23 @@ class Coterie(ABC):
 
     # -- availability-aware selection (used by baselines and analyses) -------
     def find_read_quorum(self, available: Iterable[str]) -> Optional[frozenset]:
-        """Some read quorum fully inside *available*, or None.
+        """Some *minimal* read quorum fully inside *available*, or None.
 
-        The default implementation just tests ``available`` itself, which is
-        correct (monotonicity) but not minimal; subclasses override with a
-        constructive minimal search.
+        The default implementation runs the planner's generic
+        evaluator-driven shrink (:func:`repro.coteries.planner.
+        minimal_quorum`): load the live subset, then drop members
+        whenever the remainder still contains a quorum.  Minimal means
+        no proper subset of the result is a quorum -- not necessarily
+        minimum cardinality.  Subclasses override with constructive
+        structure-aware searches where those are cheaper.
         """
-        live = self.restrict(available)
-        return live if self.is_read_quorum(live) else None
+        from repro.coteries.planner import minimal_quorum
+        return minimal_quorum(self, available, "read")
 
     def find_write_quorum(self, available: Iterable[str]) -> Optional[frozenset]:
-        """Some write quorum fully inside *available*, or None."""
-        live = self.restrict(available)
-        return live if self.is_write_quorum(live) else None
+        """Some *minimal* write quorum fully inside *available*, or None."""
+        from repro.coteries.planner import minimal_quorum
+        return minimal_quorum(self, available, "write")
 
     # -- compiled predicates -------------------------------------------------
     def compile(self, universe: Optional[Sequence[str]] = None

@@ -1,0 +1,244 @@
+"""Liveness-aware quorum planning.
+
+PR 1 compiled the coterie *rule* (membership predicates) into an
+incremental bitmask engine; this module compiles quorum *selection*.
+The live protocol path used to draw quorums blindly with
+``coterie.write_quorum(salt, attempt)`` and discover failures by polling
+-- every draw that landed on a dead node cost a full poll timeout plus a
+retry round.  The planner instead picks a quorum *constructively* from a
+per-node suspicion view:
+
+* with no suspected nodes, the plan IS the blind salted draw -- healthy
+  same-seed runs are unchanged, operation for operation;
+* with suspects, the planner builds a minimal quorum out of the
+  remaining live nodes -- O(quorum size) for the structured families
+  (grid, voting) via salted per-slot selection, and via each family's
+  constructive ``find_*_quorum`` otherwise;
+* if the non-suspected nodes cannot form a quorum at all (suspicion may
+  be wrong, or the epoch is simply too degraded), the planner falls
+  back to the blind draw so a false suspicion can never make an
+  available system unavailable.
+
+Correctness is untouched by construction: the planner only ever returns
+a quorum of the bound coterie rule, and the paper's Lemma 1 argument
+quantifies over *all* quorums of the rule -- which one gets polled is
+pure policy (see docs/PROTOCOL.md).
+
+The module also provides the generic evaluator-driven
+:func:`minimal_quorum` (backing the default
+``Coterie.find_read_quorum``/``find_write_quorum``) and
+:class:`CompiledCoterieCache`, the LRU of (coterie, compiled evaluator)
+pairs the replica servers key by epoch list so planning never rebuilds
+or recompiles a structure per operation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional, Sequence
+
+from repro.coteries.base import Coterie, CoterieRule, QuorumEvaluator, _stable_hash
+from repro.coteries.grid import GridCoterie
+from repro.coteries.majority import WeightedVotingCoterie
+
+
+def compiled(coterie: Coterie) -> QuorumEvaluator:
+    """The coterie's compiled evaluator, cached on the instance.
+
+    The evaluator's tracked state is scratch space: every user must
+    ``reset`` before querying, which all planner entry points do.
+    """
+    evaluator = getattr(coterie, "_planner_evaluator", None)
+    if evaluator is None:
+        evaluator = coterie.compile()
+        coterie._planner_evaluator = evaluator
+    return evaluator
+
+
+def minimal_quorum(coterie: Coterie, available: Iterable[str], kind: str,
+                   evaluator: Optional[QuorumEvaluator] = None,
+                   salt: str = "") -> Optional[frozenset]:
+    """Some *minimal* quorum of *kind* fully inside *available*, or None.
+
+    Generic over any coterie: load the live subset into the compiled
+    evaluator, then drop members one at a time, keeping each drop
+    whenever the remainder still contains a quorum.  The result is
+    minimal (no proper subset is a quorum) though not necessarily
+    minimum-cardinality.  Cost: O(N) incremental evaluator transitions
+    -- O(N) total for counter-based structures, O(N * depth) for
+    recursive ones.
+
+    *salt* rotates the drop order so concurrent planners shrink toward
+    different minimal quorums where the rule allows several.
+    """
+    if kind not in ("read", "write"):
+        raise ValueError(f"kind must be 'read' or 'write', got {kind!r}")
+    live = coterie.restrict(available)
+    if evaluator is None:
+        evaluator = compiled(coterie)
+    is_quorum = (evaluator.is_write_quorum if kind == "write"
+                 else evaluator.is_read_quorum)
+    evaluator.reset(evaluator.mask_of(live))
+    if not is_quorum():
+        return None
+    n = evaluator.n_bits
+    start = _stable_hash(salt) % n if salt else 0
+    for offset in range(n):
+        i = (start + offset) % n
+        if not (evaluator.mask >> i) & 1:
+            continue
+        evaluator.node_down(i)
+        if not is_quorum():
+            evaluator.node_up(i)
+    return evaluator.names_of(evaluator.mask)
+
+
+# -- structure-aware salted selection ----------------------------------------
+
+def _grid_plan(coterie: GridCoterie, live: frozenset, kind: str,
+               salt: str, attempt: int) -> Optional[list]:
+    """Salted grid selection over the live nodes: one live representative
+    per column (read), plus one fully-live coverable column (write).
+    O(N) scan, O(quorum size) picks -- the liveness-aware mirror of the
+    blind ``read_quorum``/``write_quorum`` draw."""
+    picks = []
+    live_columns: list[list] = []
+    for j, column in enumerate(coterie.columns, start=1):
+        candidates = [name for name in column if name in live]
+        if not candidates:
+            return None  # a dead column: no read quorum exists at all
+        live_columns.append(candidates)
+        idx = Coterie._pick(candidates, salt, attempt, extra=f"col{j}")
+        picks.append(candidates[idx])
+    if kind == "read":
+        return picks
+    eligible = [j for j in range(1, coterie.shape.n + 1)
+                if coterie._column_may_count_as_full(j)
+                and len(live_columns[j - 1]) == len(coterie.columns[j - 1])]
+    if not eligible:
+        return None  # no fully-live coverable column: no live write quorum
+    j_full = eligible[Coterie._pick(eligible, salt, attempt, extra="full")]
+    quorum = list(coterie.columns[j_full - 1])
+    for j, candidates in enumerate(live_columns, start=1):
+        if j == j_full:
+            continue
+        idx = Coterie._pick(candidates, salt, attempt, extra=f"col{j}")
+        quorum.append(candidates[idx])
+    return quorum
+
+
+def _voting_plan(coterie: WeightedVotingCoterie, live: frozenset, kind: str,
+                 salt: str, attempt: int) -> Optional[list]:
+    """Salted vote collection over the live nodes: the blind rotated
+    draw with suspected nodes skipped.  O(N) worst case, O(quorum size)
+    when most nodes are live."""
+    threshold = (coterie.write_votes if kind == "write"
+                 else coterie.read_votes)
+    start = Coterie._pick(coterie.nodes, salt, attempt)
+    rotated = coterie.nodes[start:] + coterie.nodes[:start]
+    picked, votes = [], 0
+    for name in rotated:
+        if name not in live or coterie.weights[name] == 0:
+            continue
+        picked.append(name)
+        votes += coterie.weights[name]
+        if votes >= threshold:
+            return picked
+    return None
+
+
+def plan_quorum(coterie: Coterie, kind: str, avoid: Iterable[str] = (),
+                salt: str = "", attempt: int = 0) -> list:
+    """A concrete quorum of *kind* over the coterie, routed around *avoid*.
+
+    The contract every caller relies on:
+
+    * the result is always a quorum of the rule (so polling it is always
+      correct -- planner choices never touch quorum intersection);
+    * with an empty *avoid* set, the result is exactly the blind salted
+      draw, so healthy same-seed runs are unchanged;
+    * when the nodes outside *avoid* contain a quorum, the result avoids
+      every suspected node; otherwise the blind draw is returned as the
+      correctness fallback (false suspicion never blocks an available
+      system -- the poll itself is the ground truth).
+    """
+    if kind not in ("read", "write"):
+        raise ValueError(f"kind must be 'read' or 'write', got {kind!r}")
+    draw = (coterie.write_quorum(salt=salt, attempt=attempt) if kind == "write"
+            else coterie.read_quorum(salt=salt, attempt=attempt))
+    avoid = coterie.restrict(avoid)
+    if not avoid:
+        return draw
+    # Constructive plans are *canonical*: unlike the blind draw they do
+    # not rotate with the salt or the attempt counter, so while the same
+    # nodes stay suspected every coordinator converges on the same live
+    # quorum -- even when a particular draw would have dodged the
+    # suspects by luck.  Rotating or per-coordinator plans constantly
+    # poll nodes the previous quorum left behind; each such poll finds a
+    # stale replica and triggers catch-up propagation whose traffic
+    # costs more than the rotation's load spreading is worth while the
+    # cluster is degraded.  A canonical quorum leaves the spectator
+    # nodes quiet (they catch up once suspicion expires or the epoch
+    # changes), and the salted spread resumes when suspicion clears.
+    live = frozenset(name for name in coterie.nodes if name not in avoid)
+    planned: Optional[Iterable] = None
+    if isinstance(coterie, GridCoterie):
+        planned = _grid_plan(coterie, live, kind, "", 0)
+    elif isinstance(coterie, WeightedVotingCoterie):
+        planned = _voting_plan(coterie, live, kind, "", 0)
+    else:
+        found = (coterie.find_write_quorum(live) if kind == "write"
+                 else coterie.find_read_quorum(live))
+        planned = sorted(found) if found is not None else None
+    if planned is None:
+        return draw  # no live quorum: fall back to the blind draw
+    return list(planned)
+
+
+class CompiledCoterieCache:
+    """An LRU of (coterie, compiled evaluator) pairs keyed by epoch list.
+
+    Replica servers look coteries up on every operation; the previous
+    cache cleared itself wholesale at 64 entries, and never kept the
+    compiled evaluator, so planners would have recompiled per op.  This
+    cache evicts least-recently-used entries one at a time and compiles
+    each coterie's evaluator lazily, at most once per residency.
+    """
+
+    def __init__(self, rule: CoterieRule, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.rule = rule
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, list] = OrderedDict()
+
+    def _entry(self, epoch_list: Sequence[str]) -> list:
+        key = tuple(epoch_list)
+        entries = self._entries
+        entry = entries.get(key)
+        if entry is None:
+            entry = [self.rule(key), None]
+            entries[key] = entry
+            if len(entries) > self.capacity:
+                entries.popitem(last=False)
+        else:
+            entries.move_to_end(key)
+        return entry
+
+    def coterie(self, epoch_list: Sequence[str]) -> Coterie:
+        """The coterie over one epoch list, memoized with LRU eviction."""
+        return self._entry(epoch_list)[0]
+
+    def evaluator(self, epoch_list: Sequence[str]) -> QuorumEvaluator:
+        """The compiled evaluator for one epoch list (compiled lazily,
+        cached next to its coterie; tracked state is scratch space)."""
+        entry = self._entry(epoch_list)
+        if entry[1] is None:
+            entry[1] = entry[0].compile()
+        return entry[1]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, epoch_list) -> bool:
+        return tuple(epoch_list) in self._entries

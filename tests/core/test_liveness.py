@@ -1,0 +1,109 @@
+"""Tests for the suspicion view fed by RPC outcomes
+(``repro.core.liveness``)."""
+
+import pytest
+
+from repro.core.liveness import LivenessView
+from repro.sim.engine import Environment
+
+
+def make_view(ttl=10.0):
+    env = Environment()
+    return env, LivenessView(env, ttl)
+
+
+class TestObservation:
+    def test_starts_empty(self):
+        _env, view = make_view()
+        assert view.suspects() == frozenset()
+        assert not view.is_suspect("n1")
+
+    def test_failure_suspects_until_ttl(self):
+        env, view = make_view(ttl=10.0)
+        view.observe("n1", ok=False)
+        assert view.is_suspect("n1")
+        assert view.suspects() == {"n1"}
+        env.run(until=9.9)
+        assert view.is_suspect("n1")
+        env.run(until=10.0)
+        assert not view.is_suspect("n1")
+        assert view.suspects() == frozenset()
+
+    def test_success_clears_immediately(self):
+        _env, view = make_view()
+        view.observe("n1", ok=False)
+        view.observe("n1", ok=True)
+        assert not view.is_suspect("n1")
+
+    def test_repeated_failure_refreshes_the_ttl(self):
+        env, view = make_view(ttl=10.0)
+        view.observe("n1", ok=False)
+        env.run(until=8.0)
+        view.observe("n1", ok=False)  # re-suspected until t=18
+        env.run(until=12.0)
+        assert view.is_suspect("n1")
+        env.run(until=18.0)
+        assert not view.is_suspect("n1")
+
+    def test_suspects_prunes_only_expired_entries(self):
+        env, view = make_view(ttl=10.0)
+        view.observe("n1", ok=False)
+        env.run(until=5.0)
+        view.observe("n2", ok=False)  # suspected until t=15
+        env.run(until=12.0)
+        assert view.suspects() == {"n2"}
+
+    def test_success_for_one_peer_keeps_others(self):
+        _env, view = make_view()
+        view.observe("n1", ok=False)
+        view.observe("n2", ok=False)
+        view.observe("n1", ok=True)
+        assert view.suspects() == {"n2"}
+
+    def test_clear_forgets_everything(self):
+        _env, view = make_view()
+        view.observe("n1", ok=False)
+        view.observe("n2", ok=False)
+        view.clear()
+        assert view.suspects() == frozenset()
+
+    def test_rejects_bad_ttl(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            LivenessView(env, 0.0)
+        with pytest.raises(ValueError):
+            LivenessView(env, -1.0)
+
+
+class TestServerIntegration:
+    def test_server_suspects_crashed_node_and_crash_clears_own_view(self):
+        from repro.core.store import ReplicatedStore
+
+        store = ReplicatedStore.create(9, seed=0)
+        store.write({"x": 1}, via="n00")
+        store.crash("n04")
+        store.write({"y": 2}, via="n00")  # observes the CALL_FAILED
+        server = store.servers["n00"]
+        assert "n04" in server.liveness.suspects()
+        # suspicion is volatile state: it does not survive a crash
+        store.crash("n00")
+        assert server.liveness.suspects() == frozenset()
+
+    def test_successful_poll_clears_stale_suspicion(self):
+        from repro.core.store import ReplicatedStore
+
+        store = ReplicatedStore.create(9, seed=1)
+        store.crash("n04")
+        store.write({"x": 1}, via="n00")
+        server = store.servers["n00"]
+        assert "n04" in server.liveness.suspects()
+        store.recover("n04")
+        # heavy path polls everyone: any answer from n04 clears it
+        for _ in range(3):
+            store.write({"x": 2}, via="n00")
+            if "n04" not in server.liveness.suspects():
+                break
+        else:
+            # not polled again (planner routes around it); decay clears
+            store.advance(server.config.suspect_ttl + 1)
+        assert "n04" not in server.liveness.suspects()

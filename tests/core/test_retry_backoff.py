@@ -1,0 +1,115 @@
+"""Tests for the coordinator retry/backoff path (``_with_retries``) and
+the liveness-aware re-pick on retry."""
+
+from repro.core.config import ProtocolConfig
+from repro.core.store import ReplicatedStore
+
+
+def rpc_call_dsts(store, start):
+    """Destinations of every rpc-call traced since *start*."""
+    return [rec.detail["dst"] for rec in store.trace.records[start:]
+            if rec.kind == "rpc-call"]
+
+
+class TestAttemptCounts:
+    def test_successful_write_is_one_attempt(self):
+        store = ReplicatedStore.create(9, seed=0)
+        result = store.write({"x": 1})
+        assert result.ok
+        assert result.attempts == 1
+        assert result.polls == 1  # fast path: one poll wave
+
+    def test_heavy_write_counts_two_polls_one_attempt(self):
+        store = ReplicatedStore.create(9, seed=0, config=ProtocolConfig(
+            quorum_planner=False))
+        store.crash("n00", "n04")
+        result = store.write({"x": 1}, via="n05")
+        assert result.ok
+        assert result.attempts == 1
+        assert result.polls in (1, 2)  # heavy rescue adds a poll wave
+
+    def test_no_quorum_exhausts_all_retries(self):
+        config = ProtocolConfig(op_retries=3)
+        store = ReplicatedStore.create(9, seed=1, config=config)
+        store.crash("n02", "n05", "n08")  # a full grid column: no quorum
+        result = store.write({"x": 1})
+        assert not result.ok and result.case == "no-quorum"
+        assert result.attempts == config.op_retries + 1
+        # every attempt burned its fast poll and its heavy rescue
+        assert result.polls == 2 * result.attempts
+
+    def test_zero_retries_is_a_single_attempt(self):
+        store = ReplicatedStore.create(9, seed=2,
+                                       config=ProtocolConfig(op_retries=0))
+        store.crash("n02", "n05", "n08")
+        result = store.write({"x": 1})
+        assert not result.ok and result.attempts == 1
+
+
+class TestBackoffGrowth:
+    def test_backoff_is_exponential_with_bounded_jitter(self):
+        config = ProtocolConfig(op_retries=3, retry_backoff=0.5)
+        store = ReplicatedStore.create(9, seed=3, config=config)
+        store.crash("n02", "n05", "n08")
+        t0 = store.env.now
+        result = store.write({"x": 1})
+        elapsed = store.env.now - t0
+        assert not result.ok
+        # jitter multiplies each pause by [0.5, 1.5); with three retries
+        # the pauses alone span backoff * (1+2+4) * jitter
+        min_backoff = config.retry_backoff * 7 * 0.5
+        # per-attempt work: fast + heavy poll, each bounded by
+        # lock_wait + rpc_timeout, plus release rounds and slack
+        per_attempt_ceiling = 3 * (config.lock_wait + config.rpc_timeout)
+        max_total = (config.retry_backoff * 7 * 1.5
+                     + 4 * per_attempt_ceiling)
+        assert min_backoff < elapsed < max_total
+
+    def test_longer_backoff_config_waits_longer(self):
+        def elapsed_with(backoff):
+            config = ProtocolConfig(op_retries=2, retry_backoff=backoff)
+            store = ReplicatedStore.create(9, seed=4, config=config)
+            store.crash("n02", "n05", "n08")
+            t0 = store.env.now
+            store.write({"x": 1})
+            return store.env.now - t0
+
+        assert elapsed_with(2.0) > elapsed_with(0.25) + 2.0
+
+
+class TestRetryRoutesAroundFailures:
+    def test_repicked_quorum_excludes_the_node_that_just_failed(self):
+        store = ReplicatedStore.create(25, seed=5, trace_enabled=True)
+        # first write via n10: discover the current fast-path quorum
+        assert store.write({"x": 1}, via="n10").ok
+        server = store.servers["n10"]
+        coterie = server.coterie_for(server.state.epoch_list)
+        victim = sorted(coterie.write_quorum(salt="n10", attempt=2))[0]
+        store.crash(victim)
+        # this op observes the CALL_FAILED (fast poll hits the victim,
+        # heavy rescues) and feeds the liveness view
+        assert store.write({"x": 2}, via="n10").ok
+        assert victim in server.liveness.suspects()
+        # the next op's first-attempt quorum routes around the victim:
+        # no rpc at all is sent to it, and the op stays on the fast path
+        mark = len(store.trace.records)
+        result = store.write({"x": 3}, via="n10")
+        assert result.ok
+        assert result.case == "fast" and result.polls == 1
+        assert victim not in rpc_call_dsts(store, mark)
+
+    def test_blind_picker_keeps_polling_the_dead_node(self):
+        store = ReplicatedStore.create(
+            25, seed=5, trace_enabled=True,
+            config=ProtocolConfig(quorum_planner=False))
+        assert store.write({"x": 1}, via="n10").ok
+        server = store.servers["n10"]
+        coterie = server.coterie_for(server.state.epoch_list)
+        victim = sorted(coterie.write_quorum(salt="n10", attempt=2))[0]
+        store.crash(victim)
+        store.write({"x": 2}, via="n10")
+        mark = len(store.trace.records)
+        # the blind heavy fallback polls everyone, dead nodes included
+        results = [store.write({"x": 3 + i}, via="n10") for i in range(3)]
+        assert all(r.ok for r in results)
+        assert victim in rpc_call_dsts(store, mark)

@@ -1,0 +1,181 @@
+"""Tests for the liveness-aware quorum planner and the compiled-coterie
+LRU cache (``repro.coteries.planner``)."""
+
+import pytest
+
+from repro.coteries import (
+    GridCoterie,
+    MajorityCoterie,
+    ReadOneWriteAllCoterie,
+    TreeCoterie,
+    WeightedVotingCoterie,
+)
+from repro.coteries.planner import (
+    CompiledCoterieCache,
+    minimal_quorum,
+    plan_quorum,
+)
+
+NODES9 = [f"n{i:02d}" for i in range(9)]
+NODES25 = [f"n{i:02d}" for i in range(25)]
+
+FAMILIES = [
+    ("grid", lambda nodes: GridCoterie(nodes)),
+    ("majority", lambda nodes: MajorityCoterie(nodes)),
+    ("tree", lambda nodes: TreeCoterie(nodes)),
+    ("rowa", lambda nodes: ReadOneWriteAllCoterie(nodes)),
+]
+
+
+class TestMinimalQuorum:
+    @pytest.mark.parametrize("name,make", FAMILIES)
+    @pytest.mark.parametrize("kind", ["read", "write"])
+    def test_result_is_a_minimal_quorum(self, name, make, kind):
+        coterie = make(NODES9)
+        quorum = minimal_quorum(coterie, NODES9, kind)
+        assert quorum is not None
+        is_quorum = (coterie.is_write_quorum if kind == "write"
+                     else coterie.is_read_quorum)
+        assert is_quorum(quorum)
+        # minimal: removing any single member breaks the quorum
+        for member in quorum:
+            assert not is_quorum(quorum - {member})
+
+    def test_respects_available_subset(self):
+        coterie = MajorityCoterie(NODES9)
+        available = NODES9[:7]
+        quorum = minimal_quorum(coterie, available, "write")
+        assert quorum is not None and quorum <= set(available)
+
+    def test_none_when_no_quorum_available(self):
+        coterie = MajorityCoterie(NODES9)
+        assert minimal_quorum(coterie, NODES9[:4], "write") is None
+
+    def test_none_when_grid_column_dead(self):
+        coterie = GridCoterie(NODES9)
+        # remove an entire column: no read quorum can exist
+        dead_column = set(coterie.columns[0])
+        available = [n for n in NODES9 if n not in dead_column]
+        assert minimal_quorum(coterie, available, "read") is None
+
+    def test_salt_rotates_the_choice(self):
+        coterie = MajorityCoterie(NODES25)
+        picks = {minimal_quorum(coterie, NODES25, "write", salt=s)
+                 for s in ("a", "b", "c", "d")}
+        assert len(picks) > 1  # different salts shrink toward different quorums
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            minimal_quorum(MajorityCoterie(NODES9), NODES9, "scan")
+
+
+class TestPlanQuorum:
+    @pytest.mark.parametrize("name,make", FAMILIES)
+    @pytest.mark.parametrize("kind", ["read", "write"])
+    def test_empty_avoid_is_exactly_the_blind_draw(self, name, make, kind):
+        coterie = make(NODES9)
+        for salt in ("n00", "n05"):
+            for attempt in (0, 1, 7):
+                draw = (coterie.write_quorum(salt=salt, attempt=attempt)
+                        if kind == "write"
+                        else coterie.read_quorum(salt=salt, attempt=attempt))
+                plan = plan_quorum(coterie, kind, avoid=(), salt=salt,
+                                   attempt=attempt)
+                assert plan == draw
+
+    @pytest.mark.parametrize("name,make", [f for f in FAMILIES])
+    def test_plan_avoids_suspects_when_possible(self, name, make):
+        coterie = make(NODES25)
+        # spread suspects, but keep the grid's last column fully live so
+        # a suspect-free write quorum exists for every family
+        avoid = {"n00", "n05", "n10", "n15", "n01"}
+        for kind in ("read", "write"):
+            plan = plan_quorum(coterie, kind, avoid=avoid, salt="x")
+            is_quorum = (coterie.is_write_quorum if kind == "write"
+                         else coterie.is_read_quorum)
+            assert is_quorum(plan)
+            if name != "rowa" or kind != "write":  # ROWA writes need everyone
+                assert avoid.isdisjoint(plan)
+
+    def test_plan_is_always_a_quorum_even_on_fallback(self):
+        coterie = MajorityCoterie(NODES9)
+        # 6 of 9 suspected: the rest cannot form a write quorum, so the
+        # planner must fall back to the blind draw rather than fail
+        avoid = set(NODES9[:6])
+        plan = plan_quorum(coterie, "write", avoid=avoid, salt="x")
+        assert coterie.is_write_quorum(plan)
+        assert avoid & set(plan)  # the fallback necessarily overlaps
+
+    def test_grid_write_plan_contains_full_live_column(self):
+        coterie = GridCoterie(NODES25)
+        avoid = {coterie.columns[0][0], coterie.columns[1][0]}
+        plan = plan_quorum(coterie, "write", avoid=avoid, salt="x")
+        assert coterie.is_write_quorum(plan)
+        assert avoid.isdisjoint(plan)
+        assert any(set(column) <= set(plan) for column in coterie.columns)
+
+    def test_constructive_plan_is_canonical(self):
+        # With the same suspicion set, every coordinator gets the same
+        # plan regardless of salt or attempt: a stable quorum keeps the
+        # unpolled live nodes from churning in and out of the write set
+        # (each rotation marks the previous spectators stale and costs
+        # catch-up propagation).
+        coterie = MajorityCoterie(NODES25)
+        avoid = {"n00", "n05", "n10"}
+        plans = {tuple(plan_quorum(coterie, "write", avoid=avoid,
+                                   salt=salt, attempt=attempt))
+                 for salt in ("a", "b", "c")
+                 for attempt in (0, 3, 11)}
+        assert len(plans) == 1
+
+    def test_weighted_voting_skips_zero_weight_nodes(self):
+        weights = {name: (0 if name == "n01" else 1) for name in NODES9}
+        coterie = WeightedVotingCoterie(NODES9, weights=weights)
+        plan = plan_quorum(coterie, "write", avoid={"n02"}, salt="x")
+        assert coterie.is_write_quorum(plan)
+        assert "n01" not in plan and "n02" not in plan
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            plan_quorum(MajorityCoterie(NODES9), "scan")
+
+
+class TestCompiledCoterieCache:
+    def test_same_epoch_list_returns_same_instances(self):
+        cache = CompiledCoterieCache(GridCoterie)
+        coterie = cache.coterie(NODES9)
+        evaluator = cache.evaluator(NODES9)
+        assert cache.coterie(list(NODES9)) is coterie
+        assert cache.evaluator(list(NODES9)) is evaluator
+
+    def test_evaluator_compiled_lazily(self):
+        cache = CompiledCoterieCache(GridCoterie)
+        cache.coterie(NODES9)
+        key = tuple(NODES9)
+        assert cache._entries[key][1] is None
+        cache.evaluator(NODES9)
+        assert cache._entries[key][1] is not None
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = CompiledCoterieCache(MajorityCoterie, capacity=2)
+        a, b, c = NODES9[:3], NODES9[3:6], NODES9[6:9]
+        cache.coterie(a)
+        cache.coterie(b)
+        cache.coterie(a)      # touch a: b is now least recently used
+        cache.coterie(c)      # evicts b, not a
+        assert a in cache and c in cache and b not in cache
+        assert len(cache) == 2
+
+    def test_eviction_is_one_at_a_time(self):
+        cache = CompiledCoterieCache(MajorityCoterie, capacity=3)
+        lists = [NODES9[i:i + 3] for i in range(6)]
+        kept = [cache.coterie(epoch) for epoch in lists]
+        assert len(cache) == 3
+        # the three most recent survive, with identity preserved
+        for epoch, coterie in zip(lists[-3:], kept[-3:]):
+            assert epoch in cache
+            assert cache.coterie(epoch) is coterie
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            CompiledCoterieCache(GridCoterie, capacity=0)

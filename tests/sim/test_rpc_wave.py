@@ -1,0 +1,143 @@
+"""Tests for the batched RPC wave fan-out (``RpcLayer.call_wave``) and
+the liveness-observer hook."""
+
+import random
+
+from repro.sim.engine import Environment
+from repro.sim.network import LatencyModel, Network
+from repro.sim.node import Node
+from repro.sim.rpc import CALL_FAILED, RpcLayer
+from repro.sim.trace import TraceLog
+
+
+def make_cluster(n=4, timeout=0.5, seed=0):
+    env = Environment()
+    trace = TraceLog()
+    net = Network(env, LatencyModel(0.01, 0.01, rng=random.Random(seed)),
+                  trace=trace)
+    nodes = [Node(env, net, f"n{i}") for i in range(n)]
+    rpcs = [RpcLayer(node, default_timeout=timeout) for node in nodes]
+    return env, nodes, rpcs, trace
+
+
+class TestCallWave:
+    def test_gathers_all_responses(self):
+        env, nodes, rpcs, trace = make_cluster()
+        for rpc in rpcs[1:]:
+            rpc.serve("echo", lambda src, args, name=rpc.node.name:
+                      (name, args))
+        results = []
+
+        def client(env):
+            response = yield rpcs[0].call_wave(
+                {f"n{i}": ("echo", i) for i in (1, 2, 3)})
+            results.append(response)
+
+        nodes[0].spawn(client(env))
+        env.run(until=1.0)
+        assert results == [{"n1": ("n1", 1), "n2": ("n2", 2),
+                            "n3": ("n3", 3)}]
+
+    def test_empty_wave_completes_immediately(self):
+        env, nodes, rpcs, _trace = make_cluster()
+        results = []
+
+        def client(env):
+            response = yield rpcs[0].call_wave({})
+            results.append((env.now, response))
+
+        nodes[0].spawn(client(env))
+        env.run(until=1.0)
+        assert results == [(0.0, {})]
+
+    def test_dead_destination_fails_only_its_slot(self):
+        env, nodes, rpcs, trace = make_cluster()
+        for rpc in rpcs[1:]:
+            rpc.serve("echo", lambda src, args: args)
+        nodes[2].crash()
+        results = []
+
+        def client(env):
+            response = yield rpcs[0].call_wave(
+                {f"n{i}": ("echo", i) for i in (1, 2, 3)}, timeout=0.5)
+            results.append((env.now, response))
+
+        nodes[0].spawn(client(env))
+        env.run(until=2.0)
+        (when, response), = results
+        assert response == {"n1": 1, "n2": CALL_FAILED, "n3": 3}
+        # the wave completes at the shared deadline, not later
+        assert abs(when - 0.5) < 1e-9
+
+    def test_per_destination_calls_are_traced(self):
+        env, nodes, rpcs, trace = make_cluster()
+        for rpc in rpcs[1:]:
+            rpc.serve("echo", lambda src, args: args)
+
+        def client(env):
+            yield rpcs[0].call_wave({f"n{i}": ("echo", i) for i in (1, 2, 3)})
+
+        nodes[0].spawn(client(env))
+        env.run(until=1.0)
+        dsts = [rec.detail["dst"] for rec in trace.records
+                if rec.kind == "rpc-call"]
+        assert sorted(dsts) == ["n1", "n2", "n3"]
+
+    def test_multicast_delegates_to_wave(self):
+        env, nodes, rpcs, _trace = make_cluster()
+        for rpc in rpcs[1:]:
+            rpc.serve("ping", lambda src, args: "pong")
+        results = []
+
+        def client(env):
+            response = yield rpcs[0].multicast(("n1", "n2"), "ping")
+            results.append(response)
+
+        nodes[0].spawn(client(env))
+        env.run(until=1.0)
+        assert results == [{"n1": "pong", "n2": "pong"}]
+
+
+class TestLivenessObserver:
+    def test_observer_sees_success_and_timeout(self):
+        env, nodes, rpcs, _trace = make_cluster()
+        rpcs[1].serve("echo", lambda src, args: args)
+        nodes[2].crash()
+        seen = []
+        rpcs[0].liveness_observer = lambda dst, ok: seen.append((dst, ok))
+
+        def client(env):
+            yield rpcs[0].call_wave(
+                {"n1": ("echo", 1), "n2": ("echo", 2)}, timeout=0.5)
+
+        nodes[0].spawn(client(env))
+        env.run(until=2.0)
+        assert sorted(seen) == [("n1", True), ("n2", False)]
+
+    def test_single_call_feeds_observer_too(self):
+        env, nodes, rpcs, _trace = make_cluster()
+        nodes[1].crash()
+        seen = []
+        rpcs[0].liveness_observer = lambda dst, ok: seen.append((dst, ok))
+
+        def client(env):
+            yield rpcs[0].call("n1", "echo", timeout=0.5)
+
+        nodes[0].spawn(client(env))
+        env.run(until=2.0)
+        assert seen == [("n1", False)]
+
+    def test_caller_crash_never_feeds_observer(self):
+        env, nodes, rpcs, _trace = make_cluster()
+        seen = []
+        rpcs[0].liveness_observer = lambda dst, ok: seen.append((dst, ok))
+
+        def client(env):
+            yield rpcs[0].call_wave(
+                {"n1": ("echo", 1), "n2": ("echo", 2)}, timeout=5.0)
+
+        nodes[0].spawn(client(env))
+        env.run(until=0.005)  # wave is in flight
+        nodes[0].crash()      # the *caller* fails, not the destinations
+        env.run(until=6.0)
+        assert seen == []

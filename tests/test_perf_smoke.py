@@ -1,4 +1,4 @@
-"""Opt-in wrapper around the quorum-engine perf smoke gate.
+"""Opt-in wrapper around the performance smoke gates.
 
 Timing assertions are flaky on loaded CI machines, so this test only
 runs when explicitly requested::
@@ -6,8 +6,11 @@ runs when explicitly requested::
     REPRO_PERF_SMOKE=1 PYTHONPATH=src python -m pytest tests/test_perf_smoke.py
 
 It delegates to ``scripts/check_perf.py``, which replays a small grid
-event budget through both engines and fails if the compiled bitmask
-engine is ever slower than the set-based reference predicates.
+event budget through both quorum engines (compiled bitmask vs set
+predicates) and one failed-cluster protocol cell (liveness-aware
+planner vs blind quorum picking), and fails on either regression:
+the bitmask engine slower than the sets, or the planner not beating
+the blind picker on poll rounds and wall-clock ops/sec under failures.
 """
 
 import os
@@ -23,9 +26,11 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 @pytest.mark.skipif(os.environ.get("REPRO_PERF_SMOKE") != "1",
                     reason="perf smoke gate is opt-in: set "
                            "REPRO_PERF_SMOKE=1")
-def test_bitmask_engine_never_slower():
+def test_perf_smoke_gates():
     proc = subprocess.run(
         [sys.executable, str(REPO_ROOT / "scripts" / "check_perf.py")],
         capture_output=True, text=True)
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "PASS" in proc.stdout
+    assert "quorum engine smoke" in proc.stdout
+    assert "protocol ops smoke" in proc.stdout

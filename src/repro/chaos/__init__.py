@@ -1,0 +1,49 @@
+"""Chaos harness: fault injection, nemesis, runner, and shrinker.
+
+The package turns the simulator into a Jepsen-style test rig for the
+protocols in this repo:
+
+* :mod:`repro.chaos.faults` -- message-level fault injection (drop,
+  duplicate, delay, reorder) pluggable into the simulated network;
+* :mod:`repro.chaos.nemesis` -- trace-triggered crashes at adversarial
+  protocol instants (mid-prepare, post-decision, mid-epoch-install);
+* :mod:`repro.chaos.runner` -- seeded workloads under randomized fault
+  schedules, validated by the full history checker;
+* :mod:`repro.chaos.shrink` -- delta debugging of failing schedules into
+  minimal, replayable JSON artifacts.
+"""
+
+from repro.chaos.faults import FaultPolicy, LinkFaults
+from repro.chaos.nemesis import Nemesis
+from repro.chaos.runner import (
+    ChaosReport,
+    ChaosSpec,
+    generate_spec,
+    make_canary_spec,
+    run_seeds,
+    run_spec,
+)
+from repro.chaos.shrink import (
+    ShrinkResult,
+    load_artifact,
+    replay_artifact,
+    save_artifact,
+    shrink,
+)
+
+__all__ = [
+    "ChaosReport",
+    "ChaosSpec",
+    "FaultPolicy",
+    "LinkFaults",
+    "Nemesis",
+    "ShrinkResult",
+    "generate_spec",
+    "load_artifact",
+    "make_canary_spec",
+    "replay_artifact",
+    "run_seeds",
+    "run_spec",
+    "save_artifact",
+    "shrink",
+]

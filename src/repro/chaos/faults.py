@@ -1,0 +1,139 @@
+"""Message-level fault injection: per-link drop/duplicate/delay/reorder.
+
+The simulated network (:mod:`repro.sim.network`) models exactly one loss
+mode by itself -- a message to a dead or unreachable destination silently
+vanishes, surfacing to the sender as ``RPC.CallFailed``.  Real datagram
+networks misbehave in richer ways, and each one probes a different
+protocol assumption:
+
+* **drop** -- loses *individual* messages on a healthy link, so one
+  prepare (or one commit!) of a 2PC wave can vanish while its siblings
+  arrive;
+* **duplicate** -- delivers a message twice, probing handler idempotence
+  (the RPC layer's at-most-once cache and the replica's ``txn_id`` dedup);
+* **delay** -- adds latency beyond the RPC deadline, so a request can be
+  *acted on* by a server the caller already considers failed;
+* **reorder** -- holds one copy back far enough that later traffic on the
+  same link overtakes it.
+
+A :class:`FaultPolicy` gives the per-message probabilities; a
+:class:`LinkFaults` instance maps links to policies and plugs into
+``Network(faults=...)`` (or ``network.faults = ...`` after construction).
+All randomness comes from one seeded RNG, so a chaos run is reproducible
+from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from repro.sim.network import Message
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Per-message fault probabilities for one link (or the default).
+
+    ``delay_span`` and ``reorder_span`` are upper bounds (in simulated
+    time) for the extra latency drawn uniformly when the corresponding
+    fault fires.  ``reorder`` differs from ``delay`` only in intent and
+    typical magnitude: a reorder span well above the base latency jitter
+    guarantees later messages overtake the held-back copy.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    delay_span: float = 0.2
+    reorder: float = 0.0
+    reorder_span: float = 0.1
+
+    def validate(self) -> "FaultPolicy":
+        """Check probabilities and spans; returns self for chaining."""
+        for name in ("drop", "duplicate", "delay", "reorder"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability: {value}")
+        if self.delay_span < 0 or self.reorder_span < 0:
+            raise ValueError("fault delay spans must be >= 0")
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (used by replay artifacts)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPolicy":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data).validate()
+
+
+#: Messages whose loss the *simulation harness* cannot tolerate: there are
+#: none today, but protocol families can register kinds here if they add
+#: out-of-band control traffic that must stay reliable.
+EXEMPT_KINDS: frozenset = frozenset()
+
+
+class LinkFaults:
+    """Seeded per-link message mangling, pluggable into ``Network.faults``.
+
+    The network calls :meth:`deliveries` once per sent message with the
+    base latency draw; the return value is the list of delays at which
+    copies should be delivered (empty = dropped at the wire).
+    """
+
+    def __init__(self, policy: Optional[FaultPolicy] = None,
+                 rng: Optional[random.Random] = None):
+        self.default_policy = (policy or FaultPolicy()).validate()
+        self.per_link: dict[tuple[str, str], FaultPolicy] = {}
+        self.rng = rng or random.Random(0)
+        self.counts: Counter = Counter()
+        self.enabled = True
+
+    def set_policy(self, policy: Optional[FaultPolicy],
+                   src: Optional[str] = None,
+                   dst: Optional[str] = None) -> None:
+        """Install *policy* globally, or for the one ``src -> dst`` link.
+
+        ``None`` as the policy restores faultless behaviour for the
+        addressed scope.
+        """
+        if src is None and dst is None:
+            self.default_policy = (policy or FaultPolicy()).validate()
+            return
+        if src is None or dst is None:
+            raise ValueError("per-link policies need both src and dst")
+        if policy is None:
+            self.per_link.pop((src, dst), None)
+        else:
+            self.per_link[(src, dst)] = policy.validate()
+
+    def policy_for(self, src: str, dst: str) -> FaultPolicy:
+        """The policy governing the ``src -> dst`` link."""
+        return self.per_link.get((src, dst), self.default_policy)
+
+    def deliveries(self, msg: Message, base_delay: float) -> list[float]:
+        """The delays at which copies of *msg* should arrive."""
+        if not self.enabled or msg.kind in EXEMPT_KINDS:
+            return [base_delay]
+        policy = self.policy_for(msg.src, msg.dst)
+        rng = self.rng
+        if policy.drop and rng.random() < policy.drop:
+            self.counts["drop"] += 1
+            return []
+        delay = base_delay
+        if policy.delay and rng.random() < policy.delay:
+            self.counts["delay"] += 1
+            delay += rng.uniform(0.0, policy.delay_span)
+        if policy.reorder and rng.random() < policy.reorder:
+            self.counts["reorder"] += 1
+            delay += rng.uniform(0.0, policy.reorder_span)
+        delays = [delay]
+        if policy.duplicate and rng.random() < policy.duplicate:
+            self.counts["duplicate"] += 1
+            delays.append(delay + rng.uniform(0.0, policy.reorder_span
+                                              or policy.delay_span or 0.05))
+        return delays

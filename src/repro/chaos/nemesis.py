@@ -1,0 +1,183 @@
+"""The nemesis: crash nodes at adversarial protocol instants.
+
+Random crash times (``FailureInjector``) almost never land in the narrow
+windows where crash-recovery bugs hide -- e.g. the handful of simulated
+microseconds between a 2PC coordinator's durable decision record and its
+commit wave.  The nemesis closes that gap by *watching the protocol run*:
+it subscribes to the cluster's :class:`~repro.sim.trace.TraceLog` (an
+observer sees every record synchronously, even with storage disabled) and
+crashes the node that just emitted a chosen trace kind, at that exact
+instant.
+
+Supported instants (any trace kind works; these are the interesting ones):
+
+``txn-decided``
+    The coordinator has written its COMMIT decision to stable storage but
+    has not yet sent a single commit message.  Crashing here leaves every
+    participant prepared and in doubt -- the classic 2PC blocking window.
+``txn-prepared``
+    A participant has just force-written a prepare and voted yes.
+    Crashing it tests prepared-state recovery (lock re-acquisition and
+    in-doubt resolution on restart).
+``txn-begin`` with ``op_contains=":epoch"``
+    The install transaction of an epoch change is starting; crashing the
+    initiator mid-installation tests Lemma 1 under torn epoch installs.
+
+Besides crashing, a trigger can sever the *coordinator -> participant*
+link instead (``fault="cut"``): armed on ``txn-prepared``, it drops the
+commit wave to exactly one participant while its yes-vote still gets
+through -- the asymmetric loss that forces the participant through
+in-doubt termination.  This is the instant that distinguishes a correct
+presumed-abort implementation from one that skips the durable decision
+record (the coordinator then answers "aborted" for a transaction whose
+other participants committed).
+
+Triggers are one-shot and armed explicitly, so a chaos *schedule* can
+carry them as data (``{"action": "crash_on", "kind": "txn-decided"}``)
+and the shrinker can delete them one by one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.node import Node
+from repro.sim.trace import TraceLog, TraceRecord
+
+
+@dataclass
+class _Trigger:
+    """One armed trigger; fires at most ``count`` times."""
+
+    kind: str
+    node: Optional[str] = None          # only fire on records from this node
+    op_contains: Optional[str] = None   # substring filter on detail["op_id"]
+    target: Optional[str] = None        # victim; default: the record's node
+    recover_after: Optional[float] = None
+    count: int = 1
+    fault: str = "crash"                # "crash" | "cut"
+
+    def matches(self, rec: TraceRecord) -> bool:
+        if self.count <= 0 or rec.kind != self.kind:
+            return False
+        if self.node is not None and rec.node != self.node:
+            return False
+        if self.op_contains is not None:
+            if self.op_contains not in str(rec.detail.get("op_id", "")):
+                return False
+        return True
+
+
+class Nemesis:
+    """Trace-triggered crash/restart injection for one cluster.
+
+    The nemesis never changes protocol state itself: it only calls
+    ``Node.crash()`` (and later ``Node.recover()``), exactly like the
+    scripted :class:`~repro.sim.failures.FailureSchedule` -- but *when*
+    it does so is chosen by the protocol's own trace records.
+    """
+
+    def __init__(self, env, trace: TraceLog, nodes: dict[str, Node],
+                 network=None):
+        self.env = env
+        self.trace = trace
+        self.nodes = dict(nodes)
+        self.network = network          # needed only for fault="cut"
+        self.triggers: list[_Trigger] = []
+        #: (time, kind, victim) of every fault actually fired -- goes into
+        #: replay artifacts so a minimized schedule stays explainable.
+        self.fired: list[tuple[float, str, str]] = []
+        self._in_observer = False
+        self._attached = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def attach(self) -> "Nemesis":
+        """Start observing the trace log."""
+        if not self._attached:
+            self.trace.subscribe(self._observe)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        """Stop observing; armed triggers stay armed but cannot fire."""
+        if self._attached:
+            self.trace.unsubscribe(self._observe)
+            self._attached = False
+
+    # -- arming ------------------------------------------------------------
+    def crash_on(self, kind: str, node: Optional[str] = None,
+                 op_contains: Optional[str] = None,
+                 target: Optional[str] = None,
+                 recover_after: Optional[float] = None,
+                 count: int = 1, fault: str = "crash") -> _Trigger:
+        """Arm a one-shot trigger: on the next trace record of *kind*
+        (from *node*, if given; whose op_id contains *op_contains*, if
+        given), crash *target* (default: the node that emitted the
+        record), recovering it ``recover_after`` later if set.
+
+        With ``fault="cut"`` the trigger severs the one-way link from the
+        record's coordinator (``detail["coordinator"]``, falling back to
+        the record's node) to the victim instead of crashing anyone, and
+        ``recover_after`` restores the link.  Armed on ``txn-prepared``
+        this drops the commit wave to that one participant while its
+        yes-vote still gets through."""
+        if fault not in ("crash", "cut"):
+            raise ValueError(f"unknown nemesis fault {fault!r}")
+        if fault == "cut" and self.network is None:
+            raise ValueError("fault='cut' needs a network")
+        trigger = _Trigger(kind=kind, node=node, op_contains=op_contains,
+                           target=target, recover_after=recover_after,
+                           count=count, fault=fault)
+        self.triggers.append(trigger)
+        return trigger
+
+    def disarm_all(self) -> None:
+        """Drop every armed trigger (end-of-run quiescence)."""
+        self.triggers.clear()
+
+    @property
+    def armed(self) -> int:
+        """Number of triggers still able to fire."""
+        return sum(1 for t in self.triggers if t.count > 0)
+
+    # -- firing ------------------------------------------------------------
+    def _observe(self, rec: TraceRecord) -> None:
+        # crash() itself records node-crash, which re-enters this observer;
+        # one level of injection per protocol record is enough.
+        if self._in_observer:
+            return
+        for trigger in self.triggers:
+            if not trigger.matches(rec):
+                continue
+            victim = trigger.target or rec.node
+            if victim is None:
+                continue
+            if trigger.fault == "cut":
+                src = str(rec.detail.get("coordinator") or "")
+                if not src or src == victim:
+                    continue
+                trigger.count -= 1
+                self.fired.append((rec.time, rec.kind,
+                                   f"cut:{src}->{victim}"))
+                self.network.cut_link(src, victim)
+                if trigger.recover_after is not None:
+                    self.env._schedule_call(
+                        lambda s=src, v=victim: self.network.restore_link(
+                            s, v),
+                        delay=trigger.recover_after)
+                return  # at most one trigger per record
+            node = self.nodes.get(victim)
+            if node is None or not node.up:
+                continue
+            trigger.count -= 1
+            self._in_observer = True
+            try:
+                self.fired.append((rec.time, rec.kind, victim))
+                node.crash()
+            finally:
+                self._in_observer = False
+            if trigger.recover_after is not None:
+                self.env._schedule_call(node.recover,
+                                        delay=trigger.recover_after)
+            return  # at most one trigger per record

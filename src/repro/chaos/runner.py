@@ -1,0 +1,418 @@
+"""The chaos runner: seeded workloads under randomized fault schedules.
+
+A chaos run is described entirely by a :class:`ChaosSpec` -- protocol,
+cluster size, message-fault policy, a pre-generated client workload, and
+a schedule of fault events (crashes, partitions, link cuts, nemesis
+triggers) as plain JSON-able dicts.  Everything downstream follows from
+that choice:
+
+* **determinism** -- ``run_spec(spec)`` is a pure function of the spec
+  (all randomness is seeded from it), so any failure replays exactly;
+* **shrinkability** -- the delta debugger (:mod:`repro.chaos.shrink`)
+  minimizes a spec by deleting schedule events and truncating the
+  workload, re-running after each cut;
+* **replayability** -- a spec dumps to JSON and back
+  (:meth:`ChaosSpec.to_dict` / :meth:`ChaosSpec.from_dict`), which is
+  the artifact format ``repro chaos --replay`` consumes.
+
+After the workload drains, the runner lifts every fault (message chaos
+off, links restored, partitions healed, nodes recovered), lets the
+cluster converge, and validates the full run: the one-copy
+serializability checker over the recorded history, plus -- for the
+dynamic protocol -- Lemma 1 epoch uniqueness, durable epoch lineage, and
+the stale-marking/desired-version replica invariants.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.chaos.faults import FaultPolicy, LinkFaults
+from repro.chaos.nemesis import Nemesis
+from repro.core.config import ProtocolConfig
+from repro.core.history import (
+    ConsistencyError,
+    adopt_durable_outcomes,
+    check_replica_invariants,
+)
+from repro.core.store import ReplicatedStore, StoreError
+from repro.sim.engine import SimulationError
+
+#: Protocols the harness can target; values are built lazily to avoid
+#: importing every baseline for a dynamic-only run.
+PROTOCOLS = ("dynamic", "static", "voting")
+
+#: Simulated time the final phase waits for in-flight operations,
+#: termination protocols, and propagation to drain after all faults lift.
+SETTLE_TIME = 40.0
+
+
+def _store_class(protocol: str):
+    if protocol == "dynamic":
+        return ReplicatedStore
+    if protocol == "static":
+        from repro.baselines.static_protocol import StaticQuorumStore
+        return StaticQuorumStore
+    if protocol == "voting":
+        from repro.baselines.dynamic_voting import DynamicVotingStore
+        return DynamicVotingStore
+    raise ValueError(f"unknown protocol {protocol!r}; "
+                     f"expected one of {PROTOCOLS}")
+
+
+@dataclass
+class ChaosSpec:
+    """A complete, JSON-serializable description of one chaos run."""
+
+    protocol: str = "dynamic"
+    n_nodes: int = 9
+    seed: int = 0
+    bug: str = ""                      # ProtocolConfig.chaos_bug canary
+    policy: Optional[dict] = None      # FaultPolicy for the whole run
+    workload: list = field(default_factory=list)   # client op dicts
+    schedule: list = field(default_factory=list)   # fault event dicts
+
+    def to_dict(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "n_nodes": self.n_nodes,
+            "seed": self.seed,
+            "bug": self.bug,
+            "policy": self.policy,
+            "workload": list(self.workload),
+            "schedule": list(self.schedule),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosSpec":
+        spec = cls(**{k: data[k] for k in
+                      ("protocol", "n_nodes", "seed", "bug", "policy",
+                       "workload", "schedule") if k in data})
+        if spec.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {spec.protocol!r}")
+        return spec
+
+
+@dataclass
+class ChaosReport:
+    """The outcome of one chaos run."""
+
+    spec: ChaosSpec
+    ok: bool
+    violation: Optional[str] = None
+    stats: dict = field(default_factory=dict)      # checker statistics
+    fault_counts: dict = field(default_factory=dict)
+    nemesis_fired: list = field(default_factory=list)
+    end_time: float = 0.0
+    store: Any = None                  # the cluster, for inspection
+
+    def summary(self) -> str:
+        """One line for logs."""
+        head = (f"{self.spec.protocol} seed={self.spec.seed} "
+                f"n={self.spec.n_nodes} ops={len(self.spec.workload)}")
+        if self.ok:
+            detail = ", ".join(f"{k}={v}" for k, v in
+                               sorted(self.stats.items()))
+            return f"OK   {head} ({detail})"
+        return f"FAIL {head}: {self.violation}"
+
+
+# -- spec generation ----------------------------------------------------------
+
+def generate_spec(seed: int, protocol: str = "dynamic", n_nodes: int = 9,
+                  ops: int = 60, message_faults: bool = True,
+                  nemesis: bool = True, bug: str = "") -> ChaosSpec:
+    """Deterministically derive a chaos spec from a seed.
+
+    The same ``(seed, protocol, n_nodes, ops, ...)`` always yields the
+    same spec, so a CI failure is reproducible from its command line.
+    """
+    _store_class(protocol)  # validate the name early
+    rng = random.Random(f"chaos|{protocol}|{n_nodes}|{ops}|{seed}")
+    spec = ChaosSpec(protocol=protocol, n_nodes=n_nodes, seed=seed, bug=bug)
+
+    # client workload: partial writes for the dynamic protocol, total
+    # writes for the baselines (their checker replays by full overwrite)
+    keys = [f"k{i}" for i in range(4)]
+    counter = 0
+    for _ in range(ops):
+        roll = rng.random()
+        dt = round(rng.uniform(0.05, 1.5), 4)
+        via = rng.randrange(n_nodes)
+        if protocol == "dynamic" and roll < 0.15:
+            spec.workload.append({"kind": "epoch-check", "via": via,
+                                  "dt": dt})
+        elif roll < 0.55:
+            counter += 1
+            if protocol == "dynamic":
+                updates = {rng.choice(keys): counter}
+            else:
+                updates = {k: counter * 10 + i
+                           for i, k in enumerate(keys)}
+            spec.workload.append({"kind": "write", "updates": updates,
+                                  "via": via, "dt": dt})
+        else:
+            spec.workload.append({"kind": "read", "via": via, "dt": dt})
+
+    horizon = sum(op["dt"] for op in spec.workload)
+
+    if message_faults:
+        spec.policy = FaultPolicy(
+            drop=round(rng.uniform(0.005, 0.03), 4),
+            duplicate=round(rng.uniform(0.02, 0.08), 4),
+            delay=round(rng.uniform(0.02, 0.08), 4),
+            delay_span=0.3,
+            reorder=round(rng.uniform(0.02, 0.08), 4),
+            reorder_span=0.15,
+        ).to_dict()
+
+    def at(lo: float = 0.1, hi: float = 0.85) -> float:
+        return round(rng.uniform(lo * horizon, hi * horizon), 4)
+
+    names = [f"n{i:02d}" for i in range(n_nodes)]
+
+    # timed crash/recover pairs (never more than two scheduled victims at
+    # once, and every crash has a recovery, so liveness survives the run)
+    for victim in rng.sample(names, min(2, n_nodes - 1)):
+        t = at()
+        spec.schedule.append({"t": t, "action": "crash", "node": victim})
+        spec.schedule.append({"t": round(t + rng.uniform(2.0, 8.0), 4),
+                              "action": "recover", "node": victim})
+
+    # one partition episode (always healed)
+    if n_nodes >= 4 and rng.random() < 0.7:
+        t = at()
+        minority = rng.sample(names, rng.randrange(1, max(2, n_nodes // 3)))
+        spec.schedule.append({"t": t, "action": "partition",
+                              "groups": [minority]})
+        spec.schedule.append({"t": round(t + rng.uniform(3.0, 8.0), 4),
+                              "action": "heal"})
+
+    # one asymmetric link cut (always restored)
+    if rng.random() < 0.7:
+        src, dst = rng.sample(names, 2)
+        t = at()
+        spec.schedule.append({"t": t, "action": "cut",
+                              "src": src, "dst": dst})
+        spec.schedule.append({"t": round(t + rng.uniform(2.0, 6.0), 4),
+                              "action": "restore", "src": src, "dst": dst})
+
+    # nemesis triggers: crash at adversarial protocol instants
+    if nemesis:
+        instants = [{"kind": "txn-decided"}, {"kind": "txn-prepared"}]
+        if protocol == "dynamic":
+            instants.append({"kind": "txn-begin", "op_contains": ":epoch"})
+        for instant in rng.sample(instants, rng.randrange(1, 3)):
+            event = {"t": at(), "action": "crash_on",
+                     "recover_after": round(rng.uniform(2.0, 6.0), 4)}
+            event.update(instant)
+            spec.schedule.append(event)
+
+    spec.schedule.sort(key=lambda e: e["t"])
+    return spec
+
+
+def make_canary_spec(bug: str = "skip-decision-record") -> ChaosSpec:
+    """A hand-crafted spec that exposes a skipped 2PC decision record.
+
+    The failure needs a precise conspiracy that random schedules almost
+    never assemble (measured: ~1 in 25 seeds), so it is scripted:
+
+    1. a write whose commit message to exactly one participant is lost
+       (nemesis ``fault="cut"`` on that participant's ``txn-prepared``:
+       the yes-vote gets out, the commit wave hits the severed link);
+    2. the cut is restored before the participant's in-doubt termination
+       runs, so it asks the *coordinator* -- which, without a durable
+       decision record, presumes abort and answers "aborted" for a
+       transaction every other participant committed;
+    3. the other quorum members then crash, leaving the wrongly-aborted
+       participant as the only reachable intersection with the write's
+       quorum -- a later read sees only old versions and returns stale
+       data, which the 1SR checker flags.
+
+    Under the correct protocol the same schedule is harmless: step 2
+    answers "committed" from the durable record, the participant applies
+    the write, and the read in step 3 finds the new version through it --
+    the paper's quorum-intersection argument working as designed.
+
+    The participant and crash victims are derived from the same salted
+    quorum draw the coordinator will make (first write via the
+    alphabetically-first node, nothing suspected), so the spec stays
+    correct if the cluster layout changes.
+    """
+    from repro.coteries.grid import GridCoterie
+
+    n_nodes = 9
+    names = [f"n{i:02d}" for i in range(n_nodes)]
+    coordinator = names[0]
+    coterie = GridCoterie(tuple(names))
+    # the coordinator's first write polls exactly this quorum (seq 1)
+    quorum = coterie.write_quorum(salt=coordinator, attempt=1)
+    full_column = next(col for col in coterie.columns
+                       if all(member in quorum for member in col))
+    victim = next(m for m in full_column if m != coordinator)
+
+    spec = ChaosSpec(protocol="dynamic", n_nodes=n_nodes, seed=0, bug=bug)
+    # the read's dt keeps the final all-heal phase away until the read's
+    # poll waves (each up to lock_wait + rpc_timeout) have drained against
+    # the crashed majority -- recovering the v1 holders earlier would let
+    # a retry see the new version and mask the stale read
+    spec.workload = [
+        {"kind": "write", "updates": {"k0": 1}, "via": 0, "dt": 5.0},
+        {"kind": "read", "via": 0, "dt": 8.0},
+    ]
+    spec.schedule = [{"t": 0.0, "action": "crash_on",
+                      "kind": "txn-prepared", "node": victim,
+                      "fault": "cut", "recover_after": 0.5}]
+    # t=4.0: after the wrong abort (~prepared_wait past the prepare),
+    # before the read at t=5.0
+    for member in sorted(m for m in quorum if m != victim):
+        spec.schedule.append({"t": 4.0, "action": "crash", "node": member})
+    return spec
+
+
+# -- execution ----------------------------------------------------------------
+
+def _arm_event(store, faults: LinkFaults, nemesis: Nemesis,
+               event: dict, active: list) -> None:
+    """Schedule one fault event on the simulation clock.
+
+    ``active`` is a one-element flag list: once the runner's final phase
+    clears it, armed-but-unfired events become no-ops.  (A shrunk
+    workload can end before a scheduled event's absolute time; without
+    the gate, the leftover crash would land inside the settle phase and
+    kill the convergence the checker relies on.)
+    """
+    action = event["action"]
+    if action == "crash":
+        do = store.nodes[event["node"]].crash
+    elif action == "recover":
+        do = store.nodes[event["node"]].recover
+    elif action == "partition":
+        groups = [list(g) for g in event["groups"]]
+        do = lambda: store.network.partitions.partition(*groups)
+    elif action == "heal":
+        do = store.network.partitions.heal
+    elif action == "cut":
+        do = lambda: store.network.cut_link(
+            event["src"], event["dst"],
+            both_ways=event.get("both_ways", False))
+    elif action == "restore":
+        do = lambda: store.network.restore_link(
+            event["src"], event["dst"],
+            both_ways=event.get("both_ways", False))
+    elif action == "faults":
+        policy = FaultPolicy.from_dict(event["policy"])
+        do = lambda: faults.set_policy(policy, event.get("src"),
+                                       event.get("dst"))
+    elif action == "faults_off":
+        do = lambda: setattr(faults, "enabled", False)
+    elif action == "crash_on":
+        do = lambda: nemesis.crash_on(
+            event["kind"], node=event.get("node"),
+            op_contains=event.get("op_contains"),
+            target=event.get("target"),
+            recover_after=event.get("recover_after"),
+            fault=event.get("fault", "crash"))
+    else:
+        raise ValueError(f"unknown schedule action {action!r}")
+    store.env._schedule_call(lambda: do() if active[0] else None,
+                             delay=max(0.0, event["t"] - store.env.now))
+
+
+def build_store(spec: ChaosSpec, trace_enabled: bool = False):
+    """A fresh cluster for the spec's protocol, chaos knobs applied."""
+    # generous update-log capacity: the logs are the forensic record the
+    # checker uses to adopt indeterminate writes (adopt_durable_outcomes)
+    # and to cross-check replica values, so chaos runs keep them deep
+    # enough to cover the whole workload
+    config = ProtocolConfig(epoch_check_interval=4.0,
+                            epoch_check_staleness=10.0,
+                            update_log_capacity=4096,
+                            chaos_bug=spec.bug)
+    return _store_class(spec.protocol).create(
+        spec.n_nodes, seed=spec.seed, config=config,
+        trace_enabled=trace_enabled)
+
+
+def run_spec(spec: ChaosSpec, trace_enabled: bool = False) -> ChaosReport:
+    """Execute one chaos run; never raises for protocol misbehaviour --
+    violations (consistency, liveness, simulation crashes) come back in
+    the report."""
+    store = build_store(spec, trace_enabled=trace_enabled)
+    faults = LinkFaults(
+        policy=FaultPolicy.from_dict(spec.policy) if spec.policy else None,
+        rng=random.Random(spec.seed ^ 0x5EED))
+    store.network.faults = faults
+    nemesis = Nemesis(store.env, store.trace, store.nodes,
+                      network=store.network).attach()
+    report = ChaosReport(spec=spec, ok=False, store=store)
+    chaos_active = [True]
+    try:
+        for event in spec.schedule:
+            _arm_event(store, faults, nemesis, event, chaos_active)
+        for op in spec.workload:
+            up = store.up_nodes()
+            if up:
+                via = sorted(up)[op.get("via", 0) % len(up)]
+                if op["kind"] == "write":
+                    store.start_write(dict(op["updates"]), via=via)
+                elif op["kind"] == "read":
+                    store.start_read(via=via)
+                elif op["kind"] == "epoch-check":
+                    if spec.protocol == "dynamic":
+                        store.start_epoch_check(via=via)
+                else:
+                    raise ValueError(f"unknown op kind {op['kind']!r}")
+            store.advance(op["dt"])
+
+        # final phase: lift every fault and let the cluster converge
+        chaos_active[0] = False
+        faults.enabled = False
+        nemesis.disarm_all()
+        store.network.restore_all_links()
+        store.heal()
+        store.recover(*[n for n in store.node_names
+                        if not store.nodes[n].up])
+        store.advance(SETTLE_TIME)
+        if spec.protocol == "dynamic":
+            store.check_epoch()
+        store.settle()
+
+        # a nemesis that kills coordinators mid-operation leaves writes
+        # indeterminate; recover their true outcome from the durable
+        # update logs before judging the history
+        adopted = adopt_durable_outcomes(store.history,
+                                         store.servers.values())
+        report.stats = store.verify()
+        report.stats["adopted"] = len(adopted)
+        if spec.protocol == "dynamic":
+            check_replica_invariants(store.servers.values(), store.history,
+                                     store.initial_value)
+        report.ok = True
+    except (ConsistencyError, StoreError, SimulationError) as exc:
+        report.violation = f"{type(exc).__name__}: {exc}"
+    report.fault_counts = dict(faults.counts)
+    report.nemesis_fired = list(nemesis.fired)
+    report.end_time = store.env.now
+    nemesis.detach()
+    return report
+
+
+def run_seeds(seeds, protocol: str = "dynamic", n_nodes: int = 9,
+              ops: int = 60, bug: str = "",
+              message_faults: bool = True, nemesis: bool = True,
+              on_report=None) -> list[ChaosReport]:
+    """Run one generated spec per seed; returns every report."""
+    reports = []
+    for seed in seeds:
+        spec = generate_spec(seed, protocol=protocol, n_nodes=n_nodes,
+                             ops=ops, message_faults=message_faults,
+                             nemesis=nemesis, bug=bug)
+        report = run_spec(spec)
+        reports.append(report)
+        if on_report is not None:
+            on_report(report)
+    return reports

@@ -1,0 +1,188 @@
+"""Delta-debugging chaos schedules into minimal replayable artifacts.
+
+When a chaos run trips the checker, the raw spec is a haystack: dozens of
+client operations and fault events, most irrelevant to the violation.
+The shrinker applies ddmin (Zeller & Hildebrandt's delta debugging) to
+the two event lists -- the fault schedule and the client workload --
+re-running the spec after every candidate cut and keeping only cuts that
+still reproduce a violation.  Because :func:`~repro.chaos.runner.run_spec`
+is deterministic, "still fails" is a pure predicate and the loop
+converges to a 1-minimal spec: removing any single remaining event makes
+the failure disappear.
+
+The minimized spec is saved as a JSON *artifact* together with the
+violation text, the nemesis actions that fired, and a trace excerpt from
+a trace-enabled replay -- everything a human (or ``repro chaos
+--replay``) needs to reproduce and understand the failure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.chaos.runner import ChaosReport, ChaosSpec, run_spec
+
+ARTIFACT_FORMAT = "repro-chaos-artifact-v1"
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of a shrink: the minimal spec and its failing report."""
+
+    spec: ChaosSpec
+    report: ChaosReport
+    runs: int = 0                      # specs executed while shrinking
+    original_events: int = 0
+    trail: list = field(default_factory=list)   # (events_left, violation)
+
+    @property
+    def events(self) -> int:
+        """Total events in the minimized spec (schedule + workload)."""
+        return len(self.spec.schedule) + len(self.spec.workload)
+
+
+def _spec_events(spec: ChaosSpec) -> int:
+    return len(spec.schedule) + len(spec.workload)
+
+
+def _replace(spec: ChaosSpec, **overrides) -> ChaosSpec:
+    data = spec.to_dict()
+    data.update(overrides)
+    return ChaosSpec.from_dict(data)
+
+
+def _ddmin(items: list, still_fails: Callable[[list], bool]) -> list:
+    """Classic ddmin over a list: a 1-minimal sublist that still fails."""
+    granularity = 2
+    while len(items) >= 2:
+        size = max(1, len(items) // granularity)
+        chunks = [items[i:i + size] for i in range(0, len(items), size)]
+        reduced = False
+        for index in range(len(chunks)):
+            candidate = [event for j, chunk in enumerate(chunks)
+                         for event in chunk if j != index]
+            if candidate != items and still_fails(candidate):
+                items = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+def shrink(spec: ChaosSpec,
+           fails: Optional[Callable[[ChaosReport], bool]] = None,
+           max_runs: int = 400) -> ShrinkResult:
+    """Minimize a failing spec; raises ``ValueError`` if it doesn't fail.
+
+    ``fails`` decides what counts as "still the failure" (default: any
+    checker violation).  The shrinker alternates ddmin over the fault
+    schedule and the client workload until neither shrinks further, then
+    tries dropping the message-fault policy wholesale.
+    """
+    fails = fails or (lambda report: not report.ok)
+    runs = 0
+    trail: list = []
+
+    def attempt(candidate: ChaosSpec) -> Optional[ChaosReport]:
+        nonlocal runs
+        if runs >= max_runs:
+            return None
+        runs += 1
+        report = run_spec(candidate)
+        if fails(report):
+            trail.append((_spec_events(candidate), report.violation))
+            return report
+        return None
+
+    report = attempt(spec)
+    if report is None:
+        raise ValueError("spec does not fail; nothing to shrink")
+    original = _spec_events(spec)
+
+    changed = True
+    while changed and runs < max_runs:
+        changed = False
+        smaller = _ddmin(
+            list(spec.schedule),
+            lambda events: attempt(_replace(spec, schedule=events))
+            is not None)
+        if len(smaller) < len(spec.schedule):
+            spec = _replace(spec, schedule=smaller)
+            changed = True
+        smaller = _ddmin(
+            list(spec.workload),
+            lambda ops: attempt(_replace(spec, workload=ops)) is not None)
+        if len(smaller) < len(spec.workload):
+            spec = _replace(spec, workload=smaller)
+            changed = True
+    if spec.policy is not None:
+        if attempt(_replace(spec, policy=None)) is not None:
+            spec = _replace(spec, policy=None)
+
+    final = run_spec(spec)
+    if not fails(final):  # paranoia: the kept spec must still fail
+        raise AssertionError("shrink invariant broken: minimal spec passes")
+    return ShrinkResult(spec=spec, report=final, runs=runs,
+                        original_events=original, trail=trail)
+
+
+# -- artifacts ----------------------------------------------------------------
+
+def build_artifact(result: ShrinkResult, trace_tail: int = 80) -> dict:
+    """The JSON-able replay artifact for a shrunk failure.
+
+    Re-runs the minimal spec once with tracing enabled so the artifact
+    carries the tail of the event trace -- the storyline of the failure.
+    """
+    traced = run_spec(result.spec, trace_enabled=True)
+    trace = traced.store.trace
+    excerpt = [
+        {"time": rec.time, "kind": rec.kind, "node": rec.node,
+         "detail": {k: repr(v) for k, v in rec.detail.items()}}
+        for rec in trace.records[-trace_tail:]
+    ]
+    return {
+        "format": ARTIFACT_FORMAT,
+        "spec": result.spec.to_dict(),
+        "violation": result.report.violation,
+        "events": result.events,
+        "original_events": result.original_events,
+        "shrink_runs": result.runs,
+        "nemesis_fired": [list(hit) for hit in result.report.nemesis_fired],
+        "fault_counts": dict(result.report.fault_counts),
+        "trace_excerpt": excerpt,
+    }
+
+
+def save_artifact(path: str, result: ShrinkResult,
+                  trace_tail: int = 80) -> dict:
+    """Write the replay artifact; returns the artifact dict."""
+    artifact = build_artifact(result, trace_tail=trace_tail)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return artifact
+
+
+def load_artifact(path: str) -> dict:
+    """Read a replay artifact, validating its format marker."""
+    with open(path, "r", encoding="utf-8") as handle:
+        artifact = json.load(handle)
+    if artifact.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(
+            f"{path} is not a chaos artifact "
+            f"(format={artifact.get('format')!r})")
+    return artifact
+
+
+def replay_artifact(path: str, trace_enabled: bool = False) -> ChaosReport:
+    """Re-run the minimized spec stored in an artifact."""
+    artifact = load_artifact(path)
+    return run_spec(ChaosSpec.from_dict(artifact["spec"]),
+                    trace_enabled=trace_enabled)

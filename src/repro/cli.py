@@ -17,6 +17,11 @@ Commands
 ``demo``
     A short end-to-end scenario on the simulated cluster: writes, a
     failure, an epoch change, healing, and a consistency check.
+``chaos``
+    Seeded chaos runs: a generated workload under message faults,
+    crashes, partitions, link cuts, and nemesis triggers, validated by
+    the full history checker.  ``--shrink``/``--artifact`` minimize a
+    failure to a replayable JSON schedule; ``--replay`` re-runs one.
 """
 
 from __future__ import annotations
@@ -147,6 +152,57 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos.runner import (
+        PROTOCOLS,
+        generate_spec,
+        make_canary_spec,
+        run_spec,
+    )
+    from repro.chaos.shrink import replay_artifact, save_artifact, shrink
+
+    if args.replay:
+        report = replay_artifact(args.replay)
+        print(report.summary())
+        # replaying a violation artifact succeeds when it still fails
+        return 0 if not report.ok else 1
+
+    protocols = PROTOCOLS if args.protocol == "all" else (args.protocol,)
+    seeds = (list(range(args.seeds)) if args.seeds is not None
+             else [args.seed])
+    failures = []
+    for protocol in protocols:
+        for seed in seeds:
+            if args.canary:
+                spec = make_canary_spec(
+                    bug=args.bug or "skip-decision-record")
+            else:
+                spec = generate_spec(seed, protocol=protocol,
+                                     n_nodes=args.nodes, ops=args.ops,
+                                     bug=args.bug)
+            report = run_spec(spec)
+            print(report.summary())
+            if not report.ok:
+                failures.append(report)
+        if args.canary:
+            break  # the canary is a single dynamic-protocol spec
+
+    for report in failures:
+        if not (args.shrink or args.artifact):
+            continue
+        result = shrink(report.spec)
+        print(f"shrunk {result.original_events} -> {result.events} events "
+              f"in {result.runs} runs: {result.report.violation}")
+        if args.artifact:
+            save_artifact(args.artifact, result)
+            print(f"replay artifact written to {args.artifact}")
+
+    if args.canary:
+        # the canary injects a bug on purpose: success means catching it
+        return 0 if failures else 1
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -202,6 +258,33 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--n", type=int, default=9)
     demo.add_argument("--seed", type=int, default=0)
     demo.set_defaults(handler=_cmd_demo)
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection runs with history checking")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="single seed to run (default 0)")
+    chaos.add_argument("--seeds", type=int, default=None, metavar="N",
+                       help="run seeds 0..N-1 instead of --seed")
+    chaos.add_argument("--ops", type=int, default=60,
+                       help="workload length per run (default 60)")
+    chaos.add_argument("--nodes", type=int, default=9)
+    chaos.add_argument("--protocol",
+                       choices=["dynamic", "static", "voting", "all"],
+                       default="all")
+    chaos.add_argument("--bug", default="",
+                       help="inject a protocol bug "
+                            "(e.g. skip-decision-record)")
+    chaos.add_argument("--canary", action="store_true",
+                       help="run the scripted decision-record canary; "
+                            "exit 0 iff the checker catches the bug")
+    chaos.add_argument("--shrink", action="store_true",
+                       help="delta-debug any failure to a minimal spec")
+    chaos.add_argument("--artifact", metavar="PATH",
+                       help="write the shrunk failure as a replayable "
+                            "JSON artifact (implies --shrink)")
+    chaos.add_argument("--replay", metavar="PATH",
+                       help="re-run a saved artifact and exit")
+    chaos.set_defaults(handler=_cmd_chaos)
     return parser
 
 

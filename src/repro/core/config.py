@@ -98,6 +98,15 @@ class ProtocolConfig:
     # up-to-date copy.  0 disables the feature (the base protocol).
     safety_threshold: int = 0
 
+    # Intentional protocol mutations, used ONLY by the chaos harness to
+    # prove the history checker catches real violations (a canary for the
+    # checker itself, never a production setting).  Recognised values:
+    #   "" (default)            -- the correct protocol;
+    #   "skip-decision-record"  -- the 2PC coordinator omits the durable
+    #       COMMIT record before its commit wave, so presumed abort tells
+    #       in-doubt participants "aborted" about a committed transaction.
+    chaos_bug: str = ""
+
     def validate(self) -> "ProtocolConfig":
         """Check parameter sanity; returns self for chaining."""
         positive = [

@@ -301,8 +301,11 @@ class Coordinator:
         return result
 
     def _release(self, polled: Iterable[str], op_id: str):
+        # sorted: `polled` is a set, and message *send order* must not
+        # depend on hash order or runs stop replaying across processes
+        # (every send draws from the latency/fault RNG streams)
         yield gather(self.server.rpc,
-                     {dst: ("op-release", op_id) for dst in polled},
+                     {dst: ("op-release", op_id) for dst in sorted(polled)},
                      timeout=self.server.config.rpc_timeout)
 
     def _start_record(self, kind: str, op_id: str, **extra):

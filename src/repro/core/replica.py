@@ -63,6 +63,7 @@ class ReplicaServer:
         node.stable.setdefault("prepared", {})       # txn_id -> Prepare
         node.stable.setdefault("txn_outcomes", {})   # txn_id -> outcome
         node.stable.setdefault("coord_committed", set())
+        node.stable.setdefault("coord_decisions", {})  # txn_id -> participants
         node.stable.setdefault("last_good", None)    # (version, good tuple)
         self._txn_ids = itertools.count(1)
         self._coteries = CompiledCoterieCache(coterie_rule)
@@ -228,6 +229,16 @@ class ReplicaServer:
 
     def _on_prepare(self, src: str, prepare: Prepare):
         def handle():
+            # Protocol-level dedup by txn_id (stable, so it also covers
+            # duplicates re-delivered after this node crashed and lost the
+            # RPC layer's volatile at-most-once cache): a transaction that
+            # was already decided here must not be re-prepared -- re-vote
+            # consistently with the recorded outcome instead.
+            outcome = self.node.stable["txn_outcomes"].get(prepare.txn_id)
+            if outcome is not None:
+                return "yes" if outcome == "committed" else "no"
+            if prepare.txn_id in self.node.stable["prepared"]:
+                return "yes"   # already prepared: repeat the yes vote
             if prepare.op_id in self._op_locks:
                 if not self._snapshot_matches(prepare.expected_snapshot):
                     return "no"
@@ -245,6 +256,9 @@ class ReplicaServer:
                     return "no"
             self.node.stable["prepared"][prepare.txn_id] = prepare
             self._prepared_ops.add(prepare.op_id)
+            self._trace("txn-prepared", txn_id=prepare.txn_id,
+                        op_id=prepare.op_id,
+                        coordinator=prepare.coordinator)
             self.node.spawn(self._await_decision(prepare.txn_id),
                             name=f"await-{prepare.txn_id}")
             return "yes"
@@ -293,6 +307,17 @@ class ReplicaServer:
         elif isinstance(command, ReplaceValue):
             self.state = self.state.replaced(command.value,
                                              command.new_version)
+            # replaced() resets the update log (old partial updates are
+            # meaningless after a total overwrite), so total-write
+            # protocols keep a capped (version, value) journal of their
+            # own -- the durable evidence adopt_durable_outcomes uses to
+            # resolve writes whose coordinator died before reporting
+            journal = self.node.stable.get("replace_journal", ())
+            journal += ((command.new_version, dict(command.value)),)
+            capacity = self.config.update_log_capacity
+            if capacity and len(journal) > capacity:
+                journal = journal[-capacity:]
+            self.node.stable["replace_journal"] = journal
             if command.meta is not None:
                 self.node.stable["proto_meta"] = command.meta
         elif isinstance(command, InstallEpoch):
@@ -380,6 +405,13 @@ class ReplicaServer:
             self._prepared_ops.add(prepare.op_id)
             self.node.spawn(self._terminate(txn_id),
                             name=f"recover-{txn_id}")
+        # Coordinator side: re-announce commit decisions whose commit wave
+        # was never fully acknowledged, so participants blocked on this
+        # coordinator resolve without waiting for their next status poll.
+        from repro.core.twophase import rebroadcast_decisions
+        if self.node.stable.get("coord_decisions"):
+            self.node.spawn(rebroadcast_decisions(self),
+                            name="rebroadcast-decisions")
 
     # -- propagation: target side (PropagateResponse) ---------------------------
     def _on_propagation_offer(self, src: str, offer: PropagationOffer):

@@ -52,7 +52,7 @@ def run_transaction(server, commands: Mapping[str, Any], op_id: str,
     active = node.volatile.setdefault("coord_active", set())
     active.add(txn_id)
     node.trace.record(node.env.now, "txn-begin", node.name,
-                      txn_id=txn_id, participants=participants)
+                      txn_id=txn_id, participants=participants, op_id=op_id)
 
     prepares = {
         dst: ("txn-prepare",
@@ -69,14 +69,28 @@ def run_transaction(server, commands: Mapping[str, Any], op_id: str,
                          timeout=config.lock_wait + config.rpc_timeout)
 
     if all(votes[dst] == "yes" for dst in participants):
-        # decision record first, then commit messages (presumed abort)
-        node.stable["coord_committed"].add(txn_id)
+        # decision record first, then commit messages (presumed abort).
+        # The decision also remembers its participants so a recovering
+        # coordinator can re-announce it (see rebroadcast_decisions);
+        # the entry is pruned once every participant has acked.
+        if "skip-decision-record" not in config.chaos_bug:
+            node.stable["coord_committed"].add(txn_id)
+            node.stable.setdefault("coord_decisions", {})[txn_id] = \
+                participants
         active.discard(txn_id)
-        yield gather(rpc, {dst: ("txn-commit", txn_id)
-                           for dst in participants},
-                     timeout=config.rpc_timeout)
+        node.trace.record(node.env.now, "txn-decided", node.name,
+                          txn_id=txn_id, op_id=op_id)
+        acks = yield gather(rpc, {dst: ("txn-commit", txn_id)
+                                  for dst in participants},
+                            timeout=config.rpc_timeout)
+        if all(acks[dst] == "ack" for dst in participants):
+            # everyone applied the commit: no participant can ever be
+            # in doubt about this transaction again, so the rebroadcast
+            # entry (not the presumed-abort record) can be forgotten
+            node.stable.get("coord_decisions", {}).pop(txn_id, None)
         # participants that missed the commit will learn it via the
-        # termination protocol; no retry needed here
+        # termination protocol or the recovery rebroadcast; no retry
+        # needed here
         return True
 
     active.discard(txn_id)
@@ -87,3 +101,27 @@ def run_transaction(server, commands: Mapping[str, Any], op_id: str,
     node.trace.record(node.env.now, "txn-aborted", node.name, txn_id=txn_id,
                       votes={d: repr(v) for d, v in votes.items()})
     return False
+
+
+def rebroadcast_decisions(server):
+    """Generator (node process): re-announce commit decisions on recovery.
+
+    A coordinator that crashed between its durable decision record and the
+    (complete) commit wave leaves participants prepared and blocked; they
+    resolve through the termination protocol, but only by polling.  On
+    recovery the coordinator closes the window proactively: every decision
+    whose commit wave was never fully acked is re-sent to its recorded
+    participants (``txn-commit`` is idempotent -- replica dedup by
+    ``txn_id``), and entries are pruned as acks arrive.
+    """
+    node = server.node
+    pending = dict(node.stable.get("coord_decisions", {}))
+    for txn_id, participants in pending.items():
+        node.trace.record(node.env.now, "txn-rebroadcast", node.name,
+                          txn_id=txn_id, participants=participants)
+        acks = yield gather(server.rpc,
+                            {dst: ("txn-commit", txn_id)
+                             for dst in participants},
+                            timeout=server.config.rpc_timeout)
+        if all(acks[dst] == "ack" for dst in participants):
+            node.stable.get("coord_decisions", {}).pop(txn_id, None)

@@ -182,7 +182,26 @@ class FailureSchedule:
 
     def partition_at(self, time: float,
                      *groups: Iterable[str]) -> "FailureSchedule":
-        """Schedule a network partition into the given groups."""
+        """Schedule a network partition into the given groups.
+
+        .. warning::
+           Partitions do not *compose*: each call installs a complete
+           component map (the listed groups plus one implicit group of
+           every unmentioned node), REPLACING whatever partition was in
+           effect.  Two overlapping episodes must be scripted as their
+           combined group list at each boundary -- e.g. isolate {a} at
+           t1 and additionally {b} from t2 until t3 as::
+
+               schedule.partition_at(t1, ["a"])
+               schedule.partition_at(t2, ["a"], ["b"])   # NOT just ["b"]
+               schedule.partition_at(t3, ["a"])
+               schedule.heal_at(t4)
+
+           For *asymmetric* connectivity faults (or independently
+           scheduled overlapping episodes) use :meth:`cut_at` /
+           :meth:`restore_at`: directed link cuts overlay as a set and
+           lift individually.
+        """
         groups = tuple(list(g) for g in groups)
         self._actions.append(
             (time, lambda: self.network.partitions.partition(*groups),
@@ -190,8 +209,36 @@ class FailureSchedule:
         return self
 
     def heal_at(self, time: float) -> "FailureSchedule":
-        """Schedule a partition heal."""
+        """Schedule a partition heal.
+
+        Healing is global: it restores full connectivity regardless of
+        how many :meth:`partition_at` episodes preceded it (there is
+        only ever one component map; see the :meth:`partition_at`
+        warning).  Directed link cuts are separate state and are NOT
+        lifted by a heal -- use :meth:`restore_at`.
+        """
         self._actions.append((time, self.network.partitions.heal, "heal"))
+        return self
+
+    def cut_at(self, time: float, src: str, dst: str,
+               both_ways: bool = False) -> "FailureSchedule":
+        """Schedule a directed ``src -> dst`` link cut (asymmetric unless
+        ``both_ways``).  Cuts compose: each one adds to the set of
+        severed links and only :meth:`restore_at` (or
+        ``Network.restore_all_links``) lifts it."""
+        self._actions.append(
+            (time, lambda: self.network.cut_link(src, dst,
+                                                 both_ways=both_ways),
+             f"cut {src}->{dst}"))
+        return self
+
+    def restore_at(self, time: float, src: str, dst: str,
+                   both_ways: bool = False) -> "FailureSchedule":
+        """Schedule the restoration of one directed link cut."""
+        self._actions.append(
+            (time, lambda: self.network.restore_link(src, dst,
+                                                     both_ways=both_ways),
+             f"restore {src}->{dst}"))
         return self
 
     def at(self, time: float, action: Callable[[], None],

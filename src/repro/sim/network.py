@@ -85,7 +85,15 @@ class PartitionManager:
         self._all_nodes.add(name)
 
     def partition(self, *groups: Iterable[NodeName]) -> None:
-        """Split the network into the given groups (plus one for the rest)."""
+        """Split the network into the given groups (plus one for the rest).
+
+        Installing a partition REPLACES the previous component map rather
+        than overlaying it: callers scripting overlapping episodes must
+        pass the combined group list at every boundary (see
+        ``FailureSchedule.partition_at``).  Directed link cuts
+        (:meth:`Network.cut_link`) are independent state and survive both
+        ``partition`` and ``heal``.
+        """
         seen: set[NodeName] = set()
         component: dict[NodeName, int] = {}
         for idx, group in enumerate(groups):
@@ -136,17 +144,31 @@ class Network:
     * the source must still be up -- a message from a node that crashed
       in-flight is dropped, modelling the fail-stop loss of its send buffers.
       (This is conservative; disable with ``drop_from_crashed=False``.)
+    * no *directed* link cut (:meth:`cut_link`) may sever ``src -> dst``;
+      unlike partitions, cuts can be asymmetric (requests get through but
+      replies vanish), the classic hard case for RPC-timeout failure
+      detection.
+
+    Message-level fault injection plugs in through :attr:`faults`: an
+    object with a ``deliveries(msg, base_delay) -> list[float]`` method
+    returning the delays at which copies of the message should arrive
+    (``[]`` drops it, two entries duplicate it, a larger delay reorders it
+    past later traffic).  ``None`` (the default) means a faultless
+    network.  See :class:`repro.chaos.faults.LinkFaults`.
     """
 
     def __init__(self, env: Environment,
                  latency: Optional[LatencyModel] = None,
                  trace: Optional[TraceLog] = None,
-                 drop_from_crashed: bool = True):
+                 drop_from_crashed: bool = True,
+                 faults: Optional[Any] = None):
         self.env = env
         self.latency = latency or LatencyModel()
         self.trace = trace if trace is not None else TraceLog(enabled=False)
         self.partitions = PartitionManager()
         self.drop_from_crashed = drop_from_crashed
+        self.faults = faults
+        self._cut_links: set[tuple[NodeName, NodeName]] = set()
         self._endpoints: dict[NodeName, Callable[[Message], None]] = {}
         self._is_up: dict[NodeName, Callable[[], bool]] = {}
         self._msg_ids = itertools.count(1)
@@ -174,6 +196,32 @@ class Network:
         predicate = self._is_up.get(name)
         return bool(predicate and predicate())
 
+    # -- directed link cuts ----------------------------------------------------
+    def cut_link(self, src: NodeName, dst: NodeName,
+                 both_ways: bool = False) -> None:
+        """Sever the ``src -> dst`` direction (and the reverse with
+        ``both_ways``).  Messages crossing a cut are dropped at delivery
+        time, like partition drops, so in-flight traffic is affected too."""
+        self._cut_links.add((src, dst))
+        if both_ways:
+            self._cut_links.add((dst, src))
+
+    def restore_link(self, src: NodeName, dst: NodeName,
+                     both_ways: bool = False) -> None:
+        """Undo :meth:`cut_link`; restoring an uncut link is a no-op."""
+        self._cut_links.discard((src, dst))
+        if both_ways:
+            self._cut_links.discard((dst, src))
+
+    def restore_all_links(self) -> None:
+        """Undo every directed link cut."""
+        self._cut_links.clear()
+
+    @property
+    def cut_links(self) -> frozenset:
+        """The currently severed directed ``(src, dst)`` pairs."""
+        return frozenset(self._cut_links)
+
     # -- transmission ----------------------------------------------------------
     def send(self, src: NodeName, dst: NodeName, kind: str, payload: Any) -> int:
         """Send one message; returns its id.  Never blocks; never fails
@@ -185,7 +233,16 @@ class Network:
         self.trace.record(self.env.now, "send", src, dst=dst, msg_kind=kind,
                           msg_id=msg.msg_id, bytes=size)
         delay = self.latency.sample(src, dst)
-        self.env._schedule_call(lambda: self._deliver(msg), delay=delay)
+        if self.faults is None:
+            delays = (delay,)
+        else:
+            delays = self.faults.deliveries(msg, delay)
+            if not delays:
+                self._drop(msg, "fault-drop")
+                return msg.msg_id
+        for extra_delay in delays:
+            self.env._schedule_call(lambda: self._deliver(msg),
+                                    delay=extra_delay)
         return msg.msg_id
 
     def _deliver(self, msg: Message) -> None:
@@ -198,6 +255,9 @@ class Network:
             return
         if not self.partitions.reachable(msg.src, msg.dst):
             self._drop(msg, "partitioned")
+            return
+        if (msg.src, msg.dst) in self._cut_links:
+            self._drop(msg, "link-cut")
             return
         self.trace.record(self.env.now, "deliver", msg.dst, src=msg.src,
                           msg_kind=msg.kind, msg_id=msg.msg_id)

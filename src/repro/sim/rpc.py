@@ -15,6 +15,7 @@ pseudo-code in the paper's appendix: some entries are state tuples, some are
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional
 
@@ -85,16 +86,35 @@ class RpcLayer:
     a generator (a node process) whose return value becomes the response.
     If the handler's node crashes before it finishes, no response is sent
     and the caller times out.
+
+    The server side is **at-most-once** per caller request: a duplicate
+    delivery of a request (a faulty network may duplicate datagrams) is
+    answered from a bounded response cache keyed on ``(caller, req_id)``
+    instead of re-running the handler, and a duplicate arriving while the
+    original handler is still running is ignored (the caller gets the one
+    reply the original produces).  The cache is volatile -- a crash clears
+    it -- so handlers re-executed after recovery must still be idempotent
+    at the protocol level (the 2PC participant dedups by ``txn_id`` in
+    stable storage for exactly this reason).
     """
 
     REQUEST_KIND = "rpc-req"
     RESPONSE_KIND = "rpc-rsp"
+
+    # How many answered requests the duplicate-suppression cache remembers
+    # per node.  Duplicates older than this window re-execute the handler,
+    # which protocol-level dedup must (and does) tolerate.
+    DEDUP_CAPACITY = 1024
+
+    _IN_PROGRESS = object()   # sentinel: handler started, no response yet
 
     def __init__(self, node: Node, default_timeout: float = 0.5):
         self.node = node
         self.env: Environment = node.env
         self.default_timeout = default_timeout
         self._req_ids = itertools.count(1)
+        # (caller, req_id) -> response value or _IN_PROGRESS (bounded LRU)
+        self._served: OrderedDict[tuple[str, int], Any] = OrderedDict()
         # req_id -> (sink, dst); sink is the call's Event or its _Wave.
         self._pending: dict[int, tuple[Any, str]] = {}
         self._methods: dict[str, Callable[[str, Any], Any]] = {}
@@ -202,6 +222,8 @@ class RpcLayer:
         wave.event.succeed(wave.results)
 
     def _on_crash(self) -> None:
+        # Server side: the duplicate-suppression cache is volatile state.
+        self._served.clear()
         # The caller crashed: its pending calls are moot.  Complete them so
         # the event queue drains; any interested process was interrupted.
         # No liveness observation here -- the *caller* failed, not the
@@ -228,20 +250,42 @@ class RpcLayer:
 
     def _on_request(self, msg) -> None:
         request: _Request = msg.payload
+        key = (request.reply_to, request.req_id)
+        if key in self._served:
+            cached = self._served[key]
+            self.node.trace.record(self.env.now, "rpc-duplicate",
+                                   self.node.name, method=request.method,
+                                   src=msg.src, req_id=request.req_id,
+                                   state=("in-progress"
+                                          if cached is self._IN_PROGRESS
+                                          else "answered"))
+            if cached is not self._IN_PROGRESS:
+                # replay the recorded answer without re-running the handler
+                self._reply(request, cached)
+            return
         handler = self._methods.get(request.method)
         if handler is None:
             self.node.trace.record(self.env.now, "rpc-no-method",
                                    self.node.name, method=request.method)
             return
+        self._remember(key, self._IN_PROGRESS)
         result = handler(msg.src, request.args)
         if result is not None and hasattr(result, "send"):
             self.node.spawn(self._respond_later(request, result),
                             name=f"rpc-{request.method}")
         else:
+            self._remember(key, result)
             self._reply(request, result)
+
+    def _remember(self, key: tuple[str, int], value: Any) -> None:
+        self._served[key] = value
+        self._served.move_to_end(key)
+        while len(self._served) > self.DEDUP_CAPACITY:
+            self._served.popitem(last=False)
 
     def _respond_later(self, request: _Request, generator):
         value = yield from generator
+        self._remember((request.reply_to, request.req_id), value)
         self._reply(request, value)
 
     def _reply(self, request: _Request, value: Any) -> None:

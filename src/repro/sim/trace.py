@@ -39,19 +39,44 @@ class TraceRecord:
 
 
 class TraceLog:
-    """An append-only event log with simple query helpers."""
+    """An append-only event log with simple query helpers.
+
+    Besides storage, the log acts as an event bus: observers registered
+    with :meth:`subscribe` see every record *synchronously, at the instant
+    it is recorded* -- even while ``enabled`` is False and nothing is
+    stored.  The chaos nemesis uses this to crash nodes at adversarial
+    protocol instants (e.g. between a coordinator's decision record and
+    its commit wave) without the protocol code knowing it is observed.
+    """
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self.records: list[TraceRecord] = []
         self._counters: Counter = Counter()
+        self._observers: list[Callable[[TraceRecord], None]] = []
+
+    def subscribe(self, observer: Callable[[TraceRecord], None]) -> None:
+        """Call *observer* with every future record, synchronously."""
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: Callable[[TraceRecord], None]) -> None:
+        """Stop notifying *observer*; unknown observers are a no-op."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
 
     def record(self, time: float, kind: str, node: Optional[str] = None,
                **detail: Any) -> None:
         """Append one record (cheap no-op when tracing is disabled)."""
         self._counters[kind] += 1
+        if not self.enabled and not self._observers:
+            return
+        rec = TraceRecord(time, kind, node, detail)
         if self.enabled:
-            self.records.append(TraceRecord(time, kind, node, detail))
+            self.records.append(rec)
+        for observer in tuple(self._observers):
+            observer(rec)
 
     def count(self, kind: str) -> int:
         """Number of records of the given kind (counted even if disabled)."""

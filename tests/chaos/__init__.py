@@ -1,0 +1,1 @@
+"""Tests for the chaos harness: fault injection, nemesis, runner, shrinker."""

@@ -1,0 +1,147 @@
+"""Message-level fault injection: policies and the network hook."""
+
+import random
+
+import pytest
+
+from repro.chaos.faults import FaultPolicy, LinkFaults
+from repro.sim.engine import Environment
+from repro.sim.network import LatencyModel, Message, Network
+from repro.sim.node import Node
+from repro.sim.trace import TraceLog
+
+
+def msg(kind="ping"):
+    return Message("n0", "n1", kind, None, msg_id=1)
+
+
+class TestFaultPolicy:
+    def test_defaults_are_faultless(self):
+        policy = FaultPolicy().validate()
+        assert policy.drop == policy.duplicate == policy.delay == 0.0
+        assert policy.reorder == 0.0
+
+    def test_bad_probability_rejected(self):
+        for field in ("drop", "duplicate", "delay", "reorder"):
+            with pytest.raises(ValueError):
+                FaultPolicy(**{field: 1.5}).validate()
+            with pytest.raises(ValueError):
+                FaultPolicy(**{field: -0.1}).validate()
+
+    def test_negative_span_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPolicy(delay_span=-1.0).validate()
+        with pytest.raises(ValueError):
+            FaultPolicy(reorder_span=-1.0).validate()
+
+    def test_dict_roundtrip(self):
+        policy = FaultPolicy(drop=0.01, duplicate=0.05, delay=0.03,
+                             delay_span=0.4, reorder=0.02, reorder_span=0.2)
+        assert FaultPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_from_dict_validates(self):
+        with pytest.raises(ValueError):
+            FaultPolicy.from_dict({"drop": 2.0})
+
+
+class TestLinkFaults:
+    def test_faultless_policy_passes_base_delay_through(self):
+        faults = LinkFaults()
+        assert faults.deliveries(msg(), 0.01) == [0.01]
+        assert not faults.counts
+
+    def test_drop_returns_no_deliveries(self):
+        faults = LinkFaults(FaultPolicy(drop=1.0), rng=random.Random(1))
+        assert faults.deliveries(msg(), 0.01) == []
+        assert faults.counts["drop"] == 1
+
+    def test_duplicate_returns_two_deliveries(self):
+        faults = LinkFaults(FaultPolicy(duplicate=1.0), rng=random.Random(1))
+        delays = faults.deliveries(msg(), 0.01)
+        assert len(delays) == 2
+        assert delays[0] == 0.01
+        assert delays[1] >= delays[0]
+        assert faults.counts["duplicate"] == 1
+
+    def test_delay_adds_bounded_latency(self):
+        faults = LinkFaults(FaultPolicy(delay=1.0, delay_span=0.3),
+                            rng=random.Random(1))
+        (delay,) = faults.deliveries(msg(), 0.01)
+        assert 0.01 <= delay <= 0.01 + 0.3
+        assert faults.counts["delay"] == 1
+
+    def test_reorder_adds_bounded_latency(self):
+        faults = LinkFaults(FaultPolicy(reorder=1.0, reorder_span=0.5),
+                            rng=random.Random(1))
+        (delay,) = faults.deliveries(msg(), 0.01)
+        assert 0.01 <= delay <= 0.01 + 0.5
+        assert faults.counts["reorder"] == 1
+
+    def test_disabled_faults_pass_everything(self):
+        faults = LinkFaults(FaultPolicy(drop=1.0))
+        faults.enabled = False
+        assert faults.deliveries(msg(), 0.01) == [0.01]
+        assert not faults.counts
+
+    def test_per_link_policy_only_affects_that_link(self):
+        faults = LinkFaults(rng=random.Random(1))
+        faults.set_policy(FaultPolicy(drop=1.0), src="n0", dst="n1")
+        assert faults.deliveries(msg(), 0.01) == []          # n0 -> n1
+        reverse = Message("n1", "n0", "ping", None)
+        assert faults.deliveries(reverse, 0.01) == [0.01]    # untouched
+
+    def test_per_link_policy_can_be_cleared(self):
+        faults = LinkFaults()
+        faults.set_policy(FaultPolicy(drop=1.0), src="n0", dst="n1")
+        faults.set_policy(None, src="n0", dst="n1")
+        assert faults.deliveries(msg(), 0.01) == [0.01]
+
+    def test_per_link_policy_needs_both_endpoints(self):
+        faults = LinkFaults()
+        with pytest.raises(ValueError):
+            faults.set_policy(FaultPolicy(), src="n0")
+
+    def test_global_set_policy_replaces_default(self):
+        faults = LinkFaults()
+        faults.set_policy(FaultPolicy(drop=1.0))
+        assert faults.policy_for("a", "b").drop == 1.0
+        faults.set_policy(None)
+        assert faults.policy_for("a", "b").drop == 0.0
+
+
+class TestNetworkIntegration:
+    def make_net(self, faults):
+        env = Environment()
+        net = Network(env, LatencyModel(0.01, 0.01), trace=TraceLog(),
+                      faults=faults)
+        nodes = [Node(env, net, f"n{i}") for i in range(2)]
+        return env, net, nodes
+
+    def test_fault_drop_recorded_at_the_wire(self):
+        faults = LinkFaults(FaultPolicy(drop=1.0), rng=random.Random(1))
+        env, net, nodes = self.make_net(faults)
+        received = []
+        net._endpoints["n1"] = lambda m: received.append(m.kind)
+        net.send("n0", "n1", "ping", None)
+        env.run(until=1.0)
+        assert received == []
+        drops = net.trace.select(kind="drop")
+        assert [rec.detail["reason"] for rec in drops] == ["fault-drop"]
+
+    def test_duplicate_delivers_two_copies(self):
+        faults = LinkFaults(FaultPolicy(duplicate=1.0), rng=random.Random(1))
+        env, net, nodes = self.make_net(faults)
+        received = []
+        net._endpoints["n1"] = lambda m: received.append(m.msg_id)
+        net.send("n0", "n1", "ping", None)
+        env.run(until=1.0)
+        assert len(received) == 2
+        assert received[0] == received[1]  # same message, delivered twice
+
+    def test_no_faults_object_means_single_delivery(self):
+        env, net, nodes = self.make_net(None)
+        received = []
+        net._endpoints["n1"] = lambda m: received.append(m.msg_id)
+        net.send("n0", "n1", "ping", None)
+        env.run(until=1.0)
+        assert len(received) == 1

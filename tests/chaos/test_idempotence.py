@@ -1,0 +1,150 @@
+"""Duplicate-delivery idempotence: RPC dedup and protocol-level txn dedup.
+
+Two layers defend against duplicated messages:
+
+* the RPC server's at-most-once cache (``RpcLayer._served``) replays the
+  recorded answer for a duplicated request without re-running the handler
+  -- but it is *volatile*, wiped by a crash;
+* protocol-level dedup in the replica keyed by stable state (``prepared``,
+  ``txn_outcomes``), which must therefore tolerate duplicates the RPC
+  layer has forgotten about.
+"""
+
+import random
+
+from repro.chaos.faults import FaultPolicy, LinkFaults
+from repro.core.messages import ApplyWrite, Prepare
+from repro.core.store import ReplicatedStore
+
+
+class TestRpcDeduplication:
+    def run_with_duplicates(self):
+        store = ReplicatedStore.create(9, seed=21, trace_enabled=True)
+        store.network.faults = LinkFaults(FaultPolicy(duplicate=1.0),
+                                          rng=random.Random(1))
+        results = [store.write({"x": 1}, via="n00"),
+                   store.write({"x": 2, "y": 3}, via="n04")]
+        store.settle()
+        return store, results
+
+    def test_every_message_duplicated_write_applies_once(self):
+        store, results = self.run_with_duplicates()
+        assert all(r.ok for r in results)
+        top = results[-1].version
+        versions = [store.replica_state(n).version for n in store.node_names]
+        # broken dedup re-applies commits: versions overshoot the history
+        assert max(versions) == top == 2
+        for name in store.node_names:
+            state = store.replica_state(name)
+            if state.version == top:
+                assert state.value == {"x": 2, "y": 3}
+        store.verify()
+
+    def test_duplicates_answered_from_the_served_cache(self):
+        store, _ = self.run_with_duplicates()
+        dupes = store.trace.select(kind="rpc-duplicate")
+        assert dupes, "duplicate=1.0 must exercise the dedup cache"
+        # every duplicate is either replayed from the cache or ignored
+        # because the handler is still running -- never re-executed
+        assert {rec.detail["state"] for rec in dupes} <= {
+            "answered", "in-progress"}
+
+
+class TestProtocolLevelDedup:
+    """Stable-state dedup that must survive loss of the RPC cache."""
+
+    def deliver(self, store, src, dst, method, payload):
+        answers = []
+
+        def client():
+            response = yield store.servers[src].rpc.call(dst, method, payload)
+            answers.append(response)
+
+        store.join(store.nodes[src].spawn(client()))
+        return answers[0]
+
+    def test_duplicate_commit_decision_is_idempotent(self):
+        store = ReplicatedStore.create(9, seed=22)
+        result = store.write({"x": 1}, via="n00")
+        participant = next(
+            name for name in store.node_names
+            if store.servers[name].node.stable["txn_outcomes"])
+        server = store.servers[participant]
+        (txn_id,) = server.node.stable["txn_outcomes"]
+        before = store.replica_state(participant)
+        answer = self.deliver(store, "n00", participant, "txn-commit", txn_id)
+        assert answer == "ack"                       # acked, not re-applied
+        after = store.replica_state(participant)
+        assert after.version == before.version == result.version
+        assert after.value == before.value
+
+    def test_prepare_after_commit_revotes_yes_without_repreparing(self):
+        store = ReplicatedStore.create(9, seed=23)
+        server = store.servers["n01"]
+        server.node.stable["txn_outcomes"]["n00:txn7"] = "committed"
+        prepare = Prepare(
+            txn_id="n00:txn7", coordinator="n00",
+            participants=("n00", "n01"), op_id="n00:w99",
+            command=ApplyWrite(updates={"x": 9}, new_version=1,
+                               stale_nodes=()),
+            expected_snapshot={"version": 0})
+        answer = self.deliver(store, "n00", "n01", "txn-prepare", prepare)
+        assert answer == "yes"   # consistent with the recorded outcome
+        assert "n00:txn7" not in server.node.stable["prepared"]
+        assert not server.lock.locked
+        assert store.replica_state("n01").version == 0  # not re-applied
+
+    def test_prepare_after_abort_revotes_no(self):
+        store = ReplicatedStore.create(9, seed=24)
+        server = store.servers["n01"]
+        server.node.stable["txn_outcomes"]["n00:txn7"] = "aborted"
+        prepare = Prepare(
+            txn_id="n00:txn7", coordinator="n00",
+            participants=("n00", "n01"), op_id="n00:w99",
+            command=ApplyWrite(updates={"x": 9}, new_version=1,
+                               stale_nodes=()),
+            expected_snapshot={"version": 0})
+        answer = self.deliver(store, "n00", "n01", "txn-prepare", prepare)
+        assert answer == "no"
+        assert "n00:txn7" not in server.node.stable["prepared"]
+
+    def test_dedup_survives_a_crash_that_wipes_the_rpc_cache(self):
+        # The at-most-once cache is volatile; a duplicate redelivered
+        # after crash+recover reaches the handler, so the stable
+        # txn_outcomes record has to carry the dedup.
+        store = ReplicatedStore.create(9, seed=25)
+        server = store.servers["n01"]
+        server.node.stable["txn_outcomes"]["n00:txn7"] = "committed"
+        store.crash("n01")
+        store.advance(1.0)
+        store.recover("n01")
+        store.advance(1.0)
+        assert not server.rpc._served   # the cache really was wiped
+        prepare = Prepare(
+            txn_id="n00:txn7", coordinator="n00",
+            participants=("n00", "n01"), op_id="n00:w99",
+            command=ApplyWrite(updates={"x": 9}, new_version=1,
+                               stale_nodes=()),
+            expected_snapshot={"version": 0})
+        answer = self.deliver(store, "n00", "n01", "txn-prepare", prepare)
+        assert answer == "yes"
+        assert store.replica_state("n01").version == 0
+
+    def test_duplicate_prepare_repeats_the_yes_vote_once_prepared(self):
+        store = ReplicatedStore.create(9, seed=26)
+        server = store.servers["n01"]
+        prepare = Prepare(
+            txn_id="n00:txn8", coordinator="n00",
+            participants=("n00", "n01"), op_id="n00:w42",
+            command=ApplyWrite(updates={"x": 1}, new_version=1,
+                               stale_nodes=()),
+            expected_snapshot={"version": 0})
+        first = self.deliver(store, "n00", "n01", "txn-prepare", prepare)
+        second = self.deliver(store, "n00", "n01", "txn-prepare", prepare)
+        assert first == second == "yes"
+        # one prepared entry, one lock -- the duplicate did not stack
+        assert list(server.node.stable["prepared"]) == ["n00:txn8"]
+        commit = self.deliver(store, "n00", "n01", "txn-commit", "n00:txn8")
+        assert commit == "ack"
+        state = store.replica_state("n01")
+        assert state.version == 1 and state.value["x"] == 1

@@ -1,0 +1,185 @@
+"""Trace-triggered nemesis: crashes and link cuts at protocol instants."""
+
+import pytest
+
+from repro.chaos.nemesis import Nemesis
+from repro.core.store import ReplicatedStore
+from repro.sim.engine import Environment
+from repro.sim.network import LatencyModel, Network
+from repro.sim.node import Node
+from repro.sim.trace import TraceLog
+
+
+def make_cluster(n=3):
+    env = Environment()
+    trace = TraceLog()
+    net = Network(env, LatencyModel(0.01, 0.01), trace=trace)
+    nodes = {f"n{i}": Node(env, net, f"n{i}") for i in range(n)}
+    return env, trace, net, nodes
+
+
+class TestTriggerMatching:
+    def test_fires_on_matching_kind(self):
+        env, trace, net, nodes = make_cluster()
+        nemesis = Nemesis(env, trace, nodes).attach()
+        nemesis.crash_on("txn-prepared")
+        trace.record(0.0, "txn-decided", "n0")   # wrong kind: no fire
+        assert nodes["n0"].up
+        trace.record(0.0, "txn-prepared", "n0")
+        assert not nodes["n0"].up
+        assert nemesis.fired == [(0.0, "txn-prepared", "n0")]
+        assert nemesis.armed == 0
+
+    def test_node_filter(self):
+        env, trace, net, nodes = make_cluster()
+        nemesis = Nemesis(env, trace, nodes).attach()
+        nemesis.crash_on("txn-prepared", node="n1")
+        trace.record(0.0, "txn-prepared", "n0")
+        assert nodes["n0"].up                    # filtered out
+        trace.record(0.0, "txn-prepared", "n1")
+        assert not nodes["n1"].up
+
+    def test_op_contains_filter(self):
+        env, trace, net, nodes = make_cluster()
+        nemesis = Nemesis(env, trace, nodes).attach()
+        nemesis.crash_on("txn-begin", op_contains=":epoch")
+        trace.record(0.0, "txn-begin", "n0", op_id="n0:w1")
+        assert nodes["n0"].up
+        trace.record(0.0, "txn-begin", "n0", op_id="n0:epoch1")
+        assert not nodes["n0"].up
+
+    def test_target_overrides_the_victim(self):
+        env, trace, net, nodes = make_cluster()
+        nemesis = Nemesis(env, trace, nodes).attach()
+        nemesis.crash_on("txn-prepared", target="n2")
+        trace.record(0.0, "txn-prepared", "n0")
+        assert nodes["n0"].up and not nodes["n2"].up
+
+    def test_count_limits_firings(self):
+        env, trace, net, nodes = make_cluster()
+        nemesis = Nemesis(env, trace, nodes).attach()
+        nemesis.crash_on("txn-prepared", count=2)
+        for name in ("n0", "n1", "n2"):
+            trace.record(0.0, "txn-prepared", name)
+        assert [nodes[n].up for n in ("n0", "n1", "n2")] == [
+            False, False, True]   # third record: trigger exhausted
+
+    def test_dead_victim_keeps_the_trigger_armed(self):
+        env, trace, net, nodes = make_cluster()
+        nodes["n0"].crash()
+        nemesis = Nemesis(env, trace, nodes).attach()
+        nemesis.crash_on("txn-prepared")
+        trace.record(0.0, "txn-prepared", "n0")
+        assert nemesis.armed == 1 and not nemesis.fired
+
+    def test_recover_after_restarts_the_victim(self):
+        env, trace, net, nodes = make_cluster()
+        nemesis = Nemesis(env, trace, nodes).attach()
+        nemesis.crash_on("txn-prepared", recover_after=2.0)
+        trace.record(0.0, "txn-prepared", "n0")
+        assert not nodes["n0"].up
+        env.run(until=3.0)
+        assert nodes["n0"].up
+
+    def test_disarm_all(self):
+        env, trace, net, nodes = make_cluster()
+        nemesis = Nemesis(env, trace, nodes).attach()
+        nemesis.crash_on("txn-prepared")
+        nemesis.disarm_all()
+        assert nemesis.armed == 0
+        trace.record(0.0, "txn-prepared", "n0")
+        assert nodes["n0"].up
+
+    def test_detach_stops_observing(self):
+        env, trace, net, nodes = make_cluster()
+        nemesis = Nemesis(env, trace, nodes).attach()
+        nemesis.crash_on("txn-prepared")
+        nemesis.detach()
+        trace.record(0.0, "txn-prepared", "n0")
+        assert nodes["n0"].up
+        assert nemesis.armed == 1   # armed but blind
+
+
+class TestCutFault:
+    def test_cut_severs_coordinator_to_victim(self):
+        env, trace, net, nodes = make_cluster()
+        nemesis = Nemesis(env, trace, nodes, network=net).attach()
+        nemesis.crash_on("txn-prepared", node="n1", fault="cut")
+        trace.record(0.0, "txn-prepared", "n1", coordinator="n0")
+        assert ("n0", "n1") in net.cut_links     # commit wave severed
+        assert ("n1", "n0") not in net.cut_links  # yes-vote direction open
+        assert nodes["n1"].up                    # nobody crashed
+        assert nemesis.fired == [(0.0, "txn-prepared", "cut:n0->n1")]
+
+    def test_cut_restored_after_recover_after(self):
+        env, trace, net, nodes = make_cluster()
+        nemesis = Nemesis(env, trace, nodes, network=net).attach()
+        nemesis.crash_on("txn-prepared", node="n1", fault="cut",
+                         recover_after=1.0)
+        trace.record(0.0, "txn-prepared", "n1", coordinator="n0")
+        assert ("n0", "n1") in net.cut_links
+        env.run(until=2.0)
+        assert not net.cut_links
+
+    def test_record_without_coordinator_keeps_trigger_armed(self):
+        env, trace, net, nodes = make_cluster()
+        nemesis = Nemesis(env, trace, nodes, network=net).attach()
+        nemesis.crash_on("txn-prepared", fault="cut")
+        trace.record(0.0, "txn-prepared", "n1")  # no coordinator detail
+        assert nemesis.armed == 1 and not net.cut_links
+        trace.record(0.0, "txn-prepared", "n1", coordinator="n1")
+        assert nemesis.armed == 1   # self-cut makes no sense either
+
+    def test_cut_requires_a_network(self):
+        env, trace, net, nodes = make_cluster()
+        nemesis = Nemesis(env, trace, nodes)   # no network
+        with pytest.raises(ValueError):
+            nemesis.crash_on("txn-prepared", fault="cut")
+
+    def test_unknown_fault_rejected(self):
+        env, trace, net, nodes = make_cluster()
+        nemesis = Nemesis(env, trace, nodes, network=net)
+        with pytest.raises(ValueError):
+            nemesis.crash_on("txn-prepared", fault="explode")
+
+
+class TestAgainstRealProtocol:
+    def test_crash_at_txn_decided_blocks_then_recovers(self):
+        # The classic 2PC window: coordinator dies between its durable
+        # decision record and the commit wave.  Participants stay
+        # prepared until cooperative termination (or the coordinator's
+        # recovery rebroadcast) resolves them.
+        store = ReplicatedStore.create(9, seed=31, trace_enabled=True)
+        nemesis = Nemesis(store.env, store.trace, store.nodes,
+                          network=store.network).attach()
+        nemesis.crash_on("txn-decided", recover_after=5.0)
+        store.start_write({"x": 1}, via="n00")
+        store.advance(2.0)
+        assert nemesis.fired and nemesis.fired[0][1] == "txn-decided"
+        assert nemesis.fired[0][2] == "n00"      # the coordinator died
+        assert not store.nodes["n00"].up
+        store.advance(20.0)
+        store.settle()
+        nemesis.detach()
+        # the decided write must have survived the crash
+        versions = [store.replica_state(n).version for n in store.node_names]
+        assert max(versions) == 1
+        store.verify()
+
+    def test_cut_at_txn_prepared_forces_in_doubt_termination(self):
+        # Sever coordinator -> participant at the prepare instant: the
+        # yes-vote gets out, the commit wave is dropped, and the
+        # participant must resolve through termination once the link
+        # heals -- ending committed, same as everyone else.
+        store = ReplicatedStore.create(9, seed=32, trace_enabled=True)
+        nemesis = Nemesis(store.env, store.trace, store.nodes,
+                          network=store.network).attach()
+        nemesis.crash_on("txn-prepared", fault="cut", recover_after=1.0)
+        store.start_write({"x": 1}, via="n00")
+        store.advance(30.0)
+        store.settle()
+        nemesis.detach()
+        assert nemesis.fired and nemesis.fired[0][2].startswith("cut:")
+        victim = nemesis.fired[0][2].split("->")[1]
+        assert store.replica_state(victim).version == 1
+        store.verify()

@@ -1,0 +1,97 @@
+"""The shrinker and the decision-record canary it exists for.
+
+The canary is the PR's end-to-end proof: a protocol variant that skips
+the durable 2PC decision record (``chaos_bug="skip-decision-record"``)
+is caught by the history checker under a scripted schedule, delta-debugs
+to a <= 10-event spec, and round-trips through a replayable artifact.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.chaos.runner import make_canary_spec, run_spec
+from repro.chaos.shrink import (
+    ARTIFACT_FORMAT,
+    _ddmin,
+    load_artifact,
+    replay_artifact,
+    save_artifact,
+    shrink,
+)
+
+
+class TestDdmin:
+    def test_finds_a_two_event_cause(self):
+        fails = lambda items: 3 in items and 6 in items
+        assert _ddmin(list(range(10)), fails) == [3, 6]
+
+    def test_finds_a_single_cause(self):
+        assert _ddmin(list(range(10)), lambda items: 5 in items) == [5]
+
+    def test_preserves_order(self):
+        fails = lambda items: {2, 7, 9} <= set(items)
+        assert _ddmin(list(range(12)), fails) == [2, 7, 9]
+
+    def test_everything_needed_stays(self):
+        items = [1, 2, 3]
+        assert _ddmin(list(items), lambda c: c == items) == items
+
+
+class TestCanary:
+    def test_checker_catches_the_skipped_decision_record(self):
+        report = run_spec(make_canary_spec())
+        assert not report.ok
+        assert "stale read" in report.violation
+        # the cut fired: the commit wave was severed to one participant
+        assert any(victim.startswith("cut:")
+                   for _, _, victim in report.nemesis_fired)
+
+    def test_same_schedule_is_harmless_without_the_bug(self):
+        control = dataclasses.replace(make_canary_spec(), bug="")
+        report = run_spec(control)
+        assert report.ok, report.violation
+
+    def test_canary_shrinks_to_a_small_replayable_spec(self, tmp_path):
+        result = shrink(make_canary_spec())
+        assert result.events <= 10          # the acceptance bound
+        assert not result.report.ok
+        assert "stale read" in result.report.violation
+        assert result.runs >= 1
+        assert result.original_events >= result.events
+
+        path = str(tmp_path / "canary.json")
+        artifact = save_artifact(path, result)
+        assert artifact["format"] == ARTIFACT_FORMAT
+        assert artifact["events"] == result.events
+        assert artifact["trace_excerpt"]    # the storyline is attached
+        loaded = load_artifact(path)
+        assert loaded["spec"] == result.spec.to_dict()
+        assert loaded["violation"] == result.report.violation
+
+        replayed = replay_artifact(path)
+        assert not replayed.ok
+        assert replayed.violation == result.report.violation
+
+
+class TestShrinkContract:
+    def test_passing_spec_is_rejected(self):
+        control = dataclasses.replace(make_canary_spec(), bug="")
+        with pytest.raises(ValueError):
+            shrink(control)
+
+    def test_custom_fails_predicate(self):
+        # a predicate the failure does not satisfy counts as "passes"
+        with pytest.raises(ValueError):
+            shrink(make_canary_spec(),
+                   fails=lambda report: report.violation is not None
+                   and "no-such-text" in report.violation)
+
+
+class TestArtifactFormat:
+    def test_wrong_format_marker_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "not-an-artifact"}))
+        with pytest.raises(ValueError):
+            load_artifact(str(path))

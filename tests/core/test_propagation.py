@@ -174,6 +174,72 @@ class TestHealing:
         assert {rec.detail["target"] for rec in gave_up} == set(victims)
 
 
+class TestPartitionHealing:
+    """Stale replicas created by a partition episode heal after the heal,
+    with the desired-version bookkeeping of paper Section 4."""
+
+    def test_stale_after_partition_heal_is_propagated(self):
+        store = ReplicatedStore.create(9, seed=11, trace_enabled=True)
+        store.write({"a": 1}, via="n00")
+        store.partition(["n07", "n08"])
+        assert store.check_epoch().changed  # majority sheds the minority
+        for i in range(3):
+            store.write({f"b{i}": i}, via="n00")
+        store.heal()
+        result = store.check_epoch()        # minority rejoins, marked stale
+        assert result.changed
+        assert {"n07", "n08"} <= set(result.stale)
+        max_version = max(store.replica_state(n).version
+                          for n in store.node_names)
+        for name in ("n07", "n08"):
+            state = store.replica_state(name)
+            # Section 4: a stale replica records the version it must
+            # reach (dversion), strictly above what it holds
+            assert state.stale
+            assert state.version < state.dversion
+            assert state.dversion == max_version
+        store.settle()
+        expected = {"a": 1, "b0": 0, "b1": 1, "b2": 2}
+        for name in ("n07", "n08"):
+            state = store.replica_state(name)
+            assert not state.stale
+            assert state.version == max_version
+            assert state.value == expected
+        # the catch-up crossed the healed boundary as log shipping
+        shipped = store.trace.select(
+            kind="propagation-shipped",
+            predicate=lambda r: r.detail["target"] in ("n07", "n08"))
+        assert shipped
+
+    def test_dversion_advances_with_each_missed_write(self):
+        # A replica that stays stale across several writes must track the
+        # moving target: every write it misses re-marks it with a higher
+        # dversion (Section 4's desired-version bookkeeping).
+        from repro.core.state import initial_state
+        from repro.coteries.grid import GridCoterie
+
+        store = ReplicatedStore.create(9, seed=12)
+        store.write({"x": 1}, via="n00")
+        # pick the victim from the quorum the next write via n00 will
+        # poll (the blind salted draw, nothing suspected)
+        names = tuple(store.node_names)
+        quorum = GridCoterie(names).write_quorum(salt="n00", attempt=2)
+        victim = sorted(n for n in quorum if n != "n00")[0]
+        # pretend the victim missed write 1 and was marked for it
+        store.servers[victim].state = initial_state(
+            names, store.initial_value).marked_stale(1)
+        assert store.replica_state(victim).dversion == 1
+        second = store.write({"x": 2}, via="n00")
+        assert victim in second.stale
+        state = store.replica_state(victim)
+        assert state.stale
+        assert state.version < state.dversion == second.version == 2
+        store.settle()
+        healed = store.replica_state(victim)
+        assert not healed.stale and healed.version == 2
+        assert healed.value["x"] == 2
+
+
 class TestPartialWritePayoff:
     def test_log_shipping_moves_only_deltas(self):
         # The partial-write design goal: catch-up transfers carry the

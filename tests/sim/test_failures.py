@@ -139,6 +139,124 @@ class TestFailureSchedule:
             schedule.crash_at(1.0, "n99")
 
 
+class TestPartitionSemantics:
+    """Pin the documented (non-compositional) partition semantics and the
+    compositional directed-cut alternative."""
+
+    def test_second_partition_replaces_the_first(self):
+        # Documented behavior: each partition_at installs a COMPLETE
+        # component map; it does not overlay the previous episode.
+        env, net, nodes = make_nodes(4)
+        schedule = FailureSchedule(env, net, nodes)
+        schedule.partition_at(1.0, ["n0"])
+        schedule.partition_at(2.0, ["n1"])   # n0 silently rejoins here
+        schedule.start()
+        seen = []
+
+        def observer(env):
+            for _ in range(2):
+                yield env.timeout(1.5)
+                seen.append((net.partitions.reachable("n0", "n3"),
+                             net.partitions.reachable("n1", "n3")))
+
+        env.process(observer(env))
+        env.run()
+        # t=1.5: only n0 isolated; t=3.0: only n1 isolated -- the second
+        # episode dissolved the first instead of stacking on it
+        assert seen == [(False, True), (True, False)]
+
+    def test_overlapping_episodes_need_combined_groups(self):
+        # The documented recipe: script the union at every boundary.
+        env, net, nodes = make_nodes(4)
+        schedule = FailureSchedule(env, net, nodes)
+        schedule.partition_at(1.0, ["n0"])
+        schedule.partition_at(2.0, ["n0"], ["n1"])  # both isolated
+        schedule.partition_at(3.0, ["n1"])          # n0's episode ends
+        schedule.heal_at(4.0)
+        schedule.start()
+        seen = []
+
+        def observer(env):
+            for _ in range(4):
+                yield env.timeout(1.0)
+                seen.append((net.partitions.reachable("n0", "n3"),
+                             net.partitions.reachable("n1", "n3"),
+                             net.partitions.reachable("n0", "n1")))
+
+        env.process(observer(env))
+        env.run()
+        assert seen == [(False, True, False), (False, False, False),
+                        (True, False, False), (True, True, True)]
+
+    def test_heal_is_global_across_overlapping_episodes(self):
+        env, net, nodes = make_nodes(3)
+        schedule = FailureSchedule(env, net, nodes)
+        schedule.partition_at(1.0, ["n0"], ["n1"])
+        schedule.heal_at(2.0)   # one heal lifts every group at once
+        schedule.start()
+        env.run()
+        assert net.partitions.reachable("n0", "n1")
+        assert net.partitions.reachable("n0", "n2")
+        assert not net.partitions.is_partitioned
+
+    def test_directed_cuts_compose_and_are_asymmetric(self):
+        # Unlike partitions, cut_at/restore_at overlay as a set: two
+        # overlapping cut episodes never cancel each other, and each
+        # direction lifts independently.
+        env, net, nodes = make_nodes(3)
+        schedule = FailureSchedule(env, net, nodes)
+        schedule.cut_at(1.0, "n0", "n1")
+        schedule.cut_at(2.0, "n2", "n1")      # overlaps the first cut
+        schedule.restore_at(3.0, "n0", "n1")
+        schedule.restore_at(4.0, "n2", "n1")
+        schedule.start()
+        seen = []
+
+        def observer(env):
+            for _ in range(4):
+                yield env.timeout(1.0)
+                seen.append((("n0", "n1") in net.cut_links,
+                             ("n1", "n0") in net.cut_links,
+                             ("n2", "n1") in net.cut_links))
+
+        env.process(observer(env))
+        env.run()
+        assert seen == [(True, False, False),   # first cut, one-way only
+                        (True, False, True),    # second cut stacked on it
+                        (False, False, True),   # first lifted, second holds
+                        (False, False, False)]
+
+    def test_heal_does_not_lift_directed_cuts(self):
+        env, net, nodes = make_nodes(2)
+        schedule = FailureSchedule(env, net, nodes)
+        schedule.cut_at(1.0, "n0", "n1")
+        schedule.partition_at(2.0, ["n0"])
+        schedule.heal_at(3.0)
+        schedule.start()
+        env.run()
+        assert net.partitions.reachable("n0", "n1")
+        assert ("n0", "n1") in net.cut_links  # survives the heal
+
+    def test_cut_drops_messages_one_way(self):
+        env, net, nodes = make_nodes(2)
+        received = []
+        net._endpoints["n1"] = lambda msg: received.append(("n1", msg.kind))
+        net._endpoints["n0"] = lambda msg: received.append(("n0", msg.kind))
+        schedule = FailureSchedule(env, net, nodes)
+        schedule.cut_at(0.5, "n0", "n1")
+        schedule.start()
+
+        def talk(env):
+            yield env.timeout(1.0)
+            net.send("n0", "n1", "ping", None)   # cut: dropped
+            net.send("n1", "n0", "pong", None)   # reverse direction: ok
+            yield env.timeout(1.0)
+
+        env.process(talk(env))
+        env.run()
+        assert received == [("n0", "pong")]
+
+
 class TestScheduleFromTrace:
     def test_replays_recorded_fault_timeline(self):
         import random as _random

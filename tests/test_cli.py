@@ -99,6 +99,36 @@ class TestDemoCommand:
         assert "history verified" in out
 
 
+class TestChaosCommand:
+    def test_smoke_all_protocols(self, capsys):
+        assert main(["chaos", "--seed", "0", "--ops", "25"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        for protocol, line in zip(("dynamic", "static", "voting"), lines):
+            assert line.startswith(f"OK   {protocol} seed=0")
+
+    def test_seed_range_single_protocol(self, capsys):
+        assert main(["chaos", "--seeds", "3", "--ops", "15",
+                     "--protocol", "static"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert [line.split()[2] for line in lines] == [
+            "seed=0", "seed=1", "seed=2"]
+
+    def test_canary_exit_zero_means_caught(self, capsys):
+        assert main(["chaos", "--canary"]) == 0
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "stale read" in out
+
+    def test_canary_shrink_and_replay_artifact(self, capsys, tmp_path):
+        path = str(tmp_path / "artifact.json")
+        assert main(["chaos", "--canary", "--artifact", path]) == 0
+        out = capsys.readouterr().out
+        assert "shrunk" in out and path in out
+        # replaying a violation artifact exits 0 while it still fails
+        assert main(["chaos", "--replay", path]) == 0
+        assert "FAIL" in capsys.readouterr().out
+
+
 class TestParser:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):

@@ -94,7 +94,7 @@ def _workload(n_ops: int):
 
 def run_scenario(rule_name: str, rule, n: int, *, failed: bool,
                  planner: bool, n_ops: int = N_OPS, seed: int = 0,
-                 repeats: int = 10) -> dict:
+                 repeats: int = 10, metrics: bool = True) -> dict:
     """Run one (rule, size, cluster, picker) cell; returns its metrics.
 
     The simulation is deterministic, so every repeat produces identical
@@ -105,17 +105,19 @@ def run_scenario(rule_name: str, rule, n: int, *, failed: bool,
     best = None
     for _ in range(max(1, repeats)):
         result = _run_scenario_once(rule_name, rule, n, failed=failed,
-                                    planner=planner, n_ops=n_ops, seed=seed)
+                                    planner=planner, n_ops=n_ops, seed=seed,
+                                    metrics=metrics)
         if best is None or result["ops_per_sec_wall"] > best["ops_per_sec_wall"]:
             best = result
     return best
 
 
 def _run_scenario_once(rule_name: str, rule, n: int, *, failed: bool,
-                       planner: bool, n_ops: int, seed: int) -> dict:
+                       planner: bool, n_ops: int, seed: int,
+                       metrics: bool = True) -> dict:
     config = ProtocolConfig(quorum_planner=planner)
     store = ReplicatedStore.create(n, seed=seed, coterie_rule=rule,
-                                   config=config)
+                                   config=config, metrics=metrics)
     dead = pick_failed_nodes(rule_name, store.node_names) if failed else []
     if dead:
         store.crash(*dead)
@@ -180,7 +182,29 @@ def _run_scenario_once(rule_name: str, rule, n: int, *, failed: bool,
         "mean_write_attempts": (round(write_attempts / committed_writes, 3)
                                if committed_writes else None),
         "final_versions": dict(sorted(store.versions().items())),
+        "metrics": _metric_dims(store) if metrics else None,
         "_records": records,  # stripped before JSON: equivalence check only
+    }
+
+
+def _metric_dims(store) -> dict:
+    """The observability dimensions each scenario carries in the JSON:
+    simulated latency percentiles, RPC timeout totals, planner detours,
+    and 2PC abort reasons (warm-up included -- these describe the whole
+    cell, not just the timed loop)."""
+    from repro.obs import build_summary
+
+    summary = build_summary(store.metrics_snapshot())
+    return {
+        "op_latency": {
+            kind: {p: body["latency"].get(p) for p in ("p50", "p95", "p99")}
+            for kind, body in sorted(summary["ops"].items())
+        },
+        "rpc_attempts": summary["rpc"]["attempts"],
+        "rpc_timeouts": summary["rpc"]["timeouts"],
+        "planner_detours": summary["planner"]["detours"],
+        "twophase_aborts": summary["twophase"]["aborts"],
+        "stale_marks": summary["staleness"]["marks"],
     }
 
 

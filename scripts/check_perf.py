@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Performance smoke gates.
 
-Two quick regression checks, both small enough for CI:
+Quick regression checks, all small enough for CI:
 
 * **Quorum engine** -- replays a small budget of the E22 engine
   benchmark (grid rule only, a few thousand events) and fails if the
@@ -12,10 +12,13 @@ Two quick regression checks, both small enough for CI:
   liveness-aware quorum planner does not beat the blind picker on both
   poll rounds per committed write and wall-clock ops/sec.  Full sweep
   with committed JSON: ``benchmarks/bench_protocol_throughput.py``.
+* **Metrics overhead** -- replays one healthy cell of E23 with the
+  observability registry on vs off and fails if instrumentation costs
+  more than 5% of wall-clock throughput or changes any op outcome.
 
 Usage::
 
-    PYTHONPATH=src python scripts/check_perf.py
+    PYTHONPATH=src python scripts/check_perf.py [--only engine|protocol|metrics]
 
 Exit status 0 on pass, 1 on a perf regression.  The matching opt-in
 pytest wrapper is ``tests/test_perf_smoke.py`` (set
@@ -37,6 +40,10 @@ N_EVENTS = 4000
 PROTOCOL_N = 25
 PROTOCOL_OPS = 60
 PROTOCOL_REPEATS = 5
+METRICS_N = 16
+METRICS_OPS = 120
+METRICS_REPEATS = 7
+METRICS_MAX_OVERHEAD = 0.05
 
 
 def check_engine() -> bool:
@@ -95,16 +102,76 @@ def check_protocol() -> bool:
     return ok
 
 
-def main() -> int:
-    engine_ok = check_engine()
-    protocol_ok = check_protocol()
-    if not engine_ok:
-        print("FAIL: the bitmask engine must never be slower than the "
-              "set predicates")
-    if not protocol_ok:
-        print("FAIL: the quorum planner must beat the blind picker "
-              "under failures")
-    if not (engine_ok and protocol_ok):
+def check_metrics_overhead() -> bool:
+    from bench_protocol_throughput import _run_scenario_once
+    from repro.coteries import GridCoterie
+
+    # one warm-up run so interpreter start-up is not charged to a cell
+    _run_scenario_once("grid", GridCoterie, METRICS_N, failed=False,
+                       planner=True, n_ops=20, seed=0)
+    # Interleave the instrumented and bare repeats so slow drift (CPU
+    # frequency, noisy neighbours) hits both sides alike; best-of per
+    # side then guards against per-run scheduler noise as usual.
+    cells = {}
+    for _ in range(METRICS_REPEATS):
+        for enabled in (True, False):
+            result = _run_scenario_once(
+                "grid", GridCoterie, METRICS_N, failed=False, planner=True,
+                n_ops=METRICS_OPS, seed=0, metrics=enabled)
+            best = cells.get(enabled)
+            if (best is None
+                    or result["ops_per_sec_wall"] > best["ops_per_sec_wall"]):
+                cells[enabled] = result
+    on, off = cells[True], cells[False]
+    ratio = on["ops_per_sec_wall"] / off["ops_per_sec_wall"]
+    ok = True
+    print(f"metrics overhead smoke (grid N={METRICS_N}, healthy, "
+          f"{METRICS_OPS} ops):")
+    print(f"  metrics on {on['ops_per_sec_wall']:>9,.0f} ops/s vs off "
+          f"{off['ops_per_sec_wall']:>9,.0f} ops/s "
+          f"({(1 - ratio) * 100:+.1f}% overhead)")
+    if ratio < 1.0 - METRICS_MAX_OVERHEAD:
+        print(f"  REGRESSION: metrics cost more than "
+              f"{METRICS_MAX_OVERHEAD:.0%} of throughput")
+        ok = False
+    # instrumentation must never change protocol behaviour
+    if (on["final_versions"] != off["final_versions"]
+            or on["_records"] != off["_records"]):
+        print("  REGRESSION: metrics changed protocol behaviour "
+              "(outcomes differ between instrumented and bare runs)")
+        ok = False
+    return ok
+
+
+CHECKS = {
+    "engine": (check_engine,
+               "FAIL: the bitmask engine must never be slower than the "
+               "set predicates"),
+    "protocol": (check_protocol,
+                 "FAIL: the quorum planner must beat the blind picker "
+                 "under failures"),
+    "metrics": (check_metrics_overhead,
+                "FAIL: the metrics layer must stay within its overhead "
+                "budget and not perturb the protocol"),
+}
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--only", choices=sorted(CHECKS), action="append",
+                        help="run only the named gate(s); default: all")
+    args = parser.parse_args(argv)
+    selected = args.only or sorted(CHECKS)
+
+    failed = False
+    for name in selected:
+        check, message = CHECKS[name]
+        if not check():
+            print(message)
+            failed = True
+    if failed:
         return 1
     print("PASS")
     return 0

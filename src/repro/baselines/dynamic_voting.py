@@ -52,11 +52,27 @@ class DynamicVotingCoordinator:
         self.server = server
         self.history = history
         self._op_ids = itertools.count(1)
+        metrics = server.metrics
+        self._m_latency = {
+            kind: metrics.histogram("op_latency", kind=kind)
+            for kind in ("write", "read")
+        }
+        self._outcome_counters: dict[tuple[str, str], object] = {}
 
     @property
     def name(self) -> str:
         """The owning node's name."""
         return self.server.name
+
+    def _observe_op(self, kind: str, started: float, result) -> None:
+        self._m_latency[kind].observe(self.server.env.now - started)
+        outcome = "ok" if result.ok else (result.case or "failed")
+        counter = self._outcome_counters.get((kind, outcome))
+        if counter is None:
+            counter = self.server.metrics.counter("ops", kind=kind,
+                                                  outcome=outcome)
+            self._outcome_counters[(kind, outcome)] = counter
+        counter.inc()
 
     # -- operations -----------------------------------------------------------
     def write(self, value: dict):
@@ -78,11 +94,13 @@ class DynamicVotingCoordinator:
             record = self.history.start(
                 kind, op_id, self.name, server.env.now,
                 updates=dict(value) if value is not None else None)
+        started = server.env.now
         result = yield from self._with_retries(
             lambda: self._attempt(kind, value), seq)
         if record is not None:
             record.op_id = result.op_id or record.op_id
             self.history.finish(record, server.env.now, result)
+        self._observe_op(kind, started, result)
         return result
 
     def _attempt(self, kind: str, value):

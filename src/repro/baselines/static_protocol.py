@@ -34,6 +34,24 @@ class StaticCoordinator:
         self._op_ids = itertools.count(1)
         # the static structure: the coterie over ALL replicas, forever
         self.coterie = server.coterie_rule(server.all_nodes)
+        metrics = server.metrics
+        self._op_metrics = {
+            kind: (metrics.histogram("op_latency", kind=kind),
+                   metrics.counter("planner_detours", kind=kind))
+            for kind in ("write", "read")
+        }
+        self._outcome_counters: dict[tuple[str, str], object] = {}
+
+    def _observe_op(self, kind: str, started: float, result) -> None:
+        latency, _detours = self._op_metrics[kind]
+        latency.observe(self.server.env.now - started)
+        outcome = "ok" if result.ok else (result.case or "failed")
+        counter = self._outcome_counters.get((kind, outcome))
+        if counter is None:
+            counter = self.server.metrics.counter("ops", kind=kind,
+                                                  outcome=outcome)
+            self._outcome_counters[(kind, outcome)] = counter
+        counter.inc()
 
     def _plan(self, kind: str, seq: int) -> list:
         """Liveness-aware quorum pick (the blind draw when the planner is
@@ -44,8 +62,10 @@ class StaticCoordinator:
                     if kind == "write"
                     else self.coterie.read_quorum(salt=self.name,
                                                   attempt=seq))
-        return plan_quorum(self.coterie, kind,
-                           avoid=server.liveness.suspects(),
+        avoid = server.liveness.suspects()
+        if avoid:
+            self._op_metrics[kind][1].inc()
+        return plan_quorum(self.coterie, kind, avoid=avoid,
                            salt=self.name, attempt=seq)
 
     @property
@@ -63,11 +83,13 @@ class StaticCoordinator:
             record = self.history.start("write", op_id, self.name,
                                         server.env.now,
                                         updates=dict(value))
+        started = server.env.now
         result = yield from self._with_retries(
             lambda: self._write_once(value), seq)
         if record is not None:
             record.op_id = result.op_id or record.op_id
             self.history.finish(record, server.env.now, result)
+        self._observe_op("write", started, result)
         return result
 
     def _write_once(self, value: dict):
@@ -104,11 +126,13 @@ class StaticCoordinator:
         if self.history is not None:
             record = self.history.start("read", op_id, self.name,
                                         server.env.now)
+        started = server.env.now
         result = yield from self._with_retries(lambda: self._read_once(),
                                                seq)
         if record is not None:
             record.op_id = result.op_id or record.op_id
             self.history.finish(record, server.env.now, result)
+        self._observe_op("read", started, result)
         return result
 
     def _read_once(self):

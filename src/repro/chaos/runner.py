@@ -107,6 +107,7 @@ class ChaosReport:
     nemesis_fired: list = field(default_factory=list)
     end_time: float = 0.0
     store: Any = None                  # the cluster, for inspection
+    metrics: dict = field(default_factory=dict)    # metrics snapshot
 
     def summary(self) -> str:
         """One line for logs."""
@@ -397,6 +398,7 @@ def run_spec(spec: ChaosSpec, trace_enabled: bool = False) -> ChaosReport:
     report.fault_counts = dict(faults.counts)
     report.nemesis_fired = list(nemesis.fired)
     report.end_time = store.env.now
+    report.metrics = store.metrics_snapshot()
     nemesis.detach()
     return report
 

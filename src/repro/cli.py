@@ -22,6 +22,12 @@ Commands
     crashes, partitions, link cuts, and nemesis triggers, validated by
     the full history checker.  ``--shrink``/``--artifact`` minimize a
     failure to a replayable JSON schedule; ``--replay`` re-runs one.
+``metrics``
+    Run seeded chaos workloads and report the protocol metrics: per-op
+    latency percentiles, RPC attempts/timeouts per link, stale->healed
+    propagation lag, 2PC abort reasons, epoch-checker health.
+    ``--json`` exports the summary and raw snapshot for offline
+    analysis; multi-seed runs merge exactly (pooled percentiles).
 """
 
 from __future__ import annotations
@@ -203,6 +209,50 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.chaos.runner import generate_spec, run_spec
+    from repro.obs import (
+        build_summary,
+        merge_snapshots,
+        render_table,
+        validate_summary,
+    )
+
+    seeds = (list(range(args.seeds)) if args.seeds is not None
+             else [args.seed])
+    snapshots = []
+    all_ok = True
+    for seed in seeds:
+        spec = generate_spec(seed, protocol=args.protocol,
+                             n_nodes=args.nodes, ops=args.ops)
+        report = run_spec(spec)
+        print(report.summary())
+        all_ok = all_ok and report.ok
+        snapshots.append(report.metrics)
+    summary = validate_summary(
+        build_summary(merge_snapshots(snapshots)))
+    print()
+    print(render_table(summary))
+
+    if args.json is not None:
+        path = args.json
+        if path == "auto":
+            os.makedirs("results", exist_ok=True)
+            tag = (f"seed{args.seed}" if args.seeds is None
+                   else f"seeds{args.seeds}")
+            path = os.path.join(
+                "results", f"metrics_{args.protocol}_{tag}.json")
+        with open(path, "w") as fh:
+            json.dump({"summary": summary,
+                       "snapshot": merge_snapshots(snapshots)}, fh,
+                      indent=2, sort_keys=True)
+        print(f"\nmetrics written to {path}")
+    return 0 if all_ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -285,6 +335,26 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--replay", metavar="PATH",
                        help="re-run a saved artifact and exit")
     chaos.set_defaults(handler=_cmd_chaos)
+
+    metrics = sub.add_parser(
+        "metrics", help="run seeded chaos workloads and report the "
+                        "protocol metrics (latency percentiles, RPC "
+                        "health, staleness, epoch activity)")
+    metrics.add_argument("--seed", type=int, default=0,
+                         help="single seed to run (default 0)")
+    metrics.add_argument("--seeds", type=int, default=None, metavar="N",
+                         help="run and merge seeds 0..N-1 instead of "
+                              "--seed")
+    metrics.add_argument("--ops", type=int, default=60,
+                         help="workload length per run (default 60)")
+    metrics.add_argument("--nodes", type=int, default=9)
+    metrics.add_argument("--protocol",
+                         choices=["dynamic", "static", "voting"],
+                         default="dynamic")
+    metrics.add_argument("--json", nargs="?", const="auto", metavar="PATH",
+                         help="also write summary+snapshot JSON (default "
+                              "path under results/ when no PATH given)")
+    metrics.set_defaults(handler=_cmd_metrics)
     return parser
 
 

@@ -53,6 +53,17 @@ class Coordinator:
         self.server = server
         self.history = history
         self._op_ids = itertools.count(1)
+        # pre-bound metric objects: per-op recording must stay a handful
+        # of attribute bumps (the throughput benchmark gates overhead)
+        metrics = server.metrics
+        self._op_metrics = {
+            kind: (metrics.histogram("op_latency", kind=kind),
+                   metrics.counter("op_polls", kind=kind),
+                   metrics.counter("op_retries", kind=kind),
+                   metrics.counter("planner_detours", kind=kind))
+            for kind in ("write", "read")
+        }
+        self._outcome_counters: dict[tuple[str, str], object] = {}
 
     @property
     def name(self) -> str:
@@ -74,9 +85,11 @@ class Coordinator:
         """
         record = self._start_record("write", f"{self.name}:w?",
                                     updates=dict(updates))
+        started = self.server.env.now
         result = yield from self._with_retries(
             lambda: self._write_once(updates))
         self._finish_record(record, result)
+        self._observe_op("write", started, result)
         return result
 
     def _write_once(self, updates: dict):
@@ -183,8 +196,10 @@ class Coordinator:
         """Generator (node process): perform one read (with retries, like
         :meth:`write`)."""
         record = self._start_record("read", f"{self.name}:r?")
+        started = self.server.env.now
         result = yield from self._with_retries(lambda: self._read_once())
         self._finish_record(record, result)
+        self._observe_op("read", started, result)
         return result
 
     def _read_once(self):
@@ -225,6 +240,20 @@ class Coordinator:
                           case=case, op_id=op_id)
 
     # -- helpers ------------------------------------------------------------------
+    def _observe_op(self, kind: str, started: float, result) -> None:
+        """Record one finished top-level operation (all retries included)."""
+        latency, polls, retries, _detours = self._op_metrics[kind]
+        latency.observe(self.server.env.now - started)
+        polls.inc(result.polls)
+        retries.inc(result.attempts - 1)
+        outcome = "ok" if result.ok else (result.case or "failed")
+        counter = self._outcome_counters.get((kind, outcome))
+        if counter is None:
+            counter = self.server.metrics.counter("ops", kind=kind,
+                                                  outcome=outcome)
+            self._outcome_counters[(kind, outcome)] = counter
+        counter.inc()
+
     def _plan_quorum(self, coterie, kind: str, seq: int) -> list:
         """The quorum to poll: the liveness-aware plan, or the blind
         salted draw with the planner disabled.  With nothing suspected
@@ -234,7 +263,10 @@ class Coordinator:
             return (coterie.write_quorum(salt=self.name, attempt=seq)
                     if kind == "write"
                     else coterie.read_quorum(salt=self.name, attempt=seq))
-        return plan_quorum(coterie, kind, avoid=server.liveness.suspects(),
+        avoid = server.liveness.suspects()
+        if avoid:
+            self._op_metrics[kind][3].inc()
+        return plan_quorum(coterie, kind, avoid=avoid,
                            salt=self.name, attempt=seq)
 
     def _heavy_targets(self, coterie, kind: str) -> tuple:

@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.core.coordinator import _state_responses
 from repro.core.messages import EpochCheckResult, InstallEpoch
+from repro.core.propagation import propagate
 from repro.core.replica import ReplicaServer
 from repro.core.twophase import gather, run_transaction
 from repro.coteries.base import _stable_hash
@@ -29,12 +30,17 @@ def check_epoch(server: ReplicaServer, history=None):
     """Generator (node process): one epoch-checking operation."""
     node = server.node
     if node.volatile.get("epoch_checking"):
+        server.metrics.counter("epoch_checks",
+                               outcome="already-running").inc()
         return EpochCheckResult(False, reason="already-running")
     node.volatile["epoch_checking"] = True
     try:
         result = yield from _check_epoch_body(server)
     finally:
         node.volatile.pop("epoch_checking", None)
+    outcome = (("changed" if result.changed else "unchanged")
+               if result.ok else result.reason)
+    server.metrics.counter("epoch_checks", outcome=outcome).inc()
     if history is not None:
         history.record_epoch_check(server.env.now, server.name, result)
     return result
@@ -57,15 +63,22 @@ def _check_epoch_body(server: ReplicaServer):
         return EpochCheckResult(False, reason="no-quorum")
 
     new_epoch = tuple(sorted(states))
-    if set(new_epoch) == set(newest.elist):
-        return EpochCheckResult(True, changed=False,
-                                epoch_list=newest.elist,
-                                epoch_number=newest.enumber)
-
     non_stale = [r for r in states.values() if not r.stale]
     stale = [r for r in states.values() if r.stale]
     max_version = max((r.version for r in non_stale), default=-1)
     max_dversion = max((r.dversion for r in stale), default=-1)
+    if set(new_epoch) == set(newest.elist):
+        # The membership is right, but members may still be stale: a
+        # propagation source that gave up on an unreachable target (see
+        # propagation.MAX_FAILED_ROUNDS) leaves it marked stale with no
+        # courier assigned.  The periodic check is exactly the "re-mark
+        # it if it matters later" hook -- re-seed propagation for any
+        # still-stale member we can serve.
+        _reseed_propagation(server, stale, max_version)
+        return EpochCheckResult(True, changed=False,
+                                epoch_list=newest.elist,
+                                epoch_number=newest.enumber)
+
     if not non_stale or max_dversion > max_version:
         # Cannot identify a current replica among the responders; the
         # appendix's CheckEpoch skips the change in this case.
@@ -92,9 +105,33 @@ def _check_epoch_body(server: ReplicaServer):
     node.trace.record(server.env.now, "epoch-installed", server.name,
                       epoch=new_epoch, number=newest.enumber + 1,
                       stale=stale_nodes)
+    server.metrics.counter("epoch_installs").inc()
     return EpochCheckResult(True, changed=True, epoch_list=new_epoch,
                             epoch_number=newest.enumber + 1,
                             stale=stale_nodes)
+
+
+def _reseed_propagation(server: ReplicaServer, stale_responses,
+                        max_version: int) -> None:
+    """Restart propagation toward still-stale epoch members.
+
+    Only a checker that is itself a current replica (non-stale, at the
+    maximum version among the responders) may serve; targets some other
+    courier is already working on are skipped (the volatile
+    ``propagating`` set is the dedup the couriers themselves use).
+    """
+    if not stale_responses:
+        return
+    if server.state.stale or server.state.version < max_version:
+        return
+    inflight = server.node.volatile.get("propagating", ())
+    targets = sorted(r.node for r in stale_responses
+                     if r.node not in inflight and r.node != server.name)
+    if not targets:
+        return
+    server.metrics.counter("propagation_reseeded").inc(len(targets))
+    server._trace("propagation-reseeded", targets=tuple(targets))
+    server.node.spawn(propagate(server, targets), name="propagation-reseed")
 
 
 class EpochChecker:
@@ -150,6 +187,7 @@ class EpochChecker:
                 yield from self._run_election()
 
     def _run_election(self):
+        self.server.metrics.counter("epoch_elections").inc()
         higher = [name for name in self.server.all_nodes
                   if name > self.node.name]
         if higher:
@@ -172,15 +210,56 @@ class EpochChecker:
         self.node.volatile["initiator"] = True
         self.node.trace.record(self.env.now, "initiator-elected",
                                self.node.name)
+        self.server.metrics.counter("initiator_elected").inc()
         self.node.spawn(self._initiate_loop(), name="epoch-initiator")
+
+    def _demote(self, reason: str) -> None:
+        if not self.is_initiator:
+            return
+        self.node.volatile["initiator"] = False
+        self.node.trace.record(self.env.now, "initiator-demoted",
+                               self.node.name, reason=reason)
+        self.server.metrics.counter("initiator_demoted").inc()
 
     def _initiate_loop(self):
         while self.is_initiator:
+            still_highest = yield from self._probe_higher()
+            if not still_highest:
+                # A higher-named node answered: it exists, it is alive,
+                # and the probe doubles as a challenge that makes it run
+                # its own election.  Converge duplicate initiators left
+                # behind by a partition by stepping down here rather
+                # than waiting for a victory message that was already
+                # sent (and lost) while we were partitioned away.
+                self._demote("higher-node-alive")
+                return
             result = yield from self._checked_with_retries()
             self.node.volatile["last_epoch_check_seen"] = self.env.now
-            if result.reason == "already-running":
-                return
+            # "already-running" is NOT a reason to stop: it only means a
+            # concurrent check (suspicion-triggered, workload-driven, or
+            # a boot-time one) holds the guard right now.  Returning here
+            # killed the periodic pulse permanently -- with staleness
+            # tracking keyed off *our* own role, nobody re-elected, and
+            # epoch checking silently stalled.  Skip the pulse, keep the
+            # loop.
             yield self.env.timeout(self.config.epoch_check_interval)
+
+    def _probe_higher(self):
+        """Generator: True when no higher-named node is reachable.
+
+        For the normal case -- the initiator is the highest name in the
+        cluster, as the bully protocol guarantees after a full election
+        -- this is free: no higher names, no RPCs.
+        """
+        higher = [name for name in self.server.all_nodes
+                  if name > self.node.name]
+        if not higher:
+            return True
+        answers = yield gather(
+            self.server.rpc,
+            {dst: ("election", self.node.name) for dst in higher},
+            timeout=self.config.election_timeout)
+        return not any(v == "alive" for v in answers.values())
 
     # -- handlers ----------------------------------------------------------
     def _on_election(self, src: str, challenger: str):
@@ -225,8 +304,8 @@ class EpochChecker:
 
     def _on_victory(self, src: str, winner: str) -> str:
         if winner >= self.node.name:
-            if self.is_initiator and winner != self.node.name:
-                self.node.volatile["initiator"] = False
+            if winner != self.node.name:
+                self._demote("victory")
             self.node.volatile["last_epoch_check_seen"] = self.env.now
         return "ok"
 

@@ -44,6 +44,7 @@ from repro.core.liveness import LivenessView
 from repro.coteries.base import CoterieRule, _stable_hash
 from repro.coteries.grid import GridCoterie
 from repro.coteries.planner import CompiledCoterieCache, plan_quorum
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
 from repro.sim.engine import Environment, Process
 from repro.sim.failures import FailureSchedule
 from repro.sim.network import LatencyModel, Network
@@ -138,9 +139,10 @@ class MultiReplicaServer:
 
     def __init__(self, node: Node, rpc: RpcLayer, coterie_rule: CoterieRule,
                  all_nodes: Sequence[str], items: Sequence[str],
-                 config: Optional[ProtocolConfig] = None):
+                 config: Optional[ProtocolConfig] = None, metrics=None):
         self.node = node
         self.rpc = rpc
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.env: Environment = node.env
         self.coterie_rule = coterie_rule
         self.all_nodes = tuple(sorted(all_nodes))
@@ -779,11 +781,18 @@ class MultiItemStore:
                  seed: int = 0, coterie_rule: CoterieRule = GridCoterie,
                  config: Optional[ProtocolConfig] = None,
                  latency: tuple[float, float] = (0.001, 0.01),
-                 trace_enabled: bool = False):
+                 trace_enabled: bool = False,
+                 metrics: bool | MetricsRegistry = True):
         import random
         names = tuple(sorted(node_names))
         self.items = tuple(sorted(items))
         self.env = Environment()
+        if isinstance(metrics, (MetricsRegistry, NullRegistry)):
+            self.metrics = metrics
+        elif metrics:
+            self.metrics = MetricsRegistry(clock=lambda: self.env.now)
+        else:
+            self.metrics = NULL_REGISTRY
         self.trace = TraceLog(enabled=trace_enabled)
         self.network = Network(
             self.env, latency=LatencyModel(latency[0], latency[1],
@@ -796,9 +805,11 @@ class MultiItemStore:
         self.coordinators: dict[str, MultiItemCoordinator] = {}
         for name in names:
             node = Node(self.env, self.network, name)
-            rpc = RpcLayer(node, default_timeout=self.config.rpc_timeout)
+            rpc = RpcLayer(node, default_timeout=self.config.rpc_timeout,
+                           metrics=self.metrics)
             server = MultiReplicaServer(node, rpc, coterie_rule, names,
-                                        self.items, config=self.config)
+                                        self.items, config=self.config,
+                                        metrics=self.metrics)
             self.nodes[name] = node
             self.servers[name] = server
             self.coordinators[name] = MultiItemCoordinator(server,
@@ -895,6 +906,10 @@ class MultiItemStore:
         newest = max((server.epoch for server in self.servers.values()),
                      key=lambda pair: pair[1])
         return tuple(newest[0]), newest[1]
+
+    def metrics_snapshot(self) -> dict:
+        """Export the cluster's metrics (see :mod:`repro.obs`)."""
+        return self.metrics.snapshot()
 
     def verify(self) -> dict:
         """Assert one-copy serializability of the recorded history."""

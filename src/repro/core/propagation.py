@@ -22,42 +22,66 @@ MAX_FAILED_ROUNDS = 5
 
 
 def propagate(server, stale_nodes):
-    """Generator (node process): bring ``stale_nodes`` up to date."""
+    """Generator (node process): bring ``stale_nodes`` up to date.
+
+    Concurrent invocations on the same source dedup per target through
+    the volatile ``propagating`` set: an epoch check that re-seeds
+    propagation for a still-stale member (see
+    ``EpochChecker._reseed_propagation``) must not stack a second courier
+    onto a target one is already serving.  Targets leave the set the
+    moment this courier stops serving them -- healed, refused, or given
+    up on -- so a later re-mark can start a fresh courier immediately.
+    """
     env = server.env
     rpc = server.rpc
     config = server.config
-    pending = {name: 0 for name in stale_nodes if name != server.name}
+    inflight = server.node.volatile.setdefault("propagating", set())
+    pending = {name: 0 for name in stale_nodes
+               if name != server.name and name not in inflight}
+    inflight.update(pending)
+    gave_up = server.metrics.counter("propagation_gave_up")
 
-    while pending:
-        if server.state.stale or not server.node.up:
-            return  # no longer a valid source
-        for target in sorted(pending):
-            my_version = server.state.version
-            offer = PropagationOffer(source=server.name, version=my_version)
-            response = yield rpc.call(target, "propagation-offer", offer,
-                                      timeout=config.rpc_timeout)
-            if response is CALL_FAILED:
-                pending[target] += 1
-                if pending[target] >= MAX_FAILED_ROUNDS:
-                    server._trace("propagation-gave-up", target=target)
+    try:
+        while pending:
+            if server.state.stale or not server.node.up:
+                return  # no longer a valid source
+            for target in sorted(pending):
+                my_version = server.state.version
+                offer = PropagationOffer(source=server.name,
+                                         version=my_version)
+                response = yield rpc.call(target, "propagation-offer", offer,
+                                          timeout=config.rpc_timeout)
+                if response is CALL_FAILED:
+                    pending[target] += 1
+                    if pending[target] >= MAX_FAILED_ROUNDS:
+                        server._trace("propagation-gave-up", target=target)
+                        gave_up.inc()
+                        del pending[target]
+                        inflight.discard(target)
+                    continue
+                if response == "i-am-current":
                     del pending[target]
-                continue
-            if response == "i-am-current":
-                del pending[target]
-                continue
-            if response == "already-recovering":
-                pending[target] = 0
-                continue  # the appendix's pause-and-reoffer
-            if (isinstance(response, tuple)
-                    and response[0] == "propagation-permitted"):
-                target_version = response[1]
-                done = yield from _ship(server, target, target_version)
-                if done:
-                    del pending[target]
-                else:
+                    inflight.discard(target)
+                    continue
+                if response == "already-recovering":
                     pending[target] = 0
-        if pending:
-            yield env.timeout(config.propagation_retry)
+                    continue  # the appendix's pause-and-reoffer
+                if (isinstance(response, tuple)
+                        and response[0] == "propagation-permitted"):
+                    target_version = response[1]
+                    done = yield from _ship(server, target, target_version)
+                    if done:
+                        del pending[target]
+                        inflight.discard(target)
+                    else:
+                        pending[target] = 0
+            if pending:
+                yield env.timeout(config.propagation_retry)
+    finally:
+        # early exits (stale source, crash) release the rest of the claims
+        inflight = server.node.volatile.get("propagating")
+        if inflight is not None:
+            inflight.difference_update(pending)
 
 
 def _ship(server, target: str, target_version: int):

@@ -40,6 +40,7 @@ from repro.core.messages import (
     StateResponse,
 )
 from repro.core.state import ReplicaState, initial_state
+from repro.obs.metrics import NULL_REGISTRY
 from repro.sim.node import Node
 from repro.sim.rpc import CALL_FAILED, RpcLayer
 
@@ -51,10 +52,12 @@ class ReplicaServer:
                  coterie_rule: CoterieRule,
                  all_nodes: tuple[str, ...],
                  config: Optional[ProtocolConfig] = None,
-                 initial_value: Optional[dict] = None):
+                 initial_value: Optional[dict] = None,
+                 metrics=None):
         self.node = node
         self.rpc = rpc
         self.env = node.env
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.coterie_rule = coterie_rule
         self.all_nodes = tuple(sorted(all_nodes))
         self.config = (config or ProtocolConfig()).validate()
@@ -72,6 +75,17 @@ class ReplicaServer:
         rpc.liveness_observer = self.liveness.observe
         node.add_crash_hook(self.liveness.clear)
         node.add_recover_hook(self._on_recover)
+        # Observability (docs/OBSERVABILITY.md): staleness accounting and
+        # the epoch-checker health watchdog, pre-bound for the hot paths.
+        # _stale_since lives on the server (not volatile) on purpose: a
+        # crash does not end the staleness episode, so the heal lag keeps
+        # accruing across it.
+        self._stale_since: Optional[float] = None
+        self._m_stale_marks = self.metrics.counter("stale_marks",
+                                                   node=self.name)
+        self._m_heal_lag = self.metrics.histogram("stale_heal_lag")
+        self._m_last_check = self.metrics.gauge("epoch_last_check_seen",
+                                                node=self.name)
 
         serve = rpc.serve
         serve("write-request", self._on_write_request)
@@ -211,6 +225,7 @@ class ReplicaServer:
         # in the absence of failures (paper Section 4.3).  The subsequent
         # install transaction locks and re-validates this snapshot.
         self.node.volatile["last_epoch_check_seen"] = self.env.now
+        self._m_last_check.set(self.env.now)
         return self._response()
 
     def _on_op_release(self, src: str, op_id: str) -> str:
@@ -291,6 +306,13 @@ class ReplicaServer:
         self._release_op(prepare.op_id)
         self._trace("txn-abort", txn_id=txn_id)
 
+    def _mark_stale_metrics(self) -> None:
+        """Open a staleness episode (first mark only; re-marks that bump
+        the desired version extend the same episode)."""
+        self._m_stale_marks.inc()
+        if self._stale_since is None:
+            self._stale_since = self.env.now
+
     def _apply_command(self, command) -> None:
         if isinstance(command, ApplyWrite):
             self.state = self.state.applied(command.updates,
@@ -301,6 +323,7 @@ class ReplicaServer:
                                                  command.good_nodes)
         elif isinstance(command, MarkStale):
             self.state = self.state.marked_stale(command.dversion)
+            self._mark_stale_metrics()
             if command.good_nodes:
                 self.node.stable["last_good"] = (command.dversion,
                                                  command.good_nodes)
@@ -325,6 +348,7 @@ class ReplicaServer:
                                           command.epoch_number)
             if self.name in command.stale:
                 state = state.marked_stale(command.max_version)
+                self._mark_stale_metrics()
             self.state = state
             # durable epoch lineage: lets verification re-check Lemma 1's
             # precondition (each epoch contains a write quorum of its
@@ -477,5 +501,10 @@ class ReplicaServer:
         finally:
             self.node.volatile.pop("recovering", None)
             self.lock.release(owner)
+        if self._stale_since is not None and not self.state.stale:
+            # stale -> healed propagation lag: episode opened at the first
+            # stale-mark, closed by the catch-up that cleared the flag
+            self._m_heal_lag.observe(self.env.now - self._stale_since)
+            self._stale_since = None
         self._trace("caught-up", version=self.state.version, source=src)
         return "done"

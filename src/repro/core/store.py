@@ -34,6 +34,7 @@ from repro.core.history import (
 from repro.core.messages import EpochCheckResult, ReadResult, WriteResult
 from repro.core.replica import ReplicaServer
 from repro.coteries.base import CoterieRule
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
 from repro.coteries.grid import GridCoterie
 from repro.sim.engine import Environment, Process
 from repro.sim.failures import FailureInjector, FailureSchedule
@@ -56,13 +57,23 @@ class ReplicatedStore:
                  latency: tuple[float, float] = (0.001, 0.01),
                  initial_value: Optional[dict] = None,
                  auto_epoch_check: bool = False,
-                 trace_enabled: bool = False):
+                 trace_enabled: bool = False,
+                 metrics: bool | MetricsRegistry = True):
         names = tuple(sorted(node_names))
         if len(set(names)) != len(names):
             raise StoreError("duplicate node names")
         self.env = Environment()
         self.trace = TraceLog(enabled=trace_enabled)
         self.rng = random.Random(seed)
+        # one registry per cluster, shared by every layer below; pass an
+        # existing MetricsRegistry to aggregate several stores, or False
+        # to swap in the shared no-op registry
+        if isinstance(metrics, (MetricsRegistry, NullRegistry)):
+            self.metrics = metrics
+        elif metrics:
+            self.metrics = MetricsRegistry(clock=lambda: self.env.now)
+        else:
+            self.metrics = NULL_REGISTRY
         self.network = Network(
             self.env,
             latency=LatencyModel(latency[0], latency[1],
@@ -76,10 +87,12 @@ class ReplicatedStore:
         self.checkers: dict[str, EpochChecker] = {}
         for name in names:
             node = Node(self.env, self.network, name)
-            rpc = RpcLayer(node, default_timeout=self.config.rpc_timeout)
+            rpc = RpcLayer(node, default_timeout=self.config.rpc_timeout,
+                           metrics=self.metrics)
             server = ReplicaServer(node, rpc, coterie_rule, names,
                                    config=self.config,
-                                   initial_value=initial_value)
+                                   initial_value=initial_value,
+                                   metrics=self.metrics)
             self.nodes[name] = node
             self.servers[name] = server
             self.coordinators[name] = Coordinator(server,
@@ -208,6 +221,12 @@ class ReplicatedStore:
         return self.injector
 
     # -- inspection -------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """A JSON-able snapshot of every protocol metric (see
+        :mod:`repro.obs`); merge several with
+        :func:`repro.obs.merge_snapshots`."""
+        return self.metrics.snapshot()
+
     def replica_state(self, name: str):
         """The durable replica state of one node."""
         return self.servers[name].state

@@ -91,6 +91,7 @@ def run_transaction(server, commands: Mapping[str, Any], op_id: str,
         # participants that missed the commit will learn it via the
         # termination protocol or the recovery rebroadcast; no retry
         # needed here
+        server.metrics.counter("twophase_commits").inc()
         return True
 
     active.discard(txn_id)
@@ -100,6 +101,10 @@ def run_transaction(server, commands: Mapping[str, Any], op_id: str,
         yield gather(rpc, aborts, timeout=config.rpc_timeout)
     node.trace.record(node.env.now, "txn-aborted", node.name, txn_id=txn_id,
                       votes={d: repr(v) for d, v in votes.items()})
+    reason = ("participant-unreachable"
+              if any(not votes[dst] for dst in participants)
+              else "validation-failed")
+    server.metrics.counter("twophase_aborts", reason=reason).inc()
     return False
 
 

@@ -1,0 +1,39 @@
+"""Observability: metrics, operation tracing summaries, health reports.
+
+The protocol stack (RPC layer, coordinators, replicas, propagation,
+two-phase commit, epoch checking) records counters, gauges, and latency
+histograms into a shared :class:`~repro.obs.metrics.MetricsRegistry`
+owned by the store facade.  Snapshots are plain JSON and merge across
+runs, so chaos sweeps and parallel fan-outs aggregate exactly.  See
+``docs/OBSERVABILITY.md`` for the metric catalog and hook points.
+"""
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    merge_snapshots,
+)
+from repro.obs.report import (
+    build_summary,
+    epoch_health,
+    render_table,
+    validate_summary,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "merge_snapshots",
+    "build_summary",
+    "epoch_health",
+    "render_table",
+    "validate_summary",
+]

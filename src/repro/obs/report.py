@@ -1,0 +1,239 @@
+"""Derived views over metric snapshots: summaries, health, rendering.
+
+A raw snapshot (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`) is
+exact but low-level -- flat ``name{label=value}`` keys and raw histogram
+samples.  This module turns it into the operator-facing artefacts:
+
+* :func:`build_summary` -- the ``repro-metrics-summary-v1`` JSON the
+  ``repro metrics --json`` command exports: per-op latency percentiles,
+  RPC link totals, stale->healed lag, 2PC abort reasons, epoch activity,
+  and the epoch-checker health watchdog (time since each node last saw
+  an epoch check -- the signal that turns a silently stalled initiator
+  into an alertable number).
+* :func:`epoch_health` -- just the watchdog ages, for tests and alerts.
+* :func:`render_table` -- a text rendering of the summary for the CLI.
+* :func:`validate_summary` -- the schema check CI runs on the export.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import split_key, summarize_samples
+
+#: Summary format identifier (distinct from the raw-snapshot schema).
+SUMMARY_SCHEMA = "repro-metrics-summary-v1"
+
+
+def _group_counters(counters: dict, name: str, by: str) -> dict:
+    """Sum ``name``-family counters grouped by one label."""
+    grouped: dict[str, int] = {}
+    for key, value in counters.items():
+        base, labels = split_key(key)
+        if base == name:
+            label = labels.get(by, "")
+            grouped[label] = grouped.get(label, 0) + value
+    return grouped
+
+
+def _sum_counters(counters: dict, name: str) -> int:
+    """Total of every counter in the ``name`` family, labels collapsed."""
+    return sum(value for key, value in counters.items()
+               if split_key(key)[0] == name)
+
+
+def _pooled_samples(histograms: dict, name: str,
+                    label: str = None, value: str = None) -> list:
+    """All samples of the ``name`` histogram family, optionally filtered
+    to one label value."""
+    pooled: list = []
+    for key, hist in histograms.items():
+        base, labels = split_key(key)
+        if base != name:
+            continue
+        if label is not None and labels.get(label) != value:
+            continue
+        pooled.extend(hist.get("samples", ()))
+    return pooled
+
+
+def epoch_health(snapshot: dict, now: float = None) -> dict:
+    """Time since each node last saw an epoch check, from the watchdog
+    gauge ``epoch_last_check_seen{node=...}``.
+
+    A healthy cluster keeps every age below a small multiple of
+    ``epoch_check_interval``; an age that grows without bound is the
+    signature of the initiator-stall failure mode (see
+    ``docs/PROTOCOL.md``, "Monitoring epoch health").
+    """
+    if now is None:
+        now = snapshot.get("time") or 0.0
+    ages = {}
+    for key, value in snapshot.get("gauges", {}).items():
+        base, labels = split_key(key)
+        if base == "epoch_last_check_seen" and "node" in labels:
+            ages[labels["node"]] = round(now - value, 6)
+    return ages
+
+
+def build_summary(snapshot: dict) -> dict:
+    """The JSON-able operator summary of one (possibly merged) snapshot."""
+    counters = snapshot.get("counters", {})
+    histograms = snapshot.get("histograms", {})
+    op_kinds = sorted({split_key(k)[1].get("kind", "")
+                       for k in histograms if split_key(k)[0] == "op_latency"})
+    ops = {}
+    for kind in op_kinds:
+        latency = summarize_samples(
+            _pooled_samples(histograms, "op_latency", "kind", kind))
+        ops[kind] = {
+            "latency": latency,
+            "outcomes": _group_counters(
+                {k: v for k, v in counters.items()
+                 if split_key(k)[1].get("kind") == kind},
+                "ops", "outcome"),
+            "polls": _group_counters(counters, "op_polls", "kind").get(kind, 0),
+            "retries": _group_counters(counters, "op_retries",
+                                       "kind").get(kind, 0),
+        }
+
+    timeouts_by_link = _group_counters(counters, "rpc_timeouts", "dst")
+    heal_lag = summarize_samples(_pooled_samples(histograms, "stale_heal_lag"))
+    return {
+        "schema": SUMMARY_SCHEMA,
+        "time": snapshot.get("time"),
+        "ops": ops,
+        "rpc": {
+            "attempts": _sum_counters(counters, "rpc_attempts"),
+            "timeouts": _sum_counters(counters, "rpc_timeouts"),
+            "timeouts_by_dst": dict(sorted(timeouts_by_link.items())),
+        },
+        "planner": {
+            "detours": _sum_counters(counters, "planner_detours"),
+        },
+        "staleness": {
+            "marks": _sum_counters(counters, "stale_marks"),
+            "healed": heal_lag.get("count", 0),
+            "heal_lag": heal_lag,
+        },
+        "twophase": {
+            "commits": _sum_counters(counters, "twophase_commits"),
+            "aborts": _group_counters(counters, "twophase_aborts", "reason"),
+        },
+        "propagation": {
+            "gave_up": _sum_counters(counters, "propagation_gave_up"),
+            "reseeded": _sum_counters(counters, "propagation_reseeded"),
+        },
+        "epoch": {
+            "checks": _group_counters(counters, "epoch_checks", "outcome"),
+            "installs": _sum_counters(counters, "epoch_installs"),
+            "elections": _sum_counters(counters, "epoch_elections"),
+            "initiator_elected": _sum_counters(counters, "initiator_elected"),
+            "initiator_demoted": _sum_counters(counters, "initiator_demoted"),
+            "health": epoch_health(snapshot),
+        },
+    }
+
+
+def validate_summary(summary: dict) -> dict:
+    """Assert the summary has the v1 shape; returns it for chaining.
+
+    This is the schema gate CI runs against ``repro metrics --json``:
+    cheap structural checks, not a full JSON-Schema engine, but enough
+    to catch a silently dropped section or a renamed key.
+    """
+    if summary.get("schema") != SUMMARY_SCHEMA:
+        raise ValueError(f"schema is {summary.get('schema')!r}, "
+                         f"expected {SUMMARY_SCHEMA!r}")
+    for section, keys in (
+            ("rpc", ("attempts", "timeouts", "timeouts_by_dst")),
+            ("planner", ("detours",)),
+            ("staleness", ("marks", "healed", "heal_lag")),
+            ("twophase", ("commits", "aborts")),
+            ("propagation", ("gave_up", "reseeded")),
+            ("epoch", ("checks", "installs", "elections", "health"))):
+        body = summary.get(section)
+        if not isinstance(body, dict):
+            raise ValueError(f"missing or malformed section {section!r}")
+        for key in keys:
+            if key not in body:
+                raise ValueError(f"section {section!r} is missing {key!r}")
+    ops = summary.get("ops")
+    if not isinstance(ops, dict):
+        raise ValueError("missing or malformed section 'ops'")
+    for kind, body in ops.items():
+        latency = body.get("latency", {})
+        if latency.get("count", 0) > 0:
+            for pct in ("p50", "p95", "p99"):
+                if not isinstance(latency.get(pct), (int, float)):
+                    raise ValueError(
+                        f"ops[{kind!r}].latency.{pct} is not a number")
+    for node, age in summary["epoch"]["health"].items():
+        if not isinstance(age, (int, float)):
+            raise ValueError(f"epoch.health[{node!r}] is not a number")
+    return summary
+
+
+def _fmt(value, width: int = 8) -> str:
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, float):
+        return f"{value:.4f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def render_table(summary: dict) -> str:
+    """A text rendering of :func:`build_summary` for the CLI."""
+    lines = [f"metrics summary @ sim t={_fmt(summary.get('time'), 0).strip()}"]
+    lines.append("")
+    lines.append(f"{'op':>10}  {'n':>6}  {'mean':>8}  {'p50':>8}  "
+                 f"{'p95':>8}  {'p99':>8}  {'polls':>6}  {'retries':>7}  "
+                 "outcomes")
+    for kind, body in sorted(summary.get("ops", {}).items()):
+        latency = body["latency"]
+        outcomes = ",".join(f"{k}={v}" for k, v in
+                            sorted(body["outcomes"].items()))
+        lines.append(
+            f"{kind:>10}  {latency.get('count', 0):>6}  "
+            f"{_fmt(latency.get('mean'))}  {_fmt(latency.get('p50'))}  "
+            f"{_fmt(latency.get('p95'))}  {_fmt(latency.get('p99'))}  "
+            f"{body['polls']:>6}  {body['retries']:>7}  {outcomes}")
+    rpc = summary["rpc"]
+    lines.append("")
+    lines.append(f"rpc: {rpc['attempts']} attempts, "
+                 f"{rpc['timeouts']} timeouts; planner detours: "
+                 f"{summary['planner']['detours']}")
+    worst = sorted(((dst, n) for dst, n in rpc["timeouts_by_dst"].items()
+                    if n > 0), key=lambda kv: -kv[1])[:5]
+    if worst:
+        lines.append("  worst links (timeouts by dst): "
+                     + ", ".join(f"{dst}={n}" for dst, n in worst))
+    stale = summary["staleness"]
+    lag = stale["heal_lag"]
+    lines.append(f"staleness: {stale['marks']} marks, "
+                 f"{stale['healed']} healed; heal lag "
+                 f"p50={_fmt(lag.get('p50'), 0).strip()} "
+                 f"p95={_fmt(lag.get('p95'), 0).strip()} "
+                 f"max={_fmt(lag.get('max'), 0).strip()}")
+    two = summary["twophase"]
+    aborts = ",".join(f"{k}={v}" for k, v in sorted(two["aborts"].items()))
+    lines.append(f"2pc: {two['commits']} commits, aborts: {aborts or 'none'}")
+    prop = summary["propagation"]
+    lines.append(f"propagation: gave_up={prop['gave_up']} "
+                 f"reseeded={prop['reseeded']}")
+    epoch = summary["epoch"]
+    checks = ",".join(f"{k}={v}" for k, v in sorted(epoch["checks"].items()))
+    lines.append(f"epoch: checks[{checks or 'none'}] "
+                 f"installs={epoch['installs']} "
+                 f"elections={epoch['elections']} "
+                 f"elected={epoch['initiator_elected']} "
+                 f"demoted={epoch['initiator_demoted']}")
+    health = epoch["health"]
+    if health:
+        worst_age = max(health.values())
+        lines.append("  epoch-check ages: "
+                     + ", ".join(f"{node}={age:g}" for node, age
+                                 in sorted(health.items()))
+                     + f"  (worst {worst_age:g})")
+    else:
+        lines.append("  epoch-check ages: none recorded "
+                     "(no epoch checks ran)")
+    return "\n".join(lines)

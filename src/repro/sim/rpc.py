@@ -19,6 +19,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional
 
+from repro.obs.metrics import NULL_REGISTRY
 from repro.sim.engine import Environment, Event
 from repro.sim.node import Node
 
@@ -108,10 +109,16 @@ class RpcLayer:
 
     _IN_PROGRESS = object()   # sentinel: handler started, no response yet
 
-    def __init__(self, node: Node, default_timeout: float = 0.5):
+    def __init__(self, node: Node, default_timeout: float = 0.5,
+                 metrics=None):
         self.node = node
         self.env: Environment = node.env
         self.default_timeout = default_timeout
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        # dst -> (attempts counter, timeouts counter), bound lazily so the
+        # per-call cost is one dict lookup (the wave fan-out is the
+        # simulation's hottest loop)
+        self._link_stats: dict[str, tuple] = {}
         self._req_ids = itertools.count(1)
         # (caller, req_id) -> response value or _IN_PROGRESS (bounded LRU)
         self._served: OrderedDict[tuple[str, int], Any] = OrderedDict()
@@ -128,6 +135,17 @@ class RpcLayer:
         node.add_crash_hook(self._on_crash)
 
     # -- client side -------------------------------------------------------
+    def _link(self, dst: str) -> tuple:
+        """The (attempts, timeouts) counters for one outgoing link."""
+        entry = self._link_stats.get(dst)
+        if entry is None:
+            entry = (self.metrics.counter("rpc_attempts",
+                                          src=self.node.name, dst=dst),
+                     self.metrics.counter("rpc_timeouts",
+                                         src=self.node.name, dst=dst))
+            self._link_stats[dst] = entry
+        return entry
+
     def call(self, dst: str, method: str, args: Any = None,
              timeout: Optional[float] = None) -> Event:
         """Start a call; the returned event yields the response value or
@@ -138,6 +156,7 @@ class RpcLayer:
         self._pending[req_id] = (result, dst)
         self.node.trace.record(self.env.now, "rpc-call", self.node.name,
                                method=method, dst=dst, req_id=req_id)
+        self._link(dst)[0].inc()
         self.node.send(dst, self.REQUEST_KIND,
                        _Request(req_id, method, args, self.node.name))
         self.env._schedule_call(lambda: self._expire(req_id), delay=deadline)
@@ -173,6 +192,7 @@ class RpcLayer:
             wave.req_ids[req_id] = dst
             trace.record(now, "rpc-call", name,
                          method=method, dst=dst, req_id=req_id)
+            self._link(dst)[0].inc()
             send(dst, self.REQUEST_KIND, _Request(req_id, method, args, name))
         self.env._schedule_call(lambda: self._expire_wave(wave),
                                 delay=deadline)
@@ -203,6 +223,7 @@ class RpcLayer:
         if not event.triggered:
             self.node.trace.record(self.env.now, "rpc-timeout", self.node.name,
                                    req_id=req_id)
+            self._link(dst)[1].inc()
             self._observe(dst, ok=False)
             event.succeed(CALL_FAILED)
 
@@ -217,6 +238,7 @@ class RpcLayer:
                 continue
             trace.record(now, "rpc-timeout", self.node.name, req_id=req_id)
             wave.results[dst] = CALL_FAILED
+            self._link(dst)[1].inc()
             self._observe(dst, ok=False)
         wave.req_ids.clear()
         wave.event.succeed(wave.results)

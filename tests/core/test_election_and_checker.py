@@ -2,6 +2,7 @@
 
 from repro.core.config import ProtocolConfig
 from repro.core.store import ReplicatedStore
+from repro.obs import epoch_health
 
 
 def fast_config(**overrides):
@@ -104,4 +105,92 @@ class TestAutomaticEpochManagement:
             assert store.write({"k": i}, via=f"n{i % 9:02d}").ok
             store.advance(3.0)
         assert store.current_epoch()[1] == 0
+        store.verify()
+
+
+class TestInitiatorStallRegression:
+    """The initiator's periodic loop must survive an ``already-running``
+    pulse.  It used to ``return`` instead: one collision with a
+    concurrent check (workload-driven, suspicion-triggered, boot-time)
+    silently killed periodic epoch checking forever -- the initiator
+    still believed it held the role, so nobody re-elected either."""
+
+    def _checks_run(self, store) -> int:
+        counters = store.metrics_snapshot()["counters"]
+        return sum(v for k, v in counters.items()
+                   if k.startswith("epoch_checks"))
+
+    def test_pulse_survives_concurrent_check(self):
+        # staleness is huge so a watchdog re-election cannot mask the
+        # stall: if the loop dies, checking stays dead
+        store = ReplicatedStore.create(
+            5, seed=9, config=fast_config(epoch_check_staleness=10_000.0),
+            auto_epoch_check=True)
+        interval = store.config.epoch_check_interval
+        store.advance(40)
+        assert store.checkers["n04"].is_initiator
+
+        # hold the per-node guard long enough that at least two pulses
+        # collide with the "concurrent" check and see already-running
+        store.nodes["n04"].volatile["epoch_checking"] = True
+        store.advance(2 * interval + 1)
+        del store.nodes["n04"].volatile["epoch_checking"]
+        checks_at_release = self._checks_run(store)
+
+        store.advance(4 * interval)
+        # the watchdog metric is the alertable signal: time since each
+        # node last saw an epoch-check poll must be below ~one interval
+        ages = epoch_health(store.metrics_snapshot())
+        assert ages["n04"] < 2 * interval, \
+            f"epoch checking stalled: watchdog age {ages['n04']}"
+        # and the pulses really resumed
+        assert self._checks_run(store) > checks_at_release
+        assert store.checkers["n04"].is_initiator
+
+    def test_concurrent_check_bursts_counted_and_survived(self):
+        # through the public API: same-tick manual checks on the
+        # initiator collide on the per-node guard.  The collisions must
+        # surface in the metrics (outcome=already-running) and the
+        # periodic pulse must keep running afterwards.
+        store = ReplicatedStore.create(
+            5, seed=10, config=fast_config(epoch_check_staleness=10_000.0),
+            auto_epoch_check=True)
+        interval = store.config.epoch_check_interval
+        store.advance(40)
+        for _ in range(6):
+            procs = [store.start_epoch_check(via="n04") for _ in range(3)]
+            store.join(*procs)
+            store.advance(interval / 3)
+        counters = store.metrics_snapshot()["counters"]
+        assert counters["epoch_checks{outcome=already-running}"] >= 6
+        store.advance(3 * interval)
+        ages = epoch_health(store.metrics_snapshot())
+        assert ages["n04"] < 2 * interval
+
+
+class TestDuplicateInitiatorConvergence:
+    def test_partition_heal_leaves_one_initiator(self):
+        store = ReplicatedStore.create(5, seed=11, config=fast_config(),
+                                       auto_epoch_check=True)
+        store.advance(60)
+        assert store.checkers["n04"].is_initiator
+        store.partition(["n04"])
+        store.advance(80)
+        # split brain while partitioned: the majority elected n03, and
+        # isolated n04 has no way to know
+        initiators = sorted(name for name, checker in store.checkers.items()
+                            if checker.is_initiator)
+        assert initiators == ["n03", "n04"]
+
+        store.heal()
+        # n03's next pulse probes the higher names, hears n04 answer
+        # "alive", and steps down (the victory message n04 once sent was
+        # lost to the partition and is never re-sent)
+        store.advance(4 * store.config.epoch_check_interval)
+        initiators = sorted(name for name, checker in store.checkers.items()
+                            if checker.is_initiator)
+        assert initiators == ["n04"]
+        counters = store.metrics_snapshot()["counters"]
+        assert counters.get("initiator_demoted", 0) >= 1
+        store.settle()
         store.verify()

@@ -172,6 +172,49 @@ class TestHealing:
         store.advance(60)
         gave_up = store.trace.select(kind="propagation-gave-up")
         assert {rec.detail["target"] for rec in gave_up} == set(victims)
+        counters = store.metrics_snapshot()["counters"]
+        assert counters.get("propagation_gave_up", 0) == len(gave_up)
+
+    def test_epoch_check_reseeds_propagation_after_give_up(self):
+        # A stale replica behind a partition outlives every courier: the
+        # sources hit MAX_FAILED_ROUNDS and drop it.  After the heal the
+        # next epoch check -- membership unchanged -- must notice the
+        # still-stale member and re-seed propagation, or it stays stale
+        # forever.
+        store = ReplicatedStore.create(9, seed=13, trace_enabled=True)
+        store.write({"a": 1}, via="n00")
+        store.crash("n08")
+        assert store.check_epoch().changed          # epoch sheds n08
+        store.write({"b": 2}, via="n00")
+        store.recover("n08")
+        result = store.check_epoch()                # n08 rejoins, stale
+        assert result.changed and "n08" in result.stale
+
+        store.partition(["n08"])                    # couriers can't reach it
+        store.advance(40)                           # every source gives up
+        gave_up = store.trace.select(
+            kind="propagation-gave-up",
+            predicate=lambda r: r.detail["target"] == "n08")
+        assert gave_up
+        assert store.metrics_snapshot()["counters"][
+            "propagation_gave_up"] >= 1
+
+        store.heal()
+        store.advance(10)
+        # nobody is serving n08 any more; without the re-seed hook it
+        # would stay stale indefinitely
+        assert store.replica_state("n08").stale
+        check = store.check_epoch(via="n00")
+        assert check.ok and not check.changed
+        store.settle()
+        state = store.replica_state("n08")
+        assert not state.stale
+        assert state.value == {"a": 1, "b": 2}
+        counters = store.metrics_snapshot()["counters"]
+        assert counters.get("propagation_reseeded", 0) >= 1
+        reseeded = store.trace.select(kind="propagation-reseeded")
+        assert any("n08" in rec.detail["targets"] for rec in reseeded)
+        store.verify()
 
 
 class TestPartitionHealing:

@@ -6,13 +6,15 @@ from repro.core.config import ProtocolConfig
 from repro.core.store import ReplicatedStore
 
 
-def make_store(suspicion=True, seed=1):
-    config = ProtocolConfig(
+def make_store(suspicion=True, seed=1, **overrides):
+    settings = dict(
         suspicion_triggers_check=suspicion,
         suspicion_debounce=1.0,
         epoch_check_interval=60.0,       # periodic pulse far away
         epoch_check_staleness=120.0,
         election_timeout=0.5)
+    settings.update(overrides)
+    config = ProtocolConfig(**settings)
     store = ReplicatedStore.create(9, seed=seed, config=config,
                                    auto_epoch_check=True,
                                    trace_enabled=True)
@@ -79,6 +81,35 @@ class TestSuspicionTrigger:
         store.advance(150)                # re-election + rejoin pulses
         store.settle()
         store.verify()
+
+    def test_decay_mid_debounce_does_not_suppress_next_check(self):
+        # A suspicion that decays (LivenessView ttl) while the debounce
+        # window is still open must leave nothing behind that suppresses
+        # the next suspicion-triggered check: the debounce is purely a
+        # rate limit on _on_suspect, independent of whether the suspect
+        # that opened the window is still held.
+        store = make_store(suspicion=True,
+                           suspicion_debounce=4.0, suspect_ttl=2.0)
+        checker = store.checkers["n08"]          # the initiator
+        liveness = store.servers["n08"].liveness
+        assert checker.is_initiator
+
+        liveness.observe("n03", ok=False)
+        assert checker._on_suspect("n00", ("n03",)) == "checking"
+        assert checker._on_suspect("n01", ("n03",)) == "debounced"
+
+        # the suspect expires mid-debounce (ttl 2 < debounce 4) ...
+        store.advance(store.config.suspect_ttl + 1)
+        assert not liveness.suspects()
+        # ... which must not reset or shorten the open window
+        assert checker._on_suspect("n02", ("n03",)) == "debounced"
+
+        # once the window closes, a fresh suspicion checks again
+        store.advance(store.config.suspicion_debounce)
+        liveness.observe("n05", ok=False)
+        assert checker._on_suspect("n00", ("n05",)) == "checking"
+        checks = store.trace.select(kind="suspicion-check")
+        assert len(checks) == 2
 
     def test_bad_debounce_rejected(self):
         with pytest.raises(ValueError):

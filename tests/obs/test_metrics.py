@@ -1,0 +1,220 @@
+"""The observability layer: metric primitives, snapshots, merging,
+summaries, and the end-to-end wiring through the protocol stack."""
+
+import pytest
+
+from repro.core.store import ReplicatedStore
+from repro.obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    build_summary,
+    epoch_health,
+    merge_snapshots,
+    render_table,
+    validate_summary,
+)
+from repro.obs.metrics import percentile, split_key, summarize_samples
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("events", kind="a")
+        counter.inc()
+        counter.inc(3)
+        assert reg.counter("events", kind="a").value == 4
+        # a different label set is a different counter
+        assert reg.counter("events", kind="b").value == 0
+
+    def test_gauge_keeps_last_value(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("seen", node="n00")
+        assert gauge.value is None
+        gauge.set(1.5)
+        gauge.set(0.5)
+        assert gauge.value == 0.5
+
+    def test_histogram_percentiles_nearest_rank(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat")
+        for v in range(1, 101):
+            hist.observe(float(v))
+        assert hist.percentile(0.50) == 50.0
+        assert hist.percentile(0.95) == 95.0
+        assert hist.percentile(0.99) == 99.0
+        summary = hist.summary()
+        assert summary["count"] == 100
+        assert summary["min"] == 1.0 and summary["max"] == 100.0
+
+    def test_percentile_edge_cases(self):
+        assert percentile([], 0.5) is None
+        assert percentile([7.0], 0.99) == 7.0
+        assert summarize_samples([]) == {"count": 0}
+
+    def test_split_key_roundtrip(self):
+        from repro.obs.metrics import _key
+
+        key = _key("rpc_attempts", {"src": "n00", "dst": "n01"})
+        assert key == "rpc_attempts{dst=n01,src=n00}"
+        assert split_key(key) == ("rpc_attempts",
+                                  {"src": "n00", "dst": "n01"})
+        assert split_key("plain") == ("plain", {})
+
+    def test_null_registry_is_inert(self):
+        metric = NULL_REGISTRY.counter("whatever", any_label="x")
+        metric.inc()
+        metric.set(3.0)
+        metric.observe(1.0)
+        assert metric is NULL_REGISTRY.histogram("other")
+        snap = NULL_REGISTRY.snapshot()
+        assert snap["counters"] == {} and snap["histograms"] == {}
+        assert not NULL_REGISTRY.enabled
+
+
+class TestSnapshotsAndMerging:
+    def test_snapshot_shape(self):
+        clock = [2.5]
+        reg = MetricsRegistry(clock=lambda: clock[0])
+        reg.counter("c", k="v").inc(2)
+        reg.gauge("g").set(1.0)
+        reg.gauge("unset_gauge")        # never set: excluded
+        reg.histogram("h").observe(0.25)
+        snap = reg.snapshot()
+        assert snap["schema"] == "repro-metrics-v1"
+        assert snap["time"] == 2.5
+        assert snap["counters"] == {"c{k=v}": 2}
+        assert snap["gauges"] == {"g": 1.0}
+        assert snap["histograms"] == {"h": {"count": 1, "samples": [0.25]}}
+
+    def test_merge_counters_add_and_histograms_pool(self):
+        snaps = []
+        for t, value in ((1.0, 2), (2.0, 3)):
+            reg = MetricsRegistry(clock=lambda t=t: t)
+            reg.counter("c").inc(value)
+            reg.histogram("h").observe(float(value))
+            reg.gauge("g").set(t * 10)
+            snaps.append(reg.snapshot())
+        merged = merge_snapshots(snaps)
+        assert merged["counters"]["c"] == 5
+        assert sorted(merged["histograms"]["h"]["samples"]) == [2.0, 3.0]
+        # the gauge comes from the newest-stamped snapshot
+        assert merged["gauges"]["g"] == 20.0
+        assert merged["time"] == 2.0
+
+    def test_merge_rejects_foreign_schema(self):
+        with pytest.raises(ValueError):
+            merge_snapshots([{"schema": "someone-elses-format"}])
+
+
+class TestSummaries:
+    def _snapshot(self):
+        reg = MetricsRegistry(clock=lambda: 100.0)
+        for value in (0.1, 0.2, 0.9):
+            reg.histogram("op_latency", kind="write").observe(value)
+        reg.counter("ops", kind="write", outcome="ok").inc(3)
+        reg.counter("rpc_attempts", src="n00", dst="n01").inc(10)
+        reg.counter("rpc_timeouts", src="n00", dst="n01").inc(2)
+        reg.counter("twophase_aborts", reason="validation-failed").inc()
+        reg.histogram("stale_heal_lag").observe(4.0)
+        reg.counter("epoch_checks", outcome="unchanged").inc(5)
+        reg.gauge("epoch_last_check_seen", node="n00").set(97.0)
+        return reg.snapshot()
+
+    def test_build_and_validate_summary(self):
+        summary = validate_summary(build_summary(self._snapshot()))
+        assert summary["ops"]["write"]["latency"]["count"] == 3
+        assert summary["ops"]["write"]["latency"]["p50"] == 0.2
+        assert summary["ops"]["write"]["outcomes"] == {"ok": 3}
+        assert summary["rpc"]["timeouts_by_dst"] == {"n01": 2}
+        assert summary["twophase"]["aborts"] == {"validation-failed": 1}
+        assert summary["staleness"]["healed"] == 1
+        assert summary["epoch"]["checks"] == {"unchanged": 5}
+        assert summary["epoch"]["health"] == {"n00": 3.0}
+
+    def test_epoch_health_override_now(self):
+        ages = epoch_health(self._snapshot(), now=107.0)
+        assert ages == {"n00": 10.0}
+
+    def test_validate_rejects_missing_section(self):
+        summary = build_summary(self._snapshot())
+        del summary["staleness"]
+        with pytest.raises(ValueError):
+            validate_summary(summary)
+
+    def test_render_table_mentions_everything(self):
+        text = render_table(build_summary(self._snapshot()))
+        assert "write" in text and "rpc:" in text
+        assert "staleness:" in text and "2pc:" in text
+        assert "epoch-check ages" in text and "n00" in text
+
+
+class TestStoreWiring:
+    def test_ops_and_rpc_metrics_from_a_live_store(self):
+        store = ReplicatedStore.create(5, seed=1)
+        assert store.write({"x": 1}).ok
+        assert store.read().ok
+        summary = validate_summary(build_summary(store.metrics_snapshot()))
+        assert summary["ops"]["write"]["latency"]["count"] == 1
+        assert summary["ops"]["read"]["outcomes"] == {"ok": 1}
+        assert summary["rpc"]["attempts"] > 0
+        assert summary["twophase"]["commits"] == 1
+
+    def test_watchdog_gauge_tracks_epoch_checks(self):
+        store = ReplicatedStore.create(5, seed=2)
+        assert not epoch_health(store.metrics_snapshot())
+        store.check_epoch()
+        ages = epoch_health(store.metrics_snapshot())
+        assert set(ages) == set(store.node_names)
+        assert all(age < 1.0 for age in ages.values())
+        store.advance(30.0)
+        ages = epoch_health(store.metrics_snapshot())
+        assert all(29.0 < age < 32.0 for age in ages.values())
+
+    def test_stale_heal_lag_observed(self):
+        store = ReplicatedStore.create(9, seed=3)
+        store.write({"x": 1}, via="n00")
+        second = store.write({"y": 2}, via="n05")
+        assert second.stale
+        store.settle()
+        summary = build_summary(store.metrics_snapshot())
+        assert summary["staleness"]["marks"] >= len(second.stale)
+        assert summary["staleness"]["healed"] >= len(second.stale)
+        assert summary["staleness"]["heal_lag"]["max"] > 0.0
+
+    def test_rpc_timeouts_counted_per_link(self):
+        store = ReplicatedStore.create(5, seed=4)
+        store.write({"x": 1})
+        store.crash("n01")
+        store.write({"y": 2})
+        store.check_epoch()
+        counters = store.metrics_snapshot()["counters"]
+        timeouts = {split_key(k)[1]["dst"]: v for k, v in counters.items()
+                    if split_key(k)[0] == "rpc_timeouts" and v}
+        assert set(timeouts) == {"n01"}
+
+    def test_metrics_do_not_change_protocol_behaviour(self):
+        # determinism: instrumented and bare runs of the same seed make
+        # identical protocol decisions
+        outcomes = {}
+        for enabled in (True, False):
+            store = ReplicatedStore.create(7, seed=5, metrics=enabled)
+            results = [store.write({"k": i}, via=f"n{i % 3:02d}")
+                       for i in range(4)]
+            store.crash("n06")
+            store.check_epoch()
+            results.append(store.write({"fin": 1}))
+            outcomes[enabled] = (
+                [(r.ok, r.version, r.case) for r in results],
+                store.versions(), store.current_epoch())
+        assert outcomes[True] == outcomes[False]
+        store = ReplicatedStore.create(3, seed=6, metrics=False)
+        store.write({"x": 1})
+        assert store.metrics_snapshot()["counters"] == {}
+
+    def test_shared_registry_across_stores(self):
+        registry = MetricsRegistry()
+        for seed in (1, 2):
+            store = ReplicatedStore.create(3, seed=seed, metrics=registry)
+            store.write({"s": seed})
+        summary = build_summary(registry.snapshot())
+        assert summary["ops"]["write"]["latency"]["count"] == 2

@@ -129,6 +129,28 @@ class TestChaosCommand:
         assert "FAIL" in capsys.readouterr().out
 
 
+class TestMetricsCommand:
+    def test_table_output(self, capsys):
+        assert main(["metrics", "--seed", "0", "--ops", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "p95" in out and "rpc:" in out
+        assert "staleness:" in out and "epoch-check ages" in out
+
+    def test_json_artifact(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_summary
+
+        path = str(tmp_path / "metrics.json")
+        assert main(["metrics", "--seeds", "2", "--ops", "15",
+                     "--json", path]) == 0
+        assert path in capsys.readouterr().out
+        with open(path) as fh:
+            payload = json.load(fh)
+        validate_summary(payload["summary"])
+        assert payload["snapshot"]["schema"] == "repro-metrics-v1"
+
+
 class TestParser:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):

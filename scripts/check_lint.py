@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""The lint gate: every static check the repo enforces, in one command.
+
+Runs, in order:
+
+* **repro lint** -- the protocol-aware AST rules over ``src/repro``
+  (wall-clock discipline, seeded RNG, iteration-order hygiene, message
+  shape, metric keys) with a zero-findings baseline;
+* **repro lint --coteries** -- semantic verification of every
+  registered coterie family: axioms, engine consistency, and the
+  Lemma-1 epoch-transition sweep at N <= 9;
+* **ruff** and **mypy** -- *only if importable*.  The container image
+  does not ship them; CI installs the ``dev`` extra and gets the full
+  gate, while a bare checkout still gets the repro-specific checks.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_lint.py [--skip-coteries]
+
+Exit status 0 when every available check passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+sys.path.insert(0, str(SRC))
+
+
+def _run(label: str, argv: list) -> bool:
+    print(f"== {label}: {' '.join(argv)}")
+    proc = subprocess.run(argv, cwd=ROOT)
+    status = "ok" if proc.returncode == 0 else f"FAILED ({proc.returncode})"
+    print(f"== {label}: {status}\n")
+    return proc.returncode == 0
+
+
+def _have(module: str) -> bool:
+    return importlib.util.find_spec(module) is not None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--skip-coteries", action="store_true",
+                        help="skip the (slower) semantic coterie sweep")
+    args = parser.parse_args()
+
+    env_py = [sys.executable, "-m"]
+    ok = _run("repro lint",
+              env_py + ["repro", "lint", "src/repro"])
+    if not args.skip_coteries:
+        ok &= _run("repro lint --coteries",
+                   env_py + ["repro", "lint", "--coteries", "--max-n", "9"])
+
+    if _have("ruff"):
+        ok &= _run("ruff", env_py + ["ruff", "check", "src", "tests",
+                                     "scripts", "benchmarks"])
+    else:
+        print("== ruff: not installed, skipped (pip install -e .[dev])\n")
+    if _have("mypy"):
+        ok &= _run("mypy", env_py + ["mypy"])
+    else:
+        print("== mypy: not installed, skipped (pip install -e .[dev])\n")
+
+    print("lint gate:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,6 +77,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.coteries.base import CoterieRule
+from repro.sim.seeding import derive_rng
 from repro.coteries.grid import GridCoterie
 
 _popcount = int.bit_count
@@ -254,7 +255,9 @@ def simulate_static_availability(n_nodes: int, lam: float, mu: float,
     """Fraction of time the up-set contains a static quorum."""
     _check_kind(kind)
     _check_engine(engine)
-    rng = random.Random(seed)
+    # derive_rng with no namespace is exactly Random(seed): the golden
+    # regression values pin this stream bit-for-bit
+    rng = derive_rng(seed)
     nodes = [f"n{i:03d}" for i in range(n_nodes)]
     coterie = rule(nodes)
     events = _site_model_events(n_nodes, lam, mu, horizon, rng, sampler)
@@ -499,7 +502,9 @@ def simulate_dynamic_availability(
         raise ValueError("idealized mode assumes instantaneous checks")
     if check_interval is not None and check_interval <= 0:
         raise ValueError("check_interval must be positive")
-    rng = random.Random(seed)
+    # derive_rng with no namespace is exactly Random(seed): the golden
+    # regression values pin this stream bit-for-bit
+    rng = derive_rng(seed)
     nodes = [f"n{i:03d}" for i in range(n_nodes)]
     if engine == "bitmask":
         state = _BitmaskDynamicState(nodes, rule, idealized)

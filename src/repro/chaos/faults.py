@@ -31,6 +31,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 from repro.sim.network import Message
+from repro.sim.seeding import derive_rng
 
 
 @dataclass(frozen=True)
@@ -89,7 +90,8 @@ class LinkFaults:
                  rng: Optional[random.Random] = None):
         self.default_policy = (policy or FaultPolicy()).validate()
         self.per_link: dict[tuple[str, str], FaultPolicy] = {}
-        self.rng = rng or random.Random(0)
+        self.rng = (rng if rng is not None
+                    else derive_rng(0, "chaos.faults"))
         self.counts: Counter = Counter()
         self.enabled = True
 

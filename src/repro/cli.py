@@ -28,6 +28,12 @@ Commands
     propagation lag, 2PC abort reasons, epoch-checker health.
     ``--json`` exports the summary and raw snapshot for offline
     analysis; multi-seed runs merge exactly (pooled percentiles).
+``lint``
+    Protocol-aware static analysis: the AST rules of ``repro.lint``
+    (determinism, clock discipline, message shape, metric keys) over
+    the given paths, and with ``--coteries`` the semantic verification
+    of every registered coterie family and its Lemma-1 epoch
+    transitions at small N.  Exit 0 clean, 1 findings, 2 errors.
 """
 
 from __future__ import annotations
@@ -253,6 +259,61 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    import repro
+    from repro.lint import (
+        DEFAULT_RULES,
+        check_all_families,
+        lint_paths,
+        render_findings,
+        report_to_json,
+    )
+
+    exit_code = 0
+    payload: dict = {}
+
+    if not args.coteries or args.paths:
+        paths = ([Path(p) for p in args.paths] if args.paths
+                 else [Path(repro.__file__).parent])
+        report = lint_paths(paths, DEFAULT_RULES)
+        exit_code = max(exit_code, report.exit_code)
+        if args.json:
+            payload = report_to_json(report, DEFAULT_RULES)
+        else:
+            print(render_findings(report, DEFAULT_RULES))
+
+    if args.coteries:
+        results = check_all_families(max_n=args.max_n)
+        sem_findings = [f for r in results for f in r.findings]
+        if sem_findings:
+            exit_code = max(exit_code, 1)
+        if args.json:
+            payload["coteries"] = {
+                "ok": not sem_findings,
+                "families": [
+                    {"family": r.family, "n": r.n, "masks": r.masks,
+                     "transitions": r.transitions,
+                     "findings": [
+                         {"family": f.family, "n": f.n,
+                          "check": f.check, "message": f.message}
+                         for f in r.findings]}
+                    for r in results],
+            }
+            payload.setdefault("schema", "repro-lint-v1")
+        else:
+            for result in results:
+                print(result.summary())
+            for finding in sem_findings:
+                print(f"FINDING: {finding}")
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -355,6 +416,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write summary+snapshot JSON (default "
                               "path under results/ when no PATH given)")
     metrics.set_defaults(handler=_cmd_metrics)
+
+    lint = sub.add_parser(
+        "lint", help="protocol-aware static analysis (determinism, "
+                     "clock discipline, message shape, metric keys) "
+                     "and, with --coteries, semantic verification of "
+                     "every coterie family and its epoch transitions")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files/directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable report (schema "
+                           "repro-lint-v1)")
+    lint.add_argument("--coteries", action="store_true",
+                      help="also verify coterie axioms and Lemma-1 "
+                           "epoch transitions for every registered "
+                           "family (skips the AST rules unless paths "
+                           "are given)")
+    lint.add_argument("--max-n", type=int, default=9, metavar="N",
+                      help="cap the coterie universe size (3^N work "
+                           "per family; default 9)")
+    lint.set_defaults(handler=_cmd_lint)
     return parser
 
 

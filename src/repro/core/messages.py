@@ -12,7 +12,7 @@ failed call.  (The paper defers deadlock handling to Bernstein et al.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 
@@ -187,7 +187,7 @@ class ReadResult:
         return self.ok
 
 
-@dataclass
+@dataclass(slots=True)
 class EpochCheckResult:
     """Outcome of one epoch-checking operation."""
 
@@ -196,7 +196,7 @@ class EpochCheckResult:
     epoch_list: tuple[str, ...] = ()
     epoch_number: Optional[int] = None
     reason: str = ""
-    stale: tuple[str, ...] = field(default_factory=tuple)
+    stale: tuple[str, ...] = ()
 
     def __bool__(self) -> bool:
         return self.ok

@@ -659,8 +659,11 @@ class MultiItemCoordinator:
             result = yield from self._try_write(item, responses, updates,
                                                 op_id, "heavy")
         if result is None:
+            # sorted: `polled` is a set, and message *send order* must not
+            # depend on the process hash seed (see coordinator._release)
             yield gather(server.rpc,
-                         {dst: ("mi-op-release", op_id) for dst in polled},
+                         {dst: ("mi-op-release", op_id)
+                          for dst in sorted(polled)},
                          timeout=server.config.rpc_timeout)
             result = WriteResult(False, case="no-quorum", op_id=op_id)
         return result

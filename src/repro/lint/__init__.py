@@ -1,0 +1,65 @@
+"""Protocol-aware static analysis for the repro codebase.
+
+Everything downstream of the simulator -- replayable chaos artifacts,
+ddmin shrinking, the metrics determinism gate, the golden Monte Carlo
+values -- assumes that protocol code is *deterministic under a fixed
+seed*: no wall clock, no ambient randomness, no iteration over
+unordered containers feeding protocol decisions.  Until this package
+existed those invariants were enforced only by convention and a
+handful of regression tests; ``repro lint`` makes them machine-checked
+on every commit, in the spirit of Whittaker et al., *Read-Write Quorum
+Systems Made Practical* (2021), which argues for checking quorum-system
+properties mechanically rather than by inspection.
+
+Two layers:
+
+* :mod:`repro.lint.engine` + :mod:`repro.lint.rules` -- an AST rule
+  engine (pragma suppressions, JSON and human output, exit codes) with
+  protocol-aware rules: ``no-wall-clock``, ``seeded-rng-only``,
+  ``iteration-order``, ``message-discipline``, ``metric-key-shape``.
+* :mod:`repro.lint.coterie_check` -- a *semantic* checker that compiles
+  every registered coterie family at small N through the bitmask
+  engine and mechanically verifies the coterie axioms and the Lemma-1
+  epoch-transition precondition.
+
+Entry points: ``repro lint [paths] [--coteries]`` (see
+:mod:`repro.cli`) and ``scripts/check_lint.py``; the rule catalog and
+pragma syntax are documented in ``docs/LINTING.md``.
+"""
+
+from repro.lint.coterie_check import (
+    COTERIE_FAMILIES,
+    SemanticFinding,
+    check_all_families,
+    check_family,
+)
+from repro.lint.engine import (
+    Finding,
+    LintReport,
+    Pragma,
+    Rule,
+    lint_paths,
+    lint_source,
+    package_relpath,
+    render_findings,
+    report_to_json,
+)
+from repro.lint.rules import DEFAULT_RULES, rule_catalog
+
+__all__ = [
+    "COTERIE_FAMILIES",
+    "DEFAULT_RULES",
+    "Finding",
+    "LintReport",
+    "Pragma",
+    "Rule",
+    "SemanticFinding",
+    "check_all_families",
+    "check_family",
+    "lint_paths",
+    "lint_source",
+    "package_relpath",
+    "render_findings",
+    "report_to_json",
+    "rule_catalog",
+]

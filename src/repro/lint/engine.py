@@ -1,0 +1,340 @@
+"""The AST rule engine: findings, pragmas, file walking, output.
+
+A :class:`Rule` couples an identifier with a ``check`` generator over a
+parsed module.  The engine owns everything around the rules:
+
+* **path scoping** -- rules declare ``include``/``exclude`` glob
+  patterns over *package-relative* paths (``core/messages.py``,
+  ``chaos/runner.py``); :func:`package_relpath` maps filesystem paths
+  onto that namespace so the same rule set works from any checkout
+  layout.
+
+* **pragmas** -- a finding is suppressed by an in-line justification::
+
+      now = time.time()  # repro: allow[no-wall-clock] benchmark wall timing
+
+  The pragma must name the rule (or ``*``) and carry a non-empty
+  reason; a bare pragma is itself reported (``lint-pragma``), and so is
+  a pragma that suppresses nothing -- the zero-findings baseline stays
+  honest because every suppression is both justified and live.  A
+  pragma on its own line covers the next line, so long statements can
+  keep their annotations readable.
+
+* **output** -- :func:`render_findings` for humans,
+  :func:`report_to_json` for tooling; exit codes are 0 (clean),
+  1 (findings), 2 (usage/internal errors, e.g. unparsable source).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+#: Rule id reserved for pragma hygiene findings emitted by the engine.
+PRAGMA_RULE_ID = "lint-pragma"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rule>[a-z0-9*-]+)\]\s*(?P<reason>.*)$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def location(self) -> str:
+        """``path:line:col`` for human output (1-based column)."""
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+
+@dataclass
+class Pragma:
+    """One ``# repro: allow[rule-id] reason`` suppression comment."""
+
+    rule: str
+    line: int
+    reason: str
+    covers: tuple[int, ...]
+    used: bool = False
+
+    def suppresses(self, finding: Finding) -> bool:
+        """True iff this pragma covers *finding* (rule and line match)."""
+        if self.rule != "*" and self.rule != finding.rule:
+            return False
+        return finding.line in self.covers
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run: surviving findings + statistics."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff nothing survived suppression and nothing errored."""
+        return not self.findings and not self.errors
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 findings, 2 errors (errors dominate)."""
+        if self.errors:
+            return 2
+        return 1 if self.findings else 0
+
+    def extend(self, other: "LintReport") -> None:
+        """Fold another report into this one."""
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files_checked += other.files_checked
+        self.errors.extend(other.errors)
+
+
+class Rule:
+    """Base class for one AST lint rule.
+
+    Subclasses set :attr:`id` and :attr:`rationale`, optionally narrow
+    :attr:`include`/:attr:`exclude` (glob patterns over package-relative
+    paths; empty ``include`` means every file), and implement
+    :meth:`check` as a generator of :class:`Finding` objects.
+    """
+
+    id: str = ""
+    #: One-line statement of the invariant the rule protects.
+    rationale: str = ""
+    include: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        """True iff the rule should run on the given package-relative
+        path (e.g. ``core/messages.py``)."""
+        if self.include and not any(fnmatch(relpath, pat)
+                                    for pat in self.include):
+            return False
+        return not any(fnmatch(relpath, pat) for pat in self.exclude)
+
+    def check(self, tree: ast.Module, source: str,
+              relpath: str) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+        raise NotImplementedError
+
+    def finding(self, relpath: str, node: ast.AST,
+                message: str) -> Finding:
+        """A :class:`Finding` anchored at *node* for this rule."""
+        return Finding(self.id, relpath, getattr(node, "lineno", 1),
+                       getattr(node, "col_offset", 0), message)
+
+
+def package_relpath(path: Path) -> str:
+    """The path relative to the ``repro`` package root, as a POSIX string.
+
+    ``src/repro/core/messages.py`` -> ``core/messages.py``; paths with
+    no ``repro`` segment (test fixtures in temporary directories) are
+    returned as their bare filename so path-scoped rules fall back to
+    "applies everywhere" semantics only when they match by name.
+    """
+    parts = path.as_posix().split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            rel = "/".join(parts[i + 1:])
+            if rel:
+                return rel
+    return parts[-1]
+
+
+def collect_pragmas(source: str) -> list[Pragma]:
+    """Extract every ``# repro: allow[...]`` pragma from *source*.
+
+    Only genuine comment tokens count -- pragma-shaped text inside
+    string literals or docstrings (e.g. documentation showing the
+    syntax) is ignored.  A pragma covers its own line; when the line
+    holds nothing but the comment, it covers the following line as
+    well.
+    """
+    pragmas: list[Pragma] = []
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return pragmas  # unparsable source errors out of lint anyway
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(token.string)
+        if match is None:
+            continue
+        lineno = token.start[0]
+        before = token.line[: token.start[1]].strip()
+        covers = (lineno,) if before else (lineno, lineno + 1)
+        pragmas.append(Pragma(rule=match.group("rule"), line=lineno,
+                              reason=match.group("reason").strip(),
+                              covers=covers))
+    return pragmas
+
+
+def lint_source(source: str, relpath: str,
+                rules: Sequence[Rule]) -> LintReport:
+    """Lint one module's source text against *rules*.
+
+    Pragma hygiene runs regardless of the rule selection: a pragma
+    without a reason, or one that suppresses nothing, is a
+    ``lint-pragma`` finding (not suppressible by itself).
+    """
+    report = LintReport(files_checked=1)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        report.errors.append(f"{relpath}: syntax error: {exc}")
+        return report
+    pragmas = collect_pragmas(source)
+    raw: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(relpath):
+            continue
+        raw.extend(rule.check(tree, source, relpath))
+    for finding in raw:
+        pragma = next((p for p in pragmas if p.suppresses(finding)), None)
+        if pragma is None:
+            report.findings.append(finding)
+        else:
+            pragma.used = True
+            report.suppressed.append(finding)
+    for pragma in pragmas:
+        if not pragma.reason:
+            report.findings.append(Finding(
+                PRAGMA_RULE_ID, relpath, pragma.line, 0,
+                f"suppression of [{pragma.rule}] carries no justification; "
+                f"write `# repro: allow[{pragma.rule}] <why>`"))
+        elif not pragma.used:
+            report.findings.append(Finding(
+                PRAGMA_RULE_ID, relpath, pragma.line, 0,
+                f"unused suppression: no [{pragma.rule}] finding on the "
+                f"covered lines -- delete the stale pragma"))
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            seen.extend(p for p in path.rglob("*.py"))
+        else:
+            seen.append(path)
+    yield from sorted(set(seen))
+
+
+def lint_paths(paths: Iterable[Path], rules: Sequence[Rule],
+               relpath_of=package_relpath) -> LintReport:
+    """Lint every ``.py`` file under *paths* against *rules*."""
+    report = LintReport()
+    for path in iter_python_files(paths):
+        if not path.exists():
+            report.errors.append(f"{path}: no such file")
+            report.files_checked += 1
+            continue
+        file_report = lint_source(path.read_text(encoding="utf-8"),
+                                  relpath_of(path), rules)
+        report.extend(file_report)
+    return report
+
+
+def render_findings(report: LintReport,
+                    rules: Sequence[Rule] = ()) -> str:
+    """The human-readable lint report (one ``location [rule] msg`` line
+    per finding, then a one-line summary)."""
+    lines = [f"{f.location()} [{f.rule}] {f.message}"
+             for f in report.findings]
+    lines.extend(f"error: {msg}" for msg in report.errors)
+    n = len(report.findings)
+    summary = (f"{report.files_checked} files checked: "
+               f"{n} finding{'s' if n != 1 else ''}")
+    if report.suppressed:
+        summary += f", {len(report.suppressed)} suppressed"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def report_to_json(report: LintReport,
+                   rules: Sequence[Rule] = ()) -> dict:
+    """A JSON-able dump of the report (schema ``repro-lint-v1``)."""
+    return {
+        "schema": "repro-lint-v1",
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "findings": [
+            {"rule": f.rule, "path": f.path, "line": f.line,
+             "col": f.col, "message": f.message}
+            for f in report.findings],
+        "suppressed": [
+            {"rule": f.rule, "path": f.path, "line": f.line,
+             "col": f.col, "message": f.message}
+            for f in report.suppressed],
+        "errors": list(report.errors),
+        "rules": [{"id": rule.id, "rationale": rule.rationale}
+                  for rule in rules],
+    }
+
+
+# -- shared AST helpers used by the concrete rules ---------------------------
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportTable:
+    """Tracks what local names refer to which modules/objects.
+
+    ``import time as t`` maps ``t`` -> ``time``; ``from datetime import
+    datetime as dt`` maps ``dt`` -> ``datetime.datetime``.  Used by the
+    rules to resolve attribute chains back to canonical dotted names so
+    aliasing cannot hide a violation.
+    """
+
+    def __init__(self, tree: ast.Module):
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.aliases[alias.asname or
+                                 alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else
+                        alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}")
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """The canonical dotted name of *node*, through import aliases."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        canonical = self.aliases.get(head)
+        if canonical is None:
+            return dotted
+        return f"{canonical}.{rest}" if rest else canonical

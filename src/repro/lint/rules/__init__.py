@@ -1,0 +1,40 @@
+"""The protocol-aware rule catalog.
+
+Each module holds one rule; :data:`DEFAULT_RULES` is the set the CLI
+runs.  Adding a rule: subclass :class:`repro.lint.engine.Rule`, give it
+an ``id`` and a ``rationale``, implement ``check``, and append an
+instance here (docs/LINTING.md walks through a full example).
+"""
+
+from repro.lint.rules.messages import MessageDisciplineRule
+from repro.lint.rules.metric_keys import MetricKeyShapeRule
+from repro.lint.rules.ordering import IterationOrderRule
+from repro.lint.rules.rng import SeededRngOnlyRule
+from repro.lint.rules.wallclock import NoWallClockRule
+
+#: The rules ``repro lint`` runs, in reporting order.
+DEFAULT_RULES = (
+    NoWallClockRule(),
+    SeededRngOnlyRule(),
+    IterationOrderRule(),
+    MessageDisciplineRule(),
+    MetricKeyShapeRule(),
+)
+
+
+def rule_catalog() -> list[dict]:
+    """``[{id, rationale, include, exclude}, ...]`` for docs and JSON."""
+    return [{"id": rule.id, "rationale": rule.rationale,
+             "include": list(rule.include), "exclude": list(rule.exclude)}
+            for rule in DEFAULT_RULES]
+
+
+__all__ = [
+    "DEFAULT_RULES",
+    "IterationOrderRule",
+    "MessageDisciplineRule",
+    "MetricKeyShapeRule",
+    "NoWallClockRule",
+    "SeededRngOnlyRule",
+    "rule_catalog",
+]

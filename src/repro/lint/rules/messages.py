@@ -1,0 +1,131 @@
+"""``message-discipline``: protocol messages are slotted and immutable.
+
+Messages in ``core/messages.py`` cross the simulated network and are
+held in replica logs, RPC retry queues, and chaos traces.  Two
+structural properties keep that safe and cheap:
+
+* ``slots=True`` -- no per-instance ``__dict__``: smaller objects on
+  the RPC hot path, and typos like ``msg.versoin = 3`` fail loudly
+  instead of silently creating an attribute;
+* no mutable defaults -- a shared list/dict/set default (directly or
+  via ``field(default_factory=list)``) aliases state across messages,
+  so one coordinator's retry bookkeeping could leak into another's
+  message.  Defaults must be immutable values (``()``, ``None``,
+  numbers, strings).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.engine import Finding, Rule, dotted_name
+
+MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray", "deque",
+                     "defaultdict", "Counter", "OrderedDict"}
+
+
+def _dataclass_decorator(cls: ast.ClassDef) -> Optional[ast.AST]:
+    """The ``@dataclass`` / ``@dataclass(...)`` decorator node, if any."""
+    for deco in cls.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = dotted_name(target)
+        if name in ("dataclass", "dataclasses.dataclass"):
+            return deco
+    return None
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    """True iff a field default value is a mutable container."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name is None:
+            return False
+        return name.split(".")[-1] in MUTABLE_FACTORIES
+    return False
+
+
+class MessageDisciplineRule(Rule):
+    id = "message-discipline"
+    rationale = ("protocol message dataclasses declare slots=True and "
+                 "carry no mutable defaults")
+    include = ("core/messages.py",)
+
+    def check(self, tree: ast.Module, source: str,
+              relpath: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(node, relpath)
+
+    def _check_class(self, cls: ast.ClassDef,
+                     relpath: str) -> Iterator[Finding]:
+        deco = _dataclass_decorator(cls)
+        if deco is None:
+            return
+        # anchored at the decorator: that's the line carrying the fix,
+        # and where a suppression pragma naturally sits
+        if not self._has_slots(deco):
+            yield self.finding(
+                relpath, deco,
+                f"dataclass `{cls.name}` must declare slots=True: "
+                f"messages are hot-path objects and slots catch "
+                f"attribute typos")
+        for stmt in cls.body:
+            kind_default = self._field_default(stmt)
+            if kind_default is None:
+                continue
+            kind, default = kind_default
+            mutable = (_is_mutable_default(default) if kind == "default"
+                       else self._factory_is_mutable(default))
+            if mutable:
+                yield self.finding(
+                    relpath, default,
+                    f"mutable default on a `{cls.name}` field: shared "
+                    f"state aliases across messages; use an immutable "
+                    f"default (e.g. `()` or None)")
+
+    @staticmethod
+    def _has_slots(deco: ast.AST) -> bool:
+        if not isinstance(deco, ast.Call):
+            return False  # bare @dataclass
+        for kw in deco.keywords:
+            if kw.arg == "slots":
+                return (isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True)
+        return False
+
+    @staticmethod
+    def _factory_is_mutable(factory: ast.AST) -> bool:
+        """True iff a ``default_factory`` produces a mutable container."""
+        name = dotted_name(factory)
+        if name is not None:
+            return name.split(".")[-1] in MUTABLE_FACTORIES
+        if isinstance(factory, ast.Lambda):
+            return _is_mutable_default(factory.body)
+        return False
+
+    @staticmethod
+    def _field_default(stmt: ast.stmt
+                       ) -> Optional[tuple[str, ast.AST]]:
+        """The default of one field statement, tagged by kind.
+
+        ``x: T = default`` -> ``("default", <expr>)``; ``x: T =
+        field(default_factory=f)`` -> ``("factory", f)`` so the factory
+        is vetted; plain ``x: T`` -> None.
+        """
+        if not isinstance(stmt, ast.AnnAssign) or stmt.value is None:
+            return None
+        value = stmt.value
+        if isinstance(value, ast.Call):
+            name = dotted_name(value.func)
+            if name in ("field", "dataclasses.field"):
+                for kw in value.keywords:
+                    if kw.arg == "default_factory":
+                        return ("factory", kw.value)
+                    if kw.arg == "default":
+                        return ("default", kw.value)
+                return None
+        return ("default", value)

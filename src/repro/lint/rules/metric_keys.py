@@ -1,0 +1,79 @@
+"""``metric-key-shape``: metric names obey the flat key grammar.
+
+Snapshot keys are flat strings ``name{k1=v1,k2=v2}`` (see
+docs/OBSERVABILITY.md): names and label keys are lowercase
+``[a-z][a-z0-9_]*`` identifiers, label values carry no structural
+characters (``{ } = ,``).  The grammar is what makes
+``split_key`` a true inverse, what keeps merged snapshots collision
+free across seeds and workers, and what ``validate_summary`` (the CI
+schema gate) assumes.  The rule vets every string literal passed as a
+name to ``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)``, and
+rejects interpolated names outright -- variability belongs in labels,
+where the registry encodes it, not baked into the name.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.engine import Finding, Rule
+
+ACCESSORS = ("counter", "gauge", "histogram")
+
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+_VALUE_BAD_CHARS = set("{}=,")
+
+
+class MetricKeyShapeRule(Rule):
+    id = "metric-key-shape"
+    rationale = ("metric names/labels follow the flat name{k=v} grammar "
+                 "of docs/OBSERVABILITY.md so snapshot keys merge and "
+                 "split losslessly")
+
+    def check(self, tree: ast.Module, source: str,
+              relpath: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr in ACCESSORS):
+                continue
+            yield from self._check_metric_call(node, func.attr, relpath)
+
+    def _check_metric_call(self, node: ast.Call, accessor: str,
+                           relpath: str) -> Iterator[Finding]:
+        if node.args:
+            name_arg = node.args[0]
+            if isinstance(name_arg, ast.JoinedStr):
+                yield self.finding(
+                    relpath, name_arg,
+                    f"interpolated {accessor} name: metric names are "
+                    f"static identifiers; move the variability into a "
+                    f"label (`.{accessor}(\"name\", key=value)`)")
+            elif (isinstance(name_arg, ast.Constant)
+                    and isinstance(name_arg.value, str)
+                    and not NAME_RE.match(name_arg.value)):
+                yield self.finding(
+                    relpath, name_arg,
+                    f"metric name {name_arg.value!r} violates the flat "
+                    f"key grammar [a-z][a-z0-9_]* of "
+                    f"docs/OBSERVABILITY.md")
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue  # **labels: not statically checkable
+            if not NAME_RE.match(kw.arg):
+                yield self.finding(
+                    relpath, kw.value,
+                    f"label key {kw.arg!r} violates the flat key "
+                    f"grammar [a-z][a-z0-9_]*")
+            if (isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, str)
+                    and _VALUE_BAD_CHARS & set(kw.value.value)):
+                yield self.finding(
+                    relpath, kw.value,
+                    f"label value {kw.value.value!r} contains key-"
+                    f"grammar characters ({{}}=,) and would not "
+                    f"split_key() back")

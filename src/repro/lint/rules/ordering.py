@@ -1,0 +1,249 @@
+"""``iteration-order``: no unordered iteration feeding protocol decisions.
+
+Python string hashing is salted per process (``PYTHONHASHSEED``), so
+the iteration order of a ``set`` of node names differs from run to
+run.  Any set iteration whose order reaches quorum selection, message
+ordering, or trace emission therefore breaks seeded determinism -- the
+exact property the chaos replayer, the ddmin shrinker, and the metrics
+determinism gate depend on.  Inside the protocol packages (``core/``,
+``coteries/``, ``chaos/``) every order-sensitive consumption of a set
+must go through ``sorted(...)``; order-*insensitive* folds (``min``,
+``sum``, ``any``, membership, building another set) are fine, and
+plain dicts are fine because insertion order is deterministic when the
+insertions are.
+
+The rule runs a small flow-insensitive type inference: names and
+``self.*`` attributes are set-typed when assigned from set literals,
+``set()``/``frozenset()`` calls, set operators, or set-returning
+methods, or when annotated as sets.  ``set.pop()`` (which removes an
+*arbitrary* element) is flagged on the same evidence.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.lint.engine import Finding, Rule, dotted_name
+
+SET_RETURNING_METHODS = {"union", "intersection", "difference",
+                         "symmetric_difference", "copy"}
+#: Builtins that fold an iterable without exposing its order.
+ORDER_INSENSITIVE = {"sorted", "min", "max", "sum", "len", "any", "all",
+                     "set", "frozenset", "bool"}
+#: Builtins that materialize or expose iteration order.
+ORDER_SENSITIVE = {"list", "tuple", "enumerate", "iter", "next", "dict",
+                   "zip"}
+
+_SET_ANNOTATION = re.compile(
+    r"^(typing\.)?(Set|FrozenSet|AbstractSet|MutableSet|set|frozenset)"
+    r"(\[.*)?$")
+
+
+def _is_set_annotation(node: Optional[ast.AST]) -> bool:
+    if node is None:
+        return False
+    try:
+        text = ast.unparse(node).strip("'\"")
+    except Exception:
+        return False
+    return bool(_SET_ANNOTATION.match(text))
+
+
+class _SetTypes:
+    """Flow-insensitive set-typedness for one lexical scope."""
+
+    def __init__(self, names: set[str], attrs: set[str]):
+        self.names = names      # local variables known to hold sets
+        self.attrs = attrs      # `self.<attr>` names known to hold sets
+
+    def is_set(self, node: ast.AST) -> bool:
+        """True iff *node* syntactically evaluates to a set/frozenset."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Attribute):
+            if (isinstance(node.value, ast.Name)
+                    and node.value.id == "self"):
+                return node.attr in self.attrs
+            return False
+        if isinstance(node, ast.Call):
+            callee = node.func
+            if isinstance(callee, ast.Name) and callee.id in ("set",
+                                                              "frozenset"):
+                return True
+            if (isinstance(callee, ast.Attribute)
+                    and callee.attr in SET_RETURNING_METHODS
+                    and self.is_set(callee.value)):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)):
+            return self.is_set(node.left) or self.is_set(node.right)
+        if isinstance(node, ast.IfExp):
+            return self.is_set(node.body) and self.is_set(node.orelse)
+        return False
+
+
+def _collect_scope_names(scope: ast.AST, attrs: set[str]) -> set[str]:
+    """Names assigned set-typed values anywhere in *scope* (to a small
+    fixpoint, so aliases of aliases are caught)."""
+    names: set[str] = set()
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = scope.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+            if _is_set_annotation(arg.annotation):
+                names.add(arg.arg)
+    for _ in range(3):
+        types = _SetTypes(names, attrs)
+        before = len(names)
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign) and node.value is not None:
+                if types.is_set(node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+            elif isinstance(node, ast.AnnAssign):
+                if (isinstance(node.target, ast.Name)
+                        and _is_set_annotation(node.annotation)):
+                    names.add(node.target.id)
+            elif isinstance(node, ast.AugAssign):
+                if (isinstance(node.target, ast.Name)
+                        and types.is_set(node.value)):
+                    names.add(node.target.id)
+        if len(names) == before:
+            break
+    return names
+
+
+def _collect_class_attrs(cls: ast.ClassDef) -> set[str]:
+    """``self.<attr>`` names that are set-typed anywhere in the class."""
+    attrs: set[str] = set()
+    for _ in range(2):
+        types = _SetTypes(set(), attrs)
+        before = len(attrs)
+        for node in ast.walk(cls):
+            target = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+                if _is_set_annotation(node.annotation):
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        attrs.add(target.attr)
+                    continue
+            else:
+                continue
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and value is not None and types.is_set(value)):
+                attrs.add(target.attr)
+        if len(attrs) == before:
+            break
+    return attrs
+
+
+class IterationOrderRule(Rule):
+    id = "iteration-order"
+    rationale = ("set iteration order is salted per process; protocol "
+                 "decisions must consume sets through sorted(...)")
+    include = ("core/*", "coteries/*", "chaos/*")
+
+    def check(self, tree: ast.Module, source: str,
+              relpath: str) -> Iterator[Finding]:
+        parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        yield from self._scan_scope(tree, set(), relpath, parents)
+
+    def _scan_scope(self, scope: ast.AST, attrs: set[str], relpath: str,
+                    parents: dict) -> Iterator[Finding]:
+        """Check one lexical scope, then recurse into nested scopes.
+
+        A class scope rebinds *attrs* to its own set-typed ``self.*``
+        attributes, which its methods inherit.
+        """
+        if isinstance(scope, ast.ClassDef):
+            attrs = _collect_class_attrs(scope)
+        types = _SetTypes(_collect_scope_names(scope, attrs), attrs)
+        nested: list[ast.AST] = []
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                nested.append(node)
+                continue
+            yield from self._check_node(node, types, relpath, parents)
+            stack.extend(ast.iter_child_nodes(node))
+        for node in nested:
+            yield from self._scan_scope(node, attrs, relpath, parents)
+
+    def _check_node(self, node: ast.AST, types: _SetTypes, relpath: str,
+                    parents: dict) -> Iterator[Finding]:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if types.is_set(node.iter):
+                yield self._flag(relpath, node.iter, "iterating a set")
+        elif isinstance(node, (ast.ListComp, ast.DictComp,
+                               ast.GeneratorExp, ast.SetComp)):
+            for gen in node.generators:
+                if not types.is_set(gen.iter):
+                    continue
+                if isinstance(node, ast.SetComp):
+                    continue  # set in, set out: no order materialized
+                if isinstance(node, ast.GeneratorExp) and \
+                        self._genexp_fold_is_unordered(node, parents):
+                    continue
+                yield self._flag(relpath, gen.iter,
+                                 "comprehension over a set")
+        elif isinstance(node, ast.Call):
+            yield from self._check_call(node, types, relpath)
+        elif isinstance(node, ast.Starred):
+            if types.is_set(node.value):
+                yield self._flag(relpath, node.value,
+                                 "star-unpacking a set")
+
+    def _check_call(self, node: ast.Call, types: _SetTypes,
+                    relpath: str) -> Iterator[Finding]:
+        callee = node.func
+        if isinstance(callee, ast.Name) and callee.id in ORDER_SENSITIVE:
+            for arg in node.args:
+                if types.is_set(arg):
+                    yield self._flag(relpath, arg,
+                                     f"`{callee.id}(...)` over a set")
+        elif isinstance(callee, ast.Attribute):
+            if callee.attr == "join" and node.args and \
+                    types.is_set(node.args[0]):
+                yield self._flag(relpath, node.args[0],
+                                 "joining a set into a string")
+            elif (callee.attr == "pop" and not node.args
+                    and types.is_set(callee.value)):
+                name = dotted_name(callee.value) or "set"
+                yield self.finding(
+                    relpath, node,
+                    f"`{name}.pop()` removes an arbitrary element; pick "
+                    f"deterministically, e.g. via sorted(...)")
+
+    def _genexp_fold_is_unordered(self, node: ast.GeneratorExp,
+                                  parents: dict) -> bool:
+        """True iff the genexp is consumed by an order-insensitive fold
+        (``sum(x for x in s)`` is fine, ``list(...)`` is not)."""
+        parent = parents.get(node)
+        if not isinstance(parent, ast.Call) or node not in parent.args:
+            return False
+        callee = parent.func
+        return (isinstance(callee, ast.Name)
+                and callee.id in ORDER_INSENSITIVE)
+
+    def _flag(self, relpath: str, node: ast.AST,
+              what: str) -> Finding:
+        return self.finding(
+            relpath, node,
+            f"{what}: iteration order is process-salted and leaks into "
+            f"protocol decisions; wrap in sorted(...) or restructure")

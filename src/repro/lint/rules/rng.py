@@ -1,0 +1,126 @@
+"""``seeded-rng-only``: every RNG must be an injected, seeded stream.
+
+Module-level ``random.*`` calls share one hidden global generator:
+any code path that touches it perturbs every later draw, so two runs
+of the same seed diverge the moment an unrelated component samples.
+``os.urandom`` and ``uuid.uuid4`` pull from kernel entropy and can
+never be replayed; unseeded ``numpy.random`` module calls have the
+same global-state problem as ``random.*``.
+
+The fix is always the same shape: take an explicit ``random.Random``
+(or pass a seed down) and derive per-component streams with
+:func:`repro.sim.seeding.derive_rng`.  The once-idiomatic default
+``rng or random.Random(0)`` is flagged too: it hid *which* component
+was consuming which stream, and silently shared stream 0 between
+unrelated components (see docs/LINTING.md).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.engine import Finding, ImportTable, Rule
+
+#: Attributes of the ``random`` module that are safe to reference.
+RANDOM_ALLOWED = {"Random"}
+
+#: Forbidden entropy sources outside the ``random`` module.
+FORBIDDEN = {
+    "os.urandom": "kernel entropy is unreplayable",
+    "uuid.uuid1": "host/time-derived uuids are unreplayable",
+    "uuid.uuid4": "kernel entropy is unreplayable",
+    "secrets.token_bytes": "kernel entropy is unreplayable",
+    "secrets.token_hex": "kernel entropy is unreplayable",
+}
+
+#: ``numpy.random`` attributes that are seedable constructors (allowed
+#: when given an explicit seed) rather than global-state samplers.
+NUMPY_CONSTRUCTORS = {"Generator", "SeedSequence", "default_rng",
+                      "PCG64", "Philox", "MT19937", "SFC64",
+                      "BitGenerator", "RandomState"}
+
+
+class SeededRngOnlyRule(Rule):
+    id = "seeded-rng-only"
+    rationale = ("all randomness flows from injected random.Random(seed) "
+                 "streams, derived per component via "
+                 "repro.sim.seeding.derive_rng")
+
+    def check(self, tree: ast.Module, source: str,
+              relpath: str) -> Iterator[Finding]:
+        imports = ImportTable(tree)
+        for node in ast.walk(tree):
+            finding = self._check_node(node, imports, relpath)
+            if finding is not None:
+                yield finding
+
+    def _check_node(self, node: ast.AST, imports: ImportTable,
+                    relpath: str) -> Optional[Finding]:
+        if isinstance(node, ast.Attribute):
+            return self._check_attribute(node, imports, relpath)
+        if isinstance(node, ast.Call):
+            return self._check_call(node, imports, relpath)
+        if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.Or):
+            return self._check_fallback(node, imports, relpath)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            resolved = imports.aliases.get(node.id)
+            if resolved in FORBIDDEN:
+                return self.finding(
+                    relpath, node,
+                    f"`{resolved}` (imported as `{node.id}`): "
+                    f"{FORBIDDEN[resolved]}")
+        return None
+
+    def _check_attribute(self, node: ast.Attribute, imports: ImportTable,
+                         relpath: str) -> Optional[Finding]:
+        resolved = imports.resolve(node)
+        if resolved is None:
+            return None
+        if resolved in FORBIDDEN:
+            return self.finding(relpath, node,
+                                f"`{resolved}`: {FORBIDDEN[resolved]}")
+        head, _, attr = resolved.partition(".")
+        if head == "random" and attr and "." not in attr:
+            if attr not in RANDOM_ALLOWED:
+                return self.finding(
+                    relpath, node,
+                    f"module-level `random.{attr}` uses the hidden global "
+                    f"generator; draw from an injected "
+                    f"random.Random(seed) stream instead")
+        if resolved.startswith("numpy.random."):
+            tail = resolved.split(".", 2)[2]
+            if "." not in tail and tail not in NUMPY_CONSTRUCTORS:
+                return self.finding(
+                    relpath, node,
+                    f"global-state `numpy.random.{tail}`; use a "
+                    f"numpy.random.Generator seeded from the run seed")
+        return None
+
+    def _check_call(self, node: ast.Call, imports: ImportTable,
+                    relpath: str) -> Optional[Finding]:
+        resolved = imports.resolve(node.func)
+        if resolved == "random.Random" and not node.args:
+            return self.finding(
+                relpath, node,
+                "`random.Random()` seeds from process entropy; pass an "
+                "explicit seed (derive one with "
+                "repro.sim.seeding.derive_rng)")
+        if resolved == "numpy.random.default_rng" and not node.args:
+            return self.finding(
+                relpath, node,
+                "`numpy.random.default_rng()` without a seed is "
+                "unreplayable; pass the run seed")
+        return None
+
+    def _check_fallback(self, node: ast.BoolOp, imports: ImportTable,
+                        relpath: str) -> Optional[Finding]:
+        for value in node.values[1:]:
+            if (isinstance(value, ast.Call)
+                    and imports.resolve(value.func) == "random.Random"):
+                return self.finding(
+                    relpath, node,
+                    "`rng or random.Random(...)` fallback scatters "
+                    "seeding across components; default to a namespaced "
+                    "stream from repro.sim.seeding.derive_rng instead")
+        return None

@@ -1,0 +1,60 @@
+"""``no-wall-clock``: protocol code must use the simulated clock.
+
+Every chaos artifact, ddmin shrink, and golden metric value assumes a
+run is a pure function of its seed.  A single ``time.time()`` in
+protocol code breaks replay silently: the run still *works*, but its
+trace can never be reproduced.  All timing must come from the
+simulation clock (``env.now`` / ``env.timeout``); only the event-loop
+implementation itself (``sim/engine.py``) and the benchmark harnesses
+are allowed to touch the host clock, because measuring wall throughput
+is their job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding, ImportTable, Rule
+
+#: Canonical dotted names that read (or block on) the host clock.
+FORBIDDEN = {
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.sleep",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+
+class NoWallClockRule(Rule):
+    id = "no-wall-clock"
+    rationale = ("protocol code must be a pure function of its seed; "
+                 "all timing goes through the simulated clock")
+    exclude = ("sim/engine.py", "benchmarks/*")
+
+    def check(self, tree: ast.Module, source: str,
+              relpath: str) -> Iterator[Finding]:
+        imports = ImportTable(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            resolved = imports.resolve(node)
+            if resolved in FORBIDDEN:
+                yield self.finding(
+                    relpath, node,
+                    f"wall-clock access `{resolved}`: use the simulated "
+                    f"clock (env.now / env.timeout) so runs stay "
+                    f"replayable")
+        # `from time import time` style: bare names that resolve to a
+        # forbidden callable (attribute chains are handled above).
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                resolved = imports.aliases.get(node.id)
+                if resolved in FORBIDDEN:
+                    yield self.finding(
+                        relpath, node,
+                        f"wall-clock access `{resolved}` (imported as "
+                        f"`{node.id}`): use the simulated clock instead")

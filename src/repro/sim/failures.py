@@ -22,6 +22,7 @@ from typing import Callable, Iterable, Optional, Sequence
 from repro.sim.engine import Environment
 from repro.sim.network import Network
 from repro.sim.node import Node
+from repro.sim.seeding import derive_rng
 
 
 class FailureInjector:
@@ -37,7 +38,8 @@ class FailureInjector:
         self.nodes = list(nodes)
         self.lam = lam
         self.mu = mu
-        self.rng = rng or random.Random(0)
+        self.rng = (rng if rng is not None
+                    else derive_rng(0, "sim.failures.site"))
         self.on_event = on_event
         self._running = False
 
@@ -100,7 +102,8 @@ class ZoneFailureInjector:
         self.zone_mu = zone_mu
         self.node_lam = node_lam
         self.node_mu = node_mu
-        self.rng = rng or random.Random(0)
+        self.rng = (rng if rng is not None
+                    else derive_rng(0, "sim.failures.zones"))
         self.zone_up = {name: True for name in zones}
         self._node_ok = {node.name: True
                          for members in zones.values() for node in members}

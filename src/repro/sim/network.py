@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional
 
 from repro.sim.engine import Environment
+from repro.sim.seeding import derive_rng
 from repro.sim.sizing import message_size
 from repro.sim.trace import TraceLog
 
@@ -59,7 +60,8 @@ class LatencyModel:
             raise ValueError(f"bad latency bounds: [{min_delay}, {max_delay}]")
         self.min_delay = min_delay
         self.max_delay = max_delay
-        self.rng = rng or random.Random(0)
+        self.rng = (rng if rng is not None
+                    else derive_rng(0, "sim.network.latency"))
 
     def sample(self, src: NodeName, dst: NodeName) -> float:
         """One message delay draw for the given endpoints."""

@@ -1,0 +1,21 @@
+"""Shared helpers for the lint test suite."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.lint import DEFAULT_RULES, LintReport, lint_source
+from repro.lint.engine import Rule
+
+
+def run_lint(source: str, relpath: str = "core/sample.py",
+             rules: Optional[Sequence[Rule]] = None) -> LintReport:
+    """Lint one source string as if it lived at *relpath*."""
+    return lint_source(source, relpath,
+                       DEFAULT_RULES if rules is None else rules)
+
+
+def rule_ids(source: str, relpath: str = "core/sample.py",
+             rules: Optional[Sequence[Rule]] = None) -> list[str]:
+    """The rule ids of the surviving findings, in report order."""
+    return [f.rule for f in run_lint(source, relpath, rules).findings]

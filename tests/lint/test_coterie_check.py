@@ -1,0 +1,174 @@
+"""Semantic coterie verification: green families and failing fixtures.
+
+Each acceptance-criteria check (engine consistency, the coterie
+axioms, quorum-function sanity, the Lemma-1 sweep) gets at least one
+deliberately broken coterie proving the check actually fires.
+"""
+
+from __future__ import annotations
+
+from repro.coteries import CoterieError, MajorityCoterie
+from repro.coteries.base import Coterie, SetRecomputeEvaluator
+from repro.lint import COTERIE_FAMILIES, check_all_families, check_family
+from repro.lint.coterie_check import _check_transitions
+
+
+class _FixtureCoterie(Coterie):
+    """Predicate-driven coterie for building broken fixtures."""
+
+    def is_read_quorum(self, subset):
+        return self._read(self.restrict(subset))
+
+    def is_write_quorum(self, subset):
+        return self._write(self.restrict(subset))
+
+    def read_quorum(self, salt="", attempt=0):
+        return sorted(self._min_read())
+
+    def write_quorum(self, salt="", attempt=0):
+        return sorted(self._min_write())
+
+
+class DisjointRWCoterie(_FixtureCoterie):
+    """Reads need n0, writes need n1: a read and a write quorum are
+    disjoint, violating read/write intersection."""
+
+    def _read(self, live):
+        return self.nodes[0] in live
+
+    def _write(self, live):
+        return self.nodes[1] in live
+
+    def _min_read(self):
+        return {self.nodes[0]}
+
+    def _min_write(self):
+        return {self.nodes[1]}
+
+
+class AnyWriteCoterie(_FixtureCoterie):
+    """Any non-empty subset writes: two writes can be disjoint."""
+
+    def _read(self, live):
+        return bool(live)
+
+    def _write(self, live):
+        return bool(live)
+
+    def _min_read(self):
+        return {self.nodes[0]}
+
+    def _min_write(self):
+        return {self.nodes[0]}
+
+
+class _LyingEvaluator(SetRecomputeEvaluator):
+    """Claims every mask is a write quorum."""
+
+    def is_write_quorum(self, mask=None):
+        return True
+
+
+class BrokenEngineCoterie(MajorityCoterie):
+    """Valid majority coterie whose compiled evaluator lies."""
+
+    def compile(self, universe=None):
+        return _LyingEvaluator(self, universe)
+
+
+class EscapingQuorumCoterie(MajorityCoterie):
+    """Valid predicates, but the quorum picker escapes V."""
+
+    def write_quorum(self, salt="", attempt=0):
+        return ["ghost"] + super().write_quorum(salt, attempt)[:-1]
+
+
+def _checks_of(result):
+    return {f.check for f in result.findings}
+
+
+def test_all_registered_families_are_green():
+    results = check_all_families(max_n=6)
+    assert results, "registry must not be empty"
+    for result in results:
+        assert result.ok, result.findings
+        assert result.masks == 2 ** result.n
+
+
+def test_registry_covers_every_implemented_family():
+    assert set(COTERIE_FAMILIES) >= {
+        "grid", "majority", "weighted-voting", "tree", "hierarchical",
+        "rowa", "wall", "composite"}
+
+
+def test_rw_intersection_violation_is_caught():
+    result = check_family("fixture", DisjointRWCoterie, 3)
+    assert "rw-intersection" in _checks_of(result)
+
+
+def test_ww_intersection_violation_is_caught():
+    result = check_family("fixture", AnyWriteCoterie, 3)
+    assert "ww-intersection" in _checks_of(result)
+
+
+def test_engine_inconsistency_is_caught():
+    result = check_family("fixture", BrokenEngineCoterie, 3)
+    assert "engine-consistency" in _checks_of(result)
+
+
+def test_escaping_quorum_function_is_caught():
+    result = check_family("fixture", EscapingQuorumCoterie, 3)
+    assert "quorum-function" in _checks_of(result)
+
+
+def test_unrebuildable_epoch_is_caught():
+    """A rule that cannot rebuild a coterie for an installable epoch
+    fails the Lemma-1 sweep."""
+
+    def brittle_rule(nodes):
+        if len(nodes) < 3:
+            raise CoterieError("needs at least 3 nodes")
+        return MajorityCoterie(nodes)
+
+    result = check_family("fixture", brittle_rule, 3)
+    assert "lemma1-rebuild" in _checks_of(result)
+
+
+def test_broken_epoch_rebuild_is_caught():
+    """A rule whose *sub*-coteries violate the axioms fails the
+    inductive re-check even though the top level is valid."""
+
+    def two_faced_rule(nodes):
+        if len(nodes) == 4:
+            return MajorityCoterie(nodes)
+        return AnyWriteCoterie(nodes)
+
+    result = check_family("fixture", two_faced_rule, 4)
+    assert "ww-intersection" in _checks_of(result)
+    assert any("epoch" in f.message for f in result.findings)
+
+
+def test_lemma1_intersection_check_fires_on_doctored_tables():
+    """The surviving-reader check itself: feed predicate tables where
+    an old read quorum lives wholly outside an installable epoch."""
+    nodes = ["a", "b"]
+    # mask 0b01={a}, 0b10={b}, 0b11={a,b}
+    writes = [False, True, False, True]   # {a} writes
+    reads = [False, False, True, True]    # {b} reads
+    findings = []
+    _check_transitions("fixture", 2, MajorityCoterie, nodes,
+                       reads, writes, findings)
+    assert any(f.check == "lemma1-intersection" for f in findings)
+
+
+def test_transitions_counted():
+    result = check_family("majority", MajorityCoterie, 5)
+    assert result.ok
+    # installable epochs = proper subsets containing a majority (>=3 of 5)
+    assert result.transitions == sum(
+        1 for mask in range(1, 31) if bin(mask).count("1") >= 3)
+
+
+def test_max_n_caps_the_sweep():
+    results = check_all_families(max_n=4)
+    assert all(r.n <= 4 for r in results)

@@ -1,0 +1,167 @@
+"""Engine mechanics: pragmas, path scoping, exit codes, output."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint import (
+    DEFAULT_RULES,
+    Finding,
+    lint_paths,
+    package_relpath,
+    render_findings,
+    report_to_json,
+)
+from repro.lint.engine import (
+    PRAGMA_RULE_ID,
+    ImportTable,
+    Rule,
+    collect_pragmas,
+    dotted_name,
+)
+
+from tests.lint.helpers import rule_ids, run_lint
+
+WALLCLOCK = "import time\nx = time.time()\n"
+
+
+class NamedConstantRule(Rule):
+    """Test rule: flags every assignment to the name ``forbidden``."""
+
+    id = "named-constant"
+    rationale = "test double"
+
+    def check(self, tree, source, relpath):
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Name) and node.id == "forbidden"
+                    and isinstance(node.ctx, ast.Store)):
+                yield self.finding(relpath, node, "no `forbidden` names")
+
+
+class ScopedRule(NamedConstantRule):
+    id = "scoped"
+    include = ("core/*",)
+    exclude = ("core/skipme.py",)
+
+
+def test_clean_source_exits_zero():
+    report = run_lint("x = 1\n")
+    assert report.ok and report.exit_code == 0 and not report.findings
+
+
+def test_finding_sets_exit_code_one():
+    report = run_lint(WALLCLOCK)
+    assert [f.rule for f in report.findings] == ["no-wall-clock"]
+    assert report.exit_code == 1 and not report.ok
+
+
+def test_syntax_error_exits_two():
+    report = run_lint("def broken(:\n")
+    assert report.exit_code == 2 and report.errors
+
+
+def test_pragma_suppresses_same_line():
+    src = ("import time\n"
+           "x = time.time()  # repro: allow[no-wall-clock] bench timing\n")
+    report = run_lint(src)
+    assert report.ok and len(report.suppressed) == 1
+
+
+def test_pragma_on_own_line_covers_next_line():
+    src = ("import time\n"
+           "# repro: allow[no-wall-clock] bench timing\n"
+           "x = time.time()\n")
+    report = run_lint(src)
+    assert report.ok and len(report.suppressed) == 1
+
+
+def test_star_pragma_suppresses_any_rule():
+    src = ("import time\n"
+           "x = time.time()  # repro: allow[*] demo of everything\n")
+    assert run_lint(src).ok
+
+
+def test_pragma_wrong_rule_does_not_suppress():
+    src = ("import time\n"
+           "x = time.time()  # repro: allow[seeded-rng-only] wrong id\n")
+    ids = rule_ids(src)
+    # the finding survives AND the pragma is reported as unused
+    assert "no-wall-clock" in ids and PRAGMA_RULE_ID in ids
+
+
+def test_bare_pragma_without_reason_is_a_finding():
+    src = ("import time\n"
+           "x = time.time()  # repro: allow[no-wall-clock]\n")
+    assert PRAGMA_RULE_ID in rule_ids(src)
+
+
+def test_unused_pragma_is_a_finding():
+    src = "x = 1  # repro: allow[no-wall-clock] nothing to allow here\n"
+    assert rule_ids(src) == [PRAGMA_RULE_ID]
+
+
+def test_pragma_text_in_docstring_is_ignored():
+    src = ('"""Docs show `# repro: allow[no-wall-clock] why` syntax."""\n'
+           "x = 1\n")
+    assert run_lint(src).ok
+    assert collect_pragmas(src) == []
+
+
+def test_include_exclude_scoping():
+    rule = ScopedRule()
+    assert rule.applies_to("core/messages.py")
+    assert not rule.applies_to("sim/network.py")
+    assert not rule.applies_to("core/skipme.py")
+
+
+def test_scoped_rule_skipped_outside_include():
+    src = "forbidden = 1\n"
+    assert rule_ids(src, "core/a.py", [ScopedRule()]) == ["scoped"]
+    assert rule_ids(src, "obs/a.py", [ScopedRule()]) == []
+
+
+def test_package_relpath():
+    assert package_relpath(
+        Path("src/repro/core/messages.py")) == "core/messages.py"
+    assert package_relpath(
+        Path("/abs/x/repro/chaos/runner.py")) == "chaos/runner.py"
+    assert package_relpath(Path("/tmp/fixture.py")) == "fixture.py"
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    (tmp_path / "repro" / "core").mkdir(parents=True)
+    bad = tmp_path / "repro" / "core" / "bad.py"
+    bad.write_text(WALLCLOCK)
+    (tmp_path / "repro" / "core" / "ok.py").write_text("x = 1\n")
+    report = lint_paths([tmp_path], DEFAULT_RULES)
+    assert report.files_checked == 2
+    assert [f.rule for f in report.findings] == ["no-wall-clock"]
+    assert report.findings[0].path == "core/bad.py"
+
+
+def test_render_and_json_roundtrip():
+    report = run_lint(WALLCLOCK, "core/x.py")
+    text = render_findings(report)
+    assert "core/x.py:2" in text and "[no-wall-clock]" in text
+    payload = report_to_json(report)
+    assert payload["schema"] == "repro-lint-v1"
+    assert payload["ok"] is False
+    assert payload["findings"][0]["rule"] == "no-wall-clock"
+
+
+def test_finding_location_is_one_based_column():
+    f = Finding("r", "p.py", 3, 0, "m")
+    assert f.location() == "p.py:3:1"
+
+
+def test_dotted_name_and_import_table():
+    tree = ast.parse("import time as t\n"
+                     "from datetime import datetime as dt\n"
+                     "x = t.monotonic()\n"
+                     "y = dt.now()\n")
+    calls = [n for n in ast.walk(tree) if isinstance(n, ast.Call)]
+    table = ImportTable(tree)
+    resolved = sorted(table.resolve(c.func) for c in calls)
+    assert resolved == ["datetime.datetime.now", "time.monotonic"]
+    assert dotted_name(ast.parse("a.b.c").body[0].value) == "a.b.c"

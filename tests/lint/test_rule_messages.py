@@ -1,0 +1,90 @@
+"""``message-discipline``: positive, negative, and pragma cases."""
+
+from __future__ import annotations
+
+from tests.lint.helpers import rule_ids
+
+RELPATH = "core/messages.py"
+
+
+def test_dataclass_without_slots_fires():
+    src = ("from dataclasses import dataclass\n"
+           "@dataclass\n"
+           "class Ping:\n"
+           "    src: str\n")
+    assert rule_ids(src, RELPATH) == ["message-discipline"]
+
+
+def test_dataclass_with_other_kwargs_but_no_slots_fires():
+    src = ("from dataclasses import dataclass\n"
+           "@dataclass(frozen=True)\n"
+           "class Ping:\n"
+           "    src: str\n")
+    assert rule_ids(src, RELPATH) == ["message-discipline"]
+
+
+def test_slotted_frozen_dataclass_is_fine():
+    src = ("from dataclasses import dataclass\n"
+           "@dataclass(frozen=True, slots=True)\n"
+           "class Ping:\n"
+           "    src: str\n"
+           "    hops: tuple = ()\n")
+    assert rule_ids(src, RELPATH) == []
+
+
+def test_mutable_list_default_fires():
+    src = ("from dataclasses import dataclass\n"
+           "@dataclass(slots=True)\n"
+           "class Batch:\n"
+           "    ops: list = []\n")
+    assert rule_ids(src, RELPATH) == ["message-discipline"]
+
+
+def test_mutable_default_factory_fires():
+    src = ("from dataclasses import dataclass, field\n"
+           "@dataclass(slots=True)\n"
+           "class Batch:\n"
+           "    ops: list = field(default_factory=list)\n")
+    assert rule_ids(src, RELPATH) == ["message-discipline"]
+
+
+def test_lambda_factory_returning_dict_fires():
+    src = ("from dataclasses import dataclass, field\n"
+           "@dataclass(slots=True)\n"
+           "class Batch:\n"
+           "    acks: dict = field(default_factory=lambda: {})\n")
+    assert rule_ids(src, RELPATH) == ["message-discipline"]
+
+
+def test_immutable_defaults_are_fine():
+    src = ("from dataclasses import dataclass\n"
+           "@dataclass(slots=True)\n"
+           "class Result:\n"
+           "    ok: bool = False\n"
+           "    stale: tuple = ()\n"
+           "    reason: str = ''\n"
+           "    epoch: int = 0\n")
+    assert rule_ids(src, RELPATH) == []
+
+
+def test_plain_class_is_ignored():
+    src = ("class Helper:\n"
+           "    registry = []\n")
+    assert rule_ids(src, RELPATH) == []
+
+
+def test_rule_only_applies_to_core_messages():
+    src = ("from dataclasses import dataclass\n"
+           "@dataclass\n"
+           "class Row:\n"
+           "    cells: list = []\n")
+    assert rule_ids(src, "analysis/tables.py") == []
+
+
+def test_pragma_suppresses_with_reason():
+    src = ("from dataclasses import dataclass\n"
+           "# repro: allow[message-discipline] legacy wire format\n"
+           "@dataclass\n"
+           "class Old:\n"
+           "    src: str\n")
+    assert rule_ids(src, RELPATH) == []

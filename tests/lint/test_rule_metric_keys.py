@@ -1,0 +1,63 @@
+"""``metric-key-shape``: positive, negative, and pragma cases."""
+
+from __future__ import annotations
+
+from tests.lint.helpers import rule_ids
+
+RELPATH = "obs/instrument.py"
+
+
+def test_valid_metric_calls_are_fine():
+    src = ("reg.counter('rpc_attempts', link='a-b').inc()\n"
+           "reg.gauge('nodes_up').set(3)\n"
+           "reg.histogram('op_latency_ms', op='write').observe(1.5)\n")
+    assert rule_ids(src, RELPATH) == []
+
+
+def test_fstring_metric_name_fires():
+    src = "reg.counter(f'rpc_{kind}_total').inc()\n"
+    assert rule_ids(src, RELPATH) == ["metric-key-shape"]
+
+
+def test_bad_name_grammar_fires():
+    assert rule_ids("reg.counter('RPC-attempts').inc()\n",
+                    RELPATH) == ["metric-key-shape"]
+    assert rule_ids("reg.gauge('2fast').set(1)\n",
+                    RELPATH) == ["metric-key-shape"]
+
+
+def test_bad_label_key_fires():
+    src = "reg.counter('rpc_total', **{'': 1})\n"
+    # **labels is not statically checkable and must NOT fire
+    assert rule_ids(src, RELPATH) == []
+    src = "reg.counter('rpc_total', Link='a-b')\n"
+    assert rule_ids(src, RELPATH) == ["metric-key-shape"]
+
+
+def test_structural_chars_in_label_value_fire():
+    src = "reg.counter('rpc_total', link='a=b')\n"
+    assert rule_ids(src, RELPATH) == ["metric-key-shape"]
+    src = "reg.counter('rpc_total', link='a{b}')\n"
+    assert rule_ids(src, RELPATH) == ["metric-key-shape"]
+
+
+def test_dynamic_label_value_is_fine():
+    src = "reg.counter('rpc_total', link=link_name)\n"
+    assert rule_ids(src, RELPATH) == []
+
+
+def test_non_metric_attribute_calls_are_ignored():
+    src = "collections.Counter('abc')\nboard.counter = 3\n"
+    assert rule_ids(src, RELPATH) == []
+
+
+def test_applies_everywhere():
+    src = "reg.histogram(f'lat_{op}').observe(1)\n"
+    assert rule_ids(src, "core/coordinator.py") == ["metric-key-shape"]
+    assert rule_ids(src, "sim/network.py") == ["metric-key-shape"]
+
+
+def test_pragma_suppresses_with_reason():
+    src = ("reg.counter('legacy-name').inc()  "
+           "# repro: allow[metric-key-shape] pre-v1 dashboard key\n")
+    assert rule_ids(src, RELPATH) == []

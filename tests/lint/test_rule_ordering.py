@@ -1,0 +1,128 @@
+"""``iteration-order``: positive, negative, scoping, and pragma cases."""
+
+from __future__ import annotations
+
+from tests.lint.helpers import rule_ids
+
+
+def test_for_over_set_literal_fires():
+    src = "for x in {1, 2, 3}:\n    print(x)\n"
+    assert rule_ids(src) == ["iteration-order"]
+
+
+def test_for_over_set_typed_local_fires():
+    src = ("polled = set(['a', 'b'])\n"
+           "for dst in polled:\n"
+           "    send(dst)\n")
+    assert rule_ids(src) == ["iteration-order"]
+
+
+def test_for_over_sorted_set_is_fine():
+    src = ("polled = set(['a', 'b'])\n"
+           "for dst in sorted(polled):\n"
+           "    send(dst)\n")
+    assert rule_ids(src) == []
+
+
+def test_listcomp_over_set_fires():
+    src = "s = frozenset('ab')\nout = [x for x in s]\n"
+    assert rule_ids(src) == ["iteration-order"]
+
+
+def test_dictcomp_over_set_fires():
+    src = ("polled = set('ab')\n"
+           "msgs = {dst: 'release' for dst in polled}\n")
+    assert rule_ids(src) == ["iteration-order"]
+
+
+def test_setcomp_over_set_is_fine():
+    src = "s = set('ab')\nt = {x.upper() for x in s}\n"
+    assert rule_ids(src) == []
+
+
+def test_unordered_fold_of_genexp_is_fine():
+    src = ("s = set([1, 2])\n"
+           "total = sum(x for x in s)\n"
+           "small = min(x for x in s)\n"
+           "ok = any(x > 1 for x in s)\n")
+    assert rule_ids(src) == []
+
+
+def test_list_of_set_fires_and_sorted_does_not():
+    src = "s = set('ab')\na = list(s)\nb = sorted(s)\n"
+    assert rule_ids(src) == ["iteration-order"]
+
+
+def test_set_operator_result_is_set_typed():
+    src = ("a = set('ab')\n"
+           "b = set('bc')\n"
+           "for x in a | b:\n"
+           "    print(x)\n")
+    assert rule_ids(src) == ["iteration-order"]
+
+
+def test_set_method_result_is_set_typed():
+    src = ("a = set('ab')\n"
+           "keep = a.intersection(['a'])\n"
+           "out = list(keep)\n")
+    assert rule_ids(src) == ["iteration-order"]
+
+
+def test_self_attribute_set_fires_inside_method():
+    src = ("class Tracker:\n"
+           "    def __init__(self):\n"
+           "        self.live = set()\n"
+           "    def snapshot(self):\n"
+           "        return list(self.live)\n")
+    assert rule_ids(src) == ["iteration-order"]
+
+
+def test_set_annotated_parameter_fires():
+    src = ("def fan_out(targets: set) -> None:\n"
+           "    for t in targets:\n"
+           "        send(t)\n")
+    assert rule_ids(src) == ["iteration-order"]
+
+
+def test_set_pop_fires():
+    src = "pending = set('ab')\nnxt = pending.pop()\n"
+    assert rule_ids(src) == ["iteration-order"]
+
+
+def test_list_pop_is_fine():
+    src = "pending = ['a', 'b']\nnxt = pending.pop()\n"
+    assert rule_ids(src) == []
+
+
+def test_star_unpacking_set_fires():
+    src = "s = set('ab')\nf(*s)\n"
+    assert rule_ids(src) == ["iteration-order"]
+
+
+def test_join_of_set_fires():
+    src = "s = set('ab')\nkey = ','.join(s)\n"
+    assert rule_ids(src) == ["iteration-order"]
+
+
+def test_dict_iteration_is_fine():
+    src = ("d = {'a': 1, 'b': 2}\n"
+           "for k in d:\n"
+           "    print(k)\n"
+           "items = list(d.items())\n")
+    assert rule_ids(src) == []
+
+
+def test_rule_scoped_to_protocol_packages():
+    src = "s = set('ab')\nout = list(s)\n"
+    assert rule_ids(src, "core/a.py") == ["iteration-order"]
+    assert rule_ids(src, "coteries/a.py") == ["iteration-order"]
+    assert rule_ids(src, "chaos/a.py") == ["iteration-order"]
+    assert rule_ids(src, "sim/a.py") == []
+    assert rule_ids(src, "obs/a.py") == []
+
+
+def test_pragma_suppresses_with_reason():
+    src = ("s = set('ab')\n"
+           "out = list(s)  "
+           "# repro: allow[iteration-order] order discarded by caller\n")
+    assert rule_ids(src) == []

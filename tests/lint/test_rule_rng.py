@@ -1,0 +1,79 @@
+"""``seeded-rng-only``: positive, negative, and pragma cases."""
+
+from __future__ import annotations
+
+from tests.lint.helpers import rule_ids
+
+
+def test_module_level_random_fires():
+    src = "import random\nx = random.randint(0, 9)\n"
+    assert rule_ids(src) == ["seeded-rng-only"]
+
+
+def test_module_level_random_via_alias_fires():
+    src = "import random as rnd\nx = rnd.shuffle([1, 2])\n"
+    assert rule_ids(src) == ["seeded-rng-only"]
+
+
+def test_os_urandom_and_uuid4_fire():
+    src = ("import os\nimport uuid\n"
+           "a = os.urandom(8)\n"
+           "b = uuid.uuid4()\n")
+    assert rule_ids(src) == ["seeded-rng-only"] * 2
+
+
+def test_from_import_urandom_fires():
+    src = "from os import urandom\nx = urandom(8)\n"
+    assert rule_ids(src) == ["seeded-rng-only"]
+
+
+def test_unseeded_random_constructor_fires():
+    src = "import random\nrng = random.Random()\n"
+    assert rule_ids(src) == ["seeded-rng-only"]
+
+
+def test_seeded_random_constructor_is_fine():
+    src = "import random\nrng = random.Random(42)\n"
+    assert rule_ids(src) == []
+
+
+def test_fallback_idiom_fires():
+    src = ("import random\n"
+           "def f(rng=None):\n"
+           "    rng = rng or random.Random(0)\n")
+    assert rule_ids(src) == ["seeded-rng-only"]
+
+
+def test_derive_rng_default_is_fine():
+    src = ("from repro.sim.seeding import derive_rng\n"
+           "def f(rng=None):\n"
+           "    rng = rng if rng is not None else derive_rng(0, 'ns')\n")
+    assert rule_ids(src) == []
+
+
+def test_injected_stream_draw_is_fine():
+    src = ("def f(rng):\n"
+           "    return rng.uniform(0.0, 1.0)\n")
+    assert rule_ids(src) == []
+
+
+def test_numpy_global_sampler_fires():
+    src = "import numpy\nx = numpy.random.normal()\n"
+    assert rule_ids(src) == ["seeded-rng-only"]
+
+
+def test_numpy_seeded_generator_is_fine():
+    src = "import numpy\nrng = numpy.random.default_rng(7)\n"
+    assert rule_ids(src) == []
+
+
+def test_numpy_unseeded_default_rng_fires():
+    src = "import numpy\nrng = numpy.random.default_rng()\n"
+    assert rule_ids(src) == ["seeded-rng-only"]
+
+
+def test_pragma_suppresses_with_reason():
+    src = ("import uuid\n"
+           "run_id = uuid.uuid4()  "
+           "# repro: allow[seeded-rng-only] run id is not protocol state\n")
+    assert rule_ids(src) == []

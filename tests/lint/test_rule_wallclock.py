@@ -1,0 +1,56 @@
+"""``no-wall-clock``: positive, negative, scoping, and pragma cases."""
+
+from __future__ import annotations
+
+from tests.lint.helpers import rule_ids
+
+
+def test_time_time_fires():
+    assert rule_ids("import time\nt = time.time()\n") == ["no-wall-clock"]
+
+
+def test_monotonic_and_perf_counter_fire():
+    src = ("import time\n"
+           "a = time.monotonic()\n"
+           "b = time.perf_counter_ns()\n")
+    assert rule_ids(src) == ["no-wall-clock"] * 2
+
+
+def test_datetime_now_fires():
+    src = "import datetime\nd = datetime.datetime.now()\n"
+    assert rule_ids(src) == ["no-wall-clock"]
+
+
+def test_from_import_alias_cannot_hide_it():
+    src = "from time import monotonic as clock\nt = clock()\n"
+    assert rule_ids(src) == ["no-wall-clock"]
+
+
+def test_module_alias_cannot_hide_it():
+    src = "import time as t\nx = t.time()\n"
+    assert rule_ids(src) == ["no-wall-clock"]
+
+
+def test_sleep_fires():
+    assert rule_ids("import time\ntime.sleep(1)\n") == ["no-wall-clock"]
+
+
+def test_simulated_clock_is_fine():
+    src = "def handler(env):\n    return env.now\n"
+    assert rule_ids(src) == []
+
+
+def test_sim_engine_is_exempt():
+    src = "import time\nt = time.monotonic()\n"
+    assert rule_ids(src, "sim/engine.py") == []
+
+
+def test_benchmarks_are_exempt():
+    src = "import time\nt = time.perf_counter()\n"
+    assert rule_ids(src, "benchmarks/bench_x.py") == []
+
+
+def test_pragma_suppresses_with_reason():
+    src = ("import time\n"
+           "t = time.time()  # repro: allow[no-wall-clock] wall report\n")
+    assert rule_ids(src) == []

@@ -1,0 +1,60 @@
+"""The repo lints itself clean: the zero-findings baseline is enforced."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro
+from repro.cli import main
+from repro.lint import DEFAULT_RULES, lint_paths, rule_catalog
+
+PACKAGE = Path(repro.__file__).parent
+
+
+def test_repro_package_lints_clean():
+    report = lint_paths([PACKAGE], DEFAULT_RULES)
+    assert report.files_checked > 50
+    assert report.errors == []
+    assert report.findings == [], "\n".join(
+        f"{f.location()} [{f.rule}] {f.message}" for f in report.findings)
+    assert report.exit_code == 0
+
+
+def test_cli_lint_exits_zero(capsys):
+    assert main(["lint", str(PACKAGE)]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+
+
+def test_cli_lint_json_schema(capsys):
+    import json
+    assert main(["lint", str(PACKAGE), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro-lint-v1"
+    assert payload["ok"] is True
+    ids = {r["id"] for r in payload["rules"]}
+    assert ids == {r.id for r in DEFAULT_RULES}
+
+
+def test_cli_lint_finds_violations_in_fixture(tmp_path, capsys):
+    bad = tmp_path / "repro" / "core" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\n"
+                   "t = time.time()\n"
+                   "s = set('ab')\n"
+                   "out = list(s)\n")
+    assert main(["lint", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "[no-wall-clock]" in out and "[iteration-order]" in out
+
+
+def test_cli_lint_coteries_small(capsys):
+    assert main(["lint", "--coteries", "--max-n", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "grid" in out and "ok" in out and "FINDING" not in out
+
+
+def test_rule_catalog_is_complete():
+    catalog = rule_catalog()
+    assert {r.id for r in DEFAULT_RULES} == {e["id"] for e in catalog}
+    assert all(e["rationale"] for e in catalog)

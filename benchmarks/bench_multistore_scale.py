@@ -1,0 +1,291 @@
+"""Experiment E24 -- the sharded keyspace at scale (ROADMAP item 1).
+
+The paper's Section 3 claim is that epoch checking runs "at a steady
+low rate; amortizable across data items".  The sharded keyspace
+(:mod:`repro.shard`) makes that concrete: keys route to shards, each
+shard lives on a small replica set (partial replication), and one
+elected initiator sweeps *every* shard in batched RPCs -- one request
+per node, regardless of the shard count.  This benchmark drives a
+million-key, million-operation workload through one simulated cluster
+and pins down the three scale properties:
+
+* **flat per-op cost** -- simulator events per operation must stay flat
+  (within 1.5x) as the keyspace grows 10^4 -> 10^6 keys.  Per-key cost
+  is O(1) dict work plus O(log n_keys) in the workload generator only;
+* **amortized epoch checking** -- one sweep costs exactly one RPC
+  request per node at 64 shards and at 4096 shards alike;
+* **bounded memory** -- resident per-key state is O(touched keys x
+  replication), never O(global keyspace): reads materialize nothing,
+  update logs are capped by ``ProtocolConfig.update_log_capacity``, and
+  the per-key lock pool drains back to zero when operations finish.
+
+Results land in ``BENCH_multistore_scale.json`` at the repo root and
+``results/multistore_scale.txt``; ``scripts/check_perf.py --only
+multistore_scale`` replays the ~50k-key smoke variant as a CI gate.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import pathlib
+import time
+
+from repro.core.config import ProtocolConfig
+from repro.shard import ShardedStore
+from repro.workloads.generators import KeyedWorkload, run_keyed_workload
+
+from _report import report
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_multistore_scale.json"
+
+N_NODES = 6
+REPLICATION = 3
+READ_FRACTION = 0.9
+N_CLIENTS = 64
+UPDATE_LOG_CAP = 8
+
+# full cells: the acceptance targets (>= 1M keys, >= 1M ops)
+FULL_PROFILE_KEYS = (10 ** 4, 10 ** 5, 10 ** 6)
+FULL_PROFILE_OPS = 20_000
+FULL_SCALE_KEYS = 10 ** 6
+FULL_SCALE_OPS = 10 ** 6
+FULL_SWEEP_SHARDS = (64, 1024, 4096)
+# smoke cells: the CI gate (~50k keys, reduced ops, seed 0)
+SMOKE_PROFILE_KEYS = (5_000, 20_000, 50_000)
+SMOKE_PROFILE_OPS = 2_000
+SMOKE_SCALE_KEYS = 50_000
+SMOKE_SCALE_OPS = 5_000
+SMOKE_SWEEP_SHARDS = (64, 512)
+
+
+def _config() -> ProtocolConfig:
+    # tight timeouts keep failure-free waves cheap; the capped update
+    # log is the satellite knob this benchmark asserts on
+    return ProtocolConfig(rpc_timeout=0.2, lock_wait=0.3, lock_lease=2.0,
+                          prepared_wait=1.0,
+                          update_log_capacity=UPDATE_LOG_CAP).validate()
+
+
+def run_cell(n_keys: int, n_ops: int, n_shards: int = 1024,
+             seed: int = 0) -> dict:
+    """One workload cell; returns cost and residency measurements."""
+    store = ShardedStore.create(N_NODES, n_shards=n_shards,
+                                replication=REPLICATION, seed=seed,
+                                config=_config())
+    workload = KeyedWorkload(n_ops=n_ops, n_keys=n_keys,
+                             n_clients=min(N_CLIENTS, n_ops),
+                             read_fraction=READ_FRACTION)
+    gc.collect()
+    started = time.perf_counter()
+    stats = run_keyed_workload(store, workload, seed=seed)
+    wall = time.perf_counter() - started
+    store.advance(3 * _config().lock_lease)  # let lease watchdogs drain
+    return {
+        "n_keys": n_keys,
+        "n_ops": n_ops,
+        "n_shards": n_shards,
+        "ops": stats.operations,
+        "success_rate": stats.success_rate,
+        "writes_ok": stats.writes_ok,
+        "wall_s": round(wall, 3),
+        "ops_per_sec_wall": round(stats.operations / wall, 1),
+        "events_per_op": round(
+            store.env.events_processed / stats.operations, 3),
+        "resident_items": store.resident_items(),
+        "resident_per_write": round(
+            store.resident_items() / max(stats.writes_ok, 1), 3),
+        "max_update_log": store.max_update_log(),
+        "live_locks_after": store.live_locks(),
+    }
+
+
+def run_sweep_cost(shard_counts, seed: int = 0) -> list:
+    """RPC requests one healthy epoch sweep costs, per shard count."""
+    rows = []
+    for n_shards in shard_counts:
+        store = ShardedStore.create(N_NODES, n_shards=n_shards,
+                                    replication=REPLICATION, seed=seed,
+                                    config=_config(), trace_enabled=True)
+        store.trace.clear()
+        sweep = store.sweep()
+        requests = sum(1 for rec in store.trace.select(kind="send")
+                       if rec.detail.get("msg_kind") == "rpc-req")
+        rows.append({"n_shards": n_shards, "shards_checked": sweep.checked,
+                     "sweep_ok": sweep.ok, "rpc_requests": requests,
+                     "requests_per_node": requests / N_NODES})
+    return rows
+
+
+def run_resident_flatness(seed: int = 0) -> dict:
+    """Hammer a small keyspace with 1x and 2x the ops: resident state
+    must not grow with op count (capped logs, in-place key states)."""
+    base_ops = 4_000
+    cells = {}
+    for factor in (1, 2):
+        cell = run_cell(n_keys=100, n_ops=base_ops * factor,
+                        n_shards=64, seed=seed)
+        cells[f"{factor}x"] = cell
+    return {
+        "n_keys": 100,
+        "ops": {name: cell["ops"] for name, cell in cells.items()},
+        "resident_items": {name: cell["resident_items"]
+                           for name, cell in cells.items()},
+        "max_update_log": {name: cell["max_update_log"]
+                           for name, cell in cells.items()},
+        "flat": cells["2x"]["resident_items"] <= cells["1x"][
+            "resident_items"] + 3 * 100,
+    }
+
+
+def run_scale_benchmark(smoke: bool = False) -> dict:
+    profile_keys = SMOKE_PROFILE_KEYS if smoke else FULL_PROFILE_KEYS
+    profile_ops = SMOKE_PROFILE_OPS if smoke else FULL_PROFILE_OPS
+    scale_keys = SMOKE_SCALE_KEYS if smoke else FULL_SCALE_KEYS
+    scale_ops = SMOKE_SCALE_OPS if smoke else FULL_SCALE_OPS
+    sweep_shards = SMOKE_SWEEP_SHARDS if smoke else FULL_SWEEP_SHARDS
+
+    profile = [run_cell(n_keys, profile_ops) for n_keys in profile_keys]
+    costs = [cell["events_per_op"] for cell in profile]
+    scale = run_cell(scale_keys, scale_ops)
+    sweeps = run_sweep_cost(sweep_shards)
+    residency = run_resident_flatness()
+    return {
+        "experiment": "multistore_scale",
+        "mode": "smoke" if smoke else "full",
+        "n_nodes": N_NODES,
+        "replication": REPLICATION,
+        "read_fraction": READ_FRACTION,
+        "update_log_capacity": UPDATE_LOG_CAP,
+        "profile": profile,
+        "per_op_cost_ratio": round(max(costs) / min(costs), 3),
+        "scale": scale,
+        "sweep_cost": sweeps,
+        "resident_flatness": residency,
+    }
+
+
+def check_scale_results(results: dict) -> list:
+    """The acceptance assertions, as a list of failure strings."""
+    failures = []
+    if results["per_op_cost_ratio"] > 1.5:
+        failures.append(
+            f"per-op cost not flat across keyspace sizes: "
+            f"max/min events-per-op = {results['per_op_cost_ratio']}x "
+            f"(budget 1.5x)")
+    for row in results["sweep_cost"]:
+        if not row["sweep_ok"] or row["rpc_requests"] != results["n_nodes"]:
+            failures.append(
+                f"sweep at {row['n_shards']} shards cost "
+                f"{row['rpc_requests']} requests (want one per node = "
+                f"{results['n_nodes']})")
+    scale = results["scale"]
+    # Under Zipf skew the hottest key sees ~7% of all traffic, so at
+    # 10^6 ops a handful of writes legitimately exhaust their lock-wait
+    # retries (BUSY) and fail back to the client.  That is protocol
+    # behaviour, not lost data — the gate bounds it rather than
+    # forbidding it.
+    if scale["success_rate"] < 0.999:
+        failures.append(f"scale cell lost operations: "
+                        f"success {scale['success_rate']:.4f} "
+                        f"(floor 0.999)")
+    if scale["resident_items"] > results["replication"] * scale["writes_ok"]:
+        failures.append(
+            f"resident state exceeds replication x written keys: "
+            f"{scale['resident_items']} > "
+            f"{results['replication']} x {scale['writes_ok']}")
+    if scale["max_update_log"] > results["update_log_capacity"]:
+        failures.append(
+            f"update log exceeded its capacity knob: "
+            f"{scale['max_update_log']} > "
+            f"{results['update_log_capacity']}")
+    if scale["live_locks_after"] != 0:
+        failures.append(f"lock pool did not drain: "
+                        f"{scale['live_locks_after']} live locks")
+    if not results["resident_flatness"]["flat"]:
+        failures.append("resident state grew with op count on a fixed "
+                        "keyspace")
+    return failures
+
+
+def render(results: dict) -> str:
+    lines = [
+        f"Sharded keyspace at scale ({results['n_nodes']} nodes, "
+        f"replication {results['replication']}, "
+        f"{int(results['read_fraction'] * 100)}% reads, "
+        f"update-log cap {results['update_log_capacity']}, "
+        f"{results['mode']} mode)",
+        "",
+        "per-op cost profile (fixed op count, growing keyspace):",
+        f"{'keys':>10}  {'ops':>9}  {'events/op':>9}  {'ops/s wall':>10}  "
+        f"{'resident':>8}",
+    ]
+    for cell in results["profile"]:
+        lines.append(
+            f"{cell['n_keys']:>10,}  {cell['ops']:>9,}  "
+            f"{cell['events_per_op']:>9.2f}  "
+            f"{cell['ops_per_sec_wall']:>10,.0f}  "
+            f"{cell['resident_items']:>8,}")
+    lines.append(f"max/min events-per-op ratio: "
+                 f"{results['per_op_cost_ratio']}x (budget 1.5x)")
+    scale = results["scale"]
+    lines += [
+        "",
+        f"scale cell: {scale['n_keys']:,} keys, {scale['ops']:,} ops -> "
+        f"success {scale['success_rate']:.2%}, "
+        f"{scale['events_per_op']:.2f} events/op, "
+        f"{scale['ops_per_sec_wall']:,.0f} ops/s wall "
+        f"({scale['wall_s']:.0f}s)",
+        f"  resident {scale['resident_items']:,} item states for "
+        f"{scale['writes_ok']:,} writes "
+        f"({scale['resident_per_write']:.2f} per write, bound "
+        f"{results['replication']}), max update log "
+        f"{scale['max_update_log']}, live locks after: "
+        f"{scale['live_locks_after']}",
+        "",
+        "healthy epoch-sweep cost (one elected initiator, batched):",
+        f"{'shards':>8}  {'rpc requests':>12}  {'per node':>8}",
+    ]
+    for row in results["sweep_cost"]:
+        lines.append(f"{row['n_shards']:>8,}  {row['rpc_requests']:>12}  "
+                     f"{row['requests_per_node']:>8.1f}")
+    residency = results["resident_flatness"]
+    lines += [
+        "",
+        f"resident flatness (100-key keyspace): "
+        f"{residency['resident_items']['1x']} states after "
+        f"{residency['ops']['1x']:,} ops, "
+        f"{residency['resident_items']['2x']} after "
+        f"{residency['ops']['2x']:,} "
+        f"({'flat' if residency['flat'] else 'GROWING'})",
+    ]
+    return "\n".join(lines)
+
+
+def test_multistore_scale(benchmark, capsys):
+    results = benchmark.pedantic(run_scale_benchmark, rounds=1,
+                                 iterations=1)
+    report("multistore_scale", render(results), capsys)
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    failures = check_scale_results(results)
+    assert not failures, failures
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="the ~50k-key CI variant (no JSON/results "
+                             "files written)")
+    args = parser.parse_args()
+    outcome = run_scale_benchmark(smoke=args.smoke)
+    print(render(outcome))
+    problems = check_scale_results(outcome)
+    if not args.smoke:
+        report("multistore_scale", render(outcome))
+        JSON_PATH.write_text(json.dumps(outcome, indent=2) + "\n")
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    raise SystemExit(1 if problems else 0)

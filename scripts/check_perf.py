@@ -15,10 +15,16 @@ Quick regression checks, all small enough for CI:
 * **Metrics overhead** -- replays one healthy cell of E23 with the
   observability registry on vs off and fails if instrumentation costs
   more than 5% of wall-clock throughput or changes any op outcome.
+* **Multistore scale** -- replays the ~50k-key smoke variant of the E24
+  sharded-keyspace benchmark and fails if per-op cost is not flat
+  across keyspace sizes, an epoch sweep costs more than one RPC request
+  per node, or resident state is not bounded.  Full run:
+  ``benchmarks/bench_multistore_scale.py``.
 
 Usage::
 
-    PYTHONPATH=src python scripts/check_perf.py [--only engine|protocol|metrics]
+    PYTHONPATH=src python scripts/check_perf.py \
+        [--only engine|protocol|metrics|multistore_scale]
 
 Exit status 0 on pass, 1 on a perf regression.  The matching opt-in
 pytest wrapper is ``tests/test_perf_smoke.py`` (set
@@ -143,6 +149,21 @@ def check_metrics_overhead() -> bool:
     return ok
 
 
+def check_multistore_scale() -> bool:
+    from bench_multistore_scale import (
+        check_scale_results,
+        render,
+        run_scale_benchmark,
+    )
+
+    results = run_scale_benchmark(smoke=True)
+    print(render(results))
+    failures = check_scale_results(results)
+    for failure in failures:
+        print(f"  REGRESSION: {failure}")
+    return not failures
+
+
 CHECKS = {
     "engine": (check_engine,
                "FAIL: the bitmask engine must never be slower than the "
@@ -153,6 +174,10 @@ CHECKS = {
     "metrics": (check_metrics_overhead,
                 "FAIL: the metrics layer must stay within its overhead "
                 "budget and not perturb the protocol"),
+    "multistore_scale": (check_multistore_scale,
+                         "FAIL: the sharded keyspace must keep per-op "
+                         "cost flat, sweep cost at one request per "
+                         "node, and resident state bounded"),
 }
 
 

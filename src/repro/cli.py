@@ -28,6 +28,11 @@ Commands
     propagation lag, 2PC abort reasons, epoch-checker health.
     ``--json`` exports the summary and raw snapshot for offline
     analysis; multi-seed runs merge exactly (pooled percentiles).
+``shard``
+    A sharded-keyspace scenario: a keyed Zipf workload over many
+    shards, one batched epoch sweep after a crash (one request per
+    node, not per shard), and hot-shard detection/rebalancing from the
+    per-shard operation counters.
 ``lint``
     Protocol-aware static analysis: the AST rules of ``repro.lint``
     (determinism, clock discipline, message shape, metric keys) over
@@ -259,6 +264,52 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from repro.shard import ShardedStore, hot_shards, placement_fairness, \
+        shard_loads
+    from repro.workloads.generators import KeyedWorkload, run_keyed_workload
+
+    store = ShardedStore.create(args.nodes, n_shards=args.shards,
+                                replication=args.replication,
+                                seed=args.seed, track_history=True)
+    print(f"{args.nodes} nodes, {args.shards} shards, "
+          f"replication {args.replication} (seed {args.seed})")
+    workload = KeyedWorkload(n_ops=args.ops, n_keys=args.keys,
+                             n_clients=args.clients,
+                             read_fraction=args.read_fraction,
+                             key_skew=args.skew)
+    stats = run_keyed_workload(store, workload, seed=args.seed)
+    print(f"workload: {stats.summary()}")
+
+    victim = store.node_names[-1]
+    store.crash(victim)
+    sweep = store.sweep()
+    print(f"crashed {victim}; sweep checked {sweep.checked} shards, "
+          f"repaired {len(sweep.repaired)}: {list(sweep.repaired)}")
+    store.recover(victim)
+    store.sweep()
+    store.settle()
+    print(f"recovered {victim}; cluster settled "
+          f"(resident items: {store.resident_items()})")
+
+    loads = shard_loads(store.metrics_snapshot())
+    hot = hot_shards(loads, factor=args.hot_factor, min_ops=1,
+                     n_shards=store.map.n_shards)
+    fairness = placement_fairness(store.map, loads)
+    print(f"hot shards (> {args.hot_factor:g}x mean): {hot}; "
+          f"placement fairness {fairness:.3f}")
+    if args.rebalance and hot:
+        moves = store.rebalance(factor=args.hot_factor, min_ops=1)
+        for shard, replicas in moves:
+            print(f"  moved shard {shard} -> {list(replicas)}")
+        store.settle()
+        after = placement_fairness(store.map,
+                                   shard_loads(store.metrics_snapshot()))
+        print(f"fairness after rebalance: {after:.3f}")
+    print(f"history verified: {store.verify()}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -416,6 +467,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write summary+snapshot JSON (default "
                               "path under results/ when no PATH given)")
     metrics.set_defaults(handler=_cmd_metrics)
+
+    shard = sub.add_parser(
+        "shard", help="sharded-keyspace scenario: keyed workload, "
+                      "batched epoch sweep, hot-shard rebalancing")
+    shard.add_argument("--nodes", type=int, default=6)
+    shard.add_argument("--shards", type=int, default=64)
+    shard.add_argument("--replication", type=int, default=3)
+    shard.add_argument("--seed", type=int, default=0)
+    shard.add_argument("--ops", type=int, default=600,
+                       help="total operations (default 600)")
+    shard.add_argument("--keys", type=int, default=10000,
+                       help="keyspace size (default 10000)")
+    shard.add_argument("--clients", type=int, default=8)
+    shard.add_argument("--read-fraction", type=float, default=0.8)
+    shard.add_argument("--skew", type=float, default=1.0,
+                       help="Zipf skew of key choice (default 1.0)")
+    shard.add_argument("--hot-factor", type=float, default=4.0,
+                       help="hot-shard threshold as a multiple of the "
+                            "mean shard load (default 4.0)")
+    shard.add_argument("--rebalance", action="store_true",
+                       help="migrate detected hot shards to the "
+                            "least-loaded nodes")
+    shard.set_defaults(handler=_cmd_shard)
 
     lint = sub.add_parser(
         "lint", help="protocol-aware static analysis (determinism, "

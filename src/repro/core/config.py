@@ -88,9 +88,21 @@ class ProtocolConfig:
     # all -- any heavy poll or propagation touching it clears it at once.
     suspect_ttl: float = 60.0
 
-    # Update-log capacity per replica; older entries are truncated and
-    # propagation falls back to full-value snapshots.
+    # Update-log capacity per replica *per item*; older entries are
+    # truncated and propagation falls back to full-value snapshots.
+    # This is the knob that bounds per-item resident state for
+    # million-key runs: each materialized item holds at most this many
+    # log entries regardless of how many writes it has absorbed
+    # (benchmarks/bench_multistore_scale.py asserts the bound).  0 keeps
+    # the whole log (only sane for small experiments).
     update_log_capacity: int = 64
+
+    # LRU bound on the per-node compiled-coterie cache.  A sharded
+    # keyspace holds one epoch per *shard*, so one node can see
+    # thousands of distinct epoch lists; the cache is shared across all
+    # shards hosted on the node and bounded here (hit/miss counters are
+    # exported through the obs registry as ``coterie_cache``).
+    coterie_cache_capacity: int = 256
 
     # Optional safety threshold (Section 4.1's extension): when a write
     # finds fewer than this many good replicas, it adds extra epoch
@@ -126,6 +138,8 @@ class ProtocolConfig:
                 raise ValueError(f"{name} must be positive, got {value}")
         if self.update_log_capacity < 0:
             raise ValueError("update_log_capacity must be >= 0")
+        if self.coterie_cache_capacity < 1:
+            raise ValueError("coterie_cache_capacity must be >= 1")
         if self.op_retries < 0:
             raise ValueError("op_retries must be >= 0")
         if self.suspicion_debounce <= 0:

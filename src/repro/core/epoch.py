@@ -289,17 +289,25 @@ class EpochChecker:
                         name="suspicion-check")
         return "checking"
 
+    def _check_once(self):
+        """Generator: one check operation.  Subclasses override this to
+        reuse the election/monitor machinery with a different check body
+        -- the sharded store's :class:`~repro.shard.sweep.ShardSweeper`
+        substitutes its batched all-shard sweep here, so one elected
+        initiator amortizes epoch checking over thousands of shards."""
+        result = yield from check_epoch(self.server, history=self.history)
+        return result
+
     def _checked_with_retries(self, retries: int = 3):
         """One epoch check, retried when a concurrent write aborts the
         install transaction (the periodic pulse would just try again
         later; a suspicion-triggered check should succeed now)."""
-        result = yield from check_epoch(self.server, history=self.history)
+        result = yield from self._check_once()
         while not result.ok and result.reason == "install-aborted" \
                 and retries:
             retries -= 1
             yield self.env.timeout(2 * self.config.rpc_timeout)
-            result = yield from check_epoch(self.server,
-                                            history=self.history)
+            result = yield from self._check_once()
         return result
 
     def _on_victory(self, src: str, winner: str) -> str:

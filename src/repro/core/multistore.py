@@ -32,13 +32,13 @@ from repro.core.history import History, check_one_copy_serializability
 from repro.core.messages import (
     BUSY,
     EpochCheckResult,
-    Prepare,
     PropagationData,
     PropagationOffer,
     ReadResult,
     StateResponse,
     WriteResult,
 )
+from repro.core.participant import TwoPhaseParticipant
 from repro.core.twophase import gather, run_transaction
 from repro.core.liveness import LivenessView
 from repro.coteries.base import CoterieRule, _stable_hash
@@ -134,8 +134,13 @@ class MiInstallEpoch:
     items: Mapping[str, tuple[tuple[str, ...], tuple[str, ...], int]]
 
 
-class MultiReplicaServer:
-    """Replica endpoint for a whole item group with a shared epoch."""
+class MultiReplicaServer(TwoPhaseParticipant):
+    """Replica endpoint for a whole item group with a shared epoch.
+
+    Locking and the presumed-abort 2PC participant come from
+    :class:`~repro.core.participant.TwoPhaseParticipant`; this class
+    supplies the item-group state, the poll handlers, and propagation.
+    """
 
     def __init__(self, node: Node, rpc: RpcLayer, coterie_rule: CoterieRule,
                  all_nodes: Sequence[str], items: Sequence[str],
@@ -150,11 +155,11 @@ class MultiReplicaServer:
         self.config = (config or ProtocolConfig()).validate()
         node.stable["group_epoch"] = (self.all_nodes, 0)
         node.stable["mi_items"] = {item: ItemState() for item in self.items}
-        node.stable.setdefault("prepared", {})
-        node.stable.setdefault("txn_outcomes", {})
-        node.stable.setdefault("coord_committed", set())
+        self.init_participant_state()
         self._txn_ids = itertools.count(1)
-        self._coteries = CompiledCoterieCache(coterie_rule)
+        self._coteries = CompiledCoterieCache(
+            coterie_rule, capacity=self.config.coterie_cache_capacity,
+            metrics=self.metrics if self.metrics.enabled else None)
         # Suspicion is volatile state: wiped with the rest on crash.
         self.liveness = LivenessView(node.env, self.config.suspect_ttl)
         rpc.liveness_observer = self.liveness.observe
@@ -168,11 +173,7 @@ class MultiReplicaServer:
         serve("mi-read-request", self._on_read_request)
         serve("mi-epoch-check-request", self._on_epoch_check_request)
         serve("mi-op-release", self._on_op_release)
-        serve("txn-prepare", self._on_prepare)
-        serve("txn-commit", self._on_commit)
-        serve("txn-abort", self._on_abort)
-        serve("txn-status", self._on_txn_status)
-        serve("txn-status-peer", self._on_txn_status_peer)
+        self.serve_txn_endpoints()
         serve("mi-propagation-offer", self._on_propagation_offer)
         serve("mi-propagation-data", self._on_propagation_data)
 
@@ -223,38 +224,14 @@ class MultiReplicaServer:
             stale=state.stale, elist=tuple(elist), enumber=enumber,
             value=dict(state.value) if include_value else None)
 
-    # -- locking --------------------------------------------------------------
-    @property
-    def _op_locks(self) -> dict:
-        return self.node.volatile.setdefault("op_locks", {})
+    # -- participant hooks (locking and 2PC live in TwoPhaseParticipant) ------
+    def _lock(self, resource):
+        return self.locks[resource]
 
-    @property
-    def _prepared_ops(self) -> set:
-        return self.node.volatile.setdefault("prepared_ops", set())
-
-    def _acquire(self, item: str, owner: str, shared: bool = False,
-                 wait: Optional[float] = None):
-        lock = self.locks[item]
-        grant = lock.acquire(owner, shared=shared)
-        timer = self.env.timeout(self.config.lock_wait if wait is None
-                                 else wait)
-        yield self.env.any_of([grant, timer])
-        if grant.triggered:
-            return True
-        lock.cancel(owner)
-        return False
-
-    def _release_op(self, op_id: str) -> None:
-        items = self._op_locks.pop(op_id, ())
-        for item in items:
-            self.locks[item].release(op_id)
-        self._prepared_ops.discard(op_id)
-
-    def _lease_watchdog(self, op_id: str):
-        yield self.env.timeout(self.config.lock_lease)
-        if op_id in self._op_locks and op_id not in self._prepared_ops:
-            self._trace("lock-lease-expired", op_id=op_id)
-            self._release_op(op_id)
+    def _resources_of(self, command) -> tuple[str, ...]:
+        if isinstance(command, MiInstallEpoch):
+            return tuple(sorted(command.items))
+        return (command.item,)
 
     # -- poll handlers ---------------------------------------------------------
     def _on_write_request(self, src: str, args):
@@ -305,39 +282,7 @@ class MultiReplicaServer:
             self._release_op(op_id)
         return "ok"
 
-    # -- 2PC participant ---------------------------------------------------------
-    def _items_of(self, command) -> tuple[str, ...]:
-        if isinstance(command, MiInstallEpoch):
-            return tuple(sorted(command.items))
-        return (command.item,)
-
-    def _on_prepare(self, src: str, prepare: Prepare):
-        def handle():
-            if prepare.op_id not in self._op_locks:
-                if prepare.expected_snapshot is None:
-                    return "no"
-                # epoch install: lock every item in canonical order
-                wanted = self._items_of(prepare.command)
-                granted = []
-                for item in wanted:
-                    ok = yield from self._acquire(item, prepare.op_id)
-                    if not ok:
-                        for held in granted:
-                            self.locks[held].release(prepare.op_id)
-                        return "no"
-                    granted.append(item)
-                self._op_locks[prepare.op_id] = tuple(granted)
-                if not self._snapshot_matches(prepare.expected_snapshot):
-                    self._release_op(prepare.op_id)
-                    return "no"
-            self.node.stable["prepared"][prepare.txn_id] = prepare
-            self._prepared_ops.add(prepare.op_id)
-            self.node.spawn(self._await_decision(prepare.txn_id),
-                            name=f"await-{prepare.txn_id}")
-            return "yes"
-
-        return handle()
-
+    # -- 2PC command semantics (the participant protocol is the mixin's) ------
     def _snapshot_matches(self, expected: Optional[dict]) -> bool:
         if expected is None:
             return True
@@ -351,26 +296,6 @@ class MultiReplicaServer:
                     (version, dversion, stale):
                 return False
         return True
-
-    def _on_commit(self, src: str, txn_id: str) -> str:
-        self._commit_txn(txn_id)
-        return "ack"
-
-    def _on_abort(self, src: str, txn_id: str) -> str:
-        prepare = self.node.stable["prepared"].pop(txn_id, None)
-        if prepare is not None:
-            self.node.stable["txn_outcomes"][txn_id] = "aborted"
-            self._release_op(prepare.op_id)
-        return "ack"
-
-    def _commit_txn(self, txn_id: str) -> None:
-        prepare = self.node.stable["prepared"].pop(txn_id, None)
-        if prepare is None:
-            return
-        self._apply(prepare.command)
-        self.node.stable["txn_outcomes"][txn_id] = "committed"
-        self._release_op(prepare.op_id)
-        self._post_commit(prepare.command)
 
     def _apply(self, command) -> None:
         capacity = self.config.update_log_capacity
@@ -404,63 +329,6 @@ class MultiReplicaServer:
                 if self.name in good and stale:
                     self.node.spawn(self._propagate(item, stale),
                                     name=f"mi-prop-{item}")
-
-    # -- 2PC termination (same presumed-abort protocol as ReplicaServer) -----
-    def _await_decision(self, txn_id: str):
-        yield self.env.timeout(self.config.prepared_wait)
-        yield from self._terminate(txn_id)
-
-    def _terminate(self, txn_id: str):
-        from repro.sim.rpc import CALL_FAILED
-        while txn_id in self.node.stable["prepared"]:
-            prepare: Prepare = self.node.stable["prepared"][txn_id]
-            status = yield self.rpc.call(prepare.coordinator, "txn-status",
-                                         txn_id,
-                                         timeout=self.config.rpc_timeout)
-            if status == "committed":
-                self._commit_txn(txn_id)
-                return
-            if status == "aborted":
-                self._on_abort(prepare.coordinator, txn_id)
-                return
-            if status is CALL_FAILED:
-                for peer in prepare.participants:
-                    if peer == self.name:
-                        continue
-                    view = yield self.rpc.call(peer, "txn-status-peer",
-                                               txn_id,
-                                               timeout=self.config.rpc_timeout)
-                    if view == "committed":
-                        self._commit_txn(txn_id)
-                        return
-                    if view == "aborted":
-                        self._on_abort(peer, txn_id)
-                        return
-            yield self.env.timeout(self.config.termination_retry)
-
-    def _on_txn_status(self, src: str, txn_id: str) -> str:
-        if txn_id in self.node.volatile.get("coord_active", set()):
-            return "pending"
-        if txn_id in self.node.stable["coord_committed"]:
-            return "committed"
-        return "aborted"
-
-    def _on_txn_status_peer(self, src: str, txn_id: str) -> str:
-        outcome = self.node.stable["txn_outcomes"].get(txn_id)
-        if outcome:
-            return outcome
-        return "prepared" if txn_id in self.node.stable["prepared"] \
-            else "unknown"
-
-    def _on_recover(self) -> None:
-        for txn_id, prepare in self.node.stable["prepared"].items():
-            items = self._items_of(prepare.command)
-            for item in items:
-                self.locks[item].acquire(prepare.op_id)
-            self._op_locks[prepare.op_id] = items
-            self._prepared_ops.add(prepare.op_id)
-            self.node.spawn(self._terminate(txn_id),
-                            name=f"recover-{txn_id}")
 
     # -- propagation -----------------------------------------------------------
     def _propagate(self, item: str, stale_nodes: Iterable[str]):

@@ -203,25 +203,45 @@ class CompiledCoterieCache:
     compiled evaluator, so planners would have recompiled per op.  This
     cache evicts least-recently-used entries one at a time and compiles
     each coterie's evaluator lazily, at most once per residency.
+
+    A sharded keyspace keys this cache by *per-shard* epoch lists, so
+    one node-wide instance may serve thousands of shards; the LRU bound
+    is what keeps that safe.  When a ``metrics`` registry is passed,
+    the cache exports ``coterie_cache{outcome=hit|miss}`` counters and
+    an eviction counter so cache pressure is observable (a miss rate
+    near 1 means the capacity is too small for the epoch-list working
+    set and every operation rebuilds a coterie).
     """
 
-    def __init__(self, rule: CoterieRule, capacity: int = 64):
+    def __init__(self, rule: CoterieRule, capacity: int = 64, metrics=None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.rule = rule
         self.capacity = capacity
         self._entries: OrderedDict[tuple, list] = OrderedDict()
+        self._hits = metrics.counter("coterie_cache", outcome="hit") \
+            if metrics is not None else None
+        self._misses = metrics.counter("coterie_cache", outcome="miss") \
+            if metrics is not None else None
+        self._evictions = metrics.counter("coterie_cache_evictions") \
+            if metrics is not None else None
 
     def _entry(self, epoch_list: Sequence[str]) -> list:
         key = tuple(epoch_list)
         entries = self._entries
         entry = entries.get(key)
         if entry is None:
+            if self._misses is not None:
+                self._misses.inc()
             entry = [self.rule(key), None]
             entries[key] = entry
             if len(entries) > self.capacity:
                 entries.popitem(last=False)
+                if self._evictions is not None:
+                    self._evictions.inc()
         else:
+            if self._hits is not None:
+                self._hits.inc()
             entries.move_to_end(key)
         return entry
 

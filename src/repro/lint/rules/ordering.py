@@ -152,7 +152,7 @@ class IterationOrderRule(Rule):
     id = "iteration-order"
     rationale = ("set iteration order is salted per process; protocol "
                  "decisions must consume sets through sorted(...)")
-    include = ("core/*", "coteries/*", "chaos/*")
+    include = ("core/*", "coteries/*", "chaos/*", "shard/*")
 
     def check(self, tree: ast.Module, source: str,
               relpath: str) -> Iterator[Finding]:

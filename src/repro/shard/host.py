@@ -1,0 +1,460 @@
+"""Shard-local replica logic: one server hosting many shards.
+
+A :class:`ShardHost` is the sharded keyspace's counterpart of
+:class:`~repro.core.multistore.MultiReplicaServer`.  The differences are
+all about scale:
+
+* **per-shard epochs** -- ``node.stable["sh_epochs"]`` maps shard ->
+  (elist, enumber).  A shard with no entry is implicitly at epoch 0,
+  whose list every node derives from the shard map
+  (:meth:`~repro.shard.map.ShardMap.base_replicas`), so hosting a shard
+  costs nothing until something actually changes.
+* **lazy item state** -- ``node.stable["sh_items"]`` maps shard ->
+  {key -> ItemState}, materialized only on the first *write* (or stale
+  marking).  Reads of untouched keys answer the default state without
+  allocating, so resident state is O(hosted shards + written keys), not
+  O(keyspace).
+* **in-place stable writes** -- one key's state update is a single dict
+  assignment (one atomic stable write), not a wholesale copy of the
+  node's item table; per-operation cost stays flat as the keyspace
+  grows.
+* **pooled locks** -- locks are created per touched ``(shard, key)``
+  and garbage-collected the moment they go idle (the
+  ``_after_release`` hook of the 2PC mixin), so a million-key node
+  holds locks proportional to *concurrent* operations only.
+
+Locking and the presumed-abort 2PC participant come from
+:class:`~repro.core.participant.TwoPhaseParticipant`; the compiled
+coterie cache is shared across every shard the node hosts and bounded
+by ``config.coterie_cache_capacity``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.core.config import ProtocolConfig
+from repro.core.liveness import LivenessView
+from repro.core.messages import (
+    BUSY,
+    PropagationData,
+    PropagationOffer,
+    StateResponse,
+)
+from repro.core.multistore import ItemState
+from repro.core.participant import TwoPhaseParticipant
+from repro.coteries.base import CoterieRule
+from repro.coteries.majority import MajorityCoterie
+from repro.coteries.planner import CompiledCoterieCache
+from repro.obs.metrics import NULL_REGISTRY
+from repro.shard.map import ShardMap
+from repro.shard.messages import ShApplyWrite, ShInstallEpoch, ShMarkStale
+from repro.sim.engine import Environment
+from repro.sim.node import Node
+from repro.sim.rpc import RpcLayer
+
+#: The state of a key nobody has written: version 0, current.  ItemState
+#: is frozen, so one shared instance serves every unmaterialized key.
+DEFAULT_ITEM = ItemState()
+
+
+class ShardHost(TwoPhaseParticipant):
+    """Replica endpoint for every shard placed on one node."""
+
+    def __init__(self, node: Node, rpc: RpcLayer, shard_map: ShardMap,
+                 all_nodes: Sequence[str],
+                 coterie_rule: CoterieRule = MajorityCoterie,
+                 config: Optional[ProtocolConfig] = None, metrics=None):
+        self.node = node
+        self.rpc = rpc
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.env: Environment = node.env
+        self.map = shard_map
+        self.all_nodes = tuple(sorted(all_nodes))
+        self.coterie_rule = coterie_rule
+        self.config = (config or ProtocolConfig()).validate()
+        node.stable["sh_epochs"] = {}
+        node.stable["sh_items"] = {}
+        # shard -> count of stale keys; the "dirty" bit sweep triage uses
+        node.stable["sh_stale"] = {}
+        self.init_participant_state()
+        self._txn_ids = itertools.count(1)
+        self._coteries = CompiledCoterieCache(
+            coterie_rule, capacity=self.config.coterie_cache_capacity,
+            metrics=self.metrics if self.metrics.enabled else None)
+        self.liveness = LivenessView(node.env, self.config.suspect_ttl)
+        rpc.liveness_observer = self.liveness.observe
+        node.add_crash_hook(self.liveness.clear)
+        self._lock_table: dict[tuple[int, str], Any] = {}
+        node.add_crash_hook(self._reset_locks)
+        node.add_recover_hook(self._on_recover)
+
+        serve = rpc.serve
+        serve("sh-write-request", self._on_write_request)
+        serve("sh-read-request", self._on_read_request)
+        serve("sh-epoch-check-request", self._on_epoch_check_request)
+        serve("sh-sweep-request", self._on_sweep_request)
+        serve("sh-reseed-request", self._on_reseed_request)
+        serve("sh-op-release", self._on_op_release)
+        self.serve_txn_endpoints()
+        serve("sh-propagation-offer", self._on_propagation_offer)
+        serve("sh-propagation-data", self._on_propagation_data)
+
+    # -- state ----------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The owning node's name."""
+        return self.node.name
+
+    def epoch_of(self, shard: int) -> tuple[tuple[str, ...], int]:
+        """This node's (elist, enumber) for one shard; shards that never
+        transitioned stay at the map-derived epoch 0 without storage."""
+        entry = self.node.stable["sh_epochs"].get(shard)
+        if entry is None:
+            return (self.map.base_replicas(shard), 0)
+        return entry
+
+    def item_state(self, shard: int, key: str) -> ItemState:
+        """One key's durable state; never materializes an entry."""
+        items = self.node.stable["sh_items"].get(shard)
+        if items is None:
+            return DEFAULT_ITEM
+        return items.get(key, DEFAULT_ITEM)
+
+    def set_item_state(self, shard: int, key: str, state: ItemState) -> None:
+        """One atomic stable write of one key's state (in place -- the
+        per-key granularity is what keeps write cost flat at scale)."""
+        items = self.node.stable["sh_items"].setdefault(shard, {})
+        old = items.get(key, DEFAULT_ITEM)
+        if old.stale != state.stale:
+            counts = self.node.stable["sh_stale"]
+            if state.stale:
+                counts[shard] = counts.get(shard, 0) + 1
+            else:
+                remaining = counts.get(shard, 0) - 1
+                if remaining > 0:
+                    counts[shard] = remaining
+                else:
+                    counts.pop(shard, None)
+        items[key] = state
+
+    def new_txn_id(self) -> str:
+        """A fresh transaction identifier for this coordinator."""
+        return f"{self.name}:stxn{next(self._txn_ids)}"
+
+    def coterie_for(self, epoch_list):
+        """The coterie over one epoch list (shared bounded LRU cache)."""
+        return self._coteries.coterie(epoch_list)
+
+    def evaluator_for(self, epoch_list):
+        """The compiled ``QuorumEvaluator`` for one epoch list."""
+        return self._coteries.evaluator(epoch_list)
+
+    def _trace(self, kind: str, **detail: Any) -> None:
+        self.node.trace.record(self.env.now, kind, self.name, **detail)
+
+    def _response(self, shard: int, key: str,
+                  include_value: bool = False) -> StateResponse:
+        elist, enumber = self.epoch_of(shard)
+        state = self.item_state(shard, key)
+        return StateResponse(
+            node=self.name, version=state.version, dversion=state.dversion,
+            stale=state.stale, elist=tuple(elist), enumber=enumber,
+            value=dict(state.value) if include_value else None)
+
+    # -- participant hooks (locking and 2PC live in TwoPhaseParticipant) ------
+    def _lock(self, resource):
+        lock = self._lock_table.get(resource)
+        if lock is None:
+            shard, key = resource
+            lock = self.env.lock(f"{self.name}.sh{shard}/{key}")
+            self._lock_table[resource] = lock
+        return lock
+
+    def _after_release(self, resource) -> None:
+        lock = self._lock_table.get(resource)
+        if lock is not None and lock.idle:
+            del self._lock_table[resource]
+
+    def _reset_locks(self) -> None:
+        # crash hook: pooled locks are volatile, like node.make_lock ones
+        table, self._lock_table = self._lock_table, {}
+        for lock in table.values():
+            lock.reset()
+
+    @property
+    def live_locks(self) -> int:
+        """Resident pooled-lock count (bounded-memory assertions)."""
+        return len(self._lock_table)
+
+    def _resources_of(self, command) -> tuple[tuple[int, str], ...]:
+        if isinstance(command, ShInstallEpoch):
+            return tuple((command.shard, key)
+                         for key in sorted(command.keys))
+        return ((command.shard, command.key),)
+
+    # -- poll handlers ---------------------------------------------------------
+    def _on_write_request(self, src: str, args):
+        shard, key, op_id = args
+
+        def handle():
+            if op_id in self._op_locks:
+                return self._response(shard, key)
+            ok = yield from self._acquire((shard, key), op_id)
+            if not ok:
+                return BUSY
+            self._op_locks[op_id] = ((shard, key),)
+            self.node.spawn(self._lease_watchdog(op_id),
+                            name=f"lease-{op_id}")
+            return self._response(shard, key)
+
+        return handle()
+
+    def _on_read_request(self, src: str, args):
+        shard, key, op_id = args
+
+        def handle():
+            ok = yield from self._acquire((shard, key), op_id, shared=True)
+            if not ok:
+                return BUSY
+            response = self._response(shard, key, include_value=True)
+            self._lock((shard, key)).release(op_id)
+            self._after_release((shard, key))
+            return response
+
+        return handle()
+
+    def _on_epoch_check_request(self, src: str, shard: int) -> dict:
+        """The per-shard detailed poll: epoch plus every materialized
+        key's (version, dversion, stale).  Only the repair path pays
+        this; healthy shards are triaged from the batched sweep alone."""
+        elist, enumber = self.epoch_of(shard)
+        items = self.node.stable["sh_items"].get(shard) or {}
+        return {
+            "node": self.name,
+            "shard": shard,
+            "elist": tuple(elist),
+            "enumber": enumber,
+            "keys": {key: (state.version, state.dversion, state.stale)
+                     for key, state in items.items()},
+        }
+
+    def _on_sweep_request(self, src: str, args) -> dict:
+        """One batched answer covering every shard this node hosts (or
+        still stores state for): shard -> (elist, enumber, dirty).  This
+        is the message that makes epoch checking scale with *nodes*:
+        the sweep costs one round trip per node however many thousand
+        shards each answer describes."""
+        self.node.volatile["last_epoch_check_seen"] = self.env.now
+        stale_counts = self.node.stable["sh_stale"]
+        epochs = self.node.stable["sh_epochs"]
+        report: dict[int, tuple] = {}
+        for shard in self.map.hosted(self.name):
+            elist, enumber = self.epoch_of(shard)
+            report[shard] = (tuple(elist), enumber, shard in stale_counts)
+        for shard in sorted(epochs):
+            if shard not in report:
+                elist, enumber = epochs[shard]
+                report[shard] = (tuple(elist), enumber,
+                                 shard in stale_counts)
+        return report
+
+    def _on_reseed_request(self, src: str, args) -> str:
+        """The sweep found still-stale keys this node can serve: restart
+        propagation toward the named targets (couriers that gave up on
+        an unreachable target leave it stale with nobody assigned; the
+        periodic sweep is the "re-mark it if it matters" hook)."""
+        shard, assignments = args
+        count = 0
+        for key in sorted(assignments):
+            state = self.item_state(shard, key)
+            if state.stale:
+                continue
+            count += 1
+            self.node.spawn(
+                self._propagate(shard, key, assignments[key]),
+                name=f"sh-reseed-{shard}/{key}")
+        if count:
+            self.metrics.counter("propagation_reseeded").inc(count)
+        return "ok"
+
+    def _on_op_release(self, src: str, op_id: str) -> str:
+        if op_id in self._op_locks and op_id not in self._prepared_ops:
+            self._release_op(op_id)
+        return "ok"
+
+    # -- 2PC command semantics (the participant protocol is the mixin's) ------
+    def _snapshot_matches(self, expected: Optional[dict]) -> bool:
+        if expected is None:
+            return True
+        shard = expected["shard"]
+        _elist, enumber = self.epoch_of(shard)
+        if expected.get("enumber", enumber) != enumber:
+            return False
+        for key, (version, dversion, stale) in expected.get("keys",
+                                                            {}).items():
+            state = self.item_state(shard, key)
+            if (state.version, state.dversion, state.stale) != \
+                    (version, dversion, stale):
+                return False
+        return True
+
+    def _apply(self, command) -> None:
+        capacity = self.config.update_log_capacity
+        if isinstance(command, ShApplyWrite):
+            self.set_item_state(
+                command.shard, command.key,
+                self.item_state(command.shard, command.key).applied(
+                    command.updates, command.new_version, capacity))
+        elif isinstance(command, ShMarkStale):
+            self.set_item_state(
+                command.shard, command.key,
+                self.item_state(command.shard,
+                                command.key).marked_stale(command.dversion))
+        elif isinstance(command, ShInstallEpoch):
+            self.node.stable["sh_epochs"][command.shard] = (
+                command.epoch_list, command.epoch_number)
+            for key in sorted(command.keys):
+                _good, stale, max_version = command.keys[key]
+                if self.name in stale:
+                    self.set_item_state(
+                        command.shard, key,
+                        self.item_state(command.shard,
+                                        key).marked_stale(max_version))
+        else:
+            raise TypeError(f"unknown command {command!r}")
+
+    def _post_commit(self, command) -> None:
+        if isinstance(command, ShApplyWrite) and command.stale_nodes:
+            self.node.spawn(
+                self._propagate(command.shard, command.key,
+                                command.stale_nodes),
+                name=f"sh-prop-{command.shard}/{command.key}")
+        elif isinstance(command, ShInstallEpoch):
+            for key in sorted(command.keys):
+                good, stale, _mv = command.keys[key]
+                if self.name in good and stale:
+                    self.node.spawn(
+                        self._propagate(command.shard, key, stale),
+                        name=f"sh-prop-{command.shard}/{key}")
+
+    # -- propagation (per shard+key; same protocol as the multi-item store) ---
+    def _propagate(self, shard: int, key: str, stale_nodes: Iterable[str]):
+        from repro.sim.rpc import CALL_FAILED
+        pending = {name: 0 for name in stale_nodes if name != self.name}
+        while pending:
+            state = self.item_state(shard, key)
+            if state.stale or not self.node.up:
+                return
+            for target in sorted(pending):
+                offer = PropagationOffer(source=self.name,
+                                         version=state.version)
+                response = yield self.rpc.call(
+                    target, "sh-propagation-offer", (shard, key, offer),
+                    timeout=self.config.rpc_timeout)
+                if response is CALL_FAILED:
+                    pending[target] += 1
+                    if pending[target] >= 5:
+                        del pending[target]
+                    continue
+                if response == "i-am-current":
+                    del pending[target]
+                    continue
+                if (isinstance(response, tuple)
+                        and response[0] == "propagation-permitted"):
+                    done = yield from self._ship(shard, key, target,
+                                                 response[1])
+                    if done:
+                        del pending[target]
+            if pending:
+                yield self.env.timeout(self.config.propagation_retry)
+
+    def _ship(self, shard: int, key: str, target: str, target_version: int):
+        state = self.item_state(shard, key)
+        if state.stale:
+            return False
+        log = state.log_slice(target_version)
+        if log is not None:
+            data = PropagationData(source_version=state.version, log=log)
+        else:
+            data = PropagationData(source_version=state.version,
+                                   snapshot=dict(state.value))
+        result = yield self.rpc.call(target, "sh-propagation-data",
+                                     (shard, key, data),
+                                     timeout=self.config.rpc_timeout)
+        return result == "done"
+
+    def _on_propagation_offer(self, src: str, args):
+        shard, key, offer = args
+        resource = (shard, key)
+
+        def handle():
+            recovering = self.node.volatile.setdefault("sh_recovering", {})
+            if resource in recovering:
+                return "already-recovering"
+            state = self.item_state(shard, key)
+            if not (state.stale and state.dversion <= offer.version):
+                return "i-am-current"
+            # unique per offer: see ReplicaServer._on_propagation_offer
+            owner = f"sh-recover:{shard}/{key}:{offer.source}" \
+                    f"@{self.env.now:.9f}"
+            ok = yield from self._acquire(resource, owner)
+            if not ok:
+                return "already-recovering"
+            state = self.item_state(shard, key)
+            if not (state.stale and state.dversion <= offer.version):
+                self._lock(resource).release(owner)
+                self._after_release(resource)
+                return "i-am-current"
+            recovering[resource] = owner
+            self.node.spawn(self._permit_lease(resource, owner),
+                            name="sh-prop-lease")
+            return ("propagation-permitted", state.version)
+
+        return handle()
+
+    def _permit_lease(self, resource, owner: str):
+        yield self.env.timeout(self.config.propagation_lease)
+        recovering = self.node.volatile.setdefault("sh_recovering", {})
+        if recovering.get(resource) == owner:
+            recovering.pop(resource, None)
+            self._lock(resource).release(owner)
+            self._after_release(resource)
+
+    def _on_propagation_data(self, src: str, args) -> str:
+        shard, key, data = args
+        resource = (shard, key)
+        recovering = self.node.volatile.setdefault("sh_recovering", {})
+        owner = recovering.get(resource)
+        if not owner:
+            return "no-permit"
+        state = self.item_state(shard, key)
+        try:
+            if data.log is not None:
+                value = dict(state.value)
+                version = state.version
+                for entry_version, updates in data.log:
+                    if entry_version != version + 1:
+                        return "gap"
+                    value.update(updates)
+                    version = entry_version
+                log = state.update_log + tuple(
+                    (v, dict(u)) for v, u in data.log)
+                capacity = self.config.update_log_capacity
+                if capacity and len(log) > capacity:
+                    log = log[len(log) - capacity:]
+                self.set_item_state(shard, key,
+                                    state.caught_up(value, version, log))
+            elif data.snapshot is not None:
+                self.set_item_state(shard, key, state.caught_up(
+                    dict(data.snapshot), data.source_version, ()))
+            else:
+                return "empty"
+        except ValueError:
+            return "rejected"
+        finally:
+            recovering.pop(resource, None)
+            self._lock(resource).release(owner)
+            self._after_release(resource)
+        return "done"

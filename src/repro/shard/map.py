@@ -1,0 +1,131 @@
+"""Deterministic shard map: key -> shard -> replica set.
+
+The sharded keyspace splits a million keys over a fixed number of
+*shards*; each shard is replicated on a small subset of the cluster
+(partial replication), so every node hosts only ``n_shards *
+replication / n_nodes`` shards' worth of state instead of the whole
+keyspace.
+
+Placement is rendezvous (highest-random-weight) hashing: each
+``(shard, node)`` pair gets a score from the seeded hash chain
+(:func:`repro.sim.seeding.derive_seed`), and a shard lives on the
+``replication`` best-scoring nodes.  The properties that matter:
+
+* **deterministic** -- same seed, same node set, same placement, on any
+  machine and under any ``PYTHONHASHSEED`` (the score is a SHA-256
+  derivation, never a salted ``hash()``);
+* **uniform** -- scores are independent per pair, so shards spread
+  evenly and every node hosts roughly the same count;
+* **minimally disruptive** -- adding a node only wins the pairs it
+  scores best on; no unrelated shard moves.
+
+Key-to-shard routing uses CRC-32 (process-stable, unlike ``hash``).
+
+Runtime *overrides* layer on top of the base placement: hot-shard
+rebalancing (:mod:`repro.shard.rebalance`) retargets one shard's
+replica set, and the change is realized as an epoch transition -- the
+map records intent, the epoch install makes it safe (Lemma 1 covers
+migration exactly as it covers failure eviction).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Sequence
+
+from repro.sim.seeding import derive_seed
+
+
+class ShardMap:
+    """Key -> shard -> replica-set routing table for one cluster."""
+
+    def __init__(self, nodes: Sequence[str], n_shards: int,
+                 replication: int = 3, seed: int = 0):
+        names = tuple(sorted(nodes))
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate node names")
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if not 1 <= replication <= len(names):
+            raise ValueError(f"replication must be in [1, {len(names)}], "
+                             f"got {replication}")
+        self.nodes = names
+        self.n_shards = n_shards
+        self.replication = replication
+        self.seed = seed
+        self._base: list[tuple[str, ...]] = [
+            self._place(shard) for shard in range(n_shards)]
+        self._overrides: dict[int, tuple[str, ...]] = {}
+        self._hosted: dict[str, set[int]] = {name: set() for name in names}
+        for shard, replicas in enumerate(self._base):
+            for name in replicas:
+                self._hosted[name].add(shard)
+
+    def _place(self, shard: int) -> tuple[str, ...]:
+        ranked = sorted(
+            self.nodes,
+            key=lambda name: (derive_seed(
+                self.seed, f"shard.place/{shard}/{name}"), name))
+        return tuple(sorted(ranked[:self.replication]))
+
+    # -- routing ---------------------------------------------------------------
+    def shard_of(self, key: str) -> int:
+        """The shard a key routes to (CRC-32, process-stable)."""
+        return zlib.crc32(key.encode()) % self.n_shards
+
+    def base_replicas(self, shard: int) -> tuple[str, ...]:
+        """The seed-derived placement, ignoring overrides.
+
+        This doubles as the canonical *epoch-zero* list for the shard:
+        every node derives the same tuple from the same seed, so a
+        replica that has never stored an epoch knows what epoch 0 is
+        without any communication.
+        """
+        return self._base[shard]
+
+    def replicas(self, shard: int) -> tuple[str, ...]:
+        """The current (override-aware) replica set of one shard."""
+        override = self._overrides.get(shard)
+        return override if override is not None else self._base[shard]
+
+    def replicas_for_key(self, key: str) -> tuple[str, ...]:
+        """Convenience: the replica set of the key's shard."""
+        return self.replicas(self.shard_of(key))
+
+    def hosted(self, node: str) -> tuple[int, ...]:
+        """All shards currently placed on *node*, ascending."""
+        return tuple(sorted(self._hosted[node]))
+
+    # -- rebalancing -----------------------------------------------------------
+    def move(self, shard: int, new_replicas: Sequence[str]) -> None:
+        """Retarget one shard's replica set (records intent only; the
+        epoch transition in :func:`repro.shard.sweep.check_shard_epoch`
+        realizes the move safely)."""
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"no such shard: {shard}")
+        replicas = tuple(sorted(new_replicas))
+        if len(set(replicas)) != len(replicas):
+            raise ValueError("duplicate replicas")
+        unknown = sorted(set(replicas) - set(self.nodes))
+        if unknown:
+            raise ValueError(f"unknown nodes: {unknown}")
+        if not replicas:
+            raise ValueError("replica set must not be empty")
+        for name in self.replicas(shard):
+            self._hosted[name].discard(shard)
+        if replicas == self._base[shard]:
+            self._overrides.pop(shard, None)
+        else:
+            self._overrides[shard] = replicas
+        for name in replicas:
+            self._hosted[name].add(shard)
+
+    @property
+    def overrides(self) -> dict[int, tuple[str, ...]]:
+        """Current rebalancing overrides (shard -> replica set)."""
+        return dict(self._overrides)
+
+    # -- introspection ---------------------------------------------------------
+    def host_counts(self) -> dict[str, int]:
+        """shards-hosted count per node (placement-uniformity checks)."""
+        return {name: len(self._hosted[name]) for name in self.nodes}

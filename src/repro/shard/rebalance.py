@@ -1,0 +1,116 @@
+"""Hot-shard detection and rebalance planning.
+
+The router exports per-shard operation counters through the obs
+registry (``shard_ops{shard=...,kind=...}``); this module turns a
+metrics snapshot into load numbers, finds outlier shards, and plans
+replica-set moves that shift load from the busiest nodes to the
+quietest.  Planning is pure (no I/O, deterministic given the
+snapshot); :meth:`repro.shard.store.ShardedStore.rebalance` executes
+the plan by recording each move in the shard map and driving the epoch
+transition.
+
+Evenness is scored with Jain's fairness index from
+:mod:`repro.analysis.load` -- the same metric the paper-level load
+analysis uses for quorum functions, applied here to the node-level
+load induced by shard placement (see :func:`node_loads`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.analysis.load import jain_fairness
+from repro.obs.metrics import split_key
+from repro.shard.map import ShardMap
+
+
+def shard_loads(snapshot: Mapping) -> dict[int, int]:
+    """Per-shard operation counts from one metrics snapshot."""
+    loads: dict[int, int] = {}
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = split_key(key)
+        if name != "shard_ops" or "shard" not in labels:
+            continue
+        shard = int(labels["shard"].lstrip("s"))
+        loads[shard] = loads.get(shard, 0) + value
+    return loads
+
+
+def node_loads(shard_map: ShardMap,
+               loads: Mapping[int, int]) -> dict[str, int]:
+    """Load each node carries under the current placement (each replica
+    of a shard absorbs that shard's full operation count)."""
+    totals = {name: 0 for name in shard_map.nodes}
+    for shard in sorted(loads):
+        for name in shard_map.replicas(shard):
+            totals[name] += loads[shard]
+    return totals
+
+
+def placement_fairness(shard_map: ShardMap,
+                       loads: Mapping[int, int]) -> float:
+    """Jain fairness of the node-level load (1.0 = perfectly even)."""
+    return jain_fairness(list(node_loads(shard_map, loads).values()))
+
+
+def hot_shards(loads: Mapping[int, int], factor: float = 4.0,
+               min_ops: int = 100,
+               n_shards: Optional[int] = None) -> list[int]:
+    """Shards whose load exceeds ``factor`` times the mean (and at least
+    ``min_ops``, so tiny samples never trigger moves), hottest first.
+
+    ``n_shards`` is the total shard count; the mean is taken over the
+    *whole* shard space, untouched shards included -- otherwise a
+    workload concentrated on one shard would make that shard the mean
+    and nothing would ever look hot.
+    """
+    if not loads:
+        return []
+    mean = sum(loads.values()) / (n_shards if n_shards else len(loads))
+    hot = [shard for shard in sorted(loads)
+           if loads[shard] >= min_ops and loads[shard] > factor * mean]
+    return sorted(hot, key=lambda shard: (-loads[shard], shard))
+
+
+def plan_moves(shard_map: ShardMap, loads: Mapping[int, int],
+               factor: float = 4.0, min_ops: int = 100,
+               limit: int = 4) -> list[tuple[int, tuple[str, ...]]]:
+    """Plan up to ``limit`` replica-set moves for the hottest shards.
+
+    Each hot shard is retargeted onto the ``replication`` least-loaded
+    nodes (ties broken by name, so the plan is deterministic).  Planned
+    load is tracked as moves accumulate, and a move is only emitted
+    when it actually improves node-level fairness.
+    """
+    moves: list[tuple[int, tuple[str, ...]]] = []
+    planned = node_loads(shard_map, loads)
+    targets: dict[int, tuple[str, ...]] = {}
+
+    def replicas(shard: int) -> tuple[str, ...]:
+        override = targets.get(shard)
+        return override if override is not None else \
+            shard_map.replicas(shard)
+
+    for shard in hot_shards(loads, factor=factor, min_ops=min_ops,
+                            n_shards=shard_map.n_shards):
+        if len(moves) >= limit:
+            break
+        load = loads[shard]
+        current = replicas(shard)
+        ranked = sorted(shard_map.nodes,
+                        key=lambda name: (planned[name], name))
+        new = tuple(sorted(ranked[:shard_map.replication]))
+        if new == current:
+            continue
+        before = jain_fairness(list(planned.values()))
+        trial = dict(planned)
+        for name in current:
+            trial[name] -= load
+        for name in new:
+            trial[name] += load
+        if jain_fairness(list(trial.values())) <= before:
+            continue
+        planned = trial
+        targets[shard] = new
+        moves.append((shard, new))
+    return moves

@@ -313,6 +313,17 @@ class Lock:
         return bool(self._holders)
 
     @property
+    def idle(self) -> bool:
+        """True when nobody holds or waits for the lock.
+
+        Lock *pools* (a sharded node lazily creates one lock per touched
+        key) use this to garbage-collect entries the moment they go
+        quiet, keeping resident lock count proportional to concurrent
+        operations rather than keyspace size.
+        """
+        return not self._holders and not self._waiters
+
+    @property
     def holders(self) -> tuple:
         """Current lock owners."""
         return tuple(self._holders)
@@ -380,6 +391,10 @@ class Environment:
         self._queue: list[tuple[float, int, Any]] = []
         self._sequence = 0
         self._crashed: list[tuple[Process, BaseException]] = []
+        #: Total queue entries processed.  Deterministic for a given
+        #: seed and program, so benchmarks can report simulation cost
+        #: per operation without wall-clock noise.
+        self.events_processed = 0
 
     # -- public factory helpers ---------------------------------------------
     def timeout(self, delay: float, value: Any = None) -> Timeout:
@@ -425,6 +440,7 @@ class Environment:
         if time < self.now:
             raise SimulationError("time went backwards")
         self.now = time
+        self.events_processed += 1
         if isinstance(item, Event):
             item._dispatch()
         else:

@@ -37,6 +37,7 @@ class Node:
         self.volatile: dict[str, Any] = {}
         self._locks: list[Lock] = []
         self._processes: list[Process] = []
+        self._prune_floor = 0
         self._handlers: dict[str, Callable[[Message], Any]] = {}
         self._crash_hooks: list[Callable[[], None]] = []
         self._recover_hooks: list[Callable[[], None]] = []
@@ -94,8 +95,14 @@ class Node:
         return process
 
     def _prune_processes(self) -> None:
-        if len(self._processes) > 64:
+        # Geometric pruning: only scan once the list has doubled since
+        # the last compaction.  A fixed threshold re-scanned the whole
+        # list on *every* spawn while more than 64 processes were live,
+        # which is quadratic under workloads with thousands of
+        # concurrent lease watchdogs (the sharded-store benchmark).
+        if len(self._processes) > max(64, 2 * self._prune_floor):
             self._processes = [p for p in self._processes if p.is_alive]
+            self._prune_floor = len(self._processes)
 
     # -- messaging ----------------------------------------------------------------
     def register_handler(self, kind: str,

@@ -11,10 +11,19 @@ baselines) and returns latency/outcome statistics.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 class ZipfKeyChooser:
-    """Zipf(s)-distributed choice over ``key0 .. key{n-1}``."""
+    """Zipf(s)-distributed choice over ``key0 .. key{n-1}``.
+
+    Selection is a binary search over the precomputed cumulative
+    distribution, so a pick costs O(log n) -- the linear scan this
+    replaces made million-key workload generation O(n) per operation.
+    ``bisect_left(cum, point)`` returns the first index whose cumulative
+    weight is >= ``point``, exactly the index the old scan stopped at,
+    so pick sequences are bit-identical for any seed.
+    """
 
     def __init__(self, n_keys: int, skew: float = 1.0):
         if n_keys < 1:
@@ -25,17 +34,22 @@ class ZipfKeyChooser:
         self.skew = skew
         weights = [1.0 / (rank ** skew) for rank in range(1, n_keys + 1)]
         total = sum(weights)
-        self._weights = [w / total for w in weights]
+        cumulative = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            cumulative.append(running)
+        self._cumulative = cumulative
+
+    def pick_index(self, rng: random.Random) -> int:
+        """One Zipf-distributed index choice in ``[0, n_keys)``."""
+        point = rng.random()
+        index = bisect_left(self._cumulative, point)
+        return index if index < self.n_keys else self.n_keys - 1
 
     def pick(self, rng: random.Random) -> str:
         """One Zipf-distributed key choice."""
-        point = rng.random()
-        cumulative = 0.0
-        for index, weight in enumerate(self._weights):
-            cumulative += weight
-            if point <= cumulative:
-                return f"key{index}"
-        return f"key{self.n_keys - 1}"
+        return f"key{self.pick_index(rng)}"
 
 
 @dataclass
@@ -166,5 +180,105 @@ def run_workload(store, workload: ClientWorkload,
             client_body(client_id, home, rng), name=f"client{client_id}"))
     start = store.env.now
     store.env.run(until=start + workload.duration + 30.0)
+    stats.duration = store.env.now - start
+    return stats
+
+
+@dataclass
+class KeyedWorkload:
+    """An operation-count-driven workload over a large keyspace.
+
+    Built for the sharded store's scale benchmarks: instead of a
+    duration-bounded closed loop, each client issues a fixed share of
+    ``n_ops`` operations back to back (no think time), drawing keys
+    Zipf-skewed from a keyspace of ``n_keys``.  Issue-side work per
+    operation is O(log n_keys) (the chooser's binary search) and no
+    per-key Python state is kept here, so the generator itself stays
+    out of the way when the keyspace hits 10^6.
+    """
+
+    n_ops: int = 1000
+    n_keys: int = 1000
+    n_clients: int = 4
+    read_fraction: float = 0.9
+    key_skew: float = 1.0
+    key_prefix: str = "k"
+
+    def validate(self) -> "KeyedWorkload":
+        """Check parameter sanity; returns self for chaining."""
+        if self.n_ops < 1 or self.n_keys < 1 or self.n_clients < 1:
+            raise ValueError("n_ops, n_keys, n_clients must be positive")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        return self
+
+
+def run_keyed_workload(store, workload: KeyedWorkload,
+                       seed: int = 0) -> WorkloadStats:
+    """Run a :class:`KeyedWorkload` against a keyed store.
+
+    *store* needs the sharded store's keyed interface
+    (``start_read(key, via=...)`` / ``start_write(key, updates,
+    via=...)``).  Clients are spread round-robin over the cluster's
+    nodes; each runs its operations strictly back to back, so total
+    simulated work is exactly ``n_ops`` operations.
+    """
+    workload.validate()
+    stats = WorkloadStats()
+    keys = ZipfKeyChooser(workload.n_keys, workload.key_skew)
+    prefix = workload.key_prefix
+    counter = [0]
+
+    def client_body(client_id: int, home: str, share: int,
+                    rng: random.Random):
+        env = store.env
+        for _ in range(share):
+            if not store.nodes[home].up:
+                live = [n for n in store.node_names if store.nodes[n].up]
+                if not live:
+                    return
+                home = rng.choice(live)
+                stats.rehomes += 1
+            key = f"{prefix}{keys.pick_index(rng)}"
+            started = env.now
+            if rng.random() < workload.read_fraction:
+                result = yield store.start_read(key, via=home)
+                if result is not None and result.ok:
+                    stats.reads_ok += 1
+                    stats.read_latencies.append(env.now - started)
+                else:
+                    stats.reads_failed += 1
+            else:
+                counter[0] += 1
+                result = yield store.start_write(key, {"v": counter[0]},
+                                                 via=home)
+                if result is not None and result.ok:
+                    stats.writes_ok += 1
+                    stats.write_latencies.append(env.now - started)
+                else:
+                    stats.writes_failed += 1
+
+    names = list(store.node_names)
+    base, extra = divmod(workload.n_ops, workload.n_clients)
+    processes = []
+    for client_id in range(workload.n_clients):
+        home = names[client_id % len(names)]
+        share = base + (1 if client_id < extra else 0)
+        rng = random.Random((seed << 16) + client_id)
+        processes.append(store.env.process(
+            client_body(client_id, home, share, rng),
+            name=f"kclient{client_id}"))
+    start = store.env.now
+    # check completion only every chunk of events: the all-clients scan
+    # is O(n_clients) and would otherwise dominate million-op runs
+    pending = list(processes)
+    while pending:
+        for _ in range(64):
+            if store.env.queue_size == 0:
+                break
+            store.env.step()
+        pending = [p for p in pending if not p.triggered]
+        if pending and store.env.queue_size == 0:
+            raise RuntimeError("workload stalled")
     stats.duration = store.env.now - start
     return stats

@@ -1,0 +1,114 @@
+"""Shard map: deterministic rendezvous placement and move bookkeeping."""
+
+import random
+
+import pytest
+
+from repro.shard.map import ShardMap
+
+NODES = tuple(f"n{i:02d}" for i in range(8))
+
+
+class TestDeterminism:
+    def test_same_inputs_same_placement(self):
+        a = ShardMap(NODES, 128, 3, seed=7)
+        b = ShardMap(NODES, 128, 3, seed=7)
+        for shard in range(128):
+            assert a.base_replicas(shard) == b.base_replicas(shard)
+
+    def test_node_input_order_is_irrelevant(self):
+        # placement depends on the *set* of nodes, never on the order
+        # (or dict/set iteration order) they were supplied in
+        shuffled = list(NODES)
+        random.Random(3).shuffle(shuffled)
+        a = ShardMap(NODES, 64, 3, seed=1)
+        b = ShardMap(shuffled, 64, 3, seed=1)
+        c = ShardMap(set(NODES), 64, 3, seed=1)
+        for shard in range(64):
+            assert a.base_replicas(shard) == b.base_replicas(shard)
+            assert a.base_replicas(shard) == c.base_replicas(shard)
+
+    def test_seed_changes_placement(self):
+        a = ShardMap(NODES, 64, 3, seed=1)
+        b = ShardMap(NODES, 64, 3, seed=2)
+        assert any(a.base_replicas(s) != b.base_replicas(s)
+                   for s in range(64))
+
+    def test_golden_key_routing(self):
+        # key -> shard is a pure function of the key and n_shards;
+        # pin a few values so accidental hash-function changes surface
+        shard_map = ShardMap(NODES, 64, 3, seed=0)
+        golden = {"k0": 63, "k1": 41, "k42": 36, "user:alice": 54}
+        for key, expected in golden.items():
+            assert shard_map.shard_of(key) == expected, key
+
+    def test_hosted_is_the_inverse_of_replicas(self):
+        shard_map = ShardMap(NODES, 96, 3, seed=5)
+        for name in NODES:
+            for shard in shard_map.hosted(name):
+                assert name in shard_map.replicas(shard)
+        for shard in range(96):
+            for name in shard_map.replicas(shard):
+                assert shard in shard_map.hosted(name)
+
+
+class TestPlacementShape:
+    def test_replica_sets_are_sorted_subsets(self):
+        shard_map = ShardMap(NODES, 64, 3, seed=0)
+        for shard in range(64):
+            replicas = shard_map.replicas(shard)
+            assert len(replicas) == 3
+            assert list(replicas) == sorted(replicas)
+            assert set(replicas) <= set(NODES)
+
+    def test_rendezvous_spreads_load(self):
+        # with many shards every node should host a fair share: within
+        # a factor of two of the mean, and nobody idle
+        shard_map = ShardMap(NODES, 256, 3, seed=0)
+        counts = shard_map.host_counts()
+        mean = 256 * 3 / len(NODES)
+        assert set(counts) == set(NODES)
+        for name, count in counts.items():
+            assert mean / 2 < count < mean * 2, (name, count)
+
+    def test_replicas_for_key_matches_shard(self):
+        shard_map = ShardMap(NODES, 64, 3, seed=0)
+        key = "some-key"
+        assert shard_map.replicas_for_key(key) == \
+            shard_map.replicas(shard_map.shard_of(key))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardMap(NODES, 0, 3)
+        with pytest.raises(ValueError):
+            ShardMap(NODES, 8, 0)
+        with pytest.raises(ValueError):
+            ShardMap(NODES, 8, len(NODES) + 1)
+        with pytest.raises(ValueError):
+            ShardMap((), 8, 1)
+
+
+class TestMoves:
+    def test_move_overrides_and_reverts(self):
+        shard_map = ShardMap(NODES, 64, 3, seed=0)
+        base = shard_map.base_replicas(10)
+        new = tuple(sorted(set(NODES) - set(base)))[:3]
+        shard_map.move(10, new)
+        assert shard_map.replicas(10) == tuple(sorted(new))
+        assert shard_map.base_replicas(10) == base
+        assert 10 in shard_map.overrides
+        for name in new:
+            assert 10 in shard_map.hosted(name)
+        # moving back to the base placement clears the override
+        shard_map.move(10, base)
+        assert 10 not in shard_map.overrides
+        assert shard_map.replicas(10) == base
+
+    def test_move_validates_members(self):
+        shard_map = ShardMap(NODES, 64, 3, seed=0)
+        with pytest.raises(ValueError):
+            shard_map.move(0, ("n00", "nXX", "n01"))
+        with pytest.raises(ValueError):
+            shard_map.move(0, ())
+        with pytest.raises(ValueError):
+            shard_map.move(64, ("n00", "n01", "n02"))

@@ -1,0 +1,142 @@
+"""The shared epoch service: batched sweeps, repair scoping, election."""
+
+from repro.shard import ShardedStore
+
+
+def rpc_requests(store):
+    return sum(1 for rec in store.trace.select(kind="send")
+               if rec.detail.get("msg_kind") == "rpc-req")
+
+
+class TestAmortizedChecking:
+    def test_healthy_sweep_messages_scale_with_nodes_not_shards(self):
+        # the tentpole claim: one sweep costs one request per NODE,
+        # regardless of how many shards the keyspace is split into
+        costs = {}
+        for n_shards in (8, 64, 512):
+            store = ShardedStore.create(6, n_shards=n_shards, seed=20,
+                                        trace_enabled=True)
+            store.trace.clear()
+            sweep = store.sweep()
+            assert sweep.ok and not sweep.repaired
+            assert sweep.checked == n_shards
+            costs[n_shards] = rpc_requests(store)
+        assert costs[8] == costs[64] == costs[512] == 6, costs
+
+    def test_sweep_reports_all_healthy(self):
+        store = ShardedStore.create(5, n_shards=32, seed=21)
+        sweep = store.sweep()
+        assert sweep.ok
+        assert sweep.healthy == 32
+        assert not sweep.repaired and not sweep.failed
+
+    def test_dirty_shards_get_reseeded_not_reinstalled(self):
+        # a write whose quorum skipped a replica leaves that copy stale;
+        # the sweep repairs it by propagation, without an epoch change
+        store = ShardedStore.create(5, n_shards=8, seed=22,
+                                    track_history=True)
+        # two writers per key with different quorum salts, so the second
+        # write catches (and marks) replicas the first one skipped
+        for i in range(6):
+            store.write(f"k{i}", {"v": i}, via="n00")
+            store.write(f"k{i}", {"w": i}, via=f"n{(i % 4) + 1:02d}")
+        stale_before = sum(
+            sum(node.stable["sh_stale"].values())
+            for node in store.nodes.values())
+        assert stale_before > 0
+        epochs_before = {s: store.current_epoch(s) for s in range(8)}
+        sweep = store.sweep()
+        assert sweep.ok and sweep.reseeded and not sweep.repaired
+        store.advance(10)
+        stale_after = sum(
+            sum(node.stable["sh_stale"].values())
+            for node in store.nodes.values())
+        assert stale_after == 0
+        for s in range(8):
+            assert store.current_epoch(s) == epochs_before[s], s
+        store.verify()
+
+
+class TestRepairScoping:
+    def test_crash_repairs_only_hosted_shards(self):
+        store = ShardedStore.create(6, n_shards=32, seed=23)
+        victim = "n05"
+        hosted = set(store.map.hosted(victim))
+        assert hosted and len(hosted) < 32  # partial replication
+        store.crash(victim)
+        sweep = store.sweep()
+        assert sweep.ok
+        assert set(sweep.repaired) == hosted
+        # the victim is out of every repaired epoch
+        for shard in sweep.repaired:
+            elist, enumber = store.current_epoch(shard)
+            assert victim not in elist and enumber == 1
+
+    def test_recovery_readmits_via_sweep(self):
+        store = ShardedStore.create(6, n_shards=32, seed=24,
+                                    track_history=True)
+        for i in range(10):
+            store.write(f"k{i}", {"v": i})
+        store.crash("n05")
+        store.sweep()
+        for i in range(10):
+            store.write(f"k{i}", {"w": i})
+        store.recover("n05")
+        sweep = store.sweep()
+        assert set(sweep.repaired) == set(store.map.hosted("n05"))
+        store.settle()
+        for shard in store.map.hosted("n05"):
+            elist, enumber = store.current_epoch(shard)
+            assert "n05" in elist
+        for i in range(10):
+            read = store.read(f"k{i}", via="n05")
+            assert read.ok and read.value == {"v": i, "w": i}, i
+        store.verify()
+
+    def test_second_sweep_is_clean_after_repair(self):
+        store = ShardedStore.create(6, n_shards=16, seed=25)
+        store.crash("n05")
+        first = store.sweep()
+        assert first.repaired
+        second = store.sweep()
+        assert second.ok and not second.repaired
+        assert second.healthy == 16
+
+
+class TestSweeperElection:
+    def test_highest_node_becomes_sole_initiator(self):
+        store = ShardedStore.create(4, n_shards=16, seed=26,
+                                    auto_sweep=True)
+        store.advance(40)
+        initiators = sorted(
+            name for name, node in store.nodes.items()
+            if node.volatile.get("initiator"))
+        assert initiators == ["n03"]
+        clean = store.metrics_snapshot()["counters"].get(
+            "shard_sweeps{outcome=clean}", 0)
+        assert clean >= 1
+
+    def test_initiator_failover_and_demotion(self):
+        store2 = ShardedStore.create(4, n_shards=16, seed=27,
+                                     auto_sweep=True, track_history=True)
+        store2.write("alpha", {"a": 1})
+        store2.advance(40)
+        store2.crash("n03")
+        store2.advance(120)
+        initiators = sorted(
+            name for name, node in store2.nodes.items()
+            if node.up and node.volatile.get("initiator"))
+        assert initiators == ["n02"]
+        # the stand-in's sweeps evicted the dead node from its shards
+        for shard in store2.map.hosted("n03"):
+            elist, _ = store2.current_epoch(shard)
+            assert "n03" not in elist
+        store2.recover("n03")
+        store2.advance(120)
+        initiators = sorted(
+            name for name, node in store2.nodes.items()
+            if node.volatile.get("initiator"))
+        assert initiators == ["n03"]
+        store2.settle()
+        assert store2.read("alpha", via="n03").value == {"a": 1}
+        store2.verify()

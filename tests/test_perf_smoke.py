@@ -34,3 +34,4 @@ def test_perf_smoke_gates():
     assert "PASS" in proc.stdout
     assert "quorum engine smoke" in proc.stdout
     assert "protocol ops smoke" in proc.stdout
+    assert "Sharded keyspace at scale" in proc.stdout

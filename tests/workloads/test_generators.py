@@ -6,9 +6,12 @@ import pytest
 
 from repro.baselines.static_protocol import StaticQuorumStore
 from repro.core.store import ReplicatedStore
+from repro.shard import ShardedStore
 from repro.workloads.generators import (
     ClientWorkload,
+    KeyedWorkload,
     ZipfKeyChooser,
+    run_keyed_workload,
     run_workload,
 )
 
@@ -32,6 +35,28 @@ class TestZipf:
             ZipfKeyChooser(0)
         with pytest.raises(ValueError):
             ZipfKeyChooser(3, skew=-1)
+
+    def test_bisect_matches_linear_scan(self):
+        # the binary search must pick exactly the index the replaced
+        # linear scan stopped at, for any seed: first cumulative >= point
+        chooser = ZipfKeyChooser(50, skew=1.2)
+        rng_fast, rng_slow = random.Random(11), random.Random(11)
+        for _ in range(2000):
+            fast = chooser.pick_index(rng_fast)
+            point = rng_slow.random()
+            slow = chooser.n_keys - 1
+            for i, cumulative in enumerate(chooser._cumulative):
+                if point <= cumulative:
+                    slow = i
+                    break
+            assert fast == slow
+
+    def test_pick_index_scales_to_large_keyspaces(self):
+        chooser = ZipfKeyChooser(10 ** 6, skew=1.0)
+        rng = random.Random(0)
+        picks = [chooser.pick_index(rng) for _ in range(100)]
+        assert all(0 <= p < 10 ** 6 for p in picks)
+        assert chooser.pick(rng).startswith("key")
 
 
 class TestWorkloadValidation:
@@ -121,3 +146,48 @@ class TestRunWorkload:
             return (stats.reads_ok, stats.writes_ok, stats.operations)
 
         assert once() == once()
+
+
+class TestKeyedWorkload:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            KeyedWorkload(n_ops=0).validate()
+        with pytest.raises(ValueError):
+            KeyedWorkload(n_keys=0).validate()
+        with pytest.raises(ValueError):
+            KeyedWorkload(read_fraction=-0.1).validate()
+
+    def test_issues_exactly_n_ops(self):
+        store = ShardedStore.create(5, n_shards=16, seed=8,
+                                    track_history=True)
+        workload = KeyedWorkload(n_ops=150, n_keys=2000, n_clients=7,
+                                 read_fraction=0.8)
+        stats = run_keyed_workload(store, workload, seed=8)
+        assert stats.operations == 150
+        assert stats.success_rate == 1.0
+        store.verify()
+
+    def test_deterministic_given_seed(self):
+        def once():
+            store = ShardedStore.create(5, n_shards=16, seed=9)
+            stats = run_keyed_workload(
+                store, KeyedWorkload(n_ops=80, n_keys=500), seed=3)
+            return (stats.reads_ok, stats.writes_ok,
+                    store.env.events_processed)
+
+        assert once() == once()
+
+    def test_rehomes_when_home_crashes(self):
+        store = ShardedStore.create(5, n_shards=16, seed=10,
+                                    track_history=True)
+        schedule = store.schedule()
+        schedule.crash_at(0.2, "n00")
+        schedule.start()
+        workload = KeyedWorkload(n_ops=120, n_keys=200, n_clients=5,
+                                 read_fraction=0.5)
+        stats = run_keyed_workload(store, workload, seed=4)
+        assert stats.rehomes >= 1
+        assert stats.operations == 120
+        store.recover("n00")
+        store.settle()
+        store.verify()

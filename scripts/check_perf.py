@@ -7,6 +7,12 @@ Quick regression checks, all small enough for CI:
   benchmark (grid rule only, a few thousand events) and fails if the
   compiled bitmask engine is ever slower than the set-based reference
   predicates.  Full sweep: ``benchmarks/bench_quorum_engine.py``.
+* **Vector engine** -- replays the same event budget through the numpy
+  batch kernels (packed-word states, grid + majority) and fails if the
+  vector engine is less than 10x the bitmask engine's events/sec at
+  N >= 25, or if any kernel answer disagrees with the scalar engines.
+  Passes with a notice when numpy is not importable (the vector engine
+  is an optional extra).  Full sweep: ``benchmarks/bench_quorum_engine.py``.
 * **Protocol ops** -- replays one failed-cluster cell of the E23
   protocol benchmark (N=25, 20% nodes down) and fails if the
   liveness-aware quorum planner does not beat the blind picker on both
@@ -24,7 +30,7 @@ Quick regression checks, all small enough for CI:
 Usage::
 
     PYTHONPATH=src python scripts/check_perf.py \
-        [--only engine|protocol|metrics|multistore_scale]
+        [--only engine|vector|protocol|metrics|multistore_scale]
 
 Exit status 0 on pass, 1 on a perf regression.  The matching opt-in
 pytest wrapper is ``tests/test_perf_smoke.py`` (set
@@ -43,6 +49,9 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 # the smoke budgets: small enough for CI, large enough to dominate noise
 SIZES = (9, 25, 49)
 N_EVENTS = 4000
+VECTOR_SIZES = (25, 49)
+VECTOR_EVENTS = 6000
+VECTOR_MIN_SPEEDUP = 10.0
 PROTOCOL_N = 25
 PROTOCOL_OPS = 60
 PROTOCOL_REPEATS = 5
@@ -68,6 +77,39 @@ def check_engine() -> bool:
               f"({row['speedup']:.1f}x) {status}")
         if row["speedup"] <= 1.0:
             ok = False
+    return ok
+
+
+def check_vector() -> bool:
+    from bench_quorum_engine import (
+        RULES,
+        _numpy_or_none,
+        run_engine_benchmark,
+    )
+
+    print(f"vector engine smoke ({VECTOR_EVENTS} events/point):")
+    if _numpy_or_none() is None:
+        print("  skipped: numpy is not importable (the vector engine "
+              "is an optional extra)")
+        return True
+    rules = tuple(r for r in RULES if r[0] in ("grid", "majority"))
+    # verify=True replays a prefix through the set predicates, the
+    # bitmask engine, and both vector kernels (bit matrix and packed
+    # words), asserting event-for-event agreement before any timing
+    results = run_engine_benchmark(sizes=VECTOR_SIZES, rules=rules,
+                                   n_events=VECTOR_EVENTS, seed=0)
+    ok = True
+    for rule_name in ("grid", "majority"):
+        for row in results["rules"][rule_name]:
+            speedup = row["vector_speedup_vs_bitmask"]
+            status = ("ok" if speedup >= VECTOR_MIN_SPEEDUP
+                      else "REGRESSION")
+            print(f"  {rule_name} N={row['n']:>3}: vector "
+                  f"{row['vector_events_per_sec']:>13,.0f} ev/s vs "
+                  f"bitmask {row['bitmask_events_per_sec']:>12,.0f} ev/s "
+                  f"({speedup:.1f}x) {status}")
+            if speedup < VECTOR_MIN_SPEEDUP:
+                ok = False
     return ok
 
 
@@ -168,6 +210,10 @@ CHECKS = {
     "engine": (check_engine,
                "FAIL: the bitmask engine must never be slower than the "
                "set predicates"),
+    "vector": (check_vector,
+               "FAIL: the vector engine must answer event streams "
+               ">= 10x faster than the bitmask engine at N >= 25 "
+               "(grid and majority)"),
     "protocol": (check_protocol,
                  "FAIL: the quorum planner must beat the blind picker "
                  "under failures"),

@@ -2,21 +2,50 @@
 
 The offline environment lacks the ``wheel`` package, so PEP 517 editable
 installs fail; this shim lets ``pip install -e .`` use the classic
-``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml`` and
+is read from there -- nothing is declared twice, so the dependency pins
+cannot drift between the two files.
 """
+
+import pathlib
+import re
 
 from setuptools import find_packages, setup
 
+try:
+    import tomllib  # Python >= 3.11
+except ModuleNotFoundError:  # pragma: no cover - 3.10 fallback below
+    tomllib = None
+
+_PYPROJECT = pathlib.Path(__file__).parent / "pyproject.toml"
+
+
+def _project() -> dict:
+    """The ``[project]`` table of pyproject.toml."""
+    text = _PYPROJECT.read_text(encoding="utf-8")
+    if tomllib is not None:
+        return tomllib.loads(text)["project"]
+    # Python 3.10 has no stdlib TOML parser; the fields we need are all
+    # simple single-line assignments, so a line-pattern fallback suffices.
+    meta: dict = {}
+    for key in ("name", "version", "description", "requires-python"):
+        match = re.search(rf'^{key} = "([^"]+)"$', text, re.M)
+        if match:
+            meta[key] = match.group(1)
+    deps = re.search(r"^dependencies = \[([^\]]*)\]$", text, re.M)
+    meta["dependencies"] = re.findall(r'"([^"]+)"', deps.group(1)) if deps else []
+    return meta
+
+
+_META = _project()
+
 setup(
-    name="repro",
-    version="1.0.0",
-    description=(
-        "Dynamic structured coterie protocols for replicated objects "
-        "(Rabinovich & Lazowska, SIGMOD 1992)"
-    ),
+    name=_META["name"],
+    version=_META["version"],
+    description=_META["description"],
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    python_requires=">=3.10",
-    install_requires=["numpy"],
+    python_requires=_META["requires-python"],
+    install_requires=_META["dependencies"],
     entry_points={"console_scripts": ["repro=repro.cli:main"]},
 )

@@ -78,6 +78,21 @@ def _run_shard(params: tuple) -> AvailabilityEstimate:
     protocol, n_nodes, lam, mu, horizon, seed, rule, kwargs = params
     if rule is None:
         rule = _fork_rule
+    if kwargs.get("engine") == "vector":
+        # the trajectory-batched numpy estimators; the scalar-only
+        # sampler axis does not apply (one Generator drives everything)
+        from repro.availability.vectorized import (
+            simulate_dynamic_availability_vector,
+            simulate_static_availability_vector,
+        )
+
+        kwargs = {key: value for key, value in kwargs.items()
+                  if key not in ("engine", "sampler")}
+        if protocol == "static":
+            return simulate_static_availability_vector(
+                n_nodes, lam, mu, horizon, seed=seed, rule=rule, **kwargs)
+        return simulate_dynamic_availability_vector(
+            n_nodes, lam, mu, horizon, seed=seed, rule=rule, **kwargs)
     if protocol == "static":
         return simulate_static_availability(
             n_nodes, lam, mu, horizon, seed=seed, rule=rule, **kwargs)

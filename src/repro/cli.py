@@ -407,9 +407,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--workers", type=int, default=1,
                           help="shard the horizon over this many "
                                "processes (default 1 = serial)")
-    simulate.add_argument("--engine", choices=["bitmask", "set"],
+    simulate.add_argument("--engine", choices=["bitmask", "set", "vector"],
                           default="bitmask",
-                          help="quorum evaluation engine")
+                          help="quorum evaluation engine (vector = "
+                               "trajectory-batched numpy; ignores "
+                               "--sampler)")
     simulate.add_argument("--sampler", choices=["compat", "swap"],
                           default="compat",
                           help="event-node sampler (compat reproduces "

@@ -146,6 +146,21 @@ class Coterie(ABC):
         """
         return SetRecomputeEvaluator(self, universe)
 
+    def compile_batch(self, universe: Optional[Sequence[str]] = None):
+        """A vectorized :class:`repro.coteries.batch.BatchEvaluator`.
+
+        The batch analogue of :meth:`compile`: the structure is compiled
+        into numpy arrays and both membership predicates are evaluated
+        over whole arrays of masks at once (Monte Carlo trajectory
+        chunks, exhaustive 2^N sweeps).  Same universe/bit conventions
+        as the scalar evaluator; answers agree mask-for-mask.  Families
+        without a structure-aware kernel get a correct scalar-fallback
+        evaluator.  Requires numpy (imported lazily so scalar-only
+        paths never pay the import).
+        """
+        from repro.coteries.batch import batch_evaluator_for
+        return batch_evaluator_for(self, universe)
+
     # -- misc ----------------------------------------------------------------
     def __repr__(self) -> str:
         return f"<{type(self).__name__} over {self.n_nodes} nodes>"

@@ -10,6 +10,10 @@ up-set mask:
 * **engine consistency** -- the compiled
   :class:`~repro.coteries.base.QuorumEvaluator` agrees bit-for-bit with
   the set-based reference predicates on all ``2^N`` masks;
+* **vector consistency** -- the numpy
+  :class:`~repro.coteries.batch.BatchEvaluator` kernels agree with the
+  same reference tables, evaluated over all masks in one batch call
+  (skipped silently when numpy is unavailable);
 * **coterie axioms** -- write/write and read/write intersection, via
   the complement argument (a quorum in M and a quorum in V\\M would be
   disjoint), plus predicate monotonicity under single-node flips and
@@ -27,7 +31,11 @@ up-set mask:
 
 Everything is pure enumeration -- exponential, which is exactly why the
 CLI caps N (default ``--max-n 9``; 3^N predicate evaluations per
-family for the transition sweep).
+family for the transition sweep).  The axiom analysis over the mask
+tables runs as numpy array passes when numpy is importable (the
+reference predicates themselves stay scalar -- they are the ground
+truth being checked), with a pure-Python fallback producing identical
+findings.
 """
 
 from __future__ import annotations
@@ -146,6 +154,8 @@ def check_family(family: str, rule: CoterieRule, n: int,
                 f"write {w_bit} vs {w_ref}")
         reads[mask], writes[mask] = r_ref, w_ref
 
+    findings.extend(_vector_consistency(family, n, coterie, nodes,
+                                        reads, writes))
     findings.extend(_axiom_findings(family, n, nodes, reads, writes))
 
     _check_quorum_function(coterie, nodes, bad)
@@ -157,6 +167,44 @@ def check_family(family: str, rule: CoterieRule, n: int,
     return FamilyResult(family, n, full + 1, n_transitions, findings)
 
 
+def _numpy_or_none():
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is an optional extra
+        return None
+    return numpy
+
+
+def _vector_consistency(family: str, n: int, coterie: Coterie,
+                        nodes: Sequence[str], reads: list, writes: list
+                        ) -> list:
+    """Batch kernels vs the reference tables, all masks in one call."""
+    np = _numpy_or_none()
+    if np is None:
+        return []
+    out: list[SemanticFinding] = []
+    try:
+        evaluator = coterie.compile_batch(nodes)
+    except CoterieError as exc:
+        out.append(SemanticFinding(
+            family, n, "vector-consistency",
+            f"batch compile failed: {exc}"))
+        return out
+    masks = np.arange(len(reads), dtype=np.uint64)
+    for kind, vec, ref in (
+            ("read", evaluator.is_read_quorum_batch(masks), reads),
+            ("write", evaluator.is_write_quorum_batch(masks), writes)):
+        mismatches = np.flatnonzero(vec != np.asarray(ref, dtype=bool))
+        if mismatches.size:
+            mask = int(mismatches[0])
+            out.append(SemanticFinding(
+                family, n, "vector-consistency",
+                f"batch evaluator disagrees with set predicates on "
+                f"{sorted(_names_of(nodes, mask))}: {kind} "
+                f"{bool(vec[mask])} vs {bool(ref[mask])}"))
+    return out
+
+
 def _axiom_findings(family: str, n: int, nodes: Sequence[str],
                     reads: list, writes: list
                     ) -> Iterator[SemanticFinding]:
@@ -164,8 +212,73 @@ def _axiom_findings(family: str, n: int, nodes: Sequence[str],
 
     *nodes* may be a sub-epoch of the family's full node list (the
     Lemma-1 sweep re-runs this per rebuilt epoch coterie); *n* tags the
-    findings with the family's top-level size.
+    findings with the family's top-level size.  Dispatches to a numpy
+    array analysis when available; both paths yield identical findings
+    in identical order (the pure-Python loops are the specification).
     """
+    np = _numpy_or_none()
+    if np is not None:
+        yield from _axiom_findings_np(np, family, n, nodes, reads, writes)
+    else:
+        yield from _axiom_findings_py(family, n, nodes, reads, writes)
+
+
+def _axiom_findings_np(np, family: str, n: int, nodes: Sequence[str],
+                       reads: list, writes: list
+                       ) -> Iterator[SemanticFinding]:
+    """Array version of :func:`_axiom_findings_py` (same findings)."""
+    size = len(nodes)
+    full = (1 << size) - 1
+    r = np.asarray(reads, dtype=bool)
+    w = np.asarray(writes, dtype=bool)
+
+    def bad(check: str, message: str) -> SemanticFinding:
+        return SemanticFinding(family, n, check, message)
+
+    if not w[full]:
+        yield bad("non-empty", "V itself is not a write quorum")
+    if not r[full]:
+        yield bad("non-empty", "V itself is not a read quorum")
+    # reversing the table maps mask -> its complement: w[::-1][m] is
+    # w[full & ~m], so a hit is a pair of disjoint quorums
+    ww = np.flatnonzero(w & w[::-1])
+    if ww.size:
+        mask = int(ww[0])
+        other = full & ~mask
+        yield bad("ww-intersection",
+                  f"disjoint write quorums inside "
+                  f"{sorted(_names_of(nodes, mask))} and "
+                  f"{sorted(_names_of(nodes, other))}")
+    rw = np.flatnonzero(w & r[::-1])
+    if rw.size:
+        mask = int(rw[0])
+        other = full & ~mask
+        yield bad("rw-intersection",
+                  f"a read quorum inside "
+                  f"{sorted(_names_of(nodes, other))} misses every "
+                  f"write quorum inside "
+                  f"{sorted(_names_of(nodes, mask))}")
+    masks = np.arange(full + 1)
+    best_mask = best_bit = None
+    for i in range(size):
+        grown = masks | (1 << i)
+        violation = (((w & ~w[grown]) | (r & ~r[grown]))
+                     & (grown != masks))
+        hits = np.flatnonzero(violation)
+        # report the scalar loop's witness: smallest mask, then bit
+        if hits.size and (best_mask is None or hits[0] < best_mask):
+            best_mask, best_bit = int(hits[0]), i
+    if best_mask is not None:
+        yield bad("monotonicity",
+                  f"adding {nodes[best_bit]} to "
+                  f"{sorted(_names_of(nodes, best_mask))} destroys a "
+                  f"quorum")
+
+
+def _axiom_findings_py(family: str, n: int, nodes: Sequence[str],
+                       reads: list, writes: list
+                       ) -> Iterator[SemanticFinding]:
+    """The specification: pure-Python loops over the mask tables."""
     size = len(nodes)
     full = (1 << size) - 1
 

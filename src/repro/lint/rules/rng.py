@@ -9,10 +9,14 @@ same global-state problem as ``random.*``.
 
 The fix is always the same shape: take an explicit ``random.Random``
 (or pass a seed down) and derive per-component streams with
-:func:`repro.sim.seeding.derive_rng`.  The once-idiomatic default
-``rng or random.Random(0)`` is flagged too: it hid *which* component
-was consuming which stream, and silently shared stream 0 between
-unrelated components (see docs/LINTING.md).
+:func:`repro.sim.seeding.derive_rng` -- or, for numpy code,
+:func:`repro.sim.seeding.derive_generator`.  Seedless numpy
+constructor calls (``default_rng()``, ``RandomState()``, bare bit
+generators) are flagged for the same reason: their zero-argument form
+falls back to OS entropy and can never be replayed.  The
+once-idiomatic default ``rng or random.Random(0)`` is flagged too: it
+hid *which* component was consuming which stream, and silently shared
+stream 0 between unrelated components (see docs/LINTING.md).
 """
 
 from __future__ import annotations
@@ -39,6 +43,12 @@ FORBIDDEN = {
 NUMPY_CONSTRUCTORS = {"Generator", "SeedSequence", "default_rng",
                       "PCG64", "Philox", "MT19937", "SFC64",
                       "BitGenerator", "RandomState"}
+
+#: Constructors whose *zero-argument* call falls back to OS entropy.
+#: (``Generator``/``BitGenerator`` require an argument, so only the
+#: seed-defaulting ones are listed.)
+NUMPY_SEEDLESS = {"default_rng", "RandomState", "PCG64", "Philox",
+                  "MT19937", "SFC64", "SeedSequence"}
 
 
 class SeededRngOnlyRule(Rule):
@@ -106,11 +116,18 @@ class SeededRngOnlyRule(Rule):
                 "`random.Random()` seeds from process entropy; pass an "
                 "explicit seed (derive one with "
                 "repro.sim.seeding.derive_rng)")
-        if resolved == "numpy.random.default_rng" and not node.args:
-            return self.finding(
-                relpath, node,
-                "`numpy.random.default_rng()` without a seed is "
-                "unreplayable; pass the run seed")
+        if resolved is not None and resolved.startswith("numpy.random."):
+            tail = resolved.split(".", 2)[2]
+            if ("." not in tail and tail in NUMPY_SEEDLESS
+                    and not node.args
+                    and not any(kw.arg in ("seed", "entropy")
+                                for kw in node.keywords)):
+                return self.finding(
+                    relpath, node,
+                    f"`numpy.random.{tail}()` without a seed pulls from "
+                    f"process entropy and is unreplayable; derive a "
+                    f"seeded Generator with "
+                    f"repro.sim.seeding.derive_generator")
         return None
 
     def _check_fallback(self, node: ast.BoolOp, imports: ImportTable,

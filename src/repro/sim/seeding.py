@@ -25,7 +25,7 @@ from __future__ import annotations
 import hashlib
 import random
 
-__all__ = ["derive_seed", "derive_rng"]
+__all__ = ["derive_seed", "derive_rng", "derive_generator"]
 
 #: Number of bytes of the digest folded into the derived seed.  128 bits
 #: is far beyond birthday-collision range for any plausible namespace
@@ -56,3 +56,23 @@ def derive_rng(root_seed: int, namespace: str = "") -> random.Random:
     if not namespace:
         return random.Random(root_seed)
     return random.Random(derive_seed(root_seed, namespace))
+
+
+def derive_generator(root_seed: int, namespace: str = ""):
+    """A ``numpy.random.Generator`` for *namespace*, from *root_seed*.
+
+    The numpy counterpart of :func:`derive_rng`: named namespaces are
+    prefixed with ``np/`` before sha256 derivation so a component's
+    numpy stream is independent of its ``random.Random`` stream even
+    under the same namespace string.  With the default empty namespace
+    this is ``numpy.random.default_rng(root_seed)`` -- the direct
+    root-seed stream for entry points that publish their seed as the
+    stream identity (the vectorized availability estimators).
+
+    numpy is imported lazily so scalar-only paths never pay for it.
+    """
+    import numpy.random
+
+    if not namespace:
+        return numpy.random.default_rng(root_seed)
+    return numpy.random.default_rng(derive_seed(root_seed, f"np/{namespace}"))

@@ -1,0 +1,215 @@
+"""The vector MC engine: differential equivalence and statistical checks.
+
+The strongest check feeds the *scalar* estimators' exact event stream
+(same RNG, same node choices, same times) through the vector scoring
+pipeline: availability, event counts, epoch changes, and stuck periods
+must all match the scalar state machine, for every protocol variant
+(static, dynamic-instantaneous, dynamic-periodic) and both kinds.
+Trajectory generation is then validated statistically: independently
+seeded vector and scalar runs must produce confidence intervals that
+overlap (the acceptance criterion for ``--engine vector``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.availability.montecarlo import (
+    _site_model_events,
+    simulate_dynamic_availability,
+    simulate_static_availability,
+)
+from repro.availability.parallel import simulate_availability_parallel
+from repro.availability.vectorized import (
+    _run_dynamic,
+    _run_static,
+    _trajectory_chunks,
+    simulate_dynamic_availability_vector,
+    simulate_static_availability_vector,
+)
+from repro.coteries import GridCoterie, MajorityCoterie, TreeCoterie
+from repro.sim.seeding import derive_generator, derive_rng
+
+RULES = [(GridCoterie, 9), (GridCoterie, 25), (MajorityCoterie, 9),
+         (TreeCoterie, 15)]
+
+
+def _nodes(n):
+    return [f"n{i:03d}" for i in range(n)]
+
+
+def _scalar_chunks(n, lam, mu, horizon, seed, chunk=97):
+    """The scalar engines' exact event stream, re-batched into arrays."""
+    rng = derive_rng(seed)
+    times, nodes = [], []
+    for now, index, _now_up in _site_model_events(n, lam, mu, horizon, rng):
+        times.append(now)
+        nodes.append(index)
+        if len(times) == chunk:
+            yield np.array(times), np.array(nodes, dtype=np.int64)
+            times, nodes = [], []
+    if times:
+        yield np.array(times), np.array(nodes, dtype=np.int64)
+
+
+def _assert_same(scalar, vector):
+    assert vector.availability == pytest.approx(scalar.availability,
+                                                abs=1e-12)
+    assert vector.n_events == scalar.n_events
+    assert vector.n_epoch_changes == scalar.n_epoch_changes
+    assert vector.n_stuck_periods == scalar.n_stuck_periods
+
+
+class TestDifferentialOnScalarEvents:
+    @pytest.mark.parametrize("rule,n", RULES)
+    @pytest.mark.parametrize("kind", ["read", "write"])
+    def test_static_scoring_matches(self, rule, n, kind):
+        scalar = simulate_static_availability(
+            n, 1.0, 4.0, 400.0, seed=3, rule=rule, kind=kind)
+        vector = _run_static(_nodes(n), rule, kind, 400.0,
+                             _scalar_chunks(n, 1.0, 4.0, 400.0, 3))
+        assert vector.availability == pytest.approx(scalar.availability,
+                                                    abs=1e-12)
+        assert vector.n_events == scalar.n_events
+
+    @pytest.mark.parametrize("rule,n", RULES)
+    @pytest.mark.parametrize("kind", ["read", "write"])
+    def test_dynamic_instantaneous_scoring_matches(self, rule, n, kind):
+        scalar = simulate_dynamic_availability(
+            n, 1.0, 4.0, 400.0, seed=3, rule=rule, kind=kind)
+        vector = _run_dynamic(_nodes(n), rule, kind, 400.0, None,
+                              _scalar_chunks(n, 1.0, 4.0, 400.0, 3))
+        _assert_same(scalar, vector)
+
+    @pytest.mark.parametrize("rule,n", [(GridCoterie, 9), (TreeCoterie, 15)])
+    @pytest.mark.parametrize("kind", ["read", "write"])
+    @pytest.mark.parametrize("check_interval", [0.25, 3.0])
+    def test_dynamic_periodic_scoring_matches(self, rule, n, kind,
+                                              check_interval):
+        scalar = simulate_dynamic_availability(
+            n, 1.0, 4.0, 400.0, seed=3, rule=rule, kind=kind,
+            check_interval=check_interval)
+        vector = _run_dynamic(_nodes(n), rule, kind, 400.0, check_interval,
+                              _scalar_chunks(n, 1.0, 4.0, 400.0, 3))
+        _assert_same(scalar, vector)
+
+    def test_chunk_boundaries_do_not_matter(self):
+        runs = [_run_dynamic(_nodes(9), GridCoterie, "write", 300.0, 1.0,
+                             _scalar_chunks(9, 1.0, 4.0, 300.0, 5,
+                                            chunk=chunk))
+                for chunk in (1, 7, 1000, 10 ** 6)]
+        # availabilities may differ by summation order only (ulps)
+        assert max(r.availability for r in runs) - \
+            min(r.availability for r in runs) < 1e-12
+        assert len({r.n_epoch_changes for r in runs}) == 1
+        assert len({r.n_stuck_periods for r in runs}) == 1
+        assert len({r.n_events for r in runs}) == 1
+
+
+class TestTrajectoryGeneration:
+    def test_chunks_are_sorted_and_complete(self):
+        gen = derive_generator(4, "availability.vector")
+        last = 0.0
+        total = 0
+        flips = np.zeros(5, dtype=int)
+        for times, nodes in _trajectory_chunks(5, 1.0, 4.0, 200.0, gen,
+                                               block=32):
+            assert np.all(np.diff(times) >= 0)
+            assert times[0] >= last
+            assert times[-1] < 200.0
+            assert nodes.min() >= 0 and nodes.max() < 5
+            last = times[-1]
+            total += times.shape[0]
+            flips += np.bincount(nodes, minlength=5)
+        # expected events per node over t=200 at lam=1, mu=4:
+        # up fraction 0.8 -> flip rate 0.8*1 + 0.2*4 = 1.6 per unit time
+        assert total == flips.sum()
+        assert flips.min() > 200  # ~320 expected per node
+
+    def test_same_seed_is_bit_identical(self):
+        a = simulate_static_availability_vector(9, 1.0, 4.0, 1000.0, seed=8)
+        b = simulate_static_availability_vector(9, 1.0, 4.0, 1000.0, seed=8)
+        assert a == b
+        c = simulate_dynamic_availability_vector(9, 1.0, 4.0, 1000.0, seed=8)
+        d = simulate_dynamic_availability_vector(9, 1.0, 4.0, 1000.0, seed=8)
+        assert c == d
+
+    def test_block_size_does_not_change_statistics_grossly(self):
+        # different block sizes consume the Generator differently, so
+        # runs differ pathwise but must agree statistically
+        runs = [simulate_static_availability_vector(
+            9, 1.0, 4.0, 3000.0, seed=s, block=b).availability
+            for s, b in ((1, 64), (2, 256), (3, 1024))]
+        assert max(runs) - min(runs) < 0.05
+
+
+class TestConfidenceIntervalOverlap:
+    @pytest.mark.parametrize("protocol", ["static", "dynamic"])
+    @pytest.mark.parametrize("rule,n", [(GridCoterie, 9),
+                                        (MajorityCoterie, 9)])
+    def test_vector_and_scalar_cis_overlap(self, protocol, rule, n):
+        def shard_mean_ci(engine_runner):
+            vals = [engine_runner(seed).availability for seed in range(8)]
+            mean = float(np.mean(vals))
+            sem = float(np.std(vals, ddof=1)) / math.sqrt(len(vals))
+            return mean, 2.576 * sem
+
+        if protocol == "static":
+            scalar = shard_mean_ci(
+                lambda s: simulate_static_availability(
+                    n, 1.0, 4.0, 800.0, seed=s, rule=rule))
+            vector = shard_mean_ci(
+                lambda s: simulate_static_availability_vector(
+                    n, 1.0, 4.0, 800.0, seed=s, rule=rule))
+        else:
+            scalar = shard_mean_ci(
+                lambda s: simulate_dynamic_availability(
+                    n, 1.0, 4.0, 800.0, seed=s, rule=rule))
+            vector = shard_mean_ci(
+                lambda s: simulate_dynamic_availability_vector(
+                    n, 1.0, 4.0, 800.0, seed=s, rule=rule))
+        gap = abs(scalar[0] - vector[0])
+        assert gap <= scalar[1] + vector[1], (scalar, vector)
+
+
+class TestWiring:
+    def test_parallel_dispatches_vector_engine(self):
+        serial = simulate_availability_parallel(
+            9, 1.0, 4.0, 600.0, seed=5, workers=1, protocol="static",
+            engine="vector")
+        direct = simulate_static_availability_vector(9, 1.0, 4.0, 600.0,
+                                                     seed=5)
+        assert serial == direct
+
+    def test_parallel_vector_dynamic_with_checks(self):
+        merged = simulate_availability_parallel(
+            9, 1.0, 4.0, 600.0, seed=5, workers=2, protocol="dynamic",
+            engine="vector", check_interval=1.0)
+        assert 0.0 < merged.availability < 1.0
+        assert merged.n_epoch_changes > 0
+
+    def test_cli_accepts_vector_engine(self, capsys):
+        from repro.cli import main
+
+        assert main(["simulate", "--n", "9", "--horizon", "300",
+                     "--engine", "vector"]) == 0
+        out = capsys.readouterr().out
+        assert "engine = vector" in out
+        assert "availability=" in out
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            simulate_dynamic_availability_vector(9, 1.0, 4.0, 100.0,
+                                                 idealized=True)
+        with pytest.raises(ValueError):
+            simulate_dynamic_availability_vector(9, 1.0, 4.0, 100.0,
+                                                 check_interval=0.0)
+        with pytest.raises(ValueError):
+            simulate_static_availability_vector(9, 0.0, 4.0, 100.0)
+        with pytest.raises(ValueError):
+            simulate_static_availability_vector(9, 1.0, 4.0, 100.0,
+                                                kind="nope")

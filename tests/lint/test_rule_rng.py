@@ -72,6 +72,31 @@ def test_numpy_unseeded_default_rng_fires():
     assert rule_ids(src) == ["seeded-rng-only"]
 
 
+def test_numpy_seedless_constructors_fire():
+    src = ("import numpy as np\n"
+           "from numpy.random import RandomState\n"
+           "a = RandomState()\n"
+           "b = np.random.PCG64()\n"
+           "c = np.random.SeedSequence()\n")
+    assert rule_ids(src) == ["seeded-rng-only"] * 3
+
+
+def test_numpy_seeded_constructors_are_fine():
+    src = ("import numpy as np\n"
+           "from numpy.random import RandomState\n"
+           "a = RandomState(3)\n"
+           "b = np.random.PCG64(seed=4)\n"
+           "c = np.random.SeedSequence(entropy=5)\n"
+           "d = np.random.Generator(np.random.PCG64(9))\n")
+    assert rule_ids(src) == []
+
+
+def test_derive_generator_default_is_fine():
+    src = ("from repro.sim.seeding import derive_generator\n"
+           "gen = derive_generator(0, 'availability.vector')\n")
+    assert rule_ids(src) == []
+
+
 def test_pragma_suppresses_with_reason():
     src = ("import uuid\n"
            "run_id = uuid.uuid4()  "

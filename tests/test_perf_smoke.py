@@ -33,5 +33,6 @@ def test_perf_smoke_gates():
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "PASS" in proc.stdout
     assert "quorum engine smoke" in proc.stdout
+    assert "vector engine smoke" in proc.stdout
     assert "protocol ops smoke" in proc.stdout
     assert "Sharded keyspace at scale" in proc.stdout

@@ -1,0 +1,300 @@
+"""Experiment E25 -- tail latency under gray failure: fixed timeouts vs
+adaptive deadlines + hedged quorum polls.
+
+A *gray* failure -- a replica that is up and correct but an order of
+magnitude slower than its peers -- is the worst case for fixed-timeout
+quorum protocols: no failure detector trips (the node answers
+everything), so the slow link sits inside quorum after quorum and every
+affected operation waits for it.  This benchmark measures what the
+gray-failure toolkit (PR 8) buys end to end:
+
+* **per-link adaptive deadlines** (Jacobson srtt/rttvar) feed the
+  liveness view's latency scores, so the planner demotes -- not
+  excludes -- the slow replica from quorums;
+* **hedged waves** fire a backup request to a planner-ranked spare once
+  a straggler exceeds its p99 estimate (safe: the replica's at-most-once
+  cache absorbs duplicates);
+* **early wave completion** lets heavy polls succeed as soon as the
+  responses already in hand decide the operation, instead of waiting
+  out the slow node.
+
+Scenarios (N = 9, grid coterie, same seed and workload for every cell):
+
+* **one-slow** -- one non-coordinator replica's links are slowed 10x
+  (``LinkFaults.slow_node``); fixed vs adaptive+hedged configs.
+* **load-spike** -- a burst of concurrent writes against a small
+  ``busy_queue_limit``, showing overload shedding (``Busy(retry_after)``)
+  degrading throughput gracefully instead of timing out.
+
+Asserted before the JSON is written:
+
+* adaptive+hedged p99 operation latency is >= 2x better than fixed
+  under one-slow;
+* hedging costs <= 10% extra RPC volume (attempts ratio <= 1.1);
+* both configs verify clean (one-copy serializability; gray tolerance
+  may cost latency, never consistency);
+* the adaptive run is bit-identical across same-seed repeats.
+
+Results land in ``BENCH_tail_latency.json`` at the repo root and
+``results/tail_latency.txt``; ``scripts/check_perf.py --only
+tail_latency`` replays the one-slow cells as the CI gray gate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+
+from repro.chaos.faults import LinkFaults
+from repro.core.config import ProtocolConfig
+from repro.core.store import ReplicatedStore
+
+from _report import report
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_tail_latency.json"
+
+N_NODES = 9
+N_OPS = 120
+SLOW_FACTOR = 10.0
+WARMUP_OPS = 30
+SPIKE_WRITERS = 12
+SPIKE_ROUNDS = 4
+SPIKE_LIMIT = 10
+
+
+def percentile(samples: list, q: float) -> float:
+    """The q-th percentile (nearest-rank) of a non-empty sample list."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def _configs() -> dict:
+    return {
+        "fixed": ProtocolConfig(),
+        "adaptive": ProtocolConfig(adaptive_timeouts=True,
+                                   hedge_requests=True),
+    }
+
+
+def _workload(n_ops: int):
+    ops = []
+    for i in range(n_ops):
+        if i % 3 == 0:
+            ops.append(("write", {f"k{i % 4}": i}))
+        else:
+            ops.append(("read", None))
+    return ops
+
+
+def run_one_slow(config: ProtocolConfig, *, seed: int = 0,
+                 n_ops: int = N_OPS, factor: float = SLOW_FACTOR) -> dict:
+    """One one-slow-replica cell: per-op simulated latencies + accounting.
+
+    The victim is a non-coordinator replica; its links are slowed before
+    the (untimed) warm-up, so both configs measure steady state -- the
+    fixed config's steady state simply *is* waiting on the slow node,
+    while the adaptive config has learned its per-link estimates and
+    demoted the victim by the time the timed loop starts.
+    """
+    store = ReplicatedStore.create(N_NODES, seed=seed, config=config)
+    faults = LinkFaults()
+    store.network.faults = faults
+    vias = list(store.node_names[:2])
+    victim = store.node_names[-1]
+    faults.slow_node(victim, factor, list(store.node_names))
+
+    for i in range(WARMUP_OPS):
+        store.write({"warm": i}, via=vias[i % len(vias)])
+
+    latencies = []
+    records = []
+    for i, (kind, updates) in enumerate(_workload(n_ops)):
+        via = vias[i % len(vias)]
+        t0 = store.env.now
+        if kind == "write":
+            result = store.write(updates, via=via)
+        else:
+            result = store.read(via=via)
+        latencies.append(store.env.now - t0)
+        records.append((kind, result.ok, result.version, result.case))
+
+    from repro.obs import build_summary
+    summary = build_summary(store.metrics_snapshot())
+    stats = store.verify()
+    return {
+        "scenario": "one-slow",
+        "config": ("adaptive" if config.adaptive_timeouts else "fixed"),
+        "seed": seed,
+        "victim": victim,
+        "slow_factor": factor,
+        "n_ops": n_ops,
+        "ok_ops": sum(1 for r in records if r[1]),
+        "p50": round(percentile(latencies, 0.50), 5),
+        "p95": round(percentile(latencies, 0.95), 5),
+        "p99": round(percentile(latencies, 0.99), 5),
+        "mean": round(sum(latencies) / len(latencies), 5),
+        "rpc_attempts": summary["rpc"]["attempts"],
+        "rpc_timeouts": summary["rpc"]["timeouts"],
+        "hedges": summary["rpc"]["hedges"],
+        "late_responses": summary["rpc"]["late_responses"],
+        "verify": stats,
+        "_records": records,
+        "_final_versions": dict(sorted(store.versions().items())),
+    }
+
+
+def run_load_spike(limit: int, *, seed: int = 0) -> dict:
+    """One load-spike cell: bursts of concurrent writes, with or without
+    overload shedding (``limit`` = ``busy_queue_limit``; 0 disables).
+
+    Shedding trades a few retried operations for replicas that answer
+    overload in one hop (``Busy(retry_after)``) instead of queueing
+    towards their lock-wait timeout; the history checker still has to
+    pass -- degradation must never cost consistency.
+    """
+    config = ProtocolConfig(adaptive_timeouts=True, hedge_requests=True,
+                            busy_queue_limit=limit)
+    store = ReplicatedStore.create(N_NODES, seed=seed, config=config)
+    vias = list(store.node_names[:4])
+
+    t0 = store.env.now
+    ok_ops = total = 0
+    counter = 0
+    for _ in range(SPIKE_ROUNDS):
+        procs = []
+        for w in range(SPIKE_WRITERS):
+            counter += 1
+            procs.append(store.start_write({f"k{w % 4}": counter},
+                                           via=vias[w % len(vias)]))
+        results = store.join(*procs)
+        ok_ops += sum(1 for r in results if r.ok)
+        total += len(results)
+    elapsed = store.env.now - t0
+
+    from repro.obs import build_summary
+    summary = build_summary(store.metrics_snapshot())
+    stats = store.verify()
+    return {
+        "scenario": "load-spike",
+        "config": f"limit={limit}" if limit else "no-shedding",
+        "seed": seed,
+        "writers": SPIKE_WRITERS,
+        "rounds": SPIKE_ROUNDS,
+        "ok_ops": ok_ops,
+        "n_ops": total,
+        "sim_time": round(elapsed, 4),
+        "shed": summary["overload"]["shed"],
+        "rpc_attempts": summary["rpc"]["attempts"],
+        "rpc_timeouts": summary["rpc"]["timeouts"],
+        "verify": stats,
+    }
+
+
+def run_tail_latency_benchmark(seed: int = 0) -> dict:
+    """The full sweep; returns the results dict (JSON-ready after
+    ``strip_private``)."""
+    configs = _configs()
+    one_slow = {name: run_one_slow(config, seed=seed)
+                for name, config in configs.items()}
+    repeat = run_one_slow(configs["adaptive"], seed=seed)
+    deterministic = (
+        one_slow["adaptive"]["_records"] == repeat["_records"]
+        and one_slow["adaptive"]["_final_versions"]
+        == repeat["_final_versions"])
+
+    spikes = [run_load_spike(0, seed=seed),
+              run_load_spike(SPIKE_LIMIT, seed=seed)]
+
+    fixed, adaptive = one_slow["fixed"], one_slow["adaptive"]
+    return {
+        "seed": seed,
+        "n_nodes": N_NODES,
+        "slow_factor": SLOW_FACTOR,
+        "one_slow": [fixed, adaptive],
+        "load_spike": spikes,
+        "p99_improvement": round(fixed["p99"] / adaptive["p99"], 2),
+        "attempts_ratio": round(adaptive["rpc_attempts"]
+                                / fixed["rpc_attempts"], 3),
+        "adaptive_deterministic": deterministic,
+    }
+
+
+def strip_private(results: dict) -> dict:
+    """Drop the in-memory-only fields before writing JSON."""
+    out = dict(results)
+    out["one_slow"] = [{k: v for k, v in s.items()
+                        if not k.startswith("_")}
+                       for s in results["one_slow"]]
+    return out
+
+
+def render(results: dict) -> str:
+    lines = [
+        f"Tail latency under gray failure (N={results['n_nodes']}, one "
+        f"replica {results['slow_factor']:g}x slow, seed "
+        f"{results['seed']})",
+        f"{'config':>10}  {'ok':>7}  {'p50':>8}  {'p95':>8}  {'p99':>8}  "
+        f"{'rpc':>6}  {'t/o':>4}  hedges",
+    ]
+    for s in results["one_slow"]:
+        hedges = ",".join(f"{k}={v}" for k, v in sorted(s["hedges"].items())
+                          if v) or "none"
+        lines.append(
+            f"{s['config']:>10}  {s['ok_ops']:>3}/{s['n_ops']:<3}  "
+            f"{s['p50']:>8.4f}  {s['p95']:>8.4f}  {s['p99']:>8.4f}  "
+            f"{s['rpc_attempts']:>6}  {s['rpc_timeouts']:>4}  {hedges}")
+    lines.append("")
+    lines.append(
+        f"p99 improvement (fixed/adaptive): "
+        f"{results['p99_improvement']}x;  extra RPC volume: "
+        f"{(results['attempts_ratio'] - 1) * 100:+.1f}%;  "
+        f"same-seed adaptive repeat identical: "
+        f"{'yes' if results['adaptive_deterministic'] else 'NO'}")
+    lines.append("")
+    lines.append(f"load spike ({results['load_spike'][0]['writers']} "
+                 f"concurrent writers x "
+                 f"{results['load_spike'][0]['rounds']} rounds):")
+    for s in results["load_spike"]:
+        lines.append(
+            f"  {s['config']:>12}: {s['ok_ops']:>3}/{s['n_ops']} ok in "
+            f"sim t={s['sim_time']:.2f}, shed={s['shed']}, "
+            f"rpc={s['rpc_attempts']}, timeouts={s['rpc_timeouts']}")
+    return "\n".join(lines)
+
+
+def check_tail_results(results: dict) -> list:
+    """The gate conditions; returns a list of failure strings."""
+    failures = []
+    if results["p99_improvement"] < 2.0:
+        failures.append(
+            f"adaptive+hedged p99 must be >= 2x better than fixed "
+            f"under one slow replica (got "
+            f"{results['p99_improvement']}x)")
+    if results["attempts_ratio"] > 1.1:
+        failures.append(
+            f"hedging must cost <= 10% extra RPC volume (got "
+            f"{(results['attempts_ratio'] - 1) * 100:+.1f}%)")
+    if not results["adaptive_deterministic"]:
+        failures.append("same-seed adaptive repeats are not bit-identical")
+    for cell in results["one_slow"] + results["load_spike"]:
+        if cell["ok_ops"] != cell["n_ops"]:
+            failures.append(
+                f"{cell['scenario']}/{cell['config']}: only "
+                f"{cell['ok_ops']}/{cell['n_ops']} ops committed")
+    shed_cell = results["load_spike"][-1]
+    if shed_cell["shed"] == 0:
+        failures.append("the load spike never exercised overload "
+                        "shedding (shed == 0)")
+    return failures
+
+
+def test_tail_latency(benchmark, capsys):
+    results = benchmark.pedantic(run_tail_latency_benchmark, rounds=1,
+                                 iterations=1)
+    report("tail_latency", render(results), capsys)
+    JSON_PATH.write_text(json.dumps(strip_private(results), indent=2) + "\n")
+    failures = check_tail_results(results)
+    assert not failures, failures

@@ -21,6 +21,12 @@ Quick regression checks, all small enough for CI:
 * **Metrics overhead** -- replays one healthy cell of E23 with the
   observability registry on vs off and fails if instrumentation costs
   more than 5% of wall-clock throughput or changes any op outcome.
+* **Tail latency** -- replays the E25 gray-failure benchmark (one
+  replica 10x slow, N=9) and fails if adaptive timeouts + hedged polls
+  do not cut p99 operation latency >= 2x vs fixed timeouts, if hedging
+  costs more than 10% extra RPC volume, or if same-seed repeats
+  diverge.  Full run with committed JSON:
+  ``benchmarks/bench_tail_latency.py``.
 * **Multistore scale** -- replays the ~50k-key smoke variant of the E24
   sharded-keyspace benchmark and fails if per-op cost is not flat
   across keyspace sizes, an epoch sweep costs more than one RPC request
@@ -191,6 +197,21 @@ def check_metrics_overhead() -> bool:
     return ok
 
 
+def check_tail_latency() -> bool:
+    from bench_tail_latency import (
+        check_tail_results,
+        render,
+        run_tail_latency_benchmark,
+    )
+
+    results = run_tail_latency_benchmark(seed=0)
+    print(render(results))
+    failures = check_tail_results(results)
+    for failure in failures:
+        print(f"  REGRESSION: {failure}")
+    return not failures
+
+
 def check_multistore_scale() -> bool:
     from bench_multistore_scale import (
         check_scale_results,
@@ -224,6 +245,10 @@ CHECKS = {
                          "FAIL: the sharded keyspace must keep per-op "
                          "cost flat, sweep cost at one request per "
                          "node, and resident state bounded"),
+    "tail_latency": (check_tail_latency,
+                     "FAIL: adaptive timeouts + hedged polls must cut "
+                     "p99 latency >= 2x under one slow replica, within "
+                     "10% extra RPC volume, deterministically"),
 }
 
 

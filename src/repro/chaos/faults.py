@@ -14,7 +14,10 @@ protocol assumption:
 * **delay** -- adds latency beyond the RPC deadline, so a request can be
   *acted on* by a server the caller already considers failed;
 * **reorder** -- holds one copy back far enough that later traffic on the
-  same link overtakes it.
+  same link overtakes it;
+* **slow** -- multiplies the base latency of every message on the link
+  (``slow_factor``), modelling a *gray* failure: the node answers
+  correctly but late, so fixed timeouts thrash while nothing is "down".
 
 A :class:`FaultPolicy` gives the per-message probabilities; a
 :class:`LinkFaults` instance maps links to policies and plugs into
@@ -27,7 +30,7 @@ from __future__ import annotations
 
 import random
 from collections import Counter
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, replace
 from typing import Optional
 
 from repro.sim.network import Message
@@ -51,6 +54,9 @@ class FaultPolicy:
     delay_span: float = 0.2
     reorder: float = 0.0
     reorder_span: float = 0.1
+    # deterministic multiplier on the base latency draw (gray failure);
+    # 1.0 = healthy link, 10.0 = an order of magnitude slower
+    slow_factor: float = 1.0
 
     def validate(self) -> "FaultPolicy":
         """Check probabilities and spans; returns self for chaining."""
@@ -60,6 +66,8 @@ class FaultPolicy:
                 raise ValueError(f"{name} must be a probability: {value}")
         if self.delay_span < 0 or self.reorder_span < 0:
             raise ValueError("fault delay spans must be >= 0")
+        if self.slow_factor <= 0:
+            raise ValueError(f"slow_factor must be > 0: {self.slow_factor}")
         return self
 
     def to_dict(self) -> dict:
@@ -117,12 +125,39 @@ class LinkFaults:
         """The policy governing the ``src -> dst`` link."""
         return self.per_link.get((src, dst), self.default_policy)
 
+    def slow_node(self, node: str, factor: float,
+                  peers: list[str]) -> None:
+        """Gray-fail *node*: multiply latency by *factor* on every link to
+        and from it (``factor=1.0`` restores healthy speed).
+
+        Existing per-link policies are preserved apart from their
+        ``slow_factor``; links without one inherit the default policy's
+        other fields.  Deterministic -- consumes no randomness.
+        """
+        for peer in sorted(peers):
+            if peer == node:
+                continue
+            for link in ((node, peer), (peer, node)):
+                base = self.per_link.get(link, self.default_policy)
+                if factor == 1.0 and link in self.per_link:
+                    patched = replace(self.per_link[link], slow_factor=1.0)
+                    if patched == self.default_policy:
+                        del self.per_link[link]
+                    else:
+                        self.per_link[link] = patched
+                elif factor != 1.0:
+                    self.per_link[link] = replace(
+                        base, slow_factor=factor).validate()
+
     def deliveries(self, msg: Message, base_delay: float) -> list[float]:
         """The delays at which copies of *msg* should arrive."""
         if not self.enabled or msg.kind in EXEMPT_KINDS:
             return [base_delay]
         policy = self.policy_for(msg.src, msg.dst)
         rng = self.rng
+        if policy.slow_factor != 1.0:
+            self.counts["slow"] += 1
+            base_delay *= policy.slow_factor
         if policy.drop and rng.random() < policy.drop:
             self.counts["drop"] += 1
             return []

@@ -56,7 +56,8 @@ class _Trigger:
     target: Optional[str] = None        # victim; default: the record's node
     recover_after: Optional[float] = None
     count: int = 1
-    fault: str = "crash"                # "crash" | "cut"
+    fault: str = "crash"                # "crash" | "cut" | "slow"
+    factor: float = 10.0                # latency multiplier for "slow"
 
     def matches(self, rec: TraceRecord) -> bool:
         if self.count <= 0 or rec.kind != self.kind:
@@ -110,7 +111,8 @@ class Nemesis:
                  op_contains: Optional[str] = None,
                  target: Optional[str] = None,
                  recover_after: Optional[float] = None,
-                 count: int = 1, fault: str = "crash") -> _Trigger:
+                 count: int = 1, fault: str = "crash",
+                 factor: float = 10.0) -> _Trigger:
         """Arm a one-shot trigger: on the next trace record of *kind*
         (from *node*, if given; whose op_id contains *op_contains*, if
         given), crash *target* (default: the node that emitted the
@@ -121,14 +123,23 @@ class Nemesis:
         the record's node) to the victim instead of crashing anyone, and
         ``recover_after`` restores the link.  Armed on ``txn-prepared``
         this drops the commit wave to that one participant while its
-        yes-vote still gets through."""
-        if fault not in ("crash", "cut"):
+        yes-vote still gets through.
+
+        With ``fault="slow"`` the trigger gray-fails the victim instead:
+        every link to and from it gets its latency multiplied by
+        *factor* (via the network's :class:`~repro.chaos.faults.LinkFaults`),
+        and ``recover_after`` restores healthy speed.  The node stays up
+        and answers correctly -- just late, which is exactly the failure
+        mode adaptive timeouts and hedged polls are built for."""
+        if fault not in ("crash", "cut", "slow"):
             raise ValueError(f"unknown nemesis fault {fault!r}")
-        if fault == "cut" and self.network is None:
-            raise ValueError("fault='cut' needs a network")
+        if fault in ("cut", "slow") and self.network is None:
+            raise ValueError(f"fault={fault!r} needs a network")
+        if fault == "slow" and getattr(self.network, "faults", None) is None:
+            raise ValueError("fault='slow' needs network.faults (LinkFaults)")
         trigger = _Trigger(kind=kind, node=node, op_contains=op_contains,
                            target=target, recover_after=recover_after,
-                           count=count, fault=fault)
+                           count=count, fault=fault, factor=factor)
         self.triggers.append(trigger)
         return trigger
 
@@ -165,6 +176,18 @@ class Nemesis:
                     self.env._schedule_call(
                         lambda s=src, v=victim: self.network.restore_link(
                             s, v),
+                        delay=trigger.recover_after)
+                return  # at most one trigger per record
+            if trigger.fault == "slow":
+                peers = sorted(self.nodes)
+                trigger.count -= 1
+                self.fired.append((rec.time, rec.kind,
+                                   f"slow:{victim}x{trigger.factor:g}"))
+                self.network.faults.slow_node(victim, trigger.factor, peers)
+                if trigger.recover_after is not None:
+                    self.env._schedule_call(
+                        lambda v=victim, p=peers:
+                        self.network.faults.slow_node(v, 1.0, p),
                         delay=trigger.recover_after)
                 return  # at most one trigger per record
             node = self.nodes.get(victim)

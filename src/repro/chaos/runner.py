@@ -71,6 +71,7 @@ class ChaosSpec:
     seed: int = 0
     bug: str = ""                      # ProtocolConfig.chaos_bug canary
     policy: Optional[dict] = None      # FaultPolicy for the whole run
+    config: Optional[dict] = None      # ProtocolConfig field overrides
     workload: list = field(default_factory=list)   # client op dicts
     schedule: list = field(default_factory=list)   # fault event dicts
 
@@ -81,6 +82,7 @@ class ChaosSpec:
             "seed": self.seed,
             "bug": self.bug,
             "policy": self.policy,
+            "config": self.config,
             "workload": list(self.workload),
             "schedule": list(self.schedule),
         }
@@ -89,7 +91,7 @@ class ChaosSpec:
     def from_dict(cls, data: dict) -> "ChaosSpec":
         spec = cls(**{k: data[k] for k in
                       ("protocol", "n_nodes", "seed", "bug", "policy",
-                       "workload", "schedule") if k in data})
+                       "config", "workload", "schedule") if k in data})
         if spec.protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {spec.protocol!r}")
         return spec
@@ -274,6 +276,47 @@ def make_canary_spec(bug: str = "skip-decision-record") -> ChaosSpec:
     return spec
 
 
+def make_gray_spec(seed: int = 0, n_nodes: int = 9, ops: int = 40,
+                   factor: float = 10.0, adaptive: bool = True) -> ChaosSpec:
+    """A gray-failure spec: one replica answers correctly but 10x late.
+
+    No message is lost and no node is down -- the hardest case for
+    timeout-based failure detection.  One victim's links are slowed by
+    *factor* for the middle ~70% of the run; with ``adaptive=True`` the
+    spec overrides the protocol config to enable adaptive timeouts,
+    hedged polls, and overload shedding, which is what the CI gray-smoke
+    job exercises (the full-history checker must still pass: gray
+    tolerance may cost latency, never consistency).
+    """
+    rng = random.Random(f"gray|{n_nodes}|{ops}|{seed}")
+    spec = ChaosSpec(protocol="dynamic", n_nodes=n_nodes, seed=seed)
+    keys = [f"k{i}" for i in range(4)]
+    counter = 0
+    for _ in range(ops):
+        roll = rng.random()
+        dt = round(rng.uniform(0.2, 1.0), 4)
+        via = rng.randrange(n_nodes)
+        if roll < 0.5:
+            counter += 1
+            spec.workload.append({"kind": "write",
+                                  "updates": {rng.choice(keys): counter},
+                                  "via": via, "dt": dt})
+        else:
+            spec.workload.append({"kind": "read", "via": via, "dt": dt})
+    horizon = sum(op["dt"] for op in spec.workload)
+    victim = f"n{rng.randrange(n_nodes):02d}"
+    spec.schedule = [
+        {"t": round(0.1 * horizon, 4), "action": "slow",
+         "node": victim, "factor": factor},
+        {"t": round(0.8 * horizon, 4), "action": "slow_off",
+         "node": victim},
+    ]
+    if adaptive:
+        spec.config = {"adaptive_timeouts": True, "hedge_requests": True,
+                       "busy_queue_limit": 64}
+    return spec
+
+
 # -- execution ----------------------------------------------------------------
 
 def _arm_event(store, faults: LinkFaults, nemesis: Nemesis,
@@ -310,13 +353,21 @@ def _arm_event(store, faults: LinkFaults, nemesis: Nemesis,
                                        event.get("dst"))
     elif action == "faults_off":
         do = lambda: setattr(faults, "enabled", False)
+    elif action == "slow":
+        do = lambda: faults.slow_node(event["node"],
+                                      event.get("factor", 10.0),
+                                      list(store.node_names))
+    elif action == "slow_off":
+        do = lambda: faults.slow_node(event["node"], 1.0,
+                                      list(store.node_names))
     elif action == "crash_on":
         do = lambda: nemesis.crash_on(
             event["kind"], node=event.get("node"),
             op_contains=event.get("op_contains"),
             target=event.get("target"),
             recover_after=event.get("recover_after"),
-            fault=event.get("fault", "crash"))
+            fault=event.get("fault", "crash"),
+            factor=event.get("factor", 10.0))
     else:
         raise ValueError(f"unknown schedule action {action!r}")
     store.env._schedule_call(lambda: do() if active[0] else None,
@@ -329,10 +380,12 @@ def build_store(spec: ChaosSpec, trace_enabled: bool = False):
     # checker uses to adopt indeterminate writes (adopt_durable_outcomes)
     # and to cross-check replica values, so chaos runs keep them deep
     # enough to cover the whole workload
-    config = ProtocolConfig(epoch_check_interval=4.0,
-                            epoch_check_staleness=10.0,
-                            update_log_capacity=4096,
-                            chaos_bug=spec.bug)
+    overrides = dict(epoch_check_interval=4.0,
+                     epoch_check_staleness=10.0,
+                     update_log_capacity=4096,
+                     chaos_bug=spec.bug)
+    overrides.update(spec.config or {})
+    config = ProtocolConfig(**overrides)
     return _store_class(spec.protocol).create(
         spec.n_nodes, seed=spec.seed, config=config,
         trace_enabled=trace_enabled)

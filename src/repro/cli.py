@@ -21,7 +21,9 @@ Commands
     Seeded chaos runs: a generated workload under message faults,
     crashes, partitions, link cuts, and nemesis triggers, validated by
     the full history checker.  ``--shrink``/``--artifact`` minimize a
-    failure to a replayable JSON schedule; ``--replay`` re-runs one.
+    failure to a replayable JSON schedule; ``--replay`` re-runs one;
+    ``--gray`` runs the gray-failure spec (one slow-but-correct replica
+    under adaptive timeouts and hedged polls).
 ``metrics``
     Run seeded chaos workloads and report the protocol metrics: per-op
     latency percentiles, RPC attempts/timeouts per link, stale->healed
@@ -174,6 +176,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         PROTOCOLS,
         generate_spec,
         make_canary_spec,
+        make_gray_spec,
         run_spec,
     )
     from repro.chaos.shrink import replay_artifact, save_artifact, shrink
@@ -185,6 +188,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return 0 if not report.ok else 1
 
     protocols = PROTOCOLS if args.protocol == "all" else (args.protocol,)
+    if args.gray:
+        protocols = ("dynamic",)   # the gray spec targets one protocol
     seeds = (list(range(args.seeds)) if args.seeds is not None
              else [args.seed])
     failures = []
@@ -193,12 +198,22 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             if args.canary:
                 spec = make_canary_spec(
                     bug=args.bug or "skip-decision-record")
+            elif args.gray:
+                spec = make_gray_spec(seed, n_nodes=args.nodes,
+                                      ops=args.ops,
+                                      factor=args.gray_factor)
             else:
                 spec = generate_spec(seed, protocol=protocol,
                                      n_nodes=args.nodes, ops=args.ops,
                                      bug=args.bug)
             report = run_spec(spec)
             print(report.summary())
+            if args.gray and report.ok:
+                from repro.obs import build_summary
+                rpc = build_summary(report.metrics)["rpc"]
+                print(f"  gray: hedges={rpc['hedges'] or 'none'} "
+                      f"late={rpc['late_responses']} "
+                      f"timeouts={rpc['timeouts']}")
             if not report.ok:
                 failures.append(report)
         if args.canary:
@@ -441,6 +456,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--canary", action="store_true",
                        help="run the scripted decision-record canary; "
                             "exit 0 iff the checker catches the bug")
+    chaos.add_argument("--gray", action="store_true",
+                       help="run the gray-failure spec instead: one "
+                            "replica 10x slow (up, correct, late) with "
+                            "adaptive timeouts + hedged polls enabled")
+    chaos.add_argument("--gray-factor", type=float, default=10.0,
+                       metavar="X",
+                       help="latency multiplier for the gray victim "
+                            "(default 10.0)")
     chaos.add_argument("--shrink", action="store_true",
                        help="delta-debug any failure to a minimal spec")
     chaos.add_argument("--artifact", metavar="PATH",

@@ -110,6 +110,49 @@ class ProtocolConfig:
     # up-to-date copy.  0 disables the feature (the base protocol).
     safety_threshold: int = 0
 
+    # -- gray-failure tolerance (adaptive timeouts / hedging / shedding) --
+    # All default to off/neutral so the base protocol (and every seeded
+    # replay recorded before these knobs existed) is bit-identical.
+
+    # Per-link adaptive RPC deadlines: each coordinator keeps a
+    # Jacobson-style RTT estimate per destination (srtt/rttvar EWMA) and
+    # polls with ``srtt + rtt_deadline_mult * rttvar`` clamped to
+    # [rtt_deadline_min, rtt_deadline_max] instead of the fixed
+    # rpc_timeout.  Timed-out samples never update the estimator (Karn's
+    # rule); late responses do.
+    adaptive_timeouts: bool = False
+    rtt_alpha: float = 0.125      # srtt gain (RFC 6298's 1/8)
+    rtt_beta: float = 0.25        # rttvar gain (RFC 6298's 1/4)
+    rtt_deadline_mult: float = 4.0
+    rtt_deadline_min: float = 0.05
+    rtt_deadline_max: float = 2.0
+
+    # Hedged quorum waves: when a polled replica exceeds its p99-style
+    # estimate (``srtt + hedge_threshold_mult * rttvar``) the wave fires a
+    # backup request to up to hedge_max planner-ranked spare nodes.  Safe
+    # because the server side is at-most-once (the ``_served`` cache).
+    # Requires adaptive_timeouts (the threshold *is* the estimate).
+    hedge_requests: bool = False
+    hedge_threshold_mult: float = 6.0
+    hedge_max: int = 2
+
+    # Overload shedding: a replica with this many poll handlers already
+    # queued answers ``Busy(retry_after)`` instead of joining the lock
+    # queue; coordinators honor retry_after (clamped to
+    # [retry_after_min, retry_after_max]) when backing off a retry.
+    # 0 disables shedding.
+    busy_queue_limit: int = 0
+    retry_after_min: float = 0.05
+    retry_after_max: float = 2.0
+
+    # Degraded read tier: when the planner's latency scores predict the
+    # full read quorum will blow op_deadline, the coordinator first tries
+    # a single fastest non-stale replica and returns its value flagged
+    # ``case="degraded"`` (bounded-staleness, excluded from the strict
+    # one-copy-serializability read check).  Requires op_deadline > 0.
+    degraded_reads: bool = False
+    op_deadline: float = 0.0
+
     # Intentional protocol mutations, used ONLY by the chaos harness to
     # prove the history checker catches real violations (a canary for the
     # checker itself, never a production setting).  Recognised values:
@@ -150,4 +193,77 @@ class ProtocolConfig:
             raise ValueError("suspect_ttl must be positive")
         if self.safety_threshold < 0:
             raise ValueError("safety_threshold must be >= 0")
+        for name, value in (("rtt_alpha", self.rtt_alpha),
+                            ("rtt_beta", self.rtt_beta)):
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        for name, value in (("rtt_deadline_mult", self.rtt_deadline_mult),
+                            ("hedge_threshold_mult",
+                             self.hedge_threshold_mult)):
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if not 0.0 < self.rtt_deadline_min <= self.rtt_deadline_max:
+            raise ValueError(
+                "need 0 < rtt_deadline_min <= rtt_deadline_max, got "
+                f"[{self.rtt_deadline_min}, {self.rtt_deadline_max}]")
+        if self.hedge_max < 0:
+            raise ValueError("hedge_max must be >= 0")
+        if self.hedge_requests and not self.adaptive_timeouts:
+            raise ValueError("hedge_requests requires adaptive_timeouts "
+                             "(the hedge threshold is the RTT estimate)")
+        if self.busy_queue_limit < 0:
+            raise ValueError("busy_queue_limit must be >= 0")
+        if not 0.0 < self.retry_after_min <= self.retry_after_max:
+            raise ValueError(
+                "need 0 < retry_after_min <= retry_after_max, got "
+                f"[{self.retry_after_min}, {self.retry_after_max}]")
+        if self.op_deadline < 0:
+            raise ValueError("op_deadline must be >= 0")
+        if self.degraded_reads and self.op_deadline <= 0:
+            raise ValueError("degraded_reads requires op_deadline > 0 "
+                             "(the tier triggers on the deadline budget)")
         return self
+
+    def describe(self) -> tuple[tuple[str, object], ...]:
+        """Every knob as a ``(name, value)`` tuple, in declaration order.
+
+        This is the canonical config dump used by docs, the CLI, and
+        benchmark records; a test asserts it stays in sync with the
+        dataclass fields so new knobs cannot be silently dropped.
+        """
+        return (
+            ("rpc_timeout", self.rpc_timeout),
+            ("lock_wait", self.lock_wait),
+            ("lock_lease", self.lock_lease),
+            ("prepared_wait", self.prepared_wait),
+            ("termination_retry", self.termination_retry),
+            ("propagation_retry", self.propagation_retry),
+            ("propagation_lease", self.propagation_lease),
+            ("epoch_check_interval", self.epoch_check_interval),
+            ("epoch_check_staleness", self.epoch_check_staleness),
+            ("election_timeout", self.election_timeout),
+            ("suspicion_triggers_check", self.suspicion_triggers_check),
+            ("suspicion_debounce", self.suspicion_debounce),
+            ("op_retries", self.op_retries),
+            ("retry_backoff", self.retry_backoff),
+            ("quorum_planner", self.quorum_planner),
+            ("suspect_ttl", self.suspect_ttl),
+            ("update_log_capacity", self.update_log_capacity),
+            ("coterie_cache_capacity", self.coterie_cache_capacity),
+            ("safety_threshold", self.safety_threshold),
+            ("adaptive_timeouts", self.adaptive_timeouts),
+            ("rtt_alpha", self.rtt_alpha),
+            ("rtt_beta", self.rtt_beta),
+            ("rtt_deadline_mult", self.rtt_deadline_mult),
+            ("rtt_deadline_min", self.rtt_deadline_min),
+            ("rtt_deadline_max", self.rtt_deadline_max),
+            ("hedge_requests", self.hedge_requests),
+            ("hedge_threshold_mult", self.hedge_threshold_mult),
+            ("hedge_max", self.hedge_max),
+            ("busy_queue_limit", self.busy_queue_limit),
+            ("retry_after_min", self.retry_after_min),
+            ("retry_after_max", self.retry_after_max),
+            ("degraded_reads", self.degraded_reads),
+            ("op_deadline", self.op_deadline),
+            ("chaos_bug", self.chaos_bug),
+        )

@@ -33,6 +33,7 @@ from typing import Iterable, Mapping, Optional
 
 from repro.core.messages import (
     ApplyWrite,
+    Busy,
     MarkStale,
     ReadResult,
     StateResponse,
@@ -42,7 +43,7 @@ from repro.core.replica import ReplicaServer
 from repro.core.twophase import gather, run_transaction
 from repro.coteries.base import _stable_hash
 from repro.coteries.planner import plan_quorum
-from repro.sim.rpc import CALL_FAILED
+from repro.sim.rpc import CALL_FAILED, HedgePolicy
 
 
 class Coordinator:
@@ -64,6 +65,8 @@ class Coordinator:
             for kind in ("write", "read")
         }
         self._outcome_counters: dict[tuple[str, str], object] = {}
+        self._m_degraded = metrics.counter("degraded_reads",
+                                           node=server.name)
 
     @property
     def name(self) -> str:
@@ -99,13 +102,11 @@ class Coordinator:
         elist = server.state.epoch_list
         coterie = server.coterie_for(elist)
         quorum = self._plan_quorum(coterie, "write", seq)
-        # polls may wait up to lock_wait at the replica before answering
-        # BUSY, so their RPC deadline must cover that plus network slack
-        poll_timeout = server.config.lock_wait + server.config.rpc_timeout
-        responses = yield gather(
-            server.rpc, {dst: ("write-request", op_id) for dst in quorum},
-            timeout=poll_timeout)
-        polled = set(quorum)
+        responses = yield self._poll(coterie, "write", quorum, op_id)
+        # hedged waves may answer from spare nodes outside the planned
+        # quorum; count every contacted node so aborts release them all
+        polled = set(quorum) | set(responses)
+        seen = dict(responses)
 
         self._raise_suspicion(responses)
         result = yield from self._try_write(responses, updates, op_id,
@@ -115,11 +116,9 @@ class Coordinator:
             # rest still contains a quorum -- (re-polls are answered from
             # the locks already held by this op).
             targets = self._heavy_targets(coterie, "write")
-            responses = yield gather(
-                server.rpc,
-                {dst: ("write-request", op_id) for dst in targets},
-                timeout=poll_timeout)
-            polled |= set(targets)
+            responses = yield self._poll(coterie, "write", targets, op_id)
+            polled |= set(targets) | set(responses)
+            seen.update(responses)
             result = yield from self._try_write(responses, updates, op_id,
                                                 case="heavy")
             if result is not None:
@@ -127,7 +126,15 @@ class Coordinator:
         if result is None:
             yield from self._release(polled, op_id)
             result = WriteResult(False, case="no-quorum", op_id=op_id,
-                                 polls=2)
+                                 polls=2, retry_after=_busy_hint(seen))
+        elif server.config.adaptive_timeouts or server.config.hedge_requests:
+            # Early-completed waves leave stragglers unanswered; their
+            # granted locks would otherwise sit until the lease expires.
+            # Fire-and-forget releases (sorted: send order must stay
+            # deterministic -- every send draws from the latency stream).
+            for dst in sorted(dst for dst, r in seen.items()
+                              if r is CALL_FAILED):
+                server.rpc.call(dst, "op-release", op_id)
         return result
 
     def _try_write(self, responses, updates: dict, op_id: str, case: str):
@@ -204,30 +211,64 @@ class Coordinator:
 
     def _read_once(self):
         server = self.server
+        config = server.config
         op_id, seq = self._new_op_id("r")
 
         elist = server.state.epoch_list
         coterie = server.coterie_for(elist)
         quorum = self._plan_quorum(coterie, "read", seq)
-        poll_timeout = server.config.lock_wait + server.config.rpc_timeout
-        responses = yield gather(
-            server.rpc, {dst: ("read-request", op_id) for dst in quorum},
-            timeout=poll_timeout)
+        if config.degraded_reads and config.op_deadline > 0:
+            predicted = max((server.liveness.latency_score(dst)
+                             for dst in quorum), default=0.0)
+            if predicted > config.op_deadline:
+                result = yield from self._degraded_read(op_id)
+                if result is not None:
+                    return result
+        responses = yield self._poll(coterie, "read", quorum, op_id)
+        seen = dict(responses)
         self._raise_suspicion(responses)
         result = self._try_read(responses, op_id, case="fast")
         if result is None:
             targets = self._heavy_targets(coterie, "read")
-            responses = yield gather(
-                server.rpc,
-                {dst: ("read-request", op_id) for dst in targets},
-                timeout=poll_timeout)
+            responses = yield self._poll(coterie, "read", targets, op_id)
+            seen.update(responses)
             result = self._try_read(responses, op_id, case="heavy")
             if result is not None:
                 result.polls = 2
         if result is None:
             result = ReadResult(False, case="no-quorum", op_id=op_id,
-                                polls=2)
+                                polls=2, retry_after=_busy_hint(seen))
         return result
+
+    def _degraded_read(self, op_id: str):
+        """Generator: the cheap read tier.
+
+        When the latency scores predict the full quorum would blow the
+        op deadline, ask the single fastest non-suspect replica and --
+        if it answers with a non-stale state -- return its value flagged
+        ``case="degraded"``.  Bounded staleness: the value reflects some
+        committed prefix of the write history (a non-stale replica has
+        applied every write up to its version) but may trail the latest
+        quorum-committed write, so the history checker validates these
+        reads against their own version, not against freshness.  Any
+        failure falls through to the normal quorum path (None).
+        """
+        server = self.server
+        suspects = server.liveness.suspects()
+        candidates = [name for name in server.all_nodes
+                      if name not in suspects]
+        if not candidates:
+            return None
+        target = server.liveness.rank(candidates)[0]
+        timeout = server.config.lock_wait + server.rpc.deadline_for(target)
+        response = yield server.rpc.call(target, "read-request", op_id,
+                                         timeout=timeout)
+        if not isinstance(response, StateResponse) or response.stale:
+            return None
+        self._m_degraded.inc()
+        return ReadResult(True, value=response.value,
+                          version=response.version, case="degraded",
+                          op_id=op_id)
 
     def _try_read(self, responses, op_id: str, case: str):
         states = _state_responses(responses)
@@ -257,7 +298,10 @@ class Coordinator:
     def _plan_quorum(self, coterie, kind: str, seq: int) -> list:
         """The quorum to poll: the liveness-aware plan, or the blind
         salted draw with the planner disabled.  With nothing suspected
-        the plan *is* the blind draw, so healthy runs are unchanged."""
+        the plan *is* the blind draw, so healthy runs are unchanged.
+        Under adaptive timeouts the plan is additionally *graded*: the
+        latency scores rank candidates so slow-but-alive nodes are
+        demoted to last resort instead of dragging every quorum."""
         server = self.server
         if not server.config.quorum_planner:
             return (coterie.write_quorum(salt=self.name, attempt=seq)
@@ -266,8 +310,64 @@ class Coordinator:
         avoid = server.liveness.suspects()
         if avoid:
             self._op_metrics[kind][3].inc()
+        scores = (server.liveness.latency_scores()
+                  if server.config.adaptive_timeouts else None)
         return plan_quorum(coterie, kind, avoid=avoid,
-                           salt=self.name, attempt=seq)
+                           salt=self.name, attempt=seq, scores=scores)
+
+    def _poll(self, coterie, kind: str, targets, op_id: str):
+        """One poll wave over *targets* with the gray-failure options
+        applied when configured: per-destination adaptive deadlines,
+        hedged backup requests to planner-ranked spares, and early
+        completion once the responses already decide the operation.
+        With both features off this is exactly the fixed-timeout
+        ``gather`` (polls may wait up to lock_wait at the replica before
+        answering BUSY, so deadlines always add that slack)."""
+        server = self.server
+        config = server.config
+        method = "write-request" if kind == "write" else "read-request"
+        requests = {dst: (method, op_id) for dst in targets}
+        timeout = config.lock_wait + config.rpc_timeout
+        if not (config.adaptive_timeouts or config.hedge_requests):
+            return gather(server.rpc, requests, timeout=timeout)
+        rpc = server.rpc
+        deadlines = {dst: config.lock_wait + rpc.deadline_for(dst)
+                     for dst in targets}
+        hedge = None
+        enough = None
+        if config.hedge_requests:
+            spares = self._hedge_spares(coterie, targets)
+            if spares and config.hedge_max > 0:
+                # Hedge thresholds deliberately omit the lock_wait slack:
+                # a straggler statistically overdue on RTT alone is worth
+                # a backup even if it might merely be lock-waiting (the
+                # at-most-once cache keeps the duplicate harmless).
+                hedge = HedgePolicy(
+                    spares=spares,
+                    request=(method, op_id),
+                    delays={dst: rpc.hedge_delay_for(dst)
+                            for dst in targets},
+                    deadlines={dst: config.lock_wait + rpc.deadline_for(dst)
+                               for dst in spares},
+                    limit=config.hedge_max)
+            coterie_for = server.coterie_for
+
+            def enough(results, _kind=kind):
+                return _decide(coterie_for, _state_responses(results),
+                               kind=_kind) is not None
+
+        return rpc.call_wave(requests, timeout=timeout, deadlines=deadlines,
+                             hedge=hedge, enough=enough)
+
+    def _hedge_spares(self, coterie, targets) -> tuple:
+        """Backup candidates for a hedged wave: epoch members outside the
+        polled set and not currently suspected, ranked fastest-first."""
+        server = self.server
+        polled = set(targets)
+        liveness = server.liveness
+        candidates = [name for name in coterie.nodes
+                      if name not in polled and not liveness.is_suspect(name)]
+        return tuple(liveness.rank(candidates))
 
     def _heavy_targets(self, coterie, kind: str) -> tuple:
         """The HeavyProcedure poll set: all nodes, minus current suspects
@@ -323,8 +423,14 @@ class Coordinator:
                 break
             jitter = 0.5 + (_stable_hash(f"{result.op_id}|{attempt}")
                             % 1000) / 1000.0
-            yield self.server.env.timeout(
-                config.retry_backoff * (2 ** attempt) * jitter)
+            delay = config.retry_backoff * (2 ** attempt) * jitter
+            # honor overload back-pressure: a shedding replica's
+            # retry_after hint stretches (never shrinks) the backoff,
+            # clamped so a bad hint cannot stall the coordinator
+            hint = getattr(result, "retry_after", 0.0)
+            if hint > 0.0:
+                delay = max(delay, min(hint, config.retry_after_max))
+            yield self.server.env.timeout(delay)
             result = yield from attempt_factory()
             attempts += 1
             polls += result.polls
@@ -349,6 +455,10 @@ class Coordinator:
     def _finish_record(self, record, result) -> None:
         if record is not None:
             record.op_id = result.op_id or record.op_id
+            if getattr(result, "case", "") == "degraded":
+                # degraded reads promise bounded staleness, not freshness;
+                # the history checker validates them separately
+                record.kind = "read-degraded"
             self.history.finish(record, self.server.env.now, result)
 
 
@@ -356,6 +466,12 @@ def _state_responses(responses) -> dict[str, StateResponse]:
     """Filter a gather() result down to real state answers."""
     return {name: resp for name, resp in responses.items()
             if isinstance(resp, StateResponse)}
+
+
+def _busy_hint(responses) -> float:
+    """The largest Busy(retry_after) hint in a merged response map."""
+    return max((r.retry_after for r in responses.values()
+                if isinstance(r, Busy)), default=0.0)
 
 
 def _decide(coterie_rule, states: Mapping[str, StateResponse], kind: str):

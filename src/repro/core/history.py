@@ -36,7 +36,7 @@ class ConsistencyError(AssertionError):
 class OpRecord:
     """One client-visible operation."""
 
-    kind: str                 # "read" | "write"
+    kind: str                 # "read" | "write" | "read-degraded"
     op_id: str
     coordinator: str
     start: float
@@ -74,7 +74,7 @@ class History:
         record.ok = bool(result.ok)
         record.case = result.case
         record.version = result.version
-        if record.kind == "read":
+        if record.kind in ("read", "read-degraded"):
             record.value = result.value
 
     def record_epoch_check(self, time: float, initiator: str,
@@ -90,8 +90,13 @@ class History:
                       key=lambda op: op.version)
 
     def successful_reads(self) -> list[OpRecord]:
-        """Reads that completed successfully."""
+        """Strict (non-degraded) reads that completed successfully."""
         return [op for op in self.operations if op.kind == "read" and op.ok]
+
+    def degraded_reads(self) -> list[OpRecord]:
+        """Degraded (bounded-staleness) reads that completed successfully."""
+        return [op for op in self.operations
+                if op.kind == "read-degraded" and op.ok]
 
     def failed_operations(self) -> list[OpRecord]:
         """Operations that completed unsuccessfully."""
@@ -164,9 +169,31 @@ def check_one_copy_serializability(history: History,
                 f"read {read.op_id} returned v{version} from the future "
                 f"(latest overlapping write is v{may_include})")
 
+    # 4. degraded reads return a legal prefix state (bounded staleness:
+    #    replay must match their own version, and the version must not
+    #    come from the future -- but there is no freshness floor, that
+    #    is exactly the contract a degraded read trades away)
+    for read in history.degraded_reads():
+        version = read.version
+        if version is None or version < 0:
+            raise ConsistencyError(f"degraded read {read.op_id} has no version")
+        expected = replay(writes, version, initial_value)
+        if read.value != expected:
+            raise ConsistencyError(
+                f"degraded read {read.op_id} at v{version} returned "
+                f"{read.value!r}, replay gives {expected!r}")
+        may_include = max((w.version for w in writes
+                           if w.start <= (read.end or float("inf"))),
+                          default=0)
+        if version > may_include:
+            raise ConsistencyError(
+                f"degraded read {read.op_id} returned v{version} from the "
+                f"future (latest overlapping write is v{may_include})")
+
     return {
         "writes": len(writes),
         "reads": len(history.successful_reads()),
+        "degraded": len(history.degraded_reads()),
         "failed": len(history.failed_operations()),
         "max_version": versions[-1] if versions else 0,
     }

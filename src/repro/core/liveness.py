@@ -19,9 +19,23 @@ Wrong suspicion is therefore always safe: it can cost at most one planner
 detour until decay, and the planner falls back to the blind draw whenever
 the unsuspected nodes cannot form a quorum -- polling remains the ground
 truth (see ``repro.coteries.planner``).
+
+Beyond the binary suspect/clear split the view also keeps a *graded*
+per-peer latency score: an EWMA of measured round-trip times fed from
+the RPC layer's ``latency_observer`` hook.  Scores are advisory only --
+the planner uses them to *rank* candidates (prefer fast quorums, demote
+slow nodes), never to change which sets are quorums -- and they decay
+like suspicion does, so a node that was slow once but is no longer
+polled re-enters the pool at a clean slate after ``ttl``.
 """
 
 from __future__ import annotations
+
+# EWMA gain for the per-peer latency score.  Deliberately heavier than
+# the RTT estimator's srtt gain (1/8): the score drives *ranking*, where
+# reacting to a regime change (a node going gray) within a handful of
+# observations matters more than smoothness.
+LATENCY_ALPHA = 0.2
 
 
 class LivenessView:
@@ -33,6 +47,8 @@ class LivenessView:
         self.env = env
         self.ttl = ttl
         self._suspect_until: dict[str, float] = {}
+        # peer -> (ewma rtt, last update time); stale entries decay away
+        self._latency: dict[str, tuple[float, float]] = {}
 
     def observe(self, peer: str, ok: bool) -> None:
         """Record one RPC outcome for *peer* (the signature RpcLayer's
@@ -61,9 +77,49 @@ class LivenessView:
             del table[peer]
         return frozenset(table)
 
+    # -- graded suspicion: per-peer latency scores -------------------------
+    def observe_latency(self, peer: str, rtt: float) -> None:
+        """Record one measured round trip for *peer* (the signature
+        RpcLayer's ``latency_observer`` hook expects)."""
+        now = self.env.now
+        entry = self._latency.get(peer)
+        if entry is None or now - entry[1] > self.ttl:
+            self._latency[peer] = (rtt, now)
+        else:
+            score = entry[0] + LATENCY_ALPHA * (rtt - entry[0])
+            self._latency[peer] = (score, now)
+
+    def latency_score(self, peer: str) -> float:
+        """The expected round-trip time for *peer*; 0.0 when unknown or
+        decayed (an unknown node ranks as fast -- polling it is how we
+        learn, mirroring how unsuspected equals presumed-up)."""
+        entry = self._latency.get(peer)
+        if entry is None:
+            return 0.0
+        if self.env.now - entry[1] > self.ttl:
+            del self._latency[peer]
+            return 0.0
+        return entry[0]
+
+    def latency_scores(self) -> dict[str, float]:
+        """Current (undecayed) scores as a plain ``peer -> rtt`` dict, the
+        shape ``plan_quorum(..., scores=...)`` consumes."""
+        now = self.env.now
+        table = self._latency
+        expired = [peer for peer, entry in table.items()
+                   if now - entry[1] > self.ttl]
+        for peer in expired:
+            del table[peer]
+        return {peer: entry[0] for peer, entry in table.items()}
+
+    def rank(self, peers) -> list[str]:
+        """*peers* sorted fastest-first (score, then name for stability)."""
+        return sorted(peers, key=lambda p: (self.latency_score(p), p))
+
     def clear(self) -> None:
         """Forget everything (suspicion is volatile state: wiped on crash)."""
         self._suspect_until.clear()
+        self._latency.clear()
 
     def __repr__(self) -> str:
         return f"<LivenessView ttl={self.ttl} suspects={sorted(self.suspects())}>"

@@ -37,6 +37,23 @@ BUSY = _Busy()
 
 
 @dataclass(frozen=True, slots=True)
+class Busy:
+    """Overload-shedding reply: like ``BUSY``, but carrying a hint.
+
+    A replica whose poll queue exceeds ``ProtocolConfig.busy_queue_limit``
+    answers this *before* joining the lock queue; ``retry_after`` tells
+    the coordinator how long to back off (clamped by the coordinator to
+    its own ``retry_after_max``).  Falsy like BUSY, and coordinators
+    treat both as a missing quorum vote -- only the retry pacing differs.
+    """
+
+    retry_after: float = 0.0
+
+    def __bool__(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True, slots=True)
 class StateResponse:
     """A replica's answer to write/read/epoch-checking polls."""
 
@@ -166,6 +183,9 @@ class WriteResult:
     # over all attempts by the coordinator's retry loop
     attempts: int = 1
     polls: int = 1
+    # largest Busy(retry_after) hint seen by this attempt's polls; the
+    # retry loop uses it to pace the next attempt (0.0 = no hint)
+    retry_after: float = 0.0
 
     def __bool__(self) -> bool:
         return self.ok
@@ -178,10 +198,11 @@ class ReadResult:
     ok: bool
     value: Any = None
     version: Optional[int] = None
-    case: str = ""
+    case: str = ""            # "fast" | "heavy" | "degraded" | failure
     op_id: str = ""
     attempts: int = 1
     polls: int = 1
+    retry_after: float = 0.0
 
     def __bool__(self) -> bool:
         return self.ok

@@ -31,6 +31,7 @@ from repro.core.liveness import LivenessView
 from repro.core.messages import (
     BUSY,
     ApplyWrite,
+    Busy,
     InstallEpoch,
     MarkStale,
     Prepare,
@@ -73,6 +74,10 @@ class ReplicaServer:
         # Suspicion is volatile state: wiped with the rest on crash.
         self.liveness = LivenessView(node.env, self.config.suspect_ttl)
         rpc.liveness_observer = self.liveness.observe
+        if self.config.adaptive_timeouts or self.config.degraded_reads:
+            # graded suspicion: measured round trips feed the per-peer
+            # latency scores the planner ranks candidates by
+            rpc.latency_observer = self.liveness.observe_latency
         node.add_crash_hook(self.liveness.clear)
         node.add_recover_hook(self._on_recover)
         # Observability (docs/OBSERVABILITY.md): staleness accounting and
@@ -86,6 +91,9 @@ class ReplicaServer:
         self._m_heal_lag = self.metrics.histogram("stale_heal_lag")
         self._m_last_check = self.metrics.gauge("epoch_last_check_seen",
                                                 node=self.name)
+        self._m_load_shed = self.metrics.counter("load_shed", node=self.name)
+        self._m_queue_depth = self.metrics.gauge("replica_queue_depth",
+                                                 node=self.name)
 
         serve = rpc.serve
         serve("write-request", self._on_write_request)
@@ -182,9 +190,44 @@ class ReplicaServer:
             self._trace("lock-lease-expired", op_id=op_id)
             self._release_op(op_id)
 
+    # -- overload shedding ------------------------------------------------------
+    def _shed(self):
+        """The ``Busy(retry_after)`` answer when the poll queue is over
+        the shed limit, else None.  Checked *before* a poll joins the
+        lock queue, so an overloaded replica answers in one network hop
+        instead of making every coordinator wait out lock_wait.  The
+        retry_after hint grows with the overload (queue depth relative
+        to the limit), clamped to the configured bounds -- deterministic,
+        so seeded replays are unaffected."""
+        limit = self.config.busy_queue_limit
+        if not limit:
+            return None
+        depth = self.node.volatile.get("inflight_polls", 0)
+        if depth < limit:
+            return None
+        retry = min(max(self.config.lock_wait * depth / limit,
+                        self.config.retry_after_min),
+                    self.config.retry_after_max)
+        self._m_load_shed.inc()
+        self._trace("load-shed", depth=depth, retry_after=retry)
+        return Busy(retry_after=retry)
+
+    def _poll_started(self) -> None:
+        depth = self.node.volatile.get("inflight_polls", 0) + 1
+        self.node.volatile["inflight_polls"] = depth
+        self._m_queue_depth.set(depth)
+
+    def _poll_finished(self) -> None:
+        depth = max(0, self.node.volatile.get("inflight_polls", 0) - 1)
+        self.node.volatile["inflight_polls"] = depth
+        self._m_queue_depth.set(depth)
+
     # -- poll handlers ------------------------------------------------------------
     def _on_write_request(self, src: str, args):
         op_id = args
+        shed = self._shed()
+        if shed is not None:
+            return shed
         def handle():
             if op_id in self._op_locks:
                 # Heavy-procedure re-poll from the same operation.
@@ -196,9 +239,11 @@ class ReplicaServer:
                 # custom configs): answer BUSY instead of double-queueing
                 return BUSY
             acquiring.add(op_id)
+            self._poll_started()
             try:
                 ok = yield from self._acquire(op_id)
             finally:
+                self._poll_finished()
                 self.node.volatile.setdefault("op_acquiring",
                                               set()).discard(op_id)
             if not ok:
@@ -211,8 +256,15 @@ class ReplicaServer:
 
     def _on_read_request(self, src: str, args):
         op_id = args
+        shed = self._shed()
+        if shed is not None:
+            return shed
         def handle():
-            ok = yield from self._acquire(op_id, shared=True)
+            self._poll_started()
+            try:
+                ok = yield from self._acquire(op_id, shared=True)
+            finally:
+                self._poll_finished()
             if not ok:
                 return BUSY
             response = self._response(include_value=True)

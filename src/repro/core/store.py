@@ -40,7 +40,7 @@ from repro.sim.engine import Environment, Process
 from repro.sim.failures import FailureInjector, FailureSchedule
 from repro.sim.network import LatencyModel, Network
 from repro.sim.node import Node
-from repro.sim.rpc import RpcLayer
+from repro.sim.rpc import AdaptiveTimeouts, RpcLayer
 from repro.sim.trace import TraceLog
 
 
@@ -85,10 +85,19 @@ class ReplicatedStore:
         self.servers: dict[str, ReplicaServer] = {}
         self.coordinators: dict[str, Coordinator] = {}
         self.checkers: dict[str, EpochChecker] = {}
+        adaptive = None
+        if self.config.adaptive_timeouts:
+            adaptive = AdaptiveTimeouts(
+                alpha=self.config.rtt_alpha,
+                beta=self.config.rtt_beta,
+                deadline_mult=self.config.rtt_deadline_mult,
+                floor=self.config.rtt_deadline_min,
+                ceil=self.config.rtt_deadline_max,
+                hedge_mult=self.config.hedge_threshold_mult)
         for name in names:
             node = Node(self.env, self.network, name)
             rpc = RpcLayer(node, default_timeout=self.config.rpc_timeout,
-                           metrics=self.metrics)
+                           metrics=self.metrics, adaptive=adaptive)
             server = ReplicaServer(node, rpc, coterie_rule, names,
                                    config=self.config,
                                    initial_value=initial_value,

@@ -35,7 +35,7 @@ or recompiles a structure per operation.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.coteries.base import Coterie, CoterieRule, QuorumEvaluator, _stable_hash
 from repro.coteries.grid import GridCoterie
@@ -95,12 +95,32 @@ def minimal_quorum(coterie: Coterie, available: Iterable[str], kind: str,
 
 # -- structure-aware salted selection ----------------------------------------
 
+def _best(candidates: list, scores: Optional[Mapping[str, float]],
+          salt: str, attempt: int, extra: str) -> str:
+    """The salted pick among the lowest-scored candidates.
+
+    With no scores (or all-equal scores) the tie set is the whole
+    candidate list and this is exactly the blind salted pick, so score
+    ranking degrades gracefully to today's behaviour."""
+    if scores:
+        floor = min(scores.get(name, 0.0) for name in candidates)
+        tied = [name for name in candidates
+                if scores.get(name, 0.0) == floor]
+    else:
+        tied = candidates
+    return tied[Coterie._pick(tied, salt, attempt, extra=extra)]
+
+
 def _grid_plan(coterie: GridCoterie, live: frozenset, kind: str,
-               salt: str, attempt: int) -> Optional[list]:
+               salt: str, attempt: int,
+               scores: Optional[Mapping[str, float]] = None
+               ) -> Optional[list]:
     """Salted grid selection over the live nodes: one live representative
     per column (read), plus one fully-live coverable column (write).
     O(N) scan, O(quorum size) picks -- the liveness-aware mirror of the
-    blind ``read_quorum``/``write_quorum`` draw."""
+    blind ``read_quorum``/``write_quorum`` draw.  With *scores*, every
+    pick prefers the lowest expected-latency candidate (graded
+    suspicion): slow nodes are demoted to last resort, not excluded."""
     picks = []
     live_columns: list[list] = []
     for j, column in enumerate(coterie.columns, start=1):
@@ -108,8 +128,7 @@ def _grid_plan(coterie: GridCoterie, live: frozenset, kind: str,
         if not candidates:
             return None  # a dead column: no read quorum exists at all
         live_columns.append(candidates)
-        idx = Coterie._pick(candidates, salt, attempt, extra=f"col{j}")
-        picks.append(candidates[idx])
+        picks.append(_best(candidates, scores, salt, attempt, f"col{j}"))
     if kind == "read":
         return picks
     eligible = [j for j in range(1, coterie.shape.n + 1)
@@ -117,25 +136,39 @@ def _grid_plan(coterie: GridCoterie, live: frozenset, kind: str,
                 and len(live_columns[j - 1]) == len(coterie.columns[j - 1])]
     if not eligible:
         return None  # no fully-live coverable column: no live write quorum
-    j_full = eligible[Coterie._pick(eligible, salt, attempt, extra="full")]
+    if scores:
+        # the full column is polled in its entirety, so its cost is its
+        # *worst* member; prefer the column with the lowest worst-case
+        totals = [max(scores.get(name, 0.0)
+                      for name in coterie.columns[j - 1])
+                  for j in eligible]
+        floor = min(totals)
+        tied = [j for j, total in zip(eligible, totals) if total == floor]
+    else:
+        tied = eligible
+    j_full = tied[Coterie._pick(tied, salt, attempt, extra="full")]
     quorum = list(coterie.columns[j_full - 1])
     for j, candidates in enumerate(live_columns, start=1):
         if j == j_full:
             continue
-        idx = Coterie._pick(candidates, salt, attempt, extra=f"col{j}")
-        quorum.append(candidates[idx])
+        quorum.append(_best(candidates, scores, salt, attempt, f"col{j}"))
     return quorum
 
 
 def _voting_plan(coterie: WeightedVotingCoterie, live: frozenset, kind: str,
-                 salt: str, attempt: int) -> Optional[list]:
+                 salt: str, attempt: int,
+                 scores: Optional[Mapping[str, float]] = None
+                 ) -> Optional[list]:
     """Salted vote collection over the live nodes: the blind rotated
     draw with suspected nodes skipped.  O(N) worst case, O(quorum size)
-    when most nodes are live."""
+    when most nodes are live.  With *scores*, collection visits nodes
+    fastest-first (stable sort, so equal scores keep the rotation)."""
     threshold = (coterie.write_votes if kind == "write"
                  else coterie.read_votes)
     start = Coterie._pick(coterie.nodes, salt, attempt)
     rotated = coterie.nodes[start:] + coterie.nodes[:start]
+    if scores:
+        rotated = sorted(rotated, key=lambda name: scores.get(name, 0.0))
     picked, votes = [], 0
     for name in rotated:
         if name not in live or coterie.weights[name] == 0:
@@ -148,27 +181,56 @@ def _voting_plan(coterie: WeightedVotingCoterie, live: frozenset, kind: str,
 
 
 def plan_quorum(coterie: Coterie, kind: str, avoid: Iterable[str] = (),
-                salt: str = "", attempt: int = 0) -> list:
+                salt: str = "", attempt: int = 0,
+                scores: Optional[Mapping[str, float]] = None) -> list:
     """A concrete quorum of *kind* over the coterie, routed around *avoid*.
 
     The contract every caller relies on:
 
     * the result is always a quorum of the rule (so polling it is always
       correct -- planner choices never touch quorum intersection);
-    * with an empty *avoid* set, the result is exactly the blind salted
-      draw, so healthy same-seed runs are unchanged;
+    * with an empty *avoid* set and no *scores*, the result is exactly
+      the blind salted draw, so healthy same-seed runs are unchanged;
     * when the nodes outside *avoid* contain a quorum, the result avoids
       every suspected node; otherwise the blind draw is returned as the
       correctness fallback (false suspicion never blocks an available
       system -- the poll itself is the ground truth).
+
+    *scores* (peer -> expected RTT, from ``LivenessView.latency_scores``)
+    turns binary routing into *graded* routing: the structured families
+    rank candidates fastest-first, demoting gray (slow-but-alive) nodes
+    to last resort instead of excluding them, and nodes without a score
+    rank as fast (0.0).  Scores never change which sets are quorums --
+    only which quorum gets polled -- and an empty or all-equal score map
+    degrades to exactly the unscored behaviour.  Generic families ignore
+    scores (their constructive search has no per-slot choice to rank).
     """
     if kind not in ("read", "write"):
         raise ValueError(f"kind must be 'read' or 'write', got {kind!r}")
     draw = (coterie.write_quorum(salt=salt, attempt=attempt) if kind == "write"
             else coterie.read_quorum(salt=salt, attempt=attempt))
     avoid = coterie.restrict(avoid)
-    if not avoid:
+    if scores:
+        ranked = {name: score for name, score in scores.items()
+                  if score > 0.0}
+    else:
+        ranked = None
+    if not avoid and not ranked:
         return draw
+    if not avoid:
+        # Pure latency ranking, no suspects: keep the caller's salt and
+        # attempt so equally-fast candidates still spread load the way
+        # the blind draw does (the canonicality argument below is about
+        # degraded clusters; a healthy ranked cluster wants the spread).
+        live = frozenset(coterie.nodes)
+        if isinstance(coterie, GridCoterie):
+            planned = _grid_plan(coterie, live, kind, salt, attempt, ranked)
+        elif isinstance(coterie, WeightedVotingCoterie):
+            planned = _voting_plan(coterie, live, kind, salt, attempt,
+                                   ranked)
+        else:
+            planned = None  # generic families: no slot structure to rank
+        return list(planned) if planned is not None else draw
     # Constructive plans are *canonical*: unlike the blind draw they do
     # not rotate with the salt or the attempt counter, so while the same
     # nodes stay suspected every coordinator converges on the same live
@@ -183,9 +245,9 @@ def plan_quorum(coterie: Coterie, kind: str, avoid: Iterable[str] = (),
     live = frozenset(name for name in coterie.nodes if name not in avoid)
     planned: Optional[Iterable] = None
     if isinstance(coterie, GridCoterie):
-        planned = _grid_plan(coterie, live, kind, "", 0)
+        planned = _grid_plan(coterie, live, kind, "", 0, ranked)
     elif isinstance(coterie, WeightedVotingCoterie):
-        planned = _voting_plan(coterie, live, kind, "", 0)
+        planned = _voting_plan(coterie, live, kind, "", 0, ranked)
     else:
         found = (coterie.find_write_quorum(live) if kind == "write"
                  else coterie.find_read_quorum(live))

@@ -105,6 +105,12 @@ def build_summary(snapshot: dict) -> dict:
             "attempts": _sum_counters(counters, "rpc_attempts"),
             "timeouts": _sum_counters(counters, "rpc_timeouts"),
             "timeouts_by_dst": dict(sorted(timeouts_by_link.items())),
+            "hedges": _group_counters(counters, "rpc_hedges", "outcome"),
+            "late_responses": _sum_counters(counters, "rpc_late_responses"),
+        },
+        "overload": {
+            "shed": _sum_counters(counters, "load_shed"),
+            "degraded_reads": _sum_counters(counters, "degraded_reads"),
         },
         "planner": {
             "detours": _sum_counters(counters, "planner_detours"),
@@ -144,7 +150,9 @@ def validate_summary(summary: dict) -> dict:
         raise ValueError(f"schema is {summary.get('schema')!r}, "
                          f"expected {SUMMARY_SCHEMA!r}")
     for section, keys in (
-            ("rpc", ("attempts", "timeouts", "timeouts_by_dst")),
+            ("rpc", ("attempts", "timeouts", "timeouts_by_dst",
+                     "hedges", "late_responses")),
+            ("overload", ("shed", "degraded_reads")),
             ("planner", ("detours",)),
             ("staleness", ("marks", "healed", "heal_lag")),
             ("twophase", ("commits", "aborts")),
@@ -206,6 +214,16 @@ def render_table(summary: dict) -> str:
     if worst:
         lines.append("  worst links (timeouts by dst): "
                      + ", ".join(f"{dst}={n}" for dst, n in worst))
+    hedges = rpc.get("hedges", {})
+    if hedges or rpc.get("late_responses"):
+        fired = ",".join(f"{k}={v}" for k, v in sorted(hedges.items()))
+        lines.append(f"  hedges: {fired or 'none'}; "
+                     f"late responses harvested: "
+                     f"{rpc.get('late_responses', 0)}")
+    overload = summary.get("overload", {})
+    if overload.get("shed") or overload.get("degraded_reads"):
+        lines.append(f"overload: shed={overload.get('shed', 0)} "
+                     f"degraded_reads={overload.get('degraded_reads', 0)}")
     stale = summary["staleness"]
     lag = stale["heal_lag"]
     lines.append(f"staleness: {stale['marks']} marks, "

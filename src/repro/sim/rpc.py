@@ -10,14 +10,30 @@ caller-side link, network partition, or callee crash mid-handler.
 Coordinators therefore gather *mixed* response sets, exactly like the
 pseudo-code in the paper's appendix: some entries are state tuples, some are
 ``CALL_FAILED``, and the quorum logic only counts the former.
+
+Gray-failure extensions (all opt-in, default behaviour unchanged):
+
+* **Adaptive per-link deadlines** -- construct the layer with an
+  :class:`AdaptiveTimeouts` and every response updates a Jacobson-style
+  srtt/rttvar estimate for its link; :meth:`RpcLayer.deadline_for` turns
+  that into a clamped per-destination deadline.  Timeouts never update
+  the estimate (Karn's rule), late responses do.
+* **Managed waves** -- :meth:`RpcLayer.call_wave` accepts per-destination
+  ``deadlines``, a :class:`HedgePolicy` (backup requests to spare nodes
+  once a straggler exceeds its p99-style estimate -- safe because the
+  server side is at-most-once), and an ``enough`` predicate for early
+  completion once the quorum logic is already satisfied.
+* **Late-response harvesting** -- a reply that arrives after its deadline
+  is still a liveness and latency signal; it is fed to the observers
+  (and counted) instead of being silently dropped.
 """
 
 from __future__ import annotations
 
 import itertools
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Optional
 
 from repro.obs.metrics import NULL_REGISTRY
 from repro.sim.engine import Environment, Event
@@ -58,17 +74,88 @@ class _Response:
     value: Any
 
 
+@dataclass(frozen=True, slots=True)
+class AdaptiveTimeouts:
+    """Jacobson-style per-link deadline knobs (mirrors ProtocolConfig).
+
+    Deadlines are ``srtt + deadline_mult * rttvar`` clamped to
+    ``[floor, ceil]``; the hedge threshold uses ``hedge_mult`` instead of
+    ``deadline_mult`` (a looser, p99-style overdue estimate).
+    """
+
+    alpha: float = 0.125
+    beta: float = 0.25
+    deadline_mult: float = 4.0
+    floor: float = 0.05
+    ceil: float = 2.0
+    hedge_mult: float = 6.0
+
+
+class _LinkRtt:
+    """srtt/rttvar EWMA for one outgoing link (RFC 6298 recurrences)."""
+
+    __slots__ = ("srtt", "rttvar")
+
+    def __init__(self) -> None:
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+
+    def observe(self, rtt: float, alpha: float, beta: float) -> None:
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = (1.0 - beta) * self.rttvar + beta * abs(
+                self.srtt - rtt)
+            self.srtt = (1.0 - alpha) * self.srtt + alpha * rtt
+
+
+@dataclass(slots=True)
+class HedgePolicy:
+    """Backup-request policy for one managed wave.
+
+    ``spares`` are candidate destinations ranked fastest-first (the
+    planner's latency ranking), disjoint from the wave's own targets.
+    ``request`` is the ``(method, args)`` a backup call carries --
+    quorum polls send the same op to every member, so one request shape
+    covers all spares.  ``delays`` maps each *original* destination to
+    its overdue threshold (hedge fires when the straggler has been
+    silent that long); a destination with no entry is never hedged.
+    ``deadlines`` maps each spare to the deadline its backup call gets.
+    At most ``limit`` backups fire per wave, one per straggler.
+    """
+
+    spares: tuple[str, ...]
+    request: tuple[str, Any]
+    delays: Mapping[str, float] = field(default_factory=dict)
+    deadlines: Mapping[str, float] = field(default_factory=dict)
+    limit: int = 2
+
+
 class _Wave:
     """One batched fan-out: N calls sharing a single deadline timer and a
-    single completion event (vs. N per-call timers plus an AllOf)."""
+    single completion event (vs. N per-call timers plus an AllOf).
 
-    __slots__ = ("event", "total", "results", "req_ids")
+    A *managed* wave (``expiries is not None``) instead re-arms one
+    walking timer over per-destination deadlines and hedge thresholds;
+    the plain path stays a single timer because quorum polling is the
+    simulation's hottest loop.
+    """
+
+    __slots__ = ("event", "total", "results", "req_ids", "enough",
+                 "hedge", "expiries", "hedge_at", "hedges", "accounted")
 
     def __init__(self, event: Event, total: int):
         self.event = event
         self.total = total
         self.results: dict[str, Any] = {}
         self.req_ids: dict[int, str] = {}  # outstanding req_id -> dst
+        self.enough: Optional[Callable[[dict], bool]] = None
+        self.hedge: Optional[HedgePolicy] = None
+        self.expiries: Optional[dict[int, float]] = None
+        self.hedge_at: Optional[dict[int, float]] = None
+        self.hedges: Optional[dict[str, str]] = None  # spare -> straggler
+        self.accounted = False
 
 
 class RpcLayer:
@@ -107,29 +194,51 @@ class RpcLayer:
     # which protocol-level dedup must (and does) tolerate.
     DEDUP_CAPACITY = 1024
 
+    # How many expired requests stay eligible for late-response credit.
+    LATE_CAPACITY = 256
+
     _IN_PROGRESS = object()   # sentinel: handler started, no response yet
 
     def __init__(self, node: Node, default_timeout: float = 0.5,
-                 metrics=None):
+                 metrics=None, adaptive: Optional[AdaptiveTimeouts] = None):
         self.node = node
         self.env: Environment = node.env
         self.default_timeout = default_timeout
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.adaptive = adaptive
         # dst -> (attempts counter, timeouts counter), bound lazily so the
         # per-call cost is one dict lookup (the wave fan-out is the
         # simulation's hottest loop)
         self._link_stats: dict[str, tuple] = {}
+        # dst -> (srtt gauge, deadline gauge), bound lazily (adaptive only)
+        self._link_gauges: dict[str, tuple] = {}
+        # dst -> Jacobson estimator; volatile (crash clears it)
+        self._rtt: dict[str, _LinkRtt] = {}
         self._req_ids = itertools.count(1)
         # (caller, req_id) -> response value or _IN_PROGRESS (bounded LRU)
         self._served: OrderedDict[tuple[str, int], Any] = OrderedDict()
-        # req_id -> (sink, dst); sink is the call's Event or its _Wave.
-        self._pending: dict[int, tuple[Any, str]] = {}
+        # req_id -> (sink, dst, sent); sink is the call's Event or _Wave.
+        self._pending: dict[int, tuple[Any, str, float]] = {}
+        # expired req_id -> (dst, sent): a reply arriving for one of these
+        # is late but still a liveness/latency signal (bounded LRU)
+        self._late: OrderedDict[int, tuple[str, float]] = OrderedDict()
         self._methods: dict[str, Callable[[str, Any], Any]] = {}
         # Optional hook fed every observed outcome of an *outgoing* call:
         # ``observer(dst, ok)`` with ok=False on timeout, True on response.
         # The replica servers plug their LivenessView in here; caller-side
         # crashes never feed it (the destinations did nothing wrong).
         self.liveness_observer: Optional[Callable[[str, bool], None]] = None
+        # Optional hook fed every measured round trip: ``observer(dst,
+        # rtt)``.  Feeds the graded-suspicion latency scores.
+        self.latency_observer: Optional[Callable[[str, float], None]] = None
+        name = node.name
+        self._m_hedge_fired = self.metrics.counter(
+            "rpc_hedges", src=name, outcome="fired")
+        self._m_hedge_won = self.metrics.counter(
+            "rpc_hedges", src=name, outcome="won")
+        self._m_hedge_wasted = self.metrics.counter(
+            "rpc_hedges", src=name, outcome="wasted")
+        self._m_late = self.metrics.counter("rpc_late_responses", src=name)
         node.register_handler(self.REQUEST_KIND, self._on_request)
         node.register_handler(self.RESPONSE_KIND, self._on_response)
         node.add_crash_hook(self._on_crash)
@@ -153,7 +262,7 @@ class RpcLayer:
         deadline = self.default_timeout if timeout is None else timeout
         req_id = next(self._req_ids)
         result = self.env.event()
-        self._pending[req_id] = (result, dst)
+        self._pending[req_id] = (result, dst, self.env.now)
         self.node.trace.record(self.env.now, "rpc-call", self.node.name,
                                method=method, dst=dst, req_id=req_id)
         self._link(dst)[0].inc()
@@ -162,8 +271,10 @@ class RpcLayer:
         self.env._schedule_call(lambda: self._expire(req_id), delay=deadline)
         return result
 
-    def call_wave(self, requests: dict, timeout: Optional[float] = None
-                  ) -> Event:
+    def call_wave(self, requests: dict, timeout: Optional[float] = None,
+                  deadlines: Optional[Mapping[str, float]] = None,
+                  hedge: Optional[HedgePolicy] = None,
+                  enough: Optional[Callable[[dict], bool]] = None) -> Event:
         """Fan out one call per destination as a single batched *wave*.
 
         *requests* maps ``dst -> (method, args)``; the returned event
@@ -174,6 +285,20 @@ class RpcLayer:
         expiry timer and one completion event instead of a timer per
         call -- the scheduler processes O(wave) fewer events per poll
         round, which is the protocol simulation's hottest loop.
+
+        Passing any of the gray-failure options turns the wave into a
+        *managed* wave:
+
+        * ``deadlines`` -- per-destination deadline overrides (missing
+          destinations keep *timeout*); requests expire individually.
+        * ``hedge`` -- a :class:`HedgePolicy`; stragglers that exceed
+          their overdue threshold trigger backup requests to spare nodes.
+        * ``enough`` -- a predicate over the partial ``{dst: value}``
+          result map; once it returns True the wave completes early with
+          outstanding destinations reported as CALL_FAILED.  Their
+          requests stay pending so answers that do arrive still feed the
+          liveness/latency observers (and, until the deadline, the
+          at-most-once server cache keeps duplicates harmless).
         """
         deadline = self.default_timeout if timeout is None else timeout
         gathered = self.env.event()
@@ -188,14 +313,28 @@ class RpcLayer:
         name = self.node.name
         for dst, (method, args) in requests.items():
             req_id = next(self._req_ids)
-            pending[req_id] = (wave, dst)
+            pending[req_id] = (wave, dst, now)
             wave.req_ids[req_id] = dst
             trace.record(now, "rpc-call", name,
                          method=method, dst=dst, req_id=req_id)
             self._link(dst)[0].inc()
             send(dst, self.REQUEST_KIND, _Request(req_id, method, args, name))
-        self.env._schedule_call(lambda: self._expire_wave(wave),
-                                delay=deadline)
+        if deadlines is None and hedge is None and enough is None:
+            self.env._schedule_call(lambda: self._expire_wave(wave),
+                                    delay=deadline)
+            return gathered
+        wave.enough = enough
+        wave.expiries = {
+            req_id: now + (deadline if deadlines is None
+                           else deadlines.get(dst, deadline))
+            for req_id, dst in wave.req_ids.items()}
+        if hedge is not None and hedge.spares and hedge.limit > 0:
+            wave.hedge = hedge
+            wave.hedge_at = {
+                req_id: now + hedge.delays[dst]
+                for req_id, dst in wave.req_ids.items()
+                if dst in hedge.delays}
+        self._arm_wave_tick(wave)
         return gathered
 
     def multicast(self, dsts: Iterable[str], method: str, args: Any = None,
@@ -215,16 +354,71 @@ class RpcLayer:
         if observer is not None:
             observer(dst, ok)
 
+    # -- adaptive RTT estimation -------------------------------------------
+    def _record_rtt(self, dst: str, rtt: float) -> None:
+        observer = self.latency_observer
+        if observer is not None:
+            observer(dst, rtt)
+        a = self.adaptive
+        if a is None:
+            return
+        est = self._rtt.get(dst)
+        if est is None:
+            est = self._rtt[dst] = _LinkRtt()
+        est.observe(rtt, a.alpha, a.beta)
+        gauges = self._link_gauges.get(dst)
+        if gauges is None:
+            gauges = (self.metrics.gauge("rpc_link_srtt",
+                                         src=self.node.name, dst=dst),
+                      self.metrics.gauge("rpc_link_deadline",
+                                         src=self.node.name, dst=dst))
+            self._link_gauges[dst] = gauges
+        gauges[0].set(est.srtt)
+        gauges[1].set(self._deadline_from(est))
+
+    def _deadline_from(self, est: _LinkRtt) -> float:
+        a = self.adaptive
+        return min(max(est.srtt + a.deadline_mult * est.rttvar, a.floor),
+                   a.ceil)
+
+    def deadline_for(self, dst: str) -> float:
+        """The adaptive deadline for one destination (default until the
+        link has at least one RTT sample, or when adaptation is off)."""
+        a = self.adaptive
+        if a is not None:
+            est = self._rtt.get(dst)
+            if est is not None and est.srtt is not None:
+                return self._deadline_from(est)
+        return self.default_timeout
+
+    def hedge_delay_for(self, dst: str) -> float:
+        """How long a destination may stay silent before a backup request
+        is justified (the p99-style overdue threshold)."""
+        a = self.adaptive
+        if a is not None:
+            est = self._rtt.get(dst)
+            if est is not None and est.srtt is not None:
+                return min(max(est.srtt + a.hedge_mult * est.rttvar,
+                               a.floor), a.ceil)
+        return self.default_timeout
+
+    def _remember_late(self, req_id: int, dst: str, sent: float) -> None:
+        late = self._late
+        late[req_id] = (dst, sent)
+        while len(late) > self.LATE_CAPACITY:
+            late.popitem(last=False)
+
     def _expire(self, req_id: int) -> None:
         entry = self._pending.pop(req_id, None)
         if entry is None:
             return
-        event, dst = entry
+        event, dst, sent = entry
         if not event.triggered:
             self.node.trace.record(self.env.now, "rpc-timeout", self.node.name,
                                    req_id=req_id)
             self._link(dst)[1].inc()
             self._observe(dst, ok=False)
+            self._remember_late(req_id, dst, sent)
             event.succeed(CALL_FAILED)
 
     def _expire_wave(self, wave: _Wave) -> None:
@@ -234,25 +428,150 @@ class RpcLayer:
         trace = self.node.trace
         now = self.env.now
         for req_id, dst in wave.req_ids.items():
-            if pending.pop(req_id, None) is None:
+            entry = pending.pop(req_id, None)
+            if entry is None:
                 continue
             trace.record(now, "rpc-timeout", self.node.name, req_id=req_id)
             wave.results[dst] = CALL_FAILED
             self._link(dst)[1].inc()
             self._observe(dst, ok=False)
+            self._remember_late(req_id, dst, entry[2])
         wave.req_ids.clear()
         wave.event.succeed(wave.results)
+
+    # -- managed waves (per-dst deadlines / hedging / early completion) ----
+    def _arm_wave_tick(self, wave: _Wave) -> None:
+        times = [t for req_id, t in wave.expiries.items()
+                 if req_id in wave.req_ids]
+        if wave.hedge_at and not wave.event.triggered:
+            times.extend(t for req_id, t in wave.hedge_at.items()
+                         if req_id in wave.req_ids)
+        if not times:
+            return
+        delay = max(0.0, min(times) - self.env.now)
+        self.env._schedule_call(lambda: self._wave_tick(wave), delay=delay)
+
+    def _wave_tick(self, wave: _Wave) -> None:
+        if not wave.req_ids:
+            self._settle_wave(wave)
+            return
+        now = self.env.now
+        pending = self._pending
+        trace = self.node.trace
+        due = [req_id for req_id in wave.req_ids
+               if wave.expiries.get(req_id, 0.0) <= now]
+        for req_id in due:
+            dst = wave.req_ids.pop(req_id)
+            wave.expiries.pop(req_id, None)
+            if wave.hedge_at:
+                wave.hedge_at.pop(req_id, None)
+            entry = pending.pop(req_id, None)
+            if entry is None:
+                continue
+            trace.record(now, "rpc-timeout", self.node.name, req_id=req_id)
+            if dst not in wave.results:
+                wave.results[dst] = CALL_FAILED
+            self._link(dst)[1].inc()
+            self._observe(dst, ok=False)
+            self._remember_late(req_id, dst, entry[2])
+        if (wave.hedge is not None and wave.hedge_at
+                and not wave.event.triggered):
+            self._fire_hedges(wave, now)
+        self._settle_wave(wave)
+        if wave.req_ids:
+            self._arm_wave_tick(wave)
+
+    def _fire_hedges(self, wave: _Wave, now: float) -> None:
+        policy = wave.hedge
+        overdue = [req_id for req_id, t in wave.hedge_at.items()
+                   if t <= now and req_id in wave.req_ids]
+        if not overdue:
+            return
+        contacted = set(wave.req_ids.values()) | set(wave.results)
+        if wave.hedges:
+            contacted.update(wave.hedges)
+        fired = len(wave.hedges) if wave.hedges else 0
+        method, args = policy.request
+        name = self.node.name
+        for req_id in overdue:
+            # one backup per straggler, ever
+            del wave.hedge_at[req_id]
+            if fired >= policy.limit:
+                continue
+            straggler = wave.req_ids.get(req_id)
+            if straggler is None:
+                continue
+            spare = next((s for s in policy.spares if s not in contacted),
+                         None)
+            if spare is None:
+                continue
+            contacted.add(spare)
+            if wave.hedges is None:
+                wave.hedges = {}
+            wave.hedges[spare] = straggler
+            fired += 1
+            backup_id = next(self._req_ids)
+            self._pending[backup_id] = (wave, spare, now)
+            wave.req_ids[backup_id] = spare
+            wave.expiries[backup_id] = now + policy.deadlines.get(
+                spare, self.default_timeout)
+            self.node.trace.record(now, "rpc-hedge", name, method=method,
+                                   dst=spare, straggler=straggler,
+                                   req_id=backup_id)
+            self._link(spare)[0].inc()
+            self._m_hedge_fired.inc()
+            self.node.send(spare, self.REQUEST_KIND,
+                           _Request(backup_id, method, args, name))
+
+    def _settle_wave(self, wave: _Wave) -> None:
+        if not wave.req_ids:
+            self._account_hedges(wave)
+            if not wave.event.triggered:
+                wave.event.succeed(wave.results)
+            return
+        if (not wave.event.triggered and wave.enough is not None
+                and wave.enough(wave.results)):
+            # Early completion: the quorum logic is already satisfied.
+            # Report the stragglers as CALL_FAILED in a *copy*; their
+            # requests stay pending so late answers still feed the
+            # liveness and latency observers at (or before) expiry.
+            early = dict(wave.results)
+            for dst in wave.req_ids.values():
+                if dst not in early:
+                    early[dst] = CALL_FAILED
+            wave.hedge_at = None  # no point hedging a satisfied wave
+            wave.event.succeed(early)
+
+    def _account_hedges(self, wave: _Wave) -> None:
+        if wave.accounted:
+            return
+        wave.accounted = True
+        if not wave.hedges:
+            return
+        for spare, straggler in wave.hedges.items():
+            spare_answered = (
+                wave.results.get(spare, CALL_FAILED) is not CALL_FAILED)
+            straggler_answered = (
+                wave.results.get(straggler, CALL_FAILED) is not CALL_FAILED)
+            if spare_answered and not straggler_answered:
+                self._m_hedge_won.inc()
+            else:
+                self._m_hedge_wasted.inc()
 
     def _on_crash(self) -> None:
         # Server side: the duplicate-suppression cache is volatile state.
         self._served.clear()
+        # Client side: RTT estimates and late-response credit are volatile.
+        self._rtt.clear()
+        self._link_gauges.clear()
+        self._late.clear()
         # The caller crashed: its pending calls are moot.  Complete them so
         # the event queue drains; any interested process was interrupted.
         # No liveness observation here -- the *caller* failed, not the
         # destinations.
         pending, self._pending = self._pending, {}
         waves = []
-        for sink, dst in pending.values():
+        for sink, dst, _sent in pending.values():
             if isinstance(sink, _Wave):
                 sink.results[dst] = CALL_FAILED
                 waves.append(sink)
@@ -320,13 +639,33 @@ class RpcLayer:
         response: _Response = msg.payload
         entry = self._pending.pop(response.req_id, None)
         if entry is None:
+            late = self._late.pop(response.req_id, None)
+            if late is not None:
+                # A reply after the deadline: the call already failed, but
+                # the destination is demonstrably alive -- feed the
+                # liveness/latency observers instead of dropping it.
+                dst, sent = late
+                self._observe(dst, ok=True)
+                self._record_rtt(dst, self.env.now - sent)
+                self._m_late.inc()
+                self.node.trace.record(self.env.now, "rpc-late-response",
+                                       self.node.name, dst=dst,
+                                       req_id=response.req_id)
             return
-        sink, dst = entry
+        sink, dst, sent = entry
         self._observe(dst, ok=True)
+        self._record_rtt(dst, self.env.now - sent)
         if isinstance(sink, _Wave):
             del sink.req_ids[response.req_id]
             sink.results[dst] = response.value
-            if len(sink.results) == sink.total and not sink.event.triggered:
-                sink.event.succeed(sink.results)
+            if sink.expiries is None:
+                if (len(sink.results) == sink.total
+                        and not sink.event.triggered):
+                    sink.event.succeed(sink.results)
+                return
+            sink.expiries.pop(response.req_id, None)
+            if sink.hedge_at:
+                sink.hedge_at.pop(response.req_id, None)
+            self._settle_wave(sink)
         elif not sink.triggered:
             sink.succeed(response.value)

@@ -1,0 +1,156 @@
+"""The gray-failure fault mode: slow links, the slow nemesis trigger,
+and the gray chaos spec (``repro.chaos`` PR 8 additions)."""
+
+import random
+
+import pytest
+
+from repro.chaos.faults import FaultPolicy, LinkFaults
+from repro.chaos.nemesis import Nemesis
+from repro.chaos.runner import ChaosSpec, make_gray_spec, run_spec
+from repro.sim.engine import Environment
+from repro.sim.network import LatencyModel, Message, Network
+from repro.sim.node import Node
+from repro.sim.trace import TraceLog
+
+PEERS = ["n0", "n1", "n2"]
+
+
+def msg(src="n0", dst="n1"):
+    return Message(src, dst, "ping", None, msg_id=1)
+
+
+class TestSlowPolicy:
+    def test_default_factor_is_neutral(self):
+        assert FaultPolicy().validate().slow_factor == 1.0
+
+    def test_nonpositive_factor_rejected(self):
+        for bad in (0.0, -2.0):
+            with pytest.raises(ValueError):
+                FaultPolicy(slow_factor=bad).validate()
+
+    def test_dict_roundtrip_carries_the_factor(self):
+        policy = FaultPolicy(drop=0.01, slow_factor=10.0)
+        assert FaultPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_old_dicts_without_the_field_still_load(self):
+        # artifacts recorded before the slow mode existed must replay
+        policy = FaultPolicy.from_dict({"drop": 0.01})
+        assert policy.slow_factor == 1.0
+
+    def test_slow_multiplies_base_delay_deterministically(self):
+        faults = LinkFaults(FaultPolicy(slow_factor=10.0))
+        # no RNG passed at all: slowing must not consume randomness
+        assert faults.deliveries(msg(), 0.02) == [0.2]
+        assert faults.counts["slow"] == 1
+
+    def test_slow_composes_with_other_faults(self):
+        faults = LinkFaults(FaultPolicy(slow_factor=10.0, duplicate=1.0),
+                            rng=random.Random(1))
+        delays = faults.deliveries(msg(), 0.02)
+        assert len(delays) == 2 and delays[0] == 0.2
+
+
+class TestSlowNode:
+    def test_slows_every_link_touching_the_node(self):
+        faults = LinkFaults()
+        faults.slow_node("n1", 10.0, PEERS)
+        assert faults.deliveries(msg("n0", "n1"), 0.01) == [0.1]
+        assert faults.deliveries(msg("n1", "n2"), 0.01) == [0.1]
+        # links not touching the victim are unaffected
+        assert faults.deliveries(msg("n0", "n2"), 0.01) == [0.01]
+
+    def test_restore_returns_links_to_the_default(self):
+        faults = LinkFaults()
+        faults.slow_node("n1", 10.0, PEERS)
+        faults.slow_node("n1", 1.0, PEERS)
+        assert faults.deliveries(msg("n0", "n1"), 0.01) == [0.01]
+        assert not faults.per_link  # no leftover per-link entries
+
+    def test_restore_keeps_unrelated_per_link_policies(self):
+        faults = LinkFaults()
+        faults.set_policy(FaultPolicy(drop=1.0), src="n0", dst="n1")
+        faults.slow_node("n1", 10.0, PEERS)
+        faults.slow_node("n1", 1.0, PEERS)
+        assert faults.policy_for("n0", "n1").drop == 1.0
+        assert faults.policy_for("n0", "n1").slow_factor == 1.0
+
+
+class TestSlowNemesis:
+    def make_cluster(self, n=3):
+        env = Environment()
+        trace = TraceLog()
+        faults = LinkFaults()
+        net = Network(env, LatencyModel(0.01, 0.01), trace=trace,
+                      faults=faults)
+        nodes = {f"n{i}": Node(env, net, f"n{i}") for i in range(n)}
+        return env, trace, net, nodes, faults
+
+    def test_slow_trigger_slows_the_victim(self):
+        env, trace, net, nodes, faults = self.make_cluster()
+        nemesis = Nemesis(env, trace, nodes, network=net).attach()
+        nemesis.crash_on("txn-prepared", fault="slow", factor=10.0)
+        trace.record(0.0, "txn-prepared", "n1")
+        assert nodes["n1"].up                      # nobody crashed
+        assert faults.deliveries(msg("n0", "n1"), 0.01) == [0.1]
+        assert nemesis.fired == [(0.0, "txn-prepared", "slow:n1x10")]
+
+    def test_recover_after_restores_full_speed(self):
+        env, trace, net, nodes, faults = self.make_cluster()
+        nemesis = Nemesis(env, trace, nodes, network=net).attach()
+        nemesis.crash_on("txn-prepared", fault="slow", factor=10.0,
+                         recover_after=1.0)
+        trace.record(0.0, "txn-prepared", "n1")
+        env.run(until=2.0)
+        assert faults.deliveries(msg("n0", "n1"), 0.01) == [0.01]
+
+    def test_slow_requires_a_faulted_network(self):
+        env, trace, net, nodes, _faults = self.make_cluster()
+        bare = Network(env, LatencyModel(0.01, 0.01), trace=TraceLog())
+        nemesis = Nemesis(env, trace, nodes, network=bare)
+        with pytest.raises(ValueError):
+            nemesis.crash_on("txn-prepared", fault="slow")
+        nemesis_none = Nemesis(env, trace, nodes)   # no network at all
+        with pytest.raises(ValueError):
+            nemesis_none.crash_on("txn-prepared", fault="slow")
+
+
+class TestGraySpec:
+    def test_spec_dict_roundtrip_carries_config(self):
+        spec = make_gray_spec(seed=3, ops=10)
+        assert spec.config == {"adaptive_timeouts": True,
+                               "hedge_requests": True,
+                               "busy_queue_limit": 64}
+        restored = ChaosSpec.from_dict(spec.to_dict())
+        assert restored == spec
+
+    def test_spec_generation_is_deterministic(self):
+        assert make_gray_spec(seed=7, ops=20) == make_gray_spec(seed=7,
+                                                                ops=20)
+        assert make_gray_spec(seed=7, ops=20) != make_gray_spec(seed=8,
+                                                                ops=20)
+
+    def test_schedule_slows_then_restores_one_victim(self):
+        spec = make_gray_spec(seed=0, ops=20)
+        actions = [event["action"] for event in spec.schedule]
+        assert actions == ["slow", "slow_off"]
+        assert spec.schedule[0]["node"] == spec.schedule[1]["node"]
+        assert spec.schedule[0]["t"] < spec.schedule[1]["t"]
+
+    def test_gray_run_passes_the_checker_and_replays(self):
+        spec = make_gray_spec(seed=0, ops=16)
+        report = run_spec(spec)
+        assert report.ok, report.violation
+        assert report.fault_counts.get("slow", 0) > 0
+        # replay through the JSON round-trip: identical outcome
+        again = run_spec(ChaosSpec.from_dict(spec.to_dict()))
+        assert again.ok
+        assert again.stats == report.stats
+        assert again.fault_counts == report.fault_counts
+        assert again.end_time == report.end_time
+
+    def test_non_adaptive_gray_spec_has_no_config(self):
+        spec = make_gray_spec(seed=0, ops=10, adaptive=False)
+        assert spec.config is None
+        report = run_spec(spec)
+        assert report.ok, report.violation

@@ -1,0 +1,69 @@
+"""ProtocolConfig validation and the describe() contract."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+
+
+class TestDescribe:
+    def test_describe_stays_in_sync_with_the_dataclass(self):
+        # the canonical config dump must list every knob, in declaration
+        # order, so a new field cannot be silently dropped from docs,
+        # the CLI, or benchmark records
+        config = ProtocolConfig()
+        described = config.describe()
+        field_names = [f.name for f in dataclasses.fields(ProtocolConfig)]
+        assert [name for name, _value in described] == field_names
+
+    def test_describe_reports_current_values(self):
+        config = ProtocolConfig(adaptive_timeouts=True, op_deadline=1.25)
+        described = dict(config.describe())
+        assert described["adaptive_timeouts"] is True
+        assert described["op_deadline"] == 1.25
+        for field in dataclasses.fields(ProtocolConfig):
+            assert described[field.name] == getattr(config, field.name)
+
+
+class TestValidateGrayKnobs:
+    def test_defaults_validate(self):
+        assert ProtocolConfig().validate() is not None
+
+    @pytest.mark.parametrize("field,value", [
+        ("rtt_alpha", 0.0), ("rtt_alpha", 1.5),
+        ("rtt_beta", 0.0), ("rtt_beta", -0.1),
+        ("rtt_deadline_mult", 0.0),
+        ("hedge_threshold_mult", -1.0),
+        ("hedge_max", -1),
+        ("busy_queue_limit", -1),
+        ("op_deadline", -0.5),
+    ])
+    def test_bad_scalar_rejected(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            ProtocolConfig(**{field: value}).validate()
+
+    def test_deadline_clamp_band_must_be_ordered(self):
+        with pytest.raises(ValueError, match="rtt_deadline_min"):
+            ProtocolConfig(rtt_deadline_min=0.0).validate()
+        with pytest.raises(ValueError, match="rtt_deadline_min"):
+            ProtocolConfig(rtt_deadline_min=3.0,
+                           rtt_deadline_max=2.0).validate()
+
+    def test_retry_after_band_must_be_ordered(self):
+        with pytest.raises(ValueError, match="retry_after_min"):
+            ProtocolConfig(retry_after_min=0.0).validate()
+        with pytest.raises(ValueError, match="retry_after_min"):
+            ProtocolConfig(retry_after_min=5.0,
+                           retry_after_max=2.0).validate()
+
+    def test_hedging_requires_adaptive_timeouts(self):
+        with pytest.raises(ValueError, match="adaptive_timeouts"):
+            ProtocolConfig(hedge_requests=True).validate()
+        ProtocolConfig(hedge_requests=True,
+                       adaptive_timeouts=True).validate()
+
+    def test_degraded_reads_require_a_deadline(self):
+        with pytest.raises(ValueError, match="op_deadline"):
+            ProtocolConfig(degraded_reads=True).validate()
+        ProtocolConfig(degraded_reads=True, op_deadline=0.5).validate()

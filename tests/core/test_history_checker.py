@@ -57,8 +57,8 @@ class TestAccepts:
         add_write(history, "w2", 4, 5, 2, {"a": 2})
         add_read(history, "r2", 6, 7, 2, {"a": 2})
         stats = check_one_copy_serializability(history)
-        assert stats == {"writes": 2, "reads": 2, "failed": 0,
-                         "max_version": 2}
+        assert stats == {"writes": 2, "reads": 2, "degraded": 0,
+                         "failed": 0, "max_version": 2}
 
     def test_concurrent_read_may_see_either_side(self):
         history = History()

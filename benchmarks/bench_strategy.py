@@ -1,0 +1,259 @@
+"""Experiment E26 -- workload-aware quorum strategies vs the canonical
+planner: throughput and tail latency across read/write mixes.
+
+The canonical planner draws one salted quorum per (salt, attempt); the
+strategy optimizer (``repro.coteries.optimizer``) instead samples from
+a load-optimal *distribution* over quorums solved for the observed
+read/write mix, and prices the read-one tier (single-replica reads +
+write-all writes) against it.  This benchmark measures what that buys
+end to end on a 9-node grid:
+
+* **9:1 reads** -- the read-dominant regime, where the optimizer's
+  read-one tier serves most reads from a single replica (one RPC
+  instead of a 3-node lock-and-poll wave);
+* **2:1 reads** -- at the grid's tier crossover, where the optimizer
+  falls back to the LP-balanced quorum distribution and must not
+  regress against the canonical planner.
+
+Each cell runs a closed-loop concurrent workload at several client
+counts; *max sustainable throughput* is the best ops-per-simulated-
+second across the levels, and tail latencies pool the per-operation
+spans recorded in the history.
+
+Asserted before the JSON is written:
+
+* optimized beats canonical on max sustainable throughput at 9:1;
+* optimized is within 10% of canonical at 2:1 (no regression);
+* every operation in every cell commits, and every cell passes the
+  full history checker (one-copy serializability for strict ops,
+  bounded staleness for tier reads);
+* the optimized 9:1 cell actually exercises the read-one tier, and a
+  same-seed repeat of it is bit-identical.
+
+Results land in ``BENCH_strategy.json`` at the repo root and
+``results/strategy.txt``; ``scripts/check_perf.py --only strategy``
+replays the sweep as the CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+
+from repro.core.config import ProtocolConfig
+from repro.core.store import ReplicatedStore
+from repro.obs import build_summary
+
+from _report import report
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_strategy.json"
+
+N_NODES = 9
+N_VIAS = 2               # coordinators used; the mix estimate is
+                         # per-coordinator, so concentrating traffic
+                         # lets it converge within the warm-up
+WARMUP_OPS = 30          # >> coordinator mix warm-up per via
+CONCURRENCY_LEVELS = (2, 4, 8)
+ROUNDS_PER_LEVEL = 6
+MIXES = {"9:1": 0.9, "2:1": 2.0 / 3.0}
+
+
+def percentile(samples: list, q: float) -> float:
+    """The q-th percentile (nearest-rank) of a non-empty sample list."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def _configs() -> dict:
+    return {
+        "canonical": ProtocolConfig(),
+        "optimized": ProtocolConfig(quorum_strategy="optimized"),
+    }
+
+
+def _is_read(i: int, read_fraction: float) -> bool:
+    """Deterministic interleaved mix with writes spread evenly (one
+    write every 10th op at 9:1, every 3rd at 2:1), so closed-loop
+    rounds never bunch the writes into one lock-conflict storm."""
+    period = 10 if read_fraction > 0.8 else 3
+    return i % period != period - 1
+
+
+def run_cell(config: ProtocolConfig, read_fraction: float, *,
+             seed: int = 0) -> dict:
+    """One (config, mix) cell: warm-up, then closed-loop rounds at each
+    concurrency level; throughput and latency are simulated time."""
+    store = ReplicatedStore.create(N_NODES, seed=seed, config=config)
+    vias = list(store.node_names[:N_VIAS])
+    counter = 0
+    for i in range(WARMUP_OPS):
+        if _is_read(i, read_fraction):
+            store.read(via=vias[i % len(vias)])
+        else:
+            counter += 1
+            store.write({f"k{i % 4}": counter}, via=vias[i % len(vias)])
+
+    mark = len(store.history.operations)
+    per_level = []
+    op_index = 0
+    for level in CONCURRENCY_LEVELS:
+        t0 = store.env.now
+        ok_ops = total = 0
+        for _ in range(ROUNDS_PER_LEVEL):
+            procs = []
+            for _ in range(level):
+                via = vias[op_index % len(vias)]
+                if _is_read(op_index, read_fraction):
+                    procs.append(store.start_read(via=via))
+                else:
+                    counter += 1
+                    procs.append(store.start_write(
+                        {f"k{op_index % 4}": counter}, via=via))
+                op_index += 1
+            results = store.join(*procs)
+            ok_ops += sum(1 for r in results if r.ok)
+            total += len(results)
+        elapsed = store.env.now - t0
+        per_level.append({
+            "clients": level,
+            "ok_ops": ok_ops,
+            "n_ops": total,
+            "sim_time": round(elapsed, 5),
+            "ops_per_sim_sec": round(total / elapsed, 2),
+        })
+
+    timed = store.history.operations[mark:]
+    latencies = [r.end - r.start for r in timed if r.end is not None]
+    summary = build_summary(store.metrics_snapshot())
+    stats = store.verify()
+    return {
+        "config": ("optimized" if config.quorum_strategy else "canonical"),
+        "read_fraction": round(read_fraction, 4),
+        "seed": seed,
+        "ok_ops": sum(c["ok_ops"] for c in per_level),
+        "n_ops": sum(c["n_ops"] for c in per_level),
+        "levels": per_level,
+        "max_throughput": max(c["ops_per_sim_sec"] for c in per_level),
+        "p50": round(percentile(latencies, 0.50), 5),
+        "p95": round(percentile(latencies, 0.95), 5),
+        "p99": round(percentile(latencies, 0.99), 5),
+        "mean": round(sum(latencies) / len(latencies), 5),
+        "rpc_attempts": summary["rpc"]["attempts"],
+        "read_one": dict(summary["strategy"]["read_one"]),
+        "strategy_rebuilds": summary["strategy"]["rebuilds"],
+        "verify": stats,
+        "_records": [(r.kind, r.coordinator, r.case, r.start, r.end,
+                      r.version) for r in store.history.operations],
+        "_final_versions": dict(sorted(store.versions().items())),
+    }
+
+
+def run_strategy_benchmark(seed: int = 0) -> dict:
+    """The full sweep; returns the results dict (JSON-ready after
+    ``strip_private``)."""
+    configs = _configs()
+    cells = []
+    for mix_name, fraction in MIXES.items():
+        for config_name, config in configs.items():
+            cell = run_cell(config, fraction, seed=seed)
+            cell["mix"] = mix_name
+            cells.append(cell)
+
+    by_key = {(c["mix"], c["config"]): c for c in cells}
+    repeat = run_cell(configs["optimized"], MIXES["9:1"], seed=seed)
+    opt_91 = by_key[("9:1", "optimized")]
+    deterministic = (opt_91["_records"] == repeat["_records"]
+                     and opt_91["_final_versions"]
+                     == repeat["_final_versions"])
+
+    speedup_91 = (opt_91["max_throughput"]
+                  / by_key[("9:1", "canonical")]["max_throughput"])
+    ratio_21 = (by_key[("2:1", "optimized")]["max_throughput"]
+                / by_key[("2:1", "canonical")]["max_throughput"])
+    return {
+        "seed": seed,
+        "n_nodes": N_NODES,
+        "concurrency_levels": list(CONCURRENCY_LEVELS),
+        "cells": cells,
+        "throughput_speedup_9_1": round(speedup_91, 3),
+        "throughput_ratio_2_1": round(ratio_21, 3),
+        "optimized_deterministic": deterministic,
+    }
+
+
+def strip_private(results: dict) -> dict:
+    """Drop the in-memory-only fields before writing JSON."""
+    out = dict(results)
+    out["cells"] = [{k: v for k, v in cell.items()
+                     if not k.startswith("_")}
+                    for cell in results["cells"]]
+    return out
+
+
+def render(results: dict) -> str:
+    lines = [
+        f"Workload-aware strategy vs canonical planner "
+        f"(grid N={results['n_nodes']}, closed loop x "
+        f"{list(results['concurrency_levels'])} clients, seed "
+        f"{results['seed']})",
+        f"{'mix':>4}  {'config':>10}  {'ok':>7}  {'max ops/s':>10}  "
+        f"{'p50':>8}  {'p95':>8}  {'p99':>8}  {'rpc':>6}  read-one",
+    ]
+    for cell in results["cells"]:
+        tier = ",".join(f"{k}={v}" for k, v in sorted(cell["read_one"].items())
+                        if v) or "off"
+        lines.append(
+            f"{cell['mix']:>4}  {cell['config']:>10}  "
+            f"{cell['ok_ops']:>3}/{cell['n_ops']:<3}  "
+            f"{cell['max_throughput']:>10,.1f}  {cell['p50']:>8.4f}  "
+            f"{cell['p95']:>8.4f}  {cell['p99']:>8.4f}  "
+            f"{cell['rpc_attempts']:>6}  {tier}")
+    lines.append("")
+    lines.append(
+        f"max-throughput speedup at 9:1 (optimized/canonical): "
+        f"{results['throughput_speedup_9_1']}x;  at 2:1: "
+        f"{results['throughput_ratio_2_1']}x;  same-seed optimized "
+        f"repeat identical: "
+        f"{'yes' if results['optimized_deterministic'] else 'NO'}")
+    return "\n".join(lines)
+
+
+def check_strategy_results(results: dict) -> list:
+    """The gate conditions; returns a list of failure strings."""
+    failures = []
+    if results["throughput_speedup_9_1"] <= 1.0:
+        failures.append(
+            f"the optimized strategy must beat the canonical planner "
+            f"on max sustainable throughput at 9:1 reads (got "
+            f"{results['throughput_speedup_9_1']}x)")
+    if results["throughput_ratio_2_1"] < 0.9:
+        failures.append(
+            f"the optimized strategy must stay within 10% of the "
+            f"canonical planner at 2:1 reads (got "
+            f"{results['throughput_ratio_2_1']}x)")
+    if not results["optimized_deterministic"]:
+        failures.append("same-seed optimized repeats are not "
+                        "bit-identical")
+    for cell in results["cells"]:
+        if cell["ok_ops"] != cell["n_ops"]:
+            failures.append(
+                f"{cell['mix']}/{cell['config']}: only "
+                f"{cell['ok_ops']}/{cell['n_ops']} ops committed")
+    opt_91 = next(c for c in results["cells"]
+                  if c["mix"] == "9:1" and c["config"] == "optimized")
+    if opt_91["read_one"].get("ok", 0) == 0:
+        failures.append("the optimized 9:1 cell never exercised the "
+                        "read-one tier")
+    return failures
+
+
+def test_strategy(benchmark, capsys):
+    results = benchmark.pedantic(run_strategy_benchmark, rounds=1,
+                                 iterations=1)
+    report("strategy", render(results), capsys)
+    JSON_PATH.write_text(json.dumps(strip_private(results), indent=2) + "\n")
+    failures = check_strategy_results(results)
+    assert not failures, failures

@@ -32,11 +32,18 @@ Quick regression checks, all small enough for CI:
   across keyspace sizes, an epoch sweep costs more than one RPC request
   per node, or resident state is not bounded.  Full run:
   ``benchmarks/bench_multistore_scale.py``.
+* **Strategy** -- replays the E26 workload-aware strategy benchmark
+  (grid N=9, 9:1 and 2:1 read mixes) and fails if the optimized
+  strategy does not beat the canonical planner on max sustainable
+  throughput at 9:1, regresses more than 10% at 2:1, never exercises
+  the read-one tier, or diverges across same-seed repeats.  Full run
+  with committed JSON: ``benchmarks/bench_strategy.py``.
 
 Usage::
 
     PYTHONPATH=src python scripts/check_perf.py \
-        [--only engine|vector|protocol|metrics|multistore_scale]
+        [--only engine|vector|protocol|metrics|multistore_scale|
+               tail_latency|strategy]
 
 Exit status 0 on pass, 1 on a perf regression.  The matching opt-in
 pytest wrapper is ``tests/test_perf_smoke.py`` (set
@@ -212,6 +219,21 @@ def check_tail_latency() -> bool:
     return not failures
 
 
+def check_strategy() -> bool:
+    from bench_strategy import (
+        check_strategy_results,
+        render,
+        run_strategy_benchmark,
+    )
+
+    results = run_strategy_benchmark(seed=0)
+    print(render(results))
+    failures = check_strategy_results(results)
+    for failure in failures:
+        print(f"  REGRESSION: {failure}")
+    return not failures
+
+
 def check_multistore_scale() -> bool:
     from bench_multistore_scale import (
         check_scale_results,
@@ -249,6 +271,10 @@ CHECKS = {
                      "FAIL: adaptive timeouts + hedged polls must cut "
                      "p99 latency >= 2x under one slow replica, within "
                      "10% extra RPC volume, deterministically"),
+    "strategy": (check_strategy,
+                 "FAIL: the workload-aware strategy must beat the "
+                 "canonical planner at 9:1 reads, stay within 10% at "
+                 "2:1, and sample deterministically"),
 }
 
 

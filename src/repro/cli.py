@@ -35,6 +35,11 @@ Commands
     shards, one batched epoch sweep after a crash (one request per
     node, not per shard), and hot-shard detection/rebalancing from the
     per-shard operation counters.
+``strategy``
+    Show the workload-aware quorum strategy the optimizer picks for a
+    grid of N replicas at a given read fraction: the weighted quorum
+    distribution, the predicted per-node loads, and whether the
+    read-one tier engages (and at what load advantage).
 ``lint``
     Protocol-aware static analysis: the AST rules of ``repro.lint``
     (determinism, clock discipline, message shape, metric keys) over
@@ -325,6 +330,37 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_strategy(args: argparse.Namespace) -> int:
+    from repro.coteries.grid import GridCoterie
+    from repro.coteries.majority import MajorityCoterie
+    from repro.coteries.optimizer import optimize_strategy
+
+    names = [f"n{i:02d}" for i in range(args.n)]
+    rule = {"grid": GridCoterie, "majority": MajorityCoterie}[args.rule]
+    coterie = rule(names)
+    strategy = optimize_strategy(coterie, args.read_fraction,
+                                 seed=args.seed,
+                                 allow_read_one=not args.no_read_one)
+    print(f"{args.rule} coterie, N = {args.n}, "
+          f"read fraction = {args.read_fraction:g}, seed = {args.seed}")
+    print(f"solver: {strategy.source}; "
+          f"read-one tier: {'on' if strategy.read_one_tier else 'off'}")
+    for kind in ("read", "write"):
+        support = strategy.support(kind)
+        weights = strategy.weights(kind)
+        print(f"{kind} support ({len(support)} quorums):")
+        shown = sorted(zip(weights, support), reverse=True)[:args.top]
+        for weight, quorum in shown:
+            print(f"  {weight:8.4f}  {list(quorum)}")
+        if len(support) > args.top:
+            print(f"  ... {len(support) - args.top} more")
+    loads = strategy.loads()
+    print(f"predicted max per-node load: {strategy.max_load:.4f}")
+    print("per-node loads: "
+          + ", ".join(f"{n}={loads[n]:.3f}" for n in sorted(loads)))
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -515,6 +551,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="migrate detected hot shards to the "
                             "least-loaded nodes")
     shard.set_defaults(handler=_cmd_shard)
+
+    strategy = sub.add_parser(
+        "strategy", help="show the load-optimal quorum strategy for a "
+                         "coterie at one read/write mix")
+    strategy.add_argument("--n", type=int, default=9)
+    strategy.add_argument("--read-fraction", type=float, default=0.9)
+    strategy.add_argument("--seed", type=int, default=0)
+    strategy.add_argument("--rule", choices=["grid", "majority"],
+                          default="grid")
+    strategy.add_argument("--top", type=int, default=8,
+                          help="show at most this many quorums per kind "
+                               "(default 8)")
+    strategy.add_argument("--no-read-one", action="store_true",
+                          help="never engage the read-one tier, even "
+                               "when it wins on load")
+    strategy.set_defaults(handler=_cmd_strategy)
 
     lint = sub.add_parser(
         "lint", help="protocol-aware static analysis (determinism, "

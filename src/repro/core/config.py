@@ -145,6 +145,28 @@ class ProtocolConfig:
     retry_after_min: float = 0.05
     retry_after_max: float = 2.0
 
+    # Workload-aware quorum strategy (repro.coteries.optimizer): instead
+    # of the canonical salted draw, coordinators sample quorums from a
+    # load-optimized weighted distribution over the coterie's quorums.
+    #   ""              -- off (the canonical planner; the default);
+    #   "optimized"     -- sample the LP/search-optimized distribution;
+    #       the read-one tier (single-replica reads + write-all writes)
+    #       engages automatically when the observed mix makes it the
+    #       load winner and the epoch spans full membership;
+    #   "read-dominant" -- force the read-one tier whenever the epoch
+    #       spans full membership (Kumar & Agarwal's read-dominant
+    #       protocol), regardless of the load race.
+    # Sampling never changes which sets are quorums -- Lemma 1 is
+    # quantified over all quorums of the rule -- and is deterministic
+    # per root seed (sim/seeding.derive_rng).
+    quorum_strategy: str = ""
+
+    # The read/write mix the optimizer targets: a fixed read fraction in
+    # [0, 1], or -1 to estimate it from the coordinator's own observed
+    # operation mix (workload-aware; re-optimized only when the estimate
+    # crosses a bucket boundary, so steady mixes never rebuild).
+    strategy_read_fraction: float = -1.0
+
     # Degraded read tier: when the planner's latency scores predict the
     # full read quorum will blow op_deadline, the coordinator first tries
     # a single fastest non-stale replica and returns its value flagged
@@ -161,6 +183,15 @@ class ProtocolConfig:
     #       COMMIT record before its commit wave, so presumed abort tells
     #       in-doubt participants "aborted" about a committed transaction.
     chaos_bug: str = ""
+
+    def clamp_retry_after(self, hint: float) -> float:
+        """A ``Busy(retry_after)`` delay clamped to ``[retry_after_min,
+        retry_after_max]`` -- the single definition shared by the
+        replica's shedding answer and the coordinator's backoff stretch,
+        so a tiny (or corrupted) hint can neither no-op below the floor
+        the replica side promises nor stall a coordinator past the
+        ceiling."""
+        return min(max(hint, self.retry_after_min), self.retry_after_max)
 
     def validate(self) -> "ProtocolConfig":
         """Check parameter sanity; returns self for chaining."""
@@ -217,6 +248,15 @@ class ProtocolConfig:
             raise ValueError(
                 "need 0 < retry_after_min <= retry_after_max, got "
                 f"[{self.retry_after_min}, {self.retry_after_max}]")
+        if self.quorum_strategy not in ("", "optimized", "read-dominant"):
+            raise ValueError(
+                "quorum_strategy must be '', 'optimized', or "
+                f"'read-dominant', got {self.quorum_strategy!r}")
+        if (self.strategy_read_fraction != -1.0
+                and not 0.0 <= self.strategy_read_fraction <= 1.0):
+            raise ValueError(
+                "strategy_read_fraction must be -1 (observe the mix) or "
+                f"in [0, 1], got {self.strategy_read_fraction}")
         if self.op_deadline < 0:
             raise ValueError("op_deadline must be >= 0")
         if self.degraded_reads and self.op_deadline <= 0:
@@ -263,6 +303,8 @@ class ProtocolConfig:
             ("busy_queue_limit", self.busy_queue_limit),
             ("retry_after_min", self.retry_after_min),
             ("retry_after_max", self.retry_after_max),
+            ("quorum_strategy", self.quorum_strategy),
+            ("strategy_read_fraction", self.strategy_read_fraction),
             ("degraded_reads", self.degraded_reads),
             ("op_deadline", self.op_deadline),
             ("chaos_bug", self.chaos_bug),

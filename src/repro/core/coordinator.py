@@ -45,6 +45,11 @@ from repro.coteries.base import _stable_hash
 from repro.coteries.planner import plan_quorum
 from repro.sim.rpc import CALL_FAILED, HedgePolicy
 
+#: Observed-mix warm-up: below this many counted operations the
+#: workload-aware optimizer targets a neutral 50/50 mix instead of
+#: trusting a tiny sample.
+_MIX_WARMUP_OPS = 8
+
 
 class Coordinator:
     """Issues write and read operations from one replica node."""
@@ -67,6 +72,18 @@ class Coordinator:
         self._outcome_counters: dict[tuple[str, str], object] = {}
         self._m_degraded = metrics.counter("degraded_reads",
                                            node=server.name)
+        self._m_strategy_samples = {
+            kind: metrics.counter("strategy_samples", kind=kind)
+            for kind in ("write", "read")
+        }
+        self._m_read_one = {
+            outcome: metrics.counter("strategy_read_one", outcome=outcome)
+            for outcome in ("ok", "fallback")
+        }
+        # observed operation mix, feeding the workload-aware optimizer
+        # when strategy_read_fraction is -1 (counted at operation start,
+        # so the estimate is ready before the op's own quorum is planned)
+        self._mix = {"read": 0, "write": 0}
 
     @property
     def name(self) -> str:
@@ -88,6 +105,7 @@ class Coordinator:
         """
         record = self._start_record("write", f"{self.name}:w?",
                                     updates=dict(updates))
+        self._mix["write"] += 1
         started = self.server.env.now
         result = yield from self._with_retries(
             lambda: self._write_once(updates))
@@ -101,7 +119,8 @@ class Coordinator:
 
         elist = server.state.epoch_list
         coterie = server.coterie_for(elist)
-        quorum = self._plan_quorum(coterie, "write", seq)
+        strategy = self._strategy(coterie, elist)
+        quorum = self._plan_quorum(coterie, "write", seq, strategy)
         responses = yield self._poll(coterie, "write", quorum, op_id)
         # hedged waves may answer from spare nodes outside the planned
         # quorum; count every contacted node so aborts release them all
@@ -203,6 +222,7 @@ class Coordinator:
         """Generator (node process): perform one read (with retries, like
         :meth:`write`)."""
         record = self._start_record("read", f"{self.name}:r?")
+        self._mix["read"] += 1
         started = self.server.env.now
         result = yield from self._with_retries(lambda: self._read_once())
         self._finish_record(record, result)
@@ -216,7 +236,14 @@ class Coordinator:
 
         elist = server.state.epoch_list
         coterie = server.coterie_for(elist)
-        quorum = self._plan_quorum(coterie, "read", seq)
+        strategy = self._strategy(coterie, elist)
+        if strategy is not None and strategy.read_one_tier:
+            result = yield from self._read_one_tier(op_id, seq, strategy)
+            if result is not None:
+                return result
+            # fall through: the optimized read-quorum distribution is
+            # the tier's own fallback (sampled below via the strategy)
+        quorum = self._plan_quorum(coterie, "read", seq, strategy)
         if config.degraded_reads and config.op_deadline > 0:
             predicted = max((server.liveness.latency_score(dst)
                              for dst in quorum), default=0.0)
@@ -295,25 +322,91 @@ class Coordinator:
             self._outcome_counters[(kind, outcome)] = counter
         counter.inc()
 
-    def _plan_quorum(self, coterie, kind: str, seq: int) -> list:
+    def _strategy(self, coterie, elist):
+        """The optimized quorum strategy for this operation, or None
+        when ``config.quorum_strategy`` is off.
+
+        The target read fraction is the configured one, or -- when set
+        to observe -- this coordinator's own operation mix (a neutral
+        0.5 until enough ops have been counted to trust the estimate).
+        The read-one tier is only offered while the epoch spans full
+        membership: a shrunk epoch falls back to the optimized read
+        quorums, because write-all over the *epoch* no longer covers
+        every replica a single-replica read might hit."""
+        server = self.server
+        config = server.config
+        mode = config.quorum_strategy
+        if not mode:
+            return None
+        fraction = config.strategy_read_fraction
+        if fraction < 0.0:
+            total = self._mix["read"] + self._mix["write"]
+            fraction = (self._mix["read"] / total
+                        if total >= _MIX_WARMUP_OPS else 0.5)
+        full = frozenset(elist) == frozenset(server.all_nodes)
+        return server.strategy_for(
+            coterie, fraction, allow_read_one=full,
+            force_read_one=(mode == "read-dominant" and full))
+
+    def _read_one_tier(self, op_id: str, seq: int, strategy):
+        """Generator: the read-dominant fast tier (Kumar & Agarwal).
+
+        With the write strategy covering *all* nodes, any single
+        current replica serves a read in one round trip.  The answer
+        must be non-stale and from this coordinator's epoch; anything
+        else (miss, BUSY, staleness, an epoch skew) falls back to the
+        optimized read quorum (None).  Tier reads are flagged
+        ``case="read-one"`` and validated like degraded reads --
+        bounded staleness, not freshness: a write-all commit only
+        *marks* the nodes that answered its poll, so a replica that
+        missed one wave can serve a slightly older committed prefix
+        (see docs/PROTOCOL.md).
+        """
+        server = self.server
+        target = strategy.pick_read_replica(
+            avoid=server.liveness.suspects(), salt=self.name, attempt=seq)
+        if target is None:
+            self._m_read_one["fallback"].inc()
+            return None
+        timeout = server.config.lock_wait + server.rpc.deadline_for(target)
+        response = yield server.rpc.call(target, "read-request", op_id,
+                                         timeout=timeout)
+        if (isinstance(response, StateResponse) and not response.stale
+                and response.enumber == server.state.epoch_number):
+            self._m_read_one["ok"].inc()
+            return ReadResult(True, value=response.value,
+                              version=response.version, case="read-one",
+                              op_id=op_id)
+        self._m_read_one["fallback"].inc()
+        return None
+
+    def _plan_quorum(self, coterie, kind: str, seq: int,
+                     strategy=None) -> list:
         """The quorum to poll: the liveness-aware plan, or the blind
         salted draw with the planner disabled.  With nothing suspected
         the plan *is* the blind draw, so healthy runs are unchanged.
         Under adaptive timeouts the plan is additionally *graded*: the
         latency scores rank candidates so slow-but-alive nodes are
-        demoted to last resort instead of dragging every quorum."""
+        demoted to last resort instead of dragging every quorum.  With
+        a *strategy*, the plan is a seeded draw from the optimized
+        quorum distribution instead of the canonical pick (suspects
+        still filter the support; see ``plan_quorum``)."""
         server = self.server
-        if not server.config.quorum_planner:
+        planner = server.config.quorum_planner
+        if strategy is None and not planner:
             return (coterie.write_quorum(salt=self.name, attempt=seq)
                     if kind == "write"
                     else coterie.read_quorum(salt=self.name, attempt=seq))
-        avoid = server.liveness.suspects()
+        avoid = server.liveness.suspects() if planner else frozenset()
         if avoid:
             self._op_metrics[kind][3].inc()
         scores = (server.liveness.latency_scores()
                   if server.config.adaptive_timeouts else None)
+        if strategy is not None:
+            self._m_strategy_samples[kind].inc()
         return plan_quorum(coterie, kind, avoid=avoid,
-                           salt=self.name, attempt=seq, scores=scores)
+                           salt=self.name, attempt=seq, scores=scores,
+                           strategy=strategy)
 
     def _poll(self, coterie, kind: str, targets, op_id: str):
         """One poll wave over *targets* with the gray-failure options
@@ -426,10 +519,13 @@ class Coordinator:
             delay = config.retry_backoff * (2 ** attempt) * jitter
             # honor overload back-pressure: a shedding replica's
             # retry_after hint stretches (never shrinks) the backoff,
-            # clamped so a bad hint cannot stall the coordinator
+            # clamped to the same [retry_after_min, retry_after_max]
+            # bounds the replica's _shed() applies -- the floor keeps a
+            # tiny hint from no-opting, the ceiling keeps a bad hint
+            # from stalling the coordinator
             hint = getattr(result, "retry_after", 0.0)
             if hint > 0.0:
-                delay = max(delay, min(hint, config.retry_after_max))
+                delay = max(delay, config.clamp_retry_after(hint))
             yield self.server.env.timeout(delay)
             result = yield from attempt_factory()
             attempts += 1
@@ -455,9 +551,10 @@ class Coordinator:
     def _finish_record(self, record, result) -> None:
         if record is not None:
             record.op_id = result.op_id or record.op_id
-            if getattr(result, "case", "") == "degraded":
-                # degraded reads promise bounded staleness, not freshness;
-                # the history checker validates them separately
+            if getattr(result, "case", "") in ("degraded", "read-one"):
+                # degraded and read-one-tier reads promise bounded
+                # staleness, not freshness; the history checker
+                # validates them separately
                 record.kind = "read-degraded"
             self.history.finish(record, self.server.env.now, result)
 

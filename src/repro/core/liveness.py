@@ -113,8 +113,16 @@ class LivenessView:
         return {peer: entry[0] for peer, entry in table.items()}
 
     def rank(self, peers) -> list[str]:
-        """*peers* sorted fastest-first (score, then name for stability)."""
-        return sorted(peers, key=lambda p: (self.latency_score(p), p))
+        """*peers* sorted fastest-first (score, then name for stability).
+
+        Ranking takes one ``latency_scores()`` snapshot up front --
+        scoring inside the sort key would prune expired entries from
+        the table *mid-sort* (a mutation hidden in a read-only-looking
+        call, and a crash if *peers* iterates the table itself), so the
+        snapshot keeps a single ``rank`` call side-effect-free against
+        its inputs and internally consistent."""
+        scores = self.latency_scores()
+        return sorted(peers, key=lambda p: (scores.get(p, 0.0), p))
 
     def clear(self) -> None:
         """Forget everything (suspicion is volatile state: wiped on crash)."""

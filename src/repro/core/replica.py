@@ -25,6 +25,7 @@ import itertools
 from typing import Any, Optional
 
 from repro.coteries.base import CoterieRule
+from repro.coteries.optimizer import Strategy, StrategyCache
 from repro.coteries.planner import CompiledCoterieCache
 from repro.core.config import ProtocolConfig
 from repro.core.liveness import LivenessView
@@ -54,7 +55,7 @@ class ReplicaServer:
                  all_nodes: tuple[str, ...],
                  config: Optional[ProtocolConfig] = None,
                  initial_value: Optional[dict] = None,
-                 metrics=None):
+                 metrics=None, seed: int = 0):
         self.node = node
         self.rpc = rpc
         self.env = node.env
@@ -62,6 +63,13 @@ class ReplicaServer:
         self.coterie_rule = coterie_rule
         self.all_nodes = tuple(sorted(all_nodes))
         self.config = (config or ProtocolConfig()).validate()
+        # The cluster root seed: strategy sampling derives its streams
+        # from it (sim/seeding), so planning replays bit-identically.
+        self.seed = seed
+        self._strategies: Optional[StrategyCache] = None
+        if self.config.quorum_strategy:
+            self._strategies = StrategyCache(seed=seed,
+                                             metrics=self.metrics)
         self.lock = node.make_lock("replica")
         node.stable["replica"] = initial_state(self.all_nodes, initial_value)
         node.stable.setdefault("prepared", {})       # txn_id -> Prepare
@@ -137,6 +145,21 @@ class ReplicaServer:
         """A fresh transaction identifier for this coordinator."""
         return f"{self.name}:txn{next(self._txn_ids)}"
 
+    def strategy_for(self, coterie, read_fraction: float,
+                     allow_read_one: bool = True,
+                     force_read_one: bool = False) -> Optional[Strategy]:
+        """The optimized quorum strategy for one coterie and read mix,
+        or None when ``config.quorum_strategy`` is off.  Cached per
+        (epoch list, mix bucket); see
+        :class:`repro.coteries.optimizer.StrategyCache`."""
+        if self._strategies is None:
+            return None
+        return self._strategies.strategy_for(
+            coterie, read_fraction,
+            scores=self.liveness.latency_scores() or None,
+            allow_read_one=allow_read_one,
+            force_read_one=force_read_one)
+
     def coterie_for(self, epoch_list) -> Any:
         """The coterie over one epoch list, memoized with LRU eviction.
 
@@ -205,9 +228,8 @@ class ReplicaServer:
         depth = self.node.volatile.get("inflight_polls", 0)
         if depth < limit:
             return None
-        retry = min(max(self.config.lock_wait * depth / limit,
-                        self.config.retry_after_min),
-                    self.config.retry_after_max)
+        retry = self.config.clamp_retry_after(
+            self.config.lock_wait * depth / limit)
         self._m_load_shed.inc()
         self._trace("load-shed", depth=depth, retry_after=retry)
         return Busy(retry_after=retry)

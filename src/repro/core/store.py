@@ -101,7 +101,7 @@ class ReplicatedStore:
             server = ReplicaServer(node, rpc, coterie_rule, names,
                                    config=self.config,
                                    initial_value=initial_value,
-                                   metrics=self.metrics)
+                                   metrics=self.metrics, seed=seed)
             self.nodes[name] = node
             self.servers[name] = server
             self.coordinators[name] = Coordinator(server,

@@ -46,6 +46,11 @@ from repro.coteries.domination import (
 from repro.coteries.grid import GridCoterie, GridShape, define_grid
 from repro.coteries.hierarchical import HierarchicalCoterie
 from repro.coteries.majority import MajorityCoterie, WeightedVotingCoterie
+from repro.coteries.optimizer import (
+    Strategy,
+    StrategyCache,
+    optimize_strategy,
+)
 from repro.coteries.properties import (
     minimal_quorums,
     verify_coterie,
@@ -69,6 +74,8 @@ __all__ = [
     "HierarchicalCoterie",
     "MajorityCoterie",
     "ReadOneWriteAllCoterie",
+    "Strategy",
+    "StrategyCache",
     "TreeCoterie",
     "WallCoterie",
     "WeightedVotingCoterie",
@@ -79,6 +86,7 @@ __all__ = [
     "dominating_witness",
     "is_dominated",
     "minimal_quorums",
+    "optimize_strategy",
     "transversals",
     "verify_coterie",
     "verify_monotonicity",

@@ -35,9 +35,12 @@ or recompiles a structure per operation.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
 
 from repro.coteries.base import Coterie, CoterieRule, QuorumEvaluator, _stable_hash
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type checking
+    from repro.coteries.optimizer import Strategy
 from repro.coteries.grid import GridCoterie
 from repro.coteries.majority import WeightedVotingCoterie
 
@@ -94,6 +97,39 @@ def minimal_quorum(coterie: Coterie, available: Iterable[str], kind: str,
 
 
 # -- structure-aware salted selection ----------------------------------------
+
+#: The rank of a peer with no (or a decayed) latency measurement.  An
+#: unknown peer ranks as fast -- polling it is how we learn, mirroring
+#: how unsuspected equals presumed-up -- so a peer *measured* at exactly
+#: 0.0 is indistinguishable from an unknown one by definition, not by a
+#: filtering accident.
+UNKNOWN_SCORE = 0.0
+
+
+def _effective_scores(coterie: Coterie,
+                      scores: Optional[Mapping[str, float]]
+                      ) -> Optional[dict]:
+    """The per-node ranking map for one plan, or None for a no-op.
+
+    Every coterie node gets an explicit entry (peers missing from
+    *scores* at :data:`UNKNOWN_SCORE`), so "partially scored" clusters
+    have a defined tie-break instead of depending on which entries a
+    truthiness filter dropped.  The previous ``score > 0.0`` filter
+    silently discarded peers whose EWMA was exactly 0.0 -- harmless for
+    the pick itself (the pickers floor missing names at 0.0 anyway) but
+    it made an all-equal *non-zero* score map look "ranked" and routed
+    it through the structural planners.  Collapsing every all-equal map
+    to None makes the documented property structural: an empty or
+    all-equal score map IS the blind draw.
+    """
+    if not scores:
+        return None
+    ranked = {name: scores.get(name, UNKNOWN_SCORE)
+              for name in coterie.nodes}
+    if len(set(ranked.values())) <= 1:
+        return None  # all-equal ranking cannot prefer anyone: blind draw
+    return ranked
+
 
 def _best(candidates: list, scores: Optional[Mapping[str, float]],
           salt: str, attempt: int, extra: str) -> str:
@@ -182,15 +218,17 @@ def _voting_plan(coterie: WeightedVotingCoterie, live: frozenset, kind: str,
 
 def plan_quorum(coterie: Coterie, kind: str, avoid: Iterable[str] = (),
                 salt: str = "", attempt: int = 0,
-                scores: Optional[Mapping[str, float]] = None) -> list:
+                scores: Optional[Mapping[str, float]] = None,
+                strategy: Optional["Strategy"] = None) -> list:
     """A concrete quorum of *kind* over the coterie, routed around *avoid*.
 
     The contract every caller relies on:
 
     * the result is always a quorum of the rule (so polling it is always
       correct -- planner choices never touch quorum intersection);
-    * with an empty *avoid* set and no *scores*, the result is exactly
-      the blind salted draw, so healthy same-seed runs are unchanged;
+    * with an empty *avoid* set, no *scores*, and no *strategy*, the
+      result is exactly the blind salted draw, so healthy same-seed
+      runs are unchanged;
     * when the nodes outside *avoid* contain a quorum, the result avoids
       every suspected node; otherwise the blind draw is returned as the
       correctness fallback (false suspicion never blocks an available
@@ -199,22 +237,32 @@ def plan_quorum(coterie: Coterie, kind: str, avoid: Iterable[str] = (),
     *scores* (peer -> expected RTT, from ``LivenessView.latency_scores``)
     turns binary routing into *graded* routing: the structured families
     rank candidates fastest-first, demoting gray (slow-but-alive) nodes
-    to last resort instead of excluding them, and nodes without a score
-    rank as fast (0.0).  Scores never change which sets are quorums --
-    only which quorum gets polled -- and an empty or all-equal score map
-    degrades to exactly the unscored behaviour.  Generic families ignore
-    scores (their constructive search has no per-slot choice to rank).
+    to last resort instead of excluding them.  Peers without a score
+    rank as fast (:data:`UNKNOWN_SCORE`, so a peer measured at exactly
+    0.0 ties with unknown peers by definition); scores never change
+    which sets are quorums -- only which quorum gets polled -- and an
+    empty or all-equal score map degrades to exactly the unscored
+    behaviour.  Generic families ignore scores (their constructive
+    search has no per-slot choice to rank).
+
+    *strategy* (a :class:`repro.coteries.optimizer.Strategy`) replaces
+    the canonical plan with a seeded weighted draw from the optimized
+    quorum distribution.  Every quorum in a strategy's support is a
+    true quorum of the rule, so the contract above is unchanged; when
+    no support quorum clears the *avoid* set the call falls through to
+    the constructive planner (availability beats optimality).
     """
     if kind not in ("read", "write"):
         raise ValueError(f"kind must be 'read' or 'write', got {kind!r}")
+    avoid = coterie.restrict(avoid)
+    if strategy is not None:
+        sampled = strategy.sample(kind, avoid=avoid, salt=salt,
+                                  attempt=attempt)
+        if sampled is not None:
+            return sampled
     draw = (coterie.write_quorum(salt=salt, attempt=attempt) if kind == "write"
             else coterie.read_quorum(salt=salt, attempt=attempt))
-    avoid = coterie.restrict(avoid)
-    if scores:
-        ranked = {name: score for name, score in scores.items()
-                  if score > 0.0}
-    else:
-        ranked = None
+    ranked = _effective_scores(coterie, scores)
     if not avoid and not ranked:
         return draw
     if not avoid:

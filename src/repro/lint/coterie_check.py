@@ -20,6 +20,14 @@ up-set mask:
   non-empty families;
 * **quorum function sanity** -- generated quorums lie inside V and
   satisfy their own predicates;
+* **strategy soundness** -- the workload-aware strategy optimizer
+  (:func:`repro.coteries.optimizer.optimize_strategy`) is checked at
+  several read/write mixes against the same reference mask tables:
+  every quorum in a strategy's support satisfies the family's own
+  predicate, the weights form a probability distribution, every
+  *sampled* quorum is a true quorum, and sampling is bit-identical
+  across two same-seed passes (the determinism contract every layer
+  above relies on);
 * **Lemma-1 transitions** -- for every *installable* new epoch E'
   (one containing a write quorum of the current coterie, the paper's
   Lemma-1 precondition): no read quorum of the old coterie survives
@@ -159,6 +167,10 @@ def check_family(family: str, rule: CoterieRule, n: int,
     findings.extend(_axiom_findings(family, n, nodes, reads, writes))
 
     _check_quorum_function(coterie, nodes, bad)
+
+    if not findings:
+        findings.extend(_strategy_findings(family, n, coterie, nodes,
+                                           reads, writes))
 
     n_transitions = 0
     if transitions and not findings:
@@ -337,6 +349,83 @@ def _check_quorum_function(coterie: Coterie, nodes: Sequence[str],
                 bad("quorum-function",
                     f"generated {kind} quorum {sorted(quorum)} fails "
                     f"its own predicate")
+
+
+#: read/write mixes the strategy sweep verifies per family and N.
+STRATEGY_MIXES = (0.5, 0.9)
+
+#: same-seed sample draws compared bit-for-bit per kind and mix.
+STRATEGY_DRAWS = 8
+
+
+def _strategy_findings(family: str, n: int, coterie: Coterie,
+                       nodes: Sequence[str], reads: list, writes: list
+                       ) -> list:
+    """Check the strategy optimizer against the reference mask tables.
+
+    Runs only when the family itself passed the axiom sweep, so a
+    strategy finding always means the *optimizer* (or its sampler)
+    produced a non-quorum, not that the family is broken.
+    """
+    from repro.coteries.optimizer import optimize_strategy
+
+    out: list[SemanticFinding] = []
+    index = {name: i for i, name in enumerate(nodes)}
+    tables = {"read": reads, "write": writes}
+
+    def bad(check: str, message: str) -> None:
+        out.append(SemanticFinding(family, n, check, message))
+
+    for fraction in STRATEGY_MIXES:
+        try:
+            strategy = optimize_strategy(coterie, fraction, seed=0)
+        except CoterieError as exc:
+            bad("strategy-build",
+                f"optimizer failed at read fraction {fraction:g}: {exc}")
+            continue
+        for kind in ("read", "write"):
+            table = tables[kind]
+            support = strategy.support(kind)
+            weights = strategy.weights(kind)
+            if not support:
+                bad("strategy-support",
+                    f"fr={fraction:g}: empty {kind} support")
+                continue
+            if any(w < 0 for w in weights) or \
+                    abs(sum(weights) - 1.0) > 1e-6:
+                bad("strategy-weights",
+                    f"fr={fraction:g}: {kind} weights are not a "
+                    f"distribution (sum {sum(weights):.6f})")
+            for quorum in support:
+                mask = sum(1 << index[name] for name in quorum)
+                if not table[mask]:
+                    bad("strategy-support",
+                        f"fr={fraction:g}: {kind} support member "
+                        f"{sorted(quorum)} is not a {kind} quorum")
+                    break
+            draws = [strategy.sample(kind, salt="lint", attempt=i)
+                     for i in range(STRATEGY_DRAWS)]
+            replay = [strategy.sample(kind, salt="lint", attempt=i)
+                      for i in range(STRATEGY_DRAWS)]
+            if draws != replay:
+                bad("strategy-determinism",
+                    f"fr={fraction:g}: same-seed {kind} sampling is "
+                    f"not bit-identical")
+            for quorum in draws:
+                if quorum is None:
+                    bad("strategy-sample",
+                        f"fr={fraction:g}: {kind} sample returned "
+                        f"None with an empty avoid set")
+                    break
+                mask = sum(1 << index[name] for name in quorum)
+                if not table[mask]:
+                    bad("strategy-sample",
+                        f"fr={fraction:g}: sampled {kind} quorum "
+                        f"{sorted(quorum)} is not a {kind} quorum")
+                    break
+        if out:
+            break  # one witness mix is enough
+    return out
 
 
 def _check_transitions(family: str, n: int, rule: CoterieRule,

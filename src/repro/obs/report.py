@@ -115,6 +115,12 @@ def build_summary(snapshot: dict) -> dict:
         "planner": {
             "detours": _sum_counters(counters, "planner_detours"),
         },
+        "strategy": {
+            "samples": _group_counters(counters, "strategy_samples", "kind"),
+            "read_one": _group_counters(counters, "strategy_read_one",
+                                        "outcome"),
+            "rebuilds": _sum_counters(counters, "strategy_rebuilds"),
+        },
         "staleness": {
             "marks": _sum_counters(counters, "stale_marks"),
             "healed": heal_lag.get("count", 0),
@@ -154,6 +160,7 @@ def validate_summary(summary: dict) -> dict:
                      "hedges", "late_responses")),
             ("overload", ("shed", "degraded_reads")),
             ("planner", ("detours",)),
+            ("strategy", ("samples", "read_one", "rebuilds")),
             ("staleness", ("marks", "healed", "heal_lag")),
             ("twophase", ("commits", "aborts")),
             ("propagation", ("gave_up", "reseeded")),
@@ -220,6 +227,15 @@ def render_table(summary: dict) -> str:
         lines.append(f"  hedges: {fired or 'none'}; "
                      f"late responses harvested: "
                      f"{rpc.get('late_responses', 0)}")
+    strategy = summary.get("strategy", {})
+    if strategy.get("samples") or strategy.get("read_one"):
+        samples = ",".join(f"{k}={v}" for k, v in
+                           sorted(strategy["samples"].items()))
+        tier = ",".join(f"{k}={v}" for k, v in
+                        sorted(strategy["read_one"].items()))
+        lines.append(f"strategy: samples[{samples or 'none'}] "
+                     f"read_one[{tier or 'none'}] "
+                     f"rebuilds={strategy.get('rebuilds', 0)}")
     overload = summary.get("overload", {})
     if overload.get("shed") or overload.get("degraded_reads"):
         lines.append(f"overload: shed={overload.get('shed', 0)} "

@@ -75,6 +75,48 @@ class TestObservation:
             LivenessView(env, -1.0)
 
 
+class TestRankSnapshot:
+    """Pin the regression where ``rank()`` called ``latency_score()``
+    inside the sort key: scoring deletes expired entries mid-sort, a
+    mutation hidden inside a read-only-looking call (and a crash when
+    the peers iterable is a view over the table itself)."""
+
+    def test_rank_orders_fastest_first_with_name_tie_break(self):
+        _env, view = make_view()
+        view.observe_latency("n2", 0.5)
+        view.observe_latency("n3", 0.1)
+        # n1 unmeasured: ranks as fast (0.0), ahead of measured peers
+        assert view.rank(["n3", "n1", "n2"]) == ["n1", "n3", "n2"]
+
+    def test_rank_over_the_tables_own_keys_with_expired_entries(self):
+        env, view = make_view(ttl=10.0)
+        view.observe_latency("n1", 0.5)
+        env.run(until=5.0)
+        view.observe_latency("n2", 0.1)
+        env.run(until=12.0)  # n1's entry is now expired, n2's is live
+        # iterating the internal table directly: scoring inside the
+        # sort key would delete n1's expired entry from the table the
+        # peers view reads -- the up-front snapshot does all pruning
+        # before the peers iterable is consumed, so the call is safe
+        # and sees one consistent table state
+        assert view.rank(view._latency.keys()) == ["n2"]
+        # a materialized peer list keeps expired peers, ranked as
+        # unknown-fast (score 0.0)
+        view.observe_latency("n1", 0.5)
+        env.run(until=25.0)
+        assert view.rank(["n2", "n1"]) == ["n1", "n2"]
+
+    def test_rank_is_consistent_when_entries_expire_mid_call(self):
+        env, view = make_view(ttl=10.0)
+        view.observe_latency("n1", 0.9)
+        view.observe_latency("n2", 0.2)
+        env.run(until=11.0)  # both expired
+        # one snapshot up front: every peer scores 0.0, so the order is
+        # purely the name tie-break -- per-element scoring could see
+        # different table states for different peers
+        assert view.rank(["n2", "n1", "n3"]) == ["n1", "n2", "n3"]
+
+
 class TestServerIntegration:
     def test_server_suspects_crashed_node_and_crash_clears_own_view(self):
         from repro.core.store import ReplicatedStore

@@ -2,6 +2,7 @@
 the liveness-aware re-pick on retry."""
 
 from repro.core.config import ProtocolConfig
+from repro.core.messages import WriteResult
 from repro.core.store import ReplicatedStore
 
 
@@ -75,6 +76,56 @@ class TestBackoffGrowth:
             return store.env.now - t0
 
         assert elapsed_with(2.0) > elapsed_with(0.25) + 2.0
+
+
+class TestRetryAfterClamp:
+    """The ``Busy(retry_after)`` backoff stretch must respect *both*
+    clamp bounds.  The stretch previously applied only the
+    ``retry_after_max`` ceiling, so a tiny hint silently no-opted below
+    the ``retry_after_min`` floor the replica's ``_shed()`` promises."""
+
+    def gaps_with_hint(self, hint, **overrides):
+        config = ProtocolConfig(op_retries=1, retry_backoff=1e-4,
+                                **overrides)
+        store = ReplicatedStore.create(3, seed=0, config=config)
+        coordinator = store.coordinators["n00"]
+        times = []
+
+        def attempt():
+            times.append(store.env.now)
+            if False:
+                yield  # pragma: no cover - makes this a generator
+            return WriteResult(False, case="no-quorum", op_id="t",
+                               polls=1, retry_after=hint)
+
+        process = store.nodes["n00"].spawn(
+            coordinator._with_retries(attempt), name="t")
+        store.join(process)
+        return [b - a for a, b in zip(times, times[1:])], config
+
+    def test_tiny_hint_is_raised_to_the_floor(self):
+        gaps, config = self.gaps_with_hint(1e-9)
+        assert gaps and gaps[0] >= config.retry_after_min
+
+    def test_huge_hint_is_capped_at_the_ceiling(self):
+        gaps, config = self.gaps_with_hint(100.0)
+        # the stretched delay is the clamped hint (the exponential base
+        # is negligible here); allow jitter slack on the base term
+        assert gaps and gaps[0] <= config.retry_after_max * 1.01
+
+    def test_no_hint_keeps_the_plain_backoff(self):
+        gaps, config = self.gaps_with_hint(0.0)
+        # no stretch: the gap is just backoff * jitter, far below the
+        # retry_after_min floor
+        assert gaps and gaps[0] < config.retry_after_min
+
+    def test_shed_replica_hint_respects_both_bounds(self):
+        # end to end: a shedding replica's own hint goes through the
+        # same clamp (config.clamp_retry_after is the single definition)
+        config = ProtocolConfig(busy_queue_limit=1)
+        assert config.clamp_retry_after(0.0) == config.retry_after_min
+        assert config.clamp_retry_after(1e9) == config.retry_after_max
+        assert config.clamp_retry_after(0.5) == 0.5
 
 
 class TestRetryRoutesAroundFailures:

@@ -1,0 +1,169 @@
+"""End-to-end tests for the ``quorum_strategy`` config knob: the
+optimized strategy and the read-one tier running under the full
+protocol stack (coordinator, replica, history checker)."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.coordinator import _MIX_WARMUP_OPS
+from repro.core.store import ReplicatedStore
+from repro.obs.report import build_summary, validate_summary
+
+
+def run_mix(store, ops, read_fraction):
+    """A deterministic interleaved mix (read i iff i mod 10 < fr*10)."""
+    threshold = int(round(read_fraction * 10))
+    for i in range(ops):
+        if i % 10 < threshold:
+            assert store.read().ok
+        else:
+            assert store.write({"k": i}).ok
+
+
+class TestOptimizedStrategy:
+    def test_read_heavy_mix_engages_the_tier_and_verifies(self):
+        config = ProtocolConfig(quorum_strategy="optimized")
+        store = ReplicatedStore.create(9, seed=7, config=config)
+        run_mix(store, 60, 0.9)
+        store.verify()
+        summary = validate_summary(
+            build_summary(store.metrics_snapshot()))
+        strategy = summary["strategy"]
+        assert strategy["read_one"].get("ok", 0) > 0
+        assert strategy["samples"].get("write", 0) > 0
+        assert strategy["rebuilds"] > 0
+
+    def test_tier_reads_are_recorded_as_bounded_staleness(self):
+        config = ProtocolConfig(quorum_strategy="optimized")
+        store = ReplicatedStore.create(9, seed=7, config=config)
+        run_mix(store, 60, 0.9)
+        degraded = store.history.degraded_reads()
+        assert degraded  # tier reads landed in the bounded-staleness bin
+        assert all(record.case == "read-one" for record in degraded)
+        # strict reads (warmup, quorum-strategy phase) stay linearizable
+        assert store.history.successful_reads()
+
+    def test_same_seed_runs_are_identical(self):
+        def run(seed):
+            config = ProtocolConfig(quorum_strategy="optimized")
+            store = ReplicatedStore.create(9, seed=seed, config=config)
+            run_mix(store, 50, 0.9)
+            return ([(r.kind, r.coordinator, r.case, r.start, r.end,
+                      r.version) for r in store.history.operations],
+                    store.versions())
+
+        assert run(11) == run(11)
+
+    def test_mixed_workload_without_tier_still_verifies(self):
+        # 2:1 reads: the observed mix settles below the tier crossover,
+        # so ops flow through the optimized quorum distribution
+        config = ProtocolConfig(quorum_strategy="optimized")
+        store = ReplicatedStore.create(9, seed=3, config=config)
+        for i in range(45):
+            if i % 3 < 2:
+                assert store.read().ok
+            else:
+                assert store.write({"k": i}).ok
+        store.verify()
+        summary = build_summary(store.metrics_snapshot())
+        assert summary["strategy"]["samples"].get("read", 0) > 0
+
+    def test_configured_fraction_skips_mix_observation(self):
+        config = ProtocolConfig(quorum_strategy="optimized",
+                                strategy_read_fraction=0.9)
+        store = ReplicatedStore.create(9, seed=5, config=config)
+        # the tier engages from op 1 -- no warmup needed
+        for _ in range(_MIX_WARMUP_OPS // 2):
+            assert store.read().ok
+        summary = build_summary(store.metrics_snapshot())
+        assert summary["strategy"]["read_one"].get("ok", 0) > 0
+
+    def test_strategy_off_by_default(self):
+        store = ReplicatedStore.create(9, seed=0)
+        run_mix(store, 20, 0.9)
+        store.verify()
+        summary = build_summary(store.metrics_snapshot())
+        assert summary["strategy"]["samples"] in ({}, {"read": 0,
+                                                       "write": 0})
+        assert summary["strategy"]["rebuilds"] == 0
+
+
+class TestReadDominantMode:
+    def test_forced_tier_serves_single_replica_reads(self):
+        config = ProtocolConfig(quorum_strategy="read-dominant")
+        store = ReplicatedStore.create(9, seed=5, config=config)
+        run_mix(store, 30, 0.9)
+        store.verify()
+        summary = build_summary(store.metrics_snapshot())
+        assert summary["strategy"]["read_one"].get("ok", 0) > 0
+
+    def test_epoch_shrink_disables_the_tier(self):
+        config = ProtocolConfig(quorum_strategy="read-dominant")
+        store = ReplicatedStore.create(9, seed=5, config=config)
+        run_mix(store, 30, 0.9)
+        store.crash("n08")
+        store.advance(5)
+        assert store.check_epoch().ok
+        before = build_summary(
+            store.metrics_snapshot())["strategy"]["read_one"]
+        for _ in range(10):
+            assert store.read().ok
+        after = build_summary(
+            store.metrics_snapshot())["strategy"]["read_one"]
+        # the shrunken epoch cannot cover all nodes with write-all, so
+        # the tier turns off: no new tier reads, quorum reads succeed
+        assert after.get("ok", 0) == before.get("ok", 0)
+        store.verify()
+
+    def test_tier_read_falls_back_when_the_target_is_down(self):
+        config = ProtocolConfig(quorum_strategy="read-dominant")
+        store = ReplicatedStore.create(9, seed=2, config=config)
+        run_mix(store, 20, 0.9)
+        # crash a node but do NOT shrink the epoch: the tier stays on
+        # and some picks land on the dead node, falling back to quorums
+        store.crash("n04")
+        for _ in range(20):
+            assert store.read(via="n00").ok
+        summary = build_summary(store.metrics_snapshot())
+        assert summary["strategy"]["read_one"].get("fallback", 0) > 0
+        store.verify()
+
+
+class TestStrategyUnderFaults:
+    def test_optimized_strategy_survives_crash_and_recovery(self):
+        config = ProtocolConfig(quorum_strategy="optimized")
+        store = ReplicatedStore.create(9, seed=9, config=config)
+        run_mix(store, 30, 0.9)
+        store.crash("n07")
+        store.advance(5)
+        assert store.check_epoch().ok
+        run_mix(store, 20, 0.9)
+        store.recover("n07")
+        assert store.check_epoch().ok
+        store.settle()
+        run_mix(store, 20, 0.9)
+        store.verify()
+
+    def test_final_write_is_visible_after_tier_reads(self):
+        config = ProtocolConfig(quorum_strategy="optimized",
+                                strategy_read_fraction=0.95)
+        store = ReplicatedStore.create(9, seed=4, config=config)
+        assert store.write({"k": "final"}).ok
+        store.settle()
+        result = store.read()
+        assert result.ok
+        # write-all writes reach every replica, so even a tier read
+        # sees the settled value
+        assert result.value.get("k") == "final"
+
+
+class TestConfigValidation:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(quorum_strategy="fancy").validate()
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(strategy_read_fraction=1.5).validate()
+        ProtocolConfig(strategy_read_fraction=-1.0).validate()
+        ProtocolConfig(strategy_read_fraction=0.5).validate()

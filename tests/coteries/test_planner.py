@@ -140,6 +140,62 @@ class TestPlanQuorum:
             plan_quorum(MajorityCoterie(NODES9), "scan")
 
 
+class TestScoreFilterRegression:
+    """Pin the unknown-peer semantics of the ranked plan (the previous
+    ``score > 0.0`` filter silently dropped peers whose latency EWMA
+    was exactly 0.0 and let all-equal non-zero maps bypass the
+    documented blind-draw property)."""
+
+    @pytest.mark.parametrize("kind", ["read", "write"])
+    def test_all_equal_nonzero_scores_are_exactly_the_blind_draw(self, kind):
+        coterie = GridCoterie(NODES9)
+        scores = {name: 0.005 for name in NODES9}
+        for salt in ("n00", "n07"):
+            for attempt in (0, 3, 11):
+                draw = (coterie.write_quorum(salt=salt, attempt=attempt)
+                        if kind == "write"
+                        else coterie.read_quorum(salt=salt, attempt=attempt))
+                plan = plan_quorum(coterie, kind, salt=salt,
+                                   attempt=attempt, scores=scores)
+                assert plan == draw
+
+    def test_measured_zero_ties_with_unknown_peers(self):
+        coterie = GridCoterie(NODES9)
+        # two peers measured at exactly 0.0, the rest unmeasured: every
+        # rank is UNKNOWN_SCORE, so this must be the blind draw too --
+        # not a partially filtered map routed through the ranked path
+        scores = {"n00": 0.0, "n04": 0.0}
+        for attempt in (0, 2):
+            draw = coterie.read_quorum(salt="s", attempt=attempt)
+            assert plan_quorum(coterie, "read", salt="s", attempt=attempt,
+                               scores=scores) == draw
+
+    def test_measured_zero_peer_is_preferred_not_dropped(self):
+        coterie = GridCoterie(NODES9)
+        # one column scored slow except a single 0.0-scored member: the
+        # ranked plan must pick that member for its column (a filter
+        # that drops 0.0 entries cannot see the preference)
+        column = coterie.columns[0]
+        scores = {name: 0.1 for name in column}
+        scores[column[1]] = 0.0
+        for attempt in range(4):
+            plan = plan_quorum(coterie, "read", salt="x", attempt=attempt,
+                               scores=scores)
+            assert column[1] in plan
+            assert coterie.is_read_quorum(frozenset(plan))
+
+    def test_distinct_scores_still_rank(self):
+        coterie = GridCoterie(NODES9)
+        # make one member of each column clearly fastest: the ranked
+        # read plan is exactly those members, regardless of salt
+        fast = [column[2] for column in coterie.columns]
+        scores = {name: (0.001 if name in fast else 0.1)
+                  for name in NODES9}
+        for salt in ("a", "b"):
+            plan = plan_quorum(coterie, "read", salt=salt, scores=scores)
+            assert sorted(plan) == sorted(fast)
+
+
 class TestCompiledCoterieCache:
     def test_same_epoch_list_returns_same_instances(self):
         cache = CompiledCoterieCache(GridCoterie)

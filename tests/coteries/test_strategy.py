@@ -1,0 +1,352 @@
+"""Tests for the workload-aware quorum strategy optimizer
+(``repro.coteries.optimizer``): support soundness, deterministic
+sampling, the read-one tier pricing, the strategy cache, and the
+``plan_quorum(..., strategy=)`` wiring."""
+
+import pytest
+
+from repro.coteries import (
+    CoterieError,
+    GridCoterie,
+    MajorityCoterie,
+    TreeCoterie,
+)
+from repro.coteries.optimizer import (
+    READ_ONE_MARGIN,
+    Strategy,
+    StrategyCache,
+    enumerate_candidates,
+    optimize_strategy,
+)
+from repro.coteries.planner import plan_quorum
+
+NODES9 = [f"n{i:02d}" for i in range(9)]
+NODES25 = [f"n{i:02d}" for i in range(25)]
+
+FAMILIES = [
+    ("grid", lambda nodes: GridCoterie(nodes)),
+    ("majority", lambda nodes: MajorityCoterie(nodes)),
+    ("tree", lambda nodes: TreeCoterie(nodes)),
+]
+
+
+class TestSupportSoundness:
+    @pytest.mark.parametrize("name,make", FAMILIES)
+    @pytest.mark.parametrize("fraction", [0.0, 0.5, 0.9, 1.0])
+    def test_every_support_quorum_is_a_true_quorum(self, name, make,
+                                                   fraction):
+        coterie = make(NODES9)
+        strategy = optimize_strategy(coterie, fraction, seed=3)
+        for kind, predicate in (("read", coterie.is_read_quorum),
+                                ("write", coterie.is_write_quorum)):
+            support = strategy.support(kind)
+            assert support
+            for quorum in support:
+                assert predicate(frozenset(quorum)), (kind, quorum)
+
+    @pytest.mark.parametrize("name,make", FAMILIES)
+    def test_weights_are_a_distribution(self, name, make):
+        strategy = optimize_strategy(make(NODES9), 0.75, seed=0)
+        for kind in ("read", "write"):
+            weights = strategy.weights(kind)
+            assert len(weights) == len(strategy.support(kind))
+            assert all(w > 0 for w in weights)
+            assert sum(weights) == pytest.approx(1.0)
+
+    def test_large_n_pool_candidates_are_true_quorums(self):
+        coterie = GridCoterie(NODES25)  # 25 > ENUMERATION_MAX_NODES
+        for kind, predicate in (("read", coterie.is_read_quorum),
+                                ("write", coterie.is_write_quorum)):
+            candidates = enumerate_candidates(coterie, kind)
+            assert candidates
+            for quorum in candidates:
+                assert predicate(frozenset(quorum))
+
+    def test_large_n_strategy_builds_and_samples(self):
+        coterie = GridCoterie(NODES25)
+        strategy = optimize_strategy(coterie, 0.5, seed=1,
+                                     allow_read_one=False)
+        sampled = strategy.sample("write", salt="c", attempt=0)
+        assert coterie.is_write_quorum(frozenset(sampled))
+
+    def test_rejects_bad_read_fraction(self):
+        coterie = GridCoterie(NODES9)
+        with pytest.raises(CoterieError):
+            optimize_strategy(coterie, -0.1)
+        with pytest.raises(CoterieError):
+            optimize_strategy(coterie, 1.1)
+
+    def test_duplicate_support_entries_are_merged(self):
+        quorum = tuple(sorted(NODES9[:5]))
+        strategy = Strategy(NODES9, 0, 0.5, "test",
+                            read_quorums=(quorum, quorum),
+                            read_weights=(0.25, 0.75),
+                            write_quorums=(tuple(NODES9),),
+                            write_weights=(1.0,))
+        assert strategy.read_quorums == (quorum,)
+        assert strategy.read_weights == (1.0,)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(CoterieError):
+            Strategy(NODES9, 0, 0.5, "test",
+                     read_quorums=(tuple(NODES9),),
+                     read_weights=(-1.0,),
+                     write_quorums=(tuple(NODES9),),
+                     write_weights=(1.0,))
+
+
+class TestSampling:
+    def test_same_seed_sampling_is_bit_identical(self):
+        coterie = GridCoterie(NODES9)
+        a = optimize_strategy(coterie, 0.9, seed=7)
+        b = optimize_strategy(coterie, 0.9, seed=7)
+        for kind in ("read", "write"):
+            for attempt in range(16):
+                assert a.sample(kind, salt="n03", attempt=attempt) == \
+                    b.sample(kind, salt="n03", attempt=attempt)
+
+    def test_salt_and_attempt_give_independent_draws(self):
+        strategy = optimize_strategy(GridCoterie(NODES9), 0.9, seed=0,
+                                     allow_read_one=False)
+        draws = {tuple(strategy.sample("read", salt=s, attempt=a))
+                 for s in ("n00", "n01", "n02")
+                 for a in range(8)}
+        assert len(draws) > 1  # the distribution actually spreads
+
+    def test_avoid_filters_the_support(self):
+        coterie = GridCoterie(NODES9)
+        strategy = optimize_strategy(coterie, 0.5, seed=0,
+                                     allow_read_one=False)
+        avoid = {NODES9[0]}
+        for attempt in range(8):
+            sampled = strategy.sample("read", avoid=avoid, salt="x",
+                                      attempt=attempt)
+            assert sampled is not None
+            assert avoid.isdisjoint(sampled)
+            assert coterie.is_read_quorum(frozenset(sampled))
+
+    def test_avoid_exhausting_the_support_returns_none(self):
+        strategy = optimize_strategy(GridCoterie(NODES9), 0.5, seed=0,
+                                     allow_read_one=False)
+        # every read quorum needs one node per column: avoiding a full
+        # column leaves no support quorum standing
+        column = set(GridCoterie(NODES9).columns[0])
+        assert strategy.sample("read", avoid=column, salt="x") is None
+
+    def test_rejects_bad_kind(self):
+        strategy = optimize_strategy(GridCoterie(NODES9), 0.5)
+        with pytest.raises(CoterieError):
+            strategy.sample("scan")
+
+    def test_pick_read_replica_is_deterministic_and_respects_avoid(self):
+        strategy = optimize_strategy(GridCoterie(NODES9), 0.9, seed=5,
+                                     force_read_one=True)
+        picks = [strategy.pick_read_replica(salt="c", attempt=a)
+                 for a in range(16)]
+        replay = [strategy.pick_read_replica(salt="c", attempt=a)
+                  for a in range(16)]
+        assert picks == replay
+        assert all(p in NODES9 for p in picks)
+        assert len(set(picks)) > 1  # spreads over replicas
+        avoid = set(NODES9[:8])
+        assert strategy.pick_read_replica(avoid=avoid) == NODES9[8]
+        assert strategy.pick_read_replica(avoid=set(NODES9)) is None
+
+
+class TestReadOneTier:
+    def test_tier_engages_on_read_heavy_grid(self):
+        strategy = optimize_strategy(GridCoterie(NODES9), 0.9, seed=0)
+        assert strategy.read_one_tier
+        # write-all: the single write quorum covers every node
+        assert strategy.write_quorums == (tuple(NODES9),)
+        # tier load is exactly fr/N + (1 - fr)
+        assert strategy.max_load == pytest.approx(0.9 / 9 + 0.1)
+
+    def test_tier_stays_off_at_two_to_one_grid(self):
+        # the 3x3 grid's busiest-node loads cross at read fraction 2/3;
+        # at (and below) the crossover the margin keeps the quorum
+        # strategy, whose writes tolerate failures
+        strategy = optimize_strategy(GridCoterie(NODES9), 2.0 / 3.0, seed=0)
+        assert not strategy.read_one_tier
+        assert len(strategy.write_quorums) > 1
+
+    def test_allow_read_one_false_disables_the_tier(self):
+        strategy = optimize_strategy(GridCoterie(NODES9), 0.95, seed=0,
+                                     allow_read_one=False)
+        assert not strategy.read_one_tier
+
+    def test_force_read_one_overrides_the_pricing(self):
+        strategy = optimize_strategy(GridCoterie(NODES9), 0.1, seed=0,
+                                     force_read_one=True)
+        assert strategy.read_one_tier
+
+    def test_tier_keeps_optimized_read_support_as_fallback(self):
+        coterie = GridCoterie(NODES9)
+        strategy = optimize_strategy(coterie, 0.9, seed=0)
+        assert strategy.read_one_tier
+        sampled = strategy.sample("read", salt="x", attempt=0)
+        assert coterie.is_read_quorum(frozenset(sampled))
+
+    def test_margin_is_respected(self):
+        # a mix where the tier wins but by less than the margin keeps
+        # the quorum strategy: find it by scanning near the crossover
+        coterie = GridCoterie(NODES9)
+        engaged = [optimize_strategy(coterie, fr / 100.0).read_one_tier
+                   for fr in range(60, 100, 2)]
+        # monotone: once the tier engages it stays engaged as the mix
+        # gets more read-heavy
+        assert engaged == sorted(engaged)
+        assert engaged[-1] and not engaged[0]
+        margin_fr = 2.0 / 3.0 + 0.01
+        near = optimize_strategy(coterie, margin_fr)
+        tier_load = margin_fr / 9 + (1.0 - margin_fr)
+        if tier_load >= near.max_load * (1.0 - READ_ONE_MARGIN):
+            assert not near.read_one_tier
+
+
+class TestLoads:
+    def test_lp_strategy_beats_the_singleton_strategy(self):
+        coterie = GridCoterie(NODES9)
+        strategy = optimize_strategy(coterie, 0.5, seed=0,
+                                     allow_read_one=False)
+        # the canonical planner uses one quorum per (salt, attempt); a
+        # fixed single pair concentrates load 0.5 + 0.5 on the overlap
+        singleton = Strategy(
+            NODES9, 0, 0.5, "test",
+            read_quorums=(tuple(sorted(coterie.read_quorum(salt="x"))),),
+            read_weights=(1.0,),
+            write_quorums=(tuple(sorted(coterie.write_quorum(salt="x"))),),
+            write_weights=(1.0,))
+        assert strategy.max_load < singleton.max_load
+
+    def test_grid_lp_load_matches_the_analytic_value(self):
+        # 3x3 grid at fr = 2/3: reads cost 3 nodes, writes 5, and the LP
+        # balances both distributions perfectly: (2/3*3 + 1/3*5)/9
+        strategy = optimize_strategy(GridCoterie(NODES9), 2.0 / 3.0,
+                                     allow_read_one=False)
+        if strategy.source == "lp":
+            assert strategy.max_load == pytest.approx(11.0 / 27.0, abs=1e-6)
+
+    def test_search_fallback_builds_a_sound_strategy(self, monkeypatch):
+        import repro.coteries.optimizer as optimizer
+        monkeypatch.setattr(optimizer, "_linprog_or_none", lambda: None)
+        coterie = GridCoterie(NODES9)
+        strategy = optimize_strategy(coterie, 0.5, seed=0,
+                                     allow_read_one=False)
+        assert strategy.source == "search"
+        for kind, predicate in (("read", coterie.is_read_quorum),
+                                ("write", coterie.is_write_quorum)):
+            assert sum(strategy.weights(kind)) == pytest.approx(1.0)
+            for quorum in strategy.support(kind):
+                assert predicate(frozenset(quorum))
+
+    def test_latency_scores_tilt_toward_fast_quorums(self):
+        coterie = GridCoterie(NODES9)
+        # one grid column is 10x slower: its quorums should lose weight
+        slow = set(coterie.columns[0])
+        scores = {name: (0.1 if name in slow else 0.01) for name in NODES9}
+        tilted = optimize_strategy(coterie, 0.5, scores=scores,
+                                   allow_read_one=False)
+        if tilted.source == "lp":
+            slow_weight = sum(
+                w for q, w in zip(tilted.read_quorums, tilted.read_weights)
+                if slow.intersection(q))
+            flat = optimize_strategy(coterie, 0.5, allow_read_one=False)
+            flat_slow = sum(
+                w for q, w in zip(flat.read_quorums, flat.read_weights)
+                if slow.intersection(q))
+            assert slow_weight <= flat_slow + 1e-9
+
+    def test_describe_is_json_able(self):
+        import json
+
+        strategy = optimize_strategy(GridCoterie(NODES9), 0.9, seed=2)
+        described = json.loads(json.dumps(strategy.describe()))
+        assert described["read_one_tier"] is True
+        assert described["max_load"] == pytest.approx(0.2)
+
+
+class TestStrategyCache:
+    def test_same_bucket_hits_the_cache(self):
+        cache = StrategyCache(seed=0, buckets=16)
+        coterie = GridCoterie(NODES9)
+        a = cache.strategy_for(coterie, 0.50)
+        b = cache.strategy_for(coterie, 0.51)  # same 1/16 bucket
+        assert a is b
+        assert len(cache) == 1
+
+    def test_different_bucket_rebuilds(self):
+        cache = StrategyCache(seed=0, buckets=16)
+        coterie = GridCoterie(NODES9)
+        a = cache.strategy_for(coterie, 0.5)
+        b = cache.strategy_for(coterie, 0.9)
+        assert a is not b
+        assert len(cache) == 2
+
+    def test_allow_flag_is_part_of_the_key(self):
+        cache = StrategyCache(seed=0)
+        coterie = GridCoterie(NODES9)
+        tiered = cache.strategy_for(coterie, 0.9, allow_read_one=True)
+        plain = cache.strategy_for(coterie, 0.9, allow_read_one=False)
+        assert tiered.read_one_tier and not plain.read_one_tier
+
+    def test_rebuild_counter_counts_builds_not_hits(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        cache = StrategyCache(seed=0, metrics=metrics)
+        coterie = GridCoterie(NODES9)
+        cache.strategy_for(coterie, 0.5)
+        cache.strategy_for(coterie, 0.5)
+        cache.strategy_for(coterie, 0.9)
+        assert metrics.snapshot()["counters"]["strategy_rebuilds"] == 2
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = StrategyCache(seed=0, capacity=2)
+        grid = GridCoterie(NODES9)
+        majority = MajorityCoterie(NODES9)
+        a = cache.strategy_for(grid, 0.5)
+        cache.strategy_for(majority, 0.5)
+        cache.strategy_for(grid, 0.5)      # touch: majority is now LRU
+        cache.strategy_for(grid, 0.9)      # evicts the majority entry
+        assert len(cache) == 2
+        assert cache.strategy_for(grid, 0.5) is a
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            StrategyCache(capacity=0)
+
+
+class TestPlannerWiring:
+    def test_plan_quorum_returns_the_strategy_sample(self):
+        coterie = GridCoterie(NODES9)
+        strategy = optimize_strategy(coterie, 0.5, seed=0,
+                                     allow_read_one=False)
+        for kind in ("read", "write"):
+            for attempt in range(4):
+                plan = plan_quorum(coterie, kind, salt="n00",
+                                   attempt=attempt, strategy=strategy)
+                assert plan == strategy.sample(kind, salt="n00",
+                                               attempt=attempt)
+
+    def test_exhausted_strategy_falls_through_to_the_planner(self):
+        coterie = GridCoterie(NODES9)
+        strategy = optimize_strategy(coterie, 0.5, seed=0,
+                                     allow_read_one=False)
+        # avoiding a full column exhausts the read support; the call
+        # must still return a true quorum (the constructive fallback)
+        column = set(coterie.columns[0])
+        plan = plan_quorum(coterie, "read", avoid=column, salt="x",
+                           strategy=strategy)
+        assert coterie.is_read_quorum(frozenset(plan))
+
+    def test_strategy_plan_avoids_suspects(self):
+        coterie = GridCoterie(NODES9)
+        strategy = optimize_strategy(coterie, 0.5, seed=0,
+                                     allow_read_one=False)
+        avoid = {NODES9[4]}
+        for attempt in range(6):
+            plan = plan_quorum(coterie, "read", avoid=avoid, salt="x",
+                               attempt=attempt, strategy=strategy)
+            assert avoid.isdisjoint(plan)
+            assert coterie.is_read_quorum(frozenset(plan))

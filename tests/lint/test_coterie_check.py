@@ -161,6 +161,41 @@ def test_lemma1_intersection_check_fires_on_doctored_tables():
     assert any(f.check == "lemma1-intersection" for f in findings)
 
 
+def test_strategy_sweep_validates_support_and_sampling():
+    """Green families carry the strategy checks implicitly; make the
+    sweep's own machinery visible on one family."""
+    from repro.lint.coterie_check import _strategy_findings
+
+    nodes = [f"n{i}" for i in range(5)]
+    coterie = MajorityCoterie(nodes)
+    full = (1 << 5) - 1
+    reads = [coterie.is_read_quorum({n for i, n in enumerate(nodes)
+                                     if mask >> i & 1})
+             for mask in range(full + 1)]
+    writes = [coterie.is_write_quorum({n for i, n in enumerate(nodes)
+                                       if mask >> i & 1})
+              for mask in range(full + 1)]
+    assert _strategy_findings("majority", 5, coterie, nodes,
+                              reads, writes) == []
+
+
+def test_strategy_sweep_catches_a_non_quorum_support():
+    """Doctored tables that reject the optimizer's support quorums make
+    the strategy check fire (proving it compares against the tables,
+    not against the coterie's own predicates)."""
+    from repro.lint.coterie_check import _strategy_findings
+
+    nodes = [f"n{i}" for i in range(5)]
+    coterie = MajorityCoterie(nodes)
+    full = (1 << 5) - 1
+    reads = [False] * (full + 1)   # "no subset is a read quorum"
+    writes = [False] * (full + 1)
+    findings = _strategy_findings("fixture", 5, coterie, nodes,
+                                  reads, writes)
+    assert any(f.check in ("strategy-support", "strategy-sample")
+               for f in findings)
+
+
 def test_transitions_counted():
     result = check_family("majority", MajorityCoterie, 5)
     assert result.ok

@@ -36,3 +36,4 @@ def test_perf_smoke_gates():
     assert "vector engine smoke" in proc.stdout
     assert "protocol ops smoke" in proc.stdout
     assert "Sharded keyspace at scale" in proc.stdout
+    assert "Workload-aware strategy" in proc.stdout

@@ -9,13 +9,16 @@ Runs, in order:
 * **repro lint --coteries** -- semantic verification of every
   registered coterie family: axioms, engine consistency, and the
   Lemma-1 epoch-transition sweep at N <= 9;
-* **ruff** and **mypy** -- *only if importable*.  The container image
-  does not ship them; CI installs the ``dev`` extra and gets the full
-  gate, while a bare checkout still gets the repro-specific checks.
+* **ruff** and **mypy** -- *only if importable* by default.  The
+  container image does not ship them; CI installs the ``dev`` extra
+  and passes ``--require-external`` so a missing linter is a hard
+  failure there, while a bare checkout still gets the repro-specific
+  checks.
 
 Usage::
 
     PYTHONPATH=src python scripts/check_lint.py [--skip-coteries]
+        [--require-external]
 
 Exit status 0 when every available check passes, 1 otherwise.
 """
@@ -49,6 +52,9 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--skip-coteries", action="store_true",
                         help="skip the (slower) semantic coterie sweep")
+    parser.add_argument("--require-external", action="store_true",
+                        help="fail (instead of skip) when ruff or mypy "
+                             "is not installed -- what CI passes")
     args = parser.parse_args()
 
     env_py = [sys.executable, "-m"]
@@ -58,15 +64,18 @@ def main() -> int:
         ok &= _run("repro lint --coteries",
                    env_py + ["repro", "lint", "--coteries", "--max-n", "9"])
 
-    if _have("ruff"):
-        ok &= _run("ruff", env_py + ["ruff", "check", "src", "tests",
-                                     "scripts", "benchmarks"])
-    else:
-        print("== ruff: not installed, skipped (pip install -e .[dev])\n")
-    if _have("mypy"):
-        ok &= _run("mypy", env_py + ["mypy"])
-    else:
-        print("== mypy: not installed, skipped (pip install -e .[dev])\n")
+    for tool, argv in (("ruff", ["ruff", "check", "src", "tests",
+                                 "scripts", "benchmarks"]),
+                       ("mypy", ["mypy"])):
+        if _have(tool):
+            ok &= _run(tool, env_py + argv)
+        elif args.require_external:
+            print(f"== {tool}: REQUIRED but not installed "
+                  f"(pip install -e .[dev])\n")
+            ok = False
+        else:
+            print(f"== {tool}: not installed, skipped "
+                  f"(pip install -e .[dev])\n")
 
     print("lint gate:", "PASS" if ok else "FAIL")
     return 0 if ok else 1

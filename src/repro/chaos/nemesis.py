@@ -173,7 +173,7 @@ class Nemesis:
                                    f"cut:{src}->{victim}"))
                 self.network.cut_link(src, victim)
                 if trigger.recover_after is not None:
-                    self.env._schedule_call(
+                    self.env.schedule(
                         lambda s=src, v=victim: self.network.restore_link(
                             s, v),
                         delay=trigger.recover_after)
@@ -185,7 +185,7 @@ class Nemesis:
                                    f"slow:{victim}x{trigger.factor:g}"))
                 self.network.faults.slow_node(victim, trigger.factor, peers)
                 if trigger.recover_after is not None:
-                    self.env._schedule_call(
+                    self.env.schedule(
                         lambda v=victim, p=peers:
                         self.network.faults.slow_node(v, 1.0, p),
                         delay=trigger.recover_after)
@@ -201,6 +201,6 @@ class Nemesis:
             finally:
                 self._in_observer = False
             if trigger.recover_after is not None:
-                self.env._schedule_call(node.recover,
-                                        delay=trigger.recover_after)
+                self.env.schedule(node.recover,
+                                  delay=trigger.recover_after)
             return  # at most one trigger per record

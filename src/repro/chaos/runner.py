@@ -74,6 +74,10 @@ class ChaosSpec:
     config: Optional[dict] = None      # ProtocolConfig field overrides
     workload: list = field(default_factory=list)   # client op dicts
     schedule: list = field(default_factory=list)   # fault event dicts
+    # Separate seed for the link-fault RNG stream; None derives it from
+    # ``seed`` (the historical behaviour).  The sanitizer varies this to
+    # explore K perturbation schedules of one fixed workload seed.
+    faults_seed: Optional[int] = None
 
     def to_dict(self) -> dict:
         return {
@@ -85,13 +89,15 @@ class ChaosSpec:
             "config": self.config,
             "workload": list(self.workload),
             "schedule": list(self.schedule),
+            "faults_seed": self.faults_seed,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ChaosSpec":
         spec = cls(**{k: data[k] for k in
                       ("protocol", "n_nodes", "seed", "bug", "policy",
-                       "config", "workload", "schedule") if k in data})
+                       "config", "workload", "schedule", "faults_seed")
+                      if k in data})
         if spec.protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {spec.protocol!r}")
         return spec
@@ -370,8 +376,8 @@ def _arm_event(store, faults: LinkFaults, nemesis: Nemesis,
             factor=event.get("factor", 10.0))
     else:
         raise ValueError(f"unknown schedule action {action!r}")
-    store.env._schedule_call(lambda: do() if active[0] else None,
-                             delay=max(0.0, event["t"] - store.env.now))
+    store.env.schedule(lambda: do() if active[0] else None,
+                       delay=max(0.0, event["t"] - store.env.now))
 
 
 def build_store(spec: ChaosSpec, trace_enabled: bool = False):
@@ -391,19 +397,29 @@ def build_store(spec: ChaosSpec, trace_enabled: bool = False):
         trace_enabled=trace_enabled)
 
 
-def run_spec(spec: ChaosSpec, trace_enabled: bool = False) -> ChaosReport:
+def run_spec(spec: ChaosSpec, trace_enabled: bool = False,
+             instrument=None) -> ChaosReport:
     """Execute one chaos run; never raises for protocol misbehaviour --
     violations (consistency, liveness, simulation crashes) come back in
-    the report."""
+    the report.
+
+    ``instrument``, when given, is called with the freshly built store
+    before any schedule event is armed or any client op starts -- the
+    sanitizer's hook for attaching trace observers (happens-before
+    tracking) to an otherwise unmodified run.
+    """
     store = build_store(spec, trace_enabled=trace_enabled)
+    faults_seed = spec.seed if spec.faults_seed is None else spec.faults_seed
     faults = LinkFaults(
         policy=FaultPolicy.from_dict(spec.policy) if spec.policy else None,
-        rng=random.Random(spec.seed ^ 0x5EED))
+        rng=random.Random(faults_seed ^ 0x5EED))
     store.network.faults = faults
     nemesis = Nemesis(store.env, store.trace, store.nodes,
                       network=store.network).attach()
     report = ChaosReport(spec=spec, ok=False, store=store)
     chaos_active = [True]
+    if instrument is not None:
+        instrument(store)
     try:
         for event in spec.schedule:
             _arm_event(store, faults, nemesis, event, chaos_active)

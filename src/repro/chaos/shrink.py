@@ -77,13 +77,17 @@ def _ddmin(items: list, still_fails: Callable[[list], bool]) -> list:
 
 def shrink(spec: ChaosSpec,
            fails: Optional[Callable[[ChaosReport], bool]] = None,
-           max_runs: int = 400) -> ShrinkResult:
+           max_runs: int = 400,
+           run: Callable[[ChaosSpec], ChaosReport] = run_spec) -> ShrinkResult:
     """Minimize a failing spec; raises ``ValueError`` if it doesn't fail.
 
     ``fails`` decides what counts as "still the failure" (default: any
     checker violation).  The shrinker alternates ddmin over the fault
     schedule and the client workload until neither shrinks further, then
-    tries dropping the message-fault policy wholesale.
+    tries dropping the message-fault policy wholesale.  ``run`` replaces
+    the executor -- the sanitizer passes its instrumented runner so
+    quiesce/race findings (which live outside ``report.ok``) stay
+    visible to the ``fails`` predicate during minimization.
     """
     fails = fails or (lambda report: not report.ok)
     runs = 0
@@ -94,7 +98,7 @@ def shrink(spec: ChaosSpec,
         if runs >= max_runs:
             return None
         runs += 1
-        report = run_spec(candidate)
+        report = run(candidate)
         if fails(report):
             trail.append((_spec_events(candidate), report.violation))
             return report
@@ -125,7 +129,7 @@ def shrink(spec: ChaosSpec,
         if attempt(_replace(spec, policy=None)) is not None:
             spec = _replace(spec, policy=None)
 
-    final = run_spec(spec)
+    final = run(spec)
     if not fails(final):  # paranoia: the kept spec must still fail
         raise AssertionError("shrink invariant broken: minimal spec passes")
     return ShrinkResult(spec=spec, report=final, runs=runs,

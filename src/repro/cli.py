@@ -42,10 +42,20 @@ Commands
     read-one tier engages (and at what load advantage).
 ``lint``
     Protocol-aware static analysis: the AST rules of ``repro.lint``
-    (determinism, clock discipline, message shape, metric keys) over
-    the given paths, and with ``--coteries`` the semantic verification
-    of every registered coterie family and its Lemma-1 epoch
-    transitions at small N.  Exit 0 clean, 1 findings, 2 errors.
+    (determinism, clock discipline, message shape, metric keys,
+    handler coverage, lock discipline, config drift, transport
+    boundary) over the given paths, and with ``--coteries`` the
+    semantic verification of every registered coterie family and its
+    Lemma-1 epoch transitions at small N.  Exit 0 clean, 1 findings,
+    2 errors.
+``sanitize``
+    Schedule sanitizer: one seeded crash-free workload under K bounded
+    message-reordering schedules, each checked by the happens-before
+    race tracker and the quiesce leak assertions, plus a schedule-0
+    bit-reproducibility replay.  ``--canary`` re-introduces the
+    stranded-lock bug and exits 0 iff the sanitizer catches it;
+    ``--json`` writes the ``repro-sanitize-v1`` artifact; ``--shrink``
+    delta-debugs the first failing schedule to a minimal spec.
 """
 
 from __future__ import annotations
@@ -416,6 +426,57 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.chaos.shrink import shrink
+    from repro.sanitize import (
+        SanitizeSpec,
+        run_sanitized,
+        run_sweep,
+        save_artifact,
+    )
+
+    spec = SanitizeSpec(seed=args.seed, n_nodes=args.nodes, ops=args.ops,
+                        schedules=args.schedules, bound=args.bound,
+                        canary=args.canary)
+    mode = "canary" if spec.canary else "clean"
+    print(f"sanitize: seed {spec.seed}, {spec.n_nodes} nodes, "
+          f"{spec.ops} ops, K={spec.schedules} schedules "
+          f"(bound {spec.bound:g}), mode {mode}")
+
+    def show(result) -> None:
+        status = "ok" if result.ok else "FAIL"
+        print(f"  schedule {result.schedule}: {status}  "
+              f"races={result.races}  digest={result.digest[:16]}  "
+              f"t={result.end_time:.1f}")
+        for violation in result.violations:
+            print(f"    {violation}")
+
+    report = run_sweep(spec, on_result=show)
+    print(f"replay: digest={report.replay_digest[:16]} "
+          f"{'==' if report.reproducible else '!='} "
+          f"baseline {report.baseline_digest[:16]} "
+          f"({'bit-reproducible' if report.reproducible else 'DIVERGED'})")
+
+    if args.json is not None:
+        save_artifact(args.json, report)
+        print(f"sanitize artifact written to {args.json}")
+
+    if args.shrink and report.failures:
+        failing = report.failures[0]
+        result = shrink(failing.spec, run=run_sanitized)
+        print(f"shrunk schedule {failing.schedule}: "
+              f"{result.original_events} -> {result.events} events "
+              f"in {result.runs} runs: {result.report.violation}")
+
+    if spec.canary:
+        # the canary injects the stranded-lock bug on purpose: success
+        # means the sanitizer caught it AND the sweep stayed replayable
+        caught = report.canary_caught and report.reproducible
+        print(f"canary {'caught' if report.canary_caught else 'MISSED'}")
+        return 0 if caught else 1
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -588,6 +649,33 @@ def build_parser() -> argparse.ArgumentParser:
                       help="cap the coterie universe size (3^N work "
                            "per family; default 9)")
     lint.set_defaults(handler=_cmd_lint)
+
+    sanitize = sub.add_parser(
+        "sanitize", help="schedule sanitizer: K perturbed-timing runs "
+                         "of one crash-free workload with "
+                         "happens-before race detection, quiesce leak "
+                         "assertions, and a bit-reproducibility replay")
+    sanitize.add_argument("--seed", type=int, default=0,
+                          help="workload seed (default 0)")
+    sanitize.add_argument("--nodes", type=int, default=9)
+    sanitize.add_argument("--ops", type=int, default=40,
+                          help="workload length (default 40)")
+    sanitize.add_argument("-k", "--schedules", type=int, default=8,
+                          metavar="K",
+                          help="schedules per sweep: 0 pristine, "
+                               "1..K-1 perturbed (default 8)")
+    sanitize.add_argument("--bound", type=float, default=0.5,
+                          help="max per-message delay/reorder span "
+                               "(default 0.5)")
+    sanitize.add_argument("--canary", action="store_true",
+                          help="re-introduce the stranded-lock bug; "
+                               "exit 0 iff the sanitizer catches it")
+    sanitize.add_argument("--json", metavar="PATH",
+                          help="write the repro-sanitize-v1 artifact")
+    sanitize.add_argument("--shrink", action="store_true",
+                          help="delta-debug the first failing schedule "
+                               "to a minimal spec")
+    sanitize.set_defaults(handler=_cmd_sanitize)
     return parser
 
 

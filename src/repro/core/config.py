@@ -175,14 +175,21 @@ class ProtocolConfig:
     degraded_reads: bool = False
     op_deadline: float = 0.0
 
-    # Intentional protocol mutations, used ONLY by the chaos harness to
-    # prove the history checker catches real violations (a canary for the
-    # checker itself, never a production setting).  Recognised values:
+    # Intentional protocol mutations, used ONLY by the chaos/sanitize
+    # harnesses to prove the checkers catch real violations (canaries for
+    # the checkers themselves, never a production setting).  Recognised:
     #   "" (default)            -- the correct protocol;
     #   "skip-decision-record"  -- the 2PC coordinator omits the durable
     #       COMMIT record before its commit wave, so presumed abort tells
-    #       in-doubt participants "aborted" about a committed transaction.
+    #       in-doubt participants "aborted" about a committed transaction;
+    #   "stranded-lock"         -- the coordinator skips the op-release
+    #       fan-out to early-completed-wave stragglers, re-introducing the
+    #       leaked-lock shape the sanitizer's quiesce check must catch.
     chaos_bug: str = ""
+
+    #: The values ``chaos_bug`` may take (validated, so a typo'd canary
+    #: name fails fast instead of silently running the correct protocol).
+    CHAOS_BUGS = ("", "skip-decision-record", "stranded-lock")
 
     def clamp_retry_after(self, hint: float) -> float:
         """A ``Busy(retry_after)`` delay clamped to ``[retry_after_min,
@@ -262,6 +269,10 @@ class ProtocolConfig:
         if self.degraded_reads and self.op_deadline <= 0:
             raise ValueError("degraded_reads requires op_deadline > 0 "
                              "(the tier triggers on the deadline budget)")
+        if self.chaos_bug not in self.CHAOS_BUGS:
+            raise ValueError(
+                f"chaos_bug must be one of {self.CHAOS_BUGS}, "
+                f"got {self.chaos_bug!r}")
         return self
 
     def describe(self) -> tuple[tuple[str, object], ...]:

@@ -147,13 +147,22 @@ class Coordinator:
             result = WriteResult(False, case="no-quorum", op_id=op_id,
                                  polls=2, retry_after=_busy_hint(seen))
         elif server.config.adaptive_timeouts or server.config.hedge_requests:
-            # Early-completed waves leave stragglers unanswered; their
-            # granted locks would otherwise sit until the lease expires.
-            # Fire-and-forget releases (sorted: send order must stay
+            # Two stranding shapes on the success path: early-completed
+            # waves leave stragglers unanswered, and the heavy procedure
+            # can exclude a fast-wave responder (suspected at its
+            # per-destination deadline) from the write set even though it
+            # granted a lock to this op.  Release every polled node that
+            # is not a 2PC participant -- idempotent for nodes that never
+            # granted.  Fire-and-forget (sorted: send order must stay
             # deterministic -- every send draws from the latency stream).
-            for dst in sorted(dst for dst, r in seen.items()
-                              if r is CALL_FAILED):
-                server.rpc.call(dst, "op-release", op_id)
+            # chaos_bug="stranded-lock" re-introduces the pre-fix shape
+            # (no fan-out, locks leak until the lease) as the sanitizer's
+            # canary: the quiesce check must flag the resulting
+            # lock-lease-expired reclaims on a crash-free run.
+            if server.config.chaos_bug != "stranded-lock":
+                participants = set(result.good) | set(result.stale)
+                for dst in sorted(polled - participants):
+                    server.rpc.call(dst, "op-release", op_id)
         return result
 
     def _try_write(self, responses, updates: dict, op_id: str, case: str):

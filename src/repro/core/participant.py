@@ -106,6 +106,7 @@ class TwoPhaseParticipant:
                                  else wait)
         yield self.env.any_of([grant, timer])
         if grant.triggered:
+            # repro: allow[lock-discipline] True transfers custody to the caller by contract
             return True
         lock.cancel(owner)
         self._after_release(resource)

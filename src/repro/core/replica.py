@@ -197,6 +197,7 @@ class ReplicaServer:
                                  else self.config.lock_wait)
         yield self.env.any_of([grant, timer])
         if grant.triggered:
+            # repro: allow[lock-discipline] True transfers custody to the caller by contract
             return True
         self.lock.cancel(owner)
         return False
@@ -268,7 +269,17 @@ class ReplicaServer:
                 self._poll_finished()
                 self.node.volatile.setdefault("op_acquiring",
                                               set()).discard(op_id)
+            released = self.node.volatile.setdefault("op_released_early",
+                                                     set())
             if not ok:
+                released.discard(op_id)
+                return BUSY
+            if op_id in released:
+                # the coordinator's op-release overtook this handler while
+                # it was queued for the lock; honor it now instead of
+                # custodying a grant nobody will ever use
+                released.discard(op_id)
+                self.lock.release(op_id)
                 return BUSY
             self._op_locks[op_id] = True
             self.node.spawn(self._lease_watchdog(op_id),
@@ -305,6 +316,13 @@ class ReplicaServer:
     def _on_op_release(self, src: str, op_id: str) -> str:
         if op_id in self._op_locks and op_id not in self._prepared_ops:
             self._release_op(op_id)
+        elif op_id in self.node.volatile.get("op_acquiring", set()):
+            # the release raced ahead of a write poll still queued on the
+            # lock: withdraw the queued request and leave a tombstone so
+            # an already-fired grant is relinquished, not custodied
+            self.node.volatile.setdefault("op_released_early",
+                                          set()).add(op_id)
+            self.lock.cancel(op_id)
         return "ok"
 
     # -- two-phase commit: participant side ------------------------------------
@@ -368,6 +386,16 @@ class ReplicaServer:
         self._apply_command(prepare.command)
         self.node.stable["txn_outcomes"][txn_id] = "committed"
         self._release_op(prepare.op_id)
+        command = prepare.command
+        if isinstance(command, (ApplyWrite, ReplaceValue)):
+            # value-changing applies get their own record: the sanitizer's
+            # happens-before tracker keys on (keys, version) to detect
+            # conflicting applies no message chain orders
+            keys = (tuple(sorted(command.updates))
+                    if isinstance(command, ApplyWrite)
+                    else tuple(sorted(command.value)))
+            self._trace("state-apply", txn_id=txn_id, op_id=prepare.op_id,
+                        keys=keys, version=command.new_version)
         self._trace("txn-commit", txn_id=txn_id,
                     command=type(prepare.command).__name__)
         self._post_commit(prepare.command)

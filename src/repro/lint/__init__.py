@@ -15,8 +15,11 @@ Two layers:
 
 * :mod:`repro.lint.engine` + :mod:`repro.lint.rules` -- an AST rule
   engine (pragma suppressions, JSON and human output, exit codes) with
-  protocol-aware rules: ``no-wall-clock``, ``seeded-rng-only``,
-  ``iteration-order``, ``message-discipline``, ``metric-key-shape``.
+  per-file protocol rules (``no-wall-clock``, ``seeded-rng-only``,
+  ``iteration-order``, ``message-discipline``, ``metric-key-shape``,
+  ``transport-boundary``, ``lock-discipline``) and cross-module
+  project rules (``handler-coverage``, ``config-drift``) that see the
+  whole tree at once.
 * :mod:`repro.lint.coterie_check` -- a *semantic* checker that compiles
   every registered coterie family at small N through the bitmask
   engine and mechanically verifies the coterie axioms and the Lemma-1
@@ -36,7 +39,9 @@ from repro.lint.coterie_check import (
 from repro.lint.engine import (
     Finding,
     LintReport,
+    ParsedModule,
     Pragma,
+    ProjectRule,
     Rule,
     lint_paths,
     lint_source,
@@ -51,7 +56,9 @@ __all__ = [
     "DEFAULT_RULES",
     "Finding",
     "LintReport",
+    "ParsedModule",
     "Pragma",
+    "ProjectRule",
     "Rule",
     "SemanticFinding",
     "check_all_families",

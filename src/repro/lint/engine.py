@@ -34,7 +34,7 @@ import tokenize
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
 from pathlib import Path
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 #: Rule id reserved for pragma hygiene findings emitted by the engine.
 PRAGMA_RULE_ID = "lint-pragma"
@@ -104,6 +104,22 @@ class LintReport:
         self.errors.extend(other.errors)
 
 
+@dataclass(frozen=True)
+class ParsedModule:
+    """One parsed source module handed to project-wide rules.
+
+    ``path`` is the real filesystem location (``None`` when linting a
+    source string, e.g. in tests), so rules that need to look *around*
+    the module -- the config-drift rule reads ``docs/API.md`` -- can
+    locate siblings and degrade gracefully when there are none.
+    """
+
+    relpath: str
+    tree: ast.Module
+    source: str
+    path: Optional[Path] = None
+
+
 class Rule:
     """Base class for one AST lint rule.
 
@@ -137,6 +153,33 @@ class Rule:
         """A :class:`Finding` anchored at *node* for this rule."""
         return Finding(self.id, relpath, getattr(node, "lineno", 1),
                        getattr(node, "col_offset", 0), message)
+
+
+class ProjectRule(Rule):
+    """A rule that sees every applicable module at once.
+
+    Per-file rules check local code shape; a :class:`ProjectRule` checks
+    *cross-module* protocol flow -- every sent message kind has a
+    registered handler somewhere, config knobs agree with their docs.
+    Subclasses implement :meth:`check_project` over the applicable
+    subset of :class:`ParsedModule` objects (``include``/``exclude``
+    scoping applies module-by-module, exactly as for per-file rules).
+
+    The inherited :meth:`check` delegates to :meth:`check_project` with
+    a singleton module set, so :func:`lint_source` (and the test
+    helpers built on it) exercise project rules against one file the
+    same way per-file rules run.
+    """
+
+    def check_project(self,
+                      modules: Tuple[ParsedModule, ...]) -> Iterator[Finding]:
+        """Yield findings over the whole applicable module set."""
+        raise NotImplementedError
+
+    def check(self, tree: ast.Module, source: str,
+              relpath: str) -> Iterator[Finding]:
+        yield from self.check_project(
+            (ParsedModule(relpath, tree, source),))
 
 
 def package_relpath(path: Path) -> str:
@@ -186,26 +229,15 @@ def collect_pragmas(source: str) -> list[Pragma]:
     return pragmas
 
 
-def lint_source(source: str, relpath: str,
-                rules: Sequence[Rule]) -> LintReport:
-    """Lint one module's source text against *rules*.
+def _apply_pragmas(report: LintReport, module: ParsedModule,
+                   raw: list[Finding]) -> None:
+    """Fold one module's raw findings into *report* through its pragmas.
 
     Pragma hygiene runs regardless of the rule selection: a pragma
     without a reason, or one that suppresses nothing, is a
     ``lint-pragma`` finding (not suppressible by itself).
     """
-    report = LintReport(files_checked=1)
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        report.errors.append(f"{relpath}: syntax error: {exc}")
-        return report
-    pragmas = collect_pragmas(source)
-    raw: list[Finding] = []
-    for rule in rules:
-        if not rule.applies_to(relpath):
-            continue
-        raw.extend(rule.check(tree, source, relpath))
+    pragmas = collect_pragmas(module.source)
     for finding in raw:
         pragma = next((p for p in pragmas if p.suppresses(finding)), None)
         if pragma is None:
@@ -216,14 +248,37 @@ def lint_source(source: str, relpath: str,
     for pragma in pragmas:
         if not pragma.reason:
             report.findings.append(Finding(
-                PRAGMA_RULE_ID, relpath, pragma.line, 0,
+                PRAGMA_RULE_ID, module.relpath, pragma.line, 0,
                 f"suppression of [{pragma.rule}] carries no justification; "
                 f"write `# repro: allow[{pragma.rule}] <why>`"))
         elif not pragma.used:
             report.findings.append(Finding(
-                PRAGMA_RULE_ID, relpath, pragma.line, 0,
+                PRAGMA_RULE_ID, module.relpath, pragma.line, 0,
                 f"unused suppression: no [{pragma.rule}] finding on the "
                 f"covered lines -- delete the stale pragma"))
+
+
+def lint_source(source: str, relpath: str,
+                rules: Sequence[Rule]) -> LintReport:
+    """Lint one module's source text against *rules*.
+
+    Project rules run against the singleton module set (their
+    :meth:`ProjectRule.check` delegation), so single-file linting --
+    and the test helpers -- exercise every rule kind.
+    """
+    report = LintReport(files_checked=1)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        report.errors.append(f"{relpath}: syntax error: {exc}")
+        return report
+    module = ParsedModule(relpath, tree, source)
+    raw: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(relpath):
+            continue
+        raw.extend(rule.check(tree, source, relpath))
+    _apply_pragmas(report, module, raw)
     report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return report
 
@@ -241,16 +296,51 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
 
 def lint_paths(paths: Iterable[Path], rules: Sequence[Rule],
                relpath_of=package_relpath) -> LintReport:
-    """Lint every ``.py`` file under *paths* against *rules*."""
+    """Lint every ``.py`` file under *paths* against *rules*.
+
+    All files are parsed first; per-file rules then run file by file and
+    :class:`ProjectRule` subclasses run once over the whole module set,
+    so cross-module invariants (handler coverage, config drift) see the
+    entire tree.  Pragma suppression applies uniformly afterwards --
+    a project-rule finding is silenced by a pragma at its anchor line
+    exactly like a per-file finding.
+    """
     report = LintReport()
+    modules: list[ParsedModule] = []
     for path in iter_python_files(paths):
         if not path.exists():
             report.errors.append(f"{path}: no such file")
             report.files_checked += 1
             continue
-        file_report = lint_source(path.read_text(encoding="utf-8"),
-                                  relpath_of(path), rules)
-        report.extend(file_report)
+        source = path.read_text(encoding="utf-8")
+        relpath = relpath_of(path)
+        report.files_checked += 1
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            report.errors.append(f"{relpath}: syntax error: {exc}")
+            continue
+        modules.append(ParsedModule(relpath, tree, source, path=path))
+
+    raw_by_path: dict[str, list[Finding]] = {m.relpath: [] for m in modules}
+    per_file = [r for r in rules if not isinstance(r, ProjectRule)]
+    project = [r for r in rules if isinstance(r, ProjectRule)]
+    for module in modules:
+        raw = raw_by_path[module.relpath]
+        for rule in per_file:
+            if rule.applies_to(module.relpath):
+                raw.extend(rule.check(module.tree, module.source,
+                                      module.relpath))
+    for rule in project:
+        applicable = tuple(m for m in modules
+                           if rule.applies_to(m.relpath))
+        if not applicable:
+            continue
+        for finding in rule.check_project(applicable):
+            raw_by_path.setdefault(finding.path, []).append(finding)
+    for module in modules:
+        _apply_pragmas(report, module, raw_by_path[module.relpath])
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return report
 
 

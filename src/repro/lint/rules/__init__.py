@@ -1,15 +1,21 @@
 """The protocol-aware rule catalog.
 
 Each module holds one rule; :data:`DEFAULT_RULES` is the set the CLI
-runs.  Adding a rule: subclass :class:`repro.lint.engine.Rule`, give it
-an ``id`` and a ``rationale``, implement ``check``, and append an
-instance here (docs/LINTING.md walks through a full example).
+runs.  Adding a rule: subclass :class:`repro.lint.engine.Rule` (or
+:class:`repro.lint.engine.ProjectRule` for cross-module checks), give
+it an ``id`` and a ``rationale``, implement ``check`` (or
+``check_project``), and append an instance here (docs/LINTING.md walks
+through a full example).
 """
 
+from repro.lint.rules.config_drift import ConfigDriftRule
+from repro.lint.rules.handlers import HandlerCoverageRule
+from repro.lint.rules.locks import LockDisciplineRule
 from repro.lint.rules.messages import MessageDisciplineRule
 from repro.lint.rules.metric_keys import MetricKeyShapeRule
 from repro.lint.rules.ordering import IterationOrderRule
 from repro.lint.rules.rng import SeededRngOnlyRule
+from repro.lint.rules.transport import TransportBoundaryRule
 from repro.lint.rules.wallclock import NoWallClockRule
 
 #: The rules ``repro lint`` runs, in reporting order.
@@ -19,6 +25,10 @@ DEFAULT_RULES = (
     IterationOrderRule(),
     MessageDisciplineRule(),
     MetricKeyShapeRule(),
+    HandlerCoverageRule(),
+    LockDisciplineRule(),
+    ConfigDriftRule(),
+    TransportBoundaryRule(),
 )
 
 
@@ -31,10 +41,14 @@ def rule_catalog() -> list[dict]:
 
 __all__ = [
     "DEFAULT_RULES",
+    "ConfigDriftRule",
+    "HandlerCoverageRule",
     "IterationOrderRule",
+    "LockDisciplineRule",
     "MessageDisciplineRule",
     "MetricKeyShapeRule",
     "NoWallClockRule",
     "SeededRngOnlyRule",
+    "TransportBoundaryRule",
     "rule_catalog",
 ]

@@ -1,0 +1,187 @@
+"""``config-drift``: ProtocolConfig fields, validate(), describe(), and
+the docs/API.md knob table must agree.
+
+The config dataclass is the protocol's public control surface; it drifts
+in four independent places: the field declarations, the ``validate()``
+sanity checks, the ``describe()`` canonical dump, and the knob table in
+``docs/API.md``.  PR 9 nearly shipped a knob that ``validate()`` never
+looked at (a typo'd value would have silently run defaults), and the
+``chaos_bug`` canary knob did exactly that until this rule existed.
+
+Checks, per config class (a ``@dataclass`` defining both ``validate``
+and ``describe``):
+
+* ``describe()`` must return every field, in declaration order, and
+  nothing else;
+* every non-``bool`` field must be *referenced* inside ``validate()``
+  (bools cannot hold out-of-range values, every other type can);
+* when a ``docs/API.md`` is findable from the linted file (walking up
+  the filesystem), its ProtocolConfig section's knob table must list
+  exactly the field set -- each row's first backticked token is a knob
+  name.  Linting a bare source string (tests) skips the doc check.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.engine import Finding, ParsedModule, ProjectRule
+
+_ROW_KNOB = re.compile(r"^\|\s*`([A-Za-z_][A-Za-z0-9_]*)`")
+_HEADING = re.compile(r"^#{2,3}\s")
+
+
+def _find_api_doc(path: Optional[Path]) -> Optional[Path]:
+    """``docs/API.md`` found by walking up from the linted file."""
+    if path is None:
+        return None
+    for parent in path.resolve().parents:
+        candidate = parent / "docs" / "API.md"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def _doc_knobs(doc: Path) -> Optional[list[str]]:
+    """Knob names from the ProtocolConfig table rows, or None when the
+    document has no ProtocolConfig section at all."""
+    knobs: list[str] = []
+    in_section = False
+    seen_section = False
+    for line in doc.read_text(encoding="utf-8").splitlines():
+        if _HEADING.match(line):
+            in_section = "ProtocolConfig" in line
+            seen_section = seen_section or in_section
+            continue
+        if not in_section:
+            continue
+        match = _ROW_KNOB.match(line.strip())
+        if match:
+            knobs.append(match.group(1))
+    return knobs if seen_section else None
+
+
+class ConfigDriftRule(ProjectRule):
+    id = "config-drift"
+    rationale = ("ProtocolConfig fields, validate(), describe(), and the "
+                 "docs/API.md knob table drift independently; a knob "
+                 "missing from any of them fails silently")
+    include = ("core/config.py", "config.py")
+
+    def check_project(self,
+                      modules: Tuple[ParsedModule, ...]) -> Iterator[Finding]:
+        for module in modules:
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef) and self._is_config(node):
+                    yield from self._check_class(module, node)
+
+    @staticmethod
+    def _is_config(cls: ast.ClassDef) -> bool:
+        decorated = any(
+            (isinstance(d, ast.Name) and d.id == "dataclass")
+            or (isinstance(d, ast.Call) and isinstance(d.func, ast.Name)
+                and d.func.id == "dataclass")
+            or (isinstance(d, ast.Attribute) and d.attr == "dataclass")
+            for d in cls.decorator_list)
+        methods = {n.name for n in cls.body
+                   if isinstance(n, ast.FunctionDef)}
+        return decorated and {"validate", "describe"} <= methods
+
+    def _check_class(self, module: ParsedModule,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        fields: list[tuple[str, str]] = []          # (name, annotation)
+        for stmt in cls.body:
+            if (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)):
+                try:
+                    annotation = ast.unparse(stmt.annotation)
+                except Exception:
+                    annotation = ""
+                fields.append((stmt.target.id, annotation))
+        field_names = [name for name, _ in fields]
+        validate = next(n for n in cls.body
+                        if isinstance(n, ast.FunctionDef)
+                        and n.name == "validate")
+        describe = next(n for n in cls.body
+                        if isinstance(n, ast.FunctionDef)
+                        and n.name == "describe")
+
+        yield from self._check_describe(module, cls, describe, field_names)
+        yield from self._check_validate(module, validate, fields)
+        yield from self._check_doc(module, cls, field_names)
+
+    def _check_describe(self, module: ParsedModule, cls: ast.ClassDef,
+                        describe: ast.FunctionDef,
+                        field_names: list[str]) -> Iterator[Finding]:
+        described: list[str] = []
+        for node in ast.walk(describe):
+            if (isinstance(node, ast.Tuple) and node.elts
+                    and isinstance(node.elts[0], ast.Constant)
+                    and isinstance(node.elts[0].value, str)
+                    and len(node.elts) == 2):
+                described.append(node.elts[0].value)
+        for name in field_names:
+            if name not in described:
+                yield self.finding(
+                    module.relpath, describe,
+                    f"{cls.name}.describe() omits field '{name}'; the "
+                    f"canonical dump must cover every knob")
+        for name in described:
+            if name not in field_names:
+                yield self.finding(
+                    module.relpath, describe,
+                    f"{cls.name}.describe() lists '{name}', which is "
+                    f"not a field; delete the stale entry")
+        common = [n for n in described if n in field_names]
+        expected = [n for n in field_names if n in described]
+        if common != expected:
+            yield self.finding(
+                module.relpath, describe,
+                f"{cls.name}.describe() entries are out of declaration "
+                f"order; keep them aligned with the field list")
+
+    def _check_validate(self, module: ParsedModule,
+                        validate: ast.FunctionDef,
+                        fields: list[tuple[str, str]]) -> Iterator[Finding]:
+        referenced = {
+            node.attr for node in ast.walk(validate)
+            if isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"}
+        for name, annotation in fields:
+            if annotation == "bool":
+                continue   # a bool cannot be out of range
+            if name not in referenced:
+                yield self.finding(
+                    module.relpath, validate,
+                    f"validate() never references '{name}' "
+                    f"({annotation or 'unannotated'}); an out-of-range "
+                    f"value passes silently -- add a check")
+
+    def _check_doc(self, module: ParsedModule, cls: ast.ClassDef,
+                   field_names: list[str]) -> Iterator[Finding]:
+        doc = _find_api_doc(module.path)
+        if doc is None:
+            return    # linting a bare string or a docs-less checkout
+        knobs = _doc_knobs(doc)
+        if knobs is None:
+            yield self.finding(
+                module.relpath, cls,
+                f"docs/API.md has no ProtocolConfig section with a knob "
+                f"table; document the {len(field_names)} knobs")
+            return
+        for name in field_names:
+            if name not in knobs:
+                yield self.finding(
+                    module.relpath, cls,
+                    f"field '{name}' is missing from the docs/API.md "
+                    f"ProtocolConfig knob table")
+        for name in knobs:
+            if name not in field_names:
+                yield self.finding(
+                    module.relpath, cls,
+                    f"docs/API.md documents knob '{name}', which is not "
+                    f"a {cls.name} field; delete the stale row")

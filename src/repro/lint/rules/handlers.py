@@ -1,0 +1,206 @@
+"""``handler-coverage``: every sent message kind has a handler, every
+handler has a sender, every message dataclass has a user.
+
+The RPC wiring is stringly typed: ``serve("write-request", ...)`` on the
+replica side must meet ``rpc.call(dst, "write-request", ...)`` (or a
+``gather``/``call_wave`` request dict) on the coordinator side.  A typo
+in either direction fails only at runtime -- an unhandled request times
+out and looks exactly like a crashed node, which is the worst possible
+way to discover a misspelling.  This project rule closes the loop
+statically, across all modules at once:
+
+* a kind that is *sent* (string literal in a ``.call``/``.multicast``
+  argument, or the first element of a request tuple inside a ``gather``
+  / ``call_wave`` dict) but never *served* anywhere is flagged at the
+  send site;
+* a kind that is *served* but never mentioned outside its ``serve``
+  registrations (no send, no request-dict, no alias assignment) is a
+  dead handler, flagged at the registration;
+* a public dataclass in a ``messages.py`` module that no other module
+  references is a dead message type.
+
+Kinds routed through variables (``method = "a" if x else "b"``) are
+covered by the mention check: the string literal exists somewhere, so
+the handler is not dead, and the send site is simply not checkable --
+exactly the static/dynamic split a linter should make.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+from repro.lint.engine import Finding, ParsedModule, ProjectRule
+
+#: The protocol's message-kind grammar: lowercase words joined by dashes
+#: (``write-request``, ``sh-op-release``).  Used only for the *generic*
+#: request-dict heuristic; explicit call/serve/gather extraction is
+#: grammar-free so single-word kinds (``election``) are still covered.
+KIND_GRAMMAR = re.compile(r"^[a-z][a-z0-9]*(-[a-z0-9]+)+$")
+
+
+def _str_const(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+@dataclass
+class _ModuleFacts:
+    """Everything one module contributes to the coverage ledger."""
+
+    module: ParsedModule
+    served: list[tuple[str, ast.AST]] = field(default_factory=list)
+    sent: list[tuple[str, ast.AST]] = field(default_factory=list)
+    strings: Counter = field(default_factory=Counter)
+    serve_strings: Counter = field(default_factory=Counter)
+    classes: list[ast.ClassDef] = field(default_factory=list)
+    identifiers: set = field(default_factory=set)
+
+
+def _collect(module: ParsedModule) -> _ModuleFacts:
+    facts = _ModuleFacts(module)
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            facts.strings[node.value] += 1
+        elif isinstance(node, ast.Name):
+            facts.identifiers.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            facts.identifiers.add(node.attr)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            facts.identifiers.update(alias.asname or alias.name
+                                     for alias in node.names)
+        elif isinstance(node, ast.ClassDef):
+            if not node.name.startswith("_"):
+                facts.classes.append(node)
+        elif isinstance(node, ast.Call):
+            _collect_call(node, facts)
+    return facts
+
+
+def _collect_call(node: ast.Call, facts: _ModuleFacts) -> None:
+    func = node.func
+    name = (func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else "")
+    if name == "serve" and node.args:
+        kind = _str_const(node.args[0])
+        if kind is not None:
+            facts.served.append((kind, node))
+            facts.serve_strings[kind] += 1
+    elif name in ("call", "multicast") and len(node.args) >= 2:
+        kind = _str_const(node.args[1])
+        if kind is not None:
+            facts.sent.append((kind, node))
+    elif name in ("gather", "call_wave"):
+        # gather(rpc, {dst: ("kind", args), ...}) / call_wave({...})
+        index = 1 if name == "gather" else 0
+        if len(node.args) > index:
+            _collect_request_dict(node.args[index], facts)
+
+
+def _collect_request_dict(node: ast.AST, facts: _ModuleFacts) -> None:
+    values: list[ast.AST] = []
+    if isinstance(node, ast.Dict):
+        values = list(node.values)
+    elif isinstance(node, ast.DictComp):
+        values = [node.value]
+    for value in values:
+        if isinstance(value, ast.Tuple) and value.elts:
+            kind = _str_const(value.elts[0])
+            if kind is not None:
+                facts.sent.append((kind, value))
+
+
+def _generic_request_dicts(module: ParsedModule,
+                           facts: _ModuleFacts) -> None:
+    """Request dicts assigned to a variable before the gather call: any
+    dict (comprehension) whose values are all ``("dash-kind", ...)``
+    tuples is treated as a send site."""
+    known = {kind for kind, _ in facts.sent}
+    for node in ast.walk(module.tree):
+        values: list[ast.AST] = []
+        if isinstance(node, ast.Dict):
+            values = list(node.values)
+        elif isinstance(node, ast.DictComp):
+            values = [node.value]
+        if not values:
+            continue
+        kinds = []
+        for value in values:
+            kind = (_str_const(value.elts[0])
+                    if isinstance(value, ast.Tuple) and value.elts
+                    else None)
+            if kind is None or not KIND_GRAMMAR.match(kind):
+                kinds = []
+                break
+            kinds.append((kind, value))
+        for kind, value in kinds:
+            if kind not in known:
+                facts.sent.append((kind, value))
+
+
+class HandlerCoverageRule(ProjectRule):
+    id = "handler-coverage"
+    rationale = ("stringly-typed RPC wiring: a sent kind without a "
+                 "handler times out like a crash, a served kind nobody "
+                 "sends is dead protocol surface")
+    include = ("core/*", "shard/*", "baselines/*")
+
+    def check_project(self,
+                      modules: Tuple[ParsedModule, ...]) -> Iterator[Finding]:
+        all_facts = []
+        for module in modules:
+            facts = _collect(module)
+            _generic_request_dicts(module, facts)
+            all_facts.append(facts)
+
+        served_kinds = {kind for facts in all_facts
+                        for kind, _ in facts.served}
+        mentions: Counter = Counter()
+        serve_mentions: Counter = Counter()
+        for facts in all_facts:
+            mentions.update(facts.strings)
+            serve_mentions.update(facts.serve_strings)
+
+        # direction 1: every send site must meet a handler somewhere
+        for facts in all_facts:
+            for kind, node in facts.sent:
+                if kind not in served_kinds:
+                    yield self.finding(
+                        facts.module.relpath, node,
+                        f"message kind '{kind}' is sent but no module "
+                        f"registers a handler for it (serve); the call "
+                        f"can only time out")
+
+        # direction 2: every handler must have a sender (or at least a
+        # mention outside serve registrations -- dynamic dispatch)
+        for facts in all_facts:
+            for kind, node in facts.served:
+                if mentions[kind] <= serve_mentions[kind]:
+                    yield self.finding(
+                        facts.module.relpath, node,
+                        f"handler for '{kind}' is registered but the "
+                        f"kind is never sent or referenced anywhere; "
+                        f"dead protocol surface")
+
+        # direction 3: message dataclasses must be referenced elsewhere.
+        # Meaningless with a single module in view (lint_source on one
+        # file): "no other module references it" needs other modules.
+        if len(all_facts) < 2:
+            return
+        for facts in all_facts:
+            if not facts.module.relpath.endswith("messages.py"):
+                continue
+            for cls in facts.classes:
+                used = any(cls.name in other.identifiers
+                           for other in all_facts
+                           if other is not facts)
+                if not used:
+                    yield self.finding(
+                        facts.module.relpath, cls,
+                        f"message type '{cls.name}' is defined but no "
+                        f"other module references it; dead message "
+                        f"surface")

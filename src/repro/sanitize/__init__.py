@@ -1,0 +1,57 @@
+"""Schedule sanitizer: perturbed timings, happens-before, quiesce.
+
+See :mod:`repro.sanitize.runner` for the sweep, :mod:`repro.sanitize.hb`
+for the vector-clock race detector, and :mod:`repro.sanitize.quiesce`
+for the leak assertions.  CLI entry point: ``repro sanitize``; docs:
+docs/SANITIZER.md.
+"""
+
+from repro.sanitize.hb import Apply, HBTracker, Race, clock_leq, concurrent
+from repro.sanitize.quiesce import (
+    QUIESCE_GAP,
+    Snapshot,
+    check_quiesce,
+    compare_snapshots,
+    take_snapshot,
+)
+from repro.sanitize.runner import (
+    ARTIFACT_FORMAT,
+    CANARY_BUG,
+    SanitizeReport,
+    SanitizeSpec,
+    ScheduleResult,
+    base_spec,
+    build_artifact,
+    load_artifact,
+    run_sanitized,
+    run_sweep,
+    save_artifact,
+    schedule_spec,
+    state_digest,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "Apply",
+    "CANARY_BUG",
+    "HBTracker",
+    "QUIESCE_GAP",
+    "Race",
+    "SanitizeReport",
+    "SanitizeSpec",
+    "ScheduleResult",
+    "Snapshot",
+    "base_spec",
+    "build_artifact",
+    "check_quiesce",
+    "clock_leq",
+    "compare_snapshots",
+    "concurrent",
+    "load_artifact",
+    "run_sanitized",
+    "run_sweep",
+    "save_artifact",
+    "schedule_spec",
+    "state_digest",
+    "take_snapshot",
+]

@@ -1,0 +1,156 @@
+"""Happens-before tracking over simulated message deliveries.
+
+The simulation is single-threaded, so nothing ever *races* in the OS
+sense -- but the protocol can still commit two different transactions
+that write the same ``(key, version)`` on different replicas with no
+message chain ordering one apply before the other.  That is the
+distributed-systems analogue of a data race: version numbers are the
+protocol's write-ordering token, and two causally concurrent applies
+claiming the same token mean the quorum intersection argument failed
+somewhere (split-brain epochs, a lost lock, a broken dedup cache).
+
+:class:`HBTracker` subscribes to a cluster's :class:`~repro.sim.trace.
+TraceLog` (observers fire even when record storage is disabled) and
+maintains classic vector clocks:
+
+* ``send`` ticks the sender and snapshots its clock under the message
+  id (duplicates re-deliver the same snapshot, which is exactly right);
+* ``deliver`` merges the snapshot into the receiver, then ticks it;
+* ``state-apply`` (emitted by the replica's 2PC commit path) stamps the
+  apply with the replica's current clock.
+
+Two applies conflict when they share a key and a version but belong to
+different transactions; a conflict whose clocks are concurrent (neither
+``<=`` the other) is reported as a race.  Same-transaction applies on
+different replicas are the normal replication fan-out and are never
+flagged.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.trace import TraceLog, TraceRecord
+
+#: Snapshot-map bound: dropped messages leave orphaned snapshots behind,
+#: so the per-message clock store is an LRU keyed by msg_id.
+SNAPSHOT_CAPACITY = 20_000
+
+
+def clock_leq(a: dict, b: dict) -> bool:
+    """Vector-clock partial order: every component of *a* is <= *b*'s."""
+    return all(ticks <= b.get(node, 0) for node, ticks in a.items())
+
+
+def concurrent(a: dict, b: dict) -> bool:
+    """Neither clock happened-before the other."""
+    return not clock_leq(a, b) and not clock_leq(b, a)
+
+
+@dataclass(frozen=True)
+class Apply:
+    """One replica-side committed state application."""
+
+    node: str
+    time: float
+    txn_id: str
+    op_id: str
+    keys: tuple
+    version: int
+    clock: dict = field(hash=False)
+
+
+@dataclass(frozen=True)
+class Race:
+    """Two causally concurrent applies claiming the same (key, version)."""
+
+    key: str
+    version: int
+    first: Apply
+    second: Apply
+
+    def describe(self) -> str:
+        return (f"race on ({self.key!r}, v{self.version}): "
+                f"txn {self.first.txn_id} applied on {self.first.node} "
+                f"@{self.first.time:.4f} and txn {self.second.txn_id} "
+                f"applied on {self.second.node} @{self.second.time:.4f} "
+                f"are causally concurrent -- no message chain orders them")
+
+
+class HBTracker:
+    """Vector-clock race detector over one cluster's trace stream."""
+
+    def __init__(self, snapshot_capacity: int = SNAPSHOT_CAPACITY):
+        self.clocks: dict[str, dict[str, int]] = {}
+        self.applies: dict[tuple, list[Apply]] = {}   # (key, version) -> [..]
+        self.races: list[Race] = []
+        self._snapshots: OrderedDict = OrderedDict()  # msg_id -> clock copy
+        self._capacity = snapshot_capacity
+        self._trace: Optional[TraceLog] = None
+        self.events_seen = 0
+
+    # -- wiring -----------------------------------------------------------
+    def attach(self, trace: TraceLog) -> "HBTracker":
+        """Subscribe to *trace*; returns self for chaining."""
+        trace.subscribe(self.observe)
+        self._trace = trace
+        return self
+
+    def attach_store(self, store) -> "HBTracker":
+        """`instrument=` adapter for :func:`repro.chaos.runner.run_spec`."""
+        return self.attach(store.trace)
+
+    def detach(self) -> None:
+        if self._trace is not None:
+            self._trace.unsubscribe(self.observe)
+            self._trace = None
+
+    # -- the clock machine ------------------------------------------------
+    def _tick(self, node: str) -> dict:
+        clock = self.clocks.setdefault(node, {})
+        clock[node] = clock.get(node, 0) + 1
+        return clock
+
+    def observe(self, rec: TraceRecord) -> None:
+        if rec.kind == "send":
+            self.events_seen += 1
+            clock = self._tick(rec.node)
+            self._snapshots[rec.detail["msg_id"]] = dict(clock)
+            self._snapshots.move_to_end(rec.detail["msg_id"])
+            while len(self._snapshots) > self._capacity:
+                self._snapshots.popitem(last=False)
+        elif rec.kind == "deliver":
+            self.events_seen += 1
+            snapshot = self._snapshots.get(rec.detail["msg_id"])
+            clock = self.clocks.setdefault(rec.node, {})
+            if snapshot:
+                for node, ticks in snapshot.items():
+                    if ticks > clock.get(node, 0):
+                        clock[node] = ticks
+            self._tick(rec.node)
+        elif rec.kind == "state-apply":
+            self.events_seen += 1
+            self._on_apply(rec)
+
+    def _on_apply(self, rec: TraceRecord) -> None:
+        apply = Apply(node=rec.node, time=rec.time,
+                      txn_id=rec.detail.get("txn_id", ""),
+                      op_id=rec.detail.get("op_id", ""),
+                      keys=tuple(rec.detail.get("keys", ())),
+                      version=rec.detail.get("version", 0),
+                      clock=dict(self.clocks.get(rec.node, {})))
+        for key in apply.keys:
+            slot = (key, apply.version)
+            for prior in self.applies.setdefault(slot, []):
+                if prior.txn_id == apply.txn_id:
+                    continue   # replication fan-out of one transaction
+                if concurrent(prior.clock, apply.clock):
+                    self.races.append(Race(key=key, version=apply.version,
+                                           first=prior, second=apply))
+            self.applies[slot].append(apply)
+
+    # -- reporting --------------------------------------------------------
+    def race_descriptions(self) -> list[str]:
+        return [race.describe() for race in self.races]

@@ -1,0 +1,263 @@
+"""The schedule sanitizer: K perturbed schedules, always-on invariants.
+
+Chaos testing (:mod:`repro.chaos`) asks "does the protocol survive
+*faults*?".  The sanitizer asks a quieter question: "does the protocol
+survive *timing*?"  One seeded workload is run under K bounded
+message-perturbation schedules -- schedule 0 is the pristine ordering,
+schedules 1..K-1 delay and reorder (never drop, never duplicate) every
+link within a small bound -- and every run must pass three always-on
+checks on top of the usual consistency verification:
+
+* the **happens-before tracker** (:mod:`repro.sanitize.hb`) watches
+  message deliveries and replica state applies for causally concurrent
+  writes to the same ``(key, version)``;
+* the **quiesce check** (:mod:`repro.sanitize.quiesce`) asserts the
+  settled cluster leaked nothing: no lock, no parked handler, no
+  pending call, no immortal courier, and -- the canary catcher -- zero
+  lease-reaper firings on a crash-free run;
+* **bit-reproducibility**: after the sweep, schedule 0 is re-run and
+  its state digest must match exactly, or the whole suite's
+  determinism story is broken.
+
+A failing schedule hands its spec straight to the chaos delta debugger
+(:func:`repro.chaos.shrink.shrink`) with :func:`run_sanitized` as the
+executor, so ddmin's "still fails" predicate sees sanitizer findings,
+not just checker violations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.chaos.faults import FaultPolicy
+from repro.chaos.runner import ChaosReport, ChaosSpec, generate_spec, run_spec
+from repro.sanitize.hb import HBTracker
+from repro.sanitize.quiesce import check_quiesce
+
+ARTIFACT_FORMAT = "repro-sanitize-v1"
+
+#: Per-message probability of delay / reorder under a perturbed schedule.
+PERTURB_RATE = 0.35
+
+#: The canary the sanitizer must catch (ProtocolConfig.chaos_bug value).
+CANARY_BUG = "stranded-lock"
+
+
+@dataclass
+class SanitizeSpec:
+    """Everything one sanitizer sweep depends on."""
+
+    seed: int = 0
+    n_nodes: int = 9
+    ops: int = 40
+    schedules: int = 8     # K: schedule 0 pristine, 1..K-1 perturbed
+    bound: float = 0.5     # max extra delay/reorder per message
+    canary: bool = False   # re-introduce the stranded-lock bug
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "n_nodes": self.n_nodes,
+                "ops": self.ops, "schedules": self.schedules,
+                "bound": self.bound, "canary": self.canary}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SanitizeSpec":
+        return cls(**{k: data[k] for k in
+                      ("seed", "n_nodes", "ops", "schedules", "bound",
+                       "canary") if k in data})
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one schedule of the sweep."""
+
+    schedule: int
+    spec: ChaosSpec
+    ok: bool
+    violations: list = field(default_factory=list)
+    races: int = 0
+    digest: str = ""
+    end_time: float = 0.0
+
+
+@dataclass
+class SanitizeReport:
+    """Outcome of the whole sweep."""
+
+    spec: SanitizeSpec
+    results: list = field(default_factory=list)
+    reproducible: bool = True
+    baseline_digest: str = ""
+    replay_digest: str = ""
+
+    @property
+    def failures(self) -> list:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        """Clean sweep: every schedule quiet and the replay bit-equal.
+
+        Under ``canary=True`` the polarity flips at the CLI, not here:
+        ``ok`` still means "no findings", the caller checks that it is
+        False."""
+        return not self.failures and self.reproducible
+
+    @property
+    def canary_caught(self) -> bool:
+        return any("stranded-lock" in v or "lease reaper" in v
+                   for r in self.failures for v in r.violations)
+
+
+# -- spec construction --------------------------------------------------------
+
+def base_spec(spec: SanitizeSpec) -> ChaosSpec:
+    """The sweep's workload: seeded ops, no faults, no crashes.
+
+    Crash-free by construction (``schedule=[]``): the quiesce
+    invariants are unconditional only when nothing fail-stops.  The
+    gray-failure knobs are on because the canary's bug site is the
+    straggler-release path, which only exists under per-destination
+    deadlines -- and because timing sensitivity is exactly what the
+    sanitizer hunts.
+    """
+    chaos = generate_spec(spec.seed, protocol="dynamic",
+                          n_nodes=spec.n_nodes, ops=spec.ops,
+                          message_faults=False, nemesis=False,
+                          bug=CANARY_BUG if spec.canary else "")
+    chaos.schedule = []
+    chaos.config = {"adaptive_timeouts": True, "hedge_requests": True}
+    return chaos
+
+
+def schedule_spec(spec: SanitizeSpec, k: int) -> ChaosSpec:
+    """Schedule *k* of the sweep: same workload, perturbed timing.
+
+    The workload RNG stream (``seed``) is untouched; only the
+    link-fault stream (``faults_seed``) varies with *k*, so every
+    schedule executes the same client operations under a different
+    bounded reordering of the wire.
+    """
+    chaos = base_spec(spec)
+    if k > 0:
+        chaos.policy = FaultPolicy(
+            delay=PERTURB_RATE, delay_span=spec.bound,
+            reorder=PERTURB_RATE, reorder_span=spec.bound).to_dict()
+        chaos.faults_seed = (spec.seed * 1_000_003) + k
+    return chaos
+
+
+# -- execution ----------------------------------------------------------------
+
+def state_digest(store) -> str:
+    """SHA-256 over everything a deterministic run fixes.
+
+    Trace counters cover the event stream shape, the replica states
+    cover the outcome, the clock and event count cover the path.  Two
+    runs of the same spec must digest identically, bit for bit.
+    """
+    payload = {
+        "now": round(store.env.now, 9),
+        "events": store.env.events_processed,
+        "trace": store.trace.counts(),
+        "replicas": {
+            name: {"version": server.state.version,
+                   "stale": server.state.stale,
+                   "value": sorted(server.state.value.items())}
+            for name, server in store.servers.items()},
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def run_sanitized(spec: ChaosSpec, trace_enabled: bool = False) -> ChaosReport:
+    """``run_spec`` plus the sanitizer's always-on checks.
+
+    Findings land in ``report.violation`` (prefixed ``SanitizeError``)
+    so the chaos shrinker's default ``fails`` predicate -- and any
+    caller that only looks at ``report.ok`` -- treats a leak exactly
+    like a consistency violation.  Pass this as ``shrink(..., run=...)``
+    to minimize a sanitizer failure.
+    """
+    tracker = HBTracker()
+    report = run_spec(spec, trace_enabled=trace_enabled,
+                      instrument=tracker.attach_store)
+    problems = tracker.race_descriptions()
+    if report.ok:
+        problems += check_quiesce(report.store,
+                                  crash_free=not spec.schedule)
+    if report.ok and problems:
+        report.ok = False
+        report.violation = "SanitizeError: " + " | ".join(problems)
+    report.stats["races"] = len(tracker.races)
+    return report
+
+
+def run_sweep(spec: SanitizeSpec, on_result=None) -> SanitizeReport:
+    """Run all K schedules, then the schedule-0 reproducibility replay."""
+    report = SanitizeReport(spec=spec)
+    for k in range(spec.schedules):
+        chaos = schedule_spec(spec, k)
+        schedule_report = run_sanitized(chaos)
+        result = ScheduleResult(
+            schedule=k, spec=chaos, ok=schedule_report.ok,
+            violations=([schedule_report.violation]
+                        if schedule_report.violation else []),
+            races=schedule_report.stats.get("races", 0),
+            digest=state_digest(schedule_report.store),
+            end_time=schedule_report.end_time)
+        report.results.append(result)
+        if k == 0:
+            report.baseline_digest = result.digest
+        if on_result is not None:
+            on_result(result)
+    replay = run_sanitized(schedule_spec(spec, 0))
+    report.replay_digest = state_digest(replay.store)
+    report.reproducible = report.replay_digest == report.baseline_digest
+    return report
+
+
+# -- artifacts ----------------------------------------------------------------
+
+def build_artifact(report: SanitizeReport) -> dict:
+    """The JSON artifact ``repro sanitize --json`` emits."""
+    return {
+        "format": ARTIFACT_FORMAT,
+        "spec": report.spec.to_dict(),
+        "ok": report.ok,
+        "reproducible": report.reproducible,
+        "baseline_digest": report.baseline_digest,
+        "replay_digest": report.replay_digest,
+        "canary_caught": report.canary_caught,
+        "schedules": [
+            {"schedule": r.schedule,
+             "faults_seed": r.spec.faults_seed,
+             "ok": r.ok,
+             "violations": list(r.violations),
+             "races": r.races,
+             "digest": r.digest,
+             "end_time": r.end_time,
+             "chaos_spec": r.spec.to_dict()}
+            for r in report.results],
+    }
+
+
+def save_artifact(path: str, report: SanitizeReport) -> dict:
+    """Write the artifact; returns the dict."""
+    artifact = build_artifact(report)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return artifact
+
+
+def load_artifact(path: str) -> dict:
+    """Read an artifact, validating the format marker."""
+    with open(path, "r", encoding="utf-8") as handle:
+        artifact = json.load(handle)
+    if artifact.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(
+            f"{path} is not a sanitize artifact "
+            f"(format={artifact.get('format')!r})")
+    return artifact

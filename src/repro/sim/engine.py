@@ -421,6 +421,19 @@ class Environment:
         """A fresh FIFO lock (shared/exclusive)."""
         return Lock(self, name)
 
+    def schedule(self, callback: Callable[[], None],
+                 delay: float = 0.0) -> None:
+        """Run *callback* after *delay* simulated time units.
+
+        The public face of the internal queue: harness code (the chaos
+        runner arming fault events, the nemesis scheduling delayed
+        recoveries) uses this instead of reaching into
+        ``_schedule_call``, keeping the transport internals swappable
+        (ROADMAP item 3) -- the ``transport-boundary`` lint rule
+        enforces exactly that.
+        """
+        self._schedule_call(callback, delay=delay)
+
     # -- scheduling ---------------------------------------------------------
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
         self._sequence += 1

@@ -54,6 +54,18 @@ class Node:
         self._locks.append(lock)
         return lock
 
+    @property
+    def locks(self) -> tuple[Lock, ...]:
+        """Every lock this node ever created (read-only view).
+
+        The sanitizer's quiesce check walks these after a run settles:
+        a non-idle lock on a quiet cluster is a stranded grant."""
+        return tuple(self._locks)
+
+    def live_processes(self) -> list[Process]:
+        """The node's currently-alive processes (read-only snapshot)."""
+        return [p for p in self._processes if p.is_alive]
+
     def add_crash_hook(self, hook: Callable[[], None]) -> None:
         """Run *hook* whenever this node crashes."""
         self._crash_hooks.append(hook)

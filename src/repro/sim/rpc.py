@@ -582,6 +582,21 @@ class RpcLayer:
                 wave.req_ids.clear()
                 wave.event.succeed(wave.results)
 
+    # -- quiesce introspection --------------------------------------------
+    def pending_calls(self) -> tuple:
+        """Req-ids of client-side calls still awaiting answer or timeout."""
+        return tuple(sorted(self._pending))
+
+    def inflight_handlers(self) -> tuple:
+        """Keys of server-side requests accepted but not yet answered.
+
+        These are the ``_served`` entries still at the in-progress
+        sentinel -- generator handlers parked on a lock or a nested
+        call.  On a quiesced cluster this must drain to empty; an entry
+        that persists is a stuck handler the sanitizer flags."""
+        return tuple(sorted(key for key, value in self._served.items()
+                            if value is self._IN_PROGRESS))
+
     # -- server side -------------------------------------------------------
     def serve(self, method: str, handler: Callable[[str, Any], Any]) -> None:
         """Register the handler for an RPC method."""

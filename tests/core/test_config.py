@@ -67,3 +67,9 @@ class TestValidateGrayKnobs:
         with pytest.raises(ValueError, match="op_deadline"):
             ProtocolConfig(degraded_reads=True).validate()
         ProtocolConfig(degraded_reads=True, op_deadline=0.5).validate()
+
+    def test_chaos_bug_must_be_a_known_canary(self):
+        with pytest.raises(ValueError, match="chaos_bug"):
+            ProtocolConfig(chaos_bug="standed-lock").validate()  # typo'd
+        for bug in ProtocolConfig.CHAOS_BUGS:
+            ProtocolConfig(chaos_bug=bug).validate()

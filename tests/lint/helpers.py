@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+import ast
 from typing import Optional, Sequence
 
 from repro.lint import DEFAULT_RULES, LintReport, lint_source
-from repro.lint.engine import Rule
+from repro.lint.engine import ParsedModule, ProjectRule, Rule
 
 
 def run_lint(source: str, relpath: str = "core/sample.py",
@@ -19,3 +20,16 @@ def rule_ids(source: str, relpath: str = "core/sample.py",
              rules: Optional[Sequence[Rule]] = None) -> list[str]:
     """The rule ids of the surviving findings, in report order."""
     return [f.rule for f in run_lint(source, relpath, rules).findings]
+
+
+def project_findings(files: dict, rule: ProjectRule) -> list:
+    """Run one project rule over a {relpath: source} module set.
+
+    Bypasses pragma handling on purpose: these are rule-behavior tests;
+    pragma interaction is covered by the engine and CLI tests.
+    """
+    modules = tuple(
+        ParsedModule(relpath, ast.parse(source), source)
+        for relpath, source in files.items()
+        if rule.applies_to(relpath))
+    return list(rule.check_project(modules))

@@ -1,0 +1,75 @@
+"""``repro lint`` end to end: exit codes, JSON schema, pragmas."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+CLEAN = "GREETING = 'hello'\n"
+
+# an unserved send: the handler-coverage project rule fires on it
+UNSERVED_SEND = ("class C:\n"
+                 "    def go(self, rpc, dst):\n"
+                 "        return rpc.call(dst, 'no-such-kind', ())\n")
+
+SUPPRESSED_SEND = (
+    "class C:\n"
+    "    def go(self, rpc, dst):\n"
+    "        # repro: allow[handler-coverage] probe kind, sim-only\n"
+    "        return rpc.call(dst, 'no-such-kind', ())\n")
+
+
+def _tree(tmp_path: Path, source: str) -> Path:
+    """A minimal repro-shaped tree so include patterns apply."""
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "coordinator.py").write_text(source, encoding="utf-8")
+    return tmp_path / "repro"
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    assert main(["lint", str(_tree(tmp_path, CLEAN))]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(tmp_path, capsys):
+    assert main(["lint", str(_tree(tmp_path, UNSERVED_SEND))]) == 1
+    assert "handler-coverage" in capsys.readouterr().out
+
+
+def test_exit_two_on_unparsable_source(tmp_path, capsys):
+    assert main(["lint", str(_tree(tmp_path, "def broken(:\n"))]) == 2
+    assert "syntax error" in capsys.readouterr().out
+
+
+def test_json_report_round_trips(tmp_path, capsys):
+    assert main(["lint", str(_tree(tmp_path, UNSERVED_SEND)),
+                 "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro-lint-v1"
+    assert payload["ok"] is False
+    assert payload["files_checked"] == 1
+    [finding] = payload["findings"]
+    assert finding["rule"] == "handler-coverage"
+    assert finding["path"] == "core/coordinator.py"
+    assert finding["line"] >= 1
+    rule_ids = {rule["id"] for rule in payload["rules"]}
+    assert {"handler-coverage", "lock-discipline", "config-drift",
+            "transport-boundary"} <= rule_ids
+
+
+def test_pragma_suppresses_new_project_rule(tmp_path, capsys):
+    assert main(["lint", str(_tree(tmp_path, SUPPRESSED_SEND)),
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"] == []
+    [suppressed] = payload["suppressed"]
+    assert suppressed["rule"] == "handler-coverage"
+
+
+def test_repo_tree_lints_clean():
+    # the PR's own baseline: the shipped package has zero findings
+    import repro
+    assert main(["lint", str(Path(repro.__file__).parent)]) == 0

@@ -1,0 +1,143 @@
+"""``config-drift``: fields vs validate() vs describe() vs docs."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint.engine import lint_paths
+from repro.lint.rules.config_drift import ConfigDriftRule
+from tests.lint.helpers import rule_ids, run_lint
+
+RULES = [ConfigDriftRule()]
+RELPATH = "core/config.py"
+
+IN_SYNC = textwrap.dedent("""\
+    from dataclasses import dataclass
+
+    @dataclass
+    class ProtocolConfig:
+        rpc_timeout: float = 0.5
+        hedged: bool = False
+
+        def validate(self):
+            if self.rpc_timeout <= 0:
+                raise ValueError('rpc_timeout')
+
+        def describe(self):
+            return (('rpc_timeout', self.rpc_timeout),
+                    ('hedged', self.hedged))
+    """)
+
+
+def test_in_sync_config_is_clean():
+    assert rule_ids(IN_SYNC, RELPATH, rules=RULES) == []
+
+
+def test_describe_omitting_a_field_fires():
+    src = IN_SYNC.replace("                ('hedged', self.hedged)", "")
+    ids = rule_ids(src, RELPATH, rules=RULES)
+    assert ids == ["config-drift"]
+
+
+def test_describe_with_stale_entry_fires():
+    src = IN_SYNC.replace(
+        "('hedged', self.hedged))",
+        "('hedged', self.hedged),\n"
+        "                ('retired_knob', 0))")
+    ids = rule_ids(src, RELPATH, rules=RULES)
+    assert ids == ["config-drift"]
+
+
+def test_describe_out_of_declaration_order_fires():
+    src = IN_SYNC.replace(
+        "return (('rpc_timeout', self.rpc_timeout),\n"
+        "                ('hedged', self.hedged))",
+        "return (('hedged', self.hedged),\n"
+        "                ('rpc_timeout', self.rpc_timeout))")
+    ids = rule_ids(src, RELPATH, rules=RULES)
+    assert ids == ["config-drift"]
+
+
+def test_validate_ignoring_a_numeric_field_fires():
+    src = IN_SYNC.replace(
+        "    rpc_timeout: float = 0.5\n",
+        "    rpc_timeout: float = 0.5\n"
+        "    lock_wait: float = 1.5\n"
+    ).replace(
+        "(('rpc_timeout', self.rpc_timeout),",
+        "(('rpc_timeout', self.rpc_timeout),\n"
+        "                ('lock_wait', self.lock_wait),")
+    [finding] = run_lint(src, RELPATH, RULES).findings
+    assert finding.rule == "config-drift"
+    assert "never references 'lock_wait'" in finding.message
+
+
+def test_bool_fields_need_no_range_check():
+    # `hedged` never appears in validate() and that is fine
+    assert rule_ids(IN_SYNC, RELPATH, rules=RULES) == []
+
+
+def test_plain_dataclass_without_the_methods_is_ignored():
+    src = ("from dataclasses import dataclass\n"
+           "@dataclass\n"
+           "class Point:\n"
+           "    x: float = 0.0\n")
+    assert rule_ids(src, RELPATH, rules=RULES) == []
+
+
+# -- the docs/API.md knob-table check (needs real files) ---------------------
+
+DOC_IN_SYNC = textwrap.dedent("""\
+    # API
+
+    ## ProtocolConfig knobs
+
+    | knob | default | what it controls |
+    |---|---|---|
+    | `rpc_timeout` | 0.5 | per-call timeout |
+    | `hedged` | False | hedged polls |
+
+    ## Other section
+    """)
+
+
+def _lint_tree(tmp_path: Path, doc: str):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "API.md").write_text(doc, encoding="utf-8")
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "config.py").write_text(IN_SYNC, encoding="utf-8")
+    return lint_paths([tmp_path / "repro"], RULES)
+
+
+def test_doc_table_in_sync_is_clean(tmp_path):
+    report = _lint_tree(tmp_path, DOC_IN_SYNC)
+    assert [f.rule for f in report.findings] == []
+
+
+def test_doc_table_missing_knob_fires(tmp_path):
+    doc = DOC_IN_SYNC.replace("| `hedged` | False | hedged polls |\n", "")
+    report = _lint_tree(tmp_path, doc)
+    assert ["'hedged' is missing from the docs" in f.message
+            for f in report.findings] == [True]
+
+
+def test_doc_table_stale_row_fires(tmp_path):
+    doc = DOC_IN_SYNC.replace(
+        "## Other section",
+        "| `retired_knob` | 1 | gone |\n\n## Other section")
+    report = _lint_tree(tmp_path, doc)
+    assert ["'retired_knob'" in f.message
+            for f in report.findings] == [True]
+
+
+def test_missing_doc_section_fires(tmp_path):
+    report = _lint_tree(tmp_path, "# API\n\nNothing here.\n")
+    assert ["no ProtocolConfig section" in f.message
+            for f in report.findings] == [True]
+
+
+def test_bare_source_skips_the_doc_check():
+    # lint_source has no filesystem anchor, so no API.md to disagree with
+    assert rule_ids(IN_SYNC, RELPATH, rules=RULES) == []

@@ -1,0 +1,55 @@
+"""``transport-boundary``: no sim internals outside sim/."""
+
+from __future__ import annotations
+
+from repro.lint.rules.transport import TransportBoundaryRule
+from tests.lint.helpers import rule_ids
+
+RULES = [TransportBoundaryRule()]
+
+
+def test_private_env_access_fires():
+    src = ("def arm(self, cb):\n"
+           "    self.env._schedule_call(0.5, cb)\n")
+    assert rule_ids(src, "core/replica.py", rules=RULES) \
+        == ["transport-boundary"]
+
+
+def test_private_network_access_fires():
+    src = ("def poke(network, msg):\n"
+           "    network._deliver(msg)\n")
+    assert rule_ids(src, "chaos/faults.py", rules=RULES) \
+        == ["transport-boundary"]
+
+
+def test_public_transport_api_is_clean():
+    src = ("def arm(self, cb):\n"
+           "    self.env.schedule(cb, delay=0.5)\n"
+           "    self.network.cut_link('n00', 'n01')\n")
+    assert rule_ids(src, "core/replica.py", rules=RULES) == []
+
+
+def test_dunder_attributes_are_python_not_transport():
+    src = ("def kind(env):\n"
+           "    return env.__class__.__name__\n")
+    assert rule_ids(src, "core/replica.py", rules=RULES) == []
+
+
+def test_private_access_on_non_transport_receiver_is_clean():
+    src = ("class C:\n"
+           "    def peek(self):\n"
+           "        return self._cache\n")
+    assert rule_ids(src, "core/replica.py", rules=RULES) == []
+
+
+def test_sim_modules_may_touch_their_own_internals():
+    src = ("def wire(self, env):\n"
+           "    env._schedule_call(0.0, self.run)\n")
+    assert rule_ids(src, "sim/rpc.py", rules=RULES) == []
+
+
+def test_finding_names_the_reaching_expression():
+    src = ("def arm(store, cb):\n"
+           "    store.env._schedule_call(0.5, cb)\n")
+    report_ids = rule_ids(src, "chaos/nemesis.py", rules=RULES)
+    assert report_ids == ["transport-boundary"]

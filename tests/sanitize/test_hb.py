@@ -1,0 +1,97 @@
+"""Happens-before tracker unit tests over synthetic trace records."""
+
+from __future__ import annotations
+
+from repro.sanitize.hb import HBTracker, clock_leq, concurrent
+from repro.sim.trace import TraceLog, TraceRecord
+
+
+def rec(kind: str, node: str, t: float = 0.0, **detail) -> TraceRecord:
+    return TraceRecord(time=t, kind=kind, node=node, detail=detail)
+
+
+def test_clock_partial_order():
+    assert clock_leq({}, {"a": 1})
+    assert clock_leq({"a": 1}, {"a": 2, "b": 1})
+    assert not clock_leq({"a": 2}, {"a": 1})
+    assert concurrent({"a": 1}, {"b": 1})
+    assert not concurrent({"a": 1}, {"a": 1})
+    assert not concurrent({"a": 1}, {"a": 2})
+
+
+def test_send_then_deliver_orders_the_receiver():
+    tracker = HBTracker()
+    tracker.observe(rec("send", "a", msg_id=1))
+    tracker.observe(rec("deliver", "b", msg_id=1))
+    assert clock_leq(tracker.clocks["a"], tracker.clocks["b"])
+
+
+def test_ordered_applies_are_not_a_race():
+    tracker = HBTracker()
+    # a's apply, then a message a -> b, then b's apply of a *different*
+    # transaction at the same (key, version): ordered, hence not a race
+    tracker.observe(rec("state-apply", "a", 1.0, txn_id="t1", op_id="w1",
+                        keys=("x",), version=3))
+    tracker.observe(rec("send", "a", msg_id=1))
+    tracker.observe(rec("deliver", "b", msg_id=1))
+    tracker.observe(rec("state-apply", "b", 2.0, txn_id="t2", op_id="w2",
+                        keys=("x",), version=3))
+    assert tracker.races == []
+
+
+def test_concurrent_same_slot_applies_race():
+    tracker = HBTracker()
+    # each node has local activity (a send) nothing orders against the
+    # other's, so the two applies' clocks are incomparable
+    tracker.observe(rec("send", "a", msg_id=1))
+    tracker.observe(rec("send", "b", msg_id=2))
+    tracker.observe(rec("state-apply", "a", 1.0, txn_id="t1", op_id="w1",
+                        keys=("x",), version=3))
+    tracker.observe(rec("state-apply", "b", 1.5, txn_id="t2", op_id="w2",
+                        keys=("x",), version=3))
+    [race] = tracker.races
+    assert race.key == "x" and race.version == 3
+    assert {race.first.txn_id, race.second.txn_id} == {"t1", "t2"}
+    assert "causally concurrent" in race.describe()
+
+
+def test_same_transaction_fanout_is_never_a_race():
+    tracker = HBTracker()
+    for node in ("a", "b", "c"):
+        tracker.observe(rec("state-apply", node, 1.0, txn_id="t1",
+                            op_id="w1", keys=("x",), version=3))
+    assert tracker.races == []
+
+
+def test_different_versions_do_not_conflict():
+    tracker = HBTracker()
+    tracker.observe(rec("state-apply", "a", 1.0, txn_id="t1", op_id="w1",
+                        keys=("x",), version=3))
+    tracker.observe(rec("state-apply", "b", 1.5, txn_id="t2", op_id="w2",
+                        keys=("x",), version=4))
+    assert tracker.races == []
+
+
+def test_duplicate_delivery_reuses_the_send_snapshot():
+    tracker = HBTracker()
+    tracker.observe(rec("send", "a", msg_id=7))
+    tracker.observe(rec("deliver", "b", msg_id=7))
+    tracker.observe(rec("deliver", "b", msg_id=7))   # duplicated in flight
+    assert tracker.clocks["b"]["a"] == tracker.clocks["a"]["a"]
+
+
+def test_snapshot_store_is_bounded():
+    tracker = HBTracker(snapshot_capacity=4)
+    for msg_id in range(10):
+        tracker.observe(rec("send", "a", msg_id=msg_id))
+    assert len(tracker._snapshots) == 4
+
+
+def test_attach_subscribes_and_detach_unsubscribes():
+    trace = TraceLog(enabled=False)   # observers fire even when disabled
+    tracker = HBTracker().attach(trace)
+    trace.record(0.0, "send", node="a", msg_id=1)
+    assert tracker.events_seen == 1
+    tracker.detach()
+    trace.record(0.1, "send", node="a", msg_id=2)
+    assert tracker.events_seen == 1

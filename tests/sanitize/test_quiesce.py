@@ -1,0 +1,85 @@
+"""Quiesce snapshot/compare unit tests plus a settled-cluster check."""
+
+from __future__ import annotations
+
+from repro.core.store import ReplicatedStore
+from repro.sanitize.quiesce import (
+    QUIESCE_GAP,
+    Snapshot,
+    check_quiesce,
+    compare_snapshots,
+    take_snapshot,
+)
+
+
+def test_disjoint_snapshots_are_quiet():
+    first = Snapshot(time=1.0, locks={("n00", "value-lock", "w1")})
+    second = Snapshot(time=5.5, locks={("n00", "value-lock", "w2")})
+    assert compare_snapshots(first, second) == []
+
+
+def test_persistent_lock_is_a_leak():
+    held = ("n00", "value-lock", "w1")
+    findings = compare_snapshots(Snapshot(time=1.0, locks={held}),
+                                 Snapshot(time=5.5, locks={held}))
+    [finding] = findings
+    assert "leaked lock" in finding and "value-lock" in finding
+
+
+def test_persistent_handler_call_and_courier_are_flagged():
+    handler = ("n01", "n00", 42)
+    call = ("n00", 42)
+    courier = ("n02", 0xbeef)
+    first = Snapshot(time=1.0, inflight={handler}, pending={call},
+                     couriers={courier: "propagate-x"})
+    second = Snapshot(time=5.5, inflight={handler}, pending={call},
+                      couriers={courier: "propagate-x"})
+    findings = compare_snapshots(first, second)
+    assert len(findings) == 3
+    assert any("stuck handler" in f for f in findings)
+    assert any("stuck call" in f for f in findings)
+    assert any("stranded courier" in f for f in findings)
+
+
+def test_courier_identity_must_match():
+    # a *new* courier process at the second snapshot is normal retry
+    # machinery, not a stranded one: identity is (node, id(process))
+    first = Snapshot(time=1.0, couriers={("n02", 1): "propagate-x"})
+    second = Snapshot(time=5.5, couriers={("n02", 2): "propagate-x"})
+    assert compare_snapshots(first, second) == []
+
+
+def test_settled_cluster_passes_the_full_check():
+    store = ReplicatedStore.create(5, seed=3)
+    store.write({"k": "v"})
+    store.settle()
+    assert check_quiesce(store, crash_free=True) == []
+
+
+def test_snapshot_sees_held_locks():
+    store = ReplicatedStore.create(3, seed=0)
+    node = store.nodes[store.node_names[0]]
+    lock = node.make_lock("probe-lock")
+    granted = []
+
+    def holder():
+        yield lock.acquire("probe-owner")
+        granted.append(True)
+        yield node.env.timeout(10.0)
+
+    node.spawn(holder())
+    store.advance(0.1)
+    assert granted
+    snap = take_snapshot(store)
+    name = store.node_names[0]
+    assert (name, f"{name}.probe-lock", "probe-owner") in snap.locks
+    lock.release("probe-owner")
+
+
+def test_gap_sits_inside_the_lease_window():
+    from repro.core.config import ProtocolConfig
+    config = ProtocolConfig()
+    # longer than every legitimate transient, shorter than the lease
+    assert QUIESCE_GAP > config.propagation_lease
+    assert QUIESCE_GAP > config.rtt_deadline_max
+    assert QUIESCE_GAP < config.lock_lease

@@ -1,0 +1,135 @@
+"""Sweep, artifact, and canary tests for the schedule sanitizer.
+
+The two heavyweight tests here are this PR's regression pins for the
+real bugs the sanitizer surfaced when it was first run:
+
+* the coordinator's success-path release fan-out missed fast-wave
+  responders that the heavy procedure later excluded from the write
+  set (their granted locks stranded until the lease);
+* an ``op-release`` arriving while the write-request handler was still
+  *queued* on the lock released nothing, and the later grant was taken
+  into custody for an operation already decided.
+
+Both manifested as ``lock-lease-expired`` firings on a crash-free
+perturbed schedule; the clean-sweep test fails if either regresses,
+and the canary test proves the detector still sees the bug class.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sanitize.runner import (
+    ARTIFACT_FORMAT,
+    CANARY_BUG,
+    SanitizeSpec,
+    base_spec,
+    build_artifact,
+    load_artifact,
+    run_sanitized,
+    run_sweep,
+    save_artifact,
+    schedule_spec,
+    state_digest,
+)
+
+
+def test_spec_round_trips():
+    spec = SanitizeSpec(seed=7, n_nodes=5, ops=12, schedules=3,
+                        bound=0.25, canary=True)
+    assert SanitizeSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_base_spec_is_crash_free_and_fault_free():
+    chaos = base_spec(SanitizeSpec(seed=0))
+    assert chaos.schedule == []
+    assert chaos.policy in (None, {}) or not any(chaos.policy.values())
+    assert chaos.bug == ""
+    assert chaos.config["adaptive_timeouts"] is True
+
+
+def test_canary_spec_reintroduces_the_bug():
+    chaos = base_spec(SanitizeSpec(seed=0, canary=True))
+    assert chaos.bug == CANARY_BUG
+
+
+def test_perturbed_schedules_vary_only_the_fault_stream():
+    spec = SanitizeSpec(seed=3)
+    pristine = schedule_spec(spec, 0)
+    perturbed = schedule_spec(spec, 2)
+    assert pristine.faults_seed is None
+    assert perturbed.faults_seed == 3 * 1_000_003 + 2
+    assert perturbed.seed == pristine.seed
+    policy = perturbed.policy
+    assert policy["delay"] > 0 and policy["reorder"] > 0
+    assert policy.get("drop", 0) == 0
+    assert policy.get("duplicate", 0) == 0
+
+
+def test_same_schedule_digests_identically():
+    spec = SanitizeSpec(seed=0, n_nodes=5, ops=8, schedules=1)
+    first = run_sanitized(schedule_spec(spec, 0))
+    second = run_sanitized(schedule_spec(spec, 0))
+    assert first.ok and second.ok
+    assert state_digest(first.store) == state_digest(second.store)
+
+
+def test_clean_sweep_is_quiet_and_reproducible():
+    # regression pin for the two stranded-lock protocol bugs (see the
+    # module docstring): schedule 1's perturbation used to strand locks
+    spec = SanitizeSpec(seed=0, n_nodes=9, ops=40, schedules=2)
+    report = run_sweep(spec)
+    assert [r.ok for r in report.results] == [True, True], \
+        [r.violations for r in report.results]
+    assert report.reproducible
+    assert report.ok
+    assert not report.canary_caught
+
+
+def test_canary_is_deterministically_caught():
+    spec = SanitizeSpec(seed=0, n_nodes=9, ops=40, schedules=2,
+                        canary=True)
+    report = run_sweep(spec)
+    assert report.reproducible          # catching must not cost replay
+    assert not report.ok
+    assert report.canary_caught
+    [failure] = report.failures
+    assert failure.schedule == 1        # the pristine schedule is quiet
+    assert any("lease reaper" in v for v in failure.violations)
+
+
+def test_artifact_round_trips(tmp_path):
+    spec = SanitizeSpec(seed=0, n_nodes=5, ops=6, schedules=2)
+    report = run_sweep(spec)
+    path = tmp_path / "sweep.json"
+    written = save_artifact(str(path), report)
+    loaded = load_artifact(str(path))
+    assert loaded == written
+    assert loaded["format"] == ARTIFACT_FORMAT
+    assert loaded["ok"] is True
+    assert loaded["reproducible"] is True
+    assert len(loaded["schedules"]) == 2
+    assert loaded["schedules"][0]["digest"] == loaded["baseline_digest"]
+    assert SanitizeSpec.from_dict(loaded["spec"]) == spec
+
+
+def test_load_artifact_rejects_foreign_json(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text('{"format": "something-else"}', encoding="utf-8")
+    with pytest.raises(ValueError, match="not a sanitize artifact"):
+        load_artifact(str(path))
+
+
+def test_shrinker_accepts_the_sanitized_runner():
+    # the hand-off contract: shrink(spec, run=run_sanitized) minimizes
+    # a canary failure using sanitizer findings as the predicate
+    from repro.chaos.shrink import shrink
+
+    spec = SanitizeSpec(seed=0, n_nodes=9, ops=40, schedules=2,
+                        canary=True)
+    failing = schedule_spec(spec, 1)
+    report = run_sanitized(failing)
+    assert not report.ok and "SanitizeError" in report.violation
+    result = shrink(failing, max_runs=40, run=run_sanitized)
+    assert result.events <= result.original_events
+    assert "SanitizeError" in result.report.violation

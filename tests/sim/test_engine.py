@@ -565,3 +565,23 @@ class TestDeterminism:
             return log
 
         assert run_once() == run_once()
+
+
+class TestPublicScheduling:
+    """Environment.schedule: the public face of the callback queue."""
+
+    def test_schedule_runs_callback_after_delay(self):
+        env = Environment()
+        fired = []
+        env.schedule(lambda: fired.append(env.now), delay=2.5)
+        env.run(until=2.0)
+        assert fired == []
+        env.run(until=3.0)
+        assert fired == [2.5]
+
+    def test_schedule_default_delay_is_immediate(self):
+        env = Environment()
+        fired = []
+        env.schedule(lambda: fired.append(env.now))
+        env.run(until=1.0)
+        assert fired == [0.0]
